@@ -1,0 +1,292 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) on the synthetic workload suite, plus Bechamel
+   wall-clock microbenchmarks of the analysis itself.
+
+   Sections:
+     1. Table 1, DaCapo block       (MB/iter, MAllocs/iter, iters/min)
+     2. Table 1, ScalaDaCapo block
+     3. Table 1, SPECjbb2005 row
+     4. §6.1 "Number of Locks"      (monitor-operation reductions)
+     5. §6.2 comparison             (whole-method EA vs PEA, per suite)
+     6. Figure 4 micro-patterns     (per-pattern optimization effects)
+     7. Bechamel wall-clock benches (one Test.make per table)
+
+   Absolute numbers are not comparable with the paper (the substrate is a
+   deterministic simulator, see DESIGN.md); the reproduced quantity is the
+   per-row relative change and the ordering between configurations. *)
+
+open Pea_workloads
+
+let line = String.make 110 '-'
+
+let header title = Printf.printf "\n%s\n%s\n%s\n%!" line title line
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let print_table_header () =
+  Printf.printf "%-14s | %8s %8s %8s | %8s %8s %8s | %9s %9s %8s | %8s\n" "benchmark" "MB/it"
+    "MB/it" "delta" "kAll/it" "kAll/it" "delta" "it/min" "it/min" "delta" "paper";
+  Printf.printf "%-14s | %8s %8s %8s | %8s %8s %8s | %9s %9s %8s | %8s\n" "" "without" "with" ""
+    "without" "with" "" "without" "with" "" "allocs"
+
+let run_suite suite rows =
+  header
+    (Printf.sprintf "Table 1 — %s (without vs. with Partial Escape Analysis)"
+       (Spec.suite_name suite));
+  print_table_header ();
+  let results =
+    List.map
+      (fun (row : Spec.row) ->
+        let rr = Harness.run_row row in
+        let c = Harness.pea_changes rr in
+        Printf.printf
+          "%-14s | %8.3f %8.3f %+7.1f%% | %8.1f %8.1f %+7.1f%% | %9.0f %9.0f %+7.1f%% | %+7.1f%%\n%!"
+          row.Spec.name rr.Harness.rr_without.Harness.m_mb_per_iter
+          rr.Harness.rr_with_pea.Harness.m_mb_per_iter c.Harness.c_bytes_pct
+          (rr.Harness.rr_without.Harness.m_allocs_per_iter /. 1e3)
+          (rr.Harness.rr_with_pea.Harness.m_allocs_per_iter /. 1e3)
+          c.Harness.c_allocs_pct rr.Harness.rr_without.Harness.m_iters_per_min
+          rr.Harness.rr_with_pea.Harness.m_iters_per_min c.Harness.c_speedup_pct
+          row.Spec.allocs_change_pct;
+        (row, rr, c))
+      rows
+  in
+  let avg f =
+    List.fold_left (fun acc x -> acc +. f x) 0. results /. float_of_int (List.length results)
+  in
+  Printf.printf "%-14s | %17s %+7.1f%% | %17s %+7.1f%% | %19s %+7.1f%%   (measured averages)\n"
+    "average" ""
+    (avg (fun (_, _, c) -> c.Harness.c_bytes_pct))
+    ""
+    (avg (fun (_, _, c) -> c.Harness.c_allocs_pct))
+    ""
+    (avg (fun (_, _, c) -> c.Harness.c_speedup_pct));
+  Printf.printf "%-14s | %17s %+7.1f%% | %17s %+7.1f%% | %19s %+7.1f%%   (paper averages)\n" "" ""
+    (avg (fun ((r : Spec.row), _, _) -> r.Spec.bytes_change_pct))
+    ""
+    (avg (fun ((r : Spec.row), _, _) -> r.Spec.allocs_change_pct))
+    ""
+    (avg (fun ((r : Spec.row), _, _) -> r.Spec.speedup_pct));
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Locks (§6.1) and EA comparison (§6.2)                               *)
+(* ------------------------------------------------------------------ *)
+
+let lock_section results =
+  header "Lock operations (§6.1: tomcat -4%, SPECjbb2005 -3.8%; others not significant)";
+  Printf.printf "%-14s | %12s %12s %9s | %9s\n" "benchmark" "monitors/it" "monitors/it" "delta"
+    "paper";
+  List.iter
+    (fun ((row : Spec.row), rr, _) ->
+      if row.Spec.lock_change_pct <> 0.0 then
+        Printf.printf "%-14s | %12.0f %12.0f %+8.1f%% | %+8.1f%%\n" row.Spec.name
+          rr.Harness.rr_without.Harness.m_monitor_ops_per_iter
+          rr.Harness.rr_with_pea.Harness.m_monitor_ops_per_iter
+          (Harness.pea_changes rr).Harness.c_locks_pct row.Spec.lock_change_pct)
+    results
+
+let comparison_section all_results =
+  header "Comparison (§6.2): whole-method escape analysis vs. partial escape analysis";
+  Printf.printf "%-14s | %12s %12s | %s\n" "suite" "EA speedup" "PEA speedup"
+    "paper (EA vs PEA)";
+  let paper =
+    [
+      (Spec.Dacapo, (0.9, 2.2));
+      (Spec.Scala_dacapo, (7.4, 10.4));
+      (Spec.Specjbb, (5.4, 8.7));
+    ]
+  in
+  List.iter
+    (fun (suite, (p_ea, p_pea)) ->
+      let rows = List.filter (fun ((r : Spec.row), _, _) -> r.Spec.suite = suite) all_results in
+      let avg f =
+        List.fold_left (fun acc x -> acc +. f x) 0. rows /. float_of_int (List.length rows)
+      in
+      Printf.printf "%-14s | %+11.1f%% %+11.1f%% | %+.1f%% vs %+.1f%%\n" (Spec.suite_name suite)
+        (avg (fun (_, rr, _) -> (Harness.ea_changes rr).Harness.c_speedup_pct))
+        (avg (fun (_, rr, _) -> (Harness.pea_changes rr).Harness.c_speedup_pct))
+        p_ea p_pea)
+    paper
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 micro-patterns                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig4_section () =
+  header "Figure 4/5 micro-patterns: effect of PEA on each node pattern";
+  let patterns =
+    [
+      ( "(a,b) alloc+store+load",
+        "class P { int x; int y; }\n\
+         class C { static int f(int a) { P p = new P(); p.x = a; p.y = a * 2; return p.x + p.y; } }"
+      );
+      ( "(c,d) monitor enter/exit",
+        "class P { int x; }\n\
+         class C { static int f(int a) { P p = new P(); synchronized (p) { p.x = a; } return p.x; } }"
+      );
+      ( "(e,f) virtual into virtual",
+        "class I { int v; }\n\
+         class O { I inner; }\n\
+         class C { static int f(int a) { I i = new I(); i.v = a; O o = new O(); o.inner = i; return o.inner.v; } }"
+      );
+      ( "(fig 5) store into escaped",
+        "class P { int v; P o; }\n\
+         class C { static P s; static void f(int a) { P e = new P(); C.s = e; P l = new P(); l.v = a; e.o = l; } }"
+      );
+    ]
+  in
+  Printf.printf "%-28s | %7s %7s %7s %7s %7s %7s\n" "pattern" "virt" "mater" "loads" "stores"
+    "mons" "folds";
+  List.iter
+    (fun (name, src) ->
+      let program = Pea_bytecode.Link.compile_source ~require_main:false src in
+      let m = Pea_bytecode.Link.find_method program "C" "f" in
+      let g = Pea_ir.Builder.build m in
+      ignore (Pea_opt.Canonicalize.run g);
+      let _, st = Pea_core.Pea.run g in
+      Printf.printf "%-28s | %7d %7d %7d %7d %7d %7d\n" name st.Pea_core.Pea.virtualized_allocs
+        st.Pea_core.Pea.materializations st.Pea_core.Pea.removed_loads
+        st.Pea_core.Pea.removed_stores st.Pea_core.Pea.removed_monitor_ops
+        st.Pea_core.Pea.folded_checks)
+    patterns
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock benchmarks                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_section () =
+  header
+    "Bechamel wall-clock benchmarks (real time of this implementation; one Test.make per table)";
+  let open Bechamel in
+  let representative suite =
+    match suite with
+    | Spec.Dacapo -> Option.get (Spec.find "sunflow")
+    | Spec.Scala_dacapo -> Option.get (Spec.find "scalap")
+    | Spec.Specjbb -> Option.get (Spec.find "SPECjbb2005")
+  in
+  let workload_test name suite opt =
+    let row = representative suite in
+    let src = Codegen.source_for_row row in
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Harness.measure_program ~warmup:1 ~measure:1 src opt)))
+  in
+  let pea_pass_test =
+    let src = Codegen.source_for_row (representative Spec.Dacapo) in
+    let program = Pea_bytecode.Link.compile_source src in
+    let m = Pea_bytecode.Link.entry_exn program in
+    let g0 = Pea_ir.Builder.build m in
+    ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g0);
+    ignore (Pea_opt.Canonicalize.run g0);
+    Test.make ~name:"pea-analysis-pass" (Staged.stage (fun () -> ignore (Pea_core.Pea.run g0)))
+  in
+  let tests =
+    [
+      workload_test "table1-dacapo-row" Spec.Dacapo Pea_vm.Jit.O_pea;
+      workload_test "table1-scaladacapo-row" Spec.Scala_dacapo Pea_vm.Jit.O_pea;
+      workload_test "table1-specjbb-row" Spec.Specjbb Pea_vm.Jit.O_pea;
+      pea_pass_test;
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 50) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The design choices DESIGN.md calls out, each toggled off on the most
+   PEA-sensitive workload (the factorie row). *)
+let ablation_section () =
+  header "Ablations (factorie workload): which design choices carry the win";
+  let row = Option.get (Spec.find "factorie") in
+  let src = Codegen.source_for_row row in
+  let base = { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 2 } in
+  let variants =
+    [
+      ("no escape analysis", { base with Pea_vm.Jit.opt = Pea_vm.Jit.O_none });
+      ("whole-method EA", { base with Pea_vm.Jit.opt = Pea_vm.Jit.O_ea });
+      ("PEA, no inlining", { base with Pea_vm.Jit.opt = Pea_vm.Jit.O_pea; inline = false });
+      ( "PEA, no dead-object pruning",
+        { base with Pea_vm.Jit.opt = Pea_vm.Jit.O_pea; pea_prune_dead = false } );
+      ("PEA, no speculation", { base with Pea_vm.Jit.opt = Pea_vm.Jit.O_pea; prune = false });
+      ( "PEA, no read elimination",
+        { base with Pea_vm.Jit.opt = Pea_vm.Jit.O_pea; read_elim = false } );
+      ("PEA (full)", { base with Pea_vm.Jit.opt = Pea_vm.Jit.O_pea });
+    ]
+  in
+  Printf.printf "%-30s | %12s %12s %14s
+" "configuration" "kAllocs/it" "MB/it" "iters/min";
+  List.iter
+    (fun (name, config) ->
+      let program = Pea_bytecode.Link.compile_source src in
+      let vm = Pea_vm.Vm.create ~config program in
+      ignore (Pea_vm.Vm.run_main_iterations vm 2);
+      let before = (Pea_vm.Vm.run_main_iterations vm 0).Pea_vm.Vm.stats in
+      let r = Pea_vm.Vm.run_main_iterations vm 3 in
+      let d getter = float_of_int (getter r.Pea_vm.Vm.stats - getter before) /. 3. in
+      let allocs = d (fun (s : Pea_rt.Stats.snapshot) -> s.Pea_rt.Stats.s_allocations) in
+      let bytes = d (fun s -> s.Pea_rt.Stats.s_allocated_bytes) in
+      let cycles = d (fun s -> s.Pea_rt.Stats.s_cycles) in
+      Printf.printf "%-30s | %12.1f %12.3f %14.0f
+%!" name (allocs /. 1e3) (bytes /. 1048576.)
+        (60e9 /. cycles))
+    variants
+
+(* The paper's §6.1 observation: "the allocations not removed by Partial
+   Escape Analysis often contain large arrays". Show the per-class
+   breakdown of a representative workload without and with PEA. *)
+let breakdown_section () =
+  header "Allocation breakdown (§6.1: surviving allocations are array-dominated)";
+  let row = Option.get (Spec.find "factorie") in
+  let src = Codegen.source_for_row row in
+  let show label opt =
+    let config =
+      { Pea_vm.Jit.default_config with Pea_vm.Jit.opt; compile_threshold = 2 }
+    in
+    let vm = Pea_vm.Vm.create ~config (Pea_bytecode.Link.compile_source src) in
+    ignore (Pea_vm.Vm.run_main_iterations vm 3);
+    Printf.printf "%s:
+" label;
+    List.iter
+      (fun (name, count, bytes) ->
+        Printf.printf "  %-12s %9d allocs %12d bytes
+" name count bytes)
+      (Pea_vm.Vm.class_breakdown vm)
+  in
+  show "without escape analysis" Pea_vm.Jit.O_none;
+  show "with PEA" Pea_vm.Jit.O_pea
+
+let () =
+  let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  let dacapo = if fast then take 3 Spec.dacapo else Spec.dacapo in
+  let scala = if fast then take 3 Spec.scala_dacapo else Spec.scala_dacapo in
+  let r1 = run_suite Spec.Dacapo dacapo in
+  let r2 = run_suite Spec.Scala_dacapo scala in
+  let r3 = run_suite Spec.Specjbb Spec.specjbb in
+  let all = r1 @ r2 @ r3 in
+  lock_section all;
+  comparison_section all;
+  fig4_section ();
+  ablation_section ();
+  breakdown_section ();
+  if not fast then bechamel_section ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,225 @@
+(* mjvm — command-line driver for the MiniJava VM.
+
+   Runs .mj programs through the tiered VM with a selectable optimization
+   level, or dumps the bytecode / IR of individual methods at various
+   pipeline stages. *)
+
+open Cmdliner
+open Pea_bytecode
+open Pea_vm
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let opt_conv =
+  let parse = function
+    | "none" -> Ok Jit.O_none
+    | "ea" -> Ok Jit.O_ea
+    | "pea" -> Ok Jit.O_pea
+    | s -> Error (`Msg (Printf.sprintf "unknown optimization level %S (none|ea|pea)" s))
+  in
+  let print ppf o =
+    Format.pp_print_string ppf
+      (match o with Jit.O_none -> "none" | Jit.O_ea -> "ea" | Jit.O_pea -> "pea")
+  in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(
+    required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file")
+
+let opt_arg =
+  Arg.(
+    value
+    & opt opt_conv Jit.O_pea
+    & info [ "opt" ] ~docv:"LEVEL"
+        ~doc:"Escape analysis: none, ea (whole-method) or pea (partial)")
+
+let threshold_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "threshold" ] ~docv:"N" ~doc:"Interpreter invocations before JIT compilation")
+
+let iterations_arg =
+  Arg.(value & opt int 1 & info [ "iterations"; "n" ] ~docv:"N" ~doc:"How many times to run main()")
+
+let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print VM statistics after the run")
+
+let no_inline_arg = Arg.(value & flag & info [ "no-inline" ] ~doc:"Disable inlining")
+
+let no_prune_arg =
+  Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable speculative cold-branch pruning")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log JIT events (compilations, deopts)")
+
+let setup_logs verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Vm.log_src (Some Logs.Debug)
+  end
+
+let config opt threshold no_inline no_prune =
+  {
+    Jit.default_config with
+    Jit.opt;
+    compile_threshold = threshold;
+    inline = not no_inline;
+    prune = not no_prune;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let action file opt threshold iterations stats no_inline no_prune verbose =
+    setup_logs verbose;
+    match Link.compile_source (read_file file) with
+    | exception Pea_mjava.Lexer.Lex_error (msg, pos) ->
+        Printf.eprintf "%s:%d:%d: lex error: %s\n" file pos.line pos.col msg;
+        exit 1
+    | exception Pea_mjava.Parser.Parse_error (msg, pos) ->
+        Printf.eprintf "%s:%d:%d: parse error: %s\n" file pos.line pos.col msg;
+        exit 1
+    | exception Pea_mjava.Typecheck.Type_error (msg, pos) ->
+        Printf.eprintf "%s:%d:%d: type error: %s\n" file pos.line pos.col msg;
+        exit 1
+    | exception Link.Link_error msg ->
+        Printf.eprintf "link error: %s\n" msg;
+        exit 1
+    | program -> (
+        let vm = Vm.create ~config:(config opt threshold no_inline no_prune) program in
+        match Vm.run_main_iterations vm iterations with
+        | exception Pea_rt.Interp.Trap msg ->
+            Printf.eprintf "runtime trap: %s\n" msg;
+            exit 2
+        | exception Pea_rt.Interp.Mj_throw v ->
+            Printf.eprintf "uncaught exception: %s\n" (Pea_rt.Value.string_of_value v);
+            exit 3
+        | r ->
+            List.iter (fun v -> print_endline (Pea_rt.Value.string_of_value v)) r.Vm.printed;
+            (match r.Vm.return_value with
+            | Some v -> Printf.printf "=> %s\n" (Pea_rt.Value.string_of_value v)
+            | None -> ());
+            if stats then begin
+              Printf.printf
+                "allocations: %d\n\
+                 allocated bytes: %d\n\
+                 monitor ops: %d\n\
+                 cycles: %d\n\
+                 deopts: %d\n\
+                 rematerialized: %d\n\
+                 compiled methods: %d\n"
+                r.Vm.stats.Pea_rt.Stats.s_allocations r.Vm.stats.Pea_rt.Stats.s_allocated_bytes
+                r.Vm.stats.Pea_rt.Stats.s_monitor_ops r.Vm.stats.Pea_rt.Stats.s_cycles
+                r.Vm.stats.Pea_rt.Stats.s_deopts r.Vm.stats.Pea_rt.Stats.s_rematerialized
+                r.Vm.stats.Pea_rt.Stats.s_compiled_methods;
+              match Vm.class_breakdown vm with
+              | [] -> ()
+              | breakdown ->
+                  Printf.printf "allocation breakdown:\n";
+                  List.iter
+                    (fun (name, count, bytes) ->
+                      Printf.printf "  %-16s %8d allocs %10d bytes\n" name count bytes)
+                    breakdown
+            end)
+  in
+  let term =
+    Term.(
+      const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
+      $ no_inline_arg $ no_prune_arg $ verbose_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a MiniJava program on the tiered VM") term
+
+(* ------------------------------------------------------------------ *)
+(* dump                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let method_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"CLASS.METHOD" ~doc:"Method to dump, e.g. Cache.getValue")
+
+let stage_conv =
+  Arg.enum
+    [
+      ("bytecode", `Bytecode);
+      ("ir", `Ir);
+      ("inlined", `Inlined);
+      ("pea", `Pea);
+      ("ea", `Ea);
+      ("dot", `Dot);
+    ]
+
+let stage_arg =
+  Arg.(
+    value
+    & opt stage_conv `Pea
+    & info [ "stage" ] ~docv:"STAGE"
+        ~doc:
+          "Pipeline stage: bytecode, ir (after building), inlined, pea, ea, or dot (Graphviz \
+           after PEA)")
+
+let dump_cmd =
+  let action file spec stage =
+    let program = Link.compile_source ~require_main:false (read_file file) in
+    let cls, name =
+      match String.index_opt spec '.' with
+      | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+      | None ->
+          Printf.eprintf "method must be CLASS.METHOD\n";
+          exit 1
+    in
+    let m =
+      match Link.find_method program cls name with
+      | m -> m
+      | exception Not_found ->
+          Printf.eprintf "no method %s.%s\n" cls name;
+          exit 1
+    in
+    match stage with
+    | `Bytecode -> print_string (Classfile.disassemble m)
+    | (`Ir | `Inlined | `Pea | `Ea | `Dot) as stage -> (
+        let g = Pea_ir.Builder.build m in
+        match stage with
+        | `Ir -> print_string (Pea_ir.Printer.to_string g)
+        | (`Inlined | `Pea | `Ea | `Dot) as stage -> (
+            ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
+            ignore (Pea_opt.Canonicalize.run g);
+            ignore (Pea_opt.Gvn.run g);
+            match stage with
+            | `Inlined -> print_string (Pea_ir.Printer.to_string g)
+            | (`Pea | `Ea | `Dot) as stage ->
+                let g', st =
+                  match stage with
+                  | `Ea -> Pea_core.Escape.run g
+                  | `Pea | `Dot -> Pea_core.Pea.run g
+                in
+                ignore (Pea_opt.Canonicalize.run g');
+                if stage = `Dot then print_string (Pea_ir.Printer.to_dot g')
+                else begin
+                  print_string (Pea_ir.Printer.to_string g');
+                  Printf.printf
+                    "\n\
+                     ; %d virtualized, %d materialized, %d loads removed, %d stores removed, %d \
+                     monitor ops removed, %d checks folded\n"
+                    st.Pea_core.Pea.virtualized_allocs st.Pea_core.Pea.materializations
+                    st.Pea_core.Pea.removed_loads st.Pea_core.Pea.removed_stores
+                    st.Pea_core.Pea.removed_monitor_ops st.Pea_core.Pea.folded_checks
+                end))
+  in
+  let term = Term.(const action $ file_arg $ method_arg $ stage_arg) in
+  Cmd.v (Cmd.info "dump" ~doc:"Dump bytecode or IR of a method at a pipeline stage") term
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "MiniJava VM with Partial Escape Analysis (CGO 2014 reproduction)" in
+  Cmd.group (Cmd.info "mjvm" ~version:"1.0.0" ~doc) [ run_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/allocation_profile.ml: Jit Link List Pea_bytecode Pea_rt Pea_vm Printf Vm

@@ -1,0 +1,1 @@
+examples/cache_scenario.ml: Jit Link List Pea_bytecode Pea_rt Pea_vm Printf Vm

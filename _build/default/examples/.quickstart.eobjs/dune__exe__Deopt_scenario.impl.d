@@ -1,0 +1,1 @@
+examples/deopt_scenario.ml: Jit Link Pea_bytecode Pea_rt Pea_vm Printf Stats Value Vm

@@ -1,0 +1,1 @@
+examples/deopt_scenario.mli:

@@ -1,0 +1,1 @@
+examples/iterator_churn.ml: Jit Link Pea_bytecode Pea_rt Pea_vm Printf Vm

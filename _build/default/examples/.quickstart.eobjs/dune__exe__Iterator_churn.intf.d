@@ -1,0 +1,1 @@
+examples/iterator_churn.mli:

@@ -1,0 +1,1 @@
+examples/lock_elision.ml: Jit Link Pea_bytecode Pea_rt Pea_vm Printf Vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Classfile Jit Link Pea_bytecode Pea_core Pea_ir Pea_opt Pea_rt Pea_vm Printer Printf Vm

@@ -1,0 +1,77 @@
+(* Speculation and deoptimization (§2, §5.5, Figure 8).
+
+   A logging branch almost never runs. After warmup the JIT prunes it and
+   replaces it with a deoptimization point; PEA then scalar-replaces the
+   log record everywhere else. When the branch finally runs, execution
+   transfers to the interpreter and the record is rematerialized from the
+   virtual-object descriptor in the frame state. *)
+
+open Pea_bytecode
+open Pea_rt
+open Pea_vm
+
+let source =
+  {|
+class LogRecord {
+  int code;
+  int detail;
+  LogRecord(int c, int d) { code = c; detail = d; }
+}
+class Log {
+  static LogRecord lastError;
+  static int process(int value, boolean failing) {
+    LogRecord r = new LogRecord(value, value * 2);
+    if (failing) {
+      Log.lastError = r;
+    }
+    return r.code + r.detail;
+  }
+  static int lastCode() {
+    if (Log.lastError == null) return 0 - 1;
+    return Log.lastError.code;
+  }
+}
+class Main { static int main() { return 0; } }
+|}
+
+let () =
+  let program = Link.compile_source source in
+  let config = { Jit.default_config with Jit.compile_threshold = 25 } in
+  let vm = Vm.create ~config program in
+  let process = Link.find_method program "Log" "process" in
+  let last_code = Link.find_method program "Log" "lastCode" in
+
+  Printf.printf "warming up Log.process on the non-failing path...\n";
+  Vm.warm_up vm process [ Value.Vint 1; Value.Vbool false ] 50;
+  let s1 = Stats.snapshot (Vm.stats vm) in
+  Printf.printf "  compiled methods: %d\n" s1.Stats.s_compiled_methods;
+
+  Printf.printf "\n1000 hot calls (record scalar-replaced, branch pruned):\n";
+  for i = 1 to 1000 do
+    ignore (Vm.invoke vm process [ Value.Vint i; Value.Vbool false ])
+  done;
+  let s2 = Stats.snapshot (Vm.stats vm) in
+  Printf.printf "  allocations: %d   deopts: %d\n"
+    (s2.Stats.s_allocations - s1.Stats.s_allocations)
+    (s2.Stats.s_deopts - s1.Stats.s_deopts);
+
+  Printf.printf "\nnow one failing call...\n";
+  let r = Vm.invoke vm process [ Value.Vint 777; Value.Vbool true ] in
+  let s3 = Stats.snapshot (Vm.stats vm) in
+  Printf.printf "  result: %s (correct: %d)\n"
+    (match r with Some v -> Value.string_of_value v | None -> "void")
+    (777 + (777 * 2));
+  Printf.printf "  deopts: %d, rematerialized objects: %d\n"
+    (s3.Stats.s_deopts - s2.Stats.s_deopts)
+    (s3.Stats.s_rematerialized - s2.Stats.s_rematerialized);
+  (match Vm.invoke vm last_code [] with
+  | Some (Value.Vint code) -> Printf.printf "  Log.lastError.code = %d (escaped correctly)\n" code
+  | _ -> Printf.printf "  unexpected lastCode result\n");
+
+  Printf.printf "\nafter the deopt the method recompiles without the speculation:\n";
+  for i = 1 to 100 do
+    ignore (Vm.invoke vm process [ Value.Vint i; Value.Vbool true ])
+  done;
+  let s4 = Stats.snapshot (Vm.stats vm) in
+  Printf.printf "  100 failing calls -> deopts: %d (no deopt storm)\n"
+    (s4.Stats.s_deopts - s3.Stats.s_deopts)

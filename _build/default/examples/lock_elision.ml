@@ -1,0 +1,58 @@
+(* Lock elision on thread-local synchronized objects.
+
+   A synchronized StringBuilderish accumulator used purely locally: PEA
+   removes both the allocation and every monitorenter/monitorexit pair
+   (Figure 4 (c)/(d) of the paper). *)
+
+open Pea_bytecode
+open Pea_vm
+
+let source =
+  {|
+class SyncAccumulator {
+  int total;
+  int count;
+  synchronized void add(int x) { total = total + x; count = count + 1; }
+  synchronized int average() { if (count == 0) return 0; return total / count; }
+}
+class Main {
+  static int summarize(int seed) {
+    SyncAccumulator acc = new SyncAccumulator();
+    int i = 0;
+    while (i < 20) {
+      acc.add(seed + i);
+      i = i + 1;
+    }
+    return acc.average();
+  }
+  static int main() {
+    int out = 0;
+    int round = 0;
+    while (round < 200) {
+      out = out + Main.summarize(round);
+      round = round + 1;
+    }
+    return out;
+  }
+}
+|}
+
+let () =
+  Printf.printf
+    "lock elision: 200 summaries x 21 synchronized calls = 8400 monitor pairs per iteration\n\n";
+  let measure label opt =
+    let config = { Jit.default_config with Jit.opt; compile_threshold = 5 } in
+    let vm = Vm.create ~config (Link.compile_source source) in
+    ignore (Vm.run_main_iterations vm 2);
+    let before = (Vm.run_main_iterations vm 0).Vm.stats in
+    let r = Vm.run_main_iterations vm 1 in
+    Printf.printf "%-12s  result=%s  monitor_ops/iter=%-7d allocations/iter=%-6d cycles/iter=%d\n"
+      label
+      (match r.Vm.return_value with Some v -> Pea_rt.Value.string_of_value v | None -> "void")
+      (r.Vm.stats.Pea_rt.Stats.s_monitor_ops - before.Pea_rt.Stats.s_monitor_ops)
+      (r.Vm.stats.Pea_rt.Stats.s_allocations - before.Pea_rt.Stats.s_allocations)
+      (r.Vm.stats.Pea_rt.Stats.s_cycles - before.Pea_rt.Stats.s_cycles)
+  in
+  measure "no EA" Jit.O_none;
+  measure "classic EA" Jit.O_ea;
+  measure "PEA" Jit.O_pea

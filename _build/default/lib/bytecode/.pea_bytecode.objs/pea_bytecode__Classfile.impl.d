@@ -1,0 +1,1 @@
+lib/bytecode/classfile.ml: Array Ast Buffer List Pea_mjava Printf Seq String

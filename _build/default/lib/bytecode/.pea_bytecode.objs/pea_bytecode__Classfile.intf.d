@@ -1,0 +1,1 @@
+lib/bytecode/classfile.mli: Ast Pea_mjava

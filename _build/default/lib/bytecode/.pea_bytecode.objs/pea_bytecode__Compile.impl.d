@@ -1,0 +1,1 @@
+lib/bytecode/compile.ml: Array Ast Classfile List Pea_mjava Pea_support Tast

@@ -1,0 +1,1 @@
+lib/bytecode/link.ml: Array Ast Classfile Compile Hashtbl List Map Option Parser Pea_mjava Pea_support Printf String Tast Typecheck

@@ -1,0 +1,1 @@
+lib/bytecode/link.mli: Classfile Pea_mjava

@@ -1,0 +1,1 @@
+lib/bytecode/verify.ml: Array Classfile Format Link List Printf Queue

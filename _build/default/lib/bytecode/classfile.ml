@@ -1,0 +1,212 @@
+(* Runtime class model and instruction set.
+
+   This is the MJ analogue of JVM class files: after {!Link.link_program},
+   every class has a complete instance-field layout (inherited fields
+   first), every method has a bytecode array, and static fields are mapped
+   to indices in one global array. The bytecode is a classic stack machine;
+   jump targets are absolute bytecode indices. *)
+
+open Pea_mjava
+
+type ty = Ast.ty
+
+type rt_class = {
+  cls_id : int;
+  cls_name : string;
+  mutable cls_super : rt_class option; (* [None] only for Object *)
+  (* Complete layout: inherited fields first, then own fields. The field's
+     offset is its index in this array. *)
+  mutable cls_instance_fields : rt_field array;
+  mutable cls_methods : rt_method list; (* own methods only, including ctor *)
+}
+
+and rt_field = {
+  fld_owner : string;
+  fld_name : string;
+  fld_ty : ty;
+  fld_offset : int;
+}
+
+and rt_static_field = {
+  sf_owner : string;
+  sf_name : string;
+  sf_ty : ty;
+  sf_index : int; (* index into the VM's globals array *)
+}
+
+and rt_method = {
+  mth_id : int;
+  mth_class : rt_class;
+  mth_name : string;
+  mth_static : bool;
+  mth_sync : bool;
+  mth_ret : ty option;
+  mth_params : ty list;
+  mutable mth_max_locals : int; (* includes [this] for instance methods *)
+  mutable mth_code : instr array;
+  mutable mth_handlers : handler list;
+      (* exception handler table; searched in order (innermost try first) *)
+  mutable mth_size : int; (* statement-level size estimate for inlining *)
+}
+
+and handler = {
+  h_start : int;
+  h_end : int; (* exclusive *)
+  h_pc : int;
+  h_class : rt_class;
+}
+
+and cmp =
+  | Clt
+  | Cle
+  | Cgt
+  | Cge
+  | Ceq
+  | Cne
+
+and acmp =
+  | AEq
+  | ANe
+
+and instr =
+  | Iconst of int
+  | Bconst of bool
+  | Aconst_null
+  | Load of int (* push local [slot] *)
+  | Store of int (* pop into local [slot] *)
+  | Dup
+  | Pop
+  | Iadd
+  | Isub
+  | Imul
+  | Idiv
+  | Irem
+  | Ineg
+  | Bnot
+  | Icmp of cmp (* pop b, a; push a <cmp> b *)
+  | Acmp of acmp (* reference comparison *)
+  | New of rt_class (* push fresh object with default fields *)
+  | Newarray of ty (* element type; pop length, push array *)
+  | Arraylength
+  | Aload (* pop index, array; push element *)
+  | Astore (* pop value, index, array *)
+  | Getfield of rt_field
+  | Putfield of rt_field (* pop value, receiver *)
+  | Getstatic of rt_static_field
+  | Putstatic of rt_static_field
+  | Invokevirtual of rt_method (* statically resolved target; dispatched on receiver *)
+  | Invokestatic of rt_method
+  | Invokespecial of rt_method (* constructor; pops receiver + args, pushes nothing *)
+  | Monitorenter
+  | Monitorexit
+  | Goto of int
+  | If_true of int (* pop bool; branch when true *)
+  | If_false of int
+  | Instanceof of rt_class
+  | Checkcast of rt_class
+  | Athrow (* pop object; unwind to the nearest matching handler *)
+  | Return_void
+  | Return_val
+  | Print
+
+let arity (m : rt_method) = List.length m.mth_params + if m.mth_static then 0 else 1
+
+(* Methods that throw or catch run interpreter-only: the JIT bails out on
+   them (as early JITs did) and the inliner refuses them as callees. *)
+let uses_exceptions (m : rt_method) =
+  m.mth_handlers <> [] || Array.exists (function Athrow -> true | _ -> false) m.mth_code
+
+(* [is_subclass ~cls ~anc] walks the superclass chain. *)
+let is_subclass ~cls ~anc =
+  let rec loop (c : rt_class) =
+    c.cls_id = anc.cls_id || (match c.cls_super with None -> false | Some s -> loop s)
+  in
+  loop cls
+
+(* Virtual-dispatch resolution: the most-derived override of [name] found
+   starting at [cls]. *)
+let resolve_method (cls : rt_class) name =
+  let rec loop (c : rt_class) =
+    match List.find_opt (fun m -> m.mth_name = name) c.cls_methods with
+    | Some m -> Some m
+    | None -> ( match c.cls_super with None -> None | Some s -> loop s)
+  in
+  loop cls
+
+(* [is_leaf_method prog m] — no class in [prog] overrides [m]; used by the
+   inliner for class-hierarchy-analysis devirtualization. *)
+let find_field (cls : rt_class) name =
+  Array.to_seq cls.cls_instance_fields |> Seq.find (fun f -> f.fld_name = name)
+
+let qualified_name (m : rt_method) = m.mth_class.cls_name ^ "." ^ m.mth_name
+
+let string_of_cmp = function
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+  | Ceq -> "=="
+  | Cne -> "!="
+
+let string_of_instr (i : instr) =
+  match i with
+  | Iconst n -> Printf.sprintf "iconst %d" n
+  | Bconst b -> Printf.sprintf "bconst %b" b
+  | Aconst_null -> "aconst_null"
+  | Load n -> Printf.sprintf "load %d" n
+  | Store n -> Printf.sprintf "store %d" n
+  | Dup -> "dup"
+  | Pop -> "pop"
+  | Iadd -> "iadd"
+  | Isub -> "isub"
+  | Imul -> "imul"
+  | Idiv -> "idiv"
+  | Irem -> "irem"
+  | Ineg -> "ineg"
+  | Bnot -> "bnot"
+  | Icmp c -> Printf.sprintf "icmp %s" (string_of_cmp c)
+  | Acmp AEq -> "acmp =="
+  | Acmp ANe -> "acmp !="
+  | New c -> Printf.sprintf "new %s" c.cls_name
+  | Newarray t -> Printf.sprintf "newarray %s" (Ast.string_of_ty t)
+  | Arraylength -> "arraylength"
+  | Aload -> "aload"
+  | Astore -> "astore"
+  | Getfield f -> Printf.sprintf "getfield %s.%s" f.fld_owner f.fld_name
+  | Putfield f -> Printf.sprintf "putfield %s.%s" f.fld_owner f.fld_name
+  | Getstatic f -> Printf.sprintf "getstatic %s.%s" f.sf_owner f.sf_name
+  | Putstatic f -> Printf.sprintf "putstatic %s.%s" f.sf_owner f.sf_name
+  | Invokevirtual m -> Printf.sprintf "invokevirtual %s" (qualified_name m)
+  | Invokestatic m -> Printf.sprintf "invokestatic %s" (qualified_name m)
+  | Invokespecial m -> Printf.sprintf "invokespecial %s" (qualified_name m)
+  | Monitorenter -> "monitorenter"
+  | Monitorexit -> "monitorexit"
+  | Goto t -> Printf.sprintf "goto %d" t
+  | If_true t -> Printf.sprintf "if_true %d" t
+  | If_false t -> Printf.sprintf "if_false %d" t
+  | Instanceof c -> Printf.sprintf "instanceof %s" c.cls_name
+  | Checkcast c -> Printf.sprintf "checkcast %s" c.cls_name
+  | Athrow -> "athrow"
+  | Return_void -> "return"
+  | Return_val -> "return_val"
+  | Print -> "print"
+
+let disassemble (m : rt_method) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s(%s)%s  [max_locals=%d]\n"
+       (if m.mth_static then "static " else "")
+       (qualified_name m)
+       (String.concat ", " (List.map Ast.string_of_ty m.mth_params))
+       (match m.mth_ret with None -> "" | Some t -> " : " ^ Ast.string_of_ty t)
+       m.mth_max_locals);
+  Array.iteri
+    (fun i instr -> Buffer.add_string buf (Printf.sprintf "  %3d: %s\n" i (string_of_instr instr)))
+    m.mth_code;
+  List.iter
+    (fun h ->
+      Buffer.add_string buf
+        (Printf.sprintf "  handler [%d, %d) -> %d catch %s\n" h.h_start h.h_end h.h_pc
+           h.h_class.cls_name))
+    m.mth_handlers;
+  Buffer.contents buf

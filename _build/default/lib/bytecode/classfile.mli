@@ -1,0 +1,140 @@
+(** Runtime class model and instruction set.
+
+    The MJ analogue of JVM class files: after {!Link.link_program} every
+    class has a complete instance-field layout (inherited fields first, a
+    field's offset is its index), every method has a bytecode array, and
+    static fields map to indices in one global array. The bytecode is a
+    classic stack machine; jump targets are absolute bytecode indices. *)
+
+open Pea_mjava
+
+type ty = Ast.ty
+
+type rt_class = {
+  cls_id : int;
+  cls_name : string;
+  mutable cls_super : rt_class option; (* [None] only for Object *)
+  mutable cls_instance_fields : rt_field array; (* full layout, inherited first *)
+  mutable cls_methods : rt_method list; (* own methods only, including the ctor *)
+}
+
+and rt_field = {
+  fld_owner : string; (* declaring class *)
+  fld_name : string;
+  fld_ty : ty;
+  fld_offset : int; (* index into [o_fields] *)
+}
+
+and rt_static_field = {
+  sf_owner : string;
+  sf_name : string;
+  sf_ty : ty;
+  sf_index : int; (* index into the VM's globals array *)
+}
+
+and rt_method = {
+  mth_id : int;
+  mth_class : rt_class;
+  mth_name : string;
+  mth_static : bool;
+  mth_sync : bool;
+  mth_ret : ty option; (* [None] for void and constructors *)
+  mth_params : ty list;
+  mutable mth_max_locals : int; (* includes [this] for instance methods *)
+  mutable mth_code : instr array;
+  mutable mth_handlers : handler list;
+      (* exception handler table; searched in order (innermost try first) *)
+  mutable mth_size : int; (* size estimate consumed by the inliner *)
+}
+
+(* One [try] range: a thrown object of class [h_class] (or a subclass)
+   unwinding from a bytecode index in [h_start, h_end) transfers to
+   [h_pc] with the object as the only stack entry. *)
+and handler = {
+  h_start : int;
+  h_end : int;
+  h_pc : int;
+  h_class : rt_class;
+}
+
+and cmp =
+  | Clt
+  | Cle
+  | Cgt
+  | Cge
+  | Ceq
+  | Cne
+
+and acmp =
+  | AEq
+  | ANe
+
+and instr =
+  | Iconst of int
+  | Bconst of bool
+  | Aconst_null
+  | Load of int (* push local [slot] *)
+  | Store of int
+  | Dup
+  | Pop
+  | Iadd
+  | Isub
+  | Imul
+  | Idiv
+  | Irem
+  | Ineg
+  | Bnot
+  | Icmp of cmp (* pop b, a; push a <cmp> b *)
+  | Acmp of acmp
+  | New of rt_class
+  | Newarray of ty (* element type; pop length *)
+  | Arraylength
+  | Aload (* pop index, array; push element *)
+  | Astore (* pop value, index, array *)
+  | Getfield of rt_field
+  | Putfield of rt_field
+  | Getstatic of rt_static_field
+  | Putstatic of rt_static_field
+  | Invokevirtual of rt_method (* statically resolved; dispatched on receiver *)
+  | Invokestatic of rt_method
+  | Invokespecial of rt_method (* constructor call *)
+  | Monitorenter
+  | Monitorexit
+  | Goto of int
+  | If_true of int (* pop bool; branch when true *)
+  | If_false of int
+  | Instanceof of rt_class
+  | Checkcast of rt_class
+  | Athrow (* pop object; unwind to the nearest matching handler *)
+  | Return_void
+  | Return_val
+  | Print
+
+(** [arity m] — argument count including the receiver for instance
+    methods. *)
+val arity : rt_method -> int
+
+(** [uses_exceptions m] — does [m] contain [Athrow] or a handler table?
+    Such methods run interpreter-only (JIT bailout). *)
+val uses_exceptions : rt_method -> bool
+
+(** [is_subclass ~cls ~anc] walks the superclass chain (reflexive). *)
+val is_subclass : cls:rt_class -> anc:rt_class -> bool
+
+(** [resolve_method cls name] — virtual dispatch: the most-derived
+    override of [name] visible from [cls]. *)
+val resolve_method : rt_class -> string -> rt_method option
+
+(** [find_field cls name] looks a field up in the complete layout
+    (inherited fields included). *)
+val find_field : rt_class -> string -> rt_field option
+
+(** [qualified_name m] is ["Class.method"]. *)
+val qualified_name : rt_method -> string
+
+val string_of_cmp : cmp -> string
+
+val string_of_instr : instr -> string
+
+(** [disassemble m] renders the method header and numbered bytecode. *)
+val disassemble : rt_method -> string

@@ -1,0 +1,330 @@
+open Pea_mjava
+open Tast
+open Classfile
+
+type resolver = {
+  find_class : string -> rt_class;
+  find_field : string -> string -> rt_field;
+  find_static : string -> string -> rt_static_field;
+  find_method : string -> string -> rt_method;
+}
+
+exception Compile_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Emitter with label patching                                         *)
+(* ------------------------------------------------------------------ *)
+
+type emitter = {
+  code : instr Pea_support.Dyn_array.t;
+  mutable labels : int array; (* label -> pc, -1 while unplaced *)
+  mutable n_labels : int;
+  mutable patches : (int * int * [ `Goto | `If_true | `If_false ]) list;
+      (* instruction index, label, kind *)
+  mutable next_temp : int; (* next free local slot for compiler temps *)
+  mutable sync_slots : int list; (* innermost-first locked-object slots *)
+  mutable handlers : (int * int * int * rt_class) list;
+      (* start pc, end pc, handler label, caught class — innermost first *)
+}
+
+let emitter_create ~first_temp =
+  {
+    code = Pea_support.Dyn_array.create ();
+    labels = Array.make 16 (-1);
+    n_labels = 0;
+    patches = [];
+    next_temp = first_temp;
+    sync_slots = [];
+    handlers = [];
+  }
+
+let emit e i = ignore (Pea_support.Dyn_array.push e.code i)
+
+let pc e = Pea_support.Dyn_array.length e.code
+
+let new_label e =
+  if e.n_labels = Array.length e.labels then begin
+    let bigger = Array.make (2 * e.n_labels) (-1) in
+    Array.blit e.labels 0 bigger 0 e.n_labels;
+    e.labels <- bigger
+  end;
+  let l = e.n_labels in
+  e.n_labels <- e.n_labels + 1;
+  l
+
+let place_label e l = e.labels.(l) <- pc e
+
+let emit_jump e kind l =
+  let idx = pc e in
+  emit e (Goto (-1));
+  e.patches <- (idx, l, kind) :: e.patches
+
+let fresh_temp e =
+  let t = e.next_temp in
+  e.next_temp <- t + 1;
+  t
+
+let finish e =
+  List.iter
+    (fun (idx, l, kind) ->
+      let target = e.labels.(l) in
+      if target < 0 then raise (Compile_error "unplaced label");
+      let i =
+        match kind with
+        | `Goto -> Goto target
+        | `If_true -> If_true target
+        | `If_false -> If_false target
+      in
+      Pea_support.Dyn_array.set e.code idx i)
+    e.patches;
+  let handlers =
+    List.rev_map
+      (fun (h_start, h_end, l, h_class) ->
+        let h_pc = e.labels.(l) in
+        if h_pc < 0 then raise (Compile_error "unplaced handler label");
+        { h_start; h_end; h_pc; h_class })
+      e.handlers
+    |> List.rev
+  in
+  (Array.of_list (Pea_support.Dyn_array.to_list e.code), handlers)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_of_binop : Ast.binop -> cmp = function
+  | Lt -> Clt
+  | Le -> Cle
+  | Gt -> Cgt
+  | Ge -> Cge
+  | Eq -> Ceq
+  | Ne -> Cne
+  | Add | Sub | Mul | Div | Rem | RefEq | RefNe ->
+      raise (Compile_error "not a comparison operator")
+
+let rec compile_expr r e te =
+  match te.tex with
+  | Tint_lit n -> emit e (Iconst n)
+  | Tbool_lit b -> emit e (Bconst b)
+  | Tnull_lit -> emit e Aconst_null
+  | Tthis -> emit e (Load 0)
+  | Tlocal v -> emit e (Load v.v_slot)
+  | Tunary (Neg, a) ->
+      compile_expr r e a;
+      emit e Ineg
+  | Tunary (Not, a) ->
+      compile_expr r e a;
+      emit e Bnot
+  | Tbinary (op, a, b) -> (
+      compile_expr r e a;
+      compile_expr r e b;
+      match op with
+      | Add -> emit e Iadd
+      | Sub -> emit e Isub
+      | Mul -> emit e Imul
+      | Div -> emit e Idiv
+      | Rem -> emit e Irem
+      | Lt | Le | Gt | Ge -> emit e (Icmp (cmp_of_binop op))
+      | Eq | Ne -> emit e (Icmp (cmp_of_binop op))
+      | RefEq -> emit e (Acmp AEq)
+      | RefNe -> emit e (Acmp ANe))
+  | Tand (a, b) ->
+      (* a && b: if !a then false else b *)
+      let l_false = new_label e and l_end = new_label e in
+      compile_expr r e a;
+      emit_jump e `If_false l_false;
+      compile_expr r e b;
+      emit_jump e `Goto l_end;
+      place_label e l_false;
+      emit e (Bconst false);
+      place_label e l_end
+  | Tor (a, b) ->
+      let l_true = new_label e and l_end = new_label e in
+      compile_expr r e a;
+      emit_jump e `If_true l_true;
+      compile_expr r e b;
+      emit_jump e `Goto l_end;
+      place_label e l_true;
+      emit e (Bconst true);
+      place_label e l_end
+  | Tfield (recv, fr) ->
+      compile_expr r e recv;
+      emit e (Getfield (r.find_field fr.fr_class fr.fr_name))
+  | Tstatic_field fr -> emit e (Getstatic (r.find_static fr.fr_class fr.fr_name))
+  | Tindex (arr, idx) ->
+      compile_expr r e arr;
+      compile_expr r e idx;
+      emit e Aload
+  | Tlength arr ->
+      compile_expr r e arr;
+      emit e Arraylength
+  | Tcall (recv, mr, args) ->
+      compile_expr r e recv;
+      List.iter (compile_expr r e) args;
+      emit e (Invokevirtual (r.find_method mr.mr_class mr.mr_name))
+  | Tstatic_call (mr, args) ->
+      List.iter (compile_expr r e) args;
+      emit e (Invokestatic (r.find_method mr.mr_class mr.mr_name))
+  | Tnew (cls, args) -> (
+      let c = r.find_class cls in
+      emit e (New c);
+      match resolve_method c Ast.ctor_name with
+      | Some ctor when ctor.mth_class.cls_name = cls ->
+          emit e Dup;
+          List.iter (compile_expr r e) args;
+          emit e (Invokespecial ctor)
+      | Some _ | None ->
+          if args <> [] then raise (Compile_error ("class " ^ cls ^ " has no constructor")))
+  | Tnew_array (elem, len) ->
+      compile_expr r e len;
+      emit e (Newarray elem)
+  | Tinstance_of (a, cls) ->
+      compile_expr r e a;
+      emit e (Instanceof (r.find_class cls))
+  | Tcast (cls, a) ->
+      compile_expr r e a;
+      emit e (Checkcast (r.find_class cls))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit monitorexits for every currently held monitor, innermost first.
+   Used before return statements inside synchronized regions. *)
+let emit_all_monitor_exits e =
+  List.iter
+    (fun slot ->
+      emit e (Load slot);
+      emit e Monitorexit)
+    e.sync_slots
+
+let rec compile_stmt r e (s : tstmt) =
+  match s with
+  | Tdecl (v, init) -> (
+      match init with
+      | Some te ->
+          compile_expr r e te;
+          emit e (Store v.v_slot)
+      | None -> ())
+  | Tassign_local (v, te) ->
+      compile_expr r e te;
+      emit e (Store v.v_slot)
+  | Tassign_field (recv, fr, te) ->
+      compile_expr r e recv;
+      compile_expr r e te;
+      emit e (Putfield (r.find_field fr.fr_class fr.fr_name))
+  | Tassign_static (fr, te) ->
+      compile_expr r e te;
+      emit e (Putstatic (r.find_static fr.fr_class fr.fr_name))
+  | Tassign_index (arr, idx, te) ->
+      compile_expr r e arr;
+      compile_expr r e idx;
+      compile_expr r e te;
+      emit e Astore
+  | Tif (cond, thn, els) -> (
+      match els with
+      | None ->
+          let l_end = new_label e in
+          compile_expr r e cond;
+          emit_jump e `If_false l_end;
+          compile_stmt r e thn;
+          place_label e l_end
+      | Some els ->
+          let l_else = new_label e and l_end = new_label e in
+          compile_expr r e cond;
+          emit_jump e `If_false l_else;
+          compile_stmt r e thn;
+          emit_jump e `Goto l_end;
+          place_label e l_else;
+          compile_stmt r e els;
+          place_label e l_end)
+  | Twhile (cond, body) ->
+      let l_head = new_label e and l_end = new_label e in
+      place_label e l_head;
+      compile_expr r e cond;
+      emit_jump e `If_false l_end;
+      compile_stmt r e body;
+      emit_jump e `Goto l_head;
+      place_label e l_end
+  | Treturn te -> (
+      (* Compute the return value first; it stays on the stack across the
+         monitor exits (each exit pops only its own operand). *)
+      match te with
+      | None ->
+          emit_all_monitor_exits e;
+          emit e Return_void
+      | Some te' ->
+          compile_expr r e te';
+          emit_all_monitor_exits e;
+          emit e Return_val)
+  | Tsync (obj, body) ->
+      let slot = fresh_temp e in
+      compile_expr r e obj;
+      emit e (Store slot);
+      emit e (Load slot);
+      emit e Monitorenter;
+      e.sync_slots <- slot :: e.sync_slots;
+      List.iter (compile_stmt r e) body;
+      e.sync_slots <- List.tl e.sync_slots;
+      emit e (Load slot);
+      emit e Monitorexit
+  | Tblock body -> List.iter (compile_stmt r e) body
+  | Texpr te -> (
+      compile_expr r e te;
+      (* discard the result if the expression leaves one *)
+      match te.tex with
+      | Tcall (_, mr, _) | Tstatic_call (mr, _) -> if mr.mr_ret <> None then emit e Pop
+      | Tnew _ -> emit e Pop
+      | _ -> emit e Pop)
+  | Tprint te ->
+      compile_expr r e te;
+      emit e Print
+  | Tthrow te ->
+      compile_expr r e te;
+      emit e Athrow
+  | Ttry (body, clauses) ->
+      (* Handler ranges cover the body only; nested try blocks register
+         their entries first, so the interpreter's in-order search finds
+         the innermost handler. Note that MJ exceptions do not release
+         monitors acquired inside the aborted region (documented language
+         rule; the single-threaded lock model keeps this benign). *)
+      let l_end = new_label e in
+      let start = pc e in
+      List.iter (compile_stmt r e) body;
+      let stop = pc e in
+      emit_jump e `Goto l_end;
+      List.iter
+        (fun ((cls : string), (v : var), handler_body) ->
+          let l_h = new_label e in
+          place_label e l_h;
+          emit e (Store v.v_slot);
+          List.iter (compile_stmt r e) handler_body;
+          emit_jump e `Goto l_end;
+          e.handlers <- e.handlers @ [ (start, stop, l_h, r.find_class cls) ])
+        clauses;
+      place_label e l_end
+
+let compile_method r (tm : tmethod) (m : rt_method) =
+  let e = emitter_create ~first_temp:tm.tm_max_locals in
+  if tm.tm_sync then begin
+    (* synchronized instance method: lock [this] around the whole body *)
+    emit e (Load 0);
+    emit e Monitorenter;
+    e.sync_slots <- [ 0 ]
+  end;
+  List.iter (compile_stmt r e) tm.tm_body;
+  (* fall-through end of a void method/constructor *)
+  (match tm.tm_ret with
+  | None ->
+      emit_all_monitor_exits e;
+      emit e Return_void
+  | Some _ ->
+      (* unreachable (definite-return analysis), but keep the code array
+         well-formed *)
+      emit e (Iconst 0);
+      emit e Return_val);
+  let code, handlers = finish e in
+  m.mth_code <- code;
+  m.mth_handlers <- handlers;
+  m.mth_max_locals <- e.next_temp;
+  m.mth_size <- Array.length m.mth_code

@@ -1,0 +1,22 @@
+(** Compilation of typed MiniJava methods to MJ bytecode.
+
+    The compiler is used by {!Link.link_program}; it needs an already-built
+    class environment to resolve field offsets and call targets. *)
+
+open Pea_mjava
+
+(** Resolution environment handed to the compiler by the linker. *)
+type resolver = {
+  find_class : string -> Classfile.rt_class;
+  find_field : string -> string -> Classfile.rt_field; (* class, field *)
+  find_static : string -> string -> Classfile.rt_static_field;
+  find_method : string -> string -> Classfile.rt_method; (* declaring class, name *)
+}
+
+exception Compile_error of string
+
+(** [compile_method resolver tmethod rt_method] compiles the body of
+    [tmethod] and stores the code into [rt_method]. [synchronized] methods
+    get an explicit monitorenter/monitorexit wrapping, so that inlining
+    exposes the monitor operations to the optimizer (paper, Listing 2). *)
+val compile_method : resolver -> Tast.tmethod -> Classfile.rt_method -> unit

@@ -1,0 +1,214 @@
+open Pea_mjava
+open Classfile
+
+type program = {
+  classes : rt_class list;
+  methods : rt_method array;
+  statics : rt_static_field list;
+  n_statics : int;
+  entry : rt_method option;
+}
+
+exception Link_error of string
+
+module StrMap = Map.Make (String)
+
+let link_program (tp : Tast.tprogram) =
+  let next_class_id = ref 0 in
+  let next_method_id = ref 0 in
+  let next_static = ref 0 in
+  (* Phase 1: class shells (so references can be cyclic). *)
+  let object_cls =
+    {
+      cls_id = 0;
+      cls_name = Ast.object_class;
+      cls_super = None;
+      cls_instance_fields = [||];
+      cls_methods = [];
+    }
+  in
+  next_class_id := 1;
+  let shells =
+    List.fold_left
+      (fun acc (tc : Tast.tclass) ->
+        let id = !next_class_id in
+        incr next_class_id;
+        StrMap.add tc.tc_name
+          {
+            cls_id = id;
+            cls_name = tc.tc_name;
+            cls_super = None;
+            cls_instance_fields = [||];
+            cls_methods = [];
+          }
+          acc)
+      (StrMap.singleton Ast.object_class object_cls)
+      tp.tp_classes
+  in
+  let get_class name =
+    match StrMap.find_opt name shells with
+    | Some c -> c
+    | None -> raise (Link_error ("unknown class " ^ name))
+  in
+  (* Phase 2: superclass links. *)
+  List.iter
+    (fun (tc : Tast.tclass) ->
+      let c = get_class tc.tc_name in
+      c.cls_super <- Some (get_class (Option.value tc.tc_super ~default:Ast.object_class)))
+    tp.tp_classes;
+  (* Phase 3: instance-field layouts (inherited first). Computed on demand
+     with memoization to respect declaration order along the chain. *)
+  let layout_done = Hashtbl.create 16 in
+  let rec layout (tc_opt : Tast.tclass option) (c : rt_class) =
+    if not (Hashtbl.mem layout_done c.cls_name) then begin
+      Hashtbl.add layout_done c.cls_name ();
+      let inherited =
+        match c.cls_super with
+        | None -> [||]
+        | Some s ->
+            layout (Tast.find_class tp s.cls_name) s;
+            s.cls_instance_fields
+      in
+      let own =
+        match tc_opt with
+        | None -> []
+        | Some tc ->
+            List.mapi
+              (fun i (name, ty) ->
+                {
+                  fld_owner = c.cls_name;
+                  fld_name = name;
+                  fld_ty = ty;
+                  fld_offset = Array.length inherited + i;
+                })
+              tc.tc_instance_fields
+      in
+      c.cls_instance_fields <- Array.append inherited (Array.of_list own)
+    end
+  in
+  layout None object_cls;
+  List.iter (fun (tc : Tast.tclass) -> layout (Some tc) (get_class tc.tc_name)) tp.tp_classes;
+  (* Phase 4: static fields. *)
+  let statics = ref [] in
+  let static_map = Hashtbl.create 16 in
+  List.iter
+    (fun (tc : Tast.tclass) ->
+      List.iter
+        (fun (name, ty) ->
+          let sf = { sf_owner = tc.tc_name; sf_name = name; sf_ty = ty; sf_index = !next_static } in
+          incr next_static;
+          statics := sf :: !statics;
+          Hashtbl.add static_map (tc.tc_name, name) sf)
+        tc.tc_static_fields)
+    tp.tp_classes;
+  (* Phase 5: method shells. *)
+  let methods = Pea_support.Dyn_array.create () in
+  let method_map = Hashtbl.create 64 in
+  List.iter
+    (fun (tc : Tast.tclass) ->
+      let c = get_class tc.tc_name in
+      let ms =
+        List.map
+          (fun (tm : Tast.tmethod) ->
+            let id = !next_method_id in
+            incr next_method_id;
+            let m =
+              {
+                mth_id = id;
+                mth_class = c;
+                mth_name = tm.tm_name;
+                mth_static = tm.tm_static;
+                mth_sync = tm.tm_sync;
+                mth_ret = tm.tm_ret;
+                mth_params = List.map (fun (v : Tast.var) -> v.v_ty) tm.tm_params;
+                mth_max_locals = tm.tm_max_locals;
+                mth_code = [||];
+                mth_handlers = [];
+                mth_size = 0;
+              }
+            in
+            ignore (Pea_support.Dyn_array.push methods m);
+            Hashtbl.add method_map (tc.tc_name, tm.tm_name) m;
+            m)
+          tc.tc_methods
+      in
+      c.cls_methods <- ms)
+    tp.tp_classes;
+  (* Phase 6: compile bodies. *)
+  let resolver : Compile.resolver =
+    {
+      find_class = get_class;
+      find_field =
+        (fun cls name ->
+          match find_field (get_class cls) name with
+          | Some f -> f
+          | None -> raise (Link_error (Printf.sprintf "unresolved field %s.%s" cls name)));
+      find_static =
+        (fun cls name ->
+          match Hashtbl.find_opt static_map (cls, name) with
+          | Some f -> f
+          | None -> raise (Link_error (Printf.sprintf "unresolved static %s.%s" cls name)));
+      find_method =
+        (fun cls name ->
+          match Hashtbl.find_opt method_map (cls, name) with
+          | Some m -> m
+          | None -> raise (Link_error (Printf.sprintf "unresolved method %s.%s" cls name)));
+    }
+  in
+  List.iter
+    (fun (tc : Tast.tclass) ->
+      List.iter
+        (fun (tm : Tast.tmethod) ->
+          Compile.compile_method resolver tm (Hashtbl.find method_map (tc.tc_name, tm.tm_name)))
+        tc.tc_methods)
+    tp.tp_classes;
+  let entry =
+    Pea_support.Dyn_array.fold_left
+      (fun acc m ->
+        if m.mth_name = "main" && m.mth_static && m.mth_params = [] && m.mth_ret = Some Ast.Tint
+        then Some m
+        else acc)
+      None methods
+  in
+  {
+    classes = object_cls :: List.map (fun (tc : Tast.tclass) -> get_class tc.tc_name) tp.tp_classes;
+    methods = Array.of_list (Pea_support.Dyn_array.to_list methods);
+    statics = List.rev !statics;
+    n_statics = !next_static;
+    entry;
+  }
+
+let find_class p name =
+  match List.find_opt (fun c -> c.cls_name = name) p.classes with
+  | Some c -> c
+  | None -> raise Not_found
+
+let find_method p cls name =
+  let c = find_class p cls in
+  match List.find_opt (fun m -> m.mth_name = name) c.cls_methods with
+  | Some m -> m
+  | None -> raise Not_found
+
+let find_static p cls name =
+  match List.find_opt (fun s -> s.sf_owner = cls && s.sf_name = name) p.statics with
+  | Some s -> s
+  | None -> raise Not_found
+
+let is_overridden p (m : rt_method) =
+  (not m.mth_static)
+  && List.exists
+       (fun c ->
+         c.cls_id <> m.mth_class.cls_id
+         && is_subclass ~cls:c ~anc:m.mth_class
+         && List.exists (fun m' -> m'.mth_name = m.mth_name) c.cls_methods)
+       p.classes
+
+let compile_source ?require_main src =
+  let ast = Parser.parse_program src in
+  let tp = Typecheck.check_program ?require_main ast in
+  link_program tp
+
+let entry_exn p =
+  match p.entry with
+  | Some m -> m
+  | None -> raise (Link_error "no entry point 'static int main()'")

@@ -1,0 +1,40 @@
+(** Linking: turns a typechecked program into a runnable bytecode program
+    with resolved classes, field layouts, static slots and compiled method
+    bodies. *)
+
+type program = {
+  classes : Classfile.rt_class list;
+  methods : Classfile.rt_method array; (* indexed by [mth_id] *)
+  statics : Classfile.rt_static_field list;
+  n_statics : int;
+  entry : Classfile.rt_method option; (* the unique [static int main()], if any *)
+}
+
+exception Link_error of string
+
+(** [link_program tprog] builds the runtime program. *)
+val link_program : Pea_mjava.Tast.tprogram -> program
+
+(** [entry_exn p] is the entry point.
+    @raise Link_error if the program has none. *)
+val entry_exn : program -> Classfile.rt_method
+
+(** [find_class p name] looks a class up by name.
+    @raise Not_found if absent. *)
+val find_class : program -> string -> Classfile.rt_class
+
+(** [find_method p cls name] looks a method up by declaring class and name.
+    @raise Not_found if absent. *)
+val find_method : program -> string -> string -> Classfile.rt_method
+
+(** [find_static p cls name] looks up a static field declared in [cls].
+    @raise Not_found if absent. *)
+val find_static : program -> string -> string -> Classfile.rt_static_field
+
+(** [is_overridden p m] is [true] iff some class in [p] overrides [m].
+    Used for class-hierarchy-analysis devirtualization. *)
+val is_overridden : program -> Classfile.rt_method -> bool
+
+(** [compile_source ?require_main src] is the full frontend pipeline:
+    lex, parse, typecheck, link. *)
+val compile_source : ?require_main:bool -> string -> program

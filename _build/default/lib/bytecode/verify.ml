@@ -1,0 +1,91 @@
+open Classfile
+
+exception Verify_error of string
+
+let fail m fmt =
+  Format.kasprintf
+    (fun msg -> raise (Verify_error (Printf.sprintf "%s: %s" (qualified_name m) msg)))
+    fmt
+
+(* Stack effect of one instruction: (pops, pushes). *)
+let effect (i : instr) =
+  match i with
+  | Iconst _ | Bconst _ | Aconst_null | Load _ -> (0, 1)
+  | Store _ | Pop -> (1, 0)
+  | Dup -> (1, 2)
+  | Iadd | Isub | Imul | Idiv | Irem | Icmp _ | Acmp _ | Aload -> (2, 1)
+  | Ineg | Bnot | Arraylength | Newarray _ | Instanceof _ | Checkcast _ -> (1, 1)
+  | Astore -> (3, 0)
+  | New _ -> (0, 1)
+  | Getfield _ -> (1, 1)
+  | Putfield _ -> (2, 0)
+  | Getstatic _ -> (0, 1)
+  | Putstatic _ -> (1, 0)
+  | Invokevirtual callee | Invokestatic callee ->
+      (arity callee, if callee.mth_ret = None then 0 else 1)
+  | Invokespecial ctor -> (arity ctor, 0)
+  | Monitorenter | Monitorexit -> (1, 0)
+  | Goto _ -> (0, 0)
+  | If_true _ | If_false _ -> (1, 0)
+  | Athrow -> (1, 0)
+  | Return_void -> (0, 0)
+  | Return_val -> (1, 0)
+  | Print -> (1, 0)
+
+let successors_of m code i (instr : instr) =
+  let n = Array.length code in
+  let check t = if t < 0 || t >= n then fail m "jump target %d out of range at %d" t i in
+  match instr with
+  | Goto t ->
+      check t;
+      [ t ]
+  | If_true t | If_false t ->
+      check t;
+      if i + 1 >= n then fail m "branch at %d falls off the end" i;
+      [ t; i + 1 ]
+  | Return_void | Return_val | Athrow -> []
+  | _ ->
+      if i + 1 >= n then fail m "instruction at %d falls off the end" i;
+      [ i + 1 ]
+
+let verify_method (m : rt_method) =
+  let code = m.mth_code in
+  let n = Array.length code in
+  if n = 0 then fail m "empty code array";
+  List.iter
+    (fun h ->
+      if h.h_start < 0 || h.h_end > n || h.h_start >= h.h_end then
+        fail m "handler range [%d, %d) out of bounds" h.h_start h.h_end;
+      if h.h_pc < 0 || h.h_pc >= n then fail m "handler entry %d out of range" h.h_pc)
+    m.mth_handlers;
+  (* worklist over (bci, depth-at-entry) *)
+  let depth_at = Array.make n (-1) in
+  let work = Queue.create () in
+  let schedule i d =
+    if i < 0 || i >= n then fail m "control reaches out-of-range index %d" i;
+    if depth_at.(i) = -1 then begin
+      depth_at.(i) <- d;
+      Queue.push i work
+    end
+    else if depth_at.(i) <> d then
+      fail m "inconsistent stack depth at %d: %d vs %d" i depth_at.(i) d
+  in
+  schedule 0 0;
+  (* handler entries execute with exactly the thrown object *)
+  List.iter (fun h -> schedule h.h_pc 1) m.mth_handlers;
+  while not (Queue.is_empty work) do
+    let i = Queue.pop work in
+    let d = depth_at.(i) in
+    let pops, pushes = effect code.(i) in
+    if d < pops then
+      fail m "stack underflow at %d (%s): depth %d, needs %d" i (string_of_instr code.(i)) d pops;
+    (match code.(i) with
+    | Return_val when m.mth_ret = None -> fail m "return of a value from a void method at %d" i
+    | Return_void when m.mth_ret <> None ->
+        fail m "void return from a value-returning method at %d" i
+    | _ -> ());
+    let d' = d - pops + pushes in
+    List.iter (fun s -> schedule s d') (successors_of m code i code.(i))
+  done
+
+let verify_program (p : Link.program) = Array.iter verify_method p.Link.methods

@@ -1,0 +1,22 @@
+(** Bytecode verifier.
+
+    A lightweight analogue of the JVM's verifier: abstract interpretation
+    of operand-stack depths over each method's bytecode. Catches compiler
+    bugs at link time instead of as interpreter crashes:
+
+    - no stack underflow at any instruction;
+    - consistent depth at every join point;
+    - [Return_val] with a value on the stack, in value-returning methods
+      only;
+    - jump targets in range;
+    - exception handlers entered with exactly the thrown object on the
+      stack, and handler ranges within the code. *)
+
+exception Verify_error of string
+
+(** [verify_method m] checks one compiled method.
+    @raise Verify_error describing the first violation. *)
+val verify_method : Classfile.rt_method -> unit
+
+(** [verify_program p] checks every method of a linked program. *)
+val verify_program : Link.program -> unit

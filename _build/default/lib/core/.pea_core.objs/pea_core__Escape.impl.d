@@ -1,0 +1,1 @@
+lib/core/escape.ml: Array Graph List Node Pea Pea_ir Pea_support

@@ -1,0 +1,1 @@
+lib/core/escape.mli: Graph Node Pea Pea_ir

@@ -1,0 +1,1 @@
+lib/core/pea.ml: Array Dominators Format Frame_state Graph Hashtbl Int List Loops Node Option Pea_bytecode Pea_ir Pea_mjava Pea_state Pea_support Set

@@ -1,0 +1,1 @@
+lib/core/pea.mli: Graph Node Pea_ir

@@ -1,0 +1,1 @@
+lib/core/pea_state.ml: Array Classfile Fmt Frame_state Int Map Node Pea_bytecode Pea_ir Pea_mjava Printf String

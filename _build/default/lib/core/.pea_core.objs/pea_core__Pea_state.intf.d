@@ -1,0 +1,1 @@
+lib/core/pea_state.mli: Classfile Format Frame_state Node Pea_bytecode Pea_ir Pea_mjava

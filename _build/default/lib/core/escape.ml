@@ -1,0 +1,69 @@
+open Pea_ir
+
+let escaping_allocations (g : Graph.t) : Node.node_id -> bool =
+  let n = Graph.n_nodes g in
+  let uf = Pea_support.Union_find.create n in
+  let reachable = Graph.reachable g in
+  let escape id = Pea_support.Union_find.mark_escaped uf id in
+  (* Kotzmann-style deferred edges: [holder -> value] means the stored
+     value escapes if the holder's set ever escapes. Keeping these directed
+     (instead of merging the sets) avoids tainting a local object when an
+     already-external value is stored into one of its fields. *)
+  let deferred : (int * int) list ref = ref [] in
+  let visit (node : Node.t) =
+    let id = node.Node.id in
+    match node.Node.op with
+    | Node.New _ | Node.Alloc _ | Node.Alloc_array _ -> () (* tracked allocations *)
+    | Node.Phi p ->
+        (* values merged by phis share their escape fate *)
+        Array.iter (fun i -> Pea_support.Union_find.union uf id i) p.Node.inputs
+    | Node.Check_cast (a, _) -> Pea_support.Union_find.union uf id a
+    | Node.Store_field (o, _, v) -> deferred := (o, v) :: !deferred
+    | Node.Store_static (_, v) -> escape v
+    | Node.Array_store (_, _, v) -> escape v
+    | Node.Invoke (_, _, args) ->
+        (* arguments escape into the callee; the result is external *)
+        Array.iter escape args;
+        escape id
+    | Node.Load_field _ | Node.Load_static _ | Node.Array_load _ ->
+        (* loaded references come from the heap: external *)
+        escape id
+    | Node.New_array _ ->
+        (* arrays are never virtualized *)
+        escape id
+    | Node.Const _ | Node.Param _ | Node.Arith _ | Node.Neg _ | Node.Not _ | Node.Cmp _
+    | Node.RefCmp _ | Node.Array_length _ | Node.Monitor_enter _ | Node.Monitor_exit _
+    | Node.Instance_of _ | Node.Null_check _ | Node.Print _ ->
+        ()
+  in
+  (* parameters are externally visible objects *)
+  List.iter (fun (p : Node.t) -> escape p.Node.id) g.Graph.params;
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        List.iter visit b.Graph.phis;
+        Pea_support.Dyn_array.iter visit b.Graph.instrs;
+        match b.Graph.term with
+        | Graph.Return (Some v) -> escape v
+        | Graph.Return None | Graph.Goto _ | Graph.If _ | Graph.Deopt _ | Graph.Trap _
+        | Graph.Unreachable ->
+            ()
+      end)
+    g;
+  (* propagate escapes along deferred edges to a fixpoint *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (holder, value) ->
+        if Pea_support.Union_find.escaped uf holder
+           && not (Pea_support.Union_find.escaped uf value)
+        then begin
+          Pea_support.Union_find.mark_escaped uf value;
+          changed := true
+        end)
+      !deferred
+  done;
+  fun id -> id < n && Pea_support.Union_find.escaped uf id
+
+let run (g : Graph.t) = Pea.run ~force_escape:(escaping_allocations g) g

@@ -1,0 +1,22 @@
+(** Whole-method (control-flow-insensitive) escape analysis — the baseline
+    the paper compares against (§3, §6.2).
+
+    Uses equi-escape sets (Kotzmann & Mössenböck): nodes whose references
+    flow together are merged with a union-find; external values (method
+    parameters, loaded references, call results) are pre-marked as
+    escaping, as are values that are stored into statics or arrays, passed
+    to calls, or returned. An allocation whose set escapes anywhere is
+    materialized at its allocation site; all other allocations are fully
+    scalar-replaced by the shared virtualization engine ({!Pea}). *)
+
+open Pea_ir
+
+(** [escaping_allocations g] computes the set of [New]/[Alloc] nodes whose
+    equi-escape set contains an escape marker, as a predicate on node
+    ids. *)
+val escaping_allocations : Graph.t -> Node.node_id -> bool
+
+(** [run g] is the all-or-nothing scalar replacement: classic escape
+    analysis followed by whole-method scalar replacement of the
+    non-escaping allocations. *)
+val run : Graph.t -> Graph.t * Pea.pass_stats

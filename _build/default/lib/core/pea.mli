@@ -1,0 +1,56 @@
+(** Partial Escape Analysis and Scalar Replacement (Stadler, Würthinger,
+    Mössenböck — CGO 2014).
+
+    The analysis walks the control flow of an IR graph carrying the
+    allocation state of §5.1 (Listing 7): every allocation starts
+    {e virtual}; operations on virtual objects are interpreted at compile
+    time (§5.2, Figure 4); control-flow merges run the MergeProcessor
+    (§5.3, Figure 6); loops are processed iteratively to a fixpoint (§5.4,
+    Figure 7); frame states are rewritten to reference virtual-object
+    descriptors so deoptimization can rematerialize scalar-replaced
+    allocations (§5.5, Figure 8). An object is {e materialized} — an
+    explicit initialized allocation is emitted — exactly at the points
+    where it escapes.
+
+    This implementation rebuilds the graph rather than mutating it: the
+    output graph mirrors the input CFG block-for-block, with virtualized
+    operations elided and materializations inserted at escape points or at
+    merge predecessors. *)
+
+open Pea_ir
+
+(** Statistics about one run of the analysis. *)
+type pass_stats = {
+  (* all fields are mutable so callers can aggregate across compilations *)
+  mutable virtualized_allocs : int; (* New nodes turned into virtual objects *)
+  mutable materializations : int; (* Alloc nodes inserted *)
+  mutable removed_loads : int;
+  mutable removed_stores : int;
+  mutable removed_monitor_ops : int; (* enters + exits elided *)
+  mutable folded_checks : int; (* reference equalities / instanceof / casts folded *)
+}
+
+(** [mk_stats ()] is a zeroed statistics record. *)
+val mk_stats : unit -> pass_stats
+
+(** [run ?force_escape ?prune_dead_objects g] analyses [g] and returns the
+    transformed graph together with pass statistics. [g] is not modified.
+
+    [force_escape] marks input allocation nodes ([New]/[Alloc], by node id)
+    that must be materialized immediately at their allocation site; the
+    whole-method escape analysis (see {!Escape}) uses it to reproduce the
+    control-flow-insensitive behaviour of classic scalar replacement.
+
+    [prune_dead_objects] (default [true]) controls whether objects with no
+    remaining uses are dropped from the state at control-flow merges
+    instead of being materialized. Without it, an object that escaped on
+    one branch is re-allocated on the other branch even when nothing reads
+    it afterwards — which destroys the benefit whenever inlining turns the
+    callee's returns into a merge. Exposed for the ablation benchmark.
+
+    @raise Failure on malformed input graphs. *)
+val run :
+  ?force_escape:(Node.node_id -> bool) ->
+  ?prune_dead_objects:bool ->
+  Graph.t ->
+  Graph.t * pass_stats

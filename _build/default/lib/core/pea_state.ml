@@ -1,0 +1,141 @@
+(* The allocation state propagated through the IR by partial escape
+   analysis — the OCaml rendering of Listing 7 of the paper:
+
+     class ObjectState { }
+     class VirtualState extends ObjectState { int lockCount; Node[] fields; }
+     class EscapedState extends ObjectState { Node materializedValue; }
+     class State {
+       Map<Id, ObjectState> states;
+       Map<Node, Id> aliases;
+     }
+
+   In this rebuild-style implementation the [aliases] map is the global
+   value-translation map (input node -> pvalue); the per-path [states] map
+   lives in this module. Field values are [pvalue]s: either an output-graph
+   node, a compile-time constant (default field values that were never
+   overwritten), or a reference to another tracked allocation. *)
+
+open Pea_ir
+open Pea_bytecode
+
+type obj_id = int (* the paper's Id *)
+
+type pvalue =
+  | Pnode of Node.node_id (* a value of the output graph *)
+  | Pconst of Node.const (* not yet emitted as a node *)
+  | Pobj of obj_id (* a tracked allocation (virtual or escaped) *)
+
+let equal_pvalue (a : pvalue) (b : pvalue) =
+  match a, b with
+  | Pnode x, Pnode y -> x = y
+  | Pconst x, Pconst y -> x = y
+  | Pobj x, Pobj y -> x = y
+  | (Pnode _ | Pconst _ | Pobj _), _ -> false
+
+let string_of_pvalue = function
+  | Pnode n -> Printf.sprintf "v%d" n
+  | Pconst c -> Node.string_of_const c
+  | Pobj o -> Printf.sprintf "obj%d" o
+
+(* Shape of a tracked allocation: a class instance or a fixed-length
+   array (the extension Graal also implements; element count is the length
+   of the [fields] array). *)
+type shape = Frame_state.shape =
+  | Obj_shape of Classfile.rt_class
+  | Arr_shape of Pea_mjava.Ast.ty
+
+type virtual_info = {
+  shape : shape;
+  fields : pvalue array; (* field values by offset, or array elements *)
+  lock_count : int;
+}
+
+type escaped_info = {
+  e_shape : shape;
+  materialized : Node.node_id;
+}
+
+type obj_state =
+  | Virtual of virtual_info
+  | Escaped of escaped_info
+
+(* The flow-sensitive part of the analysis state: one entry per allocation
+   that is live on the current path. *)
+module IntMap = Map.Make (Int)
+
+type t = { objs : obj_state IntMap.t }
+
+let empty = { objs = IntMap.empty }
+
+let find (s : t) id = IntMap.find_opt id s.objs
+
+let add (s : t) id os = { objs = IntMap.add id os s.objs }
+
+let remove (s : t) id = { objs = IntMap.remove id s.objs }
+
+let mem (s : t) id = IntMap.mem id s.objs
+
+let ids (s : t) = IntMap.fold (fun id _ acc -> id :: acc) s.objs []
+
+let is_virtual (s : t) id =
+  match find s id with Some (Virtual _) -> true | Some (Escaped _) | None -> false
+
+let default_field_value (f : Classfile.rt_field) : pvalue =
+  match f.fld_ty with
+  | Pea_mjava.Ast.Tint -> Pconst (Node.Cint 0)
+  | Pea_mjava.Ast.Tbool -> Pconst (Node.Cbool false)
+  | Pea_mjava.Ast.Tclass _ | Pea_mjava.Ast.Tarray _ | Pea_mjava.Ast.Tnull -> Pconst Node.Cnull
+
+let fresh_virtual (cls : Classfile.rt_class) =
+  Virtual
+    {
+      shape = Obj_shape cls;
+      fields = Array.map default_field_value cls.cls_instance_fields;
+      lock_count = 0;
+    }
+
+let default_elem_value (t : Pea_mjava.Ast.ty) : pvalue =
+  match t with
+  | Pea_mjava.Ast.Tint -> Pconst (Node.Cint 0)
+  | Pea_mjava.Ast.Tbool -> Pconst (Node.Cbool false)
+  | Pea_mjava.Ast.Tclass _ | Pea_mjava.Ast.Tarray _ | Pea_mjava.Ast.Tnull -> Pconst Node.Cnull
+
+let fresh_virtual_array (elem : Pea_mjava.Ast.ty) len =
+  Virtual
+    { shape = Arr_shape elem; fields = Array.make len (default_elem_value elem); lock_count = 0 }
+
+let shape_of = function Virtual { shape; _ } -> shape | Escaped { e_shape; _ } -> e_shape
+
+let equal_shape a b =
+  match a, b with
+  | Obj_shape x, Obj_shape y -> x.Classfile.cls_id = y.Classfile.cls_id
+  | Arr_shape x, Arr_shape y -> x = y
+  | (Obj_shape _ | Arr_shape _), _ -> false
+
+(* Structural equality of two states; used by the loop fixpoint (§5.4). *)
+let equal (a : t) (b : t) =
+  IntMap.equal
+    (fun x y ->
+      match x, y with
+      | Virtual vx, Virtual vy ->
+          equal_shape vx.shape vy.shape && vx.lock_count = vy.lock_count
+          && Array.length vx.fields = Array.length vy.fields
+          && Array.for_all2 (fun p q -> equal_pvalue p q) vx.fields vy.fields
+      | Escaped ex, Escaped ey -> ex.materialized = ey.materialized
+      | (Virtual _ | Escaped _), _ -> false)
+    a.objs b.objs
+
+let string_of_shape = function
+  | Obj_shape c -> c.Classfile.cls_name
+  | Arr_shape t -> Pea_mjava.Ast.string_of_ty t ^ "[]"
+
+let pp ppf (s : t) =
+  IntMap.iter
+    (fun id os ->
+      match os with
+      | Virtual { shape; fields; lock_count } ->
+          Fmt.pf ppf "obj%d:%s v lock=%d fields=[%s]@ " id (string_of_shape shape) lock_count
+            (String.concat ", " (Array.to_list (Array.map string_of_pvalue fields)))
+      | Escaped { e_shape; materialized } ->
+          Fmt.pf ppf "obj%d:%s e v%d@ " id (string_of_shape e_shape) materialized)
+    s.objs

@@ -1,0 +1,96 @@
+(** The allocation state propagated through the IR by partial escape
+    analysis — the OCaml rendering of Listing 7 of the paper:
+
+    {v
+    class ObjectState { }
+    class VirtualState extends ObjectState { int lockCount; Node[] fields; }
+    class EscapedState extends ObjectState { Node materializedValue; }
+    class State {
+      Map<Id, ObjectState> states;
+      Map<Node, Id> aliases;
+    }
+    v}
+
+    In the rebuild-style implementation the [aliases] map is the engine's
+    global value-translation map; the flow-sensitive [states] map is the
+    {!t} of this module. *)
+
+open Pea_ir
+open Pea_bytecode
+
+(** The paper's [Id]: one per allocation encountered. *)
+type obj_id = int
+
+(** A translated value: an output-graph node, a not-yet-emitted constant
+    (default field values), or a tracked allocation. *)
+type pvalue =
+  | Pnode of Node.node_id
+  | Pconst of Node.const
+  | Pobj of obj_id
+
+val equal_pvalue : pvalue -> pvalue -> bool
+
+val string_of_pvalue : pvalue -> string
+
+(** Shape of a tracked allocation: a class instance, or a fixed-length
+    array (elements in [fields], length = array length). *)
+type shape = Frame_state.shape =
+  | Obj_shape of Classfile.rt_class
+  | Arr_shape of Pea_mjava.Ast.ty
+
+type virtual_info = {
+  shape : shape;
+  fields : pvalue array; (* field values by offset, or array elements *)
+  lock_count : int; (* virtually held locks (Fig. 4c/4d) *)
+}
+
+type escaped_info = {
+  e_shape : shape;
+  materialized : Node.node_id; (* the emitted allocation *)
+}
+
+(** The paper's [VirtualState] / [EscapedState]. *)
+type obj_state =
+  | Virtual of virtual_info
+  | Escaped of escaped_info
+
+(** Immutable per-path map from {!obj_id} to {!obj_state}. *)
+type t
+
+val empty : t
+
+val find : t -> obj_id -> obj_state option
+
+val add : t -> obj_id -> obj_state -> t
+
+val remove : t -> obj_id -> t
+
+val mem : t -> obj_id -> bool
+
+(** [ids s] — every tracked allocation id, unordered. *)
+val ids : t -> obj_id list
+
+val is_virtual : t -> obj_id -> bool
+
+(** [default_field_value f] is the compile-time default of a field. *)
+val default_field_value : Classfile.rt_field -> pvalue
+
+val default_elem_value : Pea_mjava.Ast.ty -> pvalue
+
+(** [fresh_virtual cls] — a virtual object with default fields, no locks. *)
+val fresh_virtual : Classfile.rt_class -> obj_state
+
+(** [fresh_virtual_array elem len] — a virtual fixed-length array. *)
+val fresh_virtual_array : Pea_mjava.Ast.ty -> int -> obj_state
+
+val shape_of : obj_state -> shape
+
+val equal_shape : shape -> shape -> bool
+
+val string_of_shape : shape -> string
+
+(** Structural equality of two states; the loop fixpoint criterion of
+    §5.4. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Classfile Format Frame_state Graph Hashtbl List Node Pea_bytecode Pea_support

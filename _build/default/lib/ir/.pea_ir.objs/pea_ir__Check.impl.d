@@ -1,0 +1,1 @@
+lib/ir/check.ml: Array Format Frame_state Graph Hashtbl List Node Option Pea_bytecode Pea_support Printf String

@@ -1,0 +1,1 @@
+lib/ir/frame_state.ml: Array Classfile Fmt List Option Pea_bytecode Pea_mjava Printf String

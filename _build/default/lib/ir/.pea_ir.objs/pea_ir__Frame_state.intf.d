@@ -1,0 +1,1 @@
+lib/ir/frame_state.mli: Classfile Format Pea_bytecode Pea_mjava

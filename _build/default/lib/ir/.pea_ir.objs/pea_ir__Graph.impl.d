@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Array Classfile Frame_state Hashtbl List Node Option Pea_bytecode Pea_support Printf

@@ -1,0 +1,1 @@
+lib/ir/graph.mli: Classfile Frame_state Node Pea_bytecode Pea_support

@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Array Dominators Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/ir/node.ml: Array Classfile Frame_state Pea_bytecode Pea_mjava Printf String

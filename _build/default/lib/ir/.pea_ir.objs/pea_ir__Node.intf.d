@@ -1,0 +1,1 @@
+lib/ir/node.mli: Classfile Frame_state Pea_bytecode Pea_mjava

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Buffer Fmt Frame_state Graph List Node Pea_bytecode Pea_support Printf String

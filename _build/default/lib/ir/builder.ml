@@ -1,0 +1,664 @@
+open Pea_bytecode
+open Classfile
+
+exception Build_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Build_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Bytecode block discovery                                            *)
+(* ------------------------------------------------------------------ *)
+
+type bc_block = {
+  start : int; (* first bci *)
+  stop : int; (* one past the last bci *)
+}
+
+let jump_targets instr =
+  match instr with
+  | Goto t -> [ t ]
+  | If_true t | If_false t -> [ t ]
+  | _ -> []
+
+let is_block_end instr =
+  match instr with
+  | Goto _ | If_true _ | If_false _ | Return_void | Return_val | Athrow -> true
+  | _ -> false
+
+let find_bc_blocks (code : instr array) : bc_block array * int array =
+  let n = Array.length code in
+  let leader = Array.make (n + 1) false in
+  leader.(0) <- true;
+  Array.iteri
+    (fun i instr ->
+      List.iter (fun t -> if t < n then leader.(t) <- true) (jump_targets instr);
+      if is_block_end instr && i + 1 < n then leader.(i + 1) <- true)
+    code;
+  let starts = ref [] in
+  for i = n - 1 downto 0 do
+    if leader.(i) then starts := i :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let blocks =
+    Array.mapi
+      (fun k start ->
+        let stop = if k + 1 < Array.length starts then starts.(k + 1) else n in
+        { start; stop })
+      starts
+  in
+  (* bci -> block ordinal *)
+  let block_of_bci = Array.make n (-1) in
+  Array.iteri
+    (fun k b ->
+      for i = b.start to b.stop - 1 do
+        block_of_bci.(i) <- k
+      done)
+    blocks;
+  (blocks, block_of_bci)
+
+(* Successor ordinals of a bytecode block (order: [taken; fallthrough] for
+   branches). *)
+let bc_successors code (blocks : bc_block array) block_of_bci k =
+  let b = blocks.(k) in
+  let last = b.stop - 1 in
+  match code.(last) with
+  | Goto t -> [ block_of_bci.(t) ]
+  | If_true t | If_false t -> [ block_of_bci.(t); block_of_bci.(b.stop) ]
+  | Return_void | Return_val | Athrow -> []
+  | _ -> [ block_of_bci.(b.stop) ] (* fallthrough *)
+
+(* ------------------------------------------------------------------ *)
+(* CFG analysis on the proto graph                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Back edges via DFS (the frontend generates reducible CFGs, so every
+   retreating edge targets a loop header). *)
+let find_back_edges n_blocks succs =
+  let color = Array.make n_blocks `White in
+  let back = Hashtbl.create 8 in
+  let rec dfs u =
+    color.(u) <- `Grey;
+    List.iter
+      (fun v ->
+        match color.(v) with
+        | `Grey -> Hashtbl.replace back (u, v) ()
+        | `White -> dfs v
+        | `Black -> ())
+      (succs u);
+    color.(u) <- `Black
+  in
+  dfs 0;
+  back
+
+(* ------------------------------------------------------------------ *)
+(* Local-variable liveness                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Backward may-liveness of local slots per bytecode index. Frame states
+   only keep live locals (dead slots are cleared to undef, as Graal's
+   OptClearNonLiveLocals does); otherwise a dead loop phi referenced from
+   a frame state would keep a scalar-replaced object artificially alive
+   across loop iterations. *)
+let local_liveness (code : instr array) (bc_blocks : bc_block array) block_of_bci n_locals =
+  let n = Array.length code in
+  let use_def i =
+    match code.(i) with
+    | Load slot -> (Some slot, None)
+    | Store slot -> (None, Some slot)
+    | _ -> (None, None)
+  in
+  (* live-in per bytecode index, as bitsets *)
+  let live = Array.make (n + 1) 0 in
+  let bit s = 1 lsl s in
+  ignore bc_blocks;
+  ignore block_of_bci;
+  if n_locals > 60 then Array.make (n + 1) max_int (* overflow fallback: all live *)
+  else begin
+    let succs i =
+      match code.(i) with
+      | Goto t -> [ t ]
+      | If_true t | If_false t -> [ t; i + 1 ]
+      | Return_void | Return_val | Athrow -> []
+      | _ -> if i + 1 < n then [ i + 1 ] else []
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = n - 1 downto 0 do
+        let out = List.fold_left (fun acc s -> acc lor live.(s)) 0 (succs i) in
+        let u, d = use_def i in
+        let v = out in
+        let v = match d with Some s -> v land lnot (bit s) | None -> v in
+        let v = match u with Some s -> v lor bit s | None -> v in
+        if v <> live.(i) then begin
+          live.(i) <- v;
+          changed := true
+        end
+      done
+    done;
+    live
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Abstract interpreter state                                          *)
+(* ------------------------------------------------------------------ *)
+
+type astate = {
+  locals : Node.node_id array;
+  stack : Node.node_id list; (* top first *)
+  locks : Node.node_id list; (* innermost first *)
+}
+
+let copy_state s = { s with locals = Array.copy s.locals }
+
+let push s v = { s with stack = v :: s.stack }
+
+let pop s =
+  match s.stack with
+  | v :: rest -> (v, { s with stack = rest })
+  | [] -> fail "operand stack underflow during IR construction"
+
+let pop2 s =
+  match s.stack with
+  | b :: a :: rest -> (a, b, { s with stack = rest })
+  | _ -> fail "operand stack underflow during IR construction"
+
+let pop_n s n =
+  let rec loop acc s n =
+    if n = 0 then (acc, s)
+    else
+      let v, s = pop s in
+      loop (v :: acc) s (n - 1)
+  in
+  loop [] s n
+
+(* ------------------------------------------------------------------ *)
+(* The builder                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type proto =
+  | Entry (* synthetic entry, used when bc block 0 is a jump target *)
+  | Bc of int (* bytecode block ordinal *)
+  | Split of { src : int; dst : int } (* bc ordinals of the split edge *)
+
+let build (m : rt_method) : Graph.t =
+  let code = m.mth_code in
+  if Array.length code = 0 then fail "method %s has no code" (qualified_name m);
+  let bc_blocks, block_of_bci = find_bc_blocks code in
+  let n_bc = Array.length bc_blocks in
+  let bc_succs k = bc_successors code bc_blocks block_of_bci k in
+  let back_edges = find_back_edges n_bc bc_succs in
+  let is_back (u, v) = Hashtbl.mem back_edges (u, v) in
+
+  (* predecessor counts on the bc graph, to find critical edges *)
+  let pred_count = Array.make n_bc 0 in
+  for k = 0 to n_bc - 1 do
+    List.iter (fun v -> pred_count.(v) <- pred_count.(v) + 1) (bc_succs k)
+  done;
+
+  (* If the first bytecode block is a jump target (a loop starting at bci
+     0), give the graph a synthetic entry block so that the entry never has
+     predecessors. *)
+  let entry_is_target = pred_count.(0) > 0 in
+
+  (* Proto graph: a synthetic entry if needed, then bc blocks, then split
+     blocks. Every edge u->v where u has several successors and v several
+     predecessors gets a dedicated block. *)
+  let protos = Pea_support.Dyn_array.create () in
+  if entry_is_target then ignore (Pea_support.Dyn_array.push protos Entry);
+  let bc_proto = Array.make n_bc (-1) in
+  for k = 0 to n_bc - 1 do
+    bc_proto.(k) <- Pea_support.Dyn_array.push protos (Bc k)
+  done;
+  (* For edge lookup: [edge_target u v] is the proto id control flows to
+     when bc block [u] branches to bc block [v]. *)
+  let split_table = Hashtbl.create 8 in
+  for u = 0 to n_bc - 1 do
+    let succs = bc_succs u in
+    if List.length succs > 1 then
+      List.iter
+        (fun v ->
+          if pred_count.(v) > 1 && not (Hashtbl.mem split_table (u, v)) then begin
+            let id = Pea_support.Dyn_array.push protos (Split { src = u; dst = v }) in
+            Hashtbl.replace split_table (u, v) id
+          end)
+        succs
+  done;
+  let n_proto = Pea_support.Dyn_array.length protos in
+  let edge_target u v =
+    match Hashtbl.find_opt split_table (u, v) with Some id -> id | None -> bc_proto.(v)
+  in
+  (* proto successor list *)
+  let proto_succs p =
+    match Pea_support.Dyn_array.get protos p with
+    | Entry -> [ bc_proto.(0) ]
+    | Bc k -> List.map (fun v -> edge_target k v) (bc_succs k)
+    | Split { dst; _ } -> [ bc_proto.(dst) ]
+  in
+  (* proto predecessors, in successor-edge order *)
+  let proto_preds = Array.make n_proto [] in
+  for p = 0 to n_proto - 1 do
+    List.iter (fun s -> proto_preds.(s) <- proto_preds.(s) @ [ p ]) (proto_succs p)
+  done;
+  (* Back-edge classification at the proto level. A split block inherits
+     the backness of the underlying bc edge on its *outgoing* side only, so
+     the split itself is never misclassified as a loop header. *)
+  let proto_edge_is_back s t =
+    match Pea_support.Dyn_array.get protos t with
+    | Split _ | Entry -> false
+    | Bc v -> (
+        match Pea_support.Dyn_array.get protos s with
+        | Entry -> false
+        | Bc k -> is_back (k, v)
+        | Split { src; _ } -> is_back (src, v))
+  in
+  (* Order predecessors: forward first, then back edges. *)
+  for p = 0 to n_proto - 1 do
+    let fwd, bwd = List.partition (fun s -> not (proto_edge_is_back s p)) proto_preds.(p) in
+    proto_preds.(p) <- fwd @ bwd
+  done;
+  let is_loop_header p = List.exists (fun s -> proto_edge_is_back s p) proto_preds.(p) in
+
+  (* Reverse postorder over protos. *)
+  let rpo =
+    let visited = Array.make n_proto false in
+    let order = ref [] in
+    let rec dfs p =
+      if not visited.(p) then begin
+        visited.(p) <- true;
+        List.iter dfs (proto_succs p);
+        order := p :: !order
+      end
+    in
+    dfs 0;
+    !order
+  in
+  let reachable = Array.make n_proto false in
+  List.iter (fun p -> reachable.(p) <- true) rpo;
+
+  (* IR graph with one block per proto (same ids). *)
+  let g = Graph.create m in
+  for p = 0 to n_proto - 1 do
+    let kind =
+      if is_loop_header p then Graph.Loop_header
+      else if List.length proto_preds.(p) > 1 then Graph.Merge
+      else Graph.Plain
+    in
+    let b = Graph.new_block ~kind g in
+    assert (b.Graph.b_id = p)
+  done;
+  for p = 0 to n_proto - 1 do
+    if reachable.(p) then
+      (Graph.block g p).Graph.preds <- List.filter (fun q -> reachable.(q)) proto_preds.(p)
+  done;
+
+  let liveness = local_liveness code bc_blocks block_of_bci m.mth_max_locals in
+
+  (* Parameters and the undef constant. *)
+  let n_args = arity m in
+  let param_nodes = List.init n_args (fun i -> (Graph.add_param g i).Node.id) in
+  let undef = (Graph.new_node g (Node.Const Node.Cundef)).Node.id in
+  (* Register undef as an entry-block instruction so it has a definition
+     point. Params live outside blocks (graph inputs). *)
+  ignore (Pea_support.Dyn_array.push (Graph.block g 0).Graph.instrs (Graph.node g undef));
+
+  let entry_states : astate option array = Array.make n_proto None in
+  let end_states : astate option array = Array.make n_proto None in
+  (* loop-header phi bookkeeping: header proto -> phi layout *)
+  let header_layout : (int, astate) Hashtbl.t = Hashtbl.create 8 in
+
+  let make_fs (s : astate) ~bci : Frame_state.t =
+    {
+      fs_method = m;
+      fs_bci = bci;
+      fs_locals =
+        Array.mapi
+          (fun slot n ->
+            (* clear locals that are dead at [bci]: the interpreter will
+               never read them after a deopt here *)
+            if bci < Array.length code && liveness.(bci) land (1 lsl slot) = 0 && slot < 60
+            then Frame_state.F_const Frame_state.Cundef
+            else Frame_state.F_node n)
+          s.locals;
+      fs_stack = List.map (fun n -> Frame_state.F_node n) s.stack;
+      fs_locks = List.map (fun n -> Frame_state.F_node n) s.locks;
+      fs_outer = None;
+      fs_virtuals = [];
+    }
+  in
+
+  (* Compute the entry state of a proto block. *)
+  let entry_state p =
+    let preds = (Graph.block g p).Graph.preds in
+    if p = 0 then begin
+      let locals = Array.make (max m.mth_max_locals n_args) undef in
+      List.iteri (fun i n -> locals.(i) <- n) param_nodes;
+      { locals; stack = []; locks = [] }
+    end
+    else
+      match preds with
+      | [] -> fail "unreachable block scheduled"
+      | [ single ] -> (
+          match end_states.(single) with
+          | Some s -> copy_state s
+          | None -> fail "predecessor %d of %d not yet processed" single p)
+      | preds ->
+          let blk = Graph.block g p in
+          let fwd_states =
+            List.filter_map
+              (fun q -> if proto_edge_is_back q p then None else Some (q, end_states.(q)))
+              preds
+          in
+          let fwd_states =
+            List.map
+              (function
+                | q, Some s -> (q, s)
+                | q, None -> fail "forward predecessor %d of merge %d not processed" q p)
+              fwd_states
+          in
+          let first_state = match fwd_states with (_, s) :: _ -> s | [] -> fail "merge with no forward preds" in
+          if blk.Graph.kind = Graph.Loop_header then begin
+            (* Eager phis for every slot; back-edge inputs filled later. *)
+            let n_fwd = List.length fwd_states in
+            let n_preds = List.length preds in
+            let mk_phi values_from_fwd =
+              let phi = Graph.add_phi g blk in
+              let inputs = Array.make n_preds phi.Node.id in
+              List.iteri (fun i v -> inputs.(i) <- v) values_from_fwd;
+              (match phi.Node.op with
+              | Node.Phi p -> p.Node.inputs <- inputs
+              | _ -> assert false);
+              ignore n_fwd;
+              phi.Node.id
+            in
+            let locals =
+              Array.init (Array.length first_state.locals) (fun i ->
+                  mk_phi (List.map (fun (_, s) -> s.locals.(i)) fwd_states))
+            in
+            let stack =
+              List.mapi
+                (fun i _ -> mk_phi (List.map (fun (_, s) -> List.nth s.stack i) fwd_states))
+                first_state.stack
+            in
+            let locks =
+              List.mapi
+                (fun i _ -> mk_phi (List.map (fun (_, s) -> List.nth s.locks i) fwd_states))
+                first_state.locks
+            in
+            let st = { locals; stack; locks } in
+            Hashtbl.replace header_layout p st;
+            copy_state st
+          end
+          else begin
+            (* Regular merge: all preds processed in RPO order. *)
+            let states =
+              List.map
+                (fun q ->
+                  match end_states.(q) with
+                  | Some s -> s
+                  | None -> fail "predecessor %d of merge %d not processed" q p)
+                preds
+            in
+            let depth = List.length first_state.stack in
+            List.iter
+              (fun (s : astate) ->
+                if List.length s.stack <> depth then
+                  fail "inconsistent stack depth at merge block %d" p)
+              states;
+            let merge_slot values =
+              match values with
+              | v :: rest when List.for_all (fun x -> x = v) rest -> v
+              | _ ->
+                  let phi = Graph.add_phi g blk in
+                  (match phi.Node.op with
+                  | Node.Phi p -> p.Node.inputs <- Array.of_list values
+                  | _ -> assert false);
+                  phi.Node.id
+            in
+            let locals =
+              Array.init (Array.length first_state.locals) (fun i ->
+                  merge_slot (List.map (fun (s : astate) -> s.locals.(i)) states))
+            in
+            let stack =
+              List.mapi (fun i _ -> merge_slot (List.map (fun (s : astate) -> List.nth s.stack i) states)) first_state.stack
+            in
+            let locks =
+              List.mapi (fun i _ -> merge_slot (List.map (fun (s : astate) -> List.nth s.locks i) states)) first_state.locks
+            in
+            { locals; stack; locks }
+          end
+  in
+
+  (* Emit IR for one bytecode block. *)
+  let process_bc p k =
+    let blk = Graph.block g p in
+    let b = bc_blocks.(k) in
+    let state = ref (entry_state p) in
+    entry_states.(p) <- Some (copy_state !state);
+    blk.Graph.entry_fs <- Some (make_fs !state ~bci:b.start);
+    let emit op = (Graph.append g blk op).Node.id in
+    let emit_fs op ~next_state ~bci =
+      let n = Graph.append g blk op in
+      n.Node.fs <- Some (make_fs next_state ~bci);
+      n.Node.id
+    in
+    let bci = ref b.start in
+    let terminated = ref false in
+    while not !terminated && !bci < b.stop do
+      let i = !bci in
+      let s = !state in
+      (match code.(i) with
+      | Iconst n -> state := push s (emit (Node.Const (Node.Cint n)))
+      | Bconst bo -> state := push s (emit (Node.Const (Node.Cbool bo)))
+      | Aconst_null -> state := push s (emit (Node.Const Node.Cnull))
+      | Load slot -> state := push s s.locals.(slot)
+      | Store slot ->
+          let v, s = pop s in
+          let locals = Array.copy s.locals in
+          locals.(slot) <- v;
+          state := { s with locals }
+      | Dup ->
+          let v, _ = pop s in
+          state := push s v
+      | Pop ->
+          let _, s = pop s in
+          state := s
+      | Iadd ->
+          let a, b', s = pop2 s in
+          state := push s (emit (Node.Arith (Node.Add, a, b')))
+      | Isub ->
+          let a, b', s = pop2 s in
+          state := push s (emit (Node.Arith (Node.Sub, a, b')))
+      | Imul ->
+          let a, b', s = pop2 s in
+          state := push s (emit (Node.Arith (Node.Mul, a, b')))
+      | Idiv ->
+          let a, b', s = pop2 s in
+          state := push s (emit (Node.Arith (Node.Div, a, b')))
+      | Irem ->
+          let a, b', s = pop2 s in
+          state := push s (emit (Node.Arith (Node.Rem, a, b')))
+      | Ineg ->
+          let a, s = pop s in
+          state := push s (emit (Node.Neg a))
+      | Bnot ->
+          let a, s = pop s in
+          state := push s (emit (Node.Not a))
+      | Icmp c ->
+          let a, b', s = pop2 s in
+          state := push s (emit (Node.Cmp (c, a, b')))
+      | Acmp c ->
+          let a, b', s = pop2 s in
+          state := push s (emit (Node.RefCmp (c, a, b')))
+      | New cls -> state := push s (emit (Node.New cls))
+      | Newarray elem ->
+          let len, s = pop s in
+          state := push s (emit (Node.New_array (elem, len)))
+      | Arraylength ->
+          let a, s = pop s in
+          state := push s (emit (Node.Array_length a))
+      | Aload ->
+          let a, idx, s = pop2 s in
+          state := push s (emit (Node.Array_load (a, idx)))
+      | Astore ->
+          let v, s = pop s in
+          let a, idx, s = pop2 s in
+          let next = s in
+          state := next;
+          ignore (emit_fs (Node.Array_store (a, idx, v)) ~next_state:next ~bci:(i + 1))
+      | Getfield f ->
+          let o, s = pop s in
+          state := push s (emit (Node.Load_field (o, f)))
+      | Putfield f ->
+          let v, s = pop s in
+          let o, s = pop s in
+          state := s;
+          ignore (emit_fs (Node.Store_field (o, f, v)) ~next_state:s ~bci:(i + 1))
+      | Getstatic f -> state := push s (emit (Node.Load_static f))
+      | Putstatic f ->
+          let v, s = pop s in
+          state := s;
+          ignore (emit_fs (Node.Store_static (f, v)) ~next_state:s ~bci:(i + 1))
+      | Invokevirtual callee ->
+          let args, s = pop_n s (arity callee) in
+          let n = emit_fs (Node.Invoke (Node.Virtual, callee, Array.of_list args)) ~next_state:s ~bci:(i + 1) in
+          state := (if callee.mth_ret <> None then push s n else s)
+      | Invokestatic callee ->
+          let args, s = pop_n s (arity callee) in
+          let n = emit_fs (Node.Invoke (Node.Static, callee, Array.of_list args)) ~next_state:s ~bci:(i + 1) in
+          state := (if callee.mth_ret <> None then push s n else s)
+      | Invokespecial ctor ->
+          let args, s = pop_n s (arity ctor) in
+          state := s;
+          ignore (emit_fs (Node.Invoke (Node.Special, ctor, Array.of_list args)) ~next_state:s ~bci:(i + 1))
+      | Monitorenter ->
+          let o, s = pop s in
+          let next = { s with locks = o :: s.locks } in
+          state := next;
+          ignore (emit_fs (Node.Monitor_enter o) ~next_state:next ~bci:(i + 1))
+      | Monitorexit ->
+          let o, s = pop s in
+          let locks = match s.locks with _ :: rest -> rest | [] -> [] in
+          let next = { s with locks } in
+          state := next;
+          ignore (emit_fs (Node.Monitor_exit o) ~next_state:next ~bci:(i + 1))
+      | Instanceof cls ->
+          let a, s = pop s in
+          state := push s (emit (Node.Instance_of (a, cls)))
+      | Checkcast cls ->
+          let a, s = pop s in
+          state := push s (emit (Node.Check_cast (a, cls)))
+      | Print ->
+          let a, s = pop s in
+          state := s;
+          ignore (emit_fs (Node.Print a) ~next_state:s ~bci:(i + 1))
+      | Goto t ->
+          blk.Graph.term <- Graph.Goto (edge_target k block_of_bci.(t));
+          terminated := true
+      | If_true t ->
+          let cond, s = pop s in
+          state := s;
+          blk.Graph.term <-
+            Graph.If
+              {
+                cond;
+                tru = edge_target k block_of_bci.(t);
+                fls = edge_target k block_of_bci.(b.stop);
+                br_bci = i;
+                br_method = m;
+                br_negated = false;
+              };
+          terminated := true
+      | If_false t ->
+          let cond, s = pop s in
+          state := s;
+          blk.Graph.term <-
+            Graph.If
+              {
+                cond;
+                tru = edge_target k block_of_bci.(b.stop);
+                fls = edge_target k block_of_bci.(t);
+                br_bci = i;
+                br_method = m;
+                br_negated = true;
+              };
+          terminated := true
+      | Return_void ->
+          blk.Graph.term <- Graph.Return None;
+          terminated := true
+      | Return_val ->
+          let v, s = pop s in
+          state := s;
+          blk.Graph.term <- Graph.Return (Some v);
+          terminated := true
+      | Athrow ->
+          (* methods that throw or catch are interpreter-only (the JIT and
+             the inliner bail out on them before reaching the builder) *)
+          fail "cannot build IR for %s: explicit exceptions are not compiled"
+            (qualified_name m));
+      incr bci
+    done;
+    if not !terminated then
+      (* fallthrough into the next bytecode block *)
+      blk.Graph.term <- Graph.Goto (edge_target k block_of_bci.(b.stop));
+    end_states.(p) <- Some !state
+  in
+
+  let process_split p src dst =
+    let blk = Graph.block g p in
+    let s =
+      match end_states.(bc_proto.(src)) with
+      | Some s -> copy_state s
+      | None -> fail "split block %d scheduled before source %d" p src
+    in
+    entry_states.(p) <- Some (copy_state s);
+    blk.Graph.entry_fs <- Some (make_fs s ~bci:bc_blocks.(dst).start);
+    blk.Graph.term <- Graph.Goto bc_proto.(dst);
+    end_states.(p) <- Some s
+  in
+
+  (* RPO guarantees forward preds are processed before their successors;
+     split blocks whose source is a branch come after that source. *)
+  let process_entry p =
+    let blk = Graph.block g p in
+    let locals = Array.make (max m.mth_max_locals n_args) undef in
+    List.iteri (fun i n -> locals.(i) <- n) param_nodes;
+    let s = { locals; stack = []; locks = [] } in
+    entry_states.(p) <- Some (copy_state s);
+    blk.Graph.entry_fs <- Some (make_fs s ~bci:0);
+    blk.Graph.term <- Graph.Goto bc_proto.(0);
+    end_states.(p) <- Some s
+  in
+  List.iter
+    (fun p ->
+      match Pea_support.Dyn_array.get protos p with
+      | Entry -> process_entry p
+      | Bc k -> process_bc p k
+      | Split { src; dst } -> process_split p src dst)
+    rpo;
+
+  (* Fill back-edge phi inputs at loop headers. *)
+  Hashtbl.iter
+    (fun header (layout : astate) ->
+      let blk = Graph.block g header in
+      let preds = blk.Graph.preds in
+      let input_for_slot value_of_state =
+        List.map
+          (fun q ->
+            match end_states.(q) with
+            | Some s -> value_of_state s
+            | None -> fail "back-edge predecessor %d not processed" q)
+          preds
+      in
+      let fill phi_id value_of_state =
+        match (Graph.node g phi_id).Node.op with
+        | Node.Phi p -> p.Node.inputs <- Array.of_list (input_for_slot value_of_state)
+        | _ -> assert false
+      in
+      Array.iteri (fun i phi_id -> fill phi_id (fun s -> s.locals.(i))) layout.locals;
+      List.iteri (fun i phi_id -> fill phi_id (fun s -> List.nth s.stack i)) layout.stack;
+      List.iteri (fun i phi_id -> fill phi_id (fun s -> List.nth s.locks i)) layout.locks)
+    header_layout;
+
+  Graph.simplify_trivial_phis g;
+  g

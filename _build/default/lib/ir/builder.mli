@@ -1,0 +1,15 @@
+(** Bytecode → IR translation with SSA construction.
+
+    Mirrors Graal's graph builder: abstract interpretation over the
+    bytecode with per-block locals/stack/lock states, phi creation at
+    merges, eager phis at loop headers (simplified afterwards), critical
+    edge splitting (so escape analysis can always materialize "at the
+    corresponding predecessor", §5.3 of the paper), and frame-state
+    attachment to every side-effecting instruction (§2, §5.5). *)
+
+exception Build_error of string
+
+(** [build m] translates the bytecode of [m] into a fresh IR graph.
+    @raise Build_error on malformed bytecode (e.g. inconsistent stack
+    depths at a merge point). *)
+val build : Pea_bytecode.Classfile.rt_method -> Graph.t

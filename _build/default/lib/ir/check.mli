@@ -1,0 +1,20 @@
+(** IR well-formedness checker, run after every pass in tests and (when
+    [Jit.config.verify] is set) after every pipeline stage:
+
+    - every operand of a reachable instruction is defined in a reachable
+      block or is a parameter;
+    - phi arity equals predecessor count; phis appear only in merge/loop
+      blocks;
+    - terminator targets exist and predecessor/successor lists agree;
+    - invokes carry frame states (other side-effecting nodes may lose
+      theirs when escape analysis re-emits them during materialization). *)
+
+type error = string
+
+(** [check g] returns all violations found (empty = well-formed).
+    [require_frame_states] (default [true]) controls the invoke rule. *)
+val check : ?require_frame_states:bool -> Graph.t -> error list
+
+(** [check_exn g] raises [Failure] with a readable message listing every
+    violation. *)
+val check_exn : ?require_frame_states:bool -> Graph.t -> unit

@@ -1,0 +1,117 @@
+(* Frame states: the mapping from optimized-code state back to interpreter
+   (bytecode) state, §2 and §5.5 of the paper.
+
+   A frame state describes the interpreter frame at a specific bytecode
+   index: local variables, operand stack, and held locks. After inlining a
+   state has an [fs_outer] chain describing the caller frames. Partial
+   escape analysis rewrites values that refer to scalar-replaced
+   allocations into [F_virtual] references, with a descriptor snapshot in
+   [fs_virtuals]; deoptimization rematerializes them. *)
+
+open Pea_bytecode
+
+type node_id = int
+
+type virt_id = int
+
+(* Compile-time constants. Shared with {!Node} (which re-exports it). *)
+type const =
+  | Cint of int
+  | Cbool of bool
+  | Cnull
+  | Cundef (* value of a local that is read before being written *)
+
+let string_of_const = function
+  | Cint n -> string_of_int n
+  | Cbool b -> string_of_bool b
+  | Cnull -> "null"
+  | Cundef -> "undef"
+
+type fs_value =
+  | F_node of node_id (* a value available in compiled code *)
+  | F_virtual of virt_id (* a scalar-replaced allocation *)
+  | F_const of const (* a compile-time constant *)
+
+type t = {
+  fs_method : Classfile.rt_method;
+  fs_bci : int; (* bytecode index at which the interpreter resumes *)
+  fs_locals : fs_value array;
+  fs_stack : fs_value list; (* top of stack first *)
+  fs_locks : fs_value list; (* innermost lock first *)
+  fs_outer : t option;
+  fs_virtuals : (virt_id * virtual_desc) list;
+      (* descriptors for every [F_virtual] reachable from this state,
+         including through other descriptors *)
+}
+
+and virtual_desc = {
+  vd_shape : shape;
+  vd_fields : fs_value array; (* field values, or array elements *)
+  vd_lock : int; (* lock depth to restore on rematerialization *)
+}
+
+(* A scalar-replaced allocation is either an object (fields are layout
+   slots) or a fixed-length array (fields are elements). *)
+and shape =
+  | Obj_shape of Classfile.rt_class
+  | Arr_shape of Pea_mjava.Ast.ty (* element type; length = #fields *)
+
+let rec map_values f (fs : t) =
+  {
+    fs with
+    fs_locals = Array.map f fs.fs_locals;
+    fs_stack = List.map f fs.fs_stack;
+    fs_locks = List.map f fs.fs_locks;
+    fs_outer = Option.map (map_values f) fs.fs_outer;
+    fs_virtuals =
+      List.map
+        (fun (id, vd) -> (id, { vd with vd_fields = Array.map f vd.vd_fields }))
+        fs.fs_virtuals;
+  }
+
+let rec iter_values f (fs : t) =
+  Array.iter f fs.fs_locals;
+  List.iter f fs.fs_stack;
+  List.iter f fs.fs_locks;
+  List.iter (fun (_, vd) -> Array.iter f vd.vd_fields) fs.fs_virtuals;
+  Option.iter (iter_values f) fs.fs_outer
+
+(* All node ids mentioned anywhere in the state. *)
+let node_ids fs =
+  let acc = ref [] in
+  iter_values (function F_node n -> acc := n :: !acc | F_virtual _ | F_const _ -> ()) fs;
+  !acc
+
+let rec depth fs = match fs.fs_outer with None -> 1 | Some o -> 1 + depth o
+
+let string_of_fs_value = function
+  | F_node n -> Printf.sprintf "v%d" n
+  | F_virtual v -> Printf.sprintf "virt%d" v
+  | F_const c -> string_of_const c
+
+let rec pp ppf fs =
+  Fmt.pf ppf "@%s:%d locals=[%s] stack=[%s]%s%s"
+    (Classfile.qualified_name fs.fs_method)
+    fs.fs_bci
+    (String.concat ", " (Array.to_list (Array.map string_of_fs_value fs.fs_locals)))
+    (String.concat ", " (List.map string_of_fs_value fs.fs_stack))
+    (match fs.fs_virtuals with
+    | [] -> ""
+    | vs ->
+        " virtuals=["
+        ^ String.concat ", "
+            (List.map
+               (fun (id, vd) ->
+                 let shape_name =
+                   match vd.vd_shape with
+                   | Obj_shape c -> c.cls_name
+                   | Arr_shape t -> Pea_mjava.Ast.string_of_ty t ^ "[]"
+                 in
+                 Printf.sprintf "virt%d:%s{%s}%s" id shape_name
+                   (String.concat ","
+                      (Array.to_list (Array.map string_of_fs_value vd.vd_fields)))
+                   (if vd.vd_lock > 0 then Printf.sprintf "/lock%d" vd.vd_lock else ""))
+               vs)
+        ^ "]")
+    (match fs.fs_outer with None -> "" | Some _ -> " outer=...");
+  match fs.fs_outer with None -> () | Some o -> Fmt.pf ppf "@ <- %a" pp o

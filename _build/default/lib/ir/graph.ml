@@ -1,0 +1,235 @@
+(* The IR graph: basic blocks holding SSA instructions, linked by
+   terminators. Block 0 is the entry. Phi inputs are positional: input [i]
+   of a phi in block [b] corresponds to predecessor [List.nth b.preds i]. *)
+
+open Pea_bytecode
+
+type block_id = int
+
+type block_kind =
+  | Plain
+  | Merge
+  | Loop_header
+
+type terminator =
+  | Goto of block_id
+  | If of {
+      cond : Node.node_id;
+      tru : block_id;
+      fls : block_id;
+      br_bci : int; (* bytecode index of the branch, for profile lookup *)
+      br_method : Classfile.rt_method; (* method the branch bytecode belongs to *)
+      br_negated : bool;
+          (* [true] when built from an [If_false] bytecode: the profile's
+             "taken" count then corresponds to the [fls] edge *)
+    }
+  | Return of Node.node_id option
+  | Deopt of Frame_state.t (* transfer to the interpreter *)
+  | Trap of string (* guaranteed runtime fault *)
+  | Unreachable (* placeholder during construction *)
+
+type block = {
+  b_id : block_id;
+  mutable preds : block_id list;
+  mutable phis : Node.t list;
+  instrs : Node.t Pea_support.Dyn_array.t;
+  mutable term : terminator;
+  mutable kind : block_kind;
+  mutable entry_fs : Frame_state.t option;
+      (* interpreter state at block entry; used for speculative pruning *)
+}
+
+type t = {
+  g_method : Classfile.rt_method;
+  blocks : block Pea_support.Dyn_array.t;
+  nodes : Node.t option Pea_support.Dyn_array.t; (* indexed by node id *)
+  virt_ids : Pea_support.Fresh.t;
+  mutable params : Node.t list; (* Param nodes, in parameter order *)
+}
+
+let entry_id = 0
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create (m : Classfile.rt_method) =
+  {
+    g_method = m;
+    blocks = Pea_support.Dyn_array.create ();
+    nodes = Pea_support.Dyn_array.create ();
+    virt_ids = Pea_support.Fresh.create ();
+    params = [];
+  }
+
+let new_block ?(kind = Plain) g : block =
+  let b =
+    {
+      b_id = Pea_support.Dyn_array.length g.blocks;
+      preds = [];
+      phis = [];
+      instrs = Pea_support.Dyn_array.create ();
+      term = Unreachable;
+      kind;
+      entry_fs = None;
+    }
+  in
+  ignore (Pea_support.Dyn_array.push g.blocks b);
+  b
+
+let new_node g op : Node.t =
+  let id = Pea_support.Dyn_array.length g.nodes in
+  let n : Node.t = { id; op; fs = None } in
+  ignore (Pea_support.Dyn_array.push g.nodes (Some n));
+  n
+
+let new_virt g = Pea_support.Fresh.next g.virt_ids
+
+let add_param g idx =
+  let n = new_node g (Node.Param idx) in
+  g.params <- g.params @ [ n ];
+  n
+
+let append g block op : Node.t =
+  let n = new_node g op in
+  ignore (Pea_support.Dyn_array.push block.instrs n);
+  n
+
+let add_phi g block : Node.t =
+  let n = new_node g (Node.Phi { inputs = [||] }) in
+  block.phis <- block.phis @ [ n ];
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Access                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let block g id : block = Pea_support.Dyn_array.get g.blocks id
+
+let n_blocks g = Pea_support.Dyn_array.length g.blocks
+
+let node g id : Node.t =
+  match Pea_support.Dyn_array.get g.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "node v%d has been deleted" id)
+
+let op_of g id = (node g id).Node.op
+
+(* Mark a node as deleted in the node table; any later lookup of its id is
+   a bug and raises. The node must already have been unlinked from its
+   block by the caller. *)
+let delete_node g id = Pea_support.Dyn_array.set g.nodes id None
+
+let n_nodes g = Pea_support.Dyn_array.length g.nodes
+
+let successors (term : terminator) =
+  match term with
+  | Goto b -> [ b ]
+  | If { tru; fls; _ } -> [ tru; fls ]
+  | Return _ | Deopt _ | Trap _ | Unreachable -> []
+
+let iter_blocks f g = Pea_support.Dyn_array.iter f g.blocks
+
+(* [instr_list b] materializes the instruction sequence of [b]. *)
+let instr_list (b : block) = Pea_support.Dyn_array.to_list b.instrs
+
+(* ------------------------------------------------------------------ *)
+(* CFG maintenance                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Recompute all predecessor lists from terminators. Destroys the pred
+   order that phis rely on, so this must only be used before phis exist or
+   by passes that rebuild phis. *)
+let recompute_preds g =
+  iter_blocks (fun b -> b.preds <- []) g;
+  iter_blocks
+    (fun b -> List.iter (fun s -> (block g s).preds <- (block g s).preds @ [ b.b_id ]) (successors b.term))
+    g
+
+(* Reverse postorder over reachable blocks. Loop headers appear before
+   their bodies (the DFS visits forward edges first because back edges
+   return to an already-visited block). *)
+let reverse_postorder g : block_id list =
+  let visited = Array.make (n_blocks g) false in
+  let order = ref [] in
+  let rec dfs id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter dfs (successors (block g id).term);
+      order := id :: !order
+    end
+  in
+  dfs entry_id;
+  !order
+
+let reachable g =
+  let visited = Array.make (n_blocks g) false in
+  let rec dfs id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter dfs (successors (block g id).term)
+    end
+  in
+  dfs entry_id;
+  visited
+
+(* ------------------------------------------------------------------ *)
+(* Value substitution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Phis whose inputs are all equal (ignoring self-references) are replaced
+   by that input, iterating to a fixpoint. Shared by the graph builder and
+   the CFG cleanup pass. *)
+let rec simplify_trivial_phis g =
+  let subst = Hashtbl.create 8 in
+  iter_blocks
+    (fun b ->
+      List.iter
+        (fun (phi : Node.t) ->
+          match phi.Node.op with
+          | Node.Phi p -> (
+              let others =
+                Array.to_list p.Node.inputs |> List.filter (fun x -> x <> phi.Node.id)
+              in
+              match others with
+              | v :: rest when List.for_all (fun x -> x = v) rest ->
+                  Hashtbl.replace subst phi.Node.id v
+              | _ -> ())
+          | _ -> ())
+        b.phis)
+    g;
+  if Hashtbl.length subst > 0 then begin
+    let rec resolve n =
+      match Hashtbl.find_opt subst n with Some n' when n' <> n -> resolve n' | _ -> n
+    in
+    substitute_uses g resolve;
+    iter_blocks
+      (fun b -> b.phis <- List.filter (fun (phi : Node.t) -> not (Hashtbl.mem subst phi.Node.id)) b.phis)
+      g;
+    simplify_trivial_phis g
+  end
+
+(* Rewrite every operand reference (including phi inputs, terminators and
+   frame states) through [f]. *)
+and substitute_uses g (f : Node.node_id -> Node.node_id) =
+  let subst_fs fs =
+    Frame_state.map_values
+      (function Frame_state.F_node n -> Frame_state.F_node (f n) | fv -> fv)
+      fs
+  in
+  let fix_node (n : Node.t) =
+    n.op <- Node.map_operands f n.op;
+    n.fs <- Option.map subst_fs n.fs
+  in
+  iter_blocks
+    (fun b ->
+      List.iter fix_node b.phis;
+      Pea_support.Dyn_array.iter fix_node b.instrs;
+      b.term <-
+        (match b.term with
+        | Goto _ | Return None | Trap _ | Unreachable -> b.term
+        | If r -> If { r with cond = f r.cond }
+        | Return (Some v) -> Return (Some (f v))
+        | Deopt fs -> Deopt (subst_fs fs));
+      b.entry_fs <- Option.map subst_fs b.entry_fs)
+    g

@@ -1,0 +1,89 @@
+(* Loop forest: loop headers, their back edges and member blocks, and the
+   nesting relation. Partial escape analysis uses this to process loop
+   regions iteratively (§5.4 of the paper). *)
+
+type loop = {
+  header : Graph.block_id;
+  back_edge_preds : Graph.block_id list; (* predecessors along back edges *)
+  members : Graph.block_id list; (* includes the header *)
+  mutable parent : Graph.block_id option; (* header of the enclosing loop *)
+}
+
+type t = {
+  loops : (Graph.block_id, loop) Hashtbl.t; (* keyed by header *)
+  loop_of_block : Graph.block_id option array; (* innermost loop header per block *)
+}
+
+(* Natural-loop computation: for each back edge (u -> h), the loop body is
+   everything that reaches u without passing through h. *)
+let compute (g : Graph.t) (doms : Dominators.t) : t =
+  let n = Graph.n_blocks g in
+  let reachable = Graph.reachable g in
+  let loops = Hashtbl.create 8 in
+  for u = 0 to n - 1 do
+    if reachable.(u) then
+      List.iter
+        (fun h ->
+          (* back edge iff the target dominates the source *)
+          if reachable.(h) && Dominators.dominates doms h u then begin
+            let l =
+              match Hashtbl.find_opt loops h with
+              | Some l -> l
+              | None ->
+                  let l = { header = h; back_edge_preds = []; members = [ h ]; parent = None } in
+                  Hashtbl.replace loops h l;
+                  l
+            in
+            let l = { l with back_edge_preds = u :: l.back_edge_preds } in
+            (* walk backwards from u collecting members *)
+            let in_loop = Hashtbl.create 16 in
+            List.iter (fun b -> Hashtbl.replace in_loop b ()) l.members;
+            let rec walk b =
+              if not (Hashtbl.mem in_loop b) then begin
+                Hashtbl.replace in_loop b ();
+                List.iter walk (Graph.block g b).Graph.preds
+              end
+            in
+            if not (Hashtbl.mem in_loop u) then walk u;
+            let members = Hashtbl.fold (fun b () acc -> b :: acc) in_loop [] in
+            Hashtbl.replace loops h { l with members }
+          end)
+        (Graph.successors (Graph.block g u).Graph.term)
+  done;
+  (* nesting: the innermost loop of each block; loops sorted by size *)
+  let loop_of_block = Array.make n None in
+  let all = Hashtbl.fold (fun _ l acc -> l :: acc) loops [] in
+  let sorted = List.sort (fun a b -> compare (List.length b.members) (List.length a.members)) all in
+  (* assign from outermost (largest) to innermost (smallest): the last
+     assignment wins, which is the innermost loop *)
+  List.iter
+    (fun l -> List.iter (fun b -> loop_of_block.(b) <- Some l.header) l.members)
+    sorted;
+  (* parents: the innermost *other* loop containing the header *)
+  List.iter
+    (fun l ->
+      let candidates =
+        List.filter
+          (fun l' -> l'.header <> l.header && List.mem l.header l'.members)
+          all
+      in
+      let innermost =
+        List.fold_left
+          (fun acc l' ->
+            match acc with
+            | None -> Some l'
+            | Some best ->
+                if List.length l'.members < List.length best.members then Some l' else Some best)
+          None candidates
+      in
+      l.parent <- Option.map (fun l' -> l'.header) innermost)
+    sorted;
+  { loops; loop_of_block }
+
+let is_header t b = Hashtbl.mem t.loops b
+
+let find t header = Hashtbl.find_opt t.loops header
+
+let innermost_loop t b = if b < Array.length t.loop_of_block then t.loop_of_block.(b) else None
+
+let n_loops t = Hashtbl.length t.loops

@@ -1,0 +1,30 @@
+(** The loop forest: natural loops, their back edges and members, and the
+    nesting relation. Partial escape analysis processes loop regions
+    iteratively to a fixpoint (§5.4 of the paper) and needs exactly this
+    structure. *)
+
+type loop = {
+  header : Graph.block_id;
+  back_edge_preds : Graph.block_id list; (* predecessors along back edges *)
+  members : Graph.block_id list; (* includes the header *)
+  mutable parent : Graph.block_id option; (* header of the enclosing loop *)
+}
+
+type t = {
+  loops : (Graph.block_id, loop) Hashtbl.t; (* keyed by header *)
+  loop_of_block : Graph.block_id option array; (* innermost loop header per block *)
+}
+
+(** [compute g doms] finds the natural loop of every back edge (an edge
+    whose target dominates its source). Assumes a reducible CFG, which the
+    frontend guarantees. *)
+val compute : Graph.t -> Dominators.t -> t
+
+val is_header : t -> Graph.block_id -> bool
+
+val find : t -> Graph.block_id -> loop option
+
+(** [innermost_loop t b] is the innermost loop containing [b], by header. *)
+val innermost_loop : t -> Graph.block_id -> Graph.block_id option
+
+val n_loops : t -> int

@@ -1,0 +1,88 @@
+(* Textual and Graphviz dumps of IR graphs, in the spirit of Figure 2 of
+   the paper. *)
+
+let string_of_terminator (t : Graph.terminator) =
+  match t with
+  | Graph.Goto b -> Printf.sprintf "goto B%d" b
+  | Graph.If { cond; tru; fls; br_bci; _ } ->
+      Printf.sprintf "if v%d then B%d else B%d (bci %d)" cond tru fls br_bci
+  | Graph.Return None -> "return"
+  | Graph.Return (Some v) -> Printf.sprintf "return v%d" v
+  | Graph.Deopt fs -> Printf.sprintf "deopt [%s]" (Fmt.str "%a" Frame_state.pp fs)
+  | Graph.Trap msg -> Printf.sprintf "trap %S" msg
+  | Graph.Unreachable -> "unreachable"
+
+let string_of_kind = function
+  | Graph.Plain -> ""
+  | Graph.Merge -> " (merge)"
+  | Graph.Loop_header -> " (loop header)"
+
+let to_string (g : Graph.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "graph of %s\n" (Pea_bytecode.Classfile.qualified_name g.Graph.g_method));
+  List.iter
+    (fun (p : Node.t) ->
+      Buffer.add_string buf (Printf.sprintf "  v%d = %s\n" p.Node.id (Node.string_of_op p.Node.op)))
+    g.Graph.params;
+  let reachable = Graph.reachable g in
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        Buffer.add_string buf
+          (Printf.sprintf "B%d%s preds=[%s]\n" b.Graph.b_id (string_of_kind b.Graph.kind)
+             (String.concat ", " (List.map (Printf.sprintf "B%d") b.Graph.preds)));
+        List.iter
+          (fun (phi : Node.t) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  v%d = %s\n" phi.Node.id (Node.string_of_op phi.Node.op)))
+          b.Graph.phis;
+        Pea_support.Dyn_array.iter
+          (fun (n : Node.t) ->
+            let fs_str =
+              match n.Node.fs with
+              | None -> ""
+              | Some fs -> Printf.sprintf "   { %s }" (Fmt.str "%a" Frame_state.pp fs)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  v%d = %s%s\n" n.Node.id (Node.string_of_op n.Node.op) fs_str))
+          b.Graph.instrs;
+        Buffer.add_string buf (Printf.sprintf "  %s\n" (string_of_terminator b.Graph.term))
+      end)
+    g;
+  Buffer.contents buf
+
+let pp ppf g = Fmt.string ppf (to_string g)
+
+(* Graphviz rendering: control flow as bold edges between block clusters,
+   data dependencies as thin edges (cf. Figure 2). *)
+let to_dot (g : Graph.t) =
+  let d = Pea_support.Dot.create (Pea_bytecode.Classfile.qualified_name g.Graph.g_method) in
+  let reachable = Graph.reachable g in
+  let node_name (n : Node.t) = Printf.sprintf "n%d" n.Node.id in
+  let declare_node (n : Node.t) =
+    Pea_support.Dot.node d ~id:(node_name n)
+      ~label:(Printf.sprintf "v%d: %s" n.Node.id (Node.string_of_op n.Node.op))
+      ~shape:"box" ();
+    Node.iter_operands
+      (fun input ->
+        Pea_support.Dot.edge d ~src:(Printf.sprintf "n%d" input) ~dst:(node_name n) ~style:"dashed" ())
+      n.Node.op
+  in
+  List.iter declare_node g.Graph.params;
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        let bname = Printf.sprintf "b%d" b.Graph.b_id in
+        Pea_support.Dot.node d ~id:bname
+          ~label:(Printf.sprintf "B%d%s" b.Graph.b_id (string_of_kind b.Graph.kind))
+          ~shape:"ellipse" ~color:"blue" ();
+        List.iter declare_node b.Graph.phis;
+        Pea_support.Dyn_array.iter declare_node b.Graph.instrs;
+        List.iter
+          (fun s ->
+            Pea_support.Dot.edge d ~src:bname ~dst:(Printf.sprintf "b%d" s) ~label:"cfg" ())
+          (Graph.successors b.Graph.term)
+      end)
+    g;
+  Pea_support.Dot.contents d

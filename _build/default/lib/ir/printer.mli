@@ -1,0 +1,15 @@
+(** Textual and Graphviz dumps of IR graphs, in the spirit of Figure 2 of
+    the paper (control flow downward, data dependencies as thin edges). *)
+
+(** [string_of_terminator t] renders one terminator. *)
+val string_of_terminator : Graph.terminator -> string
+
+(** [to_string g] renders the reachable blocks of [g] with instructions,
+    phis, frame states and terminators. *)
+val to_string : Graph.t -> string
+
+val pp : Format.formatter -> Graph.t -> unit
+
+(** [to_dot g] renders [g] as a Graphviz digraph: bold edges for control
+    flow, dashed edges for data dependencies. *)
+val to_dot : Graph.t -> string

@@ -1,0 +1,1 @@
+lib/mjava/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/mjava/lexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/mjava/lexer.mli: Ast

@@ -1,0 +1,1 @@
+lib/mjava/parser.ml: Array Ast Lexer List Printf Set String

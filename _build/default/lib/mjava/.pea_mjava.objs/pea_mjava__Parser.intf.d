@@ -1,0 +1,1 @@
+lib/mjava/parser.mli: Ast

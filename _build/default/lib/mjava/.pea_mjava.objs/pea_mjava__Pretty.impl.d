@@ -1,0 +1,1 @@
+lib/mjava/pretty.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/mjava/pretty.mli: Ast

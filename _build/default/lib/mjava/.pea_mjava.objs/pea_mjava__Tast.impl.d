@@ -1,0 +1,1 @@
+lib/mjava/tast.ml: Ast List

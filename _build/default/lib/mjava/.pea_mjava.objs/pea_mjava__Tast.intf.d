@@ -1,0 +1,1 @@
+lib/mjava/tast.mli: Ast

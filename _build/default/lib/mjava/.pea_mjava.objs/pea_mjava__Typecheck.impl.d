@@ -1,0 +1,1 @@
+lib/mjava/typecheck.ml: Ast Format Hashtbl List Map Option String Tast

@@ -1,0 +1,1 @@
+lib/mjava/typecheck.mli: Ast Tast

@@ -1,0 +1,140 @@
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type loc_token = {
+  tok : token;
+  tpos : Ast.pos;
+}
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [
+    "class"; "extends"; "static"; "synchronized"; "int"; "boolean"; "void";
+    "if"; "else"; "while"; "for"; "return"; "new"; "null"; "true"; "false";
+    "this"; "instanceof"; "print"; "throw"; "try"; "catch";
+  ]
+
+let string_of_token = function
+  | INT_LIT n -> string_of_int n
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* index of beginning of current line *)
+}
+
+let current_pos c : Ast.pos = { line = c.line; col = c.pos - c.bol + 1 }
+
+let peek_char c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let peek_char2 c =
+  if c.pos + 1 < String.length c.src then Some c.src.[c.pos + 1] else None
+
+let advance c =
+  (match peek_char c with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.bol <- c.pos + 1
+  | Some _ | None -> ());
+  c.pos <- c.pos + 1
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident_char ch = is_ident_start ch || is_digit ch
+
+let rec skip_trivia c =
+  match peek_char c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance c;
+      skip_trivia c
+  | Some '/' -> (
+      match peek_char2 c with
+      | Some '/' ->
+          while peek_char c <> None && peek_char c <> Some '\n' do advance c done;
+          skip_trivia c
+      | Some '*' ->
+          let start = current_pos c in
+          advance c;
+          advance c;
+          let rec loop () =
+            match peek_char c, peek_char2 c with
+            | Some '*', Some '/' ->
+                advance c;
+                advance c
+            | Some _, _ ->
+                advance c;
+                loop ()
+            | None, _ -> raise (Lex_error ("unterminated block comment", start))
+          in
+          loop ();
+          skip_trivia c
+      | Some _ | None -> ())
+  | Some _ | None -> ()
+
+(* Multi-character punctuation, longest first. *)
+let multi_punct =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "+="; "-="; "*="; "/="; "%="; "++"; "--" ]
+
+let single_punct = "+-*/%<>=!(){}[];,."
+
+let lex_token c : loc_token option =
+  skip_trivia c;
+  let tpos = current_pos c in
+  match peek_char c with
+  | None -> None
+  | Some ch when is_digit ch ->
+      let start = c.pos in
+      while (match peek_char c with Some d -> is_digit d | None -> false) do
+        advance c
+      done;
+      let text = String.sub c.src start (c.pos - start) in
+      (match int_of_string_opt text with
+      | Some n -> Some { tok = INT_LIT n; tpos }
+      | None -> raise (Lex_error ("integer literal out of range: " ^ text, tpos)))
+  | Some ch when is_ident_start ch ->
+      let start = c.pos in
+      while (match peek_char c with Some d -> is_ident_char d | None -> false) do
+        advance c
+      done;
+      let text = String.sub c.src start (c.pos - start) in
+      if List.mem text keywords then Some { tok = KW text; tpos }
+      else Some { tok = IDENT text; tpos }
+  | Some ch ->
+      let two =
+        match peek_char2 c with
+        | Some ch2 -> Some (Printf.sprintf "%c%c" ch ch2)
+        | None -> None
+      in
+      (match two with
+      | Some p when List.mem p multi_punct ->
+          advance c;
+          advance c;
+          Some { tok = PUNCT p; tpos }
+      | Some _ | None ->
+          if String.contains single_punct ch then begin
+            advance c;
+            Some { tok = PUNCT (String.make 1 ch); tpos }
+          end
+          else raise (Lex_error (Printf.sprintf "unexpected character %C" ch, tpos)))
+
+let tokenize src =
+  let c = { src; pos = 0; line = 1; bol = 0 } in
+  let rec loop acc =
+    match lex_token c with
+    | Some t -> loop (t :: acc)
+    | None -> List.rev ({ tok = EOF; tpos = current_pos c } :: acc)
+  in
+  loop []

@@ -1,0 +1,25 @@
+(** Hand-written lexer for MiniJava source text. *)
+
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW of string (* one of the reserved words *)
+  | PUNCT of string (* operators and delimiters, e.g. "==", "{", "&&" *)
+  | EOF
+
+type loc_token = {
+  tok : token;
+  tpos : Ast.pos;
+}
+
+exception Lex_error of string * Ast.pos
+
+(** [tokenize src] lexes a full compilation unit.
+    @raise Lex_error on malformed input. *)
+val tokenize : string -> loc_token list
+
+(** [string_of_token t] renders a token for error messages. *)
+val string_of_token : token -> string
+
+(** The reserved words of MJ. *)
+val keywords : string list

@@ -1,0 +1,542 @@
+open Ast
+
+exception Parse_error of string * Ast.pos
+
+module StrSet = Set.Make (String)
+
+type state = {
+  toks : Lexer.loc_token array;
+  mutable idx : int;
+  classes : StrSet.t;
+}
+
+let cur s = s.toks.(s.idx)
+
+let peek_tok s = (cur s).tok
+
+let peek_tok_at s n =
+  let i = min (s.idx + n) (Array.length s.toks - 1) in
+  s.toks.(i).tok
+
+let pos_of s = (cur s).tpos
+
+let error s msg = raise (Parse_error (msg, pos_of s))
+
+let advance s = if s.idx < Array.length s.toks - 1 then s.idx <- s.idx + 1
+
+let eat_punct s p =
+  match peek_tok s with
+  | Lexer.PUNCT q when q = p -> advance s
+  | t -> error s (Printf.sprintf "expected %S but found %S" p (Lexer.string_of_token t))
+
+let eat_kw s k =
+  match peek_tok s with
+  | Lexer.KW q when q = k -> advance s
+  | t -> error s (Printf.sprintf "expected keyword %S but found %S" k (Lexer.string_of_token t))
+
+let accept_punct s p =
+  match peek_tok s with
+  | Lexer.PUNCT q when q = p ->
+      advance s;
+      true
+  | _ -> false
+
+let accept_kw s k =
+  match peek_tok s with
+  | Lexer.KW q when q = k ->
+      advance s;
+      true
+  | _ -> false
+
+let expect_ident s =
+  match peek_tok s with
+  | Lexer.IDENT name ->
+      advance s;
+      name
+  | t -> error s (Printf.sprintf "expected identifier but found %S" (Lexer.string_of_token t))
+
+let is_class_name s name = StrSet.mem name s.classes
+
+(* type := ("int" | "boolean" | ClassIdent) ("[" "]")* *)
+let rec parse_array_suffix s base =
+  if peek_tok s = Lexer.PUNCT "[" && peek_tok_at s 1 = Lexer.PUNCT "]" then begin
+    advance s;
+    advance s;
+    parse_array_suffix s (Tarray base)
+  end
+  else base
+
+let parse_type s =
+  let base =
+    match peek_tok s with
+    | Lexer.KW "int" ->
+        advance s;
+        Tint
+    | Lexer.KW "boolean" ->
+        advance s;
+        Tbool
+    | Lexer.IDENT name ->
+        advance s;
+        Tclass name
+    | t -> error s (Printf.sprintf "expected a type but found %S" (Lexer.string_of_token t))
+  in
+  parse_array_suffix s base
+
+(* Lookahead: does a type start here? Used to distinguish local declarations
+   from expression statements. *)
+let starts_declaration s =
+  match peek_tok s with
+  | Lexer.KW ("int" | "boolean") -> true
+  | Lexer.IDENT _ -> (
+      (* "C x" or "C[] x" where the following token shape matches a decl *)
+      match peek_tok_at s 1 with
+      | Lexer.IDENT _ -> true
+      | Lexer.PUNCT "[" -> peek_tok_at s 2 = Lexer.PUNCT "]"
+      | _ -> false)
+  | _ -> false
+
+let rec parse_expr_prec s = parse_or s
+
+and parse_or s =
+  let epos = pos_of s in
+  let lhs = parse_and s in
+  if accept_punct s "||" then { ex = Or (lhs, parse_or s); epos } else lhs
+
+and parse_and s =
+  let epos = pos_of s in
+  let lhs = parse_equality s in
+  if accept_punct s "&&" then { ex = And (lhs, parse_and s); epos } else lhs
+
+and parse_equality s =
+  let epos = pos_of s in
+  let lhs = parse_relational s in
+  let rec loop lhs =
+    if accept_punct s "==" then loop { ex = Binary (Eq, lhs, parse_relational s); epos }
+    else if accept_punct s "!=" then loop { ex = Binary (Ne, lhs, parse_relational s); epos }
+    else lhs
+  in
+  loop lhs
+
+and parse_relational s =
+  let epos = pos_of s in
+  let lhs = parse_additive s in
+  if accept_kw s "instanceof" then
+    let cls = expect_ident s in
+    { ex = Instance_of (lhs, cls); epos }
+  else
+    let rec loop lhs =
+      if accept_punct s "<" then loop { ex = Binary (Lt, lhs, parse_additive s); epos }
+      else if accept_punct s "<=" then loop { ex = Binary (Le, lhs, parse_additive s); epos }
+      else if accept_punct s ">" then loop { ex = Binary (Gt, lhs, parse_additive s); epos }
+      else if accept_punct s ">=" then loop { ex = Binary (Ge, lhs, parse_additive s); epos }
+      else lhs
+    in
+    loop lhs
+
+and parse_additive s =
+  let epos = pos_of s in
+  let lhs = parse_multiplicative s in
+  let rec loop lhs =
+    if accept_punct s "+" then loop { ex = Binary (Add, lhs, parse_multiplicative s); epos }
+    else if accept_punct s "-" then loop { ex = Binary (Sub, lhs, parse_multiplicative s); epos }
+    else lhs
+  in
+  loop lhs
+
+and parse_multiplicative s =
+  let epos = pos_of s in
+  let lhs = parse_unary s in
+  let rec loop lhs =
+    if accept_punct s "*" then loop { ex = Binary (Mul, lhs, parse_unary s); epos }
+    else if accept_punct s "/" then loop { ex = Binary (Div, lhs, parse_unary s); epos }
+    else if accept_punct s "%" then loop { ex = Binary (Rem, lhs, parse_unary s); epos }
+    else lhs
+  in
+  loop lhs
+
+and parse_unary s =
+  let epos = pos_of s in
+  if accept_punct s "!" then { ex = Unary (Not, parse_unary s); epos }
+  else if accept_punct s "-" then { ex = Unary (Neg, parse_unary s); epos }
+  else if
+    (* cast: "(" ClassName ")" unary *)
+    peek_tok s = Lexer.PUNCT "("
+    && (match peek_tok_at s 1 with
+       | Lexer.IDENT name -> is_class_name s name && peek_tok_at s 2 = Lexer.PUNCT ")"
+       | _ -> false)
+  then begin
+    advance s;
+    let cls = expect_ident s in
+    eat_punct s ")";
+    { ex = Cast (cls, parse_unary s); epos }
+  end
+  else parse_postfix s
+
+and parse_postfix s =
+  let lhs = parse_primary s in
+  let rec loop lhs =
+    let epos = pos_of s in
+    if accept_punct s "." then begin
+      let name = expect_ident s in
+      if accept_punct s "(" then begin
+        let args = parse_args s in
+        loop { ex = Call (lhs, name, args); epos }
+      end
+      else loop { ex = Field (lhs, name); epos }
+    end
+    else if peek_tok s = Lexer.PUNCT "[" then begin
+      advance s;
+      let idx = parse_expr_prec s in
+      eat_punct s "]";
+      loop { ex = Index (lhs, idx); epos }
+    end
+    else lhs
+  in
+  loop lhs
+
+(* Call arguments; the opening "(" has already been consumed. *)
+and parse_args s =
+  if accept_punct s ")" then []
+  else
+    let rec loop acc =
+      let e = parse_expr_prec s in
+      if accept_punct s "," then loop (e :: acc)
+      else begin
+        eat_punct s ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+
+and parse_primary s =
+  let epos = pos_of s in
+  match peek_tok s with
+  | Lexer.INT_LIT n ->
+      advance s;
+      { ex = Int n; epos }
+  | Lexer.KW "true" ->
+      advance s;
+      { ex = Bool true; epos }
+  | Lexer.KW "false" ->
+      advance s;
+      { ex = Bool false; epos }
+  | Lexer.KW "null" ->
+      advance s;
+      { ex = Null; epos }
+  | Lexer.KW "this" ->
+      advance s;
+      { ex = This; epos }
+  | Lexer.PUNCT "(" ->
+      advance s;
+      let e = parse_expr_prec s in
+      eat_punct s ")";
+      e
+  | Lexer.KW "new" ->
+      advance s;
+      (match peek_tok s with
+      | Lexer.KW "int" ->
+          advance s;
+          parse_new_array s Tint epos
+      | Lexer.KW "boolean" ->
+          advance s;
+          parse_new_array s Tbool epos
+      | Lexer.IDENT cls ->
+          advance s;
+          if accept_punct s "(" then
+            let args = parse_args s in
+            { ex = New (cls, args); epos }
+          else parse_new_array s (Tclass cls) epos
+      | t -> error s (Printf.sprintf "expected class or type after 'new', found %S" (Lexer.string_of_token t)))
+  | Lexer.IDENT name ->
+      advance s;
+      if is_class_name s name && peek_tok s = Lexer.PUNCT "." then begin
+        advance s;
+        let member = expect_ident s in
+        if accept_punct s "(" then
+          let args = parse_args s in
+          { ex = Static_call (name, member, args); epos }
+        else { ex = Static_field (name, member); epos }
+      end
+      else if accept_punct s "(" then
+        let args = parse_args s in
+        { ex = Name_call (name, args); epos }
+      else { ex = Name name; epos }
+  | t -> error s (Printf.sprintf "expected an expression but found %S" (Lexer.string_of_token t))
+
+(* new T[len] ("[]")* — the element type may itself be an array type. *)
+and parse_new_array s base epos =
+  eat_punct s "[";
+  let len = parse_expr_prec s in
+  eat_punct s "]";
+  let elem = parse_array_suffix s base in
+  { ex = New_array (elem, len); epos }
+
+let is_lvalue e =
+  match e.ex with
+  | Name _ | Field _ | Static_field _ | Index _ -> true
+  | Int _ | Bool _ | Null | This | Unary _ | Binary _ | And _ | Or _ | Length _
+  | Call _ | Name_call _ | Static_call _ | New _ | New_array _ | Instance_of _ | Cast _ ->
+      false
+
+let rec parse_stmt s : stmt =
+  let spos = pos_of s in
+  match peek_tok s with
+  | Lexer.PUNCT "{" ->
+      advance s;
+      let body = parse_stmt_list s in
+      eat_punct s "}";
+      { st = Block body; spos }
+  | Lexer.KW "if" ->
+      advance s;
+      eat_punct s "(";
+      let cond = parse_expr_prec s in
+      eat_punct s ")";
+      let then_branch = parse_stmt s in
+      let else_branch = if accept_kw s "else" then Some (parse_stmt s) else None in
+      { st = If (cond, then_branch, else_branch); spos }
+  | Lexer.KW "while" ->
+      advance s;
+      eat_punct s "(";
+      let cond = parse_expr_prec s in
+      eat_punct s ")";
+      let body = parse_stmt s in
+      { st = While (cond, body); spos }
+  | Lexer.KW "for" ->
+      (* sugar: for (init; cond; update) body
+         =>  { init; while (cond) { body; update; } } *)
+      advance s;
+      eat_punct s "(";
+      let init =
+        if peek_tok s = Lexer.PUNCT ";" then begin
+          advance s;
+          []
+        end
+        else begin
+          let st = parse_simple_stmt s in
+          eat_punct s ";";
+          [ st ]
+        end
+      in
+      let cond =
+        if peek_tok s = Lexer.PUNCT ";" then { ex = Bool true; epos = pos_of s }
+        else parse_expr_prec s
+      in
+      eat_punct s ";";
+      let update =
+        if peek_tok s = Lexer.PUNCT ")" then [] else [ parse_simple_stmt s ]
+      in
+      eat_punct s ")";
+      let body = parse_stmt s in
+      let loop_body = { st = Block (body :: update); spos } in
+      { st = Block (init @ [ { st = While (cond, loop_body); spos } ]); spos }
+  | Lexer.KW "return" ->
+      advance s;
+      if accept_punct s ";" then { st = Return None; spos }
+      else begin
+        let e = parse_expr_prec s in
+        eat_punct s ";";
+        { st = Return (Some e); spos }
+      end
+  | Lexer.KW "synchronized" ->
+      advance s;
+      eat_punct s "(";
+      let e = parse_expr_prec s in
+      eat_punct s ")";
+      eat_punct s "{";
+      let body = parse_stmt_list s in
+      eat_punct s "}";
+      { st = Sync (e, body); spos }
+  | Lexer.KW "throw" ->
+      advance s;
+      let e = parse_expr_prec s in
+      eat_punct s ";";
+      { st = Throw e; spos }
+  | Lexer.KW "try" ->
+      advance s;
+      eat_punct s "{";
+      let body = parse_stmt_list s in
+      eat_punct s "}";
+      let rec catches acc =
+        if accept_kw s "catch" then begin
+          let cc_pos = pos_of s in
+          eat_punct s "(";
+          let cc_class = expect_ident s in
+          let cc_var = expect_ident s in
+          eat_punct s ")";
+          eat_punct s "{";
+          let cc_body = parse_stmt_list s in
+          eat_punct s "}";
+          catches ({ cc_class; cc_var; cc_body; cc_pos } :: acc)
+        end
+        else List.rev acc
+      in
+      let clauses = catches [] in
+      if clauses = [] then
+        raise (Parse_error ("try requires at least one catch clause", spos));
+      { st = Try (body, clauses); spos }
+  | Lexer.KW "print" ->
+      advance s;
+      eat_punct s "(";
+      let e = parse_expr_prec s in
+      eat_punct s ")";
+      eat_punct s ";";
+      { st = Print e; spos }
+  | _ ->
+      let st = parse_simple_stmt s in
+      eat_punct s ";";
+      st
+
+(* Declarations, assignments (plain, compound, increment/decrement) and
+   call statements, without the trailing ";" — shared by statements and
+   for-loop headers. *)
+and parse_simple_stmt s : stmt =
+  let spos = pos_of s in
+  if starts_declaration s then begin
+    let ty = parse_type s in
+    let name = expect_ident s in
+    let init = if accept_punct s "=" then Some (parse_expr_prec s) else None in
+    { st = Decl (ty, name, init); spos }
+  end
+  else begin
+    let e = parse_expr_prec s in
+    let require_lvalue () =
+      if not (is_lvalue e) then
+        raise (Parse_error ("left-hand side of assignment is not assignable", spos))
+    in
+    let compound op rhs = { st = Assign (e, { ex = Binary (op, e, rhs); epos = spos }); spos } in
+    if accept_punct s "=" then begin
+      require_lvalue ();
+      { st = Assign (e, parse_expr_prec s); spos }
+    end
+    else if accept_punct s "+=" then (require_lvalue (); compound Add (parse_expr_prec s))
+    else if accept_punct s "-=" then (require_lvalue (); compound Sub (parse_expr_prec s))
+    else if accept_punct s "*=" then (require_lvalue (); compound Mul (parse_expr_prec s))
+    else if accept_punct s "/=" then (require_lvalue (); compound Div (parse_expr_prec s))
+    else if accept_punct s "%=" then (require_lvalue (); compound Rem (parse_expr_prec s))
+    else if accept_punct s "++" then (require_lvalue (); compound Add { ex = Int 1; epos = spos })
+    else if accept_punct s "--" then (require_lvalue (); compound Sub { ex = Int 1; epos = spos })
+    else { st = Expr_stmt e; spos }
+  end
+
+and parse_stmt_list s =
+  let rec loop acc =
+    match peek_tok s with
+    | Lexer.PUNCT "}" | Lexer.EOF -> List.rev acc
+    | _ -> loop (parse_stmt s :: acc)
+  in
+  loop []
+
+(* parameter list; the opening "(" has already been consumed *)
+let parse_params s =
+  if accept_punct s ")" then []
+  else
+    let rec loop acc =
+      let ty = parse_type s in
+      let name = expect_ident s in
+      if accept_punct s "," then loop ((ty, name) :: acc)
+      else begin
+        eat_punct s ")";
+        List.rev ((ty, name) :: acc)
+      end
+    in
+    loop []
+
+(* member := "static"? "synchronized"? (type|"void") ID "(" ... | type ID ";"
+   or a constructor: ClassName "(" ... *)
+let parse_member s ~class_name =
+  let m_pos = pos_of s in
+  let m_static = accept_kw s "static" in
+  let m_sync = accept_kw s "synchronized" in
+  if accept_kw s "void" then begin
+    let name = expect_ident s in
+    eat_punct s "(";
+    let params = parse_params s in
+    eat_punct s "{";
+    let body = parse_stmt_list s in
+    eat_punct s "}";
+    `Method { m_name = name; m_static; m_sync; m_ret = None; m_params = params; m_body = body; m_pos }
+  end
+  else if
+    (* constructor: ClassName "(" *)
+    (not m_static)
+    && (match peek_tok s with Lexer.IDENT n -> n = class_name | _ -> false)
+    && peek_tok_at s 1 = Lexer.PUNCT "("
+  then begin
+    advance s;
+    advance s;
+    let params = parse_params s in
+    eat_punct s "{";
+    let body = parse_stmt_list s in
+    eat_punct s "}";
+    if m_sync then raise (Parse_error ("constructors cannot be synchronized", m_pos));
+    `Method
+      { m_name = ctor_name; m_static; m_sync = false; m_ret = None; m_params = params; m_body = body; m_pos }
+  end
+  else begin
+    let ty = parse_type s in
+    let name = expect_ident s in
+    if accept_punct s "(" then begin
+      let params = parse_params s in
+      eat_punct s "{";
+      let body = parse_stmt_list s in
+      eat_punct s "}";
+      `Method { m_name = name; m_static; m_sync; m_ret = Some ty; m_params = params; m_body = body; m_pos }
+    end
+    else begin
+      if m_sync then raise (Parse_error ("fields cannot be synchronized", m_pos));
+      eat_punct s ";";
+      `Field (m_static, ty, name, m_pos)
+    end
+  end
+
+let parse_class s =
+  let c_pos = pos_of s in
+  eat_kw s "class";
+  let c_name = expect_ident s in
+  let c_super = if accept_kw s "extends" then Some (expect_ident s) else None in
+  eat_punct s "{";
+  let rec loop fields methods =
+    if accept_punct s "}" then (List.rev fields, List.rev methods)
+    else
+      match parse_member s ~class_name:c_name with
+      | `Field f -> loop (f :: fields) methods
+      | `Method m -> loop fields (m :: methods)
+  in
+  let c_fields, c_methods = loop [] [] in
+  { c_name; c_super; c_fields; c_methods; c_pos }
+
+(* Pre-scan for class names so casts and static references parse with fixed
+   lookahead. *)
+let scan_class_names toks =
+  let rec loop i acc =
+    if i >= Array.length toks - 1 then acc
+    else
+      match toks.(i).Lexer.tok, toks.(i + 1).Lexer.tok with
+      | Lexer.KW "class", Lexer.IDENT name -> loop (i + 2) (StrSet.add name acc)
+      | _ -> loop (i + 1) acc
+  in
+  loop 0 (StrSet.singleton Ast.object_class)
+
+let make_state src ~extra_classes =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let classes =
+    List.fold_left (fun acc c -> StrSet.add c acc) (scan_class_names toks) extra_classes
+  in
+  { toks; idx = 0; classes }
+
+let parse_program src =
+  let s = make_state src ~extra_classes:[] in
+  let rec loop acc =
+    match peek_tok s with
+    | Lexer.EOF -> List.rev acc
+    | _ -> loop (parse_class s :: acc)
+  in
+  loop []
+
+let parse_expr ~class_names src =
+  let s = make_state src ~extra_classes:class_names in
+  let e = parse_expr_prec s in
+  (match peek_tok s with
+  | Lexer.EOF -> ()
+  | t -> error s (Printf.sprintf "trailing input after expression: %S" (Lexer.string_of_token t)));
+  e

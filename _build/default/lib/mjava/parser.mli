@@ -1,0 +1,15 @@
+(** Recursive-descent parser for MiniJava.
+
+    Class names are pre-scanned before the real parse so that casts
+    [(C) expr] and static references [C.f] can be disambiguated from
+    parenthesised expressions and local variable accesses with one token of
+    lookahead. *)
+
+exception Parse_error of string * Ast.pos
+
+(** [parse_program src] parses a full compilation unit.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+val parse_program : string -> Ast.program
+
+(** [parse_expr ~class_names src] parses a single expression (test helper). *)
+val parse_expr : class_names:string list -> string -> Ast.expr

@@ -1,0 +1,129 @@
+open Ast
+
+let buf_add = Buffer.add_string
+
+(* Expressions are printed fully parenthesized except at obviously
+   unambiguous positions; this keeps the printer precedence-free and the
+   roundtrip property easy to maintain. *)
+let rec expr (e : expr) =
+  match e.ex with
+  | Int n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | Bool b -> string_of_bool b
+  | Null -> "null"
+  | This -> "this"
+  | Name n -> n
+  | Unary (op, a) -> Printf.sprintf "(%s%s)" (string_of_unop op) (expr a)
+  | Binary (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr a) (string_of_binop op) (expr b)
+  | And (a, b) -> Printf.sprintf "(%s && %s)" (expr a) (expr b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (expr a) (expr b)
+  | Field (r, f) -> Printf.sprintf "%s.%s" (expr r) f
+  | Static_field (c, f) -> Printf.sprintf "%s.%s" c f
+  | Index (a, i) -> Printf.sprintf "%s[%s]" (expr a) (expr i)
+  | Length a -> Printf.sprintf "%s.length" (expr a)
+  | Call (r, m, args) -> Printf.sprintf "%s.%s(%s)" (expr r) m (args_str args)
+  | Name_call (m, args) -> Printf.sprintf "%s(%s)" m (args_str args)
+  | Static_call (c, m, args) -> Printf.sprintf "%s.%s(%s)" c m (args_str args)
+  | New (c, args) -> Printf.sprintf "new %s(%s)" c (args_str args)
+  | New_array (elem, len) ->
+      (* new T[len] followed by the extra [] of a multi-dimensional
+         element type *)
+      let rec base_and_dims t dims =
+        match t with Tarray inner -> base_and_dims inner (dims + 1) | t -> (t, dims)
+      in
+      let base, dims = base_and_dims elem 0 in
+      Printf.sprintf "new %s[%s]%s" (string_of_ty base) (expr len)
+        (String.concat "" (List.init dims (fun _ -> "[]")))
+  | Instance_of (a, c) -> Printf.sprintf "(%s instanceof %s)" (expr a) c
+  | Cast (c, a) -> Printf.sprintf "((%s) %s)" c (expr a)
+
+and args_str args = String.concat ", " (List.map expr args)
+
+let pad n = String.make (2 * n) ' '
+
+let rec stmt ~indent (s : stmt) =
+  let ind = pad indent in
+  match s.st with
+  | Decl (ty, name, None) -> Printf.sprintf "%s%s %s;" ind (string_of_ty ty) name
+  | Decl (ty, name, Some e) ->
+      Printf.sprintf "%s%s %s = %s;" ind (string_of_ty ty) name (expr e)
+  | Assign (lhs, rhs) -> Printf.sprintf "%s%s = %s;" ind (expr lhs) (expr rhs)
+  | If (c, thn, els) -> (
+      let thn_str = block_or_stmt ~indent thn in
+      match els with
+      | None -> Printf.sprintf "%sif (%s) %s" ind (expr c) thn_str
+      | Some els -> Printf.sprintf "%sif (%s) %s else %s" ind (expr c) thn_str (block_or_stmt ~indent els))
+  | While (c, body) -> Printf.sprintf "%swhile (%s) %s" ind (expr c) (block_or_stmt ~indent body)
+  | Return None -> ind ^ "return;"
+  | Return (Some e) -> Printf.sprintf "%sreturn %s;" ind (expr e)
+  | Sync (e, body) ->
+      Printf.sprintf "%ssynchronized (%s) {\n%s\n%s}" ind (expr e) (stmts ~indent:(indent + 1) body)
+        ind
+  | Block body -> Printf.sprintf "%s{\n%s\n%s}" ind (stmts ~indent:(indent + 1) body) ind
+  | Expr_stmt e -> Printf.sprintf "%s%s;" ind (expr e)
+  | Print e -> Printf.sprintf "%sprint(%s);" ind (expr e)
+  | Throw e -> Printf.sprintf "%sthrow %s;" ind (expr e)
+  | Try (body, clauses) ->
+      let catches =
+        String.concat ""
+          (List.map
+             (fun cc ->
+               Printf.sprintf " catch (%s %s) {\n%s\n%s}" cc.cc_class cc.cc_var
+                 (stmts ~indent:(indent + 1) cc.cc_body)
+                 ind)
+             clauses)
+      in
+      Printf.sprintf "%stry {\n%s\n%s}%s" ind (stmts ~indent:(indent + 1) body) ind catches
+
+(* bodies of if/while always print as blocks, so dangling-else cannot
+   change meaning on reparse *)
+and block_or_stmt ~indent (s : stmt) =
+  match s.st with
+  | Block body -> Printf.sprintf "{\n%s\n%s}" (stmts ~indent:(indent + 1) body) (pad indent)
+  | _ -> Printf.sprintf "{\n%s\n%s}" (stmt ~indent:(indent + 1) s) (pad indent)
+
+and stmts ~indent body =
+  match body with
+  | [] -> pad indent
+  | _ -> String.concat "\n" (List.map (stmt ~indent) body)
+
+let method_decl (m : method_decl) =
+  let params =
+    String.concat ", " (List.map (fun (ty, n) -> string_of_ty ty ^ " " ^ n) m.m_params)
+  in
+  let header =
+    if m.m_name = ctor_name then Printf.sprintf "(%s)" params
+    else
+      Printf.sprintf "%s%s%s %s(%s)"
+        (if m.m_static then "static " else "")
+        (if m.m_sync then "synchronized " else "")
+        (match m.m_ret with None -> "void" | Some t -> string_of_ty t)
+        m.m_name params
+  in
+  Printf.sprintf "  %s {\n%s\n  }" header (stmts ~indent:2 m.m_body)
+
+let class_decl (c : class_decl) =
+  let buf = Buffer.create 256 in
+  buf_add buf
+    (Printf.sprintf "class %s%s {\n" c.c_name
+       (match c.c_super with None -> "" | Some s -> " extends " ^ s));
+  List.iter
+    (fun (st, ty, name, _) ->
+      buf_add buf
+        (Printf.sprintf "  %s%s %s;\n" (if st then "static " else "") (string_of_ty ty) name))
+    c.c_fields;
+  List.iter
+    (fun (m : method_decl) ->
+      (* constructors print as ClassName(params) *)
+      if m.m_name = ctor_name then begin
+        let params =
+          String.concat ", " (List.map (fun (ty, n) -> string_of_ty ty ^ " " ^ n) m.m_params)
+        in
+        buf_add buf
+          (Printf.sprintf "  %s(%s) {\n%s\n  }\n" c.c_name params (stmts ~indent:2 m.m_body))
+      end
+      else buf_add buf (method_decl m ^ "\n"))
+    c.c_methods;
+  buf_add buf "}";
+  Buffer.contents buf
+
+let program (p : program) = String.concat "\n" (List.map class_decl p) ^ "\n"

@@ -1,0 +1,16 @@
+(** Pretty-printer for MiniJava syntax trees.
+
+    The output is valid MJ source: for every program [p],
+    [parse (print p)] succeeds and prints back to the same text
+    (print-parse-print is a fixpoint), which the test suite checks by
+    property. *)
+
+(** [program p] renders a whole compilation unit. *)
+val program : Ast.program -> string
+
+(** [expr e] renders one expression (fully parenthesized). *)
+val expr : Ast.expr -> string
+
+(** [stmt ~indent s] renders one statement at the given indentation
+    depth. *)
+val stmt : indent:int -> Ast.stmt -> string

@@ -1,0 +1,626 @@
+open Ast
+open Tast
+
+exception Type_error of string * Ast.pos
+
+let err pos fmt = Format.kasprintf (fun msg -> raise (Type_error (msg, pos))) fmt
+
+module StrMap = Map.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Class environment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type class_env = {
+  decls : class_decl StrMap.t;
+}
+
+let object_decl =
+  {
+    c_name = object_class;
+    c_super = None;
+    c_fields = [];
+    c_methods = [];
+    c_pos = dummy_pos;
+  }
+
+let build_class_env (prog : program) =
+  let decls =
+    List.fold_left
+      (fun acc c ->
+        if StrMap.mem c.c_name acc then err c.c_pos "duplicate class %s" c.c_name
+        else StrMap.add c.c_name c acc)
+      (StrMap.singleton object_class object_decl)
+      prog
+  in
+  { decls }
+
+let lookup_class env pos name =
+  match StrMap.find_opt name env.decls with
+  | Some c -> c
+  | None -> err pos "unknown class %s" name
+
+let super_of env pos (c : class_decl) =
+  match c.c_super with
+  | None -> if c.c_name = object_class then None else Some (lookup_class env pos object_class)
+  | Some s -> Some (lookup_class env c.c_pos s)
+
+(* Ancestors from the class itself up to Object; also detects cycles. *)
+let ancestry env (c : class_decl) =
+  let rec loop acc c =
+    if List.exists (fun (a : class_decl) -> a.c_name = c.c_name) acc then
+      err c.c_pos "cyclic inheritance involving %s" c.c_name
+    else
+      match super_of env c.c_pos c with
+      | None -> List.rev (c :: acc)
+      | Some s -> loop (c :: acc) s
+  in
+  loop [] c
+
+let is_ancestor env ~cls ~anc =
+  List.exists (fun (a : class_decl) -> a.c_name = anc) (ancestry env (lookup_class env dummy_pos cls))
+
+let rec valid_ty env pos = function
+  | Tint | Tbool -> ()
+  | Tclass c -> ignore (lookup_class env pos c)
+  | Tarray t -> valid_ty env pos t
+  | Tnull -> err pos "the null type cannot be written"
+
+let subtype_env env (a : ty) (b : ty) =
+  match a, b with
+  | _, _ when a = b -> true
+  | Tnull, (Tclass _ | Tarray _) -> true
+  | Tarray _, Tclass o when o = object_class -> true
+  | Tclass ca, Tclass cb -> is_ancestor env ~cls:ca ~anc:cb
+  | (Tint | Tbool | Tclass _ | Tarray _ | Tnull), _ -> false
+
+(* Instance-field lookup walking the superclass chain. *)
+let find_instance_field env pos ~cls ~field =
+  let rec loop (c : class_decl) =
+    match
+      List.find_opt (fun (st, _, n, _) -> (not st) && n = field) c.c_fields
+    with
+    | Some (_, ty, name, _) -> Some { fr_class = c.c_name; fr_name = name; fr_ty = ty; fr_static = false }
+    | None -> (
+        match super_of env pos c with None -> None | Some s -> loop s)
+  in
+  loop (lookup_class env pos cls)
+
+let find_static_field env pos ~cls ~field =
+  let rec loop (c : class_decl) =
+    match List.find_opt (fun (st, _, n, _) -> st && n = field) c.c_fields with
+    | Some (_, ty, name, _) -> Some { fr_class = c.c_name; fr_name = name; fr_ty = ty; fr_static = true }
+    | None -> (
+        match super_of env pos c with None -> None | Some s -> loop s)
+  in
+  loop (lookup_class env pos cls)
+
+let method_ref_of env (c : class_decl) (m : method_decl) =
+  ignore env;
+  {
+    mr_class = c.c_name;
+    mr_name = m.m_name;
+    mr_params = List.map fst m.m_params;
+    mr_ret = m.m_ret;
+    mr_static = m.m_static;
+  }
+
+(* Method lookup walking the superclass chain; returns the statically
+   resolved declaration site. *)
+let find_method_ref env pos ~cls ~name =
+  let rec loop (c : class_decl) =
+    match List.find_opt (fun (m : method_decl) -> m.m_name = name) c.c_methods with
+    | Some m -> Some (method_ref_of env c m)
+    | None -> (
+        match super_of env pos c with None -> None | Some s -> loop s)
+  in
+  loop (lookup_class env pos cls)
+
+let find_ctor env pos ~cls =
+  let c = lookup_class env pos cls in
+  List.find_opt (fun (m : method_decl) -> m.m_name = ctor_name) c.c_methods
+  |> Option.map (method_ref_of env c)
+
+(* ------------------------------------------------------------------ *)
+(* Local scopes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type scope = {
+  mutable frames : (string, var) Hashtbl.t list;
+  mutable next_slot : int;
+  mutable max_slot : int;
+}
+
+let scope_create ~first_slot =
+  { frames = [ Hashtbl.create 8 ]; next_slot = first_slot; max_slot = first_slot }
+
+let scope_push sc = sc.frames <- Hashtbl.create 8 :: sc.frames
+
+let scope_pop sc =
+  match sc.frames with
+  | _ :: rest -> sc.frames <- rest
+  | [] -> assert false
+
+let scope_find sc name =
+  let rec loop = function
+    | [] -> None
+    | f :: rest -> ( match Hashtbl.find_opt f name with Some v -> Some v | None -> loop rest)
+  in
+  loop sc.frames
+
+let scope_declare sc pos name ty =
+  (match sc.frames with
+  | f :: _ ->
+      if Hashtbl.mem f name then err pos "duplicate local variable %s" name
+  | [] -> assert false);
+  let v = { v_slot = sc.next_slot; v_name = name; v_ty = ty } in
+  sc.next_slot <- sc.next_slot + 1;
+  if sc.next_slot > sc.max_slot then sc.max_slot <- sc.next_slot;
+  (match sc.frames with f :: _ -> Hashtbl.add f name v | [] -> assert false);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Expression checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  env : class_env;
+  cls : class_decl; (* enclosing class *)
+  meth : method_decl; (* enclosing method *)
+  scope : scope;
+}
+
+let class_of_ty pos = function
+  | Tclass c -> c
+  | t -> err pos "expected an object type but found %s" (string_of_ty t)
+
+let rec check_expr ctx (e : expr) : texpr =
+  let pos = e.epos in
+  match e.ex with
+  | Int n -> { tex = Tint_lit n; ty = Tint }
+  | Bool b -> { tex = Tbool_lit b; ty = Tbool }
+  | Null -> { tex = Tnull_lit; ty = Tnull }
+  | This ->
+      if ctx.meth.m_static then err pos "this cannot be used in a static method";
+      { tex = Tthis; ty = Tclass ctx.cls.c_name }
+  | Name n -> (
+      match scope_find ctx.scope n with
+      | Some v -> { tex = Tlocal v; ty = v.v_ty }
+      | None -> (
+          (* implicit this.field or static field of the enclosing class *)
+          match find_instance_field ctx.env pos ~cls:ctx.cls.c_name ~field:n with
+          | Some fr when not ctx.meth.m_static ->
+              { tex = Tfield ({ tex = Tthis; ty = Tclass ctx.cls.c_name }, fr); ty = fr.fr_ty }
+          | Some _ | None -> (
+              match find_static_field ctx.env pos ~cls:ctx.cls.c_name ~field:n with
+              | Some fr -> { tex = Tstatic_field fr; ty = fr.fr_ty }
+              | None -> err pos "unknown variable %s" n)))
+  | Unary (Neg, e1) ->
+      let t1 = check_expr ctx e1 in
+      expect ctx pos t1.ty Tint "operand of unary -";
+      { tex = Tunary (Neg, t1); ty = Tint }
+  | Unary (Not, e1) ->
+      let t1 = check_expr ctx e1 in
+      expect ctx pos t1.ty Tbool "operand of !";
+      { tex = Tunary (Not, t1); ty = Tbool }
+  | Binary ((Add | Sub | Mul | Div | Rem) as op, a, b) ->
+      let ta = check_expr ctx a and tb = check_expr ctx b in
+      expect ctx pos ta.ty Tint "left operand";
+      expect ctx pos tb.ty Tint "right operand";
+      { tex = Tbinary (op, ta, tb); ty = Tint }
+  | Binary ((Lt | Le | Gt | Ge) as op, a, b) ->
+      let ta = check_expr ctx a and tb = check_expr ctx b in
+      expect ctx pos ta.ty Tint "left operand";
+      expect ctx pos tb.ty Tint "right operand";
+      { tex = Tbinary (op, ta, tb); ty = Tbool }
+  | Binary ((Eq | Ne) as op, a, b) ->
+      let ta = check_expr ctx a and tb = check_expr ctx b in
+      let refop = if op = Eq then RefEq else RefNe in
+      (match ta.ty, tb.ty with
+      | Tint, Tint | Tbool, Tbool -> { tex = Tbinary (op, ta, tb); ty = Tbool }
+      | x, y when is_ref_ty x && is_ref_ty y ->
+          if subtype_env ctx.env x y || subtype_env ctx.env y x then
+            { tex = Tbinary (refop, ta, tb); ty = Tbool }
+          else
+            err pos "incompatible types in reference comparison: %s and %s" (string_of_ty x)
+              (string_of_ty y)
+      | x, y ->
+          err pos "incompatible types in comparison: %s and %s" (string_of_ty x) (string_of_ty y))
+  | Binary ((RefEq | RefNe), _, _) ->
+      (* never produced by the parser *)
+      assert false
+  | And (a, b) ->
+      let ta = check_expr ctx a and tb = check_expr ctx b in
+      expect ctx pos ta.ty Tbool "left operand of &&";
+      expect ctx pos tb.ty Tbool "right operand of &&";
+      { tex = Tand (ta, tb); ty = Tbool }
+  | Or (a, b) ->
+      let ta = check_expr ctx a and tb = check_expr ctx b in
+      expect ctx pos ta.ty Tbool "left operand of ||";
+      expect ctx pos tb.ty Tbool "right operand of ||";
+      { tex = Tor (ta, tb); ty = Tbool }
+  | Field (recv, fname) -> (
+      let trecv = check_expr ctx recv in
+      match trecv.ty with
+      | Tarray _ when fname = "length" -> { tex = Tlength trecv; ty = Tint }
+      | Tclass cls -> (
+          match find_instance_field ctx.env pos ~cls ~field:fname with
+          | Some fr -> { tex = Tfield (trecv, fr); ty = fr.fr_ty }
+          | None -> err pos "class %s has no field %s" cls fname)
+      | t -> err pos "cannot access field %s on value of type %s" fname (string_of_ty t))
+  | Static_field (cls, fname) -> (
+      ignore (lookup_class ctx.env pos cls);
+      match find_static_field ctx.env pos ~cls ~field:fname with
+      | Some fr -> { tex = Tstatic_field fr; ty = fr.fr_ty }
+      | None -> err pos "class %s has no static field %s" cls fname)
+  | Index (arr, idx) -> (
+      let tarr = check_expr ctx arr and tidx = check_expr ctx idx in
+      expect ctx pos tidx.ty Tint "array index";
+      match tarr.ty with
+      | Tarray elem -> { tex = Tindex (tarr, tidx); ty = elem }
+      | t -> err pos "cannot index a value of type %s" (string_of_ty t))
+  | Length arr -> (
+      let tarr = check_expr ctx arr in
+      match tarr.ty with
+      | Tarray _ -> { tex = Tlength tarr; ty = Tint }
+      | t -> err pos "cannot take length of type %s" (string_of_ty t))
+  | Call (recv, mname, args) -> (
+      let trecv = check_expr ctx recv in
+      let cls = class_of_ty pos trecv.ty in
+      match find_method_ref ctx.env pos ~cls ~name:mname with
+      | Some mr when not mr.mr_static ->
+          let targs = check_args ctx pos mr args in
+          { tex = Tcall (trecv, mr, targs); ty = Option.value mr.mr_ret ~default:Tint }
+          |> fix_void mr
+      | Some _ -> err pos "method %s.%s is static; call it via the class name" cls mname
+      | None -> err pos "class %s has no method %s" cls mname)
+  | Name_call (mname, args) -> (
+      match find_method_ref ctx.env pos ~cls:ctx.cls.c_name ~name:mname with
+      | Some mr when mr.mr_static ->
+          let targs = check_args ctx pos mr args in
+          { tex = Tstatic_call (mr, targs); ty = Option.value mr.mr_ret ~default:Tint } |> fix_void mr
+      | Some mr ->
+          if ctx.meth.m_static then
+            err pos "cannot call instance method %s from a static method" mname;
+          let targs = check_args ctx pos mr args in
+          {
+            tex = Tcall ({ tex = Tthis; ty = Tclass ctx.cls.c_name }, mr, targs);
+            ty = Option.value mr.mr_ret ~default:Tint;
+          }
+          |> fix_void mr
+      | None -> err pos "unknown method %s" mname)
+  | Static_call (cls, mname, args) -> (
+      ignore (lookup_class ctx.env pos cls);
+      match find_method_ref ctx.env pos ~cls ~name:mname with
+      | Some mr when mr.mr_static ->
+          let targs = check_args ctx pos mr args in
+          { tex = Tstatic_call (mr, targs); ty = Option.value mr.mr_ret ~default:Tint } |> fix_void mr
+      | Some _ -> err pos "method %s.%s is not static" cls mname
+      | None -> err pos "class %s has no static method %s" cls mname)
+  | New (cls, args) -> (
+      ignore (lookup_class ctx.env pos cls);
+      match find_ctor ctx.env pos ~cls with
+      | Some mr ->
+          let targs = check_args ctx pos mr args in
+          { tex = Tnew (cls, targs); ty = Tclass cls }
+      | None ->
+          if args <> [] then err pos "class %s has no constructor taking arguments" cls;
+          { tex = Tnew (cls, []); ty = Tclass cls })
+  | New_array (elem, len) ->
+      valid_ty ctx.env pos elem;
+      let tlen = check_expr ctx len in
+      expect ctx pos tlen.ty Tint "array length";
+      { tex = Tnew_array (elem, tlen); ty = Tarray elem }
+  | Instance_of (e1, cls) ->
+      ignore (lookup_class ctx.env pos cls);
+      let t1 = check_expr ctx e1 in
+      if not (is_ref_ty t1.ty) then
+        err pos "instanceof requires a reference but found %s" (string_of_ty t1.ty);
+      { tex = Tinstance_of (t1, cls); ty = Tbool }
+  | Cast (cls, e1) ->
+      ignore (lookup_class ctx.env pos cls);
+      let t1 = check_expr ctx e1 in
+      if not (is_ref_ty t1.ty) then
+        err pos "cannot cast a value of type %s to %s" (string_of_ty t1.ty) cls;
+      { tex = Tcast (cls, t1); ty = Tclass cls }
+
+and fix_void mr te =
+  ignore mr;
+  te
+
+and check_args ctx pos (mr : method_ref) args =
+  if List.length args <> List.length mr.mr_params then
+    err pos "method %s.%s expects %d argument(s) but got %d" mr.mr_class mr.mr_name
+      (List.length mr.mr_params) (List.length args);
+  List.map2
+    (fun param_ty arg ->
+      let targ = check_expr ctx arg in
+      if not (subtype_env ctx.env targ.ty param_ty) then
+        err pos "argument of type %s is not assignable to parameter of type %s"
+          (string_of_ty targ.ty) (string_of_ty param_ty);
+      targ)
+    mr.mr_params args
+
+and expect ctx pos actual expected what =
+  ignore ctx;
+  if not (equal_ty actual expected) then
+    err pos "%s must have type %s but has type %s" what (string_of_ty expected)
+      (string_of_ty actual)
+
+(* ------------------------------------------------------------------ *)
+(* Statement checking                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec check_stmt ctx (s : stmt) : tstmt =
+  let pos = s.spos in
+  match s.st with
+  | Decl (ty, name, init) ->
+      valid_ty ctx.env pos ty;
+      let tinit =
+        Option.map
+          (fun e ->
+            let te = check_expr ctx e in
+            if not (subtype_env ctx.env te.ty ty) then
+              err pos "cannot initialize %s : %s with a value of type %s" name (string_of_ty ty)
+                (string_of_ty te.ty);
+            te)
+          init
+      in
+      let v = scope_declare ctx.scope pos name ty in
+      Tdecl (v, tinit)
+  | Assign (lhs, rhs) -> (
+      let trhs = check_expr ctx rhs in
+      let assign_check target_ty =
+        if not (subtype_env ctx.env trhs.ty target_ty) then
+          err pos "cannot assign a value of type %s to a location of type %s"
+            (string_of_ty trhs.ty) (string_of_ty target_ty)
+      in
+      let tlhs = check_expr ctx lhs in
+      match tlhs.tex with
+      | Tlocal v ->
+          assign_check v.v_ty;
+          Tassign_local (v, trhs)
+      | Tfield (recv, fr) ->
+          assign_check fr.fr_ty;
+          Tassign_field (recv, fr, trhs)
+      | Tstatic_field fr ->
+          assign_check fr.fr_ty;
+          Tassign_static (fr, trhs)
+      | Tindex (arr, idx) ->
+          assign_check tlhs.ty;
+          Tassign_index (arr, idx, trhs)
+      | Tlength _ -> err pos "array length is read-only"
+      | _ -> err pos "left-hand side of assignment is not assignable")
+  | If (cond, thn, els) ->
+      let tcond = check_expr ctx cond in
+      expect ctx pos tcond.ty Tbool "if condition";
+      let tthn = check_block_stmt ctx thn in
+      let tels = Option.map (check_block_stmt ctx) els in
+      Tif (tcond, tthn, tels)
+  | While (cond, body) ->
+      let tcond = check_expr ctx cond in
+      expect ctx pos tcond.ty Tbool "while condition";
+      Twhile (tcond, check_block_stmt ctx body)
+  | Return None ->
+      if ctx.meth.m_ret <> None then err pos "missing return value";
+      Treturn None
+  | Return (Some e) -> (
+      match ctx.meth.m_ret with
+      | None -> err pos "cannot return a value from a void method or constructor"
+      | Some ret_ty ->
+          let te = check_expr ctx e in
+          if not (subtype_env ctx.env te.ty ret_ty) then
+            err pos "cannot return %s from a method returning %s" (string_of_ty te.ty)
+              (string_of_ty ret_ty);
+          Treturn (Some te))
+  | Sync (e, body) ->
+      let te = check_expr ctx e in
+      if not (is_ref_ty te.ty) || te.ty = Tnull then
+        err pos "synchronized requires an object but found %s" (string_of_ty te.ty);
+      scope_push ctx.scope;
+      let tbody = List.map (check_stmt ctx) body in
+      scope_pop ctx.scope;
+      Tsync (te, tbody)
+  | Block body ->
+      scope_push ctx.scope;
+      let tbody = List.map (check_stmt ctx) body in
+      scope_pop ctx.scope;
+      Tblock tbody
+  | Expr_stmt e -> (
+      match e.ex with
+      | Call _ | Name_call _ | Static_call _ | New _ -> Texpr (check_expr ctx e)
+      | _ -> err pos "this expression cannot be used as a statement")
+  | Print e ->
+      let te = check_expr ctx e in
+      (match te.ty with
+      | Tint | Tbool -> ()
+      | t -> err pos "print accepts int or boolean but found %s" (string_of_ty t));
+      Tprint te
+  | Throw e -> (
+      let te = check_expr ctx e in
+      match te.ty with
+      | Tclass _ -> Tthrow te
+      | t -> err pos "throw requires an object but found %s" (string_of_ty t))
+  | Try (body, clauses) ->
+      scope_push ctx.scope;
+      let tbody = List.map (check_stmt ctx) body in
+      scope_pop ctx.scope;
+      let tclauses =
+        List.map
+          (fun (cc : catch_clause) ->
+            ignore (lookup_class ctx.env cc.cc_pos cc.cc_class);
+            scope_push ctx.scope;
+            let v = scope_declare ctx.scope cc.cc_pos cc.cc_var (Tclass cc.cc_class) in
+            let tcc = List.map (check_stmt ctx) cc.cc_body in
+            scope_pop ctx.scope;
+            (cc.cc_class, v, tcc))
+          clauses
+      in
+      Ttry (tbody, tclauses)
+
+and check_block_stmt ctx s =
+  scope_push ctx.scope;
+  let ts = check_stmt ctx s in
+  scope_pop ctx.scope;
+  ts
+
+(* Conservative definite-return analysis. [while (true)] counts as
+   non-falling-through. *)
+let rec returns_always (s : tstmt) =
+  match s with
+  | Treturn _ -> true
+  | Tif (_, thn, Some els) -> returns_always thn && returns_always els
+  | Tif (_, _, None) -> false
+  | Tblock body | Tsync (_, body) -> List.exists returns_always body
+  | Twhile (cond, _) -> ( match cond.tex with Tbool_lit true -> true | _ -> false)
+  | Tthrow _ -> true (* does not fall through *)
+  | Ttry (body, clauses) ->
+      List.exists returns_always body
+      && List.for_all (fun (_, _, cc) -> List.exists returns_always cc) clauses
+  | Tdecl _ | Tassign_local _ | Tassign_field _ | Tassign_static _ | Tassign_index _
+  | Texpr _ | Tprint _ ->
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_method env (c : class_decl) (m : method_decl) : tmethod =
+  Option.iter (valid_ty env m.m_pos) m.m_ret;
+  List.iter (fun (ty, _) -> valid_ty env m.m_pos ty) m.m_params;
+  if m.m_sync && m.m_static then err m.m_pos "static methods cannot be synchronized";
+  let first_slot = if m.m_static then 0 else 1 in
+  let scope = scope_create ~first_slot in
+  let params =
+    List.map (fun (ty, name) -> scope_declare scope m.m_pos name ty) m.m_params
+  in
+  let ctx = { env; cls = c; meth = m; scope } in
+  let body = List.map (check_stmt ctx) m.m_body in
+  (match m.m_ret with
+  | Some _ when not (List.exists returns_always body) ->
+      err m.m_pos "method %s.%s might not return a value" c.c_name m.m_name
+  | Some _ | None -> ());
+  {
+    tm_class = c.c_name;
+    tm_name = m.m_name;
+    tm_static = m.m_static;
+    tm_sync = m.m_sync;
+    tm_ret = m.m_ret;
+    tm_params = params;
+    tm_body = body;
+    tm_max_locals = scope.max_slot;
+  }
+
+let check_hierarchy env (c : class_decl) =
+  (* detects cycles as a side effect *)
+  let chain = ancestry env c in
+  (* no duplicate field names within a class; no shadowing of ancestor fields *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (st, _, name, pos) ->
+      if Hashtbl.mem seen (st, name) then err pos "duplicate field %s in class %s" name c.c_name;
+      Hashtbl.add seen (st, name) ())
+    c.c_fields;
+  (match chain with
+  | _ :: ancestors ->
+      List.iter
+        (fun (anc : class_decl) ->
+          List.iter
+            (fun (st, _, name, pos) ->
+              if
+                (not st)
+                && List.exists (fun (st', _, n', _) -> (not st') && n' = name) anc.c_fields
+              then err pos "field %s in class %s shadows a field of %s" name c.c_name anc.c_name)
+            c.c_fields)
+        ancestors
+  | [] -> ());
+  (* no duplicate methods; overrides must match signatures *)
+  let mseen = Hashtbl.create 8 in
+  List.iter
+    (fun (m : method_decl) ->
+      if Hashtbl.mem mseen m.m_name then
+        err m.m_pos "duplicate method %s in class %s (no overloading in MJ)" m.m_name c.c_name;
+      Hashtbl.add mseen m.m_name ())
+    c.c_methods;
+  match chain with
+  | _ :: ancestors ->
+      List.iter
+        (fun (anc : class_decl) ->
+          List.iter
+            (fun (m : method_decl) ->
+              if m.m_name = ctor_name then ()
+              else
+                match
+                  List.find_opt (fun (am : method_decl) -> am.m_name = m.m_name) anc.c_methods
+                with
+                | None -> ()
+                | Some am ->
+                    if am.m_static || m.m_static then
+                      err m.m_pos "method %s.%s conflicts with a static method of %s" c.c_name
+                        m.m_name anc.c_name;
+                    if
+                      List.map fst am.m_params <> List.map fst m.m_params
+                      || am.m_ret <> m.m_ret
+                    then
+                      err m.m_pos "method %s.%s overrides %s.%s with a different signature"
+                        c.c_name m.m_name anc.c_name am.m_name)
+            c.c_methods)
+        ancestors
+  | [] -> ()
+
+let check_program ?(require_main = true) (prog : program) : tprogram =
+  let env = build_class_env prog in
+  List.iter (check_hierarchy env) prog;
+  let classes =
+    List.map
+      (fun (c : class_decl) ->
+        let methods = List.map (check_method env c) c.c_methods in
+        {
+          tc_name = c.c_name;
+          tc_super = (if c.c_name = object_class then None else Some (match c.c_super with Some s -> s | None -> object_class));
+          tc_instance_fields =
+            List.filter_map (fun (st, ty, n, _) -> if st then None else Some (n, ty)) c.c_fields;
+          tc_static_fields =
+            List.filter_map (fun (st, ty, n, _) -> if st then Some (n, ty) else None) c.c_fields;
+          tc_methods = methods;
+        })
+      prog
+  in
+  let tp = { tp_classes = classes } in
+  if require_main then begin
+    let mains =
+      List.concat_map
+        (fun c ->
+          List.filter_map
+            (fun m ->
+              if m.tm_name = "main" && m.tm_static && m.tm_params = [] && m.tm_ret = Some Tint
+              then Some (c.tc_name, m)
+              else None)
+            c.tc_methods)
+        classes
+    in
+    match mains with
+    | [ _ ] -> ()
+    | [] -> err dummy_pos "program has no entry point 'static int main()'"
+    | _ -> err dummy_pos "program has multiple 'static int main()' entry points"
+  end;
+  tp
+
+let subtype (p : tprogram) a b =
+  (* Rebuild a minimal env from the typed program for external callers. *)
+  let decls =
+    List.fold_left
+      (fun acc (c : tclass) ->
+        StrMap.add c.tc_name
+          {
+            c_name = c.tc_name;
+            c_super = c.tc_super;
+            c_fields = [];
+            c_methods = [];
+            c_pos = dummy_pos;
+          }
+          acc)
+      (StrMap.singleton object_class object_decl)
+      p.tp_classes
+  in
+  subtype_env { decls } a b

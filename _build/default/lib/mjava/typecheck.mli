@@ -1,0 +1,20 @@
+(** Semantic analysis for MiniJava.
+
+    Resolves names, assigns local-variable slots, checks the class hierarchy
+    (acyclic single inheritance, exact override signatures, no field
+    shadowing) and types every expression, producing a {!Tast.tprogram}. *)
+
+exception Type_error of string * Ast.pos
+
+(** [check_program ?require_main prog] typechecks [prog].
+
+    When [require_main] is [true] (the default), the program must contain
+    exactly one entry point [static int main()].
+
+    @raise Type_error on any semantic error. *)
+val check_program : ?require_main:bool -> Ast.program -> Tast.tprogram
+
+(** [subtype prog a b] is [true] iff values of type [a] may be used where
+    type [b] is expected ([Tnull] is a subtype of every reference type,
+    arrays are subtypes of [Object], classes follow the hierarchy). *)
+val subtype : Tast.tprogram -> Ast.ty -> Ast.ty -> bool

@@ -1,0 +1,1 @@
+lib/opt/canonicalize.ml: Array Cfg_utils Classfile Graph Hashtbl List Node Option Pea_bytecode Pea_ir Pea_support

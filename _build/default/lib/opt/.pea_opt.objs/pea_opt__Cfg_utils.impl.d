@@ -1,0 +1,1 @@
+lib/opt/cfg_utils.ml: Array Dominators Frame_state Graph Hashtbl List Node Option Pea_ir Pea_support

@@ -1,0 +1,1 @@
+lib/opt/cfg_utils.mli: Graph Pea_ir

@@ -1,0 +1,1 @@
+lib/opt/cond_elim.ml: Array Cfg_utils Dominators Graph Hashtbl List Node Option Pea_ir

@@ -1,0 +1,1 @@
+lib/opt/cond_elim.mli: Graph Pea_ir

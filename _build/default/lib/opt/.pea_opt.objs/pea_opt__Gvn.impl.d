@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Array Cfg_utils Classfile Dominators Graph Hashtbl List Node Pea_bytecode Pea_ir Pea_support Printf

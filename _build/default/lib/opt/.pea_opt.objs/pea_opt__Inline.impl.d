@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Builder Cfg_utils Classfile Frame_state Graph Hashtbl Link List Node Option Pea_bytecode Pea_ir Pea_support Printf

@@ -1,0 +1,1 @@
+lib/opt/inline.mli: Graph Pea_bytecode Pea_ir

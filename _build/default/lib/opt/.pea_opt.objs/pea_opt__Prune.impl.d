@@ -1,0 +1,1 @@
+lib/opt/prune.ml: Array Cfg_utils Graph Pea_ir Pea_rt Profile

@@ -1,0 +1,1 @@
+lib/opt/prune.mli: Graph Pea_ir Pea_rt Profile

@@ -1,0 +1,1 @@
+lib/opt/read_elim.ml: Array Cfg_utils Classfile Graph Hashtbl List Node Pea_bytecode Pea_ir Pea_support

@@ -1,0 +1,1 @@
+lib/opt/read_elim.mli: Graph Pea_ir

@@ -1,0 +1,16 @@
+(** Canonicalization: constant folding, algebraic identities
+    ([x+0], [x*1], [x*0], [x/1], double negation, [x == x]), and
+    constant-condition branch folding, iterated with CFG cleanup until a
+    fixpoint.
+
+    The paper stresses that partial escape analysis benefits from
+    interacting with constant folding and global value numbering on the
+    same IR (§5); the JIT pipeline runs this pass before and after the
+    analysis. *)
+
+open Pea_ir
+
+(** [run g] canonicalizes [g] in place and always leaves it cleaned up
+    (dead code eliminated, trivial phis removed). Returns [true] if
+    anything was folded. *)
+val run : Graph.t -> bool

@@ -1,0 +1,30 @@
+(** CFG maintenance shared by the optimization passes. *)
+
+open Pea_ir
+
+(** [remove_pred_at g target idx] removes the [idx]-th predecessor entry of
+    [target] together with the matching phi inputs. *)
+val remove_pred_at : Graph.t -> Graph.block_id -> int -> unit
+
+(** [remove_edge g ~src ~target] unlinks one control-flow edge. When [src]
+    appears several times in the predecessor list (an [If] with both
+    targets equal), only the first entry is removed. *)
+val remove_edge : Graph.t -> src:Graph.block_id -> target:Graph.block_id -> unit
+
+(** [recompute_kinds g] re-derives {!Graph.block_kind}s from the current
+    CFG shape (a loop header whose back edges vanished becomes a merge or
+    a plain block). *)
+val recompute_kinds : Graph.t -> unit
+
+(** [prune_unreachable_edges g] drops predecessor entries that come from
+    unreachable blocks. *)
+val prune_unreachable_edges : Graph.t -> unit
+
+(** [eliminate_dead_code g] deletes pure instructions (and phis) whose
+    values are never used — by other instructions, terminators, or frame
+    states. *)
+val eliminate_dead_code : Graph.t -> unit
+
+(** [cleanup g] = prune unreachable edges, simplify trivial phis,
+    recompute kinds, eliminate dead code. *)
+val cleanup : Graph.t -> unit

@@ -1,0 +1,48 @@
+open Pea_ir
+
+(* Walk the dominator tree carrying the set of conditions with known truth
+   values. A fact [cond -> b] is established when entering a block whose
+   only predecessor is an [If] on [cond] and which is exactly one of its
+   successors (critical-edge splitting makes this the common shape). *)
+let run (g : Graph.t) =
+  let changed = ref false in
+  let doms = Dominators.compute g in
+  let kids = Dominators.children doms (Graph.n_blocks g) in
+  let facts : (Node.node_id, bool) Hashtbl.t = Hashtbl.create 16 in
+  let fact_at_entry bid =
+    let b = Graph.block g bid in
+    match b.Graph.preds with
+    | [ p ] -> (
+        match (Graph.block g p).Graph.term with
+        | Graph.If { cond; tru; fls; _ } when tru <> fls ->
+            if tru = bid then Some (cond, true)
+            else if fls = bid then Some (cond, false)
+            else None
+        | _ -> None)
+    | _ -> None
+  in
+  let rec walk bid =
+    let added_here =
+      match fact_at_entry bid with
+      | Some (c, v) when not (Hashtbl.mem facts c) ->
+          Hashtbl.add facts c v;
+          Some c
+      | _ -> None
+    in
+    let b = Graph.block g bid in
+    (match b.Graph.term with
+    | Graph.If { cond; tru; fls; _ } when tru <> fls -> (
+        match Hashtbl.find_opt facts cond with
+        | Some truth ->
+            let taken, dropped = if truth then (tru, fls) else (fls, tru) in
+            b.Graph.term <- Graph.Goto taken;
+            Cfg_utils.remove_edge g ~src:bid ~target:dropped;
+            changed := true
+        | None -> ())
+    | _ -> ());
+    List.iter walk kids.(bid);
+    Option.iter (Hashtbl.remove facts) added_here
+  in
+  walk Graph.entry_id;
+  if !changed then Cfg_utils.cleanup g;
+  !changed

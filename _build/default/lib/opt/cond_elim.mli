@@ -1,0 +1,12 @@
+(** Conditional elimination.
+
+    A branch whose condition is decided by a dominating branch on the same
+    SSA value folds away: inside the true successor of [if (c)] (when that
+    successor is entered only through the branch), [c] is known true, so a
+    nested [if (c)] becomes a goto. Complements {!Gvn}, which makes
+    syntactically identical conditions share one node. *)
+
+open Pea_ir
+
+(** [run g] folds implied branches; returns [true] if anything changed. *)
+val run : Graph.t -> bool

@@ -1,0 +1,71 @@
+(* Dominator-based global value numbering for pure (and idempotently
+   trapping) operations. Values available in a dominating block replace
+   recomputations; nothing is ever hoisted, so trapping operations (Div,
+   Rem) are safe to number as well. *)
+
+open Pea_ir
+open Pea_bytecode
+
+(* Keys must avoid structural equality over runtime-class records (they are
+   cyclic); everything is rendered into a flat string over ids. *)
+let key_of_op resolve (op : Node.op) : string option =
+  let v id = string_of_int (resolve id) in
+  let commutative2 tag a b =
+    let a = resolve a and b = resolve b in
+    let lo = min a b and hi = max a b in
+    Some (Printf.sprintf "%s:%d:%d" tag lo hi)
+  in
+  match op with
+  | Node.Const c -> Some ("const:" ^ Node.string_of_const c)
+  | Node.Arith (Node.Add, a, b) -> commutative2 "add" a b
+  | Node.Arith (Node.Mul, a, b) -> commutative2 "mul" a b
+  | Node.Arith (k, a, b) -> Some (Printf.sprintf "arith%s:%s:%s" (Node.string_of_arith k) (v a) (v b))
+  | Node.Neg a -> Some ("neg:" ^ v a)
+  | Node.Not a -> Some ("not:" ^ v a)
+  | Node.Cmp (c, a, b) -> Some (Printf.sprintf "cmp%s:%s:%s" (Classfile.string_of_cmp c) (v a) (v b))
+  | Node.RefCmp (c, a, b) ->
+      let tag = match c with Classfile.AEq -> "acmpeq" | Classfile.ANe -> "acmpne" in
+      commutative2 tag a b
+  | Node.Instance_of (a, cls) -> Some (Printf.sprintf "instanceof:%s:%d" (v a) cls.cls_id)
+  | Node.Array_length a -> Some ("arraylength:" ^ v a)
+  | Node.Param _ | Node.Phi _ | Node.New _ | Node.Alloc _ | Node.Alloc_array _ | Node.New_array _
+  | Node.Load_field _ | Node.Store_field _ | Node.Load_static _ | Node.Store_static _
+  | Node.Array_load _ | Node.Array_store _ | Node.Monitor_enter _ | Node.Monitor_exit _
+  | Node.Invoke _ | Node.Check_cast _ | Node.Null_check _ | Node.Print _ ->
+      None
+
+let run (g : Graph.t) =
+  let doms = Dominators.compute g in
+  let kids = Dominators.children doms (Graph.n_blocks g) in
+  let table : (string, Node.node_id) Hashtbl.t = Hashtbl.create 64 in
+  let subst : (Node.node_id, Node.node_id) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve id =
+    match Hashtbl.find_opt subst id with Some v when v <> id -> resolve v | _ -> id
+  in
+  let changed = ref false in
+  let rec walk block_id =
+    let b = Graph.block g block_id in
+    let added = ref [] in
+    Pea_support.Dyn_array.iter
+      (fun (n : Node.t) ->
+        if not (Hashtbl.mem subst n.Node.id) then
+          match key_of_op resolve n.Node.op with
+          | Some key -> (
+              match Hashtbl.find_opt table key with
+              | Some existing ->
+                  Hashtbl.replace subst n.Node.id existing;
+                  changed := true
+              | None ->
+                  Hashtbl.add table key n.Node.id;
+                  added := key :: !added)
+          | None -> ())
+      b.Graph.instrs;
+    List.iter walk kids.(block_id);
+    List.iter (fun key -> Hashtbl.remove table key) !added
+  in
+  walk Graph.entry_id;
+  if !changed then begin
+    Graph.substitute_uses g resolve;
+    Cfg_utils.cleanup g
+  end;
+  !changed

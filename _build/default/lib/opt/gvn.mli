@@ -1,0 +1,12 @@
+(** Dominator-based global value numbering.
+
+    Pure (and idempotently trapping) operations already available in a
+    dominating block replace recomputations. Nothing is ever hoisted, so
+    trapping operations (division, remainder, array length) are safe to
+    number. Commutative operations are normalized by operand order. *)
+
+open Pea_ir
+
+(** [run g] value-numbers [g] in place; returns [true] if anything was
+    replaced. *)
+val run : Graph.t -> bool

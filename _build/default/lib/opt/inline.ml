@@ -1,0 +1,222 @@
+open Pea_ir
+open Pea_bytecode
+open Classfile
+
+type config = {
+  program : Link.program;
+  max_callee_size : int;
+  max_rounds : int;
+  max_graph_blocks : int;
+}
+
+let default_config program =
+  { program; max_callee_size = 120; max_rounds = 4; max_graph_blocks = 2000 }
+
+(* Statically bind a call site, or decline. *)
+let target_of config (g : Graph.t) (op : Node.op) : (rt_method * bool (* needs null check *)) option =
+  match op with
+  | Node.Invoke (Node.Static, m, _) -> Some (m, false)
+  | Node.Invoke (Node.Special, m, _) -> Some (m, false) (* ctor receiver is a fresh object *)
+  | Node.Invoke (Node.Virtual, m, args) when Array.length args > 0 -> (
+      match Graph.op_of g args.(0) with
+      | Node.New c | Node.Alloc (c, _) ->
+          (* exact receiver type: resolve the override precisely, no null
+             check needed (allocations are never null) *)
+          Option.map (fun t -> (t, false)) (resolve_method c m.mth_name)
+      | _ ->
+          (* class-hierarchy analysis: no override anywhere in the program *)
+          if Link.is_overridden config.program m then None else Some (m, true))
+  | _ -> None
+
+let eligible config g (n : Node.t) =
+  match target_of config g n.Node.op with
+  | Some (target, needs_null_check)
+    when target.mth_id <> g.Graph.g_method.mth_id
+         && target.mth_size <= config.max_callee_size
+         && (not (uses_exceptions target))
+         && n.Node.fs <> None ->
+      Some (target, needs_null_check)
+  | Some _ | None -> None
+
+(* Chain the caller's call-site state under every frame of [fs]. *)
+let rec chain_outer invoke_fs (fs : Frame_state.t) =
+  match fs.Frame_state.fs_outer with
+  | None -> { fs with Frame_state.fs_outer = Some invoke_fs }
+  | Some o -> { fs with Frame_state.fs_outer = Some (chain_outer invoke_fs o) }
+
+(* Splice [target]'s graph into [g], replacing the invoke at position
+   [invoke_idx] of block [b]. *)
+let splice (g : Graph.t) (b : Graph.block) ~invoke_idx (invoke : Node.t) target ~needs_null_check =
+  let callee = Builder.build target in
+  let invoke_fs = match invoke.Node.fs with Some fs -> fs | None -> assert false in
+  let args = match invoke.Node.op with Node.Invoke (_, _, args) -> args | _ -> assert false in
+  (* --- clone blocks --- *)
+  let n_callee_blocks = Graph.n_blocks callee in
+  let bmap = Array.make n_callee_blocks (-1) in
+  for cb = 0 to n_callee_blocks - 1 do
+    let nb = Graph.new_block ~kind:(Graph.block callee cb).Graph.kind g in
+    bmap.(cb) <- nb.Graph.b_id
+  done;
+  (* --- clone nodes (two passes: create, then remap operands) --- *)
+  let nmap : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun i (p : Node.t) -> Hashtbl.replace nmap p.Node.id args.(i))
+    callee.Graph.params;
+  let clones : (Node.t * Node.t) list ref = ref [] in
+  for cb = 0 to n_callee_blocks - 1 do
+    let src = Graph.block callee cb in
+    let dst = Graph.block g bmap.(cb) in
+    List.iter
+      (fun (phi : Node.t) ->
+        let clone = Graph.add_phi g dst in
+        Hashtbl.replace nmap phi.Node.id clone.Node.id;
+        clones := (phi, clone) :: !clones)
+      src.Graph.phis;
+    Pea_support.Dyn_array.iter
+      (fun (n : Node.t) ->
+        let clone = Graph.append g dst n.Node.op in
+        Hashtbl.replace nmap n.Node.id clone.Node.id;
+        clones := (n, clone) :: !clones)
+      src.Graph.instrs
+  done;
+  let remap id =
+    match Hashtbl.find_opt nmap id with
+    | Some id' -> id'
+    | None -> invalid_arg (Printf.sprintf "inline: unmapped callee node v%d" id)
+  in
+  let remap_fs fs =
+    let fs' =
+      Frame_state.map_values
+        (function
+          | Frame_state.F_node n -> Frame_state.F_node (remap n)
+          | (Frame_state.F_virtual _ | Frame_state.F_const _) as fv -> fv)
+        fs
+    in
+    chain_outer invoke_fs fs'
+  in
+  List.iter
+    (fun ((orig : Node.t), (clone : Node.t)) ->
+      clone.Node.op <- Node.map_operands remap orig.Node.op;
+      clone.Node.fs <- Option.map remap_fs orig.Node.fs)
+    !clones;
+  (* --- clone CFG structure --- *)
+  let return_blocks = ref [] in
+  for cb = 0 to n_callee_blocks - 1 do
+    let src = Graph.block callee cb in
+    let dst = Graph.block g bmap.(cb) in
+    dst.Graph.preds <- List.map (fun p -> bmap.(p)) src.Graph.preds;
+    dst.Graph.entry_fs <- Option.map remap_fs src.Graph.entry_fs;
+    dst.Graph.term <-
+      (match src.Graph.term with
+      | Graph.Goto t -> Graph.Goto bmap.(t)
+      | Graph.If r ->
+          Graph.If { r with cond = remap r.cond; tru = bmap.(r.tru); fls = bmap.(r.fls) }
+      | Graph.Return v ->
+          return_blocks := (dst, Option.map remap v) :: !return_blocks;
+          Graph.Unreachable (* patched below *)
+      | Graph.Deopt fs -> Graph.Deopt (remap_fs fs)
+      | Graph.Trap msg -> Graph.Trap msg
+      | Graph.Unreachable -> Graph.Unreachable)
+  done;
+  let return_blocks = List.rev !return_blocks in
+  (* --- split the caller block --- *)
+  let cont = Graph.new_block g in
+  let all_instrs = Graph.instr_list b in
+  (* [before] excludes the invoke itself; [after] is everything past it *)
+  let rec split i acc = function
+    | [] -> (List.rev acc, [])
+    | x :: rest ->
+        if i < invoke_idx then split (i + 1) (x :: acc) rest else (List.rev acc, rest)
+  in
+  let before, after = split 0 [] all_instrs in
+  Pea_support.Dyn_array.clear b.Graph.instrs;
+  List.iter (fun n -> ignore (Pea_support.Dyn_array.push b.Graph.instrs n)) before;
+  if needs_null_check then ignore (Graph.append g b (Node.Null_check args.(0)));
+  List.iter (fun n -> ignore (Pea_support.Dyn_array.push cont.Graph.instrs n)) after;
+  cont.Graph.term <- b.Graph.term;
+  List.iter
+    (fun s ->
+      let sb = Graph.block g s in
+      sb.Graph.preds <-
+        List.map (fun p -> if p = b.Graph.b_id then cont.Graph.b_id else p) sb.Graph.preds)
+    (Graph.successors cont.Graph.term);
+  let callee_entry = Graph.block g bmap.(Graph.entry_id) in
+  b.Graph.term <- Graph.Goto callee_entry.Graph.b_id;
+  callee_entry.Graph.preds <- [ b.Graph.b_id ];
+  (* --- wire returns into the continuation --- *)
+  let result =
+    match return_blocks with
+    | [] ->
+        (* the callee never returns (infinite loop or all paths deopt) *)
+        cont.Graph.preds <- [];
+        None
+    | [ (r, v) ] ->
+        r.Graph.term <- Graph.Goto cont.Graph.b_id;
+        cont.Graph.preds <- [ r.Graph.b_id ];
+        v
+    | many ->
+        List.iter (fun ((r : Graph.block), _) -> r.Graph.term <- Graph.Goto cont.Graph.b_id) many;
+        cont.Graph.preds <- List.map (fun ((r : Graph.block), _) -> r.Graph.b_id) many;
+        cont.Graph.kind <- Graph.Merge;
+        if Node.produces_value invoke.Node.op then begin
+          let phi = Graph.add_phi g cont in
+          (match phi.Node.op with
+          | Node.Phi p ->
+              p.Node.inputs <-
+                Array.of_list
+                  (List.map
+                     (fun (_, v) -> match v with Some v -> v | None -> assert false)
+                     many)
+          | _ -> assert false);
+          Some phi.Node.id
+        end
+        else None
+  in
+  (* --- replace uses of the invoke's value --- *)
+  if Node.produces_value invoke.Node.op then begin
+    let res =
+      match result with
+      | Some v -> v
+      | None ->
+          (* no return path: uses are unreachable; keep the IR well-formed *)
+          (Graph.append g cont (Node.Const Node.Cundef)).Node.id
+    in
+    Graph.substitute_uses g (fun id -> if id = invoke.Node.id then res else id)
+  end;
+  Graph.delete_node g invoke.Node.id
+
+(* One round: inline at most one call site per block (indices shift), then
+   let the caller loop decide whether to go again. *)
+let round config (g : Graph.t) =
+  let changed = ref false in
+  let reachable = Graph.reachable g in
+  let n = Graph.n_blocks g in
+  for bid = 0 to n - 1 do
+    if reachable.(bid) && Graph.n_blocks g < config.max_graph_blocks then begin
+      let b = Graph.block g bid in
+      let found = ref None in
+      List.iteri
+        (fun idx (node : Node.t) ->
+          if !found = None then
+            match eligible config g node with
+            | Some (target, needs_null_check) -> found := Some (idx, node, target, needs_null_check)
+            | None -> ())
+        (Graph.instr_list b);
+      match !found with
+      | Some (idx, node, target, needs_null_check) ->
+          splice g b ~invoke_idx:idx node target ~needs_null_check;
+          changed := true
+      | None -> ()
+    end
+  done;
+  !changed
+
+let run config (g : Graph.t) =
+  let changed = ref false in
+  let rounds = ref 0 in
+  while !rounds < config.max_rounds && round config g do
+    changed := true;
+    incr rounds
+  done;
+  if !changed then Cfg_utils.cleanup g;
+  !changed

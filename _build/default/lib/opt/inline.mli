@@ -1,0 +1,31 @@
+(** Method inlining with class-hierarchy-analysis and exact-type
+    devirtualization.
+
+    Inlining is the enabler for (partial) escape analysis in the paper's
+    running example: after inlining the [Key] constructor and the
+    synchronized [equals] method (Listing 2), all operations on the fresh
+    allocation are visible to the analysis.
+
+    Frame states of the inlined body are chained to the caller's state at
+    the call site ([fs_outer]), so deoptimization inside inlined code can
+    rebuild the whole stack of interpreter frames (§2 of the paper). *)
+
+open Pea_ir
+
+type config = {
+  program : Pea_bytecode.Link.program; (* for class-hierarchy analysis *)
+  max_callee_size : int; (* bytecode-size budget per inlined callee *)
+  max_rounds : int; (* bounds inlining through call chains and recursion *)
+  max_graph_blocks : int; (* stop growing the caller beyond this *)
+}
+
+val default_config : Pea_bytecode.Link.program -> config
+
+(** [run config g] repeatedly inlines eligible call sites in [g]. Returns
+    [true] if anything was inlined. *)
+val run : config -> Graph.t -> bool
+
+(**/**)
+
+(* exposed for white-box tests *)
+val round : config -> Graph.t -> bool

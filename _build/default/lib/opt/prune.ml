@@ -1,0 +1,58 @@
+(* Speculative cold-branch pruning.
+
+   Graal is "an aggressive and optimistic compiler that often makes
+   assumptions about the ... behavior of the running application", §2. We
+   reproduce the one assumption that matters to partial escape analysis:
+   branches that the profile has never seen taken are replaced by Deopt
+   transfers to the interpreter. This is what makes objects escape "just in
+   a single unlikely branch" optimizable: PEA keeps them virtual on the hot
+   path, and the deopt frame state rematerializes them if the cold path is
+   ever entered. *)
+
+open Pea_ir
+open Pea_rt
+
+type config = {
+  min_total : int; (* minimum executions of the branch before we speculate *)
+}
+
+let default_config = { min_total = 20 }
+
+let run ?(config = default_config) (profile : Profile.t) (g : Graph.t) =
+  let changed = ref false in
+  let reachable = Graph.reachable g in
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then
+        match b.Graph.term with
+        | Graph.If { cond = _; tru; fls; br_bci; br_method; br_negated } ->
+            let taken, fallthrough = Profile.branch_counts profile br_method ~bci:br_bci in
+            (* counts along the [tru] and [fls] edges *)
+            let tru_count, fls_count =
+              if br_negated then (fallthrough, taken) else (taken, fallthrough)
+            in
+            let prune_edge ~victim =
+              match (Graph.block g victim).Graph.entry_fs with
+              | None -> () (* no interpreter state available: not prunable *)
+              | Some fs ->
+                  let d = Graph.new_block ~kind:Graph.Plain g in
+                  d.Graph.term <- Graph.Deopt fs;
+                  d.Graph.preds <- [ b.Graph.b_id ];
+                  (match b.Graph.term with
+                  | Graph.If r ->
+                      b.Graph.term <-
+                        (if victim = r.tru then Graph.If { r with tru = d.Graph.b_id }
+                         else Graph.If { r with fls = d.Graph.b_id })
+                  | _ -> assert false);
+                  Cfg_utils.remove_edge g ~src:b.Graph.b_id ~target:victim;
+                  changed := true
+            in
+            if tru <> fls then begin
+              if tru_count = 0 && fls_count >= config.min_total then prune_edge ~victim:tru
+              else if fls_count = 0 && tru_count >= config.min_total then prune_edge ~victim:fls
+            end
+        | Graph.Goto _ | Graph.Return _ | Graph.Deopt _ | Graph.Trap _ | Graph.Unreachable ->
+            ())
+    g;
+  if !changed then Cfg_utils.cleanup g;
+  !changed

@@ -1,0 +1,23 @@
+(** Speculative cold-branch pruning.
+
+    Branches the profile has never seen taken are replaced by [Deopt]
+    transfers to the interpreter (§2 of the paper: Graal "often makes
+    assumptions about the ... behavior of the running application"). This
+    is what lets partial escape analysis keep an object virtual on the hot
+    path when it escapes "just in a single unlikely branch": the cold
+    branch is gone from compiled code, and the deopt frame state
+    rematerializes the object if it is ever entered. *)
+
+open Pea_ir
+open Pea_rt
+
+type config = {
+  min_total : int; (* executions of the surviving side required to speculate *)
+}
+
+val default_config : config
+
+(** [run ?config profile g] replaces never-taken branch successors with
+    deopt blocks carrying the target's interpreter entry state. Returns
+    [true] if anything was pruned. *)
+val run : ?config:config -> Profile.t -> Graph.t -> bool

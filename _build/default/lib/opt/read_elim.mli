@@ -1,0 +1,24 @@
+(** Early read elimination.
+
+    Graal runs partial escape analysis together with a read-elimination
+    phase on the same traversal; here it is a separate pass with the same
+    effect on straight-line code: within a basic block,
+
+    - a load from a field/static/array slot that was just stored to is
+      replaced by the stored value (store-to-load forwarding);
+    - repeated loads of the same slot with no intervening clobber are
+      deduplicated (load-to-load forwarding);
+    - redundant stores of the value already known to be in the slot are
+      removed.
+
+    Clobber rules are conservative and field-sensitive: a store to field
+    [f] kills remembered values of [f] on every object (no alias analysis
+    between distinct receivers); calls and monitor operations kill
+    everything (another thread may write); array stores kill all array
+    slots of the same array value only when the index is unknown. *)
+
+open Pea_ir
+
+(** [run g] applies read elimination block-locally. Returns [true] if the
+    graph changed. *)
+val run : Graph.t -> bool

@@ -1,0 +1,1 @@
+lib/rt/heap.ml: Array Classfile Cost Hashtbl List Pea_bytecode Pea_mjava Stats Value

@@ -1,0 +1,1 @@
+lib/rt/heap.mli: Classfile Hashtbl Pea_bytecode Pea_mjava Stats Value

@@ -1,0 +1,1 @@
+lib/rt/interp.ml: Array Classfile Cost Format Heap List Pea_bytecode Pea_mjava Profile Stats Value

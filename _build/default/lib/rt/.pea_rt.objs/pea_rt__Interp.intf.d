@@ -1,0 +1,1 @@
+lib/rt/interp.mli: Classfile Heap Pea_bytecode Profile Stats Value

@@ -1,0 +1,1 @@
+lib/rt/profile.ml: Array Classfile Hashtbl Link Option Pea_bytecode

@@ -1,0 +1,1 @@
+lib/rt/profile.mli: Classfile Hashtbl Link Pea_bytecode

@@ -1,0 +1,1 @@
+lib/rt/run.ml: Array Classfile Heap Interp Lazy Link List Pea_bytecode Profile Stats Value Verify

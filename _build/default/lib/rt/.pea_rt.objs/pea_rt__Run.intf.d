@@ -1,0 +1,1 @@
+lib/rt/run.mli: Interp Link Pea_bytecode Stats Value

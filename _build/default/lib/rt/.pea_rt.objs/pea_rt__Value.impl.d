@@ -1,0 +1,1 @@
+lib/rt/value.ml: Array Classfile Fmt Pea_bytecode Pea_mjava Printf

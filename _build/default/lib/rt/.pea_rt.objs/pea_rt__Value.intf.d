@@ -1,0 +1,1 @@
+lib/rt/value.mli: Classfile Format Pea_bytecode Pea_mjava

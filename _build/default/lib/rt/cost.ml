@@ -1,0 +1,42 @@
+(* Deterministic cost model.
+
+   The paper measures iterations/minute on real hardware. Our substrate is
+   an interpreter, so wall-clock numbers would measure the wrong thing
+   (OCaml dispatch overhead, not removed allocations). Instead every
+   executed operation is charged a fixed cost in "cycles"; benchmark
+   iterations/minute is derived from the cycle count. The relative cost of
+   allocation, synchronization, memory access and arithmetic follows the
+   conventional wisdom for modern JVMs (allocation ~ tens of cycles with a
+   bump allocator plus amortized GC work proportional to size, uncontended
+   biased lock ~ a dozen cycles). *)
+
+(* Interpreter overhead per bytecode (fetch/decode/dispatch). *)
+let interp_dispatch = 12
+
+(* Compiled code executes an IR operation in roughly one "cycle". *)
+let compiled_op = 1
+
+(* Allocation: header/zeroing plus amortized GC pressure by size. *)
+let alloc_base = 35
+
+let alloc_per_byte_num = 1
+
+let alloc_per_byte_den = 2 (* +0.5 cycles per byte *)
+
+let alloc_cost bytes = alloc_base + (bytes * alloc_per_byte_num / alloc_per_byte_den)
+
+(* Uncontended monitor acquire/release. *)
+let monitor_op = 15
+
+(* Call overhead (frame setup, dispatch). *)
+let invoke = 25
+
+(* Memory accesses. *)
+let field_access = 3
+
+let array_access = 4
+
+let static_access = 3
+
+(* Deoptimization is very expensive: frame reconstruction + interpreter. *)
+let deopt = 500

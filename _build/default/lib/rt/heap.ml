@@ -1,0 +1,84 @@
+(* Allocation front end: every object and array the VM creates goes through
+   here so that allocation counts and byte sizes are accounted exactly
+   once, whether the allocation comes from interpreted code, compiled code,
+   or deoptimization-time rematerialization. *)
+
+open Pea_bytecode
+
+type t = {
+  stats : Stats.t;
+  mutable next_id : int;
+  by_class : (string, int ref * int ref) Hashtbl.t; (* name -> count, bytes *)
+}
+
+let create stats = { stats; next_id = 1; by_class = Hashtbl.create 16 }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let charge t name bytes =
+  t.stats.allocations <- t.stats.allocations + 1;
+  t.stats.allocated_bytes <- t.stats.allocated_bytes + bytes;
+  t.stats.cycles <- t.stats.cycles + Cost.alloc_cost bytes;
+  let count, total =
+    match Hashtbl.find_opt t.by_class name with
+    | Some entry -> entry
+    | None ->
+        let entry = (ref 0, ref 0) in
+        Hashtbl.replace t.by_class name entry;
+        entry
+  in
+  incr count;
+  total := !total + bytes
+
+(* [class_breakdown t] — per-class (name, count, bytes), largest first. *)
+let class_breakdown t =
+  Hashtbl.fold (fun name (c, b) acc -> (name, !c, !b) :: acc) t.by_class []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let alloc_object t (cls : Classfile.rt_class) : Value.obj =
+  charge t cls.cls_name (Value.object_bytes cls);
+  {
+    o_id = fresh_id t;
+    o_cls = cls;
+    o_fields =
+      Array.map (fun (f : Classfile.rt_field) -> Value.default_value f.fld_ty) cls.cls_instance_fields;
+    o_lock = 0;
+  }
+
+exception Negative_array_size of int
+
+let alloc_array t elem len : Value.arr =
+  if len < 0 then raise (Negative_array_size len);
+  charge t (Pea_mjava.Ast.string_of_ty elem ^ "[]") (Value.array_bytes elem len);
+  {
+    a_id = fresh_id t;
+    a_elem = elem;
+    a_elems = Array.make len (Value.default_value elem);
+    a_lock = 0;
+  }
+
+(* Monitor operations; [who] is only used in trap messages. *)
+exception Unbalanced_monitor of string
+
+let monitor_enter t (v : Value.value) =
+  t.stats.monitor_ops <- t.stats.monitor_ops + 1;
+  t.stats.cycles <- t.stats.cycles + Cost.monitor_op;
+  match v with
+  | Vobj o -> o.o_lock <- o.o_lock + 1
+  | Varr a -> a.a_lock <- a.a_lock + 1
+  | Vnull | Vint _ | Vbool _ -> raise (Unbalanced_monitor "monitorenter on a non-object")
+
+let monitor_exit t (v : Value.value) =
+  t.stats.monitor_ops <- t.stats.monitor_ops + 1;
+  t.stats.cycles <- t.stats.cycles + Cost.monitor_op;
+  match v with
+  | Vobj o ->
+      if o.o_lock <= 0 then raise (Unbalanced_monitor "monitorexit on an unlocked object");
+      o.o_lock <- o.o_lock - 1
+  | Varr a ->
+      if a.a_lock <= 0 then raise (Unbalanced_monitor "monitorexit on an unlocked array");
+      a.a_lock <- a.a_lock - 1
+  | Vnull | Vint _ | Vbool _ -> raise (Unbalanced_monitor "monitorexit on a non-object")

@@ -1,0 +1,44 @@
+(** Allocation front end.
+
+    Every object and array the VM creates goes through this module so that
+    allocation counts, byte sizes and monitor operations are accounted
+    exactly once — whether the allocation comes from interpreted code,
+    compiled code, or deoptimization-time rematerialization. *)
+
+open Pea_bytecode
+
+type t = {
+  stats : Stats.t;
+  mutable next_id : int;
+  by_class : (string, int ref * int ref) Hashtbl.t; (* name -> count, bytes *)
+}
+
+(** [create stats] is a fresh heap charging into [stats]. *)
+val create : Stats.t -> t
+
+(** [class_breakdown t] — per-class [(name, count, bytes)] since creation,
+    sorted by bytes descending. Arrays appear as ["int[]"], ["Object[]"],
+    etc. The paper's §6.1 observation — allocations that survive PEA are
+    dominated by arrays — is directly visible here. *)
+val class_breakdown : t -> (string * int * int) list
+
+(** [alloc_object t cls] allocates an instance with default field values,
+    charging one allocation of {!Value.object_bytes}. *)
+val alloc_object : t -> Classfile.rt_class -> Value.obj
+
+exception Negative_array_size of int
+
+(** [alloc_array t elem len] allocates an array of [len] default elements.
+    @raise Negative_array_size if [len < 0]. *)
+val alloc_array : t -> Pea_mjava.Ast.ty -> int -> Value.arr
+
+exception Unbalanced_monitor of string
+
+(** [monitor_enter t v] acquires [v]'s lock (recursively) and counts one
+    monitor operation.
+    @raise Unbalanced_monitor on a non-object operand. *)
+val monitor_enter : t -> Value.value -> unit
+
+(** [monitor_exit t v] releases one recursion level of [v]'s lock.
+    @raise Unbalanced_monitor if [v] is not locked or not an object. *)
+val monitor_exit : t -> Value.value -> unit

@@ -1,0 +1,297 @@
+open Pea_bytecode
+open Classfile
+open Value
+
+exception Trap of string
+
+(* An in-flight MJ exception (the [throw] statement). Crosses OCaml frames
+   as it unwinds interpreter and compiled frames until a handler range
+   matches. *)
+exception Mj_throw of Value.value
+
+type env = {
+  heap : Heap.t;
+  stats : Stats.t;
+  profile : Profile.t;
+  globals : Value.value array;
+  on_invoke : rt_method -> Value.value list -> Value.value option;
+  on_print : Value.value -> unit;
+}
+
+let trap fmt = Format.kasprintf (fun m -> raise (Trap m)) fmt
+
+let as_int = function Vint n -> n | v -> trap "expected int, found %s" (string_of_value v)
+
+let as_bool = function Vbool b -> b | v -> trap "expected boolean, found %s" (string_of_value v)
+
+let class_of_value = function
+  | Vobj o -> Some o.o_cls
+  | Varr _ | Vnull | Vint _ | Vbool _ -> None
+
+let value_instanceof v (cls : rt_class) =
+  match v with
+  | Vnull -> false
+  | Vobj o -> is_subclass ~cls:o.o_cls ~anc:cls
+  | Varr _ -> cls.cls_name = Pea_mjava.Ast.object_class
+  | Vint _ | Vbool _ -> false
+
+let dispatch_target recv (m : rt_method) =
+  match class_of_value recv with
+  | Some cls -> (
+      match resolve_method cls m.mth_name with
+      | Some target -> target
+      | None -> trap "no method %s on class %s" m.mth_name cls.cls_name)
+  | None -> (
+      match recv with
+      | Vnull -> trap "null receiver in call to %s" (qualified_name m)
+      | Varr _ -> trap "cannot invoke %s on an array" m.mth_name
+      | _ -> trap "bad receiver in call to %s" (qualified_name m))
+
+(* [pop_n stack n] pops [n] values; returns them in push order (first pushed
+   first) together with the rest of the stack. *)
+let pop_n stack n =
+  let rec loop acc stack n =
+    if n = 0 then (acc, stack)
+    else
+      match stack with
+      | v :: rest -> loop (v :: acc) rest (n - 1)
+      | [] -> trap "operand stack underflow"
+  in
+  loop [] stack n
+
+let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
+  let code = m.mth_code in
+  let stats = env.stats in
+  let rec dispatch_throw bci v =
+    (* find the innermost handler covering [bci] whose class matches *)
+    let matches (h : handler) =
+      bci >= h.h_start && bci < h.h_end && value_instanceof v h.h_class
+    in
+    match List.find_opt matches m.mth_handlers with
+    | Some h ->
+        stats.cycles <- stats.cycles + Cost.invoke (* unwind cost *);
+        step h.h_pc [ v ]
+    | None -> raise (Mj_throw v)
+  and step bci stack =
+    if bci < 0 || bci >= Array.length code then trap "pc %d out of range in %s" bci (qualified_name m);
+    stats.interpreted_instrs <- stats.interpreted_instrs + 1;
+    stats.cycles <- stats.cycles + Cost.interp_dispatch;
+    match code.(bci) with
+    | Iconst n -> step (bci + 1) (Vint n :: stack)
+    | Bconst b -> step (bci + 1) (Vbool b :: stack)
+    | Aconst_null -> step (bci + 1) (Vnull :: stack)
+    | Load slot -> step (bci + 1) (locals.(slot) :: stack)
+    | Store slot -> (
+        match stack with
+        | v :: rest ->
+            locals.(slot) <- v;
+            step (bci + 1) rest
+        | [] -> trap "stack underflow at store")
+    | Dup -> (
+        match stack with
+        | v :: _ -> step (bci + 1) (v :: stack)
+        | [] -> trap "stack underflow at dup")
+    | Pop -> (
+        match stack with
+        | _ :: rest -> step (bci + 1) rest
+        | [] -> trap "stack underflow at pop")
+    | Iadd | Isub | Imul | Idiv | Irem -> (
+        match stack with
+        | b :: a :: rest ->
+            let a = as_int a and b = as_int b in
+            let result =
+              match code.(bci) with
+              | Iadd -> a + b
+              | Isub -> a - b
+              | Imul -> a * b
+              | Idiv -> if b = 0 then trap "division by zero" else a / b
+              | Irem -> if b = 0 then trap "division by zero" else a mod b
+              | _ -> assert false
+            in
+            step (bci + 1) (Vint result :: rest)
+        | _ -> trap "stack underflow at arithmetic")
+    | Ineg -> (
+        match stack with
+        | a :: rest -> step (bci + 1) (Vint (-as_int a) :: rest)
+        | [] -> trap "stack underflow at ineg")
+    | Bnot -> (
+        match stack with
+        | a :: rest -> step (bci + 1) (Vbool (not (as_bool a)) :: rest)
+        | [] -> trap "stack underflow at bnot")
+    | Icmp c -> (
+        match stack with
+        | b :: a :: rest ->
+            let a = as_int a and b = as_int b in
+            let result =
+              match c with
+              | Clt -> a < b
+              | Cle -> a <= b
+              | Cgt -> a > b
+              | Cge -> a >= b
+              | Ceq -> a = b
+              | Cne -> a <> b
+            in
+            step (bci + 1) (Vbool result :: rest)
+        | _ -> trap "stack underflow at icmp")
+    | Acmp c -> (
+        match stack with
+        | b :: a :: rest ->
+            let eq = equal_value a b in
+            step (bci + 1) (Vbool (match c with AEq -> eq | ANe -> not eq) :: rest)
+        | _ -> trap "stack underflow at acmp")
+    | New cls -> step (bci + 1) (Vobj (Heap.alloc_object env.heap cls) :: stack)
+    | Newarray elem -> (
+        match stack with
+        | len :: rest -> (
+            match Heap.alloc_array env.heap elem (as_int len) with
+            | arr -> step (bci + 1) (Varr arr :: rest)
+            | exception Heap.Negative_array_size n -> trap "negative array size %d" n)
+        | [] -> trap "stack underflow at newarray")
+    | Arraylength -> (
+        match stack with
+        | Varr a :: rest -> step (bci + 1) (Vint (Array.length a.a_elems) :: rest)
+        | Vnull :: _ -> trap "null dereference at arraylength"
+        | _ -> trap "arraylength on a non-array")
+    | Aload -> (
+        stats.cycles <- stats.cycles + Cost.array_access;
+        match stack with
+        | idx :: Varr a :: rest ->
+            let i = as_int idx in
+            if i < 0 || i >= Array.length a.a_elems then trap "array index %d out of bounds" i;
+            step (bci + 1) (a.a_elems.(i) :: rest)
+        | _ :: Vnull :: _ -> trap "null dereference at array load"
+        | _ -> trap "array load on a non-array")
+    | Astore -> (
+        stats.cycles <- stats.cycles + Cost.array_access;
+        match stack with
+        | v :: idx :: Varr a :: rest ->
+            let i = as_int idx in
+            if i < 0 || i >= Array.length a.a_elems then trap "array index %d out of bounds" i;
+            a.a_elems.(i) <- v;
+            step (bci + 1) rest
+        | _ :: _ :: Vnull :: _ -> trap "null dereference at array store"
+        | _ -> trap "array store on a non-array")
+    | Getfield f -> (
+        stats.cycles <- stats.cycles + Cost.field_access;
+        match stack with
+        | Vobj o :: rest -> step (bci + 1) (o.o_fields.(f.fld_offset) :: rest)
+        | Vnull :: _ -> trap "null dereference reading %s.%s" f.fld_owner f.fld_name
+        | _ -> trap "getfield on a non-object")
+    | Putfield f -> (
+        stats.cycles <- stats.cycles + Cost.field_access;
+        match stack with
+        | v :: Vobj o :: rest ->
+            o.o_fields.(f.fld_offset) <- v;
+            step (bci + 1) rest
+        | _ :: Vnull :: _ -> trap "null dereference writing %s.%s" f.fld_owner f.fld_name
+        | _ -> trap "putfield on a non-object")
+    | Getstatic f ->
+        stats.cycles <- stats.cycles + Cost.static_access;
+        step (bci + 1) (env.globals.(f.sf_index) :: stack)
+    | Putstatic f -> (
+        stats.cycles <- stats.cycles + Cost.static_access;
+        match stack with
+        | v :: rest ->
+            env.globals.(f.sf_index) <- v;
+            step (bci + 1) rest
+        | [] -> trap "stack underflow at putstatic")
+    | Invokevirtual callee -> (
+        stats.cycles <- stats.cycles + Cost.invoke;
+        let n = arity callee in
+        let args, rest = pop_n stack n in
+        match args with
+        | recv :: _ -> (
+            let target = dispatch_target recv callee in
+            match env.on_invoke target args with
+            | result ->
+                let stack = match result with Some v -> v :: rest | None -> rest in
+                step (bci + 1) stack
+            | exception Mj_throw v -> dispatch_throw bci v)
+        | [] -> trap "missing receiver")
+    | Invokestatic callee -> (
+        stats.cycles <- stats.cycles + Cost.invoke;
+        let args, rest = pop_n stack (arity callee) in
+        match env.on_invoke callee args with
+        | result ->
+            let stack = match result with Some v -> v :: rest | None -> rest in
+            step (bci + 1) stack
+        | exception Mj_throw v -> dispatch_throw bci v)
+    | Invokespecial ctor -> (
+        stats.cycles <- stats.cycles + Cost.invoke;
+        let args, rest = pop_n stack (arity ctor) in
+        match args with
+        | Vnull :: _ -> trap "null receiver in constructor call"
+        | _ :: _ -> (
+            match env.on_invoke ctor args with
+            | _ -> step (bci + 1) rest
+            | exception Mj_throw v -> dispatch_throw bci v)
+        | [] -> trap "missing receiver in constructor call")
+    | Monitorenter -> (
+        match stack with
+        | Vnull :: _ -> trap "monitorenter on null"
+        | v :: rest -> (
+            match Heap.monitor_enter env.heap v with
+            | () -> step (bci + 1) rest
+            | exception Heap.Unbalanced_monitor msg -> trap "%s" msg)
+        | [] -> trap "stack underflow at monitorenter")
+    | Monitorexit -> (
+        match stack with
+        | Vnull :: _ -> trap "monitorexit on null"
+        | v :: rest -> (
+            match Heap.monitor_exit env.heap v with
+            | () -> step (bci + 1) rest
+            | exception Heap.Unbalanced_monitor msg -> trap "%s" msg)
+        | [] -> trap "stack underflow at monitorexit")
+    | Goto target -> step target stack
+    | If_true target -> (
+        match stack with
+        | v :: rest ->
+            let taken = as_bool v in
+            Profile.record_branch env.profile m ~bci ~taken;
+            step (if taken then target else bci + 1) rest
+        | [] -> trap "stack underflow at if_true")
+    | If_false target -> (
+        match stack with
+        | v :: rest ->
+            let taken = not (as_bool v) in
+            Profile.record_branch env.profile m ~bci ~taken;
+            step (if taken then target else bci + 1) rest
+        | [] -> trap "stack underflow at if_false")
+    | Instanceof cls -> (
+        match stack with
+        | v :: rest -> step (bci + 1) (Vbool (value_instanceof v cls) :: rest)
+        | [] -> trap "stack underflow at instanceof")
+    | Checkcast cls -> (
+        match stack with
+        | Vnull :: _ -> step (bci + 1) stack
+        | v :: _ ->
+            if value_instanceof v cls then step (bci + 1) stack
+            else trap "cannot cast %s to %s" (string_of_value v) cls.cls_name
+        | [] -> trap "stack underflow at checkcast")
+    | Athrow -> (
+        match stack with
+        | Vnull :: _ -> trap "throw of null"
+        | v :: _ -> dispatch_throw bci v
+        | [] -> trap "stack underflow at athrow")
+    | Return_void -> None
+    | Return_val -> (
+        match stack with
+        | v :: _ -> Some v
+        | [] -> trap "stack underflow at return")
+    | Print -> (
+        match stack with
+        | v :: rest ->
+            env.on_print v;
+            step (bci + 1) rest
+        | [] -> trap "stack underflow at print")
+  in
+  step bci stack
+
+let run env (m : rt_method) args =
+  Profile.record_invocation env.profile m;
+  env.stats.invocations <- env.stats.invocations + 1;
+  let locals = Array.make (max m.mth_max_locals (List.length args)) Vnull in
+  List.iteri (fun i v -> locals.(i) <- v) args;
+  exec env m ~locals ~stack:[] ~bci:0
+
+let resume env m ~locals ~stack ~bci = exec env m ~locals ~stack ~bci

@@ -1,0 +1,53 @@
+(** The bytecode interpreter tier.
+
+    Plays the role HotSpot's interpreter plays in the paper: it can execute
+    any method from any bytecode index with an explicit locals/stack state,
+    which is exactly what deoptimization needs, and it feeds branch and
+    invocation profiles to the JIT. *)
+
+open Pea_bytecode
+
+(** Raised on runtime faults (null dereference, division by zero, bad cast,
+    array bounds, unbalanced monitors). The VM treats these as fatal. *)
+exception Trap of string
+
+(** An in-flight MJ exception ([throw e]); it unwinds OCaml frames across
+    interpreter and compiled frames until an interpreter frame with a
+    matching handler range catches it. Escapes [run] if uncaught. *)
+exception Mj_throw of Value.value
+
+type env = {
+  heap : Heap.t;
+  stats : Stats.t;
+  profile : Profile.t;
+  globals : Value.value array; (* static fields, indexed by [sf_index] *)
+  on_invoke : Classfile.rt_method -> Value.value list -> Value.value option;
+      (** Called for every invoke; the VM decides whether the callee runs
+          interpreted or compiled. The argument list includes the receiver
+          for instance methods. Virtual dispatch has already happened. *)
+  on_print : Value.value -> unit;
+}
+
+(** [run env m args] executes [m] from bytecode index 0.
+    Returns [Some v] for value-returning methods, [None] for void. *)
+val run : env -> Classfile.rt_method -> Value.value list -> Value.value option
+
+(** [resume env m ~locals ~stack ~bci] continues execution of [m] at [bci]
+    with the given locals and operand stack (top of stack first). This is
+    the deoptimization entry point. *)
+val resume :
+  env ->
+  Classfile.rt_method ->
+  locals:Value.value array ->
+  stack:Value.value list ->
+  bci:int ->
+  Value.value option
+
+(** [dispatch_target recv m] resolves the virtual-dispatch target of [m]
+    for receiver value [recv].
+    @raise Trap on a null receiver. *)
+val dispatch_target : Value.value -> Classfile.rt_method -> Classfile.rt_method
+
+(** [value_instanceof v cls] is the runtime subtype test used by
+    [instanceof] and [checkcast] ([null] is never an instance). *)
+val value_instanceof : Value.value -> Classfile.rt_class -> bool

@@ -1,0 +1,38 @@
+(* Execution profiles collected by the interpreter tier and consumed by the
+   JIT: invocation counters (compilation policy) and per-branch taken
+   counts (speculative cold-branch pruning, the mechanism that makes
+   deoptimization and therefore §5.5 of the paper observable). *)
+
+open Pea_bytecode
+
+type method_profile = {
+  mutable invocations : int;
+  branch_taken : (int, int) Hashtbl.t; (* bci -> times the branch jumped *)
+  branch_fallthrough : (int, int) Hashtbl.t; (* bci -> times it fell through *)
+}
+
+type t = method_profile array (* indexed by mth_id *)
+
+let create (program : Link.program) : t =
+  Array.map
+    (fun (_ : Classfile.rt_method) ->
+      { invocations = 0; branch_taken = Hashtbl.create 8; branch_fallthrough = Hashtbl.create 8 })
+    program.methods
+
+let for_method (t : t) (m : Classfile.rt_method) = t.(m.mth_id)
+
+let record_invocation t m =
+  let p = for_method t m in
+  p.invocations <- p.invocations + 1
+
+let record_branch t m ~bci ~taken =
+  let p = for_method t m in
+  let table = if taken then p.branch_taken else p.branch_fallthrough in
+  Hashtbl.replace table bci (1 + Option.value (Hashtbl.find_opt table bci) ~default:0)
+
+let branch_counts t m ~bci =
+  let p = for_method t m in
+  ( Option.value (Hashtbl.find_opt p.branch_taken bci) ~default:0,
+    Option.value (Hashtbl.find_opt p.branch_fallthrough bci) ~default:0 )
+
+let invocations t m = (for_method t m).invocations

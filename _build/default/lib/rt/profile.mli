@@ -1,0 +1,32 @@
+(** Execution profiles collected by the interpreter tier and consumed by
+    the JIT: invocation counters drive the compilation policy, and
+    per-branch taken counts drive speculative cold-branch pruning — the
+    mechanism that makes deoptimization (and therefore §5.5 of the paper)
+    observable. *)
+
+open Pea_bytecode
+
+type method_profile = {
+  mutable invocations : int;
+  branch_taken : (int, int) Hashtbl.t; (* bci -> times the branch jumped *)
+  branch_fallthrough : (int, int) Hashtbl.t;
+}
+
+type t = method_profile array (* indexed by [mth_id] *)
+
+(** [create program] allocates empty profiles for every method. *)
+val create : Link.program -> t
+
+val for_method : t -> Classfile.rt_method -> method_profile
+
+(** [record_invocation t m] counts one interpreted entry of [m]. *)
+val record_invocation : t -> Classfile.rt_method -> unit
+
+(** [record_branch t m ~bci ~taken] counts one execution of the branch at
+    [bci]. *)
+val record_branch : t -> Classfile.rt_method -> bci:int -> taken:bool -> unit
+
+(** [branch_counts t m ~bci] is [(taken, fallthrough)]. *)
+val branch_counts : t -> Classfile.rt_method -> bci:int -> int * int
+
+val invocations : t -> Classfile.rt_method -> int

@@ -1,0 +1,27 @@
+(** Interpreter-only program runner.
+
+    Executes [main] with every invoke going through the bytecode
+    interpreter: the "without JIT" baseline and the reference semantics for
+    all differential testing. *)
+
+open Pea_bytecode
+
+type result = {
+  return_value : Value.value option;
+  printed : Value.value list; (* in print order *)
+  stats : Stats.snapshot;
+}
+
+(** [make_env ?stats program ~printed] builds an interpreter environment
+    whose invokes recurse into the interpreter and whose prints accumulate
+    (newest first) into [printed]. *)
+val make_env :
+  ?stats:Stats.t -> Link.program -> printed:Value.value list ref -> Interp.env
+
+(** [run_program program] interprets [main] once.
+    @raise Link.Link_error if the program has no entry point.
+    @raise Interp.Trap on runtime faults. *)
+val run_program : ?stats:Stats.t -> Link.program -> result
+
+(** [run_source src] compiles and interprets an MJ source string. *)
+val run_source : ?stats:Stats.t -> string -> result

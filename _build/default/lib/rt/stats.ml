@@ -1,0 +1,91 @@
+(* Runtime statistics. These are the quantities Table 1 of the paper
+   reports: number of allocations, allocated bytes, monitor operations, and
+   a deterministic cycle count that stands in for wall-clock time. *)
+
+type t = {
+  mutable allocations : int;
+  mutable allocated_bytes : int;
+  mutable monitor_ops : int;
+  mutable cycles : int;
+  mutable deopts : int;
+  mutable rematerialized : int; (* virtual objects re-allocated during deopt *)
+  mutable interpreted_instrs : int;
+  mutable compiled_ops : int;
+  mutable invocations : int;
+  mutable compiled_methods : int;
+}
+
+let create () =
+  {
+    allocations = 0;
+    allocated_bytes = 0;
+    monitor_ops = 0;
+    cycles = 0;
+    deopts = 0;
+    rematerialized = 0;
+    interpreted_instrs = 0;
+    compiled_ops = 0;
+    invocations = 0;
+    compiled_methods = 0;
+  }
+
+let reset t =
+  t.allocations <- 0;
+  t.allocated_bytes <- 0;
+  t.monitor_ops <- 0;
+  t.cycles <- 0;
+  t.deopts <- 0;
+  t.rematerialized <- 0;
+  t.interpreted_instrs <- 0;
+  t.compiled_ops <- 0;
+  t.invocations <- 0;
+  t.compiled_methods <- 0
+
+type snapshot = {
+  s_allocations : int;
+  s_allocated_bytes : int;
+  s_monitor_ops : int;
+  s_cycles : int;
+  s_deopts : int;
+  s_rematerialized : int;
+  s_interpreted_instrs : int;
+  s_compiled_ops : int;
+  s_invocations : int;
+  s_compiled_methods : int;
+}
+
+let snapshot t =
+  {
+    s_allocations = t.allocations;
+    s_allocated_bytes = t.allocated_bytes;
+    s_monitor_ops = t.monitor_ops;
+    s_cycles = t.cycles;
+    s_deopts = t.deopts;
+    s_rematerialized = t.rematerialized;
+    s_interpreted_instrs = t.interpreted_instrs;
+    s_compiled_ops = t.compiled_ops;
+    s_invocations = t.invocations;
+    s_compiled_methods = t.compiled_methods;
+  }
+
+(* [diff later earlier] — the activity between two snapshots. *)
+let diff a b =
+  {
+    s_allocations = a.s_allocations - b.s_allocations;
+    s_allocated_bytes = a.s_allocated_bytes - b.s_allocated_bytes;
+    s_monitor_ops = a.s_monitor_ops - b.s_monitor_ops;
+    s_cycles = a.s_cycles - b.s_cycles;
+    s_deopts = a.s_deopts - b.s_deopts;
+    s_rematerialized = a.s_rematerialized - b.s_rematerialized;
+    s_interpreted_instrs = a.s_interpreted_instrs - b.s_interpreted_instrs;
+    s_compiled_ops = a.s_compiled_ops - b.s_compiled_ops;
+    s_invocations = a.s_invocations - b.s_invocations;
+    s_compiled_methods = a.s_compiled_methods - b.s_compiled_methods;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "allocations=%d bytes=%d monitor_ops=%d cycles=%d deopts=%d remat=%d interp=%d compiled=%d \
+     invokes=%d jit=%d"
+    t.allocations t.allocated_bytes t.monitor_ops t.cycles t.deopts t.rematerialized
+    t.interpreted_instrs t.compiled_ops t.invocations t.compiled_methods

@@ -1,0 +1,43 @@
+(** Runtime statistics — the quantities Table 1 of the paper reports:
+    number of allocations, allocated bytes, monitor operations, and a
+    deterministic cycle count that stands in for wall-clock time. *)
+
+type t = {
+  mutable allocations : int;
+  mutable allocated_bytes : int;
+  mutable monitor_ops : int;
+  mutable cycles : int; (* cost-model cycles, see {!Cost} *)
+  mutable deopts : int;
+  mutable rematerialized : int; (* virtual objects re-allocated during deopt *)
+  mutable interpreted_instrs : int;
+  mutable compiled_ops : int;
+  mutable invocations : int;
+  mutable compiled_methods : int;
+}
+
+(** [create ()] is a zeroed statistics record. *)
+val create : unit -> t
+
+(** [reset t] zeroes every counter in place. *)
+val reset : t -> unit
+
+(** An immutable copy of the counters at one instant. *)
+type snapshot = {
+  s_allocations : int;
+  s_allocated_bytes : int;
+  s_monitor_ops : int;
+  s_cycles : int;
+  s_deopts : int;
+  s_rematerialized : int;
+  s_interpreted_instrs : int;
+  s_compiled_ops : int;
+  s_invocations : int;
+  s_compiled_methods : int;
+}
+
+val snapshot : t -> snapshot
+
+(** [diff later earlier] is the activity between two snapshots. *)
+val diff : snapshot -> snapshot -> snapshot
+
+val pp : Format.formatter -> t -> unit

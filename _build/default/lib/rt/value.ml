@@ -1,0 +1,68 @@
+(* Runtime values and heap objects. The OCaml GC manages the actual memory;
+   we model object identity, field storage, per-object lock depth (the VM
+   is single-threaded, so a lock is just a recursion counter) and the
+   byte-size accounting the paper reports. *)
+
+open Pea_bytecode
+
+type value =
+  | Vint of int
+  | Vbool of bool
+  | Vnull
+  | Vobj of obj
+  | Varr of arr
+
+and obj = {
+  o_id : int;
+  o_cls : Classfile.rt_class;
+  o_fields : value array;
+  mutable o_lock : int; (* recursive lock depth; single-threaded VM *)
+}
+
+and arr = {
+  a_id : int;
+  a_elem : Pea_mjava.Ast.ty;
+  a_elems : value array;
+  mutable a_lock : int;
+}
+
+let default_value (ty : Pea_mjava.Ast.ty) =
+  match ty with
+  | Tint -> Vint 0
+  | Tbool -> Vbool false
+  | Tclass _ | Tarray _ | Tnull -> Vnull
+
+let is_ref = function Vobj _ | Varr _ | Vnull -> true | Vint _ | Vbool _ -> false
+
+(* Size accounting: 16-byte header; 8 bytes per object field (uniform
+   value-sized slots); arrays use 4 bytes per int/boolean element and
+   8 per reference element. *)
+let header_bytes = 16
+
+let field_bytes = 8
+
+let elem_bytes (ty : Pea_mjava.Ast.ty) =
+  match ty with Tint | Tbool -> 4 | Tclass _ | Tarray _ | Tnull -> 8
+
+let object_bytes (cls : Classfile.rt_class) =
+  header_bytes + (field_bytes * Array.length cls.cls_instance_fields)
+
+let array_bytes elem len = header_bytes + (elem_bytes elem * len)
+
+let rec equal_value a b =
+  match a, b with
+  | Vint x, Vint y -> x = y
+  | Vbool x, Vbool y -> x = y
+  | Vnull, Vnull -> true
+  | Vobj x, Vobj y -> x.o_id = y.o_id
+  | Varr x, Varr y -> x.a_id = y.a_id
+  | (Vint _ | Vbool _ | Vnull | Vobj _ | Varr _), _ -> ignore equal_value; false
+
+let string_of_value = function
+  | Vint n -> string_of_int n
+  | Vbool b -> string_of_bool b
+  | Vnull -> "null"
+  | Vobj o -> Printf.sprintf "%s@%d" o.o_cls.cls_name o.o_id
+  | Varr a -> Printf.sprintf "%s[%d]@%d" (Pea_mjava.Ast.string_of_ty a.a_elem) (Array.length a.a_elems) a.a_id
+
+let pp ppf v = Fmt.string ppf (string_of_value v)

@@ -1,0 +1,41 @@
+type t = {
+  name : string;
+  buf : Buffer.t;
+}
+
+let create name =
+  let t = { name; buf = Buffer.create 1024 } in
+  Buffer.add_string t.buf (Printf.sprintf "digraph %S {\n" name);
+  Buffer.add_string t.buf "  node [fontname=\"monospace\"];\n";
+  t
+
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node t ~id ~label ~shape ?color () =
+  let color_attr = match color with None -> "" | Some c -> Printf.sprintf ", color=\"%s\"" c in
+  Buffer.add_string t.buf
+    (Printf.sprintf "  %s [label=\"%s\", shape=%s%s];\n" id (escape_label label) shape color_attr)
+
+let edge t ~src ~dst ?style ?label () =
+  let attrs =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (Printf.sprintf "style=%s") style;
+        Option.map (fun l -> Printf.sprintf "label=\"%s\"" (escape_label l)) label;
+      ]
+  in
+  let attr_str = match attrs with [] -> "" | xs -> " [" ^ String.concat ", " xs ^ "]" in
+  Buffer.add_string t.buf (Printf.sprintf "  %s -> %s%s;\n" src dst attr_str)
+
+let contents t = Buffer.contents t.buf ^ "}\n"

@@ -1,0 +1,18 @@
+(** Tiny Graphviz (dot) emitter used by the IR printers. *)
+
+type t
+
+(** [create name] starts a digraph called [name]. *)
+val create : string -> t
+
+(** [node t ~id ~label ~shape ?color ()] declares a node. *)
+val node : t -> id:string -> label:string -> shape:string -> ?color:string -> unit -> unit
+
+(** [edge t ~src ~dst ?style ?label ()] declares a directed edge. *)
+val edge : t -> src:string -> dst:string -> ?style:string -> ?label:string -> unit -> unit
+
+(** [contents t] renders the accumulated graph as dot source. *)
+val contents : t -> string
+
+(** [escape_label s] escapes a string for use inside a dot label. *)
+val escape_label : string -> string

@@ -1,0 +1,44 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  escape : bool array; (* meaningful at representatives only *)
+  mutable sets : int;
+}
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    escape = Array.make n false;
+    sets = n;
+  }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let esc = t.escape.(ra) || t.escape.(rb) in
+    let keep, absorb =
+      if t.rank.(ra) < t.rank.(rb) then rb, ra else ra, rb
+    in
+    t.parent.(absorb) <- keep;
+    if t.rank.(keep) = t.rank.(absorb) then t.rank.(keep) <- t.rank.(keep) + 1;
+    t.escape.(keep) <- esc;
+    t.sets <- t.sets - 1
+  end
+
+let mark_escaped t x = t.escape.(find t x) <- true
+
+let escaped t x = t.escape.(find t x)
+
+let same_set t a b = find t a = find t b
+
+let n_sets t = t.sets

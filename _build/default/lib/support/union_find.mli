@@ -1,0 +1,31 @@
+(** Union-find over dense integer elements.
+
+    Used by the baseline whole-method escape analysis to implement
+    equi-escape sets (Kotzmann & Mössenböck): allocations whose references
+    flow together are merged into one set, and a set-level "escapes" flag is
+    the disjunction of its members' flags. *)
+
+type t
+
+(** [create n] is a union-find structure over elements [0 .. n-1], each in
+    its own set, none escaping. *)
+val create : int -> t
+
+(** [find t x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t a b] merges the sets of [a] and [b]; the merged set escapes if
+    either operand's set did. *)
+val union : t -> int -> int -> unit
+
+(** [mark_escaped t x] marks [x]'s whole set as escaping. *)
+val mark_escaped : t -> int -> unit
+
+(** [escaped t x] is [true] iff [x]'s set has been marked as escaping. *)
+val escaped : t -> int -> bool
+
+(** [same_set t a b] is [true] iff [a] and [b] are in the same set. *)
+val same_set : t -> int -> int -> bool
+
+(** [n_sets t] is the current number of disjoint sets. *)
+val n_sets : t -> int

@@ -1,0 +1,1 @@
+lib/vm/deopt.ml: Array Classfile Cost Frame_state Hashtbl Heap Interp List Node Option Pea_bytecode Pea_ir Pea_rt Printf Stats Value

@@ -1,0 +1,1 @@
+lib/vm/deopt.mli: Frame_state Interp Node Pea_ir Pea_rt Value

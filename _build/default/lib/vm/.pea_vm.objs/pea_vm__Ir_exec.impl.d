@@ -1,0 +1,1 @@
+lib/vm/ir_exec.ml: Array Classfile Cost Format Frame_state Graph Heap Interp List Node Pea_bytecode Pea_ir Pea_rt Pea_support Stats Value

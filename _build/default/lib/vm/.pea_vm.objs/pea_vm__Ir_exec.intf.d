@@ -1,0 +1,1 @@
+lib/vm/ir_exec.mli: Frame_state Graph Interp Node Pea_ir Pea_rt Value

@@ -1,0 +1,1 @@
+lib/vm/jit.ml: Builder Check Classfile Graph Link Pea_bytecode Pea_core Pea_ir Pea_opt Pea_rt Profile

@@ -1,0 +1,1 @@
+lib/vm/jit.mli: Classfile Graph Link Pea_bytecode Pea_core Pea_ir Pea_rt Profile

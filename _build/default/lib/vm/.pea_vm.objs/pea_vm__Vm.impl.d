@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Array Classfile Deopt Hashtbl Heap Interp Ir_exec Jit Lazy Link List Logs Option Pea_bytecode Pea_core Pea_ir Pea_rt Profile Stats Value Verify

@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Classfile Jit Link Logs Pea_bytecode Pea_core Pea_ir Pea_rt Stats Value

@@ -1,0 +1,108 @@
+(* Deoptimization: transfer from compiled code back to the interpreter
+   (§2, §5.5 of the paper).
+
+   The frame state attached to the Deopt terminator describes the
+   interpreter state (locals, operand stack, locks) for the innermost
+   frame, with an [fs_outer] chain for inlined callers. Scalar-replaced
+   allocations appear as [F_virtual] references with descriptors; they are
+   rematerialized here — allocated for real, fields filled (two-phase, so
+   cyclic structures work), and re-locked — before the interpreter
+   resumes. *)
+
+open Pea_bytecode
+open Pea_ir
+open Pea_rt
+open Value
+
+let const_value (c : Frame_state.const) =
+  match c with
+  | Frame_state.Cint n -> Vint n
+  | Frame_state.Cbool b -> Vbool b
+  | Frame_state.Cnull | Frame_state.Cundef -> Vnull
+
+(* Collect every virtual-object descriptor reachable from the frame-state
+   chain (innermost state holds them all in this implementation, but be
+   robust and walk the chain). *)
+let collect_virtuals (fs : Frame_state.t) =
+  let table = Hashtbl.create 8 in
+  let rec walk fs =
+    List.iter
+      (fun (id, vd) -> if not (Hashtbl.mem table id) then Hashtbl.replace table id vd)
+      fs.Frame_state.fs_virtuals;
+    Option.iter walk fs.Frame_state.fs_outer
+  in
+  walk fs;
+  table
+
+(* [handle env fs lookup] rematerializes virtual objects, reconstructs the
+   interpreter frames described by [fs], executes them innermost-first and
+   returns the result of the outermost frame (the compiled method). *)
+let handle (env : Interp.env) (fs : Frame_state.t) (lookup : Node.node_id -> Value.value) :
+    Value.value option =
+  let stats = env.Interp.stats in
+  stats.Stats.deopts <- stats.Stats.deopts + 1;
+  stats.Stats.cycles <- stats.Stats.cycles + Cost.deopt;
+  (* --- rematerialize --- *)
+  let descriptors = collect_virtuals fs in
+  let objects : (Frame_state.virt_id, Value.value) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun id (vd : Frame_state.virtual_desc) ->
+      let v =
+        match vd.Frame_state.vd_shape with
+        | Frame_state.Obj_shape cls -> Vobj (Heap.alloc_object env.Interp.heap cls)
+        | Frame_state.Arr_shape elem ->
+            Varr (Heap.alloc_array env.Interp.heap elem (Array.length vd.Frame_state.vd_fields))
+      in
+      stats.Stats.rematerialized <- stats.Stats.rematerialized + 1;
+      Hashtbl.replace objects id v)
+    descriptors;
+  let resolve (fv : Frame_state.fs_value) : Value.value =
+    match fv with
+    | Frame_state.F_node n -> lookup n
+    | Frame_state.F_const c -> const_value c
+    | Frame_state.F_virtual id -> (
+        match Hashtbl.find_opt objects id with
+        | Some v -> v
+        | None -> raise (Interp.Trap (Printf.sprintf "deopt: no descriptor for virt%d" id)))
+  in
+  Hashtbl.iter
+    (fun id (vd : Frame_state.virtual_desc) ->
+      (* fill fields/elements and restore elided locks *)
+      (match Hashtbl.find objects id with
+      | Vobj o ->
+          Array.iteri (fun i fv -> o.o_fields.(i) <- resolve fv) vd.Frame_state.vd_fields;
+          o.o_lock <- vd.Frame_state.vd_lock
+      | Varr a ->
+          Array.iteri (fun i fv -> a.a_elems.(i) <- resolve fv) vd.Frame_state.vd_fields;
+          a.a_lock <- vd.Frame_state.vd_lock
+      | Vint _ | Vbool _ | Vnull -> assert false);
+      stats.Stats.monitor_ops <- stats.Stats.monitor_ops + vd.Frame_state.vd_lock)
+    descriptors;
+  (* --- run the frames, innermost first --- *)
+  let frames =
+    let rec chain fs = fs :: (match fs.Frame_state.fs_outer with None -> [] | Some o -> chain o) in
+    chain fs
+  in
+  let run_frame (fs : Frame_state.t) ~(extra : Value.value option) =
+    let m = fs.Frame_state.fs_method in
+    let locals = Array.make (max m.Classfile.mth_max_locals (Array.length fs.Frame_state.fs_locals)) Vnull in
+    Array.iteri (fun i fv -> locals.(i) <- resolve fv) fs.Frame_state.fs_locals;
+    let stack = List.map resolve fs.Frame_state.fs_stack in
+    (* the value returned by the inlined callee is pushed on resume *)
+    let stack = match extra with Some v -> v :: stack | None -> stack in
+    Interp.resume env m ~locals ~stack ~bci:fs.Frame_state.fs_bci
+  in
+  let rec execute frames (incoming : Value.value option) =
+    match frames with
+    | [] -> assert false
+    | [ outermost ] -> run_frame outermost ~extra:incoming
+    | inner :: rest ->
+        let r = run_frame inner ~extra:incoming in
+        let passed =
+          if inner.Frame_state.fs_method.Classfile.mth_ret <> None then
+            Some (match r with Some v -> v | None -> raise (Interp.Trap "deopt: missing return value"))
+          else None
+        in
+        execute rest passed
+  in
+  execute frames None

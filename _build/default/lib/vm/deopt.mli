@@ -1,0 +1,20 @@
+(** Deoptimization: transfer from compiled code back to the interpreter
+    (§2, §5.5 of the paper).
+
+    The frame state attached to a [Deopt] terminator describes the
+    interpreter state (locals, operand stack, locks) of the innermost
+    frame, with an [fs_outer] chain for inlined callers. Scalar-replaced
+    allocations appear as [F_virtual] references with descriptors; they
+    are rematerialized here — allocated for real, fields/elements filled
+    (two-phase, so cyclic structures work) and locks re-acquired — before
+    the interpreter resumes. *)
+
+open Pea_ir
+open Pea_rt
+
+(** [handle env fs lookup] rematerializes the virtual objects of [fs],
+    reconstructs its interpreter frames, executes them innermost-first
+    (passing return values outward) and returns the result of the
+    outermost frame — i.e. of the method whose compiled code deopted. *)
+val handle :
+  Interp.env -> Frame_state.t -> (Node.node_id -> Value.value) -> Value.value option

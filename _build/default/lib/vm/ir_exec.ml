@@ -1,0 +1,214 @@
+(* The "compiled code" tier: a direct executor for optimized IR graphs.
+   Each IR operation costs roughly one cycle in the cost model (plus
+   operation-specific costs), compared to the interpreter's dispatch
+   overhead — this is what makes removed allocations, loads and monitor
+   operations visible in the iterations/minute metric.
+
+   Hitting a [Deopt] terminator raises {!Deoptimize}; the VM catches it and
+   transfers to the interpreter via {!Deopt}. *)
+
+open Pea_bytecode
+open Pea_ir
+open Pea_rt
+open Value
+
+exception Deoptimize of Frame_state.t * (Node.node_id -> Value.value)
+
+let const_value (c : Node.const) =
+  match c with
+  | Node.Cint n -> Vint n
+  | Node.Cbool b -> Vbool b
+  | Node.Cnull | Node.Cundef -> Vnull
+
+let trap fmt = Format.kasprintf (fun m -> raise (Interp.Trap m)) fmt
+
+let as_int = function Vint n -> n | v -> trap "expected int, found %s" (string_of_value v)
+
+let as_bool = function Vbool b -> b | v -> trap "expected boolean, found %s" (string_of_value v)
+
+let run (env : Interp.env) (g : Graph.t) (args : Value.value list) : Value.value option =
+  let stats = env.Interp.stats in
+  let regs = Array.make (max (Graph.n_nodes g) 1) Vnull in
+  List.iteri
+    (fun i (p : Node.t) ->
+      match List.nth_opt args i with
+      | Some v -> regs.(p.Node.id) <- v
+      | None -> trap "missing argument %d for %s" i (Classfile.qualified_name g.Graph.g_method))
+    g.Graph.params;
+  let charge c = stats.Stats.cycles <- stats.Stats.cycles + c in
+  let eval (n : Node.t) =
+    stats.Stats.compiled_ops <- stats.Stats.compiled_ops + 1;
+    charge Cost.compiled_op;
+    let v id = regs.(id) in
+    match n.Node.op with
+    | Node.Const c -> regs.(n.Node.id) <- const_value c
+    | Node.Param _ -> () (* already set *)
+    | Node.Phi _ -> assert false
+    | Node.Arith (k, a, b) ->
+        let a = as_int (v a) and b = as_int (v b) in
+        let r =
+          match k with
+          | Node.Add -> a + b
+          | Node.Sub -> a - b
+          | Node.Mul -> a * b
+          | Node.Div -> if b = 0 then trap "division by zero" else a / b
+          | Node.Rem -> if b = 0 then trap "division by zero" else a mod b
+        in
+        regs.(n.Node.id) <- Vint r
+    | Node.Neg a -> regs.(n.Node.id) <- Vint (-as_int (v a))
+    | Node.Not a -> regs.(n.Node.id) <- Vbool (not (as_bool (v a)))
+    | Node.Cmp (c, a, b) ->
+        let a = as_int (v a) and b = as_int (v b) in
+        let r =
+          match c with
+          | Classfile.Clt -> a < b
+          | Classfile.Cle -> a <= b
+          | Classfile.Cgt -> a > b
+          | Classfile.Cge -> a >= b
+          | Classfile.Ceq -> a = b
+          | Classfile.Cne -> a <> b
+        in
+        regs.(n.Node.id) <- Vbool r
+    | Node.RefCmp (c, a, b) ->
+        let eq = equal_value (v a) (v b) in
+        regs.(n.Node.id) <- Vbool (match c with Classfile.AEq -> eq | Classfile.ANe -> not eq)
+    | Node.New cls -> regs.(n.Node.id) <- Vobj (Heap.alloc_object env.Interp.heap cls)
+    | Node.Alloc (cls, field_values) ->
+        let o = Heap.alloc_object env.Interp.heap cls in
+        Array.iteri (fun i fv -> o.o_fields.(i) <- v fv) field_values;
+        regs.(n.Node.id) <- Vobj o
+    | Node.Alloc_array (elem, elem_values) -> (
+        match Heap.alloc_array env.Interp.heap elem (Array.length elem_values) with
+        | arr ->
+            Array.iteri (fun i fv -> arr.a_elems.(i) <- v fv) elem_values;
+            regs.(n.Node.id) <- Varr arr
+        | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
+    | Node.New_array (elem, len) -> (
+        match Heap.alloc_array env.Interp.heap elem (as_int (v len)) with
+        | arr -> regs.(n.Node.id) <- Varr arr
+        | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
+    | Node.Load_field (o, f) -> (
+        charge Cost.field_access;
+        match v o with
+        | Vobj obj -> regs.(n.Node.id) <- obj.o_fields.(f.Classfile.fld_offset)
+        | Vnull -> trap "null dereference reading %s" f.Classfile.fld_name
+        | _ -> trap "field load on a non-object")
+    | Node.Store_field (o, f, x) -> (
+        charge Cost.field_access;
+        match v o with
+        | Vobj obj -> obj.o_fields.(f.Classfile.fld_offset) <- v x
+        | Vnull -> trap "null dereference writing %s" f.Classfile.fld_name
+        | _ -> trap "field store on a non-object")
+    | Node.Load_static sf ->
+        charge Cost.static_access;
+        regs.(n.Node.id) <- env.Interp.globals.(sf.Classfile.sf_index)
+    | Node.Store_static (sf, x) ->
+        charge Cost.static_access;
+        env.Interp.globals.(sf.Classfile.sf_index) <- v x
+    | Node.Array_load (a, i) -> (
+        charge Cost.array_access;
+        match v a with
+        | Varr arr ->
+            let idx = as_int (v i) in
+            if idx < 0 || idx >= Array.length arr.a_elems then
+              trap "array index %d out of bounds" idx;
+            regs.(n.Node.id) <- arr.a_elems.(idx)
+        | Vnull -> trap "null dereference at array load"
+        | _ -> trap "array load on a non-array")
+    | Node.Array_store (a, i, x) -> (
+        charge Cost.array_access;
+        match v a with
+        | Varr arr ->
+            let idx = as_int (v i) in
+            if idx < 0 || idx >= Array.length arr.a_elems then
+              trap "array index %d out of bounds" idx;
+            arr.a_elems.(idx) <- v x
+        | Vnull -> trap "null dereference at array store"
+        | _ -> trap "array store on a non-array")
+    | Node.Array_length a -> (
+        match v a with
+        | Varr arr -> regs.(n.Node.id) <- Vint (Array.length arr.a_elems)
+        | Vnull -> trap "null dereference at arraylength"
+        | _ -> trap "arraylength on a non-array")
+    | Node.Monitor_enter a -> (
+        match v a with
+        | Vnull -> trap "monitorenter on null"
+        | x -> (
+            match Heap.monitor_enter env.Interp.heap x with
+            | () -> ()
+            | exception Heap.Unbalanced_monitor msg -> trap "%s" msg))
+    | Node.Monitor_exit a -> (
+        match v a with
+        | Vnull -> trap "monitorexit on null"
+        | x -> (
+            match Heap.monitor_exit env.Interp.heap x with
+            | () -> ()
+            | exception Heap.Unbalanced_monitor msg -> trap "%s" msg))
+    | Node.Invoke (kind, callee, arg_ids) -> (
+        charge Cost.invoke;
+        let call_args = Array.to_list (Array.map v arg_ids) in
+        match kind with
+        | Node.Special ->
+            (match call_args with
+            | Vnull :: _ -> trap "null receiver in constructor call"
+            | _ -> ());
+            ignore (env.Interp.on_invoke callee call_args)
+        | Node.Static -> (
+            match env.Interp.on_invoke callee call_args with
+            | Some r -> regs.(n.Node.id) <- r
+            | None -> ())
+        | Node.Virtual -> (
+            let recv = match call_args with r :: _ -> r | [] -> trap "missing receiver" in
+            let target = Interp.dispatch_target recv callee in
+            match env.Interp.on_invoke target call_args with
+            | Some r -> regs.(n.Node.id) <- r
+            | None -> ()))
+    | Node.Instance_of (a, cls) ->
+        regs.(n.Node.id) <- Vbool (Interp.value_instanceof (v a) cls)
+    | Node.Check_cast (a, cls) -> (
+        match v a with
+        | Vnull -> regs.(n.Node.id) <- Vnull
+        | x ->
+            if Interp.value_instanceof x cls then regs.(n.Node.id) <- x
+            else trap "cannot cast %s to %s" (string_of_value x) cls.Classfile.cls_name)
+    | Node.Null_check a -> ( match v a with Vnull -> trap "null dereference" | _ -> ())
+    | Node.Print a -> env.Interp.on_print (v a)
+  in
+  let rec exec prev_bid bid =
+    let b = Graph.block g bid in
+    (* evaluate phis simultaneously on block entry *)
+    (match b.Graph.phis with
+    | [] -> ()
+    | phis ->
+        let pred_idx =
+          let rec find i = function
+            | [] -> trap "phi resolution: B%d is not a predecessor of B%d" prev_bid bid
+            | p :: _ when p = prev_bid -> i
+            | _ :: rest -> find (i + 1) rest
+          in
+          find 0 b.Graph.preds
+        in
+        let values =
+          List.map
+            (fun (phi : Node.t) ->
+              match phi.Node.op with
+              | Node.Phi p -> regs.(p.Node.inputs.(pred_idx))
+              | _ -> assert false)
+            phis
+        in
+        List.iter2
+          (fun (phi : Node.t) value -> regs.(phi.Node.id) <- value)
+          phis values);
+    Pea_support.Dyn_array.iter eval b.Graph.instrs;
+    match b.Graph.term with
+    | Graph.Goto t -> exec bid t
+    | Graph.If { cond; tru; fls; _ } ->
+        charge Cost.compiled_op;
+        if as_bool regs.(cond) then exec bid tru else exec bid fls
+    | Graph.Return None -> None
+    | Graph.Return (Some x) -> Some regs.(x)
+    | Graph.Deopt fs -> raise (Deoptimize (fs, fun id -> regs.(id)))
+    | Graph.Trap msg -> trap "%s" msg
+    | Graph.Unreachable -> trap "reached an Unreachable terminator"
+  in
+  exec (-1) Graph.entry_id

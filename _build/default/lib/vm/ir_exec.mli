@@ -1,0 +1,23 @@
+(** The "compiled code" tier: a direct executor for optimized IR graphs.
+
+    Each IR operation costs roughly one cycle in the cost model (plus
+    operation-specific costs), compared to the interpreter's per-bytecode
+    dispatch overhead — this is what makes removed allocations, loads and
+    monitor operations visible in the iterations/minute metric. *)
+
+open Pea_ir
+open Pea_rt
+
+(** Raised when execution reaches a [Deopt] terminator. Carries the frame
+    state and a register-lookup function for the values it references; the
+    VM catches this and transfers to the interpreter via {!Deopt.handle}. *)
+exception Deoptimize of Frame_state.t * (Node.node_id -> Value.value)
+
+(** [const_value c] converts a compile-time constant to a runtime value
+    ([Cundef] becomes [null]). *)
+val const_value : Node.const -> Value.value
+
+(** [run env g args] executes [g] from its entry block.
+    @raise Deoptimize at [Deopt] terminators.
+    @raise Interp.Trap on runtime faults. *)
+val run : Interp.env -> Graph.t -> Value.value list -> Value.value option

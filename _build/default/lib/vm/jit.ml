@@ -1,0 +1,90 @@
+(* The JIT compilation pipeline. Mirrors the structure the paper assumes:
+   graph building, inlining, canonicalization + global value numbering,
+   profile-guided speculation (cold-branch pruning -> Deopt), and then one
+   of three escape-analysis configurations:
+
+     - [O_none]: no escape analysis ("original Graal", the paper's
+       without-PEA baseline);
+     - [O_ea]: whole-method equi-escape-set analysis with all-or-nothing
+       scalar replacement (the HotSpot-server-compiler-style comparison of
+       §6.2);
+     - [O_pea]: partial escape analysis (§5). *)
+
+open Pea_bytecode
+open Pea_ir
+open Pea_rt
+
+type opt_level =
+  | O_none
+  | O_ea
+  | O_pea
+
+type config = {
+  opt : opt_level;
+  inline : bool;
+  prune : bool; (* profile-guided cold-branch pruning *)
+  read_elim : bool; (* early read elimination (block-local load forwarding) *)
+  cond_elim : bool; (* dominance-based conditional elimination *)
+  pea_prune_dead : bool; (* liveness-based state pruning inside PEA (ablation) *)
+  verify : bool; (* run the IR checker after every pass *)
+  compile_threshold : int; (* interpreter invocations before JIT *)
+  max_callee_size : int;
+}
+
+let default_config =
+  {
+    opt = O_pea;
+    inline = true;
+    prune = true;
+    read_elim = true;
+    cond_elim = true;
+    pea_prune_dead = true;
+    verify = true;
+    compile_threshold = 10;
+    max_callee_size = 150;
+  }
+
+type compiled = {
+  graph : Graph.t;
+  pea_stats : Pea_core.Pea.pass_stats option;
+}
+
+let verify config g = if config.verify then Check.check_exn g
+
+let compile config (program : Link.program) (profile : Profile.t) (m : Classfile.rt_method)
+    ~allow_prune : compiled =
+  let g = Builder.build m in
+  verify config g;
+  if config.inline then begin
+    let inline_config =
+      { (Pea_opt.Inline.default_config program) with Pea_opt.Inline.max_callee_size = config.max_callee_size }
+    in
+    ignore (Pea_opt.Inline.run inline_config g);
+    verify config g
+  end;
+  ignore (Pea_opt.Canonicalize.run g);
+  ignore (Pea_opt.Gvn.run g);
+  if config.read_elim then ignore (Pea_opt.Read_elim.run g);
+  if config.cond_elim then ignore (Pea_opt.Cond_elim.run g);
+  verify config g;
+  if config.prune && allow_prune then begin
+    ignore (Pea_opt.Prune.run profile g);
+    ignore (Pea_opt.Canonicalize.run g);
+    verify config g
+  end;
+  let g, pea_stats =
+    match config.opt with
+    | O_none -> (g, None)
+    | O_ea ->
+        let g', st = Pea_core.Escape.run g in
+        (g', Some st)
+    | O_pea ->
+        let g', st = Pea_core.Pea.run ~prune_dead_objects:config.pea_prune_dead g in
+        (g', Some st)
+  in
+  verify config g;
+  ignore (Pea_opt.Canonicalize.run g);
+  ignore (Pea_opt.Gvn.run g);
+  if config.read_elim then ignore (Pea_opt.Read_elim.run g);
+  verify config g;
+  { graph = g; pea_stats }

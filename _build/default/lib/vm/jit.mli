@@ -1,0 +1,48 @@
+(** The JIT compilation pipeline.
+
+    Graph building → inlining → canonicalization + global value numbering
+    + read elimination → profile-guided speculation (cold branches →
+    [Deopt]) → escape analysis → final cleanup. Three escape-analysis
+    configurations reproduce the paper's comparisons:
+
+    - [O_none]: no escape analysis (the paper's "without PEA" baseline —
+      original Graal performed none);
+    - [O_ea]: whole-method equi-escape-set analysis with all-or-nothing
+      scalar replacement (the HotSpot-server-compiler-style comparison of
+      §6.2);
+    - [O_pea]: partial escape analysis (§5). *)
+
+open Pea_bytecode
+open Pea_ir
+open Pea_rt
+
+type opt_level =
+  | O_none
+  | O_ea
+  | O_pea
+
+type config = {
+  opt : opt_level;
+  inline : bool;
+  prune : bool; (* profile-guided cold-branch pruning *)
+  read_elim : bool; (* early read elimination (block-local load forwarding) *)
+  cond_elim : bool; (* dominance-based conditional elimination *)
+  pea_prune_dead : bool; (* liveness-based state pruning inside PEA (ablation) *)
+  verify : bool; (* run the IR checker after every pass *)
+  compile_threshold : int; (* interpreter invocations before JIT *)
+  max_callee_size : int; (* inlining budget per callee, in bytecodes *)
+}
+
+(** PEA on, everything enabled, threshold 10. *)
+val default_config : config
+
+type compiled = {
+  graph : Graph.t;
+  pea_stats : Pea_core.Pea.pass_stats option; (* [None] under [O_none] *)
+}
+
+(** [compile config program profile m ~allow_prune] runs the pipeline on
+    [m]. [allow_prune] is cleared by the VM for methods that already
+    deoptimized once. *)
+val compile :
+  config -> Link.program -> Profile.t -> Classfile.rt_method -> allow_prune:bool -> compiled

@@ -1,0 +1,139 @@
+open Pea_bytecode
+open Pea_rt
+
+(* JIT event log; enable with [Logs.Src.set_level log_src (Some Debug)] or
+   mjvm's [-v]. *)
+let log_src = Logs.Src.create "pea.vm" ~doc:"Tiered VM events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  return_value : Value.value option;
+  printed : Value.value list;
+  stats : Stats.snapshot;
+  jit_stats : Pea_core.Pea.pass_stats;
+}
+
+type t = {
+  program : Link.program;
+  config : Jit.config;
+  env : Interp.env;
+  compiled : (int, Jit.compiled) Hashtbl.t; (* mth_id -> compiled code *)
+  no_speculation : (int, unit) Hashtbl.t; (* methods that deopted: recompile without pruning *)
+  printed_rev : Value.value list ref;
+  jit_stats : Pea_core.Pea.pass_stats;
+}
+
+let accumulate_jit_stats (acc : Pea_core.Pea.pass_stats) (st : Pea_core.Pea.pass_stats) =
+  acc.Pea_core.Pea.virtualized_allocs <- acc.Pea_core.Pea.virtualized_allocs + st.Pea_core.Pea.virtualized_allocs;
+  acc.materializations <- acc.materializations + st.materializations;
+  acc.removed_loads <- acc.removed_loads + st.removed_loads;
+  acc.removed_stores <- acc.removed_stores + st.removed_stores;
+  acc.removed_monitor_ops <- acc.removed_monitor_ops + st.removed_monitor_ops;
+  acc.folded_checks <- acc.folded_checks + st.folded_checks
+
+let rec invoke vm (m : Classfile.rt_method) args =
+  match Hashtbl.find_opt vm.compiled m.Classfile.mth_id with
+  | Some code -> run_compiled vm m code args
+  | None ->
+      let invocations = Profile.invocations vm.env.Interp.profile m in
+      if
+        invocations >= vm.config.Jit.compile_threshold
+        && not (Classfile.uses_exceptions m)
+      then begin
+        let allow_prune = not (Hashtbl.mem vm.no_speculation m.Classfile.mth_id) in
+        Log.debug (fun k ->
+            k "compiling %s (invocations=%d, speculation=%b)" (Classfile.qualified_name m)
+              invocations allow_prune);
+        let code = Jit.compile vm.config vm.program vm.env.Interp.profile m ~allow_prune in
+        Hashtbl.replace vm.compiled m.Classfile.mth_id code;
+        vm.env.Interp.stats.Stats.compiled_methods <-
+          vm.env.Interp.stats.Stats.compiled_methods + 1;
+        Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats;
+        run_compiled vm m code args
+      end
+      else Interp.run vm.env m args
+
+and run_compiled vm m code args =
+  vm.env.Interp.stats.Stats.invocations <- vm.env.Interp.stats.Stats.invocations + 1;
+  match Ir_exec.run vm.env code.Jit.graph args with
+  | result -> result
+  | exception Ir_exec.Deoptimize (fs, lookup) ->
+      (* invalidate and disable speculation for this method from now on *)
+      Log.debug (fun k ->
+          k "deoptimizing %s at bci %d (%d frames); invalidating compiled code"
+            (Classfile.qualified_name m) fs.Pea_ir.Frame_state.fs_bci
+            (Pea_ir.Frame_state.depth fs));
+      Hashtbl.remove vm.compiled m.Classfile.mth_id;
+      Hashtbl.replace vm.no_speculation m.Classfile.mth_id ();
+      Deopt.handle vm.env fs lookup
+
+let create ?(config = Jit.default_config) (program : Link.program) : t =
+  (* catch frontend/compiler bugs at VM-creation time, like the JVM's
+     class-file verifier *)
+  Verify.verify_program program;
+  let stats = Stats.create () in
+  let heap = Heap.create stats in
+  let profile = Profile.create program in
+  let globals = Array.make (max program.Link.n_statics 1) Value.Vnull in
+  List.iter
+    (fun (sf : Classfile.rt_static_field) ->
+      globals.(sf.Classfile.sf_index) <- Value.default_value sf.Classfile.sf_ty)
+    program.Link.statics;
+  let printed_rev = ref [] in
+  let rec vm =
+    lazy
+      {
+        program;
+        config;
+        env =
+          {
+            Interp.heap;
+            stats;
+            profile;
+            globals;
+            on_invoke = (fun m args -> invoke (Lazy.force vm) m args);
+            on_print = (fun v -> printed_rev := v :: !printed_rev);
+          };
+        compiled = Hashtbl.create 32;
+        no_speculation = Hashtbl.create 8;
+        printed_rev;
+        jit_stats = Pea_core.Pea.mk_stats ();
+      }
+  in
+  Lazy.force vm
+
+let stats vm = vm.env.Interp.stats
+
+let printed vm = List.rev !(vm.printed_rev)
+
+let class_breakdown vm = Heap.class_breakdown vm.env.Interp.heap
+
+let compiled_graph vm (m : Classfile.rt_method) =
+  Option.map (fun c -> c.Jit.graph) (Hashtbl.find_opt vm.compiled m.Classfile.mth_id)
+
+let result_of vm return_value =
+  {
+    return_value;
+    printed = printed vm;
+    stats = Stats.snapshot vm.env.Interp.stats;
+    jit_stats = vm.jit_stats;
+  }
+
+let run vm = result_of vm (invoke vm (Link.entry_exn vm.program) [])
+
+let run_main_iterations vm n =
+  let last = ref None in
+  for _ = 1 to n do
+    last := invoke vm (Link.entry_exn vm.program) []
+  done;
+  result_of vm !last
+
+let warm_up vm m args n =
+  for _ = 1 to n do
+    ignore (invoke vm m args)
+  done
+
+let run_source ?config src =
+  let program = Link.compile_source src in
+  run (create ?config program)

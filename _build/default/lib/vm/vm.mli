@@ -1,0 +1,59 @@
+(** The tiered virtual machine.
+
+    Methods start in the bytecode interpreter, which collects invocation
+    counts and branch profiles. Hot methods are compiled through the
+    {!Jit} pipeline and then run on the IR executor; hitting a pruned
+    branch deoptimizes back to the interpreter (rematerializing
+    scalar-replaced objects) and invalidates the compiled code, which is
+    recompiled later without speculation on that method. *)
+
+open Pea_bytecode
+open Pea_rt
+
+type t
+
+(** The VM's [Logs] source ("pea.vm"): compile, deoptimization and
+    invalidation events at [Debug] level. *)
+val log_src : Logs.src
+
+type result = {
+  return_value : Value.value option;
+  printed : Value.value list;
+  stats : Stats.snapshot;
+  jit_stats : Pea_core.Pea.pass_stats; (* aggregated over all compilations *)
+}
+
+(** [create ?config program] builds a VM for [program]. *)
+val create : ?config:Jit.config -> Link.program -> t
+
+(** [invoke vm m args] calls a method through the tiering policy. *)
+val invoke : t -> Classfile.rt_method -> Value.value list -> Value.value option
+
+(** [run vm] executes [main] once and reports the result with statistics
+    accumulated since VM creation. *)
+val run : t -> result
+
+(** [run_main_iterations vm n] calls [main] [n] times (benchmark harness). *)
+val run_main_iterations : t -> int -> result
+
+(** [stats vm] is the live statistics record. *)
+val stats : t -> Stats.t
+
+(** [printed vm] is everything printed so far, oldest first. *)
+val printed : t -> Value.value list
+
+(** [class_breakdown vm] — per-class [(name, count, bytes)] allocation
+    totals since VM creation, largest first (see
+    {!Pea_rt.Heap.class_breakdown}). *)
+val class_breakdown : t -> (string * int * int) list
+
+(** [compiled_graph vm m] returns the current compiled IR for [m], if the
+    method has been JIT-compiled. *)
+val compiled_graph : t -> Classfile.rt_method -> Pea_ir.Graph.t option
+
+(** [warm_up vm m args n] invokes [m] [n] times (to drive profiling and
+    compilation) and discards the results. *)
+val warm_up : t -> Classfile.rt_method -> Value.value list -> int -> unit
+
+(** [run_source ?config src] compiles MJ source and runs [main] once. *)
+val run_source : ?config:Jit.config -> string -> result

@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Float Printf Spec

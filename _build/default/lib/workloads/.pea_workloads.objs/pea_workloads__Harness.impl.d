@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Codegen Jit Link Pea_bytecode Pea_rt Pea_vm Spec Stats Vm

@@ -1,0 +1,204 @@
+(* Synthetic-workload code generation.
+
+   Each benchmark row of Table 1 becomes one MJ program built from six
+   operation archetypes, mixed according to calibrated per-mille knobs:
+
+     - local: a fully thread-local allocation (both classic EA and PEA
+       remove it);
+     - partial: an allocation that escapes into a static on a rare branch
+       (only PEA removes it — the paper's core scenario, Listing 4);
+     - sync: a thread-local synchronized object (allocation + lock pair
+       elided);
+     - gsync: synchronization on a global object (never elidable);
+     - array: an array allocation (never virtualized, dominates surviving
+       bytes — "the allocations not removed ... often contain large
+       arrays", §6.1);
+     - global: an allocation that always escapes;
+     - compute: pure arithmetic filler (no allocation).
+
+   The selector [i mod 1000] distributes operations deterministically, so
+   every run of a workload is exactly reproducible. *)
+
+type knobs = {
+  k_name : string;
+  ops : int; (* operations per benchmark iteration *)
+  local : int; (* per-mille *)
+  partial : int;
+  sync : int;
+  gsync : int;
+  array : int;
+  global : int;
+  escape_every : int; (* the partial op escapes every Nth round *)
+  array_len : int;
+  compute_work : int; (* arithmetic steps per compute op *)
+}
+
+let source (k : knobs) =
+  let t1 = k.local in
+  let t2 = t1 + k.partial in
+  let t3 = t2 + k.sync in
+  let t4 = t3 + k.gsync in
+  let t5 = t4 + k.array in
+  let t6 = t5 + k.global in
+  Printf.sprintf
+    {|
+class Pair {
+  int a;
+  int b;
+  Pair(int a0, int b0) { a = a0; b = b0; }
+  int sum() { return a + b; }
+}
+class SyncCell {
+  int v;
+  synchronized void add(int x) { v = v + x; }
+  synchronized int get() { return v; }
+}
+class Sink {
+  static Pair escaped;
+  static SyncCell shared;
+  static int checksum;
+  static int arrayLen;
+}
+class Work {
+  static int localOp(int i) {
+    Pair p = new Pair(i, i * 2);
+    return p.sum();
+  }
+  static int partialOp(int i, int round) {
+    Pair p = new Pair(i, i * 3);
+    if (round %% %d == 15) {
+      Sink.escaped = p;
+      return p.sum() + 1;
+    }
+    return p.sum();
+  }
+  static int syncOp(int i) {
+    SyncCell c = new SyncCell();
+    c.add(i);
+    return c.get();
+  }
+  static int gsyncOp(int i) {
+    Sink.shared.add(i);
+    return Sink.shared.get();
+  }
+  static int arrayOp(int i) {
+    // dynamic length: the array is a real heap allocation (virtualized
+    // arrays require a compile-time-constant length)
+    int[] a = new int[Sink.arrayLen];
+    if (a.length > 0) { a[0] = i; return a[0] + a.length; }
+    return a.length;
+  }
+  static int globalOp(int i) {
+    Pair p = new Pair(i, i);
+    Sink.escaped = p;
+    return p.a;
+  }
+  static int computeOp(int i) {
+    int acc = i;
+    int w = 0;
+    while (w < %d) {
+      acc = (acc * 31 + w) %% 65537;
+      w = w + 1;
+    }
+    return acc;
+  }
+}
+class Main {
+  static int main() {
+    if (Sink.shared == null) { Sink.shared = new SyncCell(); }
+    Sink.arrayLen = %d;
+    int acc = 0;
+    int i = 0;
+    while (i < %d) {
+      int sel = i %% 1000;
+      int round = i / 1000;
+      if (sel < %d) { acc = acc + Work.localOp(i); }
+      else { if (sel < %d) { acc = acc + Work.partialOp(i, round); }
+      else { if (sel < %d) { acc = acc + Work.syncOp(i); }
+      else { if (sel < %d) { acc = acc + Work.gsyncOp(i); }
+      else { if (sel < %d) { acc = acc + Work.arrayOp(i); }
+      else { if (sel < %d) { acc = acc + Work.globalOp(i); }
+      else { acc = acc + Work.computeOp(i); } } } } } }
+      i = i + 1;
+    }
+    Sink.checksum = acc;
+    return acc;
+  }
+}
+|}
+    k.escape_every k.compute_work k.array_len k.ops t1 t2 t3 t4 t5 t6
+
+(* ------------------------------------------------------------------ *)
+(* Calibration from the paper's Table 1 targets                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Object sizes in our heap model: Pair and the escaping node are 32
+   bytes; an int array of length L is 16 + 4L. *)
+let small_bytes = 32.
+
+let calibrate (row : Spec.row) : knobs =
+  let r_count = -.row.Spec.allocs_change_pct /. 100. in
+  let r_bytes = -.row.Spec.bytes_change_pct /. 100. in
+  let rho = Spec.ea_share row.Spec.suite in
+  (* 400 of every 1000 ops allocate; the rest compute or lock *)
+  let alloc_ops = 400. in
+  let removable = Float.max 0. (Float.min alloc_ops (alloc_ops *. r_count)) in
+  (* locks: global background locking plus elidable local locking *)
+  let gsync = 50 in
+  let lock_frac = Float.min 0.5 (-.row.Spec.lock_change_pct /. 100.) in
+  let sync =
+    if lock_frac <= 0.001 then 0
+    else int_of_float (Float.round (lock_frac *. float_of_int gsync /. (1. -. lock_frac)))
+  in
+  let local = Float.max 0. ((rho *. removable) -. float_of_int sync) in
+  let partial = Float.max 0. ((1. -. rho) *. removable) in
+  let array = 40. in
+  let global = Float.max 0. (alloc_ops -. removable -. array) in
+  (* solve the array element count so the byte-reduction ratio matches *)
+  let x = removable in
+  let array_bytes =
+    if r_bytes <= 0.001 then 16.
+    else
+      let total_needed = small_bytes *. x /. r_bytes in
+      Float.max 16. ((total_needed -. (small_bytes *. (x +. global))) /. array)
+  in
+  let array_len = int_of_float (Float.max 0. ((array_bytes -. 16.) /. 4.)) in
+  (* iteration size scales with the paper's MB/iteration, compressed
+     logarithmically so the big benchmarks stay tractable *)
+  let ops = 2000 + int_of_float (300. *. sqrt row.Spec.mb_without) in
+  let ops = min ops 70_000 in
+  (* The speedup a row shows is determined by how much of its cycle budget
+     the removed operations account for. Dilute the allocation work with
+     arithmetic filler so that removing the calibrated fraction of
+     allocations yields roughly the paper's iterations/minute change.
+     (Negative paper speedups — jython's code-size effect — cannot arise
+     from removed work; those rows get maximum dilution.) *)
+  let n_removable = local +. partial +. float_of_int sync in
+  let saved_cycles = (n_removable *. 48.) +. (float_of_int sync *. 30.) in
+  let s = 1. +. (Float.max 0.4 row.Spec.speedup_pct /. 100.) in
+  let cycles_needed = saved_cycles *. s /. (s -. 1.) in
+  let n_alloc_ops = local +. partial +. float_of_int sync +. array +. global in
+  let fixed = 15_000. +. (n_alloc_ops *. 51.) +. (float_of_int gsync *. 40.) in
+  let n_compute = Float.max 1. (1000. -. n_alloc_ops -. float_of_int gsync) in
+  let compute_work =
+    int_of_float (Float.max 0. (cycles_needed -. fixed) /. (n_compute *. 5.))
+  in
+  let compute_work = max 1 (min 1200 compute_work) in
+  (* keep the total cycle budget per iteration roughly constant so heavily
+     diluted rows stay tractable *)
+  let ops = max 2000 (ops * 25 / (25 + compute_work)) in
+  {
+    k_name = row.Spec.name;
+    ops;
+    local = int_of_float (Float.round local);
+    partial = int_of_float (Float.round partial);
+    sync;
+    gsync;
+    array = int_of_float array;
+    global = int_of_float (Float.round global);
+    escape_every = 16;
+    array_len;
+    compute_work;
+  }
+
+let source_for_row row = source (calibrate row)

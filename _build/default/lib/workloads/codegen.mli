@@ -1,0 +1,47 @@
+(** Synthetic-workload code generation.
+
+    Each benchmark row of Table 1 becomes one MJ program built from seven
+    operation archetypes mixed by calibrated per-mille knobs:
+
+    - [local]: a fully thread-local allocation (both classic EA and PEA
+      remove it);
+    - [partial]: an allocation escaping into a static on a rare branch
+      (only PEA removes it — the paper's Listing 4 scenario);
+    - [sync]: a thread-local synchronized object (allocation and lock
+      pair elided);
+    - [gsync]: synchronization on a global object (never elidable);
+    - [array]: a dynamically-sized array allocation (never virtualized;
+      dominates the surviving bytes, cf. §6.1);
+    - [global]: an allocation that always escapes;
+    - compute: pure arithmetic filler (no allocation), sized so that the
+      removed work accounts for roughly the paper's speedup.
+
+    The selector [i mod 1000] distributes operations deterministically, so
+    every run of a workload is exactly reproducible. *)
+
+type knobs = {
+  k_name : string;
+  ops : int; (* operations per benchmark iteration *)
+  local : int; (* per-mille of each op class *)
+  partial : int;
+  sync : int;
+  gsync : int;
+  array : int;
+  global : int;
+  escape_every : int; (* the partial op escapes once per this many rounds *)
+  array_len : int;
+  compute_work : int; (* arithmetic steps per compute op *)
+}
+
+(** [source knobs] renders the MJ program for a knob setting. *)
+val source : knobs -> string
+
+(** [calibrate row] derives knobs from a Table-1 row: the allocation-count
+    target fixes the removable fraction, the §6.2 EA/PEA ratio splits it
+    into local vs. partial, the byte target solves for the array element
+    count, the lock target sets the sync mix, and the speedup target sets
+    the compute dilution. *)
+val calibrate : Spec.row -> knobs
+
+(** [source_for_row row] = [source (calibrate row)]. *)
+val source_for_row : Spec.row -> string

@@ -1,0 +1,40 @@
+(** Table 1 of the paper, transcribed: per-benchmark targets the synthetic
+    workload generator calibrates against. *)
+
+type suite =
+  | Dacapo
+  | Scala_dacapo
+  | Specjbb
+
+type row = {
+  name : string;
+  suite : suite;
+  mb_without : float; (* MB allocated per iteration, without PEA *)
+  mallocs_without : float; (* millions of allocations per iteration *)
+  iters_per_min_without : float;
+  bytes_change_pct : float; (* negative = reduction under PEA *)
+  allocs_change_pct : float;
+  speedup_pct : float;
+  lock_change_pct : float; (* ~0 for most benchmarks *)
+}
+
+(** The 14 DaCapo 9.12-bach rows (7 detailed in Table 1, 7 reported as "no
+    significant change" and entering only the averages). *)
+val dacapo : row list
+
+(** The 12 ScalaDaCapo 0.1.0 rows. *)
+val scala_dacapo : row list
+
+(** SPECjbb2005, scaled by 10^6 as in the paper. *)
+val specjbb : row list
+
+val all : row list
+
+(** [ea_share suite] — the fraction of the PEA speedup that whole-method
+    escape analysis captures, from the paper's §6.2 suite-level numbers
+    (0.9/2.2, 7.4/10.4, 5.4/8.7). *)
+val ea_share : suite -> float
+
+val suite_name : suite -> string
+
+val find : string -> row option

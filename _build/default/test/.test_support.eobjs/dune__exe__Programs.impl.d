@@ -1,0 +1,1 @@
+test/programs.ml: Printf

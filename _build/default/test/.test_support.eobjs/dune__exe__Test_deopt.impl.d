@@ -1,0 +1,1 @@
+test/test_deopt.ml: Alcotest Classfile Jit Link List Pea_bytecode Pea_ir Pea_rt Pea_vm Stats Value Vm

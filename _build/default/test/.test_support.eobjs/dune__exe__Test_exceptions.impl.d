@@ -1,0 +1,1 @@
+test/test_exceptions.ml: Alcotest Classfile Interp Jit Link Pea_bytecode Pea_mjava Pea_rt Pea_vm Run Value Vm

@@ -1,0 +1,1 @@
+test/test_frame_state.ml: Alcotest Array Builder Fmt Frame_state Graph Link List Node Pea_bytecode Pea_ir Pea_support String

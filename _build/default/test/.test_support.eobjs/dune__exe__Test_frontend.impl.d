@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Lexer List Parser Pea_mjava Pea_rt Pretty Printexc Printf Typecheck

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Interp List Pea_bytecode Pea_rt Printf Programs Run Stats Value

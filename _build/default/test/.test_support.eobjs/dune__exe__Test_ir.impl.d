@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Check Classfile Dominators Frame_state Graph Hashtbl Link List Loops Node Option Pea_bytecode Pea_ir Pea_support Printer Printf String

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Check Classfile Frame_state Graph Lazy Link List Node Pea_bytecode Pea_ir Pea_opt Pea_rt Pea_support Pea_vm Printf

@@ -1,0 +1,1 @@
+test/test_pea.ml: Alcotest Array Builder Check Escape Graph Link List Node Pea Pea_bytecode Pea_core Pea_ir Pea_opt Pea_support

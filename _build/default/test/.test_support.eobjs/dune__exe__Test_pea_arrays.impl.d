@@ -1,0 +1,1 @@
+test/test_pea_arrays.ml: Alcotest Array Builder Check Graph Link Node Pea Pea_bytecode Pea_core Pea_ir Pea_opt Pea_rt Pea_support Pea_vm

@@ -1,0 +1,1 @@
+test/test_pea_loops.ml: Alcotest Array Builder Check Dominators Graph Link List Loops Node Pea Pea_bytecode Pea_core Pea_ir Pea_opt Pea_rt Pea_support Pea_vm Printf

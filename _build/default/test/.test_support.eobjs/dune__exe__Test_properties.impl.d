@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Jit List Pea_bytecode Pea_core Pea_ir Pea_mjava Pea_opt Pea_rt Pea_vm Printf QCheck2 QCheck_alcotest Run Stats String Value Vm

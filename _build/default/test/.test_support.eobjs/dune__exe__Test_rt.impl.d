@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Array Cost Heap Link List Pea_bytecode Pea_mjava Pea_rt Stats Value

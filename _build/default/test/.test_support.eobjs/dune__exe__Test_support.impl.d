@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Dot Dyn_array Fresh List Pea_support Printf QCheck QCheck_alcotest String Union_find

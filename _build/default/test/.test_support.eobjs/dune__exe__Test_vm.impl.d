@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Jit List Pea_bytecode Pea_rt Pea_vm Printf Programs Run Stats Value Vm

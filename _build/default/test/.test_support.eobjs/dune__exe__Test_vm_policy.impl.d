@@ -1,0 +1,1 @@
+test/test_vm_policy.ml: Alcotest Array Heap Interp Jit Lazy Link Pea_bytecode Pea_rt Pea_vm Printf Profile Stats Value Vm

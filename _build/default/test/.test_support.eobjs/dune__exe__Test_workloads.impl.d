@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Codegen Float Harness List Option Pea_bytecode Pea_vm Pea_workloads Printexc Spec

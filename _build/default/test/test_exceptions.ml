@@ -1,0 +1,261 @@
+(* Exceptions: throw / try / catch semantics on the interpreter tier, and
+   the JIT bailout policy (methods that throw or catch run interpreted,
+   exceptions unwind transparently through compiled frames).
+
+   Documented MJ language rule: an exception aborting a synchronized
+   region does not release the monitor (locks in the single-threaded VM
+   are recursion counters, so this is benign). *)
+
+open Pea_bytecode
+open Pea_rt
+open Pea_vm
+
+let expect_int src expected =
+  let r = Run.run_source src in
+  match r.Run.return_value with
+  | Some (Value.Vint n) -> Alcotest.(check int) "result" expected n
+  | _ -> Alcotest.fail "expected an int result"
+
+let expect_uncaught src class_name =
+  match Run.run_source src with
+  | exception Interp.Mj_throw (Value.Vobj o) ->
+      Alcotest.(check string) "exception class" class_name o.Value.o_cls.Classfile.cls_name
+  | exception Interp.Mj_throw _ -> Alcotest.fail "uncaught non-object?"
+  | _ -> Alcotest.fail "expected an uncaught exception"
+
+let test_throw_catch_basic () =
+  expect_int
+    "class Err { int code; Err(int c) { code = c; } }\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    try { throw new Err(42); } catch (Err e) { return e.code; }\n\
+    \  }\n\
+     }"
+    42
+
+let test_no_throw_skips_catch () =
+  expect_int
+    "class Err { }\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    int x = 1;\n\
+    \    try { x = 2; } catch (Err e) { x = 99; }\n\
+    \    return x;\n\
+    \  }\n\
+     }"
+    2
+
+let test_catch_subtype () =
+  expect_int
+    "class Base { int v; Base(int v0) { v = v0; } }\n\
+     class Derived extends Base { Derived(int v0) { v = v0; } }\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    try { throw new Derived(7); } catch (Base b) { return b.v; }\n\
+    \  }\n\
+     }"
+    7
+
+let test_catch_order () =
+  (* first matching clause wins *)
+  expect_int
+    "class Base { }\n\
+     class Derived extends Base { }\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    try { throw new Derived(); }\n\
+    \    catch (Derived d) { return 1; }\n\
+    \    catch (Base b) { return 2; }\n\
+    \  }\n\
+     }"
+    1;
+  (* a base-class clause also catches derived *)
+  expect_int
+    "class Base { }\n\
+     class Derived extends Base { }\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    try { throw new Derived(); }\n\
+    \    catch (Base b) { return 2; }\n\
+    \    catch (Derived d) { return 1; }\n\
+    \  }\n\
+     }"
+    2
+
+let test_unmatched_propagates () =
+  expect_int
+    "class A { }\n\
+     class B { }\n\
+     class Main {\n\
+    \  static int inner() { try { throw new A(); } catch (B b) { return 0; } return 1; }\n\
+    \  static int main() {\n\
+    \    try { return Main.inner(); } catch (A a) { return 77; }\n\
+    \  }\n\
+     }"
+    77
+
+let test_nested_try () =
+  expect_int
+    "class A { }\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    try {\n\
+    \      try { throw new A(); } catch (A a) { return 5; }\n\
+    \    } catch (A a2) { return 6; }\n\
+    \  }\n\
+     }"
+    5
+
+let test_rethrow () =
+  expect_int
+    "class A { int v; A(int v0) { v = v0; } }\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    try {\n\
+    \      try { throw new A(3); } catch (A a) { a.v = a.v + 1; throw a; }\n\
+    \    } catch (A b) { return b.v; }\n\
+    \  }\n\
+     }"
+    4
+
+let test_propagation_through_calls () =
+  expect_int
+    "class Oops { int n; Oops(int n0) { n = n0; } }\n\
+     class Main {\n\
+    \  static int deep(int k) { if (k == 0) { throw new Oops(123); } return Main.deep(k - 1); }\n\
+    \  static int main() {\n\
+    \    try { return Main.deep(5); } catch (Oops o) { return o.n; }\n\
+    \  }\n\
+     }"
+    123
+
+let test_uncaught () =
+  expect_uncaught
+    "class Boom { }\n\
+     class Main { static int main() { throw new Boom(); } }"
+    "Boom"
+
+let test_throw_null_traps () =
+  match Run.run_source "class Main { static int main() { Object o = null; throw o; } }" with
+  | exception Pea_mjava.Typecheck.Type_error _ -> Alcotest.fail "should typecheck (Object)"
+  | exception Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected a trap"
+
+let test_loop_with_exceptions () =
+  expect_int
+    "class Neg { }\n\
+     class Main {\n\
+    \  static int checked(int x) { if (x < 0) { throw new Neg(); } return x; }\n\
+    \  static int main() {\n\
+    \    int acc = 0;\n\
+    \    for (int i = -3; i < 5; i++) {\n\
+    \      try { acc += Main.checked(i); } catch (Neg n) { acc += 100; }\n\
+    \    }\n\
+    \    return acc;\n\
+    \  }\n\
+     }"
+    310
+
+(* ------------------------------------------------------------------ *)
+(* JIT interplay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_jit_bailout () =
+  (* a hot method that catches is never compiled; a hot method that only
+     calls a thrower is *)
+  let src =
+    "class Err { }\n\
+     class C {\n\
+    \  static int thrower(int x) { if (x == 0) { throw new Err(); } return x; }\n\
+    \  static int catcher(int x) { try { return C.thrower(x); } catch (Err e) { return -1; } }\n\
+    \  static int plain(int x) { return x * 2; }\n\
+     }\n\
+     class Main { static int main() { return 0; } }"
+  in
+  let program = Link.compile_source src in
+  let config = { Jit.default_config with Jit.compile_threshold = 3 } in
+  let vm = Vm.create ~config program in
+  let catcher = Link.find_method program "C" "catcher" in
+  let thrower = Link.find_method program "C" "thrower" in
+  let plain = Link.find_method program "C" "plain" in
+  Vm.warm_up vm catcher [ Value.Vint 5 ] 20;
+  Vm.warm_up vm plain [ Value.Vint 5 ] 20;
+  Alcotest.(check bool) "catcher never compiled" true (Vm.compiled_graph vm catcher = None);
+  Alcotest.(check bool) "thrower never compiled" true (Vm.compiled_graph vm thrower = None);
+  Alcotest.(check bool) "plain compiled" true (Vm.compiled_graph vm plain <> None)
+
+let test_unwind_through_compiled_frame () =
+  (* middle() compiles (no throw/catch); an exception from the callee must
+     unwind through its compiled frame into the interpreted catcher *)
+  let src =
+    "class Err { int code; Err(int c) { code = c; } }\n\
+     class C {\n\
+    \  static int thrower(int x) { if (x > 100) { throw new Err(x); } return x; }\n\
+    \  static int middle(int x) { return C.thrower(x) + 1; }\n\
+    \  static int outer(int x) { try { return C.middle(x); } catch (Err e) { return e.code; } }\n\
+     }\n\
+     class Main { static int main() { return 0; } }"
+  in
+  let program = Link.compile_source src in
+  (* inlining would swallow the call; disable it so the compiled frame
+     really is on the stack when the callee throws *)
+  let config = { Jit.default_config with Jit.compile_threshold = 3; inline = false } in
+  let vm = Vm.create ~config program in
+  let middle = Link.find_method program "C" "middle" in
+  let outer = Link.find_method program "C" "outer" in
+  Vm.warm_up vm outer [ Value.Vint 5 ] 20;
+  Alcotest.(check bool) "middle compiled" true (Vm.compiled_graph vm middle <> None);
+  (match Vm.invoke vm outer [ Value.Vint 7 ] with
+  | Some (Value.Vint 8) -> ()
+  | _ -> Alcotest.fail "normal path wrong");
+  match Vm.invoke vm outer [ Value.Vint 500 ] with
+  | Some (Value.Vint 500) -> ()
+  | other ->
+      Alcotest.failf "exception did not unwind correctly: %s"
+        (match other with Some v -> Value.string_of_value v | None -> "void")
+
+let test_sync_exception_rule () =
+  (* documented MJ rule: unwinding does not release monitors; re-entering
+     the region still works because locks are recursive *)
+  expect_int
+    "class Err { }\n\
+     class C {\n\
+    \  static int risky(Object lock, boolean fail) {\n\
+    \    synchronized (lock) { if (fail) { throw new Err(); } return 1; }\n\
+    \  }\n\
+     }\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    Object lock = new Object();\n\
+    \    int acc = 0;\n\
+    \    try { acc += C.risky(lock, true); } catch (Err e) { acc += 10; }\n\
+    \    acc += C.risky(lock, false);\n\
+    \    return acc;\n\
+    \  }\n\
+     }"
+    11
+
+let () =
+  Alcotest.run "exceptions"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "throw/catch" `Quick test_throw_catch_basic;
+          Alcotest.test_case "no throw" `Quick test_no_throw_skips_catch;
+          Alcotest.test_case "subtype catch" `Quick test_catch_subtype;
+          Alcotest.test_case "catch order" `Quick test_catch_order;
+          Alcotest.test_case "unmatched propagates" `Quick test_unmatched_propagates;
+          Alcotest.test_case "nested try" `Quick test_nested_try;
+          Alcotest.test_case "rethrow" `Quick test_rethrow;
+          Alcotest.test_case "propagation" `Quick test_propagation_through_calls;
+          Alcotest.test_case "uncaught" `Quick test_uncaught;
+          Alcotest.test_case "throw null" `Quick test_throw_null_traps;
+          Alcotest.test_case "loop + exceptions" `Quick test_loop_with_exceptions;
+        ] );
+      ( "jit",
+        [
+          Alcotest.test_case "bailout" `Quick test_jit_bailout;
+          Alcotest.test_case "unwind through compiled" `Quick test_unwind_through_compiled_frame;
+          Alcotest.test_case "sync rule" `Quick test_sync_exception_rule;
+        ] );
+    ]

@@ -1,0 +1,448 @@
+(* End-to-end tests of the bytecode compiler + interpreter: semantics of
+   the full MJ language on the interpreter tier, and the allocation/lock
+   statistics the evaluation relies on. *)
+
+open Pea_rt
+
+let run src = Run.run_source src
+
+let expect_int src expected =
+  let r = run src in
+  match r.Run.return_value with
+  | Some (Value.Vint n) -> Alcotest.(check int) "return value" expected n
+  | Some v -> Alcotest.fail ("expected int, got " ^ Value.string_of_value v)
+  | None -> Alcotest.fail "expected a value"
+
+let expect_prints src expected =
+  let r = run src in
+  let printed =
+    List.map
+      (function Value.Vint n -> string_of_int n | Value.Vbool b -> string_of_bool b | v -> Value.string_of_value v)
+      r.Run.printed
+  in
+  Alcotest.(check (list string)) "printed" expected printed
+
+let expect_trap src =
+  match run src with
+  | exception Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected a trap"
+
+let main_wrap body = Printf.sprintf "class Main { static int main() { %s } }" body
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic and control flow                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_arith () =
+  expect_int (main_wrap "return 2 + 3 * 4;") 14;
+  expect_int (main_wrap "return (2 + 3) * 4;") 20;
+  expect_int (main_wrap "return 17 / 5;") 3;
+  expect_int (main_wrap "return 17 % 5;") 2;
+  expect_int (main_wrap "return -7 + 2;") (-5);
+  expect_int (main_wrap "return 0 - 10;") (-10)
+
+let test_div_by_zero () =
+  expect_trap (main_wrap "int z = 0; return 1 / z;");
+  expect_trap (main_wrap "int z = 0; return 1 % z;")
+
+let test_comparisons () =
+  expect_int (main_wrap "if (1 < 2) return 1; return 0;") 1;
+  expect_int (main_wrap "if (2 <= 1) return 1; return 0;") 0;
+  expect_int (main_wrap "if (3 > 2 && 2 > 1) return 1; return 0;") 1;
+  expect_int (main_wrap "if (3 == 3 || 1 == 2) return 1; return 0;") 1;
+  expect_int (main_wrap "if (!(1 == 2)) return 1; return 0;") 1
+
+let test_short_circuit () =
+  (* the right operand of && must not evaluate when the left is false *)
+  expect_int
+    "class Main {\n\
+    \  static int calls;\n\
+    \  static boolean inc() { calls = calls + 1; return true; }\n\
+    \  static int main() { boolean b = false && Main.inc(); return calls; }\n\
+     }"
+    0;
+  expect_int
+    "class Main {\n\
+    \  static int calls;\n\
+    \  static boolean inc() { calls = calls + 1; return true; }\n\
+    \  static int main() { boolean b = true || Main.inc(); return calls; }\n\
+     }"
+    0
+
+let test_while_loop () =
+  expect_int (main_wrap "int i = 0; int acc = 0; while (i < 10) { acc = acc + i; i = i + 1; } return acc;") 45;
+  expect_int (main_wrap "int i = 0; while (false) { i = 99; } return i;") 0
+
+let test_nested_loops () =
+  expect_int
+    (main_wrap
+       "int acc = 0; int i = 0;\n\
+        while (i < 5) { int j = 0; while (j < 5) { acc = acc + 1; j = j + 1; } i = i + 1; }\n\
+        return acc;")
+    25
+
+let test_while_true_return () =
+  expect_int (main_wrap "int i = 0; while (true) { i = i + 1; if (i == 7) return i; }") 7
+
+let test_for_loop () =
+  expect_int (main_wrap "int acc = 0; for (int i = 0; i < 10; i++) { acc += i; } return acc;") 45;
+  expect_int
+    (main_wrap
+       "int acc = 0;\n\
+        for (int i = 0; i < 4; i++) { for (int j = 0; j < 4; j++) { acc += i * j; } }\n\
+        return acc;")
+    36;
+  (* all three header parts optional *)
+  expect_int (main_wrap "int i = 0; for (;;) { i++; if (i == 9) return i; }") 9;
+  (* init without declaration; update as a call *)
+  expect_int
+    "class Main {\n\
+    \  static int g;\n\
+    \  static void bump() { g += 1; }\n\
+    \  static int main() { int i; for (i = 0; i < 5; Main.bump()) { i++; } return g + i; }\n\
+     }"
+    10
+
+let test_compound_assignment () =
+  expect_int (main_wrap "int x = 10; x += 5; x -= 3; x *= 4; x /= 2; x %= 13; return x;") 11;
+  expect_int
+    "class P { int v; }\n\
+     class Main { static int main() { P p = new P(); p.v = 3; p.v += 4; p.v *= 2; return p.v; } }"
+    14;
+  expect_int (main_wrap "int[] a = new int[2]; a[1] = 5; a[1] += 6; a[1] /= 2; return a[1];") 5
+
+let test_incr_decr () =
+  expect_int (main_wrap "int x = 5; x++; x++; x--; return x;") 6;
+  expect_int
+    "class P { int v; }\n\
+     class Main { static int main() { P p = new P(); p.v++; p.v++; p.v--; return p.v; } }"
+    1
+
+(* ------------------------------------------------------------------ *)
+(* Objects                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_object_fields () =
+  expect_int
+    "class P { int x; int y; }\n\
+     class Main { static int main() { P p = new P(); p.x = 3; p.y = 4; return p.x * p.y; } }"
+    12
+
+let test_constructor () =
+  expect_int
+    "class P { int x; int y; P(int a, int b) { x = a; y = b; } }\n\
+     class Main { static int main() { P p = new P(10, 20); return p.x + p.y; } }"
+    30
+
+let test_default_field_values () =
+  expect_int
+    "class P { int x; boolean b; Object o; }\n\
+     class Main { static int main() {\n\
+    \  P p = new P();\n\
+    \  if (p.x == 0 && !p.b && p.o == null) return 1; return 0; } }"
+    1
+
+let test_methods_and_dispatch () =
+  expect_int
+    "class A { int f() { return 1; } }\n\
+     class B extends A { int f() { return 2; } }\n\
+     class Main { static int main() { A a = new B(); return a.f(); } }"
+    2;
+  expect_int
+    "class A { int f() { return 1; } int g() { return f() + 10; } }\n\
+     class B extends A { int f() { return 2; } }\n\
+     class Main { static int main() { A a = new B(); return a.g(); } }"
+    12
+
+let test_static_fields_and_methods () =
+  expect_int
+    "class C { static int counter; static int next() { counter = counter + 1; return counter; } }\n\
+     class Main { static int main() { C.next(); C.next(); return C.next(); } }"
+    3
+
+let test_this_calls () =
+  expect_int
+    "class A { int x; A(int v) { x = v; } int twice() { return get() * 2; } int get() { return x; } }\n\
+     class Main { static int main() { A a = new A(21); return a.twice(); } }"
+    42
+
+let test_null_dereference () =
+  expect_trap
+    "class P { int x; }\n\
+     class Main { static int main() { P p = null; return p.x; } }";
+  expect_trap
+    "class P { int f() { return 1; } }\n\
+     class Main { static int main() { P p = null; return p.f(); } }"
+
+let test_instanceof_and_cast () =
+  expect_int
+    "class A { }\n\
+     class B extends A { int v; }\n\
+     class Main { static int main() {\n\
+    \  A a = new B();\n\
+    \  if (a instanceof B) { B b = (B) a; b.v = 5; return b.v; }\n\
+    \  return 0; } }"
+    5;
+  expect_trap
+    "class A { }\n\
+     class B extends A { }\n\
+     class Main { static int main() { A a = new A(); B b = (B) a; return 0; } }";
+  (* null passes any cast and fails instanceof *)
+  expect_int
+    "class A { }\n\
+     class Main { static int main() { A a = null; A b = (A) a; if (a instanceof A) return 1; return 0; } }"
+    0
+
+let test_ref_equality () =
+  expect_int
+    "class A { }\n\
+     class Main { static int main() {\n\
+    \  A a = new A(); A b = new A(); A c = a;\n\
+    \  int r = 0;\n\
+    \  if (a == c) r = r + 1;\n\
+    \  if (a != b) r = r + 10;\n\
+    \  if (a != null) r = r + 100;\n\
+    \  return r; } }"
+    111
+
+(* ------------------------------------------------------------------ *)
+(* Arrays                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_arrays_basic () =
+  expect_int
+    (main_wrap
+       "int[] a = new int[5]; int i = 0;\n\
+        while (i < 5) { a[i] = i * i; i = i + 1; }\n\
+        return a[0] + a[1] + a[2] + a[3] + a[4];")
+    30;
+  expect_int (main_wrap "int[] a = new int[7]; return a.length;") 7;
+  expect_int (main_wrap "boolean[] b = new boolean[2]; if (b[0]) return 1; return 0;") 0
+
+let test_array_of_objects () =
+  expect_int
+    "class P { int v; P(int v0) { v = v0; } }\n\
+     class Main { static int main() {\n\
+    \  P[] ps = new P[3];\n\
+    \  ps[0] = new P(1); ps[1] = new P(2); ps[2] = new P(3);\n\
+    \  return ps[0].v + ps[1].v + ps[2].v; } }"
+    6
+
+let test_array_bounds () =
+  expect_trap (main_wrap "int[] a = new int[3]; return a[3];");
+  expect_trap (main_wrap "int[] a = new int[3]; int i = 0 - 1; return a[i];");
+  expect_trap (main_wrap "int n = 0 - 2; int[] a = new int[n]; return 0;")
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_sync_block () =
+  expect_int
+    "class A { int v; }\n\
+     class Main { static int main() { A a = new A(); synchronized (a) { a.v = 9; } return a.v; } }"
+    9
+
+let test_sync_method () =
+  expect_int
+    "class A { int v; synchronized int bump() { v = v + 1; return v; } }\n\
+     class Main { static int main() { A a = new A(); a.bump(); return a.bump(); } }"
+    2
+
+let test_sync_return_inside () =
+  (* returning from inside synchronized must release the monitor *)
+  expect_int
+    "class A { int v; }\n\
+     class Main {\n\
+    \  static int f(A a) { synchronized (a) { if (a.v == 0) return 1; a.v = 2; } return 3; }\n\
+    \  static int main() { A a = new A(); int r = f(a); synchronized (a) { } return r; } }"
+    1
+
+let test_monitor_stats () =
+  let r =
+    run
+      "class A { int v; }\n\
+       class Main { static int main() {\n\
+      \  A a = new A(); int i = 0;\n\
+      \  while (i < 10) { synchronized (a) { a.v = a.v + 1; } i = i + 1; }\n\
+      \  return a.v; } }"
+  in
+  Alcotest.(check int) "monitor ops" 20 r.Run.stats.Stats.s_monitor_ops
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_alloc_stats () =
+  let r =
+    run
+      "class P { int x; int y; }\n\
+       class Main { static int main() {\n\
+      \  int i = 0;\n\
+      \  while (i < 100) { P p = new P(); p.x = i; i = i + 1; }\n\
+      \  return 0; } }"
+  in
+  Alcotest.(check int) "allocations" 100 r.Run.stats.Stats.s_allocations;
+  (* 16-byte header + 2 fields * 8 bytes = 32 bytes each *)
+  Alcotest.(check int) "bytes" 3200 r.Run.stats.Stats.s_allocated_bytes
+
+let test_array_alloc_stats () =
+  let r = run (main_wrap "int[] a = new int[100]; Object[] o = new Object[10]; return 0;") in
+  Alcotest.(check int) "allocations" 2 r.Run.stats.Stats.s_allocations;
+  (* 16 + 4*100 = 416 and 16 + 8*10 = 96 *)
+  Alcotest.(check int) "bytes" 512 r.Run.stats.Stats.s_allocated_bytes
+
+let test_print_order () =
+  expect_prints
+    (main_wrap "int i = 0; while (i < 3) { print(i); i = i + 1; } print(true); return 0;")
+    [ "0"; "1"; "2"; "true" ]
+
+(* ------------------------------------------------------------------ *)
+(* Programs with interesting shapes (paper's running example)          *)
+(* ------------------------------------------------------------------ *)
+
+let cache_example =
+  "class Key {\n\
+  \  int idx;\n\
+  \  Object ref;\n\
+  \  Key(int idx, Object ref) { this.idx = idx; this.ref = ref; }\n\
+  \  synchronized boolean equals(Key other) {\n\
+  \    if (other == null) return false;\n\
+  \    return idx == other.idx && ref == other.ref;\n\
+  \  }\n\
+   }\n\
+   class Cache {\n\
+  \  static Key cacheKey;\n\
+  \  static int cacheValue;\n\
+  \  static int getValue(int idx, Object ref) {\n\
+  \    Key key = new Key(idx, ref);\n\
+  \    if (key.equals(Cache.cacheKey)) {\n\
+  \      return Cache.cacheValue;\n\
+  \    } else {\n\
+  \      Cache.cacheKey = key;\n\
+  \      Cache.cacheValue = idx * 2;\n\
+  \      return Cache.cacheValue;\n\
+  \    }\n\
+  \  }\n\
+   }\n\
+   class Main {\n\
+  \  static int main() {\n\
+  \    Object o = new Object();\n\
+  \    int acc = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 20) {\n\
+  \      acc = acc + Cache.getValue(i / 4, o);\n\
+  \      i = i + 1;\n\
+  \    }\n\
+  \    return acc;\n\
+  \  }\n\
+   }"
+
+let test_cache_example () =
+  (* i/4 yields 0,0,0,0,1,1,1,1,... : 5 distinct keys, each hit 3 times *)
+  let r = run cache_example in
+  (match r.Run.return_value with
+  | Some (Value.Vint n) -> Alcotest.(check int) "result" 80 n
+  | _ -> Alcotest.fail "expected int");
+  (* one Object + 20 Keys allocated in the interpreter *)
+  Alcotest.(check int) "allocations" 21 r.Run.stats.Stats.s_allocations
+
+(* ------------------------------------------------------------------ *)
+(* Bytecode verifier                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_verifier_accepts_programs () =
+  List.iter
+    (fun (_, src) ->
+      let program = Pea_bytecode.Link.compile_source src in
+      Pea_bytecode.Verify.verify_program program)
+    Programs.corpus
+
+let test_verifier_rejects_underflow () =
+  let program = Pea_bytecode.Link.compile_source (main_wrap "return 1;") in
+  let m = Pea_bytecode.Link.entry_exn program in
+  m.Pea_bytecode.Classfile.mth_code <- [| Pea_bytecode.Classfile.Iadd; Pea_bytecode.Classfile.Return_val |];
+  match Pea_bytecode.Verify.verify_method m with
+  | exception Pea_bytecode.Verify.Verify_error _ -> ()
+  | () -> Alcotest.fail "verifier accepted stack underflow"
+
+let test_verifier_rejects_bad_jump () =
+  let program = Pea_bytecode.Link.compile_source (main_wrap "return 1;") in
+  let m = Pea_bytecode.Link.entry_exn program in
+  m.Pea_bytecode.Classfile.mth_code <- [| Pea_bytecode.Classfile.Goto 99 |];
+  match Pea_bytecode.Verify.verify_method m with
+  | exception Pea_bytecode.Verify.Verify_error _ -> ()
+  | () -> Alcotest.fail "verifier accepted an out-of-range jump"
+
+let test_verifier_rejects_inconsistent_depth () =
+  let program = Pea_bytecode.Link.compile_source (main_wrap "return 1;") in
+  let m = Pea_bytecode.Link.entry_exn program in
+  (* join at 3 with depth 1 (fallthrough) vs depth 2 (branch) *)
+  m.Pea_bytecode.Classfile.mth_code <-
+    [|
+      Pea_bytecode.Classfile.Iconst 1;
+      Pea_bytecode.Classfile.Bconst true;
+      Pea_bytecode.Classfile.If_true 4;
+      Pea_bytecode.Classfile.Iconst 2;
+      Pea_bytecode.Classfile.Return_val;
+    |];
+  match Pea_bytecode.Verify.verify_method m with
+  | exception Pea_bytecode.Verify.Verify_error _ -> ()
+  | () -> Alcotest.fail "verifier accepted inconsistent stack depths"
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "arith+control",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "div by zero" `Quick test_div_by_zero;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "while" `Quick test_while_loop;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          Alcotest.test_case "while true" `Quick test_while_true_return;
+          Alcotest.test_case "for loops" `Quick test_for_loop;
+          Alcotest.test_case "compound assignment" `Quick test_compound_assignment;
+          Alcotest.test_case "++/--" `Quick test_incr_decr;
+        ] );
+      ( "objects",
+        [
+          Alcotest.test_case "fields" `Quick test_object_fields;
+          Alcotest.test_case "constructor" `Quick test_constructor;
+          Alcotest.test_case "defaults" `Quick test_default_field_values;
+          Alcotest.test_case "dispatch" `Quick test_methods_and_dispatch;
+          Alcotest.test_case "statics" `Quick test_static_fields_and_methods;
+          Alcotest.test_case "this calls" `Quick test_this_calls;
+          Alcotest.test_case "null deref" `Quick test_null_dereference;
+          Alcotest.test_case "instanceof/cast" `Quick test_instanceof_and_cast;
+          Alcotest.test_case "ref equality" `Quick test_ref_equality;
+        ] );
+      ( "arrays",
+        [
+          Alcotest.test_case "basic" `Quick test_arrays_basic;
+          Alcotest.test_case "objects" `Quick test_array_of_objects;
+          Alcotest.test_case "bounds" `Quick test_array_bounds;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "block" `Quick test_sync_block;
+          Alcotest.test_case "method" `Quick test_sync_method;
+          Alcotest.test_case "return inside" `Quick test_sync_return_inside;
+          Alcotest.test_case "stats" `Quick test_monitor_stats;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "allocations" `Quick test_alloc_stats;
+          Alcotest.test_case "arrays" `Quick test_array_alloc_stats;
+          Alcotest.test_case "print order" `Quick test_print_order;
+        ] );
+      ("scenarios", [ Alcotest.test_case "cache example" `Quick test_cache_example ]);
+      ( "verifier",
+        [
+          Alcotest.test_case "accepts corpus" `Quick test_verifier_accepts_programs;
+          Alcotest.test_case "rejects underflow" `Quick test_verifier_rejects_underflow;
+          Alcotest.test_case "rejects bad jump" `Quick test_verifier_rejects_bad_jump;
+          Alcotest.test_case "rejects inconsistent depth" `Quick test_verifier_rejects_inconsistent_depth;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* Virtual (fixed-length) arrays — the bounded array virtualization
+   extension, mirroring Graal's. Arrays with a compile-time-constant
+   length below the cap behave like objects under PEA: constant-index
+   loads/stores become data flow, [length] folds to a constant, and the
+   array materializes where it escapes. Dynamic lengths, dynamic indices
+   and out-of-bounds constant accesses fall back to real allocations. *)
+
+open Pea_bytecode
+open Pea_ir
+open Pea_core
+
+let graph_of src cls name =
+  let program = Link.compile_source ~require_main:false src in
+  let m = Link.find_method program cls name in
+  let g = Builder.build m in
+  ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
+  ignore (Pea_opt.Canonicalize.run g);
+  ignore (Pea_opt.Gvn.run g);
+  Check.check_exn g;
+  g
+
+let run_pea g =
+  let g', st = Pea.run g in
+  ignore (Pea_opt.Canonicalize.run g');
+  Check.check_exn g';
+  (g', st)
+
+let count_ops g p =
+  let n = ref 0 in
+  let reachable = Graph.reachable g in
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then
+        Pea_support.Dyn_array.iter (fun (x : Node.t) -> if p x.Node.op then incr n) b.Graph.instrs)
+    g;
+  !n
+
+let array_allocs g =
+  count_ops g (function Node.New_array _ | Node.Alloc_array _ -> true | _ -> false)
+
+let array_ops g =
+  count_ops g (function Node.Array_load _ | Node.Array_store _ | Node.Array_length _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+
+let test_const_array_scalar_replaced () =
+  let g =
+    graph_of
+      "class C {\n\
+      \  static int f(int x) {\n\
+      \    int[] a = new int[4];\n\
+      \    a[0] = x; a[1] = x * 2; a[2] = a[0] + a[1];\n\
+      \    return a[2] + a.length;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "no array allocation" 0 (array_allocs g');
+  Alcotest.(check int) "no array ops" 0 (array_ops g');
+  Alcotest.(check int) "virtualized" 1 st.Pea.virtualized_allocs;
+  Alcotest.(check int) "no materialization" 0 st.Pea.materializations
+
+let test_dynamic_length_not_virtualized () =
+  let g =
+    graph_of
+      "class C { static int f(int n) { int[] a = new int[n]; return a.length; } }" "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "array allocation stays" 1 (array_allocs g');
+  Alcotest.(check int) "nothing virtualized" 0 st.Pea.virtualized_allocs
+
+let test_large_array_not_virtualized () =
+  let g =
+    graph_of "class C { static int f() { int[] a = new int[100]; return a.length; } }" "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "large array stays" 1 (array_allocs g');
+  Alcotest.(check int) "nothing virtualized" 0 st.Pea.virtualized_allocs
+
+let test_dynamic_index_materializes () =
+  let g =
+    graph_of
+      "class C { static int f(int i) { int[] a = new int[4]; a[0] = 7; return a[i]; } }" "C" "f"
+  in
+  let g', st = run_pea g in
+  (* the dynamic load forces materialization; the array exists again *)
+  Alcotest.(check int) "materialized" 1 st.Pea.materializations;
+  Alcotest.(check int) "one allocation" 1 (array_allocs g')
+
+let test_escape_materializes_array () =
+  let g =
+    graph_of
+      "class C {\n\
+      \  static int[] sink;\n\
+      \  static void f(int x) { int[] a = new int[3]; a[1] = x; C.sink = a; }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "materialized at the escape" 1 st.Pea.materializations;
+  Alcotest.(check int) "alloc_array emitted" 1
+    (count_ops g' (function Node.Alloc_array _ -> true | _ -> false))
+
+let test_ref_array_of_virtual_objects () =
+  (* an object array holding virtual objects: loading an element back
+     yields the virtual object *)
+  let g =
+    graph_of
+      "class P { int v; }\n\
+       class C {\n\
+      \  static int f(int x) {\n\
+      \    P p = new P(); p.v = x;\n\
+      \    P[] ps = new P[2];\n\
+      \    ps[0] = p;\n\
+      \    P q = ps[0];\n\
+      \    return q.v;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "everything removed" 0
+    (count_ops g' (function
+      | Node.New _ | Node.Alloc _ | Node.New_array _ | Node.Alloc_array _ -> true
+      | _ -> false));
+  Alcotest.(check int) "two virtualized" 2 st.Pea.virtualized_allocs
+
+(* ------------------------------------------------------------------ *)
+(* dynamic behaviour through the VM                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_vm src opt ~iterations =
+  let program = Link.compile_source src in
+  let config = { Pea_vm.Jit.default_config with Pea_vm.Jit.opt; compile_threshold = 0 } in
+  let vm = Pea_vm.Vm.create ~config program in
+  Pea_vm.Vm.run_main_iterations vm iterations
+
+let test_semantics_preserved () =
+  let src =
+    "class Main {\n\
+    \  static int sum3(int x) {\n\
+    \    int[] a = new int[3];\n\
+    \    a[0] = x; a[1] = x * 2; a[2] = a[0] * a[1];\n\
+    \    return a[0] + a[1] + a[2] + a.length;\n\
+    \  }\n\
+    \  static int main() {\n\
+    \    int acc = 0; int i = 0;\n\
+    \    while (i < 50) { acc = acc + Main.sum3(i); i = i + 1; }\n\
+    \    return acc;\n\
+    \  }\n\
+     }"
+  in
+  let reference = Pea_rt.Run.run_source src in
+  let pea = run_vm src Pea_vm.Jit.O_pea ~iterations:2 in
+  let none = run_vm src Pea_vm.Jit.O_none ~iterations:2 in
+  let as_str = function
+    | Some v -> Pea_rt.Value.string_of_value v
+    | None -> "void"
+  in
+  Alcotest.(check string) "pea result" (as_str reference.Pea_rt.Run.return_value)
+    (as_str pea.Pea_vm.Vm.return_value);
+  Alcotest.(check string) "none result" (as_str reference.Pea_rt.Run.return_value)
+    (as_str none.Pea_vm.Vm.return_value);
+  (* the PEA run removes 50 array allocations per iteration *)
+  if pea.Pea_vm.Vm.stats.Pea_rt.Stats.s_allocations >= none.Pea_vm.Vm.stats.Pea_rt.Stats.s_allocations
+  then
+    Alcotest.failf "expected fewer allocations under PEA (%d vs %d)"
+      pea.Pea_vm.Vm.stats.Pea_rt.Stats.s_allocations
+      none.Pea_vm.Vm.stats.Pea_rt.Stats.s_allocations
+
+let test_out_of_bounds_traps () =
+  (* a constant out-of-bounds access on a would-be-virtual array still
+     traps at runtime *)
+  let src =
+    "class Main {\n\
+    \  static int main() { int[] a = new int[2]; a[1] = 5; return a[2]; }\n\
+     }"
+  in
+  match run_vm src Pea_vm.Jit.O_pea ~iterations:1 with
+  | exception Pea_rt.Interp.Trap _ -> ()
+  | _ -> Alcotest.fail "expected a bounds trap"
+
+let test_deopt_rematerializes_array () =
+  let src =
+    "class C {\n\
+    \  static int[] sink;\n\
+    \  static int f(int x, boolean cold) {\n\
+    \    int[] a = new int[3];\n\
+    \    a[0] = x; a[1] = x + 1; a[2] = x + 2;\n\
+    \    if (cold) { C.sink = a; }\n\
+    \    return a[0] + a[1] + a[2];\n\
+    \  }\n\
+    \  static int readSink() { if (C.sink == null) return 0 - 1; return C.sink[0] + C.sink[2]; }\n\
+     }"
+  in
+  let program = Link.compile_source ~require_main:false src in
+  let config = { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 25 } in
+  let vm = Pea_vm.Vm.create ~config program in
+  let f = Link.find_method program "C" "f" in
+  let read = Link.find_method program "C" "readSink" in
+  Pea_vm.Vm.warm_up vm f [ Pea_rt.Value.Vint 5; Pea_rt.Value.Vbool false ] 40;
+  let before = Pea_rt.Stats.snapshot (Pea_vm.Vm.stats vm) in
+  (* hot call: no allocation *)
+  (match Pea_vm.Vm.invoke vm f [ Pea_rt.Value.Vint 5; Pea_rt.Value.Vbool false ] with
+  | Some (Pea_rt.Value.Vint 18) -> ()
+  | other ->
+      Alcotest.failf "unexpected hot result %s"
+        (match other with Some v -> Pea_rt.Value.string_of_value v | None -> "void"));
+  let mid = Pea_rt.Stats.snapshot (Pea_vm.Vm.stats vm) in
+  Alcotest.(check int) "no allocations hot" 0
+    (mid.Pea_rt.Stats.s_allocations - before.Pea_rt.Stats.s_allocations);
+  (* cold call deopts and rematerializes the array *)
+  (match Pea_vm.Vm.invoke vm f [ Pea_rt.Value.Vint 100; Pea_rt.Value.Vbool true ] with
+  | Some (Pea_rt.Value.Vint 303) -> ()
+  | other ->
+      Alcotest.failf "unexpected cold result %s"
+        (match other with Some v -> Pea_rt.Value.string_of_value v | None -> "void"));
+  (match Pea_vm.Vm.invoke vm read [] with
+  | Some (Pea_rt.Value.Vint 202) -> () (* 100 + 102 *)
+  | other ->
+      Alcotest.failf "sink contents wrong: %s"
+        (match other with Some v -> Pea_rt.Value.string_of_value v | None -> "void"));
+  let after = Pea_rt.Stats.snapshot (Pea_vm.Vm.stats vm) in
+  Alcotest.(check bool) "deopted" true (after.Pea_rt.Stats.s_deopts - mid.Pea_rt.Stats.s_deopts >= 1)
+
+let () =
+  Alcotest.run "pea_arrays"
+    [
+      ( "static",
+        [
+          Alcotest.test_case "const array scalar-replaced" `Quick test_const_array_scalar_replaced;
+          Alcotest.test_case "dynamic length" `Quick test_dynamic_length_not_virtualized;
+          Alcotest.test_case "large array" `Quick test_large_array_not_virtualized;
+          Alcotest.test_case "dynamic index" `Quick test_dynamic_index_materializes;
+          Alcotest.test_case "escape materializes" `Quick test_escape_materializes_array;
+          Alcotest.test_case "object array of virtuals" `Quick test_ref_array_of_virtual_objects;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+          Alcotest.test_case "bounds trap preserved" `Quick test_out_of_bounds_traps;
+          Alcotest.test_case "deopt rematerializes array" `Quick test_deopt_rematerializes_array;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* Loop handling in partial escape analysis (§5.4, Figure 7): the loop
+   body is processed with a speculative state and reprocessed until the
+   state at the back edges matches — virtual objects stay virtual across
+   iterations when possible, field phis are created when field values are
+   loop-carried, and objects must materialize when their identity crosses
+   iterations or escapes. *)
+
+open Pea_bytecode
+open Pea_ir
+open Pea_core
+
+let graph_of src cls name =
+  let program = Link.compile_source ~require_main:false src in
+  let m = Link.find_method program cls name in
+  let g = Builder.build m in
+  ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
+  ignore (Pea_opt.Canonicalize.run g);
+  ignore (Pea_opt.Gvn.run g);
+  Check.check_exn g;
+  (program, g)
+
+let run_pea g =
+  let g', st = Pea.run g in
+  ignore (Pea_opt.Canonicalize.run g');
+  Check.check_exn g';
+  (g', st)
+
+let count_ops g p =
+  let n = ref 0 in
+  let reachable = Graph.reachable g in
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        List.iter (fun (x : Node.t) -> if p x.Node.op then incr n) b.Graph.phis;
+        Pea_support.Dyn_array.iter (fun (x : Node.t) -> if p x.Node.op then incr n) b.Graph.instrs
+      end)
+    g;
+  !n
+
+let allocs g =
+  count_ops g (function
+    | Node.New _ | Node.Alloc _ | Node.New_array _ | Node.Alloc_array _ -> true
+    | _ -> false)
+
+(* The object lives across the loop unchanged except for one int field:
+   fully scalar-replaced, the field becomes a loop phi. *)
+let test_loop_carried_field () =
+  let _, g =
+    graph_of
+      "class Acc { int total; }\n\
+       class C {\n\
+      \  static int f(int n) {\n\
+      \    Acc a = new Acc();\n\
+      \    int i = 0;\n\
+      \    while (i < n) { a.total = a.total + i; i = i + 1; }\n\
+      \    return a.total;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "no allocations" 0 (allocs g');
+  Alcotest.(check int) "no materialization" 0 st.Pea.materializations
+
+(* Two virtual objects, fields updated alternately in the loop. *)
+let test_two_loop_objects () =
+  let _, g =
+    graph_of
+      "class P { int v; }\n\
+       class C {\n\
+      \  static int f(int n) {\n\
+      \    P a = new P(); P b = new P();\n\
+      \    for (int i = 0; i < n; i++) {\n\
+      \      if (i % 2 == 0) { a.v += i; } else { b.v += i; }\n\
+      \    }\n\
+      \    return a.v * 1000 + b.v;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "no allocations" 0 (allocs g');
+  Alcotest.(check int) "no materialization" 0 st.Pea.materializations
+
+(* A fresh object every iteration, consumed within the iteration: all
+   removed. *)
+let test_fresh_object_per_iteration () =
+  let _, g =
+    graph_of
+      "class P { int v; P(int v0) { v = v0; } }\n\
+       class C {\n\
+      \  static int f(int n) {\n\
+      \    int acc = 0;\n\
+      \    for (int i = 0; i < n; i++) { P p = new P(i); acc += p.v; }\n\
+      \    return acc;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "no allocations" 0 (allocs g');
+  Alcotest.(check int) "no materialization" 0 st.Pea.materializations
+
+(* The object's identity crosses iterations through a variable swap: a phi
+   would have to hold a virtual object whose allocation re-executes, so it
+   materializes (cf. the phi rules of §5.3 applied at the loop header). *)
+let test_identity_across_iterations_materializes () =
+  let _, g =
+    graph_of
+      "class P { int v; }\n\
+       class C {\n\
+      \  static int f(int n) {\n\
+      \    P prev = new P();\n\
+      \    for (int i = 0; i < n; i++) { P cur = new P(); cur.v = prev.v + 1; prev = cur; }\n\
+      \    return prev.v;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check bool) "materializations happen" true (st.Pea.materializations >= 1);
+  Alcotest.(check bool) "allocations remain" true (allocs g' >= 1)
+
+(* Escape inside the loop: one materialization per iteration (at the
+   escape point), none on the pre-loop path. *)
+let test_escape_inside_loop () =
+  let _, g =
+    graph_of
+      "class P { int v; }\n\
+       class C {\n\
+      \  static P sink;\n\
+      \  static int f(int n) {\n\
+      \    int acc = 0;\n\
+      \    for (int i = 0; i < n; i++) {\n\
+      \      P p = new P();\n\
+      \      p.v = i;\n\
+      \      C.sink = p;\n\
+      \      acc += p.v;\n\
+      \    }\n\
+      \    return acc;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', _ = run_pea g in
+  Alcotest.(check int) "one allocation site (inside the loop)" 1 (allocs g')
+
+(* Object created before the loop, mutated inside, escaping after: the
+   loop body is allocation-free and the object materializes exactly once
+   after the loop. *)
+let test_escape_after_loop () =
+  let _, g =
+    graph_of
+      "class P { int v; }\n\
+       class C {\n\
+      \  static P sink;\n\
+      \  static int f(int n) {\n\
+      \    P p = new P();\n\
+      \    for (int i = 0; i < n; i++) { p.v += i; }\n\
+      \    C.sink = p;\n\
+      \    return p.v;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "one materialization" 1 st.Pea.materializations;
+  Alcotest.(check int) "one allocation site" 1 (allocs g');
+  (* the allocation must not be inside the loop: no reachable loop header
+     block may contain it *)
+  let doms = Dominators.compute g' in
+  let loops = Loops.compute g' doms in
+  Graph.iter_blocks
+    (fun b ->
+      match Loops.innermost_loop loops b.Graph.b_id with
+      | Some _ ->
+          Pea_support.Dyn_array.iter
+            (fun (x : Node.t) ->
+              match x.Node.op with
+              | Node.New _ | Node.Alloc _ -> Alcotest.fail "allocation inside the loop"
+              | _ -> ())
+            b.Graph.instrs
+      | None -> ())
+    g'
+
+(* Nested loops with a virtual accumulator in each. *)
+let test_nested_loops () =
+  let _, g =
+    graph_of
+      "class Acc { int total; }\n\
+       class C {\n\
+      \  static int f(int n) {\n\
+      \    Acc outer = new Acc();\n\
+      \    for (int i = 0; i < n; i++) {\n\
+      \      Acc inner = new Acc();\n\
+      \      for (int j = 0; j < i; j++) { inner.total += j; }\n\
+      \      outer.total += inner.total;\n\
+      \    }\n\
+      \    return outer.total;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "no allocations" 0 (allocs g');
+  Alcotest.(check int) "no materialization" 0 st.Pea.materializations
+
+(* Synchronized region inside the loop on a virtual object: all monitor
+   operations elided across iterations. *)
+let test_lock_in_loop () =
+  let _, g =
+    graph_of
+      "class P { int v; }\n\
+       class C {\n\
+      \  static int f(int n) {\n\
+      \    P p = new P();\n\
+      \    for (int i = 0; i < n; i++) { synchronized (p) { p.v += i; } }\n\
+      \    return p.v;\n\
+      \  }\n\
+       }"
+      "C" "f"
+  in
+  let g', st = run_pea g in
+  Alcotest.(check int) "no monitors" 0
+    (count_ops g' (function Node.Monitor_enter _ | Node.Monitor_exit _ -> true | _ -> false));
+  Alcotest.(check bool) "monitor ops removed" true (st.Pea.removed_monitor_ops >= 2)
+
+(* Semantic spot check of the materializing swap-chain through the VM. *)
+let test_identity_chain_semantics () =
+  let src =
+    "class P { int v; }\n\
+     class C {\n\
+    \  static int f(int n) {\n\
+    \    P prev = new P();\n\
+    \    for (int i = 0; i < n; i++) { P cur = new P(); cur.v = prev.v + 1; prev = cur; }\n\
+    \    return prev.v;\n\
+    \  }\n\
+     }\n\
+     class Main { static int main() { return 0; } }"
+  in
+  let program = Link.compile_source src in
+  let f = Link.find_method program "C" "f" in
+  let vm =
+    Pea_vm.Vm.create
+      ~config:{ Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 0 }
+      program
+  in
+  List.iter
+    (fun n ->
+      match Pea_vm.Vm.invoke vm f [ Pea_rt.Value.Vint n ] with
+      | Some (Pea_rt.Value.Vint r) -> Alcotest.(check int) (Printf.sprintf "f(%d)" n) n r
+      | _ -> Alcotest.fail "expected int")
+    [ 0; 1; 2; 5; 17 ]
+
+let () =
+  Alcotest.run "pea_loops"
+    [
+      ( "loops",
+        [
+          Alcotest.test_case "loop-carried field" `Quick test_loop_carried_field;
+          Alcotest.test_case "two loop objects" `Quick test_two_loop_objects;
+          Alcotest.test_case "fresh per iteration" `Quick test_fresh_object_per_iteration;
+          Alcotest.test_case "identity across iterations" `Quick
+            test_identity_across_iterations_materializes;
+          Alcotest.test_case "escape inside loop" `Quick test_escape_inside_loop;
+          Alcotest.test_case "escape after loop" `Quick test_escape_after_loop;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          Alcotest.test_case "lock in loop" `Quick test_lock_in_loop;
+          Alcotest.test_case "identity chain semantics" `Quick test_identity_chain_semantics;
+        ] );
+    ]

@@ -1,0 +1,278 @@
+(* Property-based differential testing.
+
+   A generator produces random well-typed, terminating MJ programs over a
+   fixed class skeleton (objects with int fields and object links, escapes
+   through statics, synchronized regions, bounded loops, prints). For every
+   generated program:
+
+   1. semantics are identical across the interpreter and the compiled
+      configurations (no EA / whole-method EA / PEA);
+   2. dynamic allocation and monitor-operation counts never increase under
+      escape analysis (§4 of the paper), and PEA subsumes whole-method EA.
+
+   Because the generator controls all sources of nondeterminism and bounds
+   every loop, any discrepancy is a real compiler bug. *)
+
+open Pea_rt
+open Pea_vm
+
+(* ------------------------------------------------------------------ *)
+(* Program generator                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module G = QCheck2.Gen
+
+let ( let* ) x f = G.bind x f
+
+let ( and* ) a b = G.bind a (fun x -> G.map (fun y -> (x, y)) b)
+
+type genv = {
+  ivars : string list; (* int locals, always initialized *)
+  pvars : string list; (* P locals, always non-null *)
+  depth : int;
+}
+
+let indent n = String.make (2 * n) ' '
+
+let gen_int_atom env =
+  G.oneof
+    [
+      G.map string_of_int (G.int_range (-20) 100);
+      G.oneofl env.ivars;
+      G.map (fun p -> p ^ ".a") (G.oneofl env.pvars);
+      G.map (fun p -> p ^ ".b") (G.oneofl env.pvars);
+      G.return "Main.g2";
+      (* constant-length array accesses: exercised both virtualized (PEA)
+         and as real allocations (interpreter / no-EA) *)
+      G.map (fun i -> Printf.sprintf "arr[%d]" i) (G.int_range 0 2);
+      G.return "arr.length";
+    ]
+
+let rec gen_int_expr env d =
+  if d <= 0 then gen_int_atom env
+  else
+    G.oneof
+      [
+        gen_int_atom env;
+        (let* a = gen_int_expr env (d - 1) and* b = gen_int_expr env (d - 1) in
+         let* op = G.oneofl [ "+"; "-"; "*" ] in
+         G.return (Printf.sprintf "(%s %s %s)" a op b));
+        (* division by a non-zero constant only *)
+        (let* a = gen_int_expr env (d - 1) and* k = G.int_range 1 7 in
+         let* op = G.oneofl [ "/"; "%" ] in
+         G.return (Printf.sprintf "(%s %s %d)" a op k));
+      ]
+
+let gen_bool_expr env d =
+  let cmp =
+    let* a = gen_int_expr env (d - 1) and* b = gen_int_expr env (d - 1) in
+    let* op = G.oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+    G.return (Printf.sprintf "(%s %s %s)" a op b)
+  in
+  let refcmp =
+    let* p = G.oneofl env.pvars and* q = G.oneofl env.pvars in
+    let* op = G.oneofl [ "=="; "!=" ] in
+    G.return (Printf.sprintf "(%s %s %s)" p op q)
+  in
+  (* identity through the object graph: catches duplicated
+     materializations that would break reference equality *)
+  let field_refcmp =
+    let* p = G.oneofl env.pvars and* q = G.oneofl env.pvars in
+    let* op = G.oneofl [ "=="; "!=" ] in
+    G.return (Printf.sprintf "(%s.next %s %s)" p op q)
+  in
+  let null_check = G.oneofl [ "(Main.g1 == null)"; "(Main.g1 != null)" ] in
+  G.oneof [ cmp; refcmp; field_refcmp; null_check ]
+
+let rec gen_stmt env lvl : string G.t =
+  let simple =
+    G.oneof
+      [
+        (let* v = G.oneofl env.ivars and* e = gen_int_expr env 2 in
+         G.return (Printf.sprintf "%s%s = %s;" (indent lvl) v e));
+        (let* p = G.oneofl env.pvars
+         and* f = G.oneofl [ "a"; "b" ]
+         and* e = gen_int_expr env 2 in
+         G.return (Printf.sprintf "%s%s.%s = %s;" (indent lvl) p f e));
+        (let* p = G.oneofl env.pvars in
+         G.return (Printf.sprintf "%s%s = new P();" (indent lvl) p));
+        (let* p = G.oneofl env.pvars and* q = G.oneofl env.pvars in
+         G.return (Printf.sprintf "%s%s = %s;" (indent lvl) p q));
+        (let* p = G.oneofl env.pvars and* q = G.oneofl env.pvars in
+         G.return (Printf.sprintf "%s%s.next = %s;" (indent lvl) p q));
+        (let* e = gen_int_expr env 1 in
+         G.return (Printf.sprintf "%sprint(%s);" (indent lvl) e));
+        (let* p = G.oneofl env.pvars in
+         (* escape through a static *)
+         G.return (Printf.sprintf "%sMain.g1 = %s;" (indent lvl) p));
+        (let* e = gen_int_expr env 2 in
+         G.return (Printf.sprintf "%sMain.g2 = %s;" (indent lvl) e));
+        (let* i = G.int_range 0 2 and* e = gen_int_expr env 2 in
+         G.return (Printf.sprintf "%sarr[%d] = %s;" (indent lvl) i e));
+        G.return (Printf.sprintf "%sarr = new int[3];" (indent lvl));
+        (* escaping the array defeats its virtualization *)
+        G.return (Printf.sprintf "%sMain.garr = arr;" (indent lvl));
+      ]
+  in
+  if env.depth <= 0 then simple
+  else
+    let env' = { env with depth = env.depth - 1 } in
+    G.frequency
+      [
+        (5, simple);
+        ( 2,
+          let* cond = gen_bool_expr env 2
+          and* thn = gen_block env' (lvl + 1)
+          and* els = gen_block env' (lvl + 1) in
+          G.return
+            (Printf.sprintf "%sif %s {\n%s%s} else {\n%s%s}" (indent lvl) cond thn (indent lvl)
+               els (indent lvl)) );
+        ( 1,
+          (* bounded loop with a dedicated counter *)
+          let* n = G.int_range 1 6 and* body = gen_block env' (lvl + 1) in
+          let counter = Printf.sprintf "k%d" lvl in
+          G.return
+            (Printf.sprintf "%s{ int %s = 0; while (%s < %d) {\n%s%s%s = %s + 1; } }" (indent lvl)
+               counter counter n body (indent (lvl + 1)) counter counter) );
+        ( 1,
+          let* p = G.oneofl env.pvars and* body = gen_block env' (lvl + 1) in
+          G.return
+            (Printf.sprintf "%ssynchronized (%s) {\n%s%s}" (indent lvl) p body (indent lvl)) );
+        ( 1,
+          (* exceptions force the VM's interpreter-only bailout for main;
+             callees still compile, so the unwind paths get exercised *)
+          let* body = gen_block env' (lvl + 1)
+          and* handler = gen_block env' (lvl + 1)
+          and* p = G.oneofl env.pvars
+          and* do_throw = G.bool in
+          let thrown = if do_throw then Printf.sprintf "%sthrow %s;\n" (indent (lvl + 1)) p else "" in
+          G.return
+            (Printf.sprintf "%stry {\n%s%s%s} catch (P caught%d) {\n%s%scaught%d.a += 1;\n%s}"
+               (indent lvl) body thrown (indent lvl) lvl handler (indent (lvl + 1)) lvl
+               (indent lvl)) );
+      ]
+
+and gen_block env lvl : string G.t =
+  let* n = G.int_range 1 4 in
+  let* stmts = G.list_repeat n (gen_stmt env lvl) in
+  G.return (String.concat "\n" stmts ^ "\n")
+
+let gen_program : string G.t =
+  let env = { ivars = [ "i0"; "i1"; "i2" ]; pvars = [ "p0"; "p1" ]; depth = 3 } in
+  let* body = gen_block env 2 in
+  let checksum =
+    "i0 + i1 * 3 + i2 * 5 + p0.a + p0.b * 7 + p1.a * 11 + p1.b + Main.g2 + g1v + garrv\n\
+    \      + arr[0] + arr[1] * 17 + arr[2] * 19" |> String.split_on_char '\n'
+    |> List.map String.trim |> String.concat " "
+  in
+  G.return
+    (Printf.sprintf
+       "class P { int a; int b; P next; }\n\
+        class Main {\n\
+       \  static P g1;\n\
+       \  static int g2;\n\
+       \  static int[] garr;\n\
+       \  static int main() {\n\
+       \    Main.g1 = null; Main.g2 = 0; Main.garr = null;\n\
+       \    int i0 = 1; int i1 = 2; int i2 = 3;\n\
+       \    P p0 = new P(); P p1 = new P();\n\
+       \    int[] arr = new int[3];\n\
+        %s\n\
+       \    int g1v = 0;\n\
+       \    if (Main.g1 != null) g1v = Main.g1.a + Main.g1.b;\n\
+       \    int garrv = 0;\n\
+       \    if (Main.garr != null) garrv = Main.garr[0] + Main.garr[1] * 13;\n\
+       \    return %s;\n\
+       \  }\n\
+        }" body checksum)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_result = function
+  | None -> "void"
+  | Some v -> Value.string_of_value v
+
+let run_vm src opt =
+  let program = Pea_bytecode.Link.compile_source src in
+  let config = { Jit.default_config with Jit.opt; compile_threshold = 0 } in
+  let vm = Vm.create ~config program in
+  Vm.run_main_iterations vm 3
+
+let outcome_interp src =
+  let r = Run.run_source src in
+  (string_of_result r.Run.return_value, List.map Value.string_of_value r.Run.printed)
+
+let outcome_vm (r : Vm.result) =
+  (string_of_result r.Vm.return_value, List.map Value.string_of_value r.Vm.printed)
+
+let prop_differential =
+  QCheck2.Test.make ~name:"compiled semantics = interpreter semantics" ~count:200 ~print:(fun s -> s)
+    gen_program
+    (fun src ->
+      let ret_i, prints_i = outcome_interp src in
+      let expected_prints = prints_i @ prints_i @ prints_i in
+      List.for_all
+        (fun opt ->
+          let ret_c, prints_c = outcome_vm (run_vm src opt) in
+          ret_c = ret_i && prints_c = expected_prints)
+        [ Jit.O_none; Jit.O_ea; Jit.O_pea ])
+
+let prop_alloc_monotone =
+  QCheck2.Test.make ~name:"PEA/EA never increase allocations or monitors" ~count:100
+    ~print:(fun s -> s) gen_program
+    (fun src ->
+      let none = run_vm src Jit.O_none in
+      let ea = run_vm src Jit.O_ea in
+      let pea = run_vm src Jit.O_pea in
+      let a (r : Vm.result) = r.Vm.stats.Stats.s_allocations in
+      let m (r : Vm.result) = r.Vm.stats.Stats.s_monitor_ops in
+      a pea <= a none && a ea <= a none && a pea <= a ea && m pea <= m none)
+
+let prop_pretty_roundtrip =
+  QCheck2.Test.make ~name:"pretty-print roundtrip on random programs" ~count:120
+    ~print:(fun s -> s) gen_program
+    (fun src ->
+      let ast1 = Pea_mjava.Parser.parse_program src in
+      let printed1 = Pea_mjava.Pretty.program ast1 in
+      let ast2 = Pea_mjava.Parser.parse_program printed1 in
+      let printed2 = Pea_mjava.Pretty.program ast2 in
+      (* fixpoint, and the printed program behaves like the original *)
+      printed1 = printed2
+      &&
+      let r1 = Run.run_source src in
+      let r2 = Run.run_source printed1 in
+      r1.Run.return_value = r2.Run.return_value
+      && List.map Value.string_of_value r1.Run.printed
+         = List.map Value.string_of_value r2.Run.printed)
+
+let prop_ir_checker_after_pea =
+  QCheck2.Test.make ~name:"PEA output passes the IR checker on random programs" ~count:100
+    ~print:(fun s -> s) gen_program
+    (fun src ->
+      let program = Pea_bytecode.Link.compile_source src in
+      let m = Pea_bytecode.Link.entry_exn program in
+      if Pea_bytecode.Classfile.uses_exceptions m then true (* interpreter-only, as in the VM *)
+      else begin
+      let g = Pea_ir.Builder.build m in
+      ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
+      ignore (Pea_opt.Canonicalize.run g);
+      let g', _ = Pea_core.Pea.run g in
+      Pea_ir.Check.check_exn g';
+      ignore (Pea_opt.Canonicalize.run g');
+      Pea_ir.Check.check_exn g';
+      true
+      end)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_alloc_monotone;
+          QCheck_alcotest.to_alcotest prop_ir_checker_after_pea;
+          QCheck_alcotest.to_alcotest prop_pretty_roundtrip;
+        ] );
+    ]

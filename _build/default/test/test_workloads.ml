@@ -1,0 +1,95 @@
+(* Tests for the synthetic workload suite: calibration sanity, generated
+   programs compile and run deterministically, and the measured reductions
+   track the paper's targets for representative rows. *)
+
+open Pea_workloads
+
+let test_spec_table_complete () =
+  Alcotest.(check int) "14 DaCapo rows" 14 (List.length Spec.dacapo);
+  Alcotest.(check int) "12 ScalaDaCapo rows" 12 (List.length Spec.scala_dacapo);
+  Alcotest.(check int) "1 SPECjbb row" 1 (List.length Spec.specjbb);
+  (* spot-check transcription against the paper *)
+  let factorie = Option.get (Spec.find "factorie") in
+  Alcotest.(check (float 0.01)) "factorie bytes" (-58.5) factorie.Spec.bytes_change_pct;
+  Alcotest.(check (float 0.01)) "factorie allocs" (-60.9) factorie.Spec.allocs_change_pct;
+  Alcotest.(check (float 0.01)) "factorie speed" 33.0 factorie.Spec.speedup_pct;
+  let jbb = Option.get (Spec.find "SPECjbb2005") in
+  Alcotest.(check (float 0.01)) "jbb locks" (-3.8) jbb.Spec.lock_change_pct
+
+let test_calibration_sane () =
+  List.iter
+    (fun row ->
+      let k = Codegen.calibrate row in
+      let total = k.Codegen.local + k.Codegen.partial + k.Codegen.sync + k.Codegen.gsync + k.Codegen.array + k.Codegen.global in
+      if total > 1000 then
+        Alcotest.failf "%s: op mix exceeds 1000 per mille (%d)" row.Spec.name total;
+      if k.Codegen.local < 0 || k.Codegen.partial < 0 || k.Codegen.global < 0 then
+        Alcotest.failf "%s: negative knob" row.Spec.name;
+      if k.Codegen.ops < 1000 then Alcotest.failf "%s: too few ops" row.Spec.name;
+      if k.Codegen.array_len < 0 then Alcotest.failf "%s: negative array length" row.Spec.name)
+    Spec.all
+
+let test_generated_sources_compile () =
+  List.iter
+    (fun row ->
+      let src = Codegen.source_for_row row in
+      match Pea_bytecode.Link.compile_source src with
+      | _ -> ()
+      | exception e ->
+          Alcotest.failf "%s: generated source does not compile: %s" row.Spec.name
+            (Printexc.to_string e))
+    Spec.all
+
+let test_workload_deterministic () =
+  let row = Option.get (Spec.find "fop") in
+  let src = Codegen.source_for_row row in
+  let m1 = Harness.measure_program ~warmup:1 ~measure:2 src Pea_vm.Jit.O_pea in
+  let m2 = Harness.measure_program ~warmup:1 ~measure:2 src Pea_vm.Jit.O_pea in
+  Alcotest.(check (float 0.0001)) "cycles identical" m1.Harness.m_cycles_per_iter
+    m2.Harness.m_cycles_per_iter;
+  Alcotest.(check (float 0.0001)) "allocs identical" m1.Harness.m_allocs_per_iter
+    m2.Harness.m_allocs_per_iter
+
+(* The reproduced reductions must be within a loose band of the paper's
+   numbers for rows across the spectrum. *)
+let check_row_tracks name ~tol_allocs () =
+  let row = Option.get (Spec.find name) in
+  let rr = Harness.run_row row in
+  let c = Harness.pea_changes rr in
+  let diff = Float.abs (c.Harness.c_allocs_pct -. row.Spec.allocs_change_pct) in
+  if diff > tol_allocs then
+    Alcotest.failf "%s: allocation change %.1f%% vs paper %.1f%% (tolerance %.1f)" name
+      c.Harness.c_allocs_pct row.Spec.allocs_change_pct tol_allocs;
+  (* direction of the performance change must match for improving rows *)
+  if row.Spec.speedup_pct > 1.0 && c.Harness.c_speedup_pct < 0.0 then
+    Alcotest.failf "%s: paper speeds up but we slow down" name
+
+let test_ea_weaker_than_pea () =
+  let row = Option.get (Spec.find "scalac") in
+  let rr = Harness.run_row row in
+  let pea = Harness.pea_changes rr in
+  let ea = Harness.ea_changes rr in
+  (* both reduce; PEA reduces more (the partial fraction) *)
+  if ea.Harness.c_allocs_pct >= 0.0 then Alcotest.fail "EA removed nothing";
+  if pea.Harness.c_allocs_pct >= ea.Harness.c_allocs_pct then
+    Alcotest.failf "PEA (%.1f%%) should beat EA (%.1f%%)" pea.Harness.c_allocs_pct
+      ea.Harness.c_allocs_pct
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "table complete" `Quick test_spec_table_complete;
+          Alcotest.test_case "calibration sane" `Quick test_calibration_sane;
+          Alcotest.test_case "sources compile" `Quick test_generated_sources_compile;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "factorie tracks paper" `Slow (check_row_tracks "factorie" ~tol_allocs:5.0);
+          Alcotest.test_case "sunflow tracks paper" `Slow (check_row_tracks "sunflow" ~tol_allocs:5.0);
+          Alcotest.test_case "xalan tracks paper" `Slow (check_row_tracks "xalan" ~tol_allocs:3.0);
+          Alcotest.test_case "EA weaker than PEA" `Slow test_ea_weaker_than_pea;
+        ] );
+    ]
