@@ -250,6 +250,107 @@ let ablation_section () =
         (60e9 /. cycles))
     variants
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural summaries                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A keyed-cache lookup whose helper is far beyond the inlining budget:
+   every probe allocates a Key and hands it to Cache.find, which only
+   reads its int fields. Without summaries the call is a hard escape
+   point and every Key is materialized; with them the Key stays virtual
+   and is passed as an uncharged scratch object. *)
+let summaries_workload () =
+  let probe =
+    String.concat "\n" (List.init 60 (fun j -> Printf.sprintf "    r = r + ((h + %d) %% 7);" j))
+  in
+  String.concat "\n"
+    [
+      "class Key { int hi; int lo; }";
+      "class Cache {";
+      "  static int find(Key k) {";
+      "    int h = k.hi * 31 + k.lo;";
+      "    int r = 0;";
+      probe;
+      "    return r;";
+      "  }";
+      "}";
+      "class Main {";
+      "  static int main() {";
+      "    int acc = 0;";
+      "    int i = 0;";
+      "    while (i < 100) {";
+      "      Key k = new Key();";
+      "      k.hi = i;";
+      "      k.lo = i + i;";
+      "      acc = acc + Cache.find(k);";
+      "      i = i + 1;";
+      "    }";
+      "    return acc;";
+      "  }";
+      "}";
+    ]
+
+let summaries_section () =
+  header "Interprocedural summaries: keyed-cache lookup across a non-inlined call";
+  let src = summaries_workload () in
+  let base = { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 2 } in
+  let variants =
+    [
+      ("none", Pea_vm.Jit.O_none, false);
+      ("ea", Pea_vm.Jit.O_ea, false);
+      ("ea", Pea_vm.Jit.O_ea, true);
+      ("pea", Pea_vm.Jit.O_pea, false);
+      ("pea", Pea_vm.Jit.O_pea, true);
+    ]
+  in
+  Printf.printf "%-6s %-9s | %12s %14s %12s %14s %12s\n" "opt" "summaries" "allocs"
+    "alloc bytes" "monitors" "cycles" "scratch";
+  let rows =
+    List.map
+      (fun (opt_name, opt, summaries) ->
+        let config = { base with Pea_vm.Jit.opt; summaries } in
+        let program = Pea_bytecode.Link.compile_source src in
+        let vm = Pea_vm.Vm.create ~config program in
+        ignore (Pea_vm.Vm.run_main_iterations vm 2);
+        let before = (Pea_vm.Vm.run_main_iterations vm 0).Pea_vm.Vm.stats in
+        let r = Pea_vm.Vm.run_main_iterations vm 3 in
+        let d getter = getter r.Pea_vm.Vm.stats - getter before in
+        let allocs = d (fun (s : Pea_rt.Stats.snapshot) -> s.Pea_rt.Stats.s_allocations) in
+        let bytes = d (fun s -> s.Pea_rt.Stats.s_allocated_bytes) in
+        let monitors = d (fun s -> s.Pea_rt.Stats.s_monitor_ops) in
+        let cycles = d (fun s -> s.Pea_rt.Stats.s_cycles) in
+        let scratch = d (fun s -> s.Pea_rt.Stats.s_stack_allocs) in
+        Printf.printf "%-6s %-9s | %12d %14d %12d %14d %12d\n%!" opt_name
+          (if summaries then "on" else "off")
+          allocs bytes monitors cycles scratch;
+        (opt_name, summaries, allocs, bytes, monitors, cycles, scratch))
+      variants
+  in
+  let bytes_of opt s =
+    List.find_map
+      (fun (o, sm, _, b, _, _, _) -> if o = opt && sm = s then Some b else None)
+      rows
+  in
+  (match (bytes_of "pea" true, bytes_of "pea" false) with
+  | Some w, Some wo when w < wo ->
+      Printf.printf "summaries win: O_pea allocated bytes %d -> %d (-%.1f%%)\n" wo w
+        (100. *. float_of_int (wo - w) /. float_of_int (max wo 1))
+  | Some w, Some wo -> Printf.printf "summaries win NOT reproduced: %d vs %d\n" w wo
+  | _ -> ());
+  let oc = open_out "BENCH_summaries.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (opt_name, summaries, allocs, bytes, monitors, cycles, scratch) ->
+      Printf.fprintf oc
+        "  {\"opt\": %S, \"summaries\": %b, \"allocations\": %d, \"allocated_bytes\": %d, \
+         \"monitor_ops\": %d, \"cycles\": %d, \"stack_allocs\": %d}%s\n"
+        opt_name summaries allocs bytes monitors cycles scratch
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_summaries.json\n"
+
 (* The paper's §6.1 observation: "the allocations not removed by Partial
    Escape Analysis often contain large arrays". Show the per-class
    breakdown of a representative workload without and with PEA. *)
@@ -287,6 +388,7 @@ let () =
   comparison_section all;
   fig4_section ();
   ablation_section ();
+  summaries_section ();
   breakdown_section ();
   if not fast then bechamel_section ();
   Printf.printf "\ndone.\n"

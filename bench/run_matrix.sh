@@ -1,0 +1,28 @@
+#!/bin/sh
+# Run the tier-1 test suites under every VM configuration the matrix
+# covers: optimization level (none / ea / pea) crossed with
+# interprocedural escape summaries (on / off). The suites read the
+# forced configuration from MJVM_TEST_OPT / MJVM_TEST_SUMMARIES (see
+# test/test_env.ml); a differential or monotonicity failure in any cell
+# is a real bug in that configuration.
+#
+# Usage: bench/run_matrix.sh   (from the repository root)
+
+set -e
+
+cd "$(dirname "$0")/.."
+
+status=0
+for opt in none ea pea; do
+  for summaries in on off; do
+    echo "=== opt=$opt summaries=$summaries ==="
+    if MJVM_TEST_OPT=$opt MJVM_TEST_SUMMARIES=$summaries \
+        dune runtest --force >/dev/null 2>&1; then
+      echo "    ok"
+    else
+      echo "    FAILED (rerun: MJVM_TEST_OPT=$opt MJVM_TEST_SUMMARIES=$summaries dune runtest --force)"
+      status=1
+    fi
+  done
+done
+exit $status

@@ -53,6 +53,14 @@ let no_inline_arg = Arg.(value & flag & info [ "no-inline" ] ~doc:"Disable inlin
 let no_prune_arg =
   Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable speculative cold-branch pruning")
 
+let no_summaries_arg =
+  Arg.(
+    value & flag
+    & info [ "no-summaries" ]
+        ~doc:
+          "Disable interprocedural escape summaries (every non-inlined call becomes a hard \
+           escape point again)")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log JIT events (compilations, deopts)")
 
@@ -62,13 +70,14 @@ let setup_logs verbose =
     Logs.Src.set_level Vm.log_src (Some Logs.Debug)
   end
 
-let config opt threshold no_inline no_prune =
+let config opt threshold no_inline no_prune no_summaries =
   {
     Jit.default_config with
     Jit.opt;
     compile_threshold = threshold;
     inline = not no_inline;
     prune = not no_prune;
+    summaries = not no_summaries;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -76,7 +85,7 @@ let config opt threshold no_inline no_prune =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let action file opt threshold iterations stats no_inline no_prune verbose =
+  let action file opt threshold iterations stats no_inline no_prune no_summaries verbose =
     setup_logs verbose;
     match Link.compile_source (read_file file) with
     | exception Pea_mjava.Lexer.Lex_error (msg, pos) ->
@@ -92,7 +101,7 @@ let run_cmd =
         Printf.eprintf "link error: %s\n" msg;
         exit 1
     | program -> (
-        let vm = Vm.create ~config:(config opt threshold no_inline no_prune) program in
+        let vm = Vm.create ~config:(config opt threshold no_inline no_prune no_summaries) program in
         match Vm.run_main_iterations vm iterations with
         | exception Pea_rt.Interp.Trap msg ->
             Printf.eprintf "runtime trap: %s\n" msg;
@@ -110,14 +119,15 @@ let run_cmd =
                 "allocations: %d\n\
                  allocated bytes: %d\n\
                  monitor ops: %d\n\
+                 scratch (uncharged) objects: %d\n\
                  cycles: %d\n\
                  deopts: %d\n\
                  rematerialized: %d\n\
                  compiled methods: %d\n"
                 r.Vm.stats.Pea_rt.Stats.s_allocations r.Vm.stats.Pea_rt.Stats.s_allocated_bytes
-                r.Vm.stats.Pea_rt.Stats.s_monitor_ops r.Vm.stats.Pea_rt.Stats.s_cycles
-                r.Vm.stats.Pea_rt.Stats.s_deopts r.Vm.stats.Pea_rt.Stats.s_rematerialized
-                r.Vm.stats.Pea_rt.Stats.s_compiled_methods;
+                r.Vm.stats.Pea_rt.Stats.s_monitor_ops r.Vm.stats.Pea_rt.Stats.s_stack_allocs
+                r.Vm.stats.Pea_rt.Stats.s_cycles r.Vm.stats.Pea_rt.Stats.s_deopts
+                r.Vm.stats.Pea_rt.Stats.s_rematerialized r.Vm.stats.Pea_rt.Stats.s_compiled_methods;
               match Vm.class_breakdown vm with
               | [] -> ()
               | breakdown ->
@@ -131,7 +141,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
-      $ no_inline_arg $ no_prune_arg $ verbose_arg)
+      $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a MiniJava program on the tiered VM") term
 
@@ -154,6 +164,7 @@ let stage_conv =
       ("pea", `Pea);
       ("ea", `Ea);
       ("dot", `Dot);
+      ("summaries", `Summaries);
     ]
 
 let stage_arg =
@@ -162,8 +173,8 @@ let stage_arg =
     & opt stage_conv `Pea
     & info [ "stage" ] ~docv:"STAGE"
         ~doc:
-          "Pipeline stage: bytecode, ir (after building), inlined, pea, ea, or dot (Graphviz \
-           after PEA)")
+          "Pipeline stage: bytecode, ir (after building), inlined, pea, ea, dot (Graphviz after \
+           PEA), or summaries (the method's interprocedural escape summary)")
 
 let dump_cmd =
   let action file spec stage =
@@ -184,6 +195,9 @@ let dump_cmd =
     in
     match stage with
     | `Bytecode -> print_string (Classfile.disassemble m)
+    | `Summaries ->
+        let t = Pea_analysis.Summary.analyze program in
+        Format.printf "%a@." (Pea_analysis.Summary.pp_method t) m
     | (`Ir | `Inlined | `Pea | `Ea | `Dot) as stage -> (
         let g = Pea_ir.Builder.build m in
         match stage with
@@ -191,14 +205,15 @@ let dump_cmd =
         | (`Inlined | `Pea | `Ea | `Dot) as stage -> (
             ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
             ignore (Pea_opt.Canonicalize.run g);
-            ignore (Pea_opt.Gvn.run g);
+            let summaries = Pea_analysis.Summary.analyze program in
+            ignore (Pea_opt.Gvn.run ~summaries g);
             match stage with
             | `Inlined -> print_string (Pea_ir.Printer.to_string g)
             | (`Pea | `Ea | `Dot) as stage ->
                 let g', st =
                   match stage with
-                  | `Ea -> Pea_core.Escape.run g
-                  | `Pea | `Dot -> Pea_core.Pea.run g
+                  | `Ea -> Pea_core.Escape.run ~summaries g
+                  | `Pea | `Dot -> Pea_core.Pea.run ~summaries g
                 in
                 ignore (Pea_opt.Canonicalize.run g');
                 if stage = `Dot then print_string (Pea_ir.Printer.to_dot g')

@@ -194,14 +194,24 @@ let find_static p cls name =
   | Some s -> s
   | None -> raise Not_found
 
+(* Class-hierarchy analysis: all methods a virtual call resolved to [m]
+   can reach at runtime, i.e. [m] itself plus every override reachable
+   through a subclass of the declaring class. MJ has no dynamic class
+   loading, so the hierarchy in [p] is closed and this set is exact. *)
+let cha_targets p (m : rt_method) =
+  if m.mth_static then [ m ]
+  else
+    List.fold_left
+      (fun acc c ->
+        if is_subclass ~cls:c ~anc:m.mth_class then
+          match resolve_method c m.mth_name with
+          | Some m' when not (List.exists (fun t -> t.mth_id = m'.mth_id) acc) -> m' :: acc
+          | _ -> acc
+        else acc)
+      [ m ] p.classes
+
 let is_overridden p (m : rt_method) =
-  (not m.mth_static)
-  && List.exists
-       (fun c ->
-         c.cls_id <> m.mth_class.cls_id
-         && is_subclass ~cls:c ~anc:m.mth_class
-         && List.exists (fun m' -> m'.mth_name = m.mth_name) c.cls_methods)
-       p.classes
+  match cha_targets p m with [] | [ _ ] -> false | _ -> true
 
 let compile_source ?require_main src =
   let ast = Parser.parse_program src in

@@ -31,6 +31,13 @@ val find_method : program -> string -> string -> Classfile.rt_method
     @raise Not_found if absent. *)
 val find_static : program -> string -> string -> Classfile.rt_static_field
 
+(** [cha_targets p m] is the exact set of methods a virtual call
+    resolved to [m] can dispatch to at runtime: [m] itself plus every
+    override in a subclass of its declaring class. MJ has no dynamic
+    class loading, so the hierarchy is closed and the set is complete.
+    For static methods the result is [[m]]. *)
+val cha_targets : program -> Classfile.rt_method -> Classfile.rt_method list
+
 (** [is_overridden p m] is [true] iff some class in [p] overrides [m].
     Used for class-hierarchy-analysis devirtualization. *)
 val is_overridden : program -> Classfile.rt_method -> bool

@@ -1,6 +1,7 @@
 open Pea_ir
+module Summary = Pea_analysis.Summary
 
-let escaping_allocations (g : Graph.t) : Node.node_id -> bool =
+let escaping_allocations ?summaries (g : Graph.t) : Node.node_id -> bool =
   let n = Graph.n_nodes g in
   let uf = Pea_support.Union_find.create n in
   let reachable = Graph.reachable g in
@@ -21,15 +22,32 @@ let escaping_allocations (g : Graph.t) : Node.node_id -> bool =
     | Node.Store_field (o, _, v) -> deferred := (o, v) :: !deferred
     | Node.Store_static (_, v) -> escape v
     | Node.Array_store (_, _, v) -> escape v
-    | Node.Invoke (_, _, args) ->
-        (* arguments escape into the callee; the result is external *)
-        Array.iter escape args;
+    | Node.Invoke (k, m, args) ->
+        (* arguments escape into the callee — unless an interprocedural
+           summary proves the callee neither retains nor mutates that
+           position (the PEA engine still re-checks reference loads per
+           call site); the result is external *)
+        (match summaries with
+        | None -> Array.iter escape args
+        | Some t ->
+            let cs = Summary.call_summary t k m in
+            Array.iteri
+              (fun j a ->
+                if
+                  not
+                    (j < Array.length cs.Summary.s_params
+                    && Summary.transparent cs.Summary.s_params.(j))
+                then escape a)
+              args);
         escape id
     | Node.Load_field _ | Node.Load_static _ | Node.Array_load _ ->
         (* loaded references come from the heap: external *)
         escape id
     | Node.New_array _ ->
         (* arrays are never virtualized *)
+        escape id
+    | Node.Stack_alloc _ | Node.Stack_alloc_array _ ->
+        (* scratch objects from an earlier pass are already real *)
         escape id
     | Node.Const _ | Node.Param _ | Node.Arith _ | Node.Neg _ | Node.Not _ | Node.Cmp _
     | Node.RefCmp _ | Node.Array_length _ | Node.Monitor_enter _ | Node.Monitor_exit _
@@ -66,4 +84,5 @@ let escaping_allocations (g : Graph.t) : Node.node_id -> bool =
   done;
   fun id -> id < n && Pea_support.Union_find.escaped uf id
 
-let run (g : Graph.t) = Pea.run ~force_escape:(escaping_allocations g) g
+let run ?summaries (g : Graph.t) =
+  Pea.run ~force_escape:(escaping_allocations ?summaries g) ?summaries g

@@ -11,12 +11,15 @@
 
 open Pea_ir
 
-(** [escaping_allocations g] computes the set of [New]/[Alloc] nodes whose
-    equi-escape set contains an escape marker, as a predicate on node
-    ids. *)
-val escaping_allocations : Graph.t -> Node.node_id -> bool
+(** [escaping_allocations ?summaries g] computes the set of [New]/[Alloc]
+    nodes whose equi-escape set contains an escape marker, as a predicate
+    on node ids. When interprocedural [summaries] are supplied, call
+    arguments whose position the callee provably neither retains nor
+    mutates are no longer pre-marked as escaping. *)
+val escaping_allocations :
+  ?summaries:Pea_analysis.Summary.t -> Graph.t -> Node.node_id -> bool
 
-(** [run g] is the all-or-nothing scalar replacement: classic escape
-    analysis followed by whole-method scalar replacement of the
+(** [run ?summaries g] is the all-or-nothing scalar replacement: classic
+    escape analysis followed by whole-method scalar replacement of the
     non-escaping allocations. *)
-val run : Graph.t -> Graph.t * Pea.pass_stats
+val run : ?summaries:Pea_analysis.Summary.t -> Graph.t -> Graph.t * Pea.pass_stats

@@ -1,5 +1,6 @@
 open Pea_ir
 open Pea_state
+module Summary = Pea_analysis.Summary
 
 type pass_stats = {
   mutable virtualized_allocs : int;
@@ -8,6 +9,7 @@ type pass_stats = {
   mutable removed_stores : int;
   mutable removed_monitor_ops : int;
   mutable folded_checks : int;
+  mutable scratch_args : int; (* virtual objects passed to callees as scratch objects *)
 }
 
 let mk_stats () =
@@ -18,6 +20,7 @@ let mk_stats () =
     removed_stores = 0;
     removed_monitor_ops = 0;
     folded_checks = 0;
+    scratch_args = 0;
   }
 
 type ctx = {
@@ -26,6 +29,7 @@ type ctx = {
   vmap : (int, pvalue) Hashtbl.t; (* input node id -> translated value *)
   obj_ids : Pea_support.Fresh.t;
   force_escape : int -> bool;
+  summaries : Summary.t option; (* interprocedural escape summaries, if enabled *)
   end_states : Pea_state.t option array; (* per input block *)
   loops : Loops.t;
   pstats : pass_stats;
@@ -438,10 +442,113 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
       | Pobj _ -> () (* tracked allocations are never null *)
       | pv -> ignore (emit ctx ob (Node.Null_check (nof pv))))
   | Node.Invoke (k, m, args) ->
-      (* arguments escape into the callee *)
-      let arg_nodes = Array.map (fun a -> nof (tr ctx a)) args in
+      (* Without a summary, arguments escape into the callee and any
+         virtual argument is materialized (§5's hard escape point). With
+         an interprocedural summary, an argument position the callee
+         provably neither retains nor mutates may instead receive a
+         *scratch* object ([Stack_alloc]): a real object carrying the
+         tracked field values that is built without charging a heap
+         allocation and is dead once the call returns, so the virtual
+         object stays virtual in the caller. *)
+      let summary =
+        match ctx.summaries with
+        | None -> None
+        | Some t -> (
+            match k with
+            | Node.Static | Node.Special -> Some (Summary.call_summary t k m)
+            | Node.Virtual -> (
+                (* a virtual receiver has a known exact class: dispatch is
+                   static and we can use that one target's summary *)
+                match
+                  (if Array.length args > 0 then virtual_of (tr ctx args.(0)) else None)
+                with
+                | Some (_, { shape = Obj_shape c; _ }) -> Some (Summary.exact_summary t c m)
+                | _ -> Some (Summary.call_summary t k m)))
+      in
+      (* Per distinct virtual object: scratch only if every position it
+         occupies is transparent, otherwise one position would receive the
+         materialized object and another the scratch, breaking reference
+         identity inside the callee. *)
+      let scratch_ok : (int, bool) Hashtbl.t = Hashtbl.create 4 in
+      (match summary with
+      | None -> ()
+      | Some cs ->
+          Array.iteri
+            (fun j a ->
+              match virtual_of (tr ctx a) with
+              | Some (oid, v) ->
+                  let ok_here =
+                    j < Array.length cs.Summary.s_params
+                    && Summary.transparent cs.Summary.s_params.(j)
+                    && ((not cs.Summary.s_params.(j).Summary.ps_ref_loaded)
+                       || Array.for_all
+                            (function Pobj _ -> false | Pnode _ | Pconst _ -> true)
+                            v.fields)
+                    && v.lock_count = 0
+                  in
+                  Hashtbl.replace scratch_ok oid
+                    (ok_here
+                    && Option.value (Hashtbl.find_opt scratch_ok oid) ~default:true)
+              | None -> ())
+            args);
+      let planned oid = Hashtbl.find_opt scratch_ok oid = Some true in
+      (* Pass 1: materialize all non-scratch arguments. This may
+         transitively materialize an object scheduled for scratching (it
+         became reachable from an escaping one); pass 2 re-checks. *)
+      let arg_nodes = Array.make (Array.length args) (-1) in
+      Array.iteri
+        (fun j a ->
+          let pv = tr ctx a in
+          match pv with
+          | Pobj oid when planned oid -> ()
+          | pv -> arg_nodes.(j) <- nof pv)
+        args;
+      (* Pass 2: emit one scratch per still-virtual object. *)
+      let scratch_nodes : (int, Node.node_id) Hashtbl.t = Hashtbl.create 4 in
+      Array.iteri
+        (fun j a ->
+          match tr ctx a with
+          | Pobj oid when planned oid ->
+              arg_nodes.(j) <-
+                (match Hashtbl.find_opt scratch_nodes oid with
+                | Some nd -> nd
+                | None ->
+                    let nd =
+                      match find !sref oid with
+                      | Some (Virtual { shape; fields; _ }) ->
+                          let fnodes =
+                            Array.map
+                              (function
+                                | Pnode x -> x
+                                | Pconst c -> emit ctx ob (Node.Const c)
+                                | Pobj _ ->
+                                    (* only reachable when the callee never
+                                       loads this reference field *)
+                                    emit ctx ob (Node.Const Node.Cnull))
+                              fields
+                          in
+                          ctx.pstats.scratch_args <- ctx.pstats.scratch_args + 1;
+                          (match shape with
+                          | Obj_shape cls -> emit ctx ob (Node.Stack_alloc (cls, fnodes))
+                          | Arr_shape elem ->
+                              emit ctx ob (Node.Stack_alloc_array (elem, fnodes)))
+                      | _ ->
+                          (* materialized transitively during pass 1 *)
+                          nof (Pobj oid)
+                    in
+                    Hashtbl.replace scratch_nodes oid nd;
+                    nd)
+          | _ -> ())
+        args;
       let out = emit ?fs:(fs ()) ctx ob (Node.Invoke (k, m, arg_nodes)) in
       if Node.produces_value n.Node.op then set_tr ctx n.Node.id (Pnode out)
+  | Node.Stack_alloc (cls, args) ->
+      (* produced by an earlier PEA pass: keep as-is with translated operands *)
+      let arg_nodes = Array.map (fun a -> nof (tr ctx a)) args in
+      set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Stack_alloc (cls, arg_nodes))))
+  | Node.Stack_alloc_array (elem, args) ->
+      let arg_nodes = Array.map (fun a -> nof (tr ctx a)) args in
+      set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Stack_alloc_array (elem, arg_nodes))))
   | Node.Print a -> ignore (emit ?fs:(fs ()) ctx ob (Node.Print (nof (tr ctx a))))
 
 (* ------------------------------------------------------------------ *)
@@ -969,8 +1076,8 @@ let rec process_loop ctx header ~mark =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(force_escape = fun _ -> false) ?(prune_dead_objects = true) (in_g : Graph.t) :
-    Graph.t * pass_stats =
+let run ?(force_escape = fun _ -> false) ?(prune_dead_objects = true) ?summaries
+    (in_g : Graph.t) : Graph.t * pass_stats =
   let doms = Dominators.compute in_g in
   let loops = Loops.compute in_g doms in
   let out_g = Graph.create in_g.Graph.g_method in
@@ -988,6 +1095,7 @@ let run ?(force_escape = fun _ -> false) ?(prune_dead_objects = true) (in_g : Gr
       vmap = Hashtbl.create 256;
       obj_ids = Pea_support.Fresh.create ();
       force_escape;
+      summaries;
       prune_dead_objects;
       end_states = Array.make (Graph.n_blocks in_g) None;
       loops;

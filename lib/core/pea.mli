@@ -28,6 +28,9 @@ type pass_stats = {
   mutable removed_stores : int;
   mutable removed_monitor_ops : int; (* enters + exits elided *)
   mutable folded_checks : int; (* reference equalities / instanceof / casts folded *)
+  mutable scratch_args : int;
+      (* virtual objects passed to non-inlined callees as scratch
+         ([Stack_alloc]) objects instead of being materialized *)
 }
 
 (** [mk_stats ()] is a zeroed statistics record. *)
@@ -48,9 +51,17 @@ val mk_stats : unit -> pass_stats
     it afterwards — which destroys the benefit whenever inlining turns the
     callee's returns into a merge. Exposed for the ablation benchmark.
 
+    [summaries] supplies interprocedural escape summaries (see
+    {!Pea_analysis.Summary}). With them, an [Invoke] is no longer a hard
+    escape point: a virtual argument whose position the callee summary
+    proves transparent (no escape, no write, and any reference loads
+    satisfiable from the tracked fields) is passed as an uncharged
+    scratch object ([Stack_alloc]) and stays virtual in the caller.
+
     @raise Failure on malformed input graphs. *)
 val run :
   ?force_escape:(Node.node_id -> bool) ->
   ?prune_dead_objects:bool ->
+  ?summaries:Pea_analysis.Summary.t ->
   Graph.t ->
   Graph.t * pass_stats

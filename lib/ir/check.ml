@@ -92,6 +92,112 @@ let check ?(require_frame_states = true) (g : Graph.t) : error list =
           (Graph.successors b.Graph.term)
       end)
     g;
+  (* --- dominance: every use is dominated by its definition ------------ *)
+  let doms = Dominators.compute g in
+  (* position of every definition: params dominate everything; a phi is
+     defined at the top of its block (index -1), instruction [i] at
+     index [i]. *)
+  let pos : (Node.node_id, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (p : Node.t) -> Hashtbl.replace pos p.Node.id (-1, 0)) g.Graph.params;
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        List.iter
+          (fun (n : Node.t) -> Hashtbl.replace pos n.Node.id (b.Graph.b_id, -1))
+          b.Graph.phis;
+        Pea_support.Dyn_array.iteri
+          (fun i (n : Node.t) -> Hashtbl.replace pos n.Node.id (b.Graph.b_id, i))
+          b.Graph.instrs
+      end)
+    g;
+  let dominated_use def ~ub ~ui =
+    match Hashtbl.find_opt pos def with
+    | None -> true (* undefined operands are already reported above *)
+    | Some (db, _) when db = -1 -> true
+    | Some (db, di) -> if db = ub then di < ui else Dominators.dominates doms db ub
+  in
+  let check_dom user def ~ub ~ui =
+    if not (dominated_use def ~ub ~ui) then
+      add "v%d used by %s in B%d is not dominated by its definition" def user ub
+  in
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        let bid = b.Graph.b_id in
+        (* a phi use happens at the end of the corresponding predecessor *)
+        List.iter
+          (fun (phi : Node.t) ->
+            match phi.Node.op with
+            | Node.Phi p ->
+                List.iteri
+                  (fun i pred ->
+                    if i < Array.length p.Node.inputs then
+                      check_dom
+                        (Printf.sprintf "phi v%d (input %d)" phi.Node.id i)
+                        p.Node.inputs.(i) ~ub:pred ~ui:max_int)
+                  b.Graph.preds
+            | _ -> ())
+          b.Graph.phis;
+        Pea_support.Dyn_array.iteri
+          (fun i (n : Node.t) ->
+            Node.iter_operands
+              (fun o -> check_dom (Printf.sprintf "v%d" n.Node.id) o ~ub:bid ~ui:i)
+              n.Node.op;
+            (* a frame state describes the state just after the node's
+               effect, so it may legitimately reference the node itself *)
+            Option.iter
+              (fun fs ->
+                List.iter
+                  (fun o ->
+                    check_dom
+                      (Printf.sprintf "frame state of v%d" n.Node.id)
+                      o ~ub:bid ~ui:(i + 1))
+                  (Frame_state.node_ids fs))
+              n.Node.fs)
+          b.Graph.instrs;
+        let term_use user o = check_dom user o ~ub:bid ~ui:max_int in
+        match b.Graph.term with
+        | Graph.If { cond; _ } -> term_use (Printf.sprintf "terminator of B%d" bid) cond
+        | Graph.Return (Some v) -> term_use (Printf.sprintf "terminator of B%d" bid) v
+        | Graph.Deopt fs ->
+            List.iter (term_use (Printf.sprintf "deopt state of B%d" bid)) (Frame_state.node_ids fs)
+        | Graph.Goto _ | Graph.Return None | Graph.Trap _ | Graph.Unreachable -> ()
+      end)
+    g;
+  (* --- frame-state well-formedness: virtual-object descriptors -------- *)
+  (* Every F_virtual referenced anywhere in a frame-state chain (locals,
+     stack, locks, or another descriptor's fields) must have a descriptor
+     somewhere in that chain, or deoptimization cannot rematerialize it. *)
+  let check_fs_virtuals user (fs : Frame_state.t) =
+    let declared = Hashtbl.create 8 in
+    let rec collect (f : Frame_state.t) =
+      List.iter (fun (id, _) -> Hashtbl.replace declared id ()) f.Frame_state.fs_virtuals;
+      Option.iter collect f.Frame_state.fs_outer
+    in
+    collect fs;
+    Frame_state.iter_values
+      (function
+        | Frame_state.F_virtual vid ->
+            if not (Hashtbl.mem declared vid) then
+              add "%s references virtual object #%d without a descriptor" user vid
+        | Frame_state.F_node _ | Frame_state.F_const _ -> ())
+      fs
+  in
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        Pea_support.Dyn_array.iter
+          (fun (n : Node.t) ->
+            Option.iter
+              (check_fs_virtuals (Printf.sprintf "frame state of v%d" n.Node.id))
+              n.Node.fs)
+          b.Graph.instrs;
+        match b.Graph.term with
+        | Graph.Deopt fs ->
+            check_fs_virtuals (Printf.sprintf "deopt state of B%d" b.Graph.b_id) fs
+        | _ -> ()
+      end)
+    g;
   List.rev !errors
 
 (* [check_exn g] raises [Failure] with a readable message on the first

@@ -7,7 +7,13 @@
       blocks;
     - terminator targets exist and predecessor/successor lists agree;
     - invokes carry frame states (other side-effecting nodes may lose
-      theirs when escape analysis re-emits them during materialization). *)
+      theirs when escape analysis re-emits them during materialization);
+    - every use of a value is dominated by its definition (instruction
+      operands, frame states, terminators; phi inputs are checked at the
+      end of the corresponding predecessor), via {!Dominators};
+    - every [F_virtual] reference in a frame-state chain has a matching
+      virtual-object descriptor somewhere in that chain, so
+      deoptimization can rematerialize it. *)
 
 type error = string
 

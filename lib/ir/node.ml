@@ -43,6 +43,13 @@ type op =
       (* materialization of a scalar-replaced fixed-length array,
          initialized with the given element values *)
   | New_array of Pea_mjava.Ast.ty * node_id (* element type, length *)
+  | Stack_alloc of Classfile.rt_class * node_id array
+      (* scratch materialization: builds a real object with the given
+         field values but charges no heap allocation; emitted by PEA
+         when a virtual object is passed to a non-inlined callee whose
+         summary proves the argument cannot escape or be written *)
+  | Stack_alloc_array of Pea_mjava.Ast.ty * node_id array
+      (* scratch materialization of a scalar-replaced fixed-length array *)
   | Load_field of node_id * Classfile.rt_field
   | Store_field of node_id * Classfile.rt_field * node_id
   | Load_static of Classfile.rt_static_field
@@ -80,7 +87,8 @@ let is_pure (op : op) =
   | Const _ | Param _ | Phi _ | Arith ((Add | Sub | Mul), _, _) | Neg _ | Not _ | Cmp _
   | RefCmp _ | Instance_of _ ->
       true
-  | Arith ((Div | Rem), _, _) | New _ | Alloc _ | Alloc_array _ | New_array _ | Load_field _ | Store_field _
+  | Arith ((Div | Rem), _, _) | New _ | Alloc _ | Alloc_array _ | New_array _
+  | Stack_alloc _ | Stack_alloc_array _ | Load_field _ | Store_field _
   | Load_static _ | Store_static _ | Array_load _ | Array_store _ | Array_length _
   | Monitor_enter _ | Monitor_exit _ | Invoke _ | Check_cast _ | Null_check _ | Print _ ->
       false
@@ -93,8 +101,9 @@ let has_side_effect (op : op) =
   | Invoke _ | Print _ ->
       true
   | Const _ | Param _ | Phi _ | Arith _ | Neg _ | Not _ | Cmp _ | RefCmp _ | New _ | Alloc _
-  | Alloc_array _ | New_array _ | Load_field _ | Load_static _ | Array_load _ | Array_length _
-  | Instance_of _ | Check_cast _ | Null_check _ ->
+  | Alloc_array _ | New_array _ | Stack_alloc _ | Stack_alloc_array _ | Load_field _
+  | Load_static _ | Array_load _ | Array_length _ | Instance_of _ | Check_cast _
+  | Null_check _ ->
       false
 
 (* Does the node produce a value that other nodes may use? *)
@@ -106,8 +115,8 @@ let produces_value (op : op) =
   | Invoke (Special, _, _) -> false
   | Invoke (_, m, _) -> m.Classfile.mth_ret <> None
   | Const _ | Param _ | Phi _ | Arith _ | Neg _ | Not _ | Cmp _ | RefCmp _ | New _ | Alloc _
-  | Alloc_array _ | New_array _ | Load_field _ | Load_static _ | Array_load _ | Array_length _
-  | Instance_of _ | Check_cast _ ->
+  | Alloc_array _ | New_array _ | Stack_alloc _ | Stack_alloc_array _ | Load_field _
+  | Load_static _ | Array_load _ | Array_length _ | Instance_of _ | Check_cast _ ->
       true
 
 (* ------------------------------------------------------------------ *)
@@ -132,7 +141,9 @@ let iter_operands f (op : op) =
       f a;
       f b;
       f c
-  | Alloc (_, args) | Alloc_array (_, args) | Invoke (_, _, args) -> Array.iter f args
+  | Alloc (_, args) | Alloc_array (_, args) | Stack_alloc (_, args) | Stack_alloc_array (_, args)
+  | Invoke (_, _, args) ->
+      Array.iter f args
 
 let map_operands f (op : op) : op =
   match op with
@@ -158,6 +169,8 @@ let map_operands f (op : op) : op =
   | Array_store (a, b, c) -> Array_store (f a, f b, f c)
   | Alloc (c, args) -> Alloc (c, Array.map f args)
   | Alloc_array (t, args) -> Alloc_array (t, Array.map f args)
+  | Stack_alloc (c, args) -> Stack_alloc (c, Array.map f args)
+  | Stack_alloc_array (t, args) -> Stack_alloc_array (t, Array.map f args)
   | Invoke (k, m, args) -> Invoke (k, m, Array.map f args)
 
 (* ------------------------------------------------------------------ *)
@@ -189,6 +202,12 @@ let string_of_op (op : op) =
       Printf.sprintf "allocarray %s[%s]" (Pea_mjava.Ast.string_of_ty t)
         (String.concat ", " (Array.to_list (Array.map v elems)))
   | New_array (t, len) -> Printf.sprintf "newarray %s[%s]" (Pea_mjava.Ast.string_of_ty t) (v len)
+  | Stack_alloc (c, fields) ->
+      Printf.sprintf "stackalloc %s(%s)" c.cls_name
+        (String.concat ", " (Array.to_list (Array.map v fields)))
+  | Stack_alloc_array (t, elems) ->
+      Printf.sprintf "stackallocarray %s[%s]" (Pea_mjava.Ast.string_of_ty t)
+        (String.concat ", " (Array.to_list (Array.map v elems)))
   | Load_field (o, f) -> Printf.sprintf "%s.%s" (v o) f.fld_name
   | Store_field (o, f, x) -> Printf.sprintf "%s.%s = %s" (v o) f.fld_name (v x)
   | Load_static s -> Printf.sprintf "%s.%s" s.sf_owner s.sf_name

@@ -46,6 +46,14 @@ type op =
   | Alloc_array of Pea_mjava.Ast.ty * node_id array
       (* materialization of a scalar-replaced fixed-length array *)
   | New_array of Pea_mjava.Ast.ty * node_id (* element type, dynamic length *)
+  | Stack_alloc of Classfile.rt_class * node_id array
+      (* scratch materialization: builds a real object with the given
+         field values but charges no heap allocation; emitted by PEA when
+         a virtual object is passed to a non-inlined callee whose
+         interprocedural summary proves the argument cannot escape or be
+         written (see {!Pea_analysis.Summary}) *)
+  | Stack_alloc_array of Pea_mjava.Ast.ty * node_id array
+      (* scratch materialization of a scalar-replaced fixed-length array *)
   | Load_field of node_id * Classfile.rt_field
   | Store_field of node_id * Classfile.rt_field * node_id
   | Load_static of Classfile.rt_static_field

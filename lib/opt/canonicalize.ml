@@ -73,7 +73,7 @@ let simplify_op (const_of : Node.node_id -> Node.const option) (op : Node.op) : 
       else if is_null a && is_null b then eq_result true
       else None
   | Node.Const _ | Node.Param _ | Node.Phi _ | Node.New _ | Node.Alloc _ | Node.Alloc_array _
-  | Node.New_array _
+  | Node.New_array _ | Node.Stack_alloc _ | Node.Stack_alloc_array _
   | Node.Load_field _ | Node.Store_field _ | Node.Load_static _ | Node.Store_static _
   | Node.Array_load _ | Node.Array_store _ | Node.Array_length _ | Node.Monitor_enter _
   | Node.Monitor_exit _ | Node.Invoke _ | Node.Instance_of _ | Node.Check_cast _

@@ -5,6 +5,7 @@
 
 open Pea_ir
 open Pea_bytecode
+module Summary = Pea_analysis.Summary
 
 (* Keys must avoid structural equality over runtime-class records (they are
    cyclic); everything is rendered into a flat string over ids. *)
@@ -29,12 +30,33 @@ let key_of_op resolve (op : Node.op) : string option =
   | Node.Instance_of (a, cls) -> Some (Printf.sprintf "instanceof:%s:%d" (v a) cls.cls_id)
   | Node.Array_length a -> Some ("arraylength:" ^ v a)
   | Node.Param _ | Node.Phi _ | Node.New _ | Node.Alloc _ | Node.Alloc_array _ | Node.New_array _
+  | Node.Stack_alloc _ | Node.Stack_alloc_array _
   | Node.Load_field _ | Node.Store_field _ | Node.Load_static _ | Node.Store_static _
   | Node.Array_load _ | Node.Array_store _ | Node.Monitor_enter _ | Node.Monitor_exit _
   | Node.Invoke _ | Node.Check_cast _ | Node.Null_check _ | Node.Print _ ->
       None
 
-let run (g : Graph.t) =
+(* Calls whose summary proves them pure, heap-independent and
+   scalar-returning compute the same value for the same arguments and have
+   no observable effects, so a dominated duplicate can be value-numbered
+   like a pure node. The duplicate must then be removed physically:
+   [Cfg_utils.cleanup] only drops [is_pure] nodes. *)
+let key_of_invoke resolve summaries (op : Node.op) : string option =
+  match (op, summaries) with
+  | Node.Invoke (k, m, args), Some t ->
+      let cs = Summary.call_summary t k m in
+      if Summary.mergeable_call cs m then
+        let tag =
+          match k with Node.Virtual -> "v" | Node.Static -> "s" | Node.Special -> "c"
+        in
+        Some
+          (Printf.sprintf "invoke%s:%d:%s" tag m.mth_id
+             (String.concat ":"
+                (List.map (fun a -> string_of_int (resolve a)) (Array.to_list args))))
+      else None
+  | _ -> None
+
+let run ?summaries (g : Graph.t) =
   let doms = Dominators.compute g in
   let kids = Dominators.children doms (Graph.n_blocks g) in
   let table : (string, Node.node_id) Hashtbl.t = Hashtbl.create 64 in
@@ -43,17 +65,26 @@ let run (g : Graph.t) =
     match Hashtbl.find_opt subst id with Some v when v <> id -> resolve v | _ -> id
   in
   let changed = ref false in
+  let removed_invokes : (Node.node_id, unit) Hashtbl.t = Hashtbl.create 4 in
   let rec walk block_id =
     let b = Graph.block g block_id in
     let added = ref [] in
     Pea_support.Dyn_array.iter
       (fun (n : Node.t) ->
         if not (Hashtbl.mem subst n.Node.id) then
-          match key_of_op resolve n.Node.op with
+          let key =
+            match key_of_op resolve n.Node.op with
+            | Some _ as k -> k
+            | None -> key_of_invoke resolve summaries n.Node.op
+          in
+          match key with
           | Some key -> (
               match Hashtbl.find_opt table key with
               | Some existing ->
                   Hashtbl.replace subst n.Node.id existing;
+                  (match n.Node.op with
+                  | Node.Invoke _ -> Hashtbl.replace removed_invokes n.Node.id ()
+                  | _ -> ());
                   changed := true
               | None ->
                   Hashtbl.add table key n.Node.id;
@@ -64,6 +95,20 @@ let run (g : Graph.t) =
     List.iter (fun key -> Hashtbl.remove table key) !added
   in
   walk Graph.entry_id;
+  if Hashtbl.length removed_invokes > 0 then
+    Graph.iter_blocks
+      (fun b ->
+        let kept =
+          List.filter
+            (fun (n : Node.t) -> not (Hashtbl.mem removed_invokes n.Node.id))
+            (Graph.instr_list b)
+        in
+        if List.length kept <> Pea_support.Dyn_array.length b.Graph.instrs then begin
+          Pea_support.Dyn_array.clear b.Graph.instrs;
+          List.iter (fun n -> ignore (Pea_support.Dyn_array.push b.Graph.instrs n)) kept
+        end)
+      g;
+  Hashtbl.iter (fun id () -> Graph.delete_node g id) removed_invokes;
   if !changed then begin
     Graph.substitute_uses g resolve;
     Cfg_utils.cleanup g

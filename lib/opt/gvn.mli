@@ -7,6 +7,9 @@
 
 open Pea_ir
 
-(** [run g] value-numbers [g] in place; returns [true] if anything was
-    replaced. *)
-val run : Graph.t -> bool
+(** [run ?summaries g] value-numbers [g] in place; returns [true] if
+    anything was replaced. With interprocedural [summaries], calls that
+    are provably pure, heap-independent and scalar-returning are numbered
+    too: a dominated duplicate invocation with identical arguments is
+    deleted and its uses rewired to the first call's result. *)
+val run : ?summaries:Pea_analysis.Summary.t -> Graph.t -> bool

@@ -1,5 +1,6 @@
 open Pea_ir
 open Pea_bytecode
+module Summary = Pea_analysis.Summary
 
 (* Remembered memory contents within one block. Keys use node ids (SSA
    values), so equality is identity of the address computation. *)
@@ -14,7 +15,7 @@ let kill_everything t =
   t.statics <- [];
   t.arrays <- []
 
-let run (g : Graph.t) =
+let run ?summaries (g : Graph.t) =
   let changed = ref false in
   let subst : (Node.node_id, Node.node_id) Hashtbl.t = Hashtbl.create 16 in
   let reachable = Graph.reachable g in
@@ -97,13 +98,22 @@ let run (g : Graph.t) =
                   t.arrays <- [ ((resolve a, resolve i), resolve v) ];
                   ignore v;
                   true
-              | Node.Invoke _ | Node.Monitor_enter _ | Node.Monitor_exit _ ->
-                  (* calls may write anything; monitors order memory *)
+              | Node.Invoke (k, m, _) ->
+                  (* calls may write anything — unless the callee's summary
+                     proves it pure (no caller-visible writes), in which
+                     case every remembered value survives the call *)
+                  (match summaries with
+                  | Some tbl when (Summary.call_summary tbl k m).Summary.s_pure -> ()
+                  | _ -> kill_everything t);
+                  true
+              | Node.Monitor_enter _ | Node.Monitor_exit _ ->
+                  (* monitors order memory *)
                   kill_everything t;
                   true
               | Node.Const _ | Node.Param _ | Node.Phi _ | Node.Arith _ | Node.Neg _
               | Node.Not _ | Node.Cmp _ | Node.RefCmp _ | Node.New _ | Node.Alloc _
-              | Node.Alloc_array _ | Node.New_array _ | Node.Array_length _
+              | Node.Alloc_array _ | Node.New_array _ | Node.Stack_alloc _
+              | Node.Stack_alloc_array _ | Node.Array_length _
               | Node.Instance_of _ | Node.Check_cast _ | Node.Null_check _ | Node.Print _ ->
                   true)
             (Graph.instr_list b)

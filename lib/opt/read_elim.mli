@@ -19,6 +19,8 @@
 
 open Pea_ir
 
-(** [run g] applies read elimination block-locally. Returns [true] if the
-    graph changed. *)
-val run : Graph.t -> bool
+(** [run ?summaries g] applies read elimination block-locally. Returns
+    [true] if the graph changed. With interprocedural [summaries], calls
+    whose callee is provably pure no longer clobber the remembered
+    values. *)
+val run : ?summaries:Pea_analysis.Summary.t -> Graph.t -> bool

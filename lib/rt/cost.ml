@@ -25,6 +25,10 @@ let alloc_per_byte_den = 2 (* +0.5 cycles per byte *)
 
 let alloc_cost bytes = alloc_base + (bytes * alloc_per_byte_num / alloc_per_byte_den)
 
+(* Scratch (stack-like) allocation of a summary-cleared call argument:
+   no GC pressure, just writing the fields into a frame-local object. *)
+let stack_alloc = 4
+
 (* Uncontended monitor acquire/release. *)
 let monitor_op = 15
 

@@ -25,6 +25,10 @@ val alloc_per_byte_den : int
 (** [alloc_cost bytes] = base + amortized GC pressure by size. *)
 val alloc_cost : int -> int
 
+(** Scratch (stack-like) allocation of a summary-cleared call argument:
+    no GC pressure, only frame-local initialization. *)
+val stack_alloc : int
+
 (** Uncontended monitor acquire/release. *)
 val monitor_op : int
 

@@ -48,6 +48,22 @@ let alloc_object t (cls : Classfile.rt_class) : Value.obj =
     o_lock = 0;
   }
 
+(* Scratch allocations: real objects backing a virtual object that an
+   interprocedural summary lets PEA pass to a non-inlined callee. They
+   never outlive the call (the summary proves the callee cannot retain
+   them), so they are costed like stack frame traffic: no allocation
+   count, no allocated bytes, no GC pressure. *)
+let alloc_object_scratch t (cls : Classfile.rt_class) : Value.obj =
+  t.stats.stack_allocs <- t.stats.stack_allocs + 1;
+  t.stats.cycles <- t.stats.cycles + Cost.stack_alloc;
+  {
+    o_id = fresh_id t;
+    o_cls = cls;
+    o_fields =
+      Array.map (fun (f : Classfile.rt_field) -> Value.default_value f.fld_ty) cls.cls_instance_fields;
+    o_lock = 0;
+  }
+
 exception Negative_array_size of int
 
 let alloc_array t elem len : Value.arr =
@@ -59,6 +75,11 @@ let alloc_array t elem len : Value.arr =
     a_elems = Array.make len (Value.default_value elem);
     a_lock = 0;
   }
+
+let alloc_array_scratch t elem len : Value.arr =
+  t.stats.stack_allocs <- t.stats.stack_allocs + 1;
+  t.stats.cycles <- t.stats.cycles + Cost.stack_alloc;
+  { a_id = fresh_id t; a_elem = elem; a_elems = Array.make len (Value.default_value elem); a_lock = 0 }
 
 (* Monitor operations; [who] is only used in trap messages. *)
 exception Unbalanced_monitor of string

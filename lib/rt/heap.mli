@@ -32,6 +32,17 @@ exception Negative_array_size of int
     @raise Negative_array_size if [len < 0]. *)
 val alloc_array : t -> Pea_mjava.Ast.ty -> int -> Value.arr
 
+(** [alloc_object_scratch t cls] builds a real object without charging an
+    allocation: it backs a virtual object passed to a callee whose summary
+    proves the argument cannot escape. Only {!Stats.t.stack_allocs} and a
+    small cycle cost are counted. *)
+val alloc_object_scratch : t -> Classfile.rt_class -> Value.obj
+
+(** [alloc_array_scratch t elem len] — scratch counterpart of
+    {!alloc_array}; [len] comes from a virtual object's field count and is
+    never negative. *)
+val alloc_array_scratch : t -> Pea_mjava.Ast.ty -> int -> Value.arr
+
 exception Unbalanced_monitor of string
 
 (** [monitor_enter t v] acquires [v]'s lock (recursively) and counts one

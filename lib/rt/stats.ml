@@ -6,6 +6,7 @@ type t = {
   mutable allocations : int;
   mutable allocated_bytes : int;
   mutable monitor_ops : int;
+  mutable stack_allocs : int; (* scratch allocations from summary-backed PEA *)
   mutable cycles : int;
   mutable deopts : int;
   mutable rematerialized : int; (* virtual objects re-allocated during deopt *)
@@ -20,6 +21,7 @@ let create () =
     allocations = 0;
     allocated_bytes = 0;
     monitor_ops = 0;
+    stack_allocs = 0;
     cycles = 0;
     deopts = 0;
     rematerialized = 0;
@@ -33,6 +35,7 @@ let reset t =
   t.allocations <- 0;
   t.allocated_bytes <- 0;
   t.monitor_ops <- 0;
+  t.stack_allocs <- 0;
   t.cycles <- 0;
   t.deopts <- 0;
   t.rematerialized <- 0;
@@ -45,6 +48,7 @@ type snapshot = {
   s_allocations : int;
   s_allocated_bytes : int;
   s_monitor_ops : int;
+  s_stack_allocs : int;
   s_cycles : int;
   s_deopts : int;
   s_rematerialized : int;
@@ -59,6 +63,7 @@ let snapshot t =
     s_allocations = t.allocations;
     s_allocated_bytes = t.allocated_bytes;
     s_monitor_ops = t.monitor_ops;
+    s_stack_allocs = t.stack_allocs;
     s_cycles = t.cycles;
     s_deopts = t.deopts;
     s_rematerialized = t.rematerialized;
@@ -74,6 +79,7 @@ let diff a b =
     s_allocations = a.s_allocations - b.s_allocations;
     s_allocated_bytes = a.s_allocated_bytes - b.s_allocated_bytes;
     s_monitor_ops = a.s_monitor_ops - b.s_monitor_ops;
+    s_stack_allocs = a.s_stack_allocs - b.s_stack_allocs;
     s_cycles = a.s_cycles - b.s_cycles;
     s_deopts = a.s_deopts - b.s_deopts;
     s_rematerialized = a.s_rematerialized - b.s_rematerialized;
@@ -85,7 +91,7 @@ let diff a b =
 
 let pp ppf t =
   Fmt.pf ppf
-    "allocations=%d bytes=%d monitor_ops=%d cycles=%d deopts=%d remat=%d interp=%d compiled=%d \
-     invokes=%d jit=%d"
-    t.allocations t.allocated_bytes t.monitor_ops t.cycles t.deopts t.rematerialized
+    "allocations=%d bytes=%d monitor_ops=%d stack_allocs=%d cycles=%d deopts=%d remat=%d \
+     interp=%d compiled=%d invokes=%d jit=%d"
+    t.allocations t.allocated_bytes t.monitor_ops t.stack_allocs t.cycles t.deopts t.rematerialized
     t.interpreted_instrs t.compiled_ops t.invocations t.compiled_methods

@@ -6,6 +6,9 @@ type t = {
   mutable allocations : int;
   mutable allocated_bytes : int;
   mutable monitor_ops : int;
+  mutable stack_allocs : int;
+      (* scratch (uncharged) allocations emitted when an interprocedural
+         summary lets PEA pass a virtual object to a non-inlined callee *)
   mutable cycles : int; (* cost-model cycles, see {!Cost} *)
   mutable deopts : int;
   mutable rematerialized : int; (* virtual objects re-allocated during deopt *)
@@ -26,6 +29,7 @@ type snapshot = {
   s_allocations : int;
   s_allocated_bytes : int;
   s_monitor_ops : int;
+  s_stack_allocs : int;
   s_cycles : int;
   s_deopts : int;
   s_rematerialized : int;

@@ -83,6 +83,16 @@ let run (env : Interp.env) (g : Graph.t) (args : Value.value list) : Value.value
             Array.iteri (fun i fv -> arr.a_elems.(i) <- v fv) elem_values;
             regs.(n.Node.id) <- Varr arr
         | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
+    | Node.Stack_alloc (cls, field_values) ->
+        (* scratch object backing a virtual argument: real object, no
+           allocation charge (see Heap.alloc_object_scratch) *)
+        let o = Heap.alloc_object_scratch env.Interp.heap cls in
+        Array.iteri (fun i fv -> o.o_fields.(i) <- v fv) field_values;
+        regs.(n.Node.id) <- Vobj o
+    | Node.Stack_alloc_array (elem, elem_values) ->
+        let arr = Heap.alloc_array_scratch env.Interp.heap elem (Array.length elem_values) in
+        Array.iteri (fun i fv -> arr.a_elems.(i) <- v fv) elem_values;
+        regs.(n.Node.id) <- Varr arr
     | Node.New_array (elem, len) -> (
         match Heap.alloc_array env.Interp.heap elem (as_int (v len)) with
         | arr -> regs.(n.Node.id) <- Varr arr

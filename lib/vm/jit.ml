@@ -27,6 +27,7 @@ type config = {
   cond_elim : bool; (* dominance-based conditional elimination *)
   pea_prune_dead : bool; (* liveness-based state pruning inside PEA (ablation) *)
   verify : bool; (* run the IR checker after every pass *)
+  summaries : bool; (* interprocedural escape summaries at call sites *)
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int;
 }
@@ -40,6 +41,7 @@ let default_config =
     cond_elim = true;
     pea_prune_dead = true;
     verify = true;
+    summaries = true;
     compile_threshold = 10;
     max_callee_size = 150;
   }
@@ -51,8 +53,8 @@ type compiled = {
 
 let verify config g = if config.verify then Check.check_exn g
 
-let compile config (program : Link.program) (profile : Profile.t) (m : Classfile.rt_method)
-    ~allow_prune : compiled =
+let compile ?summaries config (program : Link.program) (profile : Profile.t)
+    (m : Classfile.rt_method) ~allow_prune : compiled =
   let g = Builder.build m in
   verify config g;
   if config.inline then begin
@@ -63,8 +65,8 @@ let compile config (program : Link.program) (profile : Profile.t) (m : Classfile
     verify config g
   end;
   ignore (Pea_opt.Canonicalize.run g);
-  ignore (Pea_opt.Gvn.run g);
-  if config.read_elim then ignore (Pea_opt.Read_elim.run g);
+  ignore (Pea_opt.Gvn.run ?summaries g);
+  if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
   if config.cond_elim then ignore (Pea_opt.Cond_elim.run g);
   verify config g;
   if config.prune && allow_prune then begin
@@ -76,15 +78,17 @@ let compile config (program : Link.program) (profile : Profile.t) (m : Classfile
     match config.opt with
     | O_none -> (g, None)
     | O_ea ->
-        let g', st = Pea_core.Escape.run g in
+        let g', st = Pea_core.Escape.run ?summaries g in
         (g', Some st)
     | O_pea ->
-        let g', st = Pea_core.Pea.run ~prune_dead_objects:config.pea_prune_dead g in
+        let g', st =
+          Pea_core.Pea.run ~prune_dead_objects:config.pea_prune_dead ?summaries g
+        in
         (g', Some st)
   in
   verify config g;
   ignore (Pea_opt.Canonicalize.run g);
-  ignore (Pea_opt.Gvn.run g);
-  if config.read_elim then ignore (Pea_opt.Read_elim.run g);
+  ignore (Pea_opt.Gvn.run ?summaries g);
+  if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
   verify config g;
   { graph = g; pea_stats }

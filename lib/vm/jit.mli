@@ -29,6 +29,10 @@ type config = {
   cond_elim : bool; (* dominance-based conditional elimination *)
   pea_prune_dead : bool; (* liveness-based state pruning inside PEA (ablation) *)
   verify : bool; (* run the IR checker after every pass *)
+  summaries : bool;
+      (* consume interprocedural escape summaries ({!Pea_analysis.Summary})
+         at call sites: PEA/EA keep summary-cleared arguments virtual, GVN
+         merges provably pure calls, read elimination survives them *)
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int; (* inlining budget per callee, in bytecodes *)
 }
@@ -41,8 +45,16 @@ type compiled = {
   pea_stats : Pea_core.Pea.pass_stats option; (* [None] under [O_none] *)
 }
 
-(** [compile config program profile m ~allow_prune] runs the pipeline on
-    [m]. [allow_prune] is cleared by the VM for methods that already
-    deoptimized once. *)
+(** [compile ?summaries config program profile m ~allow_prune] runs the
+    pipeline on [m]. [allow_prune] is cleared by the VM for methods that
+    already deoptimized once. [summaries] is the whole-program summary
+    table; the VM computes it lazily once and passes it to every
+    compilation when [config.summaries] is set. *)
 val compile :
-  config -> Link.program -> Profile.t -> Classfile.rt_method -> allow_prune:bool -> compiled
+  ?summaries:Pea_analysis.Summary.t ->
+  config ->
+  Link.program ->
+  Profile.t ->
+  Classfile.rt_method ->
+  allow_prune:bool ->
+  compiled

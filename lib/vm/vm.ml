@@ -22,6 +22,9 @@ type t = {
   no_speculation : (int, unit) Hashtbl.t; (* methods that deopted: recompile without pruning *)
   printed_rev : Value.value list ref;
   jit_stats : Pea_core.Pea.pass_stats;
+  mutable summary_table : Pea_analysis.Summary.t option;
+      (* whole-program escape summaries; computed lazily at the first
+         compilation when [config.summaries] is set *)
 }
 
 let accumulate_jit_stats (acc : Pea_core.Pea.pass_stats) (st : Pea_core.Pea.pass_stats) =
@@ -30,7 +33,20 @@ let accumulate_jit_stats (acc : Pea_core.Pea.pass_stats) (st : Pea_core.Pea.pass
   acc.removed_loads <- acc.removed_loads + st.removed_loads;
   acc.removed_stores <- acc.removed_stores + st.removed_stores;
   acc.removed_monitor_ops <- acc.removed_monitor_ops + st.removed_monitor_ops;
-  acc.folded_checks <- acc.folded_checks + st.folded_checks
+  acc.folded_checks <- acc.folded_checks + st.folded_checks;
+  acc.scratch_args <- acc.scratch_args + st.scratch_args
+
+(* The summary table covers the closed program, so one fixpoint serves
+   every compilation of this VM. *)
+let summaries vm =
+  if not vm.config.Jit.summaries then None
+  else
+    match vm.summary_table with
+    | Some _ as t -> t
+    | None ->
+        let t = Pea_analysis.Summary.analyze vm.program in
+        vm.summary_table <- Some t;
+        Some t
 
 let rec invoke vm (m : Classfile.rt_method) args =
   match Hashtbl.find_opt vm.compiled m.Classfile.mth_id with
@@ -45,7 +61,10 @@ let rec invoke vm (m : Classfile.rt_method) args =
         Log.debug (fun k ->
             k "compiling %s (invocations=%d, speculation=%b)" (Classfile.qualified_name m)
               invocations allow_prune);
-        let code = Jit.compile vm.config vm.program vm.env.Interp.profile m ~allow_prune in
+        let code =
+          Jit.compile ?summaries:(summaries vm) vm.config vm.program vm.env.Interp.profile m
+            ~allow_prune
+        in
         Hashtbl.replace vm.compiled m.Classfile.mth_id code;
         vm.env.Interp.stats.Stats.compiled_methods <-
           vm.env.Interp.stats.Stats.compiled_methods + 1;
@@ -99,6 +118,7 @@ let create ?(config = Jit.default_config) (program : Link.program) : t =
         no_speculation = Hashtbl.create 8;
         printed_rev;
         jit_stats = Pea_core.Pea.mk_stats ();
+        summary_table = None;
       }
   in
   Lazy.force vm

@@ -1,0 +1,27 @@
+(* Environment-variable overrides for the test suites, so the whole suite
+   can be re-run under a forced VM configuration (see bench/run_matrix.sh):
+
+   - MJVM_TEST_OPT = none | ea | pea   forces the optimization level;
+   - MJVM_TEST_SUMMARIES = 0|off|false disables interprocedural summaries
+     (any other value enables them).
+
+   Unset variables leave the test's own configuration untouched. *)
+
+open Pea_vm
+
+(* Tests that compare optimization levels against each other are
+   meaningless when the level is forced from the outside. *)
+let opt_forced () = Sys.getenv_opt "MJVM_TEST_OPT" <> None
+
+let apply (cfg : Jit.config) =
+  let cfg =
+    match Sys.getenv_opt "MJVM_TEST_OPT" with
+    | Some "none" -> { cfg with Jit.opt = Jit.O_none }
+    | Some "ea" -> { cfg with Jit.opt = Jit.O_ea }
+    | Some "pea" -> { cfg with Jit.opt = Jit.O_pea }
+    | Some _ | None -> cfg
+  in
+  match Sys.getenv_opt "MJVM_TEST_SUMMARIES" with
+  | Some ("0" | "off" | "false") -> { cfg with Jit.summaries = false }
+  | Some _ -> { cfg with Jit.summaries = true }
+  | None -> cfg

@@ -262,6 +262,103 @@ let contains s sub =
   let rec loop i = i + n <= String.length s && (String.sub s i n = sub || loop (i + 1)) in
   loop 0
 
+let test_checker_invoke_frame_state_rule () =
+  (* stripping the frame state from an invoke violates the default rules
+     but is accepted with [require_frame_states:false] *)
+  let _, g =
+    build_main
+      "class C { static int f() { return 1; } }\n\
+       class Main { static int main() { return C.f(); } }"
+  in
+  Check.check_exn g;
+  let stripped = ref 0 in
+  Graph.iter_blocks
+    (fun b ->
+      Pea_support.Dyn_array.iter
+        (fun (n : Node.t) ->
+          match n.Node.op with
+          | Node.Invoke _ ->
+              n.Node.fs <- None;
+              incr stripped
+          | _ -> ())
+        b.Graph.instrs)
+    g;
+  Alcotest.(check bool) "an invoke was stripped" true (!stripped > 0);
+  (match Check.check g with
+  | [] -> Alcotest.fail "checker accepted an invoke without frame state"
+  | _ -> ());
+  Alcotest.(check (list Alcotest.string))
+    "accepted without the invoke rule" []
+    (Check.check ~require_frame_states:false g)
+
+let test_checker_catches_dominance_violation () =
+  (* redirect both phi inputs to a value computed in only one branch: the
+     use at the end of the other predecessor is no longer dominated *)
+  let _, g =
+    build_method
+      "class C { static int f(int a) { int x = 0; if (a < 2) x = a + 1; else x = 2; return x; } }"
+      "C" "f"
+  in
+  Check.check_exn g;
+  let add_id = ref (-1) in
+  Graph.iter_blocks
+    (fun b ->
+      Pea_support.Dyn_array.iter
+        (fun (n : Node.t) ->
+          match n.Node.op with
+          | Node.Arith (Node.Add, _, _) -> add_id := n.Node.id
+          | _ -> ())
+        b.Graph.instrs)
+    g;
+  Alcotest.(check bool) "found the add" true (!add_id >= 0);
+  let broken = ref false in
+  Graph.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (phi : Node.t) ->
+          match phi.Node.op with
+          | Node.Phi p when Array.length p.Node.inputs = 2 ->
+              p.Node.inputs <- [| !add_id; !add_id |];
+              broken := true
+          | _ -> ())
+        b.Graph.phis)
+    g;
+  Alcotest.(check bool) "a phi was corrupted" true !broken;
+  match Check.check g with
+  | [] -> Alcotest.fail "checker accepted a non-dominated phi input"
+  | errs ->
+      Alcotest.(check bool) "mentions dominance" true
+        (List.exists (fun e -> contains e "dominated") errs)
+
+let test_checker_catches_missing_virtual_descriptor () =
+  (* a frame state referencing a virtual object must carry a descriptor *)
+  let _, g =
+    build_main "class Main { static int g; static int main() { g = 1; return g; } }"
+  in
+  Check.check_exn g;
+  let broken = ref false in
+  Graph.iter_blocks
+    (fun b ->
+      Pea_support.Dyn_array.iter
+        (fun (n : Node.t) ->
+          match n.Node.fs with
+          | Some fs when not !broken ->
+              n.Node.fs <-
+                Some
+                  { fs with
+                    Frame_state.fs_stack = Frame_state.F_virtual 42 :: fs.Frame_state.fs_stack
+                  };
+              broken := true
+          | _ -> ())
+        b.Graph.instrs)
+    g;
+  Alcotest.(check bool) "a frame state was corrupted" true !broken;
+  match Check.check g with
+  | [] -> Alcotest.fail "checker accepted an undescribed virtual object"
+  | errs ->
+      Alcotest.(check bool) "mentions descriptor" true
+        (List.exists (fun e -> contains e "descriptor") errs)
+
 let test_printer_shows_structure () =
   (* the printed IR names blocks, kinds, phis and frame states *)
   let _, g =
@@ -314,6 +411,10 @@ let () =
         [
           Alcotest.test_case "dangling use" `Quick test_checker_catches_dangling_use;
           Alcotest.test_case "phi arity" `Quick test_checker_catches_phi_arity;
+          Alcotest.test_case "invoke frame-state rule" `Quick test_checker_invoke_frame_state_rule;
+          Alcotest.test_case "dominance violation" `Quick test_checker_catches_dominance_violation;
+          Alcotest.test_case "missing virtual descriptor" `Quick
+            test_checker_catches_missing_virtual_descriptor;
           Alcotest.test_case "printer" `Quick test_printer_output;
           Alcotest.test_case "printer structure" `Quick test_printer_shows_structure;
         ] );

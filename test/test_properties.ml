@@ -196,7 +196,7 @@ let string_of_result = function
 
 let run_vm src opt =
   let program = Pea_bytecode.Link.compile_source src in
-  let config = { Jit.default_config with Jit.opt; compile_threshold = 0 } in
+  let config = Test_env.apply { Jit.default_config with Jit.opt; compile_threshold = 0 } in
   let vm = Vm.create ~config program in
   Vm.run_main_iterations vm 3
 

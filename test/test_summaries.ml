@@ -1,0 +1,253 @@
+(* Unit and end-to-end tests for interprocedural escape summaries
+   (Pea_analysis.Summary): the per-parameter escape lattice, return
+   freshness, purity, convergence under (mutual) recursion, the CHA join
+   at virtual call sites, and the payoff — with summaries, PEA keeps an
+   allocation virtual across a non-inlined call that would otherwise
+   force materialization. *)
+
+open Pea_bytecode
+open Pea_analysis
+open Pea_rt
+open Pea_vm
+
+let analyze src =
+  let program = Link.compile_source ~require_main:false src in
+  (program, Summary.analyze program)
+
+let summary_of (program, t) cls name = Summary.of_method t (Link.find_method program cls name)
+
+let lvl = Alcotest.testable (fun fmt l ->
+    Format.pp_print_string fmt
+      (match l with
+      | Summary.No_escape -> "No_escape"
+      | Summary.Arg_escape -> "Arg_escape"
+      | Summary.Global_escape -> "Global_escape"))
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Direct summaries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let basics_src =
+  "class Box { int v; }\n\
+   class C {\n\
+  \  static Box g;\n\
+  \  static void leak(Box b) { C.g = b; }\n\
+  \  static int read(Box b) { return b.v; }\n\
+  \  static void write(Box b) { b.v = 1; }\n\
+  \  static Box same(Box b) { return b; }\n\
+  \  static Box make() { return new Box(); }\n\
+   }"
+
+let test_global_escape_via_static_store () =
+  let env = analyze basics_src in
+  let s = summary_of env "C" "leak" in
+  Alcotest.check lvl "param escapes globally" Summary.Global_escape s.Summary.s_params.(0).Summary.ps_escape;
+  Alcotest.(check bool) "not pure" false s.Summary.s_pure
+
+let test_read_only_param () =
+  let env = analyze basics_src in
+  let s = summary_of env "C" "read" in
+  Alcotest.check lvl "no escape" Summary.No_escape s.Summary.s_params.(0).Summary.ps_escape;
+  Alcotest.(check bool) "not written" false s.Summary.s_params.(0).Summary.ps_written;
+  Alcotest.(check bool) "no ref loads (int field)" false s.Summary.s_params.(0).Summary.ps_ref_loaded;
+  Alcotest.(check bool) "transparent" true (Summary.transparent s.Summary.s_params.(0));
+  Alcotest.(check bool) "pure" true s.Summary.s_pure;
+  Alcotest.(check bool) "reads heap" true s.Summary.s_reads_heap
+
+let test_written_param () =
+  let env = analyze basics_src in
+  let s = summary_of env "C" "write" in
+  Alcotest.check lvl "no escape" Summary.No_escape s.Summary.s_params.(0).Summary.ps_escape;
+  Alcotest.(check bool) "written" true s.Summary.s_params.(0).Summary.ps_written;
+  Alcotest.(check bool) "not transparent" false (Summary.transparent s.Summary.s_params.(0));
+  Alcotest.(check bool) "not pure" false s.Summary.s_pure
+
+let test_returned_param () =
+  let env = analyze basics_src in
+  let s = summary_of env "C" "same" in
+  Alcotest.check lvl "arg escape" Summary.Arg_escape s.Summary.s_params.(0).Summary.ps_escape;
+  Alcotest.(check bool) "return not fresh" false s.Summary.s_ret_fresh
+
+let test_fresh_return () =
+  let env = analyze basics_src in
+  let s = summary_of env "C" "make" in
+  Alcotest.(check bool) "return fresh" true s.Summary.s_ret_fresh
+
+(* ------------------------------------------------------------------ *)
+(* Recursion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_recursion_converges () =
+  let env =
+    analyze
+      "class Box { int v; }\n\
+       class R {\n\
+      \  static int depth(Box b, int n) { if (n <= 0) return b.v; return R.depth(b, n - 1); }\n\
+       }"
+  in
+  let s = summary_of env "R" "depth" in
+  Alcotest.check lvl "recursive read-only param stays clean" Summary.No_escape
+    s.Summary.s_params.(0).Summary.ps_escape;
+  Alcotest.(check bool) "pure" true s.Summary.s_pure
+
+let test_recursive_leak_is_sound () =
+  let env =
+    analyze
+      "class Box { int v; }\n\
+       class R {\n\
+      \  static Box g;\n\
+      \  static int down(Box b, int n) { if (n <= 0) return 0; return R.leak(b, n); }\n\
+      \  static int leak(Box b, int n) { R.g = b; return R.down(b, n - 1); }\n\
+       }"
+  in
+  (* the escape happens one call deep in a mutually recursive pair: the
+     fixpoint must propagate it back to both entry points *)
+  let down = summary_of env "R" "down" in
+  let leak = summary_of env "R" "leak" in
+  Alcotest.check lvl "leak param escapes" Summary.Global_escape
+    leak.Summary.s_params.(0).Summary.ps_escape;
+  Alcotest.check lvl "escape propagates through caller" Summary.Global_escape
+    down.Summary.s_params.(0).Summary.ps_escape;
+  Alcotest.(check bool) "down impure" false down.Summary.s_pure
+
+let test_mutual_recursion_pure () =
+  let env =
+    analyze
+      "class R {\n\
+      \  static int even(int n) { if (n == 0) return 1; return R.odd(n - 1); }\n\
+      \  static int odd(int n) { if (n == 0) return 0; return R.even(n - 1); }\n\
+       }"
+  in
+  let s = summary_of env "R" "even" in
+  Alcotest.(check bool) "pure" true s.Summary.s_pure;
+  Alcotest.(check bool) "no heap reads" false s.Summary.s_reads_heap
+
+(* ------------------------------------------------------------------ *)
+(* Virtual dispatch: CHA join vs exact receiver                        *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_src =
+  "class Box { int v; }\n\
+   class Sink { static Box s; }\n\
+   class A { int use(Box b) { return b.v; } }\n\
+   class B extends A { int use(Box b) { Sink.s = b; return 1; } }"
+
+let test_cha_join () =
+  let program, t = analyze dispatch_src in
+  let m = Link.find_method program "A" "use" in
+  (* A.use alone is harmless... *)
+  let own = Summary.of_method t m in
+  Alcotest.check lvl "A.use itself is clean" Summary.No_escape
+    own.Summary.s_params.(1).Summary.ps_escape;
+  (* ...but a virtual call must join in the B.use override, which leaks *)
+  let joined = Summary.call_summary t Pea_ir.Node.Virtual m in
+  Alcotest.check lvl "virtual join includes the override" Summary.Global_escape
+    joined.Summary.s_params.(1).Summary.ps_escape;
+  Alcotest.(check bool) "join is impure" false joined.Summary.s_pure
+
+let test_exact_receiver_skips_join () =
+  let program, t = analyze dispatch_src in
+  let m = Link.find_method program "A" "use" in
+  let a = List.find (fun c -> c.Classfile.cls_name = "A") program.Link.classes in
+  let exact = Summary.exact_summary t a m in
+  Alcotest.check lvl "exact receiver A avoids the join" Summary.No_escape
+    exact.Summary.s_params.(1).Summary.ps_escape;
+  Alcotest.(check bool) "exact A.use is pure" true exact.Summary.s_pure
+
+(* ------------------------------------------------------------------ *)
+(* End to end: summaries avoid materialization at a non-inlined call   *)
+(* ------------------------------------------------------------------ *)
+
+(* [use] is never inlined (inlining disabled below): without summaries
+   PEA must materialize the Key at the call; with them it stays virtual
+   and is passed as an uncharged scratch object. *)
+let e2e_src =
+  "class Key { int a; int b; }\n\
+   class Main {\n\
+  \  static int use(Key k) { return k.a + k.b; }\n\
+  \  static int main() {\n\
+  \    int acc = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 20) {\n\
+  \      Key k = new Key();\n\
+  \      k.a = i;\n\
+  \      k.b = i + i;\n\
+  \      acc = acc + Main.use(k);\n\
+  \      i = i + 1;\n\
+  \    }\n\
+  \    return acc;\n\
+  \  }\n\
+   }"
+
+let run_e2e ~summaries =
+  let cfg =
+    { Jit.default_config with
+      Jit.opt = Jit.O_pea;
+      inline = false;
+      compile_threshold = 0;
+      summaries
+    }
+  in
+  let program = Link.compile_source e2e_src in
+  let vm = Vm.create ~config:cfg program in
+  Vm.run_main_iterations vm 5
+
+let test_summaries_keep_allocation_virtual () =
+  let with_s = run_e2e ~summaries:true in
+  let without_s = run_e2e ~summaries:false in
+  (* same semantics *)
+  let str r =
+    match r.Vm.return_value with None -> "void" | Some v -> Value.string_of_value v
+  in
+  Alcotest.(check string) "same result" (str without_s) (str with_s);
+  let allocs (r : Vm.result) = r.Vm.stats.Stats.s_allocations in
+  let bytes (r : Vm.result) = r.Vm.stats.Stats.s_allocated_bytes in
+  if allocs with_s >= allocs without_s then
+    Alcotest.failf "summaries did not reduce allocations (%d >= %d)" (allocs with_s)
+      (allocs without_s);
+  if bytes with_s >= bytes without_s then
+    Alcotest.failf "summaries did not reduce allocated bytes (%d >= %d)" (bytes with_s)
+      (bytes without_s);
+  Alcotest.(check bool) "scratch objects were used" true
+    (with_s.Vm.stats.Stats.s_stack_allocs > 0);
+  Alcotest.(check int) "no scratch objects without summaries" 0
+    without_s.Vm.stats.Stats.s_stack_allocs
+
+let test_e2e_matches_interpreter () =
+  let reference = Run.run_source e2e_src in
+  let with_s = run_e2e ~summaries:true in
+  let str_ref = function None -> "void" | Some v -> Value.string_of_value v in
+  Alcotest.(check string) "interpreter agrees" (str_ref reference.Run.return_value)
+    (match with_s.Vm.return_value with None -> "void" | Some v -> Value.string_of_value v)
+
+let () =
+  Alcotest.run "summaries"
+    [
+      ( "direct",
+        [
+          Alcotest.test_case "static store escapes globally" `Quick
+            test_global_escape_via_static_store;
+          Alcotest.test_case "read-only param" `Quick test_read_only_param;
+          Alcotest.test_case "written param" `Quick test_written_param;
+          Alcotest.test_case "returned param" `Quick test_returned_param;
+          Alcotest.test_case "fresh return" `Quick test_fresh_return;
+        ] );
+      ( "recursion",
+        [
+          Alcotest.test_case "converges" `Quick test_recursion_converges;
+          Alcotest.test_case "leak is sound" `Quick test_recursive_leak_is_sound;
+          Alcotest.test_case "mutual recursion pure" `Quick test_mutual_recursion_pure;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "CHA join" `Quick test_cha_join;
+          Alcotest.test_case "exact receiver" `Quick test_exact_receiver_skips_join;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "keeps allocation virtual" `Quick
+            test_summaries_keep_allocation_virtual;
+          Alcotest.test_case "matches interpreter" `Quick test_e2e_matches_interpreter;
+        ] );
+    ]

@@ -14,7 +14,7 @@ let string_of_result = function
   | Some v -> Value.string_of_value v
 
 let config opt ~threshold =
-  { Jit.default_config with Jit.opt; compile_threshold = threshold }
+  Test_env.apply { Jit.default_config with Jit.opt; compile_threshold = threshold }
 
 let run_vm src cfg ~iterations =
   let program = Pea_bytecode.Link.compile_source src in
@@ -83,6 +83,8 @@ let monotonicity_cases =
 (* PEA should fully remove the allocations of the classic fully-local
    example once the method is compiled. *)
 let test_scalar_replacement_wins () =
+  if Test_env.opt_forced () then ()
+  else
   let src =
     "class P { int x; int y; P(int a, int b) { x = a; y = b; } }\n\
      class Main {\n\
@@ -103,6 +105,8 @@ let test_scalar_replacement_wins () =
 (* Lock elision: a synchronized method on a non-escaping receiver loses its
    monitor operations under PEA. *)
 let test_lock_elision () =
+  if Test_env.opt_forced () then ()
+  else
   let src =
     "class G { int v; synchronized int addTo(int x) { v = v + x; return v; } }\n\
      class Main {\n\
