@@ -209,6 +209,95 @@ let bechamel_section () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Execution tiers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock comparison of the two execution tiers on the three most
+   invoke-heavy workload rows (ranked by calibrated operations per
+   iteration — each operation is one call into the Work class). Each tier
+   gets its own fully warmed VM, so the staged measurement isolates
+   steady-state compiled execution, where the tiers differ; the
+   deterministic cost model is tier-independent by construction, which the
+   parity column re-checks end to end. *)
+let exec_tier_section () =
+  header "Execution tiers: closure-compiled vs direct, most invoke-heavy rows";
+  let open Bechamel in
+  let ranked =
+    List.sort
+      (fun a b -> compare (Codegen.calibrate b).Codegen.ops (Codegen.calibrate a).Codegen.ops)
+      (Spec.dacapo @ Spec.scala_dacapo @ Spec.specjbb)
+  in
+  let rows = List.filteri (fun i _ -> i < 3) ranked in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 50) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let estimate test =
+    let results = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance results
+    in
+    Hashtbl.fold
+      (fun _ r acc -> match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> acc)
+      ols nan
+  in
+  let steady_state src tier =
+    let config =
+      { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 2; exec_tier = tier }
+    in
+    let vm = Pea_vm.Vm.create ~config (Pea_bytecode.Link.compile_source src) in
+    ignore (Pea_vm.Vm.run_main_iterations vm 3);
+    Staged.stage (fun () -> ignore (Pea_vm.Vm.run_main_iterations vm 1))
+  in
+  Printf.printf "%-14s | %13s %13s %9s | %s\n" "row" "direct ns/it" "closure ns/it" "speedup"
+    "deterministic metrics";
+  let measured =
+    List.map
+      (fun (row : Spec.row) ->
+        let src = Codegen.source_for_row row in
+        let direct_ns =
+          estimate
+            (Test.make ~name:(row.Spec.name ^ "-direct") (steady_state src Pea_vm.Jit.Direct))
+        in
+        let closure_ns =
+          estimate
+            (Test.make ~name:(row.Spec.name ^ "-closure") (steady_state src Pea_vm.Jit.Closure))
+        in
+        let md = Harness.measure_program ~exec_tier:Pea_vm.Jit.Direct src Pea_vm.Jit.O_pea in
+        let mc = Harness.measure_program ~exec_tier:Pea_vm.Jit.Closure src Pea_vm.Jit.O_pea in
+        let parity =
+          md.Harness.m_cycles_per_iter = mc.Harness.m_cycles_per_iter
+          && md.Harness.m_allocs_per_iter = mc.Harness.m_allocs_per_iter
+          && md.Harness.m_mb_per_iter = mc.Harness.m_mb_per_iter
+          && md.Harness.m_monitor_ops_per_iter = mc.Harness.m_monitor_ops_per_iter
+        in
+        let speedup = direct_ns /. closure_ns in
+        Printf.printf "%-14s | %13.0f %13.0f %8.2fx | %s\n%!" row.Spec.name direct_ns closure_ns
+          speedup
+          (if parity then "identical" else "MISMATCH");
+        (row, direct_ns, closure_ns, speedup, parity))
+      rows
+  in
+  let oc = open_out "BENCH_exec_tier.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i ((row : Spec.row), direct_ns, closure_ns, speedup, parity) ->
+      Printf.fprintf oc
+        "  {\"row\": %S, \"direct_ns_per_iter\": %.0f, \"closure_ns_per_iter\": %.0f, \
+         \"speedup\": %.3f, \"deterministic_parity\": %b}%s\n"
+        row.Spec.name direct_ns closure_ns speedup parity
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_exec_tier.json\n";
+  let all_faster = List.for_all (fun (_, d, c, _, _) -> c < d) measured in
+  let all_parity = List.for_all (fun (_, _, _, _, p) -> p) measured in
+  Printf.printf "gate: closure strictly faster on every row: %s; deterministic metrics identical: %s\n"
+    (if all_faster then "PASS" else "FAIL")
+    (if all_parity then "PASS" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -390,5 +479,8 @@ let () =
   ablation_section ();
   summaries_section ();
   breakdown_section ();
-  if not fast then bechamel_section ();
+  if not fast then begin
+    bechamel_section ();
+    exec_tier_section ()
+  end;
   Printf.printf "\ndone.\n"

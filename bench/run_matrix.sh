@@ -1,10 +1,15 @@
 #!/bin/sh
 # Run the tier-1 test suites under every VM configuration the matrix
 # covers: optimization level (none / ea / pea) crossed with
-# interprocedural escape summaries (on / off). The suites read the
-# forced configuration from MJVM_TEST_OPT / MJVM_TEST_SUMMARIES (see
+# interprocedural escape summaries (on / off) crossed with the execution
+# tier (closure / direct). The suites read the forced configuration from
+# MJVM_TEST_OPT / MJVM_TEST_SUMMARIES / MJVM_TEST_EXEC_TIER (see
 # test/test_env.ml); a differential or monotonicity failure in any cell
 # is a real bug in that configuration.
+#
+# MJVM_TEST_QCHECK_COUNT scales the property-based suites up from their
+# fast local defaults: every matrix cell runs 500+ random programs per
+# differential property.
 #
 # Usage: bench/run_matrix.sh   (from the repository root)
 
@@ -12,17 +17,22 @@ set -e
 
 cd "$(dirname "$0")/.."
 
+MJVM_TEST_QCHECK_COUNT=${MJVM_TEST_QCHECK_COUNT:-500}
+export MJVM_TEST_QCHECK_COUNT
+
 status=0
 for opt in none ea pea; do
   for summaries in on off; do
-    echo "=== opt=$opt summaries=$summaries ==="
-    if MJVM_TEST_OPT=$opt MJVM_TEST_SUMMARIES=$summaries \
-        dune runtest --force >/dev/null 2>&1; then
-      echo "    ok"
-    else
-      echo "    FAILED (rerun: MJVM_TEST_OPT=$opt MJVM_TEST_SUMMARIES=$summaries dune runtest --force)"
-      status=1
-    fi
+    for tier in closure direct; do
+      echo "=== opt=$opt summaries=$summaries exec-tier=$tier ==="
+      if MJVM_TEST_OPT=$opt MJVM_TEST_SUMMARIES=$summaries MJVM_TEST_EXEC_TIER=$tier \
+          dune runtest --force >/dev/null 2>&1; then
+        echo "    ok"
+      else
+        echo "    FAILED (rerun: MJVM_TEST_OPT=$opt MJVM_TEST_SUMMARIES=$summaries MJVM_TEST_EXEC_TIER=$tier dune runtest --force)"
+        status=1
+      fi
+    done
   done
 done
 exit $status

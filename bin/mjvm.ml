@@ -27,6 +27,17 @@ let opt_conv =
   in
   Arg.conv (parse, print)
 
+let tier_conv =
+  let parse = function
+    | "direct" -> Ok Jit.Direct
+    | "closure" -> Ok Jit.Closure
+    | s -> Error (`Msg (Printf.sprintf "unknown execution tier %S (direct|closure)" s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf (match t with Jit.Direct -> "direct" | Jit.Closure -> "closure")
+  in
+  Arg.conv (parse, print)
+
 let file_arg =
   Arg.(
     required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file")
@@ -37,6 +48,16 @@ let opt_arg =
     & opt opt_conv Jit.O_pea
     & info [ "opt" ] ~docv:"LEVEL"
         ~doc:"Escape analysis: none, ea (whole-method) or pea (partial)")
+
+let tier_arg =
+  Arg.(
+    value
+    & opt tier_conv Jit.Closure
+    & info [ "exec-tier" ] ~docv:"TIER"
+        ~doc:
+          "How compiled code runs: closure (pre-bound OCaml closures with inline caches and \
+           pooled register files; the default) or direct (the reference IR walker). Model-cycle \
+           statistics are identical across tiers")
 
 let threshold_arg =
   Arg.(
@@ -70,7 +91,7 @@ let setup_logs verbose =
     Logs.Src.set_level Vm.log_src (Some Logs.Debug)
   end
 
-let config opt threshold no_inline no_prune no_summaries =
+let config opt threshold no_inline no_prune no_summaries exec_tier =
   {
     Jit.default_config with
     Jit.opt;
@@ -78,6 +99,7 @@ let config opt threshold no_inline no_prune no_summaries =
     inline = not no_inline;
     prune = not no_prune;
     summaries = not no_summaries;
+    exec_tier;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -85,7 +107,7 @@ let config opt threshold no_inline no_prune no_summaries =
 (* ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let action file opt threshold iterations stats no_inline no_prune no_summaries verbose =
+  let action file opt threshold iterations stats no_inline no_prune no_summaries exec_tier verbose =
     setup_logs verbose;
     match Link.compile_source (read_file file) with
     | exception Pea_mjava.Lexer.Lex_error (msg, pos) ->
@@ -101,7 +123,9 @@ let run_cmd =
         Printf.eprintf "link error: %s\n" msg;
         exit 1
     | program -> (
-        let vm = Vm.create ~config:(config opt threshold no_inline no_prune no_summaries) program in
+        let vm =
+          Vm.create ~config:(config opt threshold no_inline no_prune no_summaries exec_tier) program
+        in
         match Vm.run_main_iterations vm iterations with
         | exception Pea_rt.Interp.Trap msg ->
             Printf.eprintf "runtime trap: %s\n" msg;
@@ -123,11 +147,16 @@ let run_cmd =
                  cycles: %d\n\
                  deopts: %d\n\
                  rematerialized: %d\n\
-                 compiled methods: %d\n"
+                 compiled methods: %d\n\
+                 closure-compiled methods: %d\n\
+                 inline-cache hits: %d\n\
+                 inline-cache misses: %d\n"
                 r.Vm.stats.Pea_rt.Stats.s_allocations r.Vm.stats.Pea_rt.Stats.s_allocated_bytes
                 r.Vm.stats.Pea_rt.Stats.s_monitor_ops r.Vm.stats.Pea_rt.Stats.s_stack_allocs
                 r.Vm.stats.Pea_rt.Stats.s_cycles r.Vm.stats.Pea_rt.Stats.s_deopts
-                r.Vm.stats.Pea_rt.Stats.s_rematerialized r.Vm.stats.Pea_rt.Stats.s_compiled_methods;
+                r.Vm.stats.Pea_rt.Stats.s_rematerialized r.Vm.stats.Pea_rt.Stats.s_compiled_methods
+                r.Vm.stats.Pea_rt.Stats.s_closure_compiled_methods r.Vm.stats.Pea_rt.Stats.s_ic_hits
+                r.Vm.stats.Pea_rt.Stats.s_ic_misses;
               match Vm.class_breakdown vm with
               | [] -> ()
               | breakdown ->
@@ -141,7 +170,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
-      $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ verbose_arg)
+      $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ tier_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a MiniJava program on the tiered VM") term
 

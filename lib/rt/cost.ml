@@ -44,3 +44,10 @@ let static_access = 3
 
 (* Deoptimization is very expensive: frame reconstruction + interpreter. *)
 let deopt = 500
+
+(* The closure execution tier charges exactly the same costs as the direct
+   tier, per IR operation — its inline caches and pooled register files are
+   wall-clock optimizations only and add no model cycles. This keeps the
+   deterministic Table-1 numbers bit-for-bit identical across tiers, so the
+   tiers can be differentially tested against each other. *)
+

@@ -201,6 +201,9 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         let args, rest = pop_n stack n in
         match args with
         | recv :: _ -> (
+            (match recv with
+            | Vobj o -> Profile.record_receiver env.profile m ~bci o.o_cls
+            | _ -> ());
             let target = dispatch_target recv callee in
             match env.on_invoke target args with
             | result ->

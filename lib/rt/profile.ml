@@ -1,7 +1,9 @@
 (* Execution profiles collected by the interpreter tier and consumed by the
-   JIT: invocation counters (compilation policy) and per-branch taken
-   counts (speculative cold-branch pruning, the mechanism that makes
-   deoptimization and therefore §5.5 of the paper observable). *)
+   JIT: invocation counters (compilation policy), per-branch taken counts
+   (speculative cold-branch pruning, the mechanism that makes
+   deoptimization and therefore §5.5 of the paper observable), and
+   per-call-site receiver classes (inline-cache seeding in the closure
+   execution tier). *)
 
 open Pea_bytecode
 
@@ -9,6 +11,9 @@ type method_profile = {
   mutable invocations : int;
   branch_taken : (int, int) Hashtbl.t; (* bci -> times the branch jumped *)
   branch_fallthrough : (int, int) Hashtbl.t; (* bci -> times it fell through *)
+  receivers : (int, (Classfile.rt_class * int) list) Hashtbl.t;
+      (* bci of an Invokevirtual -> receiver classes seen, with counts;
+         the lists stay tiny (the class hierarchy is closed and small) *)
 }
 
 type t = method_profile array (* indexed by mth_id *)
@@ -16,7 +21,12 @@ type t = method_profile array (* indexed by mth_id *)
 let create (program : Link.program) : t =
   Array.map
     (fun (_ : Classfile.rt_method) ->
-      { invocations = 0; branch_taken = Hashtbl.create 8; branch_fallthrough = Hashtbl.create 8 })
+      {
+        invocations = 0;
+        branch_taken = Hashtbl.create 8;
+        branch_fallthrough = Hashtbl.create 8;
+        receivers = Hashtbl.create 8;
+      })
     program.methods
 
 let for_method (t : t) (m : Classfile.rt_method) = t.(m.mth_id)
@@ -34,5 +44,24 @@ let branch_counts t m ~bci =
   let p = for_method t m in
   ( Option.value (Hashtbl.find_opt p.branch_taken bci) ~default:0,
     Option.value (Hashtbl.find_opt p.branch_fallthrough bci) ~default:0 )
+
+let record_receiver t m ~bci (cls : Classfile.rt_class) =
+  let p = for_method t m in
+  let rec bump = function
+    | [] -> [ (cls, 1) ]
+    | (c, n) :: rest when c.Classfile.cls_id = cls.Classfile.cls_id -> (c, n + 1) :: rest
+    | e :: rest -> e :: bump rest
+  in
+  Hashtbl.replace p.receivers bci
+    (bump (Option.value (Hashtbl.find_opt p.receivers bci) ~default:[]))
+
+let hot_receiver t m ~bci =
+  match Hashtbl.find_opt (for_method t m).receivers bci with
+  | None | Some [] -> None
+  | Some (first :: rest) ->
+      let cls, _ =
+        List.fold_left (fun (bc, bn) (c, n) -> if n > bn then (c, n) else (bc, bn)) first rest
+      in
+      Some cls
 
 let invocations t m = (for_method t m).invocations

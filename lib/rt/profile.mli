@@ -1,8 +1,9 @@
 (** Execution profiles collected by the interpreter tier and consumed by
-    the JIT: invocation counters drive the compilation policy, and
-    per-branch taken counts drive speculative cold-branch pruning — the
-    mechanism that makes deoptimization (and therefore §5.5 of the paper)
-    observable. *)
+    the JIT: invocation counters drive the compilation policy, per-branch
+    taken counts drive speculative cold-branch pruning — the mechanism
+    that makes deoptimization (and therefore §5.5 of the paper)
+    observable — and per-call-site receiver classes seed the closure
+    tier's inline caches. *)
 
 open Pea_bytecode
 
@@ -10,6 +11,8 @@ type method_profile = {
   mutable invocations : int;
   branch_taken : (int, int) Hashtbl.t; (* bci -> times the branch jumped *)
   branch_fallthrough : (int, int) Hashtbl.t;
+  receivers : (int, (Classfile.rt_class * int) list) Hashtbl.t;
+      (* bci of an Invokevirtual -> receiver classes seen, with counts *)
 }
 
 type t = method_profile array (* indexed by [mth_id] *)
@@ -28,5 +31,13 @@ val record_branch : t -> Classfile.rt_method -> bci:int -> taken:bool -> unit
 
 (** [branch_counts t m ~bci] is [(taken, fallthrough)]. *)
 val branch_counts : t -> Classfile.rt_method -> bci:int -> int * int
+
+(** [record_receiver t m ~bci cls] counts one dispatch on a receiver of
+    class [cls] at the [Invokevirtual] at [bci]. *)
+val record_receiver : t -> Classfile.rt_method -> bci:int -> Classfile.rt_class -> unit
+
+(** [hot_receiver t m ~bci] is the most frequently observed receiver class
+    at the call site, if any dispatch was recorded. *)
+val hot_receiver : t -> Classfile.rt_method -> bci:int -> Classfile.rt_class option
 
 val invocations : t -> Classfile.rt_method -> int

@@ -14,6 +14,9 @@ type t = {
   mutable compiled_ops : int;
   mutable invocations : int;
   mutable compiled_methods : int;
+  mutable closure_compiled_methods : int;
+  mutable ic_hits : int; (* closure-tier inline-cache fast-path dispatches *)
+  mutable ic_misses : int;
 }
 
 let create () =
@@ -29,6 +32,9 @@ let create () =
     compiled_ops = 0;
     invocations = 0;
     compiled_methods = 0;
+    closure_compiled_methods = 0;
+    ic_hits = 0;
+    ic_misses = 0;
   }
 
 let reset t =
@@ -42,7 +48,10 @@ let reset t =
   t.interpreted_instrs <- 0;
   t.compiled_ops <- 0;
   t.invocations <- 0;
-  t.compiled_methods <- 0
+  t.compiled_methods <- 0;
+  t.closure_compiled_methods <- 0;
+  t.ic_hits <- 0;
+  t.ic_misses <- 0
 
 type snapshot = {
   s_allocations : int;
@@ -56,6 +65,9 @@ type snapshot = {
   s_compiled_ops : int;
   s_invocations : int;
   s_compiled_methods : int;
+  s_closure_compiled_methods : int;
+  s_ic_hits : int;
+  s_ic_misses : int;
 }
 
 let snapshot t =
@@ -71,6 +83,9 @@ let snapshot t =
     s_compiled_ops = t.compiled_ops;
     s_invocations = t.invocations;
     s_compiled_methods = t.compiled_methods;
+    s_closure_compiled_methods = t.closure_compiled_methods;
+    s_ic_hits = t.ic_hits;
+    s_ic_misses = t.ic_misses;
   }
 
 (* [diff later earlier] — the activity between two snapshots. *)
@@ -87,11 +102,15 @@ let diff a b =
     s_compiled_ops = a.s_compiled_ops - b.s_compiled_ops;
     s_invocations = a.s_invocations - b.s_invocations;
     s_compiled_methods = a.s_compiled_methods - b.s_compiled_methods;
+    s_closure_compiled_methods = a.s_closure_compiled_methods - b.s_closure_compiled_methods;
+    s_ic_hits = a.s_ic_hits - b.s_ic_hits;
+    s_ic_misses = a.s_ic_misses - b.s_ic_misses;
   }
 
 let pp ppf t =
   Fmt.pf ppf
     "allocations=%d bytes=%d monitor_ops=%d stack_allocs=%d cycles=%d deopts=%d remat=%d \
-     interp=%d compiled=%d invokes=%d jit=%d"
+     interp=%d compiled=%d invokes=%d jit=%d closure_jit=%d ic_hits=%d ic_misses=%d"
     t.allocations t.allocated_bytes t.monitor_ops t.stack_allocs t.cycles t.deopts t.rematerialized
-    t.interpreted_instrs t.compiled_ops t.invocations t.compiled_methods
+    t.interpreted_instrs t.compiled_ops t.invocations t.compiled_methods t.closure_compiled_methods
+    t.ic_hits t.ic_misses

@@ -16,6 +16,13 @@ type t = {
   mutable compiled_ops : int;
   mutable invocations : int;
   mutable compiled_methods : int;
+  mutable closure_compiled_methods : int;
+      (* methods translated to the closure execution tier *)
+  mutable ic_hits : int;
+      (* closure-tier inline-cache fast-path dispatches (wall-clock-only
+         accounting: inline caches charge no cost-model cycles, so the
+         deterministic Table-1 numbers stay identical across tiers) *)
+  mutable ic_misses : int;
 }
 
 (** [create ()] is a zeroed statistics record. *)
@@ -37,6 +44,9 @@ type snapshot = {
   s_compiled_ops : int;
   s_invocations : int;
   s_compiled_methods : int;
+  s_closure_compiled_methods : int;
+  s_ic_hits : int;
+  s_ic_misses : int;
 }
 
 val snapshot : t -> snapshot

@@ -1,0 +1,38 @@
+(** The closure execution tier: one-time translation of an optimized IR
+    graph into a tree of OCaml closures.
+
+    Compared to the direct tier ({!Ir_exec}) this removes the per-operation
+    [Node.op] dispatch, predecessor search for phi routing and per-call
+    register-file allocation: every instruction becomes a pre-bound
+    closure, every block a fused closure chain, every [(pred, block)] edge
+    a precomputed parallel phi move, every virtual call site a monomorphic
+    inline cache, and register files are pooled across invocations.
+
+    Cost accounting ({!Stats.t.cycles}, {!Stats.t.compiled_ops}) is
+    bit-for-bit identical to the direct tier — inline caches and register
+    pooling are wall-clock optimizations only and charge no model cycles,
+    so Table-1 numbers do not depend on the execution tier. *)
+
+open Pea_ir
+open Pea_rt
+
+type code
+
+(** [compile env g] translates [g] into closure form. [env] is captured:
+    heap, globals, statics, the invoke/print hooks, and the interpreter's
+    receiver profile (used to seed the inline caches). The result is valid
+    as long as [g]'s compiled code is; the VM discards it on
+    deoptimization. *)
+val compile : Interp.env -> Graph.t -> code
+
+(** [run code args] executes one invocation, using a pooled register file.
+    The file is returned to the pool on normal return and on {!Interp.Mj_throw};
+    it deliberately leaks on {!Ir_exec.Deoptimize} because the deopt frame
+    state's lookup closure still references it (the VM is invalidating the
+    code anyway).
+    @raise Ir_exec.Deoptimize at [Deopt] terminators.
+    @raise Interp.Trap on runtime faults. *)
+val run : code -> Value.value list -> Value.value option
+
+(** Number of free register files currently pooled (for tests). *)
+val pool_depth : code -> int

@@ -1,8 +1,12 @@
-(* The "compiled code" tier: a direct executor for optimized IR graphs.
-   Each IR operation costs roughly one cycle in the cost model (plus
-   operation-specific costs), compared to the interpreter's dispatch
+(* The reference "compiled code" tier: a direct executor for optimized IR
+   graphs. Each IR operation costs roughly one cycle in the cost model
+   (plus operation-specific costs), compared to the interpreter's dispatch
    overhead — this is what makes removed allocations, loads and monitor
    operations visible in the iterations/minute metric.
+
+   The closure tier ({!Closure_compile}) is the fast path; this executor
+   stays deliberately straightforward so the two can be differentially
+   tested against each other and the interpreter.
 
    Hitting a [Deopt] terminator raises {!Deoptimize}; the VM catches it and
    transfers to the interpreter via {!Deopt}. *)
@@ -26,16 +30,79 @@ let as_int = function Vint n -> n | v -> trap "expected int, found %s" (string_o
 
 let as_bool = function Vbool b -> b | v -> trap "expected boolean, found %s" (string_of_value v)
 
-let run (env : Interp.env) (g : Graph.t) (args : Value.value list) : Value.value option =
+(* ------------------------------------------------------------------ *)
+(* Per-graph preparation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Phi routing, resolved once per compiled graph instead of on every block
+   entry of every invocation: for each block with phis, [pb_route] maps a
+   predecessor block id to its positional index in [preds], and
+   [pb_srcs.(idx)] lists the phi input ids for that edge. [pb_tmp] is the
+   scratch buffer of the parallel move; sharing it across invocations is
+   safe because the move performs no calls (so no reentrancy) and the VM
+   is single-threaded. *)
+type phi_block = {
+  pb_dsts : int array; (* phi node ids, in phi order *)
+  pb_srcs : int array array; (* per predecessor index, one input id per phi *)
+  pb_route : int array; (* predecessor block id -> index; -1 when absent *)
+  pb_tmp : Value.value array;
+}
+
+type prepared = {
+  p_graph : Graph.t;
+  p_phis : phi_block option array; (* indexed by block id *)
+}
+
+let prepare (g : Graph.t) : prepared =
+  let n = Graph.n_blocks g in
+  let phis = Array.make n None in
+  for bid = 0 to n - 1 do
+    let b = Graph.block g bid in
+    match b.Graph.phis with
+    | [] -> ()
+    | ps ->
+        let dsts = Array.of_list (List.map (fun (p : Node.t) -> p.Node.id) ps) in
+        let input i (p : Node.t) =
+          match p.Node.op with Node.Phi ph -> ph.Node.inputs.(i) | _ -> assert false
+        in
+        let srcs =
+          Array.init (List.length b.Graph.preds) (fun i ->
+              Array.of_list (List.map (input i) ps))
+        in
+        let route = Array.make n (-1) in
+        (* on a duplicated edge keep the first index, like the linear
+           search this replaces *)
+        List.iteri (fun i pred -> if route.(pred) < 0 then route.(pred) <- i) b.Graph.preds;
+        phis.(bid) <-
+          Some { pb_dsts = dsts; pb_srcs = srcs; pb_route = route; pb_tmp = Array.make (Array.length dsts) Vnull }
+  done;
+  { p_graph = g; p_phis = phis }
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_prepared (env : Interp.env) (p : prepared) (args : Value.value list) :
+    Value.value option =
+  let g = p.p_graph in
   let stats = env.Interp.stats in
   let regs = Array.make (max (Graph.n_nodes g) 1) Vnull in
-  List.iteri
-    (fun i (p : Node.t) ->
-      match List.nth_opt args i with
-      | Some v -> regs.(p.Node.id) <- v
-      | None -> trap "missing argument %d for %s" i (Classfile.qualified_name g.Graph.g_method))
-    g.Graph.params;
+  (* bind parameters with one paired walk (extra arguments are ignored,
+     as the interpreter does with oversized locals) *)
+  let rec bind (params : Node.t list) args =
+    match (params, args) with
+    | [], _ -> ()
+    | p :: ps, v :: vs ->
+        regs.(p.Node.id) <- v;
+        bind ps vs
+    | p :: _, [] ->
+        ignore p;
+        trap "missing argument for %s" (Classfile.qualified_name g.Graph.g_method)
+  in
+  bind g.Graph.params args;
   let charge c = stats.Stats.cycles <- stats.Stats.cycles + c in
+  (* one (value list) allocation per call, no intermediate array *)
+  let arg_values arg_ids = Array.fold_right (fun id acc -> regs.(id) :: acc) arg_ids [] in
   let eval (n : Node.t) =
     stats.Stats.compiled_ops <- stats.Stats.compiled_ops + 1;
     charge Cost.compiled_op;
@@ -156,7 +223,7 @@ let run (env : Interp.env) (g : Graph.t) (args : Value.value list) : Value.value
             | exception Heap.Unbalanced_monitor msg -> trap "%s" msg))
     | Node.Invoke (kind, callee, arg_ids) -> (
         charge Cost.invoke;
-        let call_args = Array.to_list (Array.map v arg_ids) in
+        let call_args = arg_values arg_ids in
         match kind with
         | Node.Special ->
             (match call_args with
@@ -186,29 +253,21 @@ let run (env : Interp.env) (g : Graph.t) (args : Value.value list) : Value.value
   in
   let rec exec prev_bid bid =
     let b = Graph.block g bid in
-    (* evaluate phis simultaneously on block entry *)
-    (match b.Graph.phis with
-    | [] -> ()
-    | phis ->
-        let pred_idx =
-          let rec find i = function
-            | [] -> trap "phi resolution: B%d is not a predecessor of B%d" prev_bid bid
-            | p :: _ when p = prev_bid -> i
-            | _ :: rest -> find (i + 1) rest
-          in
-          find 0 b.Graph.preds
-        in
-        let values =
-          List.map
-            (fun (phi : Node.t) ->
-              match phi.Node.op with
-              | Node.Phi p -> regs.(p.Node.inputs.(pred_idx))
-              | _ -> assert false)
-            phis
-        in
-        List.iter2
-          (fun (phi : Node.t) value -> regs.(phi.Node.id) <- value)
-          phis values);
+    (* route phis through the precomputed (pred, block) edge tables *)
+    (match p.p_phis.(bid) with
+    | None -> ()
+    | Some pb ->
+        let idx = if prev_bid >= 0 then pb.pb_route.(prev_bid) else -1 in
+        if idx < 0 then trap "phi resolution: B%d is not a predecessor of B%d" prev_bid bid;
+        let srcs = pb.pb_srcs.(idx) in
+        let tmp = pb.pb_tmp in
+        for i = 0 to Array.length srcs - 1 do
+          tmp.(i) <- regs.(srcs.(i))
+        done;
+        let dsts = pb.pb_dsts in
+        for i = 0 to Array.length dsts - 1 do
+          regs.(dsts.(i)) <- tmp.(i)
+        done);
     Pea_support.Dyn_array.iter eval b.Graph.instrs;
     match b.Graph.term with
     | Graph.Goto t -> exec bid t
@@ -222,3 +281,5 @@ let run (env : Interp.env) (g : Graph.t) (args : Value.value list) : Value.value
     | Graph.Unreachable -> trap "reached an Unreachable terminator"
   in
   exec (-1) Graph.entry_id
+
+let run env g args = run_prepared env (prepare g) args

@@ -1,9 +1,13 @@
-(** The "compiled code" tier: a direct executor for optimized IR graphs.
+(** The reference "compiled code" tier: a direct executor for optimized IR
+    graphs.
 
     Each IR operation costs roughly one cycle in the cost model (plus
     operation-specific costs), compared to the interpreter's per-bytecode
     dispatch overhead — this is what makes removed allocations, loads and
-    monitor operations visible in the iterations/minute metric. *)
+    monitor operations visible in the iterations/minute metric. The
+    {!Closure_compile} tier executes the same graphs faster in wall-clock
+    terms; this executor is the semantic reference the closure tier is
+    differentially tested against. *)
 
 open Pea_ir
 open Pea_rt
@@ -17,7 +21,22 @@ exception Deoptimize of Frame_state.t * (Node.node_id -> Value.value)
     ([Cundef] becomes [null]). *)
 val const_value : Node.const -> Value.value
 
-(** [run env g args] executes [g] from its entry block.
+(** A graph plus phi-routing tables resolved once per compilation: for
+    every [(predecessor, block)] edge the positional predecessor index and
+    the per-phi input ids are precomputed, so block entry does no linear
+    predecessor search. *)
+type prepared
+
+(** [prepare g] resolves the routing tables for [g]. Call once per
+    compiled graph; the result is valid as long as [g] is not mutated. *)
+val prepare : Graph.t -> prepared
+
+(** [run_prepared env p args] executes the prepared graph from its entry
+    block.
     @raise Deoptimize at [Deopt] terminators.
     @raise Interp.Trap on runtime faults. *)
+val run_prepared : Interp.env -> prepared -> Value.value list -> Value.value option
+
+(** [run env g args] is [run_prepared env (prepare g) args] — one-shot
+    execution for tests and tools. *)
 val run : Interp.env -> Graph.t -> Value.value list -> Value.value option

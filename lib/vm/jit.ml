@@ -19,6 +19,10 @@ type opt_level =
   | O_ea
   | O_pea
 
+type exec_tier =
+  | Direct (* reference tier: Ir_exec walks the graph per invocation *)
+  | Closure (* Closure_compile: pre-bound closures, inline caches *)
+
 type config = {
   opt : opt_level;
   inline : bool;
@@ -30,6 +34,7 @@ type config = {
   summaries : bool; (* interprocedural escape summaries at call sites *)
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int;
+  exec_tier : exec_tier; (* how compiled graphs are executed *)
 }
 
 let default_config =
@@ -44,11 +49,16 @@ let default_config =
     summaries = true;
     compile_threshold = 10;
     max_callee_size = 150;
+    exec_tier = Closure;
   }
 
 type compiled = {
   graph : Graph.t;
   pea_stats : Pea_core.Pea.pass_stats option;
+  prepared : Ir_exec.prepared; (* phi routing tables for the direct tier *)
+  mutable closure : Closure_compile.code option;
+      (* built lazily by the VM on first execution under the closure tier
+         (compilation needs the runtime env, which the JIT does not hold) *)
 }
 
 let verify config g = if config.verify then Check.check_exn g
@@ -91,4 +101,4 @@ let compile ?summaries config (program : Link.program) (profile : Profile.t)
   ignore (Pea_opt.Gvn.run ?summaries g);
   if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
   verify config g;
-  { graph = g; pea_stats }
+  { graph = g; pea_stats; prepared = Ir_exec.prepare g; closure = None }

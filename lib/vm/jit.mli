@@ -21,6 +21,12 @@ type opt_level =
   | O_ea
   | O_pea
 
+(** How compiled graphs are executed. Both tiers charge identical model
+    cycles; the closure tier is a wall-clock optimization. *)
+type exec_tier =
+  | Direct (* reference tier: {!Ir_exec} walks the graph per invocation *)
+  | Closure (* {!Closure_compile}: pre-bound closures, inline caches *)
+
 type config = {
   opt : opt_level;
   inline : bool;
@@ -35,14 +41,18 @@ type config = {
          merges provably pure calls, read elimination survives them *)
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int; (* inlining budget per callee, in bytecodes *)
+  exec_tier : exec_tier;
 }
 
-(** PEA on, everything enabled, threshold 10. *)
+(** PEA on, everything enabled, threshold 10, closure tier. *)
 val default_config : config
 
 type compiled = {
   graph : Graph.t;
   pea_stats : Pea_core.Pea.pass_stats option; (* [None] under [O_none] *)
+  prepared : Ir_exec.prepared; (* phi routing tables for the direct tier *)
+  mutable closure : Closure_compile.code option;
+      (* built lazily by the VM on first execution under the closure tier *)
 }
 
 (** [compile ?summaries config program profile m ~allow_prune] runs the

@@ -75,7 +75,25 @@ let rec invoke vm (m : Classfile.rt_method) args =
 
 and run_compiled vm m code args =
   vm.env.Interp.stats.Stats.invocations <- vm.env.Interp.stats.Stats.invocations + 1;
-  match Ir_exec.run vm.env code.Jit.graph args with
+  let execute () =
+    match vm.config.Jit.exec_tier with
+    | Jit.Direct -> Ir_exec.run_prepared vm.env code.Jit.prepared args
+    | Jit.Closure ->
+        let cc =
+          match code.Jit.closure with
+          | Some cc -> cc
+          | None ->
+              (* lazy: only built when the closure tier actually runs the
+                 method, so the direct tier pays no translation cost *)
+              let cc = Closure_compile.compile vm.env code.Jit.graph in
+              code.Jit.closure <- Some cc;
+              vm.env.Interp.stats.Stats.closure_compiled_methods <-
+                vm.env.Interp.stats.Stats.closure_compiled_methods + 1;
+              cc
+        in
+        Closure_compile.run cc args
+  in
+  match execute () with
   | result -> result
   | exception Ir_exec.Deoptimize (fs, lookup) ->
       (* invalidate and disable speculation for this method from now on *)

@@ -3,7 +3,10 @@
 
    - MJVM_TEST_OPT = none | ea | pea   forces the optimization level;
    - MJVM_TEST_SUMMARIES = 0|off|false disables interprocedural summaries
-     (any other value enables them).
+     (any other value enables them);
+   - MJVM_TEST_EXEC_TIER = direct | closure forces the execution tier;
+   - MJVM_TEST_QCHECK_COUNT = N scales the qcheck case counts (the matrix
+     run uses 500+; the default local counts keep the suite fast).
 
    Unset variables leave the test's own configuration untouched. *)
 
@@ -13,6 +16,12 @@ open Pea_vm
    meaningless when the level is forced from the outside. *)
 let opt_forced () = Sys.getenv_opt "MJVM_TEST_OPT" <> None
 
+(* qcheck case count: [default] unless MJVM_TEST_QCHECK_COUNT is set. *)
+let qcheck_count default =
+  match Sys.getenv_opt "MJVM_TEST_QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
 let apply (cfg : Jit.config) =
   let cfg =
     match Sys.getenv_opt "MJVM_TEST_OPT" with
@@ -21,7 +30,13 @@ let apply (cfg : Jit.config) =
     | Some "pea" -> { cfg with Jit.opt = Jit.O_pea }
     | Some _ | None -> cfg
   in
-  match Sys.getenv_opt "MJVM_TEST_SUMMARIES" with
-  | Some ("0" | "off" | "false") -> { cfg with Jit.summaries = false }
-  | Some _ -> { cfg with Jit.summaries = true }
-  | None -> cfg
+  let cfg =
+    match Sys.getenv_opt "MJVM_TEST_SUMMARIES" with
+    | Some ("0" | "off" | "false") -> { cfg with Jit.summaries = false }
+    | Some _ -> { cfg with Jit.summaries = true }
+    | None -> cfg
+  in
+  match Sys.getenv_opt "MJVM_TEST_EXEC_TIER" with
+  | Some "direct" -> { cfg with Jit.exec_tier = Jit.Direct }
+  | Some "closure" -> { cfg with Jit.exec_tier = Jit.Closure }
+  | Some _ | None -> cfg

@@ -1,0 +1,225 @@
+(* Closure execution tier tests: inline-cache behavior (monomorphic hit,
+   polymorphic rebias, deopt invalidation), register-file pooling, and
+   bit-for-bit cost-model parity with the direct tier. *)
+
+open Pea_bytecode
+open Pea_rt
+open Pea_vm
+
+let vint n = Value.Vint n
+
+let vbool b = Value.Vbool b
+
+let as_int = function
+  | Some (Value.Vint n) -> n
+  | other ->
+      Alcotest.failf "expected an int result, got %s"
+        (match other with None -> "void" | Some v -> Value.string_of_value v)
+
+(* Inlining is off so the virtual calls survive to the IR (an inlined call
+   has no dispatch and would never exercise the inline cache); escape
+   analysis is off so receivers are real heap objects. *)
+let ic_config =
+  {
+    Jit.default_config with
+    Jit.opt = Jit.O_none;
+    inline = false;
+    compile_threshold = 5;
+    exec_tier = Jit.Closure;
+  }
+
+let setup ?(config = ic_config) src =
+  let program = Link.compile_source ~require_main:false src in
+  (program, Vm.create ~config program)
+
+let ic_src =
+  "class A { int v; int get() { return v; } }\n\
+   class B extends A { int get() { return v * 2; } }\n\
+   class C {\n\
+  \  static A mkA(int v) { A a = new A(); a.v = v; return a; }\n\
+  \  static A mkB(int v) { B b = new B(); b.v = v; return b; }\n\
+  \  static int f(A a, int n) {\n\
+  \    int s = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < n) { s = s + a.get(); i = i + 1; }\n\
+  \    return s;\n\
+  \  }\n\
+   }"
+
+(* A single receiver class: the cache is seeded from the interpreter's
+   receiver profile, so once compiled, every dispatch is a fast-path hit —
+   not even a first-call miss. *)
+let test_ic_monomorphic () =
+  let program, vm = setup ic_src in
+  let f = Link.find_method program "C" "f" in
+  let a = Option.get (Vm.invoke vm (Link.find_method program "C" "mkA") [ vint 7 ]) in
+  Vm.warm_up vm f [ a; vint 10 ] 10;
+  let before = Stats.snapshot (Vm.stats vm) in
+  Alcotest.(check bool) "closure-compiled" true (before.Stats.s_closure_compiled_methods >= 1);
+  Alcotest.(check int) "monomorphic result" 70 (as_int (Vm.invoke vm f [ a; vint 10 ]));
+  let after = Stats.snapshot (Vm.stats vm) in
+  Alcotest.(check bool) "ic hits" true (after.Stats.s_ic_hits - before.Stats.s_ic_hits >= 10);
+  Alcotest.(check int) "no ic misses for the profiled receiver" 0
+    (after.Stats.s_ic_misses - before.Stats.s_ic_misses)
+
+(* Alternating receiver classes: each flip misses once and rebiases the
+   cache, so the calls within one invocation after the flip hit again.
+   Results must reflect the dynamic type throughout. *)
+let test_ic_polymorphic_rebias () =
+  let program, vm = setup ic_src in
+  let f = Link.find_method program "C" "f" in
+  let a = Option.get (Vm.invoke vm (Link.find_method program "C" "mkA") [ vint 3 ]) in
+  let b = Option.get (Vm.invoke vm (Link.find_method program "C" "mkB") [ vint 3 ]) in
+  Vm.warm_up vm f [ a; vint 10 ] 10;
+  let before = Stats.snapshot (Vm.stats vm) in
+  (* B.get doubles: 10 * 3 * 2 *)
+  Alcotest.(check int) "B receiver" 60 (as_int (Vm.invoke vm f [ b; vint 10 ]));
+  Alcotest.(check int) "A receiver" 30 (as_int (Vm.invoke vm f [ a; vint 10 ]));
+  Alcotest.(check int) "B again" 60 (as_int (Vm.invoke vm f [ b; vint 10 ]));
+  let after = Stats.snapshot (Vm.stats vm) in
+  let misses = after.Stats.s_ic_misses - before.Stats.s_ic_misses in
+  let hits = after.Stats.s_ic_hits - before.Stats.s_ic_hits in
+  (* one miss per receiver flip (3 flips), the other 27 dispatches hit on
+     the rebiased cache *)
+  Alcotest.(check int) "one miss per receiver flip" 3 misses;
+  Alcotest.(check int) "rebiased cache serves the rest" 27 hits
+
+(* A deopt invalidates the compiled code and with it the cached dispatch
+   targets; the recompiled closure code must still dispatch correctly for
+   every receiver. *)
+let test_ic_deopt_invalidation () =
+  let src =
+    "class A { int v; int get() { return v; } }\n\
+     class B extends A { int get() { return v * 2; } }\n\
+     class C {\n\
+    \  static A global;\n\
+    \  static A mkA(int v) { A a = new A(); a.v = v; return a; }\n\
+    \  static A mkB(int v) { B b = new B(); b.v = v; return b; }\n\
+    \  static int f(A a, boolean cold) {\n\
+    \    if (cold) { C.global = a; }\n\
+    \    return a.get() + 1;\n\
+    \  }\n\
+     }"
+  in
+  let config = { ic_config with Jit.compile_threshold = 25; prune = true } in
+  let program, vm = setup ~config src in
+  let f = Link.find_method program "C" "f" in
+  let a = Option.get (Vm.invoke vm (Link.find_method program "C" "mkA") [ vint 5 ]) in
+  let b = Option.get (Vm.invoke vm (Link.find_method program "C" "mkB") [ vint 5 ]) in
+  Vm.warm_up vm f [ a; vbool false ] 40;
+  let s0 = Stats.snapshot (Vm.stats vm) in
+  Alcotest.(check bool) "closure-compiled" true (s0.Stats.s_closure_compiled_methods >= 1);
+  (* trigger the pruned branch: deopt, invalidation, recompilation *)
+  Alcotest.(check int) "deopt call result" 6 (as_int (Vm.invoke vm f [ a; vbool true ]));
+  let s1 = Stats.snapshot (Vm.stats vm) in
+  Alcotest.(check int) "one deopt" 1 (s1.Stats.s_deopts - s0.Stats.s_deopts);
+  (* the recompiled code re-seeds its caches and dispatches correctly *)
+  Alcotest.(check int) "A after recompile" 6 (as_int (Vm.invoke vm f [ a; vbool true ]));
+  Alcotest.(check int) "B after recompile" 11 (as_int (Vm.invoke vm f [ b; vbool true ]));
+  let s2 = Stats.snapshot (Vm.stats vm) in
+  Alcotest.(check int) "no further deopts" 0 (s2.Stats.s_deopts - s1.Stats.s_deopts);
+  Alcotest.(check bool) "recompiled for the closure tier" true
+    (s2.Stats.s_closure_compiled_methods > s0.Stats.s_closure_compiled_methods)
+
+(* Register files are pooled: one invocation acquires the file, a normal
+   return releases it, and the next invocation reuses it (the pool never
+   grows beyond the call depth). *)
+let test_register_file_pool () =
+  let program = Link.compile_source ~require_main:false "class C { static int f(int x) { int y = x * 3; return y + 1; } }" in
+  let stats = Stats.create () in
+  let heap = Heap.create stats in
+  let profile = Profile.create program in
+  let globals = Array.make (max program.Link.n_statics 1) Value.Vnull in
+  let env =
+    {
+      Interp.heap;
+      stats;
+      profile;
+      globals;
+      on_invoke = (fun _ _ -> Alcotest.fail "no calls in this graph");
+      on_print = ignore;
+    }
+  in
+  let m = Link.find_method program "C" "f" in
+  let compiled =
+    Jit.compile { Jit.default_config with Jit.prune = false } program profile m
+      ~allow_prune:false
+  in
+  let code = Closure_compile.compile env compiled.Jit.graph in
+  Alcotest.(check int) "empty pool after translation" 0 (Closure_compile.pool_depth code);
+  Alcotest.(check int) "first run" 16 (as_int (Closure_compile.run code [ vint 5 ]));
+  Alcotest.(check int) "file released on return" 1 (Closure_compile.pool_depth code);
+  Alcotest.(check int) "second run reuses the file" 31
+    (as_int (Closure_compile.run code [ vint 10 ]));
+  Alcotest.(check int) "pool does not grow" 1 (Closure_compile.pool_depth code)
+
+(* The two tiers must agree bit-for-bit on every deterministic metric —
+   the cost model cannot depend on how compiled graphs are executed. The
+   scenario covers compiled arithmetic, allocation, virtual calls, field
+   traffic and a deopt with a virtual object in the frame state. *)
+let parity_src =
+  "class I { int val; }\n\
+   class A { int v; int get() { return v; } }\n\
+   class B extends A { int get() { return v * 2; } }\n\
+   class C {\n\
+  \  static I global;\n\
+  \  static A mkA(int v) { A a = new A(); a.v = v; return a; }\n\
+  \  static A mkB(int v) { B b = new B(); b.v = v; return b; }\n\
+  \  static int f(A recv, int x, boolean cold) {\n\
+  \    I i = new I();\n\
+  \    i.val = x + recv.get();\n\
+  \    if (cold) { C.global = i; }\n\
+  \    return i.val + 1;\n\
+  \  }\n\
+   }"
+
+let run_parity_scenario tier =
+  let config =
+    { Jit.default_config with Jit.compile_threshold = 25; exec_tier = tier }
+  in
+  let program, vm = setup ~config parity_src in
+  let f = Link.find_method program "C" "f" in
+  let a = Option.get (Vm.invoke vm (Link.find_method program "C" "mkA") [ vint 2 ]) in
+  let b = Option.get (Vm.invoke vm (Link.find_method program "C" "mkB") [ vint 2 ]) in
+  Vm.warm_up vm f [ a; vint 1; vbool false ] 40;
+  let hot = as_int (Vm.invoke vm f [ a; vint 10; vbool false ]) in
+  let deopt = as_int (Vm.invoke vm f [ a; vint 20; vbool true ]) in
+  let poly = as_int (Vm.invoke vm f [ b; vint 30; vbool true ]) in
+  ((hot, deopt, poly), Stats.snapshot (Vm.stats vm))
+
+let test_cost_model_parity () =
+  let results_d, sd = run_parity_scenario Jit.Direct in
+  let results_c, sc = run_parity_scenario Jit.Closure in
+  Alcotest.(check (triple int int int)) "same results" results_d results_c;
+  Alcotest.(check int) "cycles" sd.Stats.s_cycles sc.Stats.s_cycles;
+  Alcotest.(check int) "compiled ops" sd.Stats.s_compiled_ops sc.Stats.s_compiled_ops;
+  Alcotest.(check int) "interpreted instrs" sd.Stats.s_interpreted_instrs
+    sc.Stats.s_interpreted_instrs;
+  Alcotest.(check int) "allocations" sd.Stats.s_allocations sc.Stats.s_allocations;
+  Alcotest.(check int) "allocated bytes" sd.Stats.s_allocated_bytes sc.Stats.s_allocated_bytes;
+  Alcotest.(check int) "monitor ops" sd.Stats.s_monitor_ops sc.Stats.s_monitor_ops;
+  Alcotest.(check int) "stack allocs" sd.Stats.s_stack_allocs sc.Stats.s_stack_allocs;
+  Alcotest.(check int) "deopts" sd.Stats.s_deopts sc.Stats.s_deopts;
+  Alcotest.(check int) "rematerialized" sd.Stats.s_rematerialized sc.Stats.s_rematerialized;
+  Alcotest.(check int) "invocations" sd.Stats.s_invocations sc.Stats.s_invocations;
+  (* and the tier-specific counters only move on their own tier *)
+  Alcotest.(check int) "direct tier builds no closures" 0 sd.Stats.s_closure_compiled_methods;
+  Alcotest.(check int) "direct tier has no ic traffic" 0 (sd.Stats.s_ic_hits + sd.Stats.s_ic_misses);
+  Alcotest.(check bool) "closure tier built closures" true
+    (sc.Stats.s_closure_compiled_methods >= 1)
+
+let () =
+  Alcotest.run "exec_tier"
+    [
+      ( "inline-caches",
+        [
+          Alcotest.test_case "monomorphic hit" `Quick test_ic_monomorphic;
+          Alcotest.test_case "polymorphic rebias" `Quick test_ic_polymorphic_rebias;
+          Alcotest.test_case "deopt invalidation" `Quick test_ic_deopt_invalidation;
+        ] );
+      ( "register-files",
+        [ Alcotest.test_case "pooling" `Quick test_register_file_pool ] );
+      ( "parity",
+        [ Alcotest.test_case "cost model identical across tiers" `Quick test_cost_model_parity ]
+      );
+    ]

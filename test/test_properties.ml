@@ -186,6 +186,46 @@ let gen_program : string G.t =
        \  }\n\
         }" body checksum)
 
+(* Like [gen_program], but main ends with a deopt trap: a freshly
+   allocated object escapes only when a persistent iteration counter
+   crosses 23. Driven for 25 iterations with compile_threshold 22, the
+   branch is never taken while interpreted (22 samples, 0 taken — enough
+   for the pruner), gets pruned at compilation, and then fires on
+   iteration 24: a real deoptimization with the object virtual in the
+   frame state under PEA. Iteration 25 runs the recompiled code. The
+   checksum reads the object's fields after the branch, so rematerialized
+   values flow into the result. *)
+let gen_program_deopt : string G.t =
+  let env = { ivars = [ "i0"; "i1"; "i2" ]; pvars = [ "p0"; "p1" ]; depth = 3 } in
+  let* body = gen_block env 2 in
+  G.return
+    (Printf.sprintf
+       "class P { int a; int b; P next; }\n\
+        class Main {\n\
+       \  static P g1;\n\
+       \  static int g2;\n\
+       \  static int[] garr;\n\
+       \  static int iterc;\n\
+       \  static int main() {\n\
+       \    Main.iterc = Main.iterc + 1;\n\
+       \    Main.g1 = null; Main.g2 = 0; Main.garr = null;\n\
+       \    int i0 = 1; int i1 = 2; int i2 = 3;\n\
+       \    P p0 = new P(); P p1 = new P();\n\
+       \    int[] arr = new int[3];\n\
+        %s\n\
+       \    P d0 = new P();\n\
+       \    d0.a = i0 + i1 + Main.iterc;\n\
+       \    d0.b = Main.g2 + 7;\n\
+       \    if (Main.iterc > 23) { Main.g1 = d0; print(d0.a); }\n\
+       \    int g1v = 0;\n\
+       \    if (Main.g1 != null) g1v = Main.g1.a + Main.g1.b;\n\
+       \    int garrv = 0;\n\
+       \    if (Main.garr != null) garrv = Main.garr[0] + Main.garr[1] * 13;\n\
+       \    return i0 + i1 * 3 + i2 * 5 + p0.a + p0.b * 7 + p1.a * 11 + p1.b + Main.g2 + g1v + \
+        garrv + arr[0] + arr[1] * 17 + arr[2] * 19 + d0.a * 23 + d0.b * 29;\n\
+       \  }\n\
+        }" body)
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -208,8 +248,8 @@ let outcome_vm (r : Vm.result) =
   (string_of_result r.Vm.return_value, List.map Value.string_of_value r.Vm.printed)
 
 let prop_differential =
-  QCheck2.Test.make ~name:"compiled semantics = interpreter semantics" ~count:200 ~print:(fun s -> s)
-    gen_program
+  QCheck2.Test.make ~name:"compiled semantics = interpreter semantics"
+    ~count:(Test_env.qcheck_count 200) ~print:(fun s -> s) gen_program
     (fun src ->
       let ret_i, prints_i = outcome_interp src in
       let expected_prints = prints_i @ prints_i @ prints_i in
@@ -219,9 +259,46 @@ let prop_differential =
           ret_c = ret_i && prints_c = expected_prints)
         [ Jit.O_none; Jit.O_ea; Jit.O_pea ])
 
+(* Tier differential: interpreter, direct tier and closure tier agree on
+   the last return value and the full print sequence at every opt level —
+   through JIT compilation, speculative pruning and a forced deopt with a
+   virtual object in the frame state (see [gen_program_deopt]) — and the
+   two compiled tiers agree bit-for-bit on the deterministic counters.
+   Deliberately not routed through [Test_env.apply]: forcing a tier from
+   the environment would collapse the comparison. *)
+let prop_tier_differential =
+  let iters = 25 in
+  let run src opt tier ~threshold =
+    let program = Pea_bytecode.Link.compile_source src in
+    let config =
+      { Jit.default_config with Jit.opt; compile_threshold = threshold; exec_tier = tier }
+    in
+    let vm = Vm.create ~config program in
+    let r = Vm.run_main_iterations vm iters in
+    (outcome_vm r, r.Vm.stats)
+  in
+  QCheck2.Test.make ~name:"closure tier = direct tier = interpreter, with forced deopts"
+    ~count:(Test_env.qcheck_count 60) ~print:(fun s -> s) gen_program_deopt
+    (fun src ->
+      (* reference: interpreter only (threshold never reached) *)
+      let reference, _ = run src Jit.O_pea Jit.Direct ~threshold:max_int in
+      List.for_all
+        (fun opt ->
+          let out_d, sd = run src opt Jit.Direct ~threshold:22 in
+          let out_c, sc = run src opt Jit.Closure ~threshold:22 in
+          out_d = reference && out_c = reference
+          && sd.Stats.s_cycles = sc.Stats.s_cycles
+          && sd.Stats.s_compiled_ops = sc.Stats.s_compiled_ops
+          && sd.Stats.s_interpreted_instrs = sc.Stats.s_interpreted_instrs
+          && sd.Stats.s_allocations = sc.Stats.s_allocations
+          && sd.Stats.s_allocated_bytes = sc.Stats.s_allocated_bytes
+          && sd.Stats.s_monitor_ops = sc.Stats.s_monitor_ops
+          && sd.Stats.s_deopts = sc.Stats.s_deopts)
+        [ Jit.O_none; Jit.O_ea; Jit.O_pea ])
+
 let prop_alloc_monotone =
-  QCheck2.Test.make ~name:"PEA/EA never increase allocations or monitors" ~count:100
-    ~print:(fun s -> s) gen_program
+  QCheck2.Test.make ~name:"PEA/EA never increase allocations or monitors"
+    ~count:(Test_env.qcheck_count 100) ~print:(fun s -> s) gen_program
     (fun src ->
       let none = run_vm src Jit.O_none in
       let ea = run_vm src Jit.O_ea in
@@ -248,8 +325,8 @@ let prop_pretty_roundtrip =
          = List.map Value.string_of_value r2.Run.printed)
 
 let prop_ir_checker_after_pea =
-  QCheck2.Test.make ~name:"PEA output passes the IR checker on random programs" ~count:100
-    ~print:(fun s -> s) gen_program
+  QCheck2.Test.make ~name:"PEA output passes the IR checker on random programs"
+    ~count:(Test_env.qcheck_count 100) ~print:(fun s -> s) gen_program
     (fun src ->
       let program = Pea_bytecode.Link.compile_source src in
       let m = Pea_bytecode.Link.entry_exn program in
@@ -271,6 +348,7 @@ let () =
       ( "differential",
         [
           QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_tier_differential;
           QCheck_alcotest.to_alcotest prop_alloc_monotone;
           QCheck_alcotest.to_alcotest prop_ir_checker_after_pea;
           QCheck_alcotest.to_alcotest prop_pretty_roundtrip;
