@@ -440,6 +440,53 @@ let summaries_section () =
   close_out oc;
   Printf.printf "wrote BENCH_summaries.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The tracing subsystem's two contracts, checked on a real workload row:
+   installing a tracer moves no deterministic counter, and the captured
+   trace is byte-for-byte identical across runs. *)
+let obs_section () =
+  header "Observability: tracing overhead and determinism gate";
+  let row = Option.get (Spec.find "factorie") in
+  let src = Codegen.source_for_row row in
+  let run traced =
+    let config = { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 2 } in
+    let vm = Pea_vm.Vm.create ~config (Pea_bytecode.Link.compile_source src) in
+    if not traced then (Pea_vm.Vm.run_main_iterations vm 3, None)
+    else begin
+      let t = Pea_obs.Trace.create () in
+      Pea_obs.Trace.set_clock t (fun () ->
+          Pea_rt.Stats.get (Pea_vm.Vm.stats vm) Pea_rt.Stats.cycles);
+      Pea_obs.Trace.install t;
+      let r =
+        Fun.protect ~finally:Pea_obs.Trace.uninstall (fun () ->
+            Pea_vm.Vm.run_main_iterations vm 3)
+      in
+      (r, Some t)
+    end
+  in
+  let off, _ = run false in
+  let on, tracer1 = run true in
+  let _, tracer2 = run true in
+  let t1 = Option.get tracer1 and t2 = Option.get tracer2 in
+  let counters_identical = off.Pea_vm.Vm.stats = on.Pea_vm.Vm.stats in
+  let deterministic = Pea_obs.Trace.jsonl_string t1 = Pea_obs.Trace.jsonl_string t2 in
+  Printf.printf "events captured: %d (dropped: %d)\n" (Pea_obs.Trace.length t1)
+    (Pea_obs.Trace.dropped t1);
+  Printf.printf "gate: counters identical with tracing on: %s; trace identical across runs: %s\n"
+    (if counters_identical then "PASS" else "FAIL")
+    (if deterministic then "PASS" else "FAIL");
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\"workload\": %S, \"events\": %d, \"dropped\": %d, \"counters_identical\": %b, \
+     \"trace_deterministic\": %b}\n"
+    row.Spec.name (Pea_obs.Trace.length t1) (Pea_obs.Trace.dropped t1) counters_identical
+    deterministic;
+  close_out oc;
+  Printf.printf "wrote BENCH_obs.json\n"
+
 (* The paper's §6.1 observation: "the allocations not removed by Partial
    Escape Analysis often contain large arrays". Show the per-class
    breakdown of a representative workload without and with PEA. *)
@@ -478,6 +525,7 @@ let () =
   fig4_section ();
   ablation_section ();
   summaries_section ();
+  obs_section ();
   breakdown_section ();
   if not fast then begin
     bechamel_section ();

@@ -5,7 +5,9 @@
 # tier (closure / direct). The suites read the forced configuration from
 # MJVM_TEST_OPT / MJVM_TEST_SUMMARIES / MJVM_TEST_EXEC_TIER (see
 # test/test_env.ml); a differential or monotonicity failure in any cell
-# is a real bug in that configuration.
+# is a real bug in that configuration. A final cell re-runs the default
+# configuration with a global tracer installed (MJVM_TEST_TRACE=1) to
+# check that instrumentation never changes behaviour.
 #
 # MJVM_TEST_QCHECK_COUNT scales the property-based suites up from their
 # fast local defaults: every matrix cell runs 500+ random programs per
@@ -35,4 +37,12 @@ for opt in none ea pea; do
     done
   done
 done
+
+echo "=== trace=on (default configuration, global tracer installed) ==="
+if MJVM_TEST_TRACE=1 dune runtest --force >/dev/null 2>&1; then
+  echo "    ok"
+else
+  echo "    FAILED (rerun: MJVM_TEST_TRACE=1 dune runtest --force)"
+  status=1
+fi
 exit $status

@@ -7,6 +7,7 @@
 open Cmdliner
 open Pea_bytecode
 open Pea_vm
+module Trace = Pea_obs.Trace
 
 let read_file path =
   let ic = open_in_bin path in
@@ -85,6 +86,36 @@ let no_summaries_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log JIT events (compilations, deopts)")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a deterministic event trace (compilations, PEA decisions, deopts, \
+           inline-cache transitions, tier promotions) to $(docv). Timestamps are cost-model \
+           cycles, so the trace is byte-for-byte reproducible")
+
+let trace_format_conv =
+  let parse s =
+    match Trace.parse_format s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown trace format %S (jsonl|chrome)" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (match f with Trace.Jsonl -> "jsonl" | Trace.Chrome -> "chrome")
+  in
+  Arg.conv (parse, print)
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt trace_format_conv Trace.Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace sink: jsonl (one event per line) or chrome (trace_event JSON, loadable in \
+           about:tracing / Perfetto)")
+
 let setup_logs verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -106,27 +137,52 @@ let config opt threshold no_inline no_prune no_summaries exec_tier =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
+let compile_file_or_exit ?require_main file =
+  match Link.compile_source ?require_main (read_file file) with
+  | exception Pea_mjava.Lexer.Lex_error (msg, pos) ->
+      Printf.eprintf "%s:%d:%d: lex error: %s\n" file pos.line pos.col msg;
+      exit 1
+  | exception Pea_mjava.Parser.Parse_error (msg, pos) ->
+      Printf.eprintf "%s:%d:%d: parse error: %s\n" file pos.line pos.col msg;
+      exit 1
+  | exception Pea_mjava.Typecheck.Type_error (msg, pos) ->
+      Printf.eprintf "%s:%d:%d: type error: %s\n" file pos.line pos.col msg;
+      exit 1
+  | exception Link.Link_error msg ->
+      Printf.eprintf "link error: %s\n" msg;
+      exit 1
+  | program -> program
+
 let run_cmd =
-  let action file opt threshold iterations stats no_inline no_prune no_summaries exec_tier verbose =
+  let action file opt threshold iterations stats no_inline no_prune no_summaries exec_tier verbose
+      trace trace_format =
     setup_logs verbose;
-    match Link.compile_source (read_file file) with
-    | exception Pea_mjava.Lexer.Lex_error (msg, pos) ->
-        Printf.eprintf "%s:%d:%d: lex error: %s\n" file pos.line pos.col msg;
-        exit 1
-    | exception Pea_mjava.Parser.Parse_error (msg, pos) ->
-        Printf.eprintf "%s:%d:%d: parse error: %s\n" file pos.line pos.col msg;
-        exit 1
-    | exception Pea_mjava.Typecheck.Type_error (msg, pos) ->
-        Printf.eprintf "%s:%d:%d: type error: %s\n" file pos.line pos.col msg;
-        exit 1
-    | exception Link.Link_error msg ->
-        Printf.eprintf "link error: %s\n" msg;
-        exit 1
-    | program -> (
-        let vm =
-          Vm.create ~config:(config opt threshold no_inline no_prune no_summaries exec_tier) program
-        in
-        match Vm.run_main_iterations vm iterations with
+    let program = compile_file_or_exit file in
+    (let vm =
+       Vm.create ~config:(config opt threshold no_inline no_prune no_summaries exec_tier) program
+     in
+     let tracer =
+       match trace with
+       | None -> None
+       | Some path ->
+           let t = Trace.create () in
+           (* deterministic clock: the VM's cost-model cycle counter *)
+           Trace.set_clock t (fun () -> Pea_rt.Stats.get (Vm.stats vm) Pea_rt.Stats.cycles);
+           Trace.install t;
+           Some (path, t)
+     in
+     let write_trace () =
+       match tracer with
+       | None -> ()
+       | Some (path, t) ->
+           Trace.uninstall ();
+           let oc = open_out_bin path in
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () -> Trace.write trace_format t oc)
+     in
+     Fun.protect ~finally:write_trace @@ fun () ->
+     match Vm.run_main_iterations vm iterations with
         | exception Pea_rt.Interp.Trap msg ->
             Printf.eprintf "runtime trap: %s\n" msg;
             exit 2
@@ -157,20 +213,23 @@ let run_cmd =
                 r.Vm.stats.Pea_rt.Stats.s_rematerialized r.Vm.stats.Pea_rt.Stats.s_compiled_methods
                 r.Vm.stats.Pea_rt.Stats.s_closure_compiled_methods r.Vm.stats.Pea_rt.Stats.s_ic_hits
                 r.Vm.stats.Pea_rt.Stats.s_ic_misses;
-              match Vm.class_breakdown vm with
+              (match Vm.class_breakdown vm with
               | [] -> ()
               | breakdown ->
                   Printf.printf "allocation breakdown:\n";
                   List.iter
                     (fun (name, count, bytes) ->
                       Printf.printf "  %-16s %8d allocs %10d bytes\n" name count bytes)
-                    breakdown
+                    breakdown);
+              (* full metrics registry, histograms included *)
+              Format.printf "registry: %a@." Pea_rt.Stats.Metrics.pp (Vm.stats vm)
             end)
   in
   let term =
     Term.(
       const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
-      $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ tier_arg $ verbose_arg)
+      $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ tier_arg $ verbose_arg $ trace_arg
+      $ trace_format_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a MiniJava program on the tiered VM") term
 
@@ -261,9 +320,47 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Dump bytecode or IR of a method at a pipeline stage") term
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_method_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "method" ] ~docv:"CLASS.METHOD" ~doc:"Method to explain, e.g. Cache.getValue")
+
+let explain_cmd =
+  let action file spec no_summaries =
+    let program = compile_file_or_exit ~require_main:false file in
+    let cls, name =
+      match String.index_opt spec '.' with
+      | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+      | None ->
+          Printf.eprintf "method must be CLASS.METHOD\n";
+          exit 1
+    in
+    let m =
+      match Link.find_method program cls name with
+      | m -> m
+      | exception Not_found ->
+          Printf.eprintf "no method %s.%s\n" cls name;
+          exit 1
+    in
+    print_string (Explain.to_string (Explain.analyze ~summaries:(not no_summaries) program m))
+  in
+  let term = Term.(const action $ file_arg $ explain_method_arg $ no_summaries_arg) in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Report what partial escape analysis decided about every allocation site of a method: \
+          virtualized or not, where and why each site was materialized, and what its \
+          virtualization removed")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "MiniJava VM with Partial Escape Analysis (CGO 2014 reproduction)" in
-  Cmd.group (Cmd.info "mjvm" ~version:"1.0.0" ~doc) [ run_cmd; dump_cmd ]
+  Cmd.group (Cmd.info "mjvm" ~version:"1.0.0" ~doc) [ run_cmd; dump_cmd; explain_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,6 +1,26 @@
 open Pea_ir
 open Pea_state
 module Summary = Pea_analysis.Summary
+module Event = Pea_obs.Event
+module Trace = Pea_obs.Trace
+
+(* Per-allocation-site provenance: what the pass decided about one New /
+   Alloc / New_array node and why. Counters accumulate over every
+   speculative loop attempt (discarded attempts included, matching the
+   aggregate counters below); the decision list is deduplicated, so it
+   reads as the history of distinct (block, reason) decisions. *)
+type site_report = {
+  site_node : int; (* input-graph node id of the allocation *)
+  site_class : string;
+  site_block : int; (* block holding the allocation *)
+  mutable sr_virtualized : bool; (* tracked as a virtual object at least once *)
+  mutable sr_forced : bool; (* pre-pass escape analysis pinned it escaping *)
+  mutable sr_materialized : (int * Event.pea_reason) list; (* (block, why), chronological *)
+  mutable sr_loads : int; (* field/array loads replaced by tracked values *)
+  mutable sr_stores : int;
+  mutable sr_locks : int; (* monitor operations elided *)
+  mutable sr_scratch : int; (* passed to callees as scratch allocations *)
+}
 
 type pass_stats = {
   mutable virtualized_allocs : int;
@@ -10,6 +30,7 @@ type pass_stats = {
   mutable removed_monitor_ops : int;
   mutable folded_checks : int;
   mutable scratch_args : int; (* virtual objects passed to callees as scratch objects *)
+  mutable sites : site_report list; (* per-allocation-site provenance, by node id *)
 }
 
 let mk_stats () =
@@ -21,6 +42,7 @@ let mk_stats () =
     removed_monitor_ops = 0;
     folded_checks = 0;
     scratch_args = 0;
+    sites = [];
   }
 
 type ctx = {
@@ -39,6 +61,9 @@ type ctx = {
   used_from_cache : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
       (* (start block, barrier block) -> input nodes used in blocks
          reachable from start without passing through barrier *)
+  meth : string; (* qualified method name, for provenance events *)
+  sites : (int, site_report) Hashtbl.t; (* input allocation node id -> report *)
+  obj_site : (int, int) Hashtbl.t; (* virtual object id -> allocation node id *)
 }
 
 let fail fmt = Format.kasprintf failwith fmt
@@ -121,14 +146,89 @@ let end_state ctx bid =
   | None -> fail "PEA: block B%d used before being processed" bid
 
 (* ------------------------------------------------------------------ *)
+(* Decision provenance                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let register_site ctx node_id cls block =
+  match Hashtbl.find_opt ctx.sites node_id with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          site_node = node_id;
+          site_class = cls;
+          site_block = block;
+          sr_virtualized = false;
+          sr_forced = false;
+          sr_materialized = [];
+          sr_loads = 0;
+          sr_stores = 0;
+          sr_locks = 0;
+          sr_scratch = 0;
+        }
+      in
+      Hashtbl.replace ctx.sites node_id r;
+      r
+
+let note_virtualize ctx node_id cls (ob : Graph.block) oid =
+  let r = register_site ctx node_id cls ob.Graph.b_id in
+  r.sr_virtualized <- true;
+  Hashtbl.replace ctx.obj_site oid node_id;
+  if Trace.enabled () then
+    Trace.record (Event.Pea_virtualize { meth = ctx.meth; site = node_id; block = ob.Graph.b_id; cls })
+
+let record_decision r block reason =
+  let entry = (block, reason) in
+  if not (List.mem entry r.sr_materialized) then r.sr_materialized <- r.sr_materialized @ [ entry ]
+
+(* An allocation the escape pre-pass (or the array-length rule) never let
+   become virtual: the site stays a real allocation at its own block. *)
+let note_unvirtualized ctx node_id cls (ob : Graph.block) ~forced ~reason =
+  let r = register_site ctx node_id cls ob.Graph.b_id in
+  if forced then r.sr_forced <- true;
+  record_decision r ob.Graph.b_id reason;
+  if Trace.enabled () then
+    Trace.record
+      (Event.Pea_materialize { meth = ctx.meth; site = node_id; block = ob.Graph.b_id; reason })
+
+let note_materialize ctx (ob : Graph.block) ~reason oid =
+  match Hashtbl.find_opt ctx.obj_site oid with
+  | None -> ()
+  | Some site ->
+      (match Hashtbl.find_opt ctx.sites site with
+      | Some r -> record_decision r ob.Graph.b_id reason
+      | None -> ());
+      if Trace.enabled () then
+        Trace.record (Event.Pea_materialize { meth = ctx.meth; site; block = ob.Graph.b_id; reason })
+
+let note_lock_elided ctx oid =
+  match Hashtbl.find_opt ctx.obj_site oid with
+  | None -> ()
+  | Some site -> (
+      match Hashtbl.find_opt ctx.sites site with
+      | Some r ->
+          r.sr_locks <- r.sr_locks + 1;
+          if Trace.enabled () then
+            Trace.record (Event.Lock_elided { meth = ctx.meth; site; block = r.site_block })
+      | None -> ())
+
+let with_site ctx oid f =
+  match Hashtbl.find_opt ctx.obj_site oid with
+  | None -> ()
+  | Some site -> ( match Hashtbl.find_opt ctx.sites site with Some r -> f r | None -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Materialization                                                     *)
 (* ------------------------------------------------------------------ *)
 
 (* Materialize object [id] at the end of output block [ob]: emit an
    initialized allocation ([Alloc]), re-acquire elided locks, and flip the
    object's state to Escaped. Cyclic virtual structures are handled with
-   null placeholders patched by explicit stores. Mutates [s]. *)
-let materialize ctx ob (s : Pea_state.t ref) id : Node.node_id =
+   null placeholders patched by explicit stores. Mutates [s]. [reason]
+   names why the root object escapes; objects reachable from it escape
+   because they are stored in a materialized object. *)
+let materialize ctx ob (s : Pea_state.t ref) ~reason id : Node.node_id =
+  let root = id in
   let patches = ref [] in
   let results : (int, Node.node_id) Hashtbl.t = Hashtbl.create 4 in
   let visiting : (int, unit) Hashtbl.t = Hashtbl.create 4 in
@@ -167,6 +267,9 @@ let materialize ctx ob (s : Pea_state.t ref) id : Node.node_id =
               ignore (emit ctx ob (Node.Monitor_enter alloc))
             done;
             ctx.pstats.materializations <- ctx.pstats.materializations + 1;
+            note_materialize ctx ob
+              ~reason:(if id = root then reason else Event.R_store_escaped)
+              id;
             alloc)
   in
   let n = go id in
@@ -184,11 +287,11 @@ let materialize ctx ob (s : Pea_state.t ref) id : Node.node_id =
     (List.rev !patches);
   n
 
-let node_of ctx ob (s : Pea_state.t ref) pv : Node.node_id =
+let node_of ctx ob (s : Pea_state.t ref) ~reason pv : Node.node_id =
   match pv with
   | Pnode n -> n
   | Pconst c -> emit ctx ob (Node.Const c)
-  | Pobj id -> materialize ctx ob s id
+  | Pobj id -> materialize ctx ob s ~reason id
 
 (* ------------------------------------------------------------------ *)
 (* Frame-state translation (§5.5)                                      *)
@@ -264,7 +367,8 @@ let const_index ctx i =
 
 let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
   let fs () = Option.map (translate_fs ctx !sref) n.Node.fs in
-  let nof pv = node_of ctx ob sref pv in
+  let nof reason pv = node_of ctx ob sref ~reason pv in
+  let u what = Event.R_use what in
   let virtual_of pv =
     match pv with
     | Pobj id -> ( match find !sref id with Some (Virtual v) -> Some (id, v) | _ -> None)
@@ -275,19 +379,25 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
   | Node.Param _ -> () (* params are translated up front *)
   | Node.Phi _ -> assert false (* phis never appear in instruction lists *)
   | Node.New cls ->
-      if ctx.force_escape n.Node.id then
+      let cls_name = cls.Pea_bytecode.Classfile.cls_name in
+      if ctx.force_escape n.Node.id then begin
+        note_unvirtualized ctx n.Node.id cls_name ob ~forced:true ~reason:Event.R_forced;
         set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.New cls)))
+      end
       else begin
         let id = Pea_support.Fresh.next ctx.obj_ids in
         sref := add !sref id (fresh_virtual cls);
         set_tr ctx n.Node.id (Pobj id);
+        note_virtualize ctx n.Node.id cls_name ob id;
         ctx.pstats.virtualized_allocs <- ctx.pstats.virtualized_allocs + 1
       end
   | Node.Alloc (cls, args) ->
       (* a materialization from an earlier pass: re-virtualize it with the
          given initial field values *)
+      let cls_name = cls.Pea_bytecode.Classfile.cls_name in
       if ctx.force_escape n.Node.id then begin
-        let arg_nodes = Array.map (fun a -> nof (tr ctx a)) args in
+        note_unvirtualized ctx n.Node.id cls_name ob ~forced:true ~reason:Event.R_forced;
+        let arg_nodes = Array.map (fun a -> nof (u "allocation-argument") (tr ctx a)) args in
         set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Alloc (cls, arg_nodes))))
       end
       else begin
@@ -295,11 +405,14 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
         let fields = Array.map (fun a -> tr ctx a) args in
         sref := add !sref id (Virtual { shape = Obj_shape cls; fields; lock_count = 0 });
         set_tr ctx n.Node.id (Pobj id);
+        note_virtualize ctx n.Node.id cls_name ob id;
         ctx.pstats.virtualized_allocs <- ctx.pstats.virtualized_allocs + 1
       end
   | Node.Alloc_array (elem, args) ->
+      let arr_name = Pea_mjava.Ast.string_of_ty elem ^ "[]" in
       if ctx.force_escape n.Node.id then begin
-        let arg_nodes = Array.map (fun a -> nof (tr ctx a)) args in
+        note_unvirtualized ctx n.Node.id arr_name ob ~forced:true ~reason:Event.R_forced;
+        let arg_nodes = Array.map (fun a -> nof (u "allocation-argument") (tr ctx a)) args in
         set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Alloc_array (elem, arg_nodes))))
       end
       else begin
@@ -307,12 +420,14 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
         let fields = Array.map (fun a -> tr ctx a) args in
         sref := add !sref id (Virtual { shape = Arr_shape elem; fields; lock_count = 0 });
         set_tr ctx n.Node.id (Pobj id);
+        note_virtualize ctx n.Node.id arr_name ob id;
         ctx.pstats.virtualized_allocs <- ctx.pstats.virtualized_allocs + 1
       end
   | Node.New_array (t, len) -> (
       (* fixed-length arrays below the size cap are virtualized, like
          objects (the extension Graal also implements); arrays of unknown
          or large length stay allocations *)
+      let arr_name = Pea_mjava.Ast.string_of_ty t ^ "[]" in
       match tr ctx len with
       | Pconst (Node.Cint n_elems)
         when n_elems >= 0 && n_elems <= max_virtual_array_length
@@ -320,18 +435,24 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
           let id = Pea_support.Fresh.next ctx.obj_ids in
           sref := add !sref id (fresh_virtual_array t n_elems);
           set_tr ctx n.Node.id (Pobj id);
+          note_virtualize ctx n.Node.id arr_name ob id;
           ctx.pstats.virtualized_allocs <- ctx.pstats.virtualized_allocs + 1
       | pv ->
-          let len_node = nof pv in
+          let forced = ctx.force_escape n.Node.id in
+          note_unvirtualized ctx n.Node.id arr_name ob ~forced
+            ~reason:
+              (if forced then Event.R_forced else u "non-constant-or-too-large-array-length");
+          let len_node = nof (u "array-length") pv in
           set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.New_array (t, len_node)))))
   | Node.Load_field (o, f) -> (
       match virtual_of (tr ctx o) with
-      | Some (_, v) when is_obj_shape v.shape ->
+      | Some (id, v) when is_obj_shape v.shape ->
           (* Fig. 4b/4f: the load is replaced by the tracked field value *)
           set_tr ctx n.Node.id v.fields.(f.fld_offset);
+          with_site ctx id (fun r -> r.sr_loads <- r.sr_loads + 1);
           ctx.pstats.removed_loads <- ctx.pstats.removed_loads + 1
       | Some _ | None ->
-          let obj_node = nof (tr ctx o) in
+          let obj_node = nof (u "field-load") (tr ctx o) in
           set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Load_field (obj_node, f)))))
   | Node.Store_field (o, f, v) -> (
       match virtual_of (tr ctx o) with
@@ -341,25 +462,28 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
           let fields = Array.copy vs.fields in
           fields.(f.fld_offset) <- tr ctx v;
           sref := add !sref id (Virtual { vs with fields });
+          with_site ctx id (fun r -> r.sr_stores <- r.sr_stores + 1);
           ctx.pstats.removed_stores <- ctx.pstats.removed_stores + 1
       | Some _ | None ->
           (* Fig. 5: a store into an escaped object materializes the value *)
-          let obj_node = nof (tr ctx o) in
-          let value_node = nof (tr ctx v) in
+          let obj_node = nof (u "field-store") (tr ctx o) in
+          let value_node = nof Event.R_store_escaped (tr ctx v) in
           ignore (emit ?fs:(fs ()) ctx ob (Node.Store_field (obj_node, f, value_node))))
   | Node.Load_static sf -> set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Load_static sf)))
   | Node.Store_static (sf, v) ->
       (* global escape *)
-      let value_node = nof (tr ctx v) in
+      let value_node = nof Event.R_store_static (tr ctx v) in
       ignore (emit ?fs:(fs ()) ctx ob (Node.Store_static (sf, value_node)))
   | Node.Array_load (a, i) -> (
       match virtual_of (tr ctx a), const_index ctx i with
-      | Some (_, v), Some idx when idx >= 0 && idx < Array.length v.fields ->
+      | Some (id, v), Some idx when idx >= 0 && idx < Array.length v.fields ->
           (* constant in-bounds index on a virtual array *)
           set_tr ctx n.Node.id v.fields.(idx);
+          with_site ctx id (fun r -> r.sr_loads <- r.sr_loads + 1);
           ctx.pstats.removed_loads <- ctx.pstats.removed_loads + 1
       | _ ->
-          let an = nof (tr ctx a) and inode = nof (tr ctx i) in
+          let an = nof (u "array-access-with-non-constant-index") (tr ctx a)
+          and inode = nof (u "array-index") (tr ctx i) in
           set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Array_load (an, inode)))))
   | Node.Array_store (a, i, v) -> (
       match virtual_of (tr ctx a), const_index ctx i with
@@ -367,11 +491,12 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
           let fields = Array.copy vs.fields in
           fields.(idx) <- tr ctx v;
           sref := add !sref id (Virtual { vs with fields });
+          with_site ctx id (fun r -> r.sr_stores <- r.sr_stores + 1);
           ctx.pstats.removed_stores <- ctx.pstats.removed_stores + 1
       | _ ->
-          let an = nof (tr ctx a) in
-          let inode = nof (tr ctx i) in
-          let vn = nof (tr ctx v) in
+          let an = nof (u "array-access-with-non-constant-index") (tr ctx a) in
+          let inode = nof (u "array-index") (tr ctx i) in
+          let vn = nof Event.R_store_escaped (tr ctx v) in
           ignore (emit ?fs:(fs ()) ctx ob (Node.Array_store (an, inode, vn))))
   | Node.Array_length a -> (
       match virtual_of (tr ctx a) with
@@ -380,29 +505,39 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
           set_tr ctx n.Node.id (Pconst (Node.Cint (Array.length v.fields)));
           ctx.pstats.folded_checks <- ctx.pstats.folded_checks + 1
       | None ->
-          let an = nof (tr ctx a) in
+          let an = nof (u "array-length") (tr ctx a) in
           set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Array_length an))))
   | Node.Monitor_enter o -> (
       match virtual_of (tr ctx o) with
       | Some (id, vs) ->
           (* Fig. 4c: lock elision on the virtual object *)
           sref := add !sref id (Virtual { vs with lock_count = vs.lock_count + 1 });
+          note_lock_elided ctx id;
           ctx.pstats.removed_monitor_ops <- ctx.pstats.removed_monitor_ops + 1
-      | None -> ignore (emit ?fs:(fs ()) ctx ob (Node.Monitor_enter (nof (tr ctx o)))))
+      | None ->
+          ignore
+            (emit ?fs:(fs ()) ctx ob
+               (Node.Monitor_enter (nof (u "monitor-on-escaped-object") (tr ctx o)))))
   | Node.Monitor_exit o -> (
       match virtual_of (tr ctx o) with
       | Some (id, vs) ->
           (* Fig. 4d *)
           if vs.lock_count <= 0 then fail "PEA: monitorexit on an unlocked virtual object";
           sref := add !sref id (Virtual { vs with lock_count = vs.lock_count - 1 });
+          note_lock_elided ctx id;
           ctx.pstats.removed_monitor_ops <- ctx.pstats.removed_monitor_ops + 1
-      | None -> ignore (emit ?fs:(fs ()) ctx ob (Node.Monitor_exit (nof (tr ctx o)))))
+      | None ->
+          ignore
+            (emit ?fs:(fs ()) ctx ob
+               (Node.Monitor_exit (nof (u "monitor-on-escaped-object") (tr ctx o)))))
   | Node.Arith (k, a, b) ->
-      set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Arith (k, nof (tr ctx a), nof (tr ctx b)))))
-  | Node.Neg a -> set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Neg (nof (tr ctx a)))))
-  | Node.Not a -> set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Not (nof (tr ctx a)))))
+      let op = u "arithmetic" in
+      set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Arith (k, nof op (tr ctx a), nof op (tr ctx b)))))
+  | Node.Neg a -> set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Neg (nof (u "arithmetic") (tr ctx a)))))
+  | Node.Not a -> set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Not (nof (u "arithmetic") (tr ctx a)))))
   | Node.Cmp (c, a, b) ->
-      set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Cmp (c, nof (tr ctx a), nof (tr ctx b)))))
+      let op = u "comparison" in
+      set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Cmp (c, nof op (tr ctx a), nof op (tr ctx b)))))
   | Node.RefCmp (c, a, b) -> (
       let pa = tr ctx a and pb = tr ctx b in
       let fold eq =
@@ -418,7 +553,8 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
           (* "always false when exactly one of the inputs is virtual" *)
           fold false
       | None, None ->
-          set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.RefCmp (c, nof pa, nof pb)))))
+          let op = u "reference-comparison" in
+          set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.RefCmp (c, nof op pa, nof op pb)))))
   | Node.Instance_of (a, cls) -> (
       match virtual_of (tr ctx a) with
       | Some (_, v) ->
@@ -426,7 +562,8 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
           set_tr ctx n.Node.id (Pconst (Node.Cbool (shape_instanceof v.shape cls)));
           ctx.pstats.folded_checks <- ctx.pstats.folded_checks + 1
       | None ->
-          set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Instance_of (nof (tr ctx a), cls)))))
+          set_tr ctx n.Node.id
+            (Pnode (emit ctx ob (Node.Instance_of (nof (u "instanceof") (tr ctx a), cls)))))
   | Node.Check_cast (a, cls) -> (
       let pa = tr ctx a in
       match virtual_of pa with
@@ -436,11 +573,12 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
           ctx.pstats.folded_checks <- ctx.pstats.folded_checks + 1
       | Some _ | None ->
           (* failing or unknown cast: requires the actual reference *)
-          set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Check_cast (nof pa, cls)))))
+          set_tr ctx n.Node.id
+            (Pnode (emit ctx ob (Node.Check_cast (nof (u "failing-or-unknown-cast") pa, cls)))))
   | Node.Null_check a -> (
       match tr ctx a with
       | Pobj _ -> () (* tracked allocations are never null *)
-      | pv -> ignore (emit ctx ob (Node.Null_check (nof pv))))
+      | pv -> ignore (emit ctx ob (Node.Null_check (nof (u "null-check") pv))))
   | Node.Invoke (k, m, args) ->
       (* Without a summary, arguments escape into the callee and any
          virtual argument is materialized (§5's hard escape point). With
@@ -492,6 +630,12 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
               | None -> ())
             args);
       let planned oid = Hashtbl.find_opt scratch_ok oid = Some true in
+      let callee = Pea_bytecode.Classfile.qualified_name m in
+      let arg_reason =
+        match ctx.summaries with
+        | None -> Event.R_unknown_callee callee
+        | Some _ -> Event.R_call callee
+      in
       (* Pass 1: materialize all non-scratch arguments. This may
          transitively materialize an object scheduled for scratching (it
          became reachable from an escaping one); pass 2 re-checks. *)
@@ -501,7 +645,7 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
           let pv = tr ctx a in
           match pv with
           | Pobj oid when planned oid -> ()
-          | pv -> arg_nodes.(j) <- nof pv)
+          | pv -> arg_nodes.(j) <- nof arg_reason pv)
         args;
       (* Pass 2: emit one scratch per still-virtual object. *)
       let scratch_nodes : (int, Node.node_id) Hashtbl.t = Hashtbl.create 4 in
@@ -528,13 +672,19 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
                               fields
                           in
                           ctx.pstats.scratch_args <- ctx.pstats.scratch_args + 1;
+                          with_site ctx oid (fun r ->
+                              r.sr_scratch <- r.sr_scratch + 1;
+                              if Trace.enabled () then
+                                Trace.record
+                                  (Event.Pea_scratch_arg
+                                     { meth = ctx.meth; site = r.site_node; callee }));
                           (match shape with
                           | Obj_shape cls -> emit ctx ob (Node.Stack_alloc (cls, fnodes))
                           | Arr_shape elem ->
                               emit ctx ob (Node.Stack_alloc_array (elem, fnodes)))
                       | _ ->
                           (* materialized transitively during pass 1 *)
-                          nof (Pobj oid)
+                          nof arg_reason (Pobj oid)
                     in
                     Hashtbl.replace scratch_nodes oid nd;
                     nd)
@@ -544,12 +694,12 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
       if Node.produces_value n.Node.op then set_tr ctx n.Node.id (Pnode out)
   | Node.Stack_alloc (cls, args) ->
       (* produced by an earlier PEA pass: keep as-is with translated operands *)
-      let arg_nodes = Array.map (fun a -> nof (tr ctx a)) args in
+      let arg_nodes = Array.map (fun a -> nof (u "scratch-argument") (tr ctx a)) args in
       set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Stack_alloc (cls, arg_nodes))))
   | Node.Stack_alloc_array (elem, args) ->
-      let arg_nodes = Array.map (fun a -> nof (tr ctx a)) args in
+      let arg_nodes = Array.map (fun a -> nof (u "scratch-argument") (tr ctx a)) args in
       set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Stack_alloc_array (elem, arg_nodes))))
-  | Node.Print a -> ignore (emit ?fs:(fs ()) ctx ob (Node.Print (nof (tr ctx a))))
+  | Node.Print a -> ignore (emit ?fs:(fs ()) ctx ob (Node.Print (nof (u "print") (tr ctx a))))
 
 (* ------------------------------------------------------------------ *)
 (* Terminators                                                         *)
@@ -561,11 +711,13 @@ let process_term ctx bid (sref : Pea_state.t ref) =
   ob.Graph.term <-
     (match ib.Graph.term with
     | Graph.Goto t -> Graph.Goto t
-    | Graph.If r -> Graph.If { r with cond = node_of ctx ob sref (tr ctx r.cond) }
+    | Graph.If r ->
+        Graph.If
+          { r with cond = node_of ctx ob sref ~reason:(Event.R_use "branch-condition") (tr ctx r.cond) }
     | Graph.Return None -> Graph.Return None
     | Graph.Return (Some v) ->
         (* returning a reference lets it escape the compilation scope *)
-        Graph.Return (Some (node_of ctx ob sref (tr ctx v)))
+        Graph.Return (Some (node_of ctx ob sref ~reason:Event.R_return (tr ctx v)))
     | Graph.Deopt fs ->
         (* §5.5: virtual objects stay virtual in deoptimization states *)
         Graph.Deopt (translate_fs ctx !sref fs)
@@ -639,10 +791,10 @@ let merge_states ctx ~(in_block : Graph.block) ~(preds : int list) ~total_inputs
   while !continue_rounds do
     continue_rounds := false;
     let sts = states () in
-    let mats : (int * obj_id, unit) Hashtbl.t = Hashtbl.create 4 in
-    let want_mat pred_idx oid =
+    let mats : (int * obj_id, Event.pea_reason) Hashtbl.t = Hashtbl.create 4 in
+    let want_mat pred_idx oid reason =
       (* only virtual objects need materialization *)
-      if is_virtual sts.(pred_idx) oid then Hashtbl.replace mats (pred_idx, oid) ()
+      if is_virtual sts.(pred_idx) oid then Hashtbl.replace mats (pred_idx, oid) reason
     in
     let ids_list = surviving sts in
     List.iter
@@ -654,11 +806,11 @@ let merge_states ctx ~(in_block : Graph.block) ~(preds : int list) ~total_inputs
             0 obj_states
         in
         if IntSet.mem id forced_escapes then
-          Array.iteri (fun i _ -> want_mat i id) obj_states
+          Array.iteri (fun i _ -> want_mat i id Event.R_loop_escape) obj_states
         else if virtual_count > 0 && virtual_count < Array.length obj_states then
           (* mixed: materialize the virtual ones at their predecessors *)
           Array.iteri
-            (fun i os -> match os with Virtual _ -> want_mat i id | Escaped _ -> ())
+            (fun i os -> match os with Virtual _ -> want_mat i id Event.R_merge_mixed | Escaped _ -> ())
             obj_states
         else if virtual_count = Array.length obj_states then begin
           (* all virtual: lock counts must agree, and differing fields that
@@ -668,7 +820,7 @@ let merge_states ctx ~(in_block : Graph.block) ~(preds : int list) ~total_inputs
           in
           let lock0 = locks.(0) in
           if Array.exists (fun l -> l <> lock0) locks then
-            Array.iteri (fun i _ -> want_mat i id) obj_states
+            Array.iteri (fun i _ -> want_mat i id Event.R_merge_lock) obj_states
           else begin
             let fields_of i =
               match obj_states.(i) with Virtual v -> v.fields | Escaped _ -> assert false
@@ -682,7 +834,8 @@ let merge_states ctx ~(in_block : Graph.block) ~(preds : int list) ~total_inputs
               in
               if needs_phi then
                 Array.iteri
-                  (fun i v -> match v with Pobj x -> want_mat i x | Pnode _ | Pconst _ -> ())
+                  (fun i v ->
+                    match v with Pobj x -> want_mat i x Event.R_merge_field | Pnode _ | Pconst _ -> ())
                   vals
             done
           end
@@ -708,17 +861,18 @@ let merge_states ctx ~(in_block : Graph.block) ~(preds : int list) ~total_inputs
             in
             if not alias_ok then
               Array.iteri
-                (fun i v -> match v with Pobj x -> want_mat i x | Pnode _ | Pconst _ -> ())
+                (fun i v ->
+                  match v with Pobj x -> want_mat i x Event.R_merge_phi | Pnode _ | Pconst _ -> ())
                 inputs
         | _ -> ())
       in_block.Graph.phis;
     if Hashtbl.length mats > 0 then begin
       continue_rounds := true;
       Hashtbl.iter
-        (fun (pred_idx, oid) () ->
+        (fun (pred_idx, oid) reason ->
           let p = pred_arr.(pred_idx) in
           let sref = ref (end_state ctx p) in
-          ignore (materialize ctx (out_block ctx p) sref oid);
+          ignore (materialize ctx (out_block ctx p) sref ~reason oid);
           ctx.end_states.(p) <- Some !sref)
         mats
     end
@@ -735,10 +889,10 @@ let merge_states ctx ~(in_block : Graph.block) ~(preds : int list) ~total_inputs
   in
   (* convert a pvalue from predecessor [i] into a node, emitting in that
      predecessor's mirror block *)
-  let node_at i pv =
+  let node_at ~reason i pv =
     let p = pred_arr.(i) in
     let sref = ref (end_state ctx p) in
-    let n = node_of ctx (out_block ctx p) sref pv in
+    let n = node_of ctx (out_block ctx p) sref ~reason pv in
     ctx.end_states.(p) <- Some !sref;
     n
   in
@@ -760,7 +914,7 @@ let merge_states ctx ~(in_block : Graph.block) ~(preds : int list) ~total_inputs
               let all_equal = Array.for_all (fun v -> equal_pvalue v vals.(0)) vals in
               if all_equal && not (Hashtbl.mem forced_field_phis (id, idx)) then vals.(0)
               else begin
-                let fwd = Array.mapi (fun i v -> node_at i v) vals in
+                let fwd = Array.mapi (fun i v -> node_at ~reason:Event.R_merge_field i v) vals in
                 let phi = new_phi fwd in
                 created := Field_phi { obj = id; field_idx = idx; phi_out = phi } :: !created;
                 Pnode phi.Node.id
@@ -807,7 +961,7 @@ let merge_states ctx ~(in_block : Graph.block) ~(preds : int list) ~total_inputs
               (* Fig. 6c: the phi becomes an alias of the Id *)
               set_tr ctx phi.Node.id (Pobj id0)
           | None ->
-              let fwd = Array.mapi (fun i v -> node_at i v) inputs in
+              let fwd = Array.mapi (fun i v -> node_at ~reason:Event.R_merge_phi i v) inputs in
               let out_phi = new_phi fwd in
               created := Value_phi { phi_in = phi; phi_out = out_phi } :: !created;
               set_tr ctx phi.Node.id (Pnode out_phi.Node.id))
@@ -1029,10 +1183,10 @@ let rec process_loop ctx header ~mark =
             List.iteri (fun i v -> p.Node.inputs.(n_fwd + i) <- v) values
         | _ -> assert false
       in
-      let node_at_back i pv =
+      let node_at_back ~reason i pv =
         let p = List.nth back_preds i in
         let sref = ref (end_state ctx p) in
-        let n = node_of ctx (out_block ctx p) sref pv in
+        let n = node_of ctx (out_block ctx p) sref ~reason pv in
         ctx.end_states.(p) <- Some !sref;
         n
       in
@@ -1043,7 +1197,8 @@ let rec process_loop ctx header ~mark =
               let p = match phi_in.Node.op with Node.Phi p -> p | _ -> assert false in
               fill phi_out
                 (List.mapi
-                   (fun i _ -> node_at_back i (tr ctx p.Node.inputs.(n_fwd + i)))
+                   (fun i _ ->
+                     node_at_back ~reason:Event.R_merge_phi i (tr ctx p.Node.inputs.(n_fwd + i)))
                    back_preds)
           | Field_phi { obj; field_idx; phi_out } ->
               fill phi_out
@@ -1051,7 +1206,7 @@ let rec process_loop ctx header ~mark =
                    (fun i bp ->
                      let bs = end_state ctx bp in
                      match find bs obj with
-                     | Some (Virtual v) -> node_at_back i v.fields.(field_idx)
+                     | Some (Virtual v) -> node_at_back ~reason:Event.R_merge_field i v.fields.(field_idx)
                      | Some (Escaped _) | None ->
                          fail "PEA: loop object obj%d lost on the back edge" obj)
                    back_preds)
@@ -1103,6 +1258,9 @@ let run ?(force_escape = fun _ -> false) ?(prune_dead_objects = true) ?summaries
       aliases = Hashtbl.create 32;
       def_block = Hashtbl.create 64;
       used_from_cache = Hashtbl.create 16;
+      meth = Pea_bytecode.Classfile.qualified_name in_g.Graph.g_method;
+      sites = Hashtbl.create 16;
+      obj_site = Hashtbl.create 32;
     }
   in
   (* defining blocks of every input node, for the liveness queries *)
@@ -1134,4 +1292,7 @@ let run ?(force_escape = fun _ -> false) ?(prune_dead_objects = true) ?summaries
           Hashtbl.replace processed bid ()
         end)
     rpo;
+  ctx.pstats.sites <-
+    Hashtbl.fold (fun _ r acc -> r :: acc) ctx.sites []
+    |> List.sort (fun a b -> compare a.site_node b.site_node);
   (out_g, ctx.pstats)

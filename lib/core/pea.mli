@@ -19,6 +19,27 @@
 
 open Pea_ir
 
+(** Per-allocation-site provenance: what the pass decided about one
+    [New] / [Alloc] / [New_array] node and why. Counters accumulate over
+    every speculative loop attempt (discarded attempts included, matching
+    the aggregate counters in {!pass_stats}); the materialization list is
+    deduplicated per (block, reason), chronological. *)
+type site_report = {
+  site_node : int;  (** input-graph node id of the allocation *)
+  site_class : string;
+  site_block : int;  (** block holding the allocation *)
+  mutable sr_virtualized : bool;
+      (** tracked as a virtual object at least once *)
+  mutable sr_forced : bool;
+      (** pre-pass escape analysis pinned it escaping *)
+  mutable sr_materialized : (int * Pea_obs.Event.pea_reason) list;
+      (** (block, why) the object escaped there, chronological *)
+  mutable sr_loads : int;  (** loads replaced by tracked values *)
+  mutable sr_stores : int;
+  mutable sr_locks : int;  (** monitor operations elided *)
+  mutable sr_scratch : int;  (** passed to callees as scratch allocations *)
+}
+
 (** Statistics about one run of the analysis. *)
 type pass_stats = {
   (* all fields are mutable so callers can aggregate across compilations *)
@@ -31,6 +52,8 @@ type pass_stats = {
   mutable scratch_args : int;
       (* virtual objects passed to non-inlined callees as scratch
          ([Stack_alloc]) objects instead of being materialized *)
+  mutable sites : site_report list;
+      (* per-allocation-site provenance, sorted by input node id *)
 }
 
 (** [mk_stats ()] is a zeroed statistics record. *)

@@ -1,0 +1,130 @@
+(* Typed trace events for the compile/execute pipeline.
+
+   Every quantity carried here is deterministic: allocation-site ids are
+   IR node ids, blocks are basic-block ids, timestamps (added by Trace)
+   come from the cost-model cycle counter — never from wall clock — so a
+   trace of a given program is byte-for-byte reproducible. *)
+
+(* Why partial escape analysis materialized an allocation. *)
+type pea_reason =
+  | R_merge_mixed (* virtual on some predecessors of a merge, real on others *)
+  | R_merge_lock (* lock depth differs across merge predecessors *)
+  | R_merge_field (* a field phi forced its virtual value to materialize *)
+  | R_merge_phi (* object identity flows into a phi that cannot stay virtual *)
+  | R_loop_escape (* loop speculation gave up: escapes on a back-edge *)
+  | R_call of string (* passed to a callee whose summary does not clear it *)
+  | R_unknown_callee of string (* passed to a callee with summaries disabled *)
+  | R_store_escaped (* stored into an already-materialized object *)
+  | R_store_static (* stored into a static field: global escape *)
+  | R_return (* returned from the method *)
+  | R_forced (* pre-pass escape analysis marked the site escaping *)
+  | R_use of string (* any other consuming use (throw, compare, …) *)
+
+let reason_string = function
+  | R_merge_mixed -> "merge-mixed"
+  | R_merge_lock -> "merge-lock-depth"
+  | R_merge_field -> "merge-field-phi"
+  | R_merge_phi -> "merge-object-phi"
+  | R_loop_escape -> "loop-escape"
+  | R_call c -> "call:" ^ c
+  | R_unknown_callee c -> "unknown-callee:" ^ c
+  | R_store_escaped -> "store-into-escaped"
+  | R_store_static -> "store-static"
+  | R_return -> "return"
+  | R_forced -> "pre-escaped"
+  | R_use u -> "use:" ^ u
+
+let reason_message = function
+  | R_merge_mixed -> "virtual on some predecessors of a control-flow merge but not all"
+  | R_merge_lock -> "lock depth differs across merge predecessors"
+  | R_merge_field -> "a field phi needed the virtual value it carries materialized"
+  | R_merge_phi -> "its identity flows into a phi that cannot stay virtual"
+  | R_loop_escape -> "escapes on a loop back-edge, so loop speculation gave up"
+  | R_call c -> Printf.sprintf "passed to %s, whose summary does not clear the argument" c
+  | R_unknown_callee c ->
+      Printf.sprintf "passed to %s with interprocedural summaries unavailable" c
+  | R_store_escaped -> "stored into an object that is itself materialized"
+  | R_store_static -> "stored into a static field (global escape)"
+  | R_return -> "returned from the method"
+  | R_forced -> "marked escaping by the whole-method escape pre-pass"
+  | R_use u -> "consumed by " ^ u
+
+type ic_kind = Ic_seed | Ic_rebias
+
+type t =
+  | Compile_start of { meth : string; opt : string }
+  | Compile_end of { meth : string; nodes : int }
+  | Phase_start of { meth : string; phase : string }
+  | Phase_end of { meth : string; phase : string }
+  | Pea_virtualize of { meth : string; site : int; block : int; cls : string }
+  | Pea_materialize of { meth : string; site : int; block : int; reason : pea_reason }
+  | Pea_scratch_arg of { meth : string; site : int; callee : string }
+  | Lock_elided of { meth : string; site : int; block : int }
+  | Deopt of { meth : string; bci : int; reason : string; rematerialized : int }
+  | Ic_transition of { meth : string; callee : string; cls : string; kind : ic_kind }
+  | Tier_promote of { meth : string; tier : string; invocations : int }
+
+let name = function
+  | Compile_start _ -> "compile_start"
+  | Compile_end _ -> "compile_end"
+  | Phase_start _ -> "phase_start"
+  | Phase_end _ -> "phase_end"
+  | Pea_virtualize _ -> "pea_virtualize"
+  | Pea_materialize _ -> "pea_materialize"
+  | Pea_scratch_arg _ -> "pea_scratch_arg"
+  | Lock_elided _ -> "lock_elided"
+  | Deopt _ -> "deopt"
+  | Ic_transition _ -> "ic_transition"
+  | Tier_promote _ -> "tier_promote"
+
+(* Payload fields (without the event name), in a fixed order. *)
+let fields ev : Json.field list =
+  let meth m = Json.str_field "method" m in
+  match ev with
+  | Compile_start { meth = m; opt } -> [ meth m; Json.str_field "opt" opt ]
+  | Compile_end { meth = m; nodes } -> [ meth m; Json.int_field "nodes" nodes ]
+  | Phase_start { meth = m; phase } | Phase_end { meth = m; phase } ->
+      [ meth m; Json.str_field "phase" phase ]
+  | Pea_virtualize { meth = m; site; block; cls } ->
+      [ meth m; Json.int_field "site" site; Json.int_field "block" block; Json.str_field "class" cls ]
+  | Pea_materialize { meth = m; site; block; reason } ->
+      [
+        meth m;
+        Json.int_field "site" site;
+        Json.int_field "block" block;
+        Json.str_field "reason" (reason_string reason);
+      ]
+  | Pea_scratch_arg { meth = m; site; callee } ->
+      [ meth m; Json.int_field "site" site; Json.str_field "callee" callee ]
+  | Lock_elided { meth = m; site; block } ->
+      [ meth m; Json.int_field "site" site; Json.int_field "block" block ]
+  | Deopt { meth = m; bci; reason; rematerialized } ->
+      [
+        meth m;
+        Json.int_field "bci" bci;
+        Json.str_field "reason" reason;
+        Json.int_field "rematerialized" rematerialized;
+      ]
+  | Ic_transition { meth = m; callee; cls; kind } ->
+      [
+        meth m;
+        Json.str_field "callee" callee;
+        Json.str_field "class" cls;
+        Json.str_field "kind" (match kind with Ic_seed -> "seed" | Ic_rebias -> "rebias");
+      ]
+  | Tier_promote { meth = m; tier; invocations } ->
+      [ meth m; Json.str_field "tier" tier; Json.int_field "invocations" invocations ]
+
+(* Chrome trace_event phase: paired B/E spans for compilation and its
+   phases, instants for everything else. *)
+let span_kind = function
+  | Compile_start _ | Phase_start _ -> `Begin
+  | Compile_end _ | Phase_end _ -> `End
+  | _ -> `Instant
+
+(* B and E records of one span must carry the same name for Perfetto to
+   pair them; the method lives in args. *)
+let chrome_name = function
+  | Compile_start _ | Compile_end _ -> "compile"
+  | Phase_start { phase; _ } | Phase_end { phase; _ } -> phase
+  | ev -> name ev

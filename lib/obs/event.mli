@@ -1,0 +1,50 @@
+(** Typed, deterministic trace events for the compile/execute pipeline.
+    Site ids are IR node ids, blocks are basic-block ids; timestamps are
+    added by {!Trace} from the cost-model cycle counter. *)
+
+(** Why partial escape analysis materialized an allocation. *)
+type pea_reason =
+  | R_merge_mixed
+  | R_merge_lock
+  | R_merge_field
+  | R_merge_phi
+  | R_loop_escape
+  | R_call of string
+  | R_unknown_callee of string
+  | R_store_escaped
+  | R_store_static
+  | R_return
+  | R_forced
+  | R_use of string
+
+val reason_string : pea_reason -> string
+(** Short stable token, used in JSONL/Chrome output. *)
+
+val reason_message : pea_reason -> string
+(** Human-readable sentence fragment, used by [mjvm explain]. *)
+
+type ic_kind = Ic_seed | Ic_rebias
+
+type t =
+  | Compile_start of { meth : string; opt : string }
+  | Compile_end of { meth : string; nodes : int }
+  | Phase_start of { meth : string; phase : string }
+  | Phase_end of { meth : string; phase : string }
+  | Pea_virtualize of { meth : string; site : int; block : int; cls : string }
+  | Pea_materialize of { meth : string; site : int; block : int; reason : pea_reason }
+  | Pea_scratch_arg of { meth : string; site : int; callee : string }
+  | Lock_elided of { meth : string; site : int; block : int }
+  | Deopt of { meth : string; bci : int; reason : string; rematerialized : int }
+  | Ic_transition of { meth : string; callee : string; cls : string; kind : ic_kind }
+  | Tier_promote of { meth : string; tier : string; invocations : int }
+
+val name : t -> string
+
+val fields : t -> Json.field list
+(** Payload fields (without the event name), in a fixed order. *)
+
+val span_kind : t -> [ `Begin | `End | `Instant ]
+
+val chrome_name : t -> string
+(** Chrome trace_event [name]: identical for the B and E records of one
+    span so Perfetto pairs them. *)

@@ -1,0 +1,31 @@
+(* Minimal hand-rolled JSON emission. The observability sinks only ever
+   write objects of strings and ints, so a full JSON library would be
+   dead weight; what matters is that string escaping is correct and the
+   output is byte-for-byte stable. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+
+type field = string * string
+(* name, already-serialized value *)
+
+let int_field name n : field = (name, string_of_int n)
+
+let str_field name s : field = (name, str s)
+
+let obj (fields : field list) =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"

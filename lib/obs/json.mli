@@ -1,0 +1,18 @@
+(** Minimal JSON emission for the observability sinks: objects of string
+    and int fields, with correct string escaping and byte-stable output. *)
+
+val escape : string -> string
+(** [escape s] is [s] with JSON string escapes applied (no quotes added). *)
+
+val str : string -> string
+(** [str s] is [s] escaped and double-quoted. *)
+
+type field = string * string
+(** A field name paired with its already-serialized value. *)
+
+val int_field : string -> int -> field
+
+val str_field : string -> string -> field
+
+val obj : field list -> string
+(** [obj fields] is a one-line JSON object in the given field order. *)

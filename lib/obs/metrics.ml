@@ -1,0 +1,177 @@
+(* A named counter/histogram registry.
+
+   A [schema] is built once at module-initialization time by declaring
+   metrics; every [create schema] then yields an independent instance
+   whose storage is a flat int array (counters) plus a small cell per
+   histogram. Declaring a new metric is one line at the declaration
+   site — instances, reset, dump, to_json and pp all follow for free.
+
+   The first [create] seals the schema: declaring a metric against a
+   sealed schema is a programming error and raises, so an instance can
+   never be out of sync with its schema. *)
+
+type kind = Counter | Histogram
+
+type metric = { m_id : int; m_kind : kind; m_name : string; m_label : string }
+
+type schema = {
+  mutable defs_rev : metric list;
+  mutable n_counters : int;
+  mutable n_hists : int;
+  mutable sealed : bool;
+}
+
+type hview = { h_count : int; h_sum : int; h_min : int; h_max : int }
+
+(* mutable histogram cell; [hc_min]/[hc_max] are meaningless while
+   [hc_count] is zero *)
+type hcell = {
+  mutable hc_count : int;
+  mutable hc_sum : int;
+  mutable hc_min : int;
+  mutable hc_max : int;
+}
+
+type t = { t_schema : schema; counters : int array; hists : hcell array }
+
+let make_schema () = { defs_rev = []; n_counters = 0; n_hists = 0; sealed = false }
+
+let declare schema kind ?label name =
+  if schema.sealed then
+    invalid_arg
+      (Printf.sprintf "Metrics: declaring %S after the schema was sealed by create" name);
+  let id =
+    match kind with
+    | Counter ->
+        let id = schema.n_counters in
+        schema.n_counters <- id + 1;
+        id
+    | Histogram ->
+        let id = schema.n_hists in
+        schema.n_hists <- id + 1;
+        id
+  in
+  let m = { m_id = id; m_kind = kind; m_name = name; m_label = Option.value label ~default:name } in
+  schema.defs_rev <- m :: schema.defs_rev;
+  m
+
+let counter schema ?label name = declare schema Counter ?label name
+
+let histogram schema ?label name = declare schema Histogram ?label name
+
+let defs schema = List.rev schema.defs_rev
+
+let fresh_hcell () = { hc_count = 0; hc_sum = 0; hc_min = 0; hc_max = 0 }
+
+let create schema =
+  schema.sealed <- true;
+  {
+    t_schema = schema;
+    counters = Array.make (max schema.n_counters 1) 0;
+    hists = Array.init (max schema.n_hists 1) (fun _ -> fresh_hcell ());
+  }
+
+let reset t =
+  Array.fill t.counters 0 (Array.length t.counters) 0;
+  Array.iter
+    (fun h ->
+      h.hc_count <- 0;
+      h.hc_sum <- 0;
+      h.hc_min <- 0;
+      h.hc_max <- 0)
+    t.hists
+
+let check_kind m expected =
+  if m.m_kind <> expected then
+    invalid_arg
+      (Printf.sprintf "Metrics: %S is a %s" m.m_name
+         (match m.m_kind with Counter -> "counter" | Histogram -> "histogram"))
+
+let get t m =
+  check_kind m Counter;
+  t.counters.(m.m_id)
+
+let set t m v =
+  check_kind m Counter;
+  t.counters.(m.m_id) <- v
+
+let add t m v =
+  check_kind m Counter;
+  t.counters.(m.m_id) <- t.counters.(m.m_id) + v
+
+let incr t m = add t m 1
+
+let observe t m v =
+  check_kind m Histogram;
+  let h = t.hists.(m.m_id) in
+  if h.hc_count = 0 then begin
+    h.hc_min <- v;
+    h.hc_max <- v
+  end
+  else begin
+    if v < h.hc_min then h.hc_min <- v;
+    if v > h.hc_max then h.hc_max <- v
+  end;
+  h.hc_count <- h.hc_count + 1;
+  h.hc_sum <- h.hc_sum + v
+
+let hist t m =
+  check_kind m Histogram;
+  let h = t.hists.(m.m_id) in
+  { h_count = h.hc_count; h_sum = h.hc_sum; h_min = h.hc_min; h_max = h.hc_max }
+
+type value = V_counter of int | V_histogram of hview
+
+let dump t =
+  List.map
+    (fun m ->
+      ( m.m_name,
+        match m.m_kind with
+        | Counter -> V_counter t.counters.(m.m_id)
+        | Histogram -> V_histogram (hist t m) ))
+    (defs t.t_schema)
+
+let to_json t =
+  let counters, hists =
+    List.partition (fun m -> m.m_kind = Counter) (defs t.t_schema)
+  in
+  let counter_fields = List.map (fun m -> Json.int_field m.m_name t.counters.(m.m_id)) counters in
+  let hist_fields =
+    List.map
+      (fun m ->
+        let h = hist t m in
+        ( m.m_name,
+          Json.obj
+            [
+              Json.int_field "count" h.h_count;
+              Json.int_field "sum" h.h_sum;
+              Json.int_field "min" h.h_min;
+              Json.int_field "max" h.h_max;
+            ] ))
+      hists
+  in
+  Json.obj [ ("counters", Json.obj counter_fields); ("histograms", Json.obj hist_fields) ]
+
+let pp ppf t =
+  let first = ref true in
+  List.iter
+    (fun m ->
+      if !first then first := false else Fmt.pf ppf " ";
+      match m.m_kind with
+      | Counter -> Fmt.pf ppf "%s=%d" m.m_label t.counters.(m.m_id)
+      | Histogram ->
+          let h = hist t m in
+          Fmt.pf ppf "%s(n=%d sum=%d min=%d max=%d)" m.m_label h.h_count h.h_sum h.h_min h.h_max)
+    (defs t.t_schema)
+
+(* [pp_counters] prints only the counters, in declaration order, as
+   "label=value" — the legacy [Stats.pp] line format. *)
+let pp_counters ppf t =
+  let first = ref true in
+  List.iter
+    (fun m ->
+      if m.m_kind = Counter then begin
+        if !first then first := false else Fmt.pf ppf " ";
+        Fmt.pf ppf "%s=%d" m.m_label t.counters.(m.m_id)
+      end)
+    (defs t.t_schema)

@@ -1,0 +1,64 @@
+(** A named counter/histogram registry.
+
+    A [schema] is populated once, at module-initialization time, by
+    declaring metrics; [create schema] then yields independent instances
+    (flat int-array storage) that all share the declarations. Adding a
+    metric is one line at the declaration site — reset, dump, [to_json]
+    and [pp] follow for free. The first [create] seals the schema, so a
+    late declaration (which an existing instance could not store) raises
+    [Invalid_argument]. *)
+
+type metric
+(** Handle to a declared counter or histogram. *)
+
+type schema
+
+val make_schema : unit -> schema
+
+val counter : schema -> ?label:string -> string -> metric
+(** [counter schema name] declares a counter. [label] (default [name])
+    is the short key used by [pp]/[pp_counters]. *)
+
+val histogram : schema -> ?label:string -> string -> metric
+(** [histogram schema name] declares a histogram tracking count, sum,
+    min and max of observed values. *)
+
+type t
+(** One instance of a schema's metrics, all zero initially. *)
+
+val create : schema -> t
+(** Seals [schema] and returns a fresh zeroed instance. *)
+
+val reset : t -> unit
+
+val get : t -> metric -> int
+(** Counter value. Raises [Invalid_argument] on a histogram handle (and
+    symmetrically for the other accessors). *)
+
+val set : t -> metric -> int -> unit
+
+val add : t -> metric -> int -> unit
+
+val incr : t -> metric -> unit
+
+val observe : t -> metric -> int -> unit
+(** Record one histogram observation. *)
+
+type hview = { h_count : int; h_sum : int; h_min : int; h_max : int }
+(** Histogram summary; [h_min]/[h_max] are 0 while [h_count] is 0. *)
+
+val hist : t -> metric -> hview
+
+type value = V_counter of int | V_histogram of hview
+
+val dump : t -> (string * value) list
+(** All metrics with their current values, in declaration order. *)
+
+val to_json : t -> string
+(** One-line JSON object: [{"counters":{...},"histograms":{...}}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Every metric as ["label=value"] / ["label(n=· sum=· min=· max=·)"]. *)
+
+val pp_counters : Format.formatter -> t -> unit
+(** Counters only, declaration order, ["label=value"] space-separated. *)

@@ -19,9 +19,9 @@ let fresh_id t =
   id
 
 let charge t name bytes =
-  t.stats.allocations <- t.stats.allocations + 1;
-  t.stats.allocated_bytes <- t.stats.allocated_bytes + bytes;
-  t.stats.cycles <- t.stats.cycles + Cost.alloc_cost bytes;
+  Stats.incr t.stats Stats.allocations;
+  Stats.add t.stats Stats.allocated_bytes bytes;
+  Stats.add t.stats Stats.cycles (Cost.alloc_cost bytes);
   let count, total =
     match Hashtbl.find_opt t.by_class name with
     | Some entry -> entry
@@ -54,8 +54,8 @@ let alloc_object t (cls : Classfile.rt_class) : Value.obj =
    them), so they are costed like stack frame traffic: no allocation
    count, no allocated bytes, no GC pressure. *)
 let alloc_object_scratch t (cls : Classfile.rt_class) : Value.obj =
-  t.stats.stack_allocs <- t.stats.stack_allocs + 1;
-  t.stats.cycles <- t.stats.cycles + Cost.stack_alloc;
+  Stats.incr t.stats Stats.stack_allocs;
+  Stats.add t.stats Stats.cycles Cost.stack_alloc;
   {
     o_id = fresh_id t;
     o_cls = cls;
@@ -77,24 +77,24 @@ let alloc_array t elem len : Value.arr =
   }
 
 let alloc_array_scratch t elem len : Value.arr =
-  t.stats.stack_allocs <- t.stats.stack_allocs + 1;
-  t.stats.cycles <- t.stats.cycles + Cost.stack_alloc;
+  Stats.incr t.stats Stats.stack_allocs;
+  Stats.add t.stats Stats.cycles Cost.stack_alloc;
   { a_id = fresh_id t; a_elem = elem; a_elems = Array.make len (Value.default_value elem); a_lock = 0 }
 
 (* Monitor operations; [who] is only used in trap messages. *)
 exception Unbalanced_monitor of string
 
 let monitor_enter t (v : Value.value) =
-  t.stats.monitor_ops <- t.stats.monitor_ops + 1;
-  t.stats.cycles <- t.stats.cycles + Cost.monitor_op;
+  Stats.incr t.stats Stats.monitor_ops;
+  Stats.add t.stats Stats.cycles Cost.monitor_op;
   match v with
   | Vobj o -> o.o_lock <- o.o_lock + 1
   | Varr a -> a.a_lock <- a.a_lock + 1
   | Vnull | Vint _ | Vbool _ -> raise (Unbalanced_monitor "monitorenter on a non-object")
 
 let monitor_exit t (v : Value.value) =
-  t.stats.monitor_ops <- t.stats.monitor_ops + 1;
-  t.stats.cycles <- t.stats.cycles + Cost.monitor_op;
+  Stats.incr t.stats Stats.monitor_ops;
+  Stats.add t.stats Stats.cycles Cost.monitor_op;
   match v with
   | Vobj o ->
       if o.o_lock <= 0 then raise (Unbalanced_monitor "monitorexit on an unlocked object");

@@ -34,7 +34,7 @@ val alloc_array : t -> Pea_mjava.Ast.ty -> int -> Value.arr
 
 (** [alloc_object_scratch t cls] builds a real object without charging an
     allocation: it backs a virtual object passed to a callee whose summary
-    proves the argument cannot escape. Only {!Stats.t.stack_allocs} and a
+    proves the argument cannot escape. Only {!Stats.stack_allocs} and a
     small cycle cost are counted. *)
 val alloc_object_scratch : t -> Classfile.rt_class -> Value.obj
 

@@ -69,13 +69,13 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
     in
     match List.find_opt matches m.mth_handlers with
     | Some h ->
-        stats.cycles <- stats.cycles + Cost.invoke (* unwind cost *);
+        Stats.add stats Stats.cycles Cost.invoke (* unwind cost *);
         step h.h_pc [ v ]
     | None -> raise (Mj_throw v)
   and step bci stack =
     if bci < 0 || bci >= Array.length code then trap "pc %d out of range in %s" bci (qualified_name m);
-    stats.interpreted_instrs <- stats.interpreted_instrs + 1;
-    stats.cycles <- stats.cycles + Cost.interp_dispatch;
+    Stats.incr stats Stats.interpreted_instrs;
+    Stats.add stats Stats.cycles Cost.interp_dispatch;
     match code.(bci) with
     | Iconst n -> step (bci + 1) (Vint n :: stack)
     | Bconst b -> step (bci + 1) (Vbool b :: stack)
@@ -153,7 +153,7 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         | Vnull :: _ -> trap "null dereference at arraylength"
         | _ -> trap "arraylength on a non-array")
     | Aload -> (
-        stats.cycles <- stats.cycles + Cost.array_access;
+        Stats.add stats Stats.cycles Cost.array_access;
         match stack with
         | idx :: Varr a :: rest ->
             let i = as_int idx in
@@ -162,7 +162,7 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         | _ :: Vnull :: _ -> trap "null dereference at array load"
         | _ -> trap "array load on a non-array")
     | Astore -> (
-        stats.cycles <- stats.cycles + Cost.array_access;
+        Stats.add stats Stats.cycles Cost.array_access;
         match stack with
         | v :: idx :: Varr a :: rest ->
             let i = as_int idx in
@@ -172,13 +172,13 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         | _ :: _ :: Vnull :: _ -> trap "null dereference at array store"
         | _ -> trap "array store on a non-array")
     | Getfield f -> (
-        stats.cycles <- stats.cycles + Cost.field_access;
+        Stats.add stats Stats.cycles Cost.field_access;
         match stack with
         | Vobj o :: rest -> step (bci + 1) (o.o_fields.(f.fld_offset) :: rest)
         | Vnull :: _ -> trap "null dereference reading %s.%s" f.fld_owner f.fld_name
         | _ -> trap "getfield on a non-object")
     | Putfield f -> (
-        stats.cycles <- stats.cycles + Cost.field_access;
+        Stats.add stats Stats.cycles Cost.field_access;
         match stack with
         | v :: Vobj o :: rest ->
             o.o_fields.(f.fld_offset) <- v;
@@ -186,17 +186,17 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         | _ :: Vnull :: _ -> trap "null dereference writing %s.%s" f.fld_owner f.fld_name
         | _ -> trap "putfield on a non-object")
     | Getstatic f ->
-        stats.cycles <- stats.cycles + Cost.static_access;
+        Stats.add stats Stats.cycles Cost.static_access;
         step (bci + 1) (env.globals.(f.sf_index) :: stack)
     | Putstatic f -> (
-        stats.cycles <- stats.cycles + Cost.static_access;
+        Stats.add stats Stats.cycles Cost.static_access;
         match stack with
         | v :: rest ->
             env.globals.(f.sf_index) <- v;
             step (bci + 1) rest
         | [] -> trap "stack underflow at putstatic")
     | Invokevirtual callee -> (
-        stats.cycles <- stats.cycles + Cost.invoke;
+        Stats.add stats Stats.cycles Cost.invoke;
         let n = arity callee in
         let args, rest = pop_n stack n in
         match args with
@@ -212,7 +212,7 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
             | exception Mj_throw v -> dispatch_throw bci v)
         | [] -> trap "missing receiver")
     | Invokestatic callee -> (
-        stats.cycles <- stats.cycles + Cost.invoke;
+        Stats.add stats Stats.cycles Cost.invoke;
         let args, rest = pop_n stack (arity callee) in
         match env.on_invoke callee args with
         | result ->
@@ -220,7 +220,7 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
             step (bci + 1) stack
         | exception Mj_throw v -> dispatch_throw bci v)
     | Invokespecial ctor -> (
-        stats.cycles <- stats.cycles + Cost.invoke;
+        Stats.add stats Stats.cycles Cost.invoke;
         let args, rest = pop_n stack (arity ctor) in
         match args with
         | Vnull :: _ -> trap "null receiver in constructor call"
@@ -292,7 +292,7 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
 
 let run env (m : rt_method) args =
   Profile.record_invocation env.profile m;
-  env.stats.invocations <- env.stats.invocations + 1;
+  Stats.incr env.stats Stats.invocations;
   let locals = Array.make (max m.mth_max_locals (List.length args)) Vnull in
   List.iteri (fun i v -> locals.(i) <- v) args;
   exec env m ~locals ~stack:[] ~bci:0

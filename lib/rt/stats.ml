@@ -1,57 +1,74 @@
 (* Runtime statistics. These are the quantities Table 1 of the paper
    reports: number of allocations, allocated bytes, monitor operations, and
-   a deterministic cycle count that stands in for wall-clock time. *)
+   a deterministic cycle count that stands in for wall-clock time.
 
-type t = {
-  mutable allocations : int;
-  mutable allocated_bytes : int;
-  mutable monitor_ops : int;
-  mutable stack_allocs : int; (* scratch allocations from summary-backed PEA *)
-  mutable cycles : int;
-  mutable deopts : int;
-  mutable rematerialized : int; (* virtual objects re-allocated during deopt *)
-  mutable interpreted_instrs : int;
-  mutable compiled_ops : int;
-  mutable invocations : int;
-  mutable compiled_methods : int;
-  mutable closure_compiled_methods : int;
-  mutable ic_hits : int; (* closure-tier inline-cache fast-path dispatches *)
-  mutable ic_misses : int;
-}
+   The storage is a Pea_obs.Metrics registry instance: adding a counter is
+   one [Metrics.counter] line here, and reset/dump/to_json/pp follow for
+   free. [snapshot]/[diff]/[pp] are kept as thin shims over the registry
+   so existing callers (and the --stats output) are unchanged. *)
 
-let create () =
-  {
-    allocations = 0;
-    allocated_bytes = 0;
-    monitor_ops = 0;
-    stack_allocs = 0;
-    cycles = 0;
-    deopts = 0;
-    rematerialized = 0;
-    interpreted_instrs = 0;
-    compiled_ops = 0;
-    invocations = 0;
-    compiled_methods = 0;
-    closure_compiled_methods = 0;
-    ic_hits = 0;
-    ic_misses = 0;
-  }
+module Metrics = Pea_obs.Metrics
 
-let reset t =
-  t.allocations <- 0;
-  t.allocated_bytes <- 0;
-  t.monitor_ops <- 0;
-  t.stack_allocs <- 0;
-  t.cycles <- 0;
-  t.deopts <- 0;
-  t.rematerialized <- 0;
-  t.interpreted_instrs <- 0;
-  t.compiled_ops <- 0;
-  t.invocations <- 0;
-  t.compiled_methods <- 0;
-  t.closure_compiled_methods <- 0;
-  t.ic_hits <- 0;
-  t.ic_misses <- 0
+type t = Metrics.t
+
+type metric = Metrics.metric
+
+let schema = Metrics.make_schema ()
+
+(* Declaration order is pp order; labels reproduce the historical pp line. *)
+let allocations = Metrics.counter schema "allocations"
+
+let allocated_bytes = Metrics.counter schema ~label:"bytes" "allocated_bytes"
+
+let monitor_ops = Metrics.counter schema "monitor_ops"
+
+(* scratch allocations from summary-backed PEA *)
+let stack_allocs = Metrics.counter schema "stack_allocs"
+
+let cycles = Metrics.counter schema "cycles"
+
+let deopts = Metrics.counter schema "deopts"
+
+(* virtual objects re-allocated during deopt *)
+let rematerialized = Metrics.counter schema ~label:"remat" "rematerialized"
+
+let interpreted_instrs = Metrics.counter schema ~label:"interp" "interpreted_instrs"
+
+let compiled_ops = Metrics.counter schema ~label:"compiled" "compiled_ops"
+
+let invocations = Metrics.counter schema ~label:"invokes" "invocations"
+
+let compiled_methods = Metrics.counter schema ~label:"jit" "compiled_methods"
+
+let closure_compiled_methods = Metrics.counter schema ~label:"closure_jit" "closure_compiled_methods"
+
+let ic_hits = Metrics.counter schema "ic_hits"
+
+let ic_misses = Metrics.counter schema "ic_misses"
+
+(* distribution of rematerialized objects per deopt event *)
+let remat_per_deopt = Metrics.histogram schema "remat_per_deopt"
+
+(* distribution of optimized-graph sizes at the end of JIT compilation *)
+let compiled_graph_nodes = Metrics.histogram schema "compiled_graph_nodes"
+
+let create () = Metrics.create schema
+
+let reset = Metrics.reset
+
+let get = Metrics.get
+
+let set = Metrics.set
+
+let add = Metrics.add
+
+let incr = Metrics.incr
+
+let observe = Metrics.observe
+
+let dump = Metrics.dump
+
+let to_json = Metrics.to_json
 
 type snapshot = {
   s_allocations : int;
@@ -72,20 +89,20 @@ type snapshot = {
 
 let snapshot t =
   {
-    s_allocations = t.allocations;
-    s_allocated_bytes = t.allocated_bytes;
-    s_monitor_ops = t.monitor_ops;
-    s_stack_allocs = t.stack_allocs;
-    s_cycles = t.cycles;
-    s_deopts = t.deopts;
-    s_rematerialized = t.rematerialized;
-    s_interpreted_instrs = t.interpreted_instrs;
-    s_compiled_ops = t.compiled_ops;
-    s_invocations = t.invocations;
-    s_compiled_methods = t.compiled_methods;
-    s_closure_compiled_methods = t.closure_compiled_methods;
-    s_ic_hits = t.ic_hits;
-    s_ic_misses = t.ic_misses;
+    s_allocations = get t allocations;
+    s_allocated_bytes = get t allocated_bytes;
+    s_monitor_ops = get t monitor_ops;
+    s_stack_allocs = get t stack_allocs;
+    s_cycles = get t cycles;
+    s_deopts = get t deopts;
+    s_rematerialized = get t rematerialized;
+    s_interpreted_instrs = get t interpreted_instrs;
+    s_compiled_ops = get t compiled_ops;
+    s_invocations = get t invocations;
+    s_compiled_methods = get t compiled_methods;
+    s_closure_compiled_methods = get t closure_compiled_methods;
+    s_ic_hits = get t ic_hits;
+    s_ic_misses = get t ic_misses;
   }
 
 (* [diff later earlier] — the activity between two snapshots. *)
@@ -107,10 +124,4 @@ let diff a b =
     s_ic_misses = a.s_ic_misses - b.s_ic_misses;
   }
 
-let pp ppf t =
-  Fmt.pf ppf
-    "allocations=%d bytes=%d monitor_ops=%d stack_allocs=%d cycles=%d deopts=%d remat=%d \
-     interp=%d compiled=%d invokes=%d jit=%d closure_jit=%d ic_hits=%d ic_misses=%d"
-    t.allocations t.allocated_bytes t.monitor_ops t.stack_allocs t.cycles t.deopts t.rematerialized
-    t.interpreted_instrs t.compiled_ops t.invocations t.compiled_methods t.closure_compiled_methods
-    t.ic_hits t.ic_misses
+let pp = Metrics.pp_counters

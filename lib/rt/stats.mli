@@ -1,37 +1,87 @@
 (** Runtime statistics — the quantities Table 1 of the paper reports:
     number of allocations, allocated bytes, monitor operations, and a
-    deterministic cycle count that stands in for wall-clock time. *)
+    deterministic cycle count that stands in for wall-clock time.
 
-type t = {
-  mutable allocations : int;
-  mutable allocated_bytes : int;
-  mutable monitor_ops : int;
-  mutable stack_allocs : int;
-      (* scratch (uncharged) allocations emitted when an interprocedural
-         summary lets PEA pass a virtual object to a non-inlined callee *)
-  mutable cycles : int; (* cost-model cycles, see {!Cost} *)
-  mutable deopts : int;
-  mutable rematerialized : int; (* virtual objects re-allocated during deopt *)
-  mutable interpreted_instrs : int;
-  mutable compiled_ops : int;
-  mutable invocations : int;
-  mutable compiled_methods : int;
-  mutable closure_compiled_methods : int;
-      (* methods translated to the closure execution tier *)
-  mutable ic_hits : int;
-      (* closure-tier inline-cache fast-path dispatches (wall-clock-only
-         accounting: inline caches charge no cost-model cycles, so the
-         deterministic Table-1 numbers stay identical across tiers) *)
-  mutable ic_misses : int;
-}
+    Backed by a {!Pea_obs.Metrics} registry: each counter below is a
+    metric handle into a shared schema, mutated with [incr]/[add]/[set]
+    and read with [get]. Adding a counter is one declaration line in the
+    implementation; [snapshot]/[diff]/[pp] stay as thin shims so callers
+    and the [--stats] output are unchanged. *)
 
-(** [create ()] is a zeroed statistics record. *)
+module Metrics = Pea_obs.Metrics
+
+type t = Metrics.t
+
+type metric = Metrics.metric
+
+val schema : Metrics.schema
+
+val allocations : metric
+
+val allocated_bytes : metric
+
+val monitor_ops : metric
+(** Monitor enter/exit operations actually performed. *)
+
+val stack_allocs : metric
+(** Scratch (uncharged) allocations emitted when an interprocedural
+    summary lets PEA pass a virtual object to a non-inlined callee. *)
+
+val cycles : metric
+(** Cost-model cycles, see {!Cost}. *)
+
+val deopts : metric
+
+val rematerialized : metric
+(** Virtual objects re-allocated during deopt. *)
+
+val interpreted_instrs : metric
+
+val compiled_ops : metric
+
+val invocations : metric
+
+val compiled_methods : metric
+
+val closure_compiled_methods : metric
+(** Methods translated to the closure execution tier. *)
+
+val ic_hits : metric
+(** Closure-tier inline-cache fast-path dispatches (wall-clock-only
+    accounting: inline caches charge no cost-model cycles, so the
+    deterministic Table-1 numbers stay identical across tiers). *)
+
+val ic_misses : metric
+
+val remat_per_deopt : metric
+(** Histogram: rematerialized objects per deopt event. *)
+
+val compiled_graph_nodes : metric
+(** Histogram: optimized-graph size at the end of each compilation. *)
+
+(** [create ()] is a zeroed statistics instance. *)
 val create : unit -> t
 
-(** [reset t] zeroes every counter in place. *)
+(** [reset t] zeroes every metric in place. *)
 val reset : t -> unit
 
-(** An immutable copy of the counters at one instant. *)
+val get : t -> metric -> int
+
+val set : t -> metric -> int -> unit
+
+val add : t -> metric -> int -> unit
+
+val incr : t -> metric -> unit
+
+val observe : t -> metric -> int -> unit
+(** Record one histogram observation. *)
+
+val dump : t -> (string * Metrics.value) list
+(** Every registered metric with its current value, declaration order. *)
+
+val to_json : t -> string
+
+(** An immutable copy of the legacy counters at one instant. *)
 type snapshot = {
   s_allocations : int;
   s_allocated_bytes : int;

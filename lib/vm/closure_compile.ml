@@ -34,20 +34,24 @@
 
    Register-file lifetime rules: a register file is acquired from the pool
    on entry and released on normal return and on an MJ exception unwinding
-   through this frame. It is deliberately *not* released when a [Deopt]
-   terminator fires: the [Deoptimize] exception carries a [regs]-backed
-   lookup closure that {!Deopt.handle} consults after re-entrant
-   interpreter execution, so the file must survive the deopt — the VM
-   invalidates the compiled code (and with it the pool) anyway. Released
-   files keep their stale values; that is sound because SSA guarantees
-   every read is dominated by a write in the same invocation, and frame
-   states only reference dominating definitions (enforced by the IR
-   checker). *)
+   through this frame. A [Deopt] terminator is the delicate case: the
+   [Deoptimize] exception carries a [regs]-backed lookup closure that
+   {!Deopt.handle} consults after re-entrant interpreter execution, so the
+   file must survive until the handler finishes. When the caller passes a
+   [?deopt] handler, [run] invokes it in-frame and releases the file
+   afterwards (the lookup closure is dead by then); without a handler the
+   exception propagates and the file leaks with it — the VM always passes
+   a handler. Released files keep their stale values; that is sound
+   because SSA guarantees every read is dominated by a write in the same
+   invocation, and frame states only reference dominating definitions
+   (enforced by the IR checker). *)
 
 open Pea_bytecode
 open Pea_ir
 open Pea_rt
 open Value
+module Event = Pea_obs.Event
+module Trace = Pea_obs.Trace
 
 type code = {
   nregs : int;
@@ -70,6 +74,7 @@ let const_value = Ir_exec.const_value
 (* ------------------------------------------------------------------ *)
 
 let compile (env : Interp.env) (g : Graph.t) : code =
+  let meth = Classfile.qualified_name g.Graph.g_method in
   let stats = env.Interp.stats in
   let heap = env.Interp.heap in
   let globals = env.Interp.globals in
@@ -84,8 +89,8 @@ let compile (env : Interp.env) (g : Graph.t) : code =
      pre-resolved charge (base + operation-specific), applied before the
      operation body exactly like the direct tier charges before trapping *)
   let bump cy =
-    stats.Stats.compiled_ops <- stats.Stats.compiled_ops + 1;
-    stats.Stats.cycles <- stats.Stats.cycles + cy
+    Stats.incr stats Stats.compiled_ops;
+    Stats.add stats Stats.cycles cy
   in
   let base = Cost.compiled_op in
   let build_args arg_ids regs =
@@ -296,10 +301,23 @@ let compile (env : Interp.env) (g : Graph.t) : code =
                   | None -> None
                   | Some cls -> (
                       match Classfile.resolve_method cls callee.Classfile.mth_name with
-                      | Some target -> Some (cls.Classfile.cls_id, target)
+                      | Some target -> Some (cls, target)
                       | None -> None))
             in
-            let ic = ref seed in
+            (match seed with
+            | Some (cls, _) when Trace.enabled () ->
+                Trace.record
+                  (Event.Ic_transition
+                     {
+                       meth;
+                       callee = callee.Classfile.mth_name;
+                       cls = cls.Classfile.cls_name;
+                       kind = Event.Ic_seed;
+                     })
+            | _ -> ());
+            let ic =
+              ref (Option.map (fun (cls, tgt) -> (cls.Classfile.cls_id, tgt)) seed)
+            in
             fun regs ->
               bump cy;
               let args = build_args arg_ids regs in
@@ -307,13 +325,23 @@ let compile (env : Interp.env) (g : Graph.t) : code =
               let target =
                 match (recv, !ic) with
                 | Vobj o, Some (cid, tgt) when o.o_cls.Classfile.cls_id = cid ->
-                    stats.Stats.ic_hits <- stats.Stats.ic_hits + 1;
+                    Stats.incr stats Stats.ic_hits;
                     tgt
                 | _ ->
-                    stats.Stats.ic_misses <- stats.Stats.ic_misses + 1;
+                    Stats.incr stats Stats.ic_misses;
                     let tgt = Interp.dispatch_target recv callee in
                     (match recv with
-                    | Vobj o -> ic := Some (o.o_cls.Classfile.cls_id, tgt)
+                    | Vobj o ->
+                        ic := Some (o.o_cls.Classfile.cls_id, tgt);
+                        if Trace.enabled () then
+                          Trace.record
+                            (Event.Ic_transition
+                               {
+                                 meth;
+                                 callee = callee.Classfile.mth_name;
+                                 cls = o.o_cls.Classfile.cls_name;
+                                 kind = Event.Ic_rebias;
+                               })
                     | _ -> ());
                     tgt
               in
@@ -390,7 +418,7 @@ let compile (env : Interp.env) (g : Graph.t) : code =
         let et = compile_edge ~pred:b.Graph.b_id ~succ:tru in
         let ef = compile_edge ~pred:b.Graph.b_id ~succ:fls in
         fun regs ->
-          stats.Stats.cycles <- stats.Stats.cycles + Cost.compiled_op;
+          Stats.add stats Stats.cycles Cost.compiled_op;
           if as_bool regs.(cond) then et regs else ef regs
   in
   let reachable = Graph.reachable g in
@@ -425,7 +453,7 @@ let compile (env : Interp.env) (g : Graph.t) : code =
     param_ids = Array.of_list (List.map (fun (p : Node.t) -> p.Node.id) g.Graph.params);
     entry = bodies.(Graph.entry_id);
     pool = [];
-    method_name = Classfile.qualified_name g.Graph.g_method;
+    method_name = meth;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -434,7 +462,7 @@ let compile (env : Interp.env) (g : Graph.t) : code =
 
 let pool_depth code = List.length code.pool
 
-let run (code : code) (args : Value.value list) : Value.value option =
+let run ?deopt (code : code) (args : Value.value list) : Value.value option =
   let regs =
     match code.pool with
     | [] -> Array.make code.nregs Vnull
@@ -457,11 +485,19 @@ let run (code : code) (args : Value.value list) : Value.value option =
   | r ->
       code.pool <- regs :: code.pool;
       r
-  | exception (Ir_exec.Deoptimize _ as e) ->
-      (* [regs] escapes into the deopt machinery through the lookup
-         closure and must survive; the VM is invalidating this compiled
-         code (and its pool) anyway *)
-      raise e
+  | exception (Ir_exec.Deoptimize (fs, lookup) as e) -> (
+      match deopt with
+      | Some handler ->
+          (* [regs] stays live through the lookup closure until the handler
+             returns (or raises through re-entrant interpretation); only
+             then is it safe to put it back in the pool *)
+          Fun.protect
+            ~finally:(fun () -> code.pool <- regs :: code.pool)
+            (fun () -> handler fs lookup)
+      | None ->
+          (* no in-frame handler: the exception carries the [regs]-backed
+             lookup out of this frame, so the file must leak with it *)
+          raise e)
   | exception e ->
       code.pool <- regs :: code.pool;
       raise e

@@ -8,7 +8,7 @@
     a precomputed parallel phi move, every virtual call site a monomorphic
     inline cache, and register files are pooled across invocations.
 
-    Cost accounting ({!Stats.t.cycles}, {!Stats.t.compiled_ops}) is
+    Cost accounting ({!Stats.cycles}, {!Stats.compiled_ops}) is
     bit-for-bit identical to the direct tier — inline caches and register
     pooling are wall-clock optimizations only and charge no model cycles,
     so Table-1 numbers do not depend on the execution tier. *)
@@ -25,14 +25,20 @@ type code
     deoptimization. *)
 val compile : Interp.env -> Graph.t -> code
 
-(** [run code args] executes one invocation, using a pooled register file.
-    The file is returned to the pool on normal return and on {!Interp.Mj_throw};
-    it deliberately leaks on {!Ir_exec.Deoptimize} because the deopt frame
-    state's lookup closure still references it (the VM is invalidating the
-    code anyway).
-    @raise Ir_exec.Deoptimize at [Deopt] terminators.
+(** [run ?deopt code args] executes one invocation, using a pooled
+    register file. The file is returned to the pool on normal return and
+    on {!Interp.Mj_throw}. At a [Deopt] terminator, [deopt] (if given) is
+    invoked in-frame with the frame state and register lookup; the file is
+    released once it finishes, so the pool depth recovers. Without [deopt]
+    the {!Ir_exec.Deoptimize} exception propagates and the file leaks with
+    its lookup closure.
+    @raise Ir_exec.Deoptimize at [Deopt] terminators when [deopt] is absent.
     @raise Interp.Trap on runtime faults. *)
-val run : code -> Value.value list -> Value.value option
+val run :
+  ?deopt:(Pea_ir.Frame_state.t -> (Pea_ir.Node.node_id -> Value.value) -> Value.value option) ->
+  code ->
+  Value.value list ->
+  Value.value option
 
 (** Number of free register files currently pooled (for tests). *)
 val pool_depth : code -> int

@@ -13,6 +13,8 @@ open Pea_bytecode
 open Pea_ir
 open Pea_rt
 open Value
+module Event = Pea_obs.Event
+module Trace = Pea_obs.Trace
 
 let const_value (c : Frame_state.const) =
   match c with
@@ -37,11 +39,11 @@ let collect_virtuals (fs : Frame_state.t) =
 (* [handle env fs lookup] rematerializes virtual objects, reconstructs the
    interpreter frames described by [fs], executes them innermost-first and
    returns the result of the outermost frame (the compiled method). *)
-let handle (env : Interp.env) (fs : Frame_state.t) (lookup : Node.node_id -> Value.value) :
-    Value.value option =
+let handle ?(reason = "speculation-failed") (env : Interp.env) (fs : Frame_state.t)
+    (lookup : Node.node_id -> Value.value) : Value.value option =
   let stats = env.Interp.stats in
-  stats.Stats.deopts <- stats.Stats.deopts + 1;
-  stats.Stats.cycles <- stats.Stats.cycles + Cost.deopt;
+  Stats.incr stats Stats.deopts;
+  Stats.add stats Stats.cycles Cost.deopt;
   (* --- rematerialize --- *)
   let descriptors = collect_virtuals fs in
   let objects : (Frame_state.virt_id, Value.value) Hashtbl.t = Hashtbl.create 8 in
@@ -53,7 +55,7 @@ let handle (env : Interp.env) (fs : Frame_state.t) (lookup : Node.node_id -> Val
         | Frame_state.Arr_shape elem ->
             Varr (Heap.alloc_array env.Interp.heap elem (Array.length vd.Frame_state.vd_fields))
       in
-      stats.Stats.rematerialized <- stats.Stats.rematerialized + 1;
+      Stats.incr stats Stats.rematerialized;
       Hashtbl.replace objects id v)
     descriptors;
   let resolve (fv : Frame_state.fs_value) : Value.value =
@@ -76,8 +78,18 @@ let handle (env : Interp.env) (fs : Frame_state.t) (lookup : Node.node_id -> Val
           Array.iteri (fun i fv -> a.a_elems.(i) <- resolve fv) vd.Frame_state.vd_fields;
           a.a_lock <- vd.Frame_state.vd_lock
       | Vint _ | Vbool _ | Vnull -> assert false);
-      stats.Stats.monitor_ops <- stats.Stats.monitor_ops + vd.Frame_state.vd_lock)
+      Stats.add stats Stats.monitor_ops vd.Frame_state.vd_lock)
     descriptors;
+  Stats.observe stats Stats.remat_per_deopt (Hashtbl.length descriptors);
+  if Trace.enabled () then
+    Trace.record
+      (Event.Deopt
+         {
+           meth = Classfile.qualified_name fs.Frame_state.fs_method;
+           bci = fs.Frame_state.fs_bci;
+           reason;
+           rematerialized = Hashtbl.length descriptors;
+         });
   (* --- run the frames, innermost first --- *)
   let frames =
     let rec chain fs = fs :: (match fs.Frame_state.fs_outer with None -> [] | Some o -> chain o) in

@@ -15,6 +15,13 @@ open Pea_rt
 (** [handle env fs lookup] rematerializes the virtual objects of [fs],
     reconstructs its interpreter frames, executes them innermost-first
     (passing return values outward) and returns the result of the
-    outermost frame — i.e. of the method whose compiled code deopted. *)
+    outermost frame — i.e. of the method whose compiled code deopted.
+
+    [reason] (default ["speculation-failed"]) labels the [Deopt] trace
+    event when tracing is enabled. *)
 val handle :
-  Interp.env -> Frame_state.t -> (Node.node_id -> Value.value) -> Value.value option
+  ?reason:string ->
+  Interp.env ->
+  Frame_state.t ->
+  (Node.node_id -> Value.value) ->
+  Value.value option

@@ -1,0 +1,72 @@
+(* Per-allocation-site PEA provenance report.
+
+   Runs the same ahead-of-time pipeline as `mjvm dump --stage pea` (build,
+   inline, canonicalize, GVN with interprocedural summaries, then partial
+   escape analysis) and renders the site reports the pass collects: for
+   every New / new[] in the method after inlining, whether it was
+   virtualized, where and why it was materialized, and how many loads,
+   stores and monitor operations its virtualization removed. *)
+
+open Pea_bytecode
+module Pea = Pea_core.Pea
+module Event = Pea_obs.Event
+
+type t = {
+  ex_method : string;
+  ex_summaries : bool;
+  ex_stats : Pea.pass_stats;
+}
+
+let analyze ?(summaries = true) (program : Link.program) (m : Classfile.rt_method) : t =
+  let g = Pea_ir.Builder.build m in
+  ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
+  ignore (Pea_opt.Canonicalize.run g);
+  let tbl = if summaries then Some (Pea_analysis.Summary.analyze program) else None in
+  ignore (Pea_opt.Gvn.run ?summaries:tbl g);
+  let _, st = Pea.run ?summaries:tbl g in
+  { ex_method = Classfile.qualified_name m; ex_summaries = summaries; ex_stats = st }
+
+(* One site's fate in one line plus one line per distinct decision. *)
+let pp_site ppf (r : Pea.site_report) =
+  Format.fprintf ppf "@,site v%d: %s (allocated in B%d)" r.site_node r.site_class r.site_block;
+  if not r.sr_virtualized then
+    Format.fprintf ppf "@,    never virtualized: %s"
+      (match r.sr_materialized with
+      | (_, reason) :: _ -> Event.reason_message reason
+      | [] -> "stays a real allocation")
+  else begin
+    (match r.sr_materialized with
+    | [] -> Format.fprintf ppf "@,    fully scalar-replaced: never materialized"
+    | decisions ->
+        Format.fprintf ppf "@,    virtualized, then materialized:";
+        List.iter
+          (fun (block, reason) ->
+            Format.fprintf ppf "@,      in B%d: %s" block (Event.reason_message reason))
+          decisions);
+    if r.sr_scratch > 0 then
+      Format.fprintf ppf "@,    passed to callees as a scratch allocation %d time%s" r.sr_scratch
+        (if r.sr_scratch = 1 then "" else "s")
+  end;
+  if r.sr_loads + r.sr_stores + r.sr_locks > 0 then
+    Format.fprintf ppf "@,    removed: %d loads, %d stores, %d monitor ops" r.sr_loads r.sr_stores
+      r.sr_locks
+
+let pp ppf t =
+  let st = t.ex_stats in
+  Format.pp_open_vbox ppf 0;
+  Format.fprintf ppf "PEA report for %s (summaries=%s)" t.ex_method
+    (if t.ex_summaries then "on" else "off");
+  (match st.Pea.sites with
+  | [] -> Format.fprintf ppf "@,no allocation sites after inlining"
+  | sites -> List.iter (pp_site ppf) sites);
+  let scalar_replaced =
+    List.length
+      (List.filter (fun r -> r.Pea.sr_virtualized && r.Pea.sr_materialized = []) st.Pea.sites)
+  in
+  Format.fprintf ppf
+    "@,@,sites: %d, fully scalar-replaced: %d, materializations: %d, scratch args: %d"
+    (List.length st.Pea.sites) scalar_replaced st.Pea.materializations st.Pea.scratch_args;
+  Format.pp_close_box ppf ();
+  Format.pp_print_newline ppf ()
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,25 @@
+(** Per-allocation-site PEA provenance report ([mjvm explain]).
+
+    Runs the ahead-of-time pipeline (build, inline, canonicalize, GVN,
+    partial escape analysis — the same stages as [mjvm dump --stage pea])
+    and renders what the analysis decided about every allocation site in
+    the method after inlining: virtualized or not, where and why it was
+    materialized, and how many loads/stores/monitor operations its
+    virtualization removed. *)
+
+open Pea_bytecode
+
+type t = {
+  ex_method : string;  (** qualified method name *)
+  ex_summaries : bool;  (** interprocedural summaries were enabled *)
+  ex_stats : Pea_core.Pea.pass_stats;
+}
+
+val analyze : ?summaries:bool -> Link.program -> Classfile.rt_method -> t
+(** [analyze program m] compiles [m] ahead of time ([summaries] defaults
+    to [true]) and collects the PEA site reports.
+    @raise Failure on malformed input graphs. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

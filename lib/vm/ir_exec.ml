@@ -100,11 +100,11 @@ let run_prepared (env : Interp.env) (p : prepared) (args : Value.value list) :
         trap "missing argument for %s" (Classfile.qualified_name g.Graph.g_method)
   in
   bind g.Graph.params args;
-  let charge c = stats.Stats.cycles <- stats.Stats.cycles + c in
+  let charge c = Stats.add stats Stats.cycles c in
   (* one (value list) allocation per call, no intermediate array *)
   let arg_values arg_ids = Array.fold_right (fun id acc -> regs.(id) :: acc) arg_ids [] in
   let eval (n : Node.t) =
-    stats.Stats.compiled_ops <- stats.Stats.compiled_ops + 1;
+    Stats.incr stats Stats.compiled_ops;
     charge Cost.compiled_op;
     let v id = regs.(id) in
     match n.Node.op with

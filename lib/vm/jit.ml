@@ -13,11 +13,15 @@
 open Pea_bytecode
 open Pea_ir
 open Pea_rt
+module Event = Pea_obs.Event
+module Trace = Pea_obs.Trace
 
 type opt_level =
   | O_none
   | O_ea
   | O_pea
+
+let opt_string = function O_none -> "none" | O_ea -> "ea" | O_pea -> "pea"
 
 type exec_tier =
   | Direct (* reference tier: Ir_exec walks the graph per invocation *)
@@ -65,40 +69,50 @@ let verify config g = if config.verify then Check.check_exn g
 
 let compile ?summaries config (program : Link.program) (profile : Profile.t)
     (m : Classfile.rt_method) ~allow_prune : compiled =
-  let g = Builder.build m in
+  let meth = Classfile.qualified_name m in
+  if Trace.enabled () then
+    Trace.record (Event.Compile_start { meth; opt = opt_string config.opt });
+  let span phase f = Trace.span ~meth phase f in
+  let g = span "build" (fun () -> Builder.build m) in
   verify config g;
-  if config.inline then begin
-    let inline_config =
-      { (Pea_opt.Inline.default_config program) with Pea_opt.Inline.max_callee_size = config.max_callee_size }
-    in
-    ignore (Pea_opt.Inline.run inline_config g);
-    verify config g
-  end;
-  ignore (Pea_opt.Canonicalize.run g);
-  ignore (Pea_opt.Gvn.run ?summaries g);
-  if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
-  if config.cond_elim then ignore (Pea_opt.Cond_elim.run g);
-  verify config g;
-  if config.prune && allow_prune then begin
-    ignore (Pea_opt.Prune.run profile g);
-    ignore (Pea_opt.Canonicalize.run g);
-    verify config g
-  end;
+  if config.inline then
+    span "inline" (fun () ->
+        let inline_config =
+          { (Pea_opt.Inline.default_config program) with Pea_opt.Inline.max_callee_size = config.max_callee_size }
+        in
+        ignore (Pea_opt.Inline.run inline_config g);
+        verify config g);
+  span "simplify" (fun () ->
+      ignore (Pea_opt.Canonicalize.run g);
+      ignore (Pea_opt.Gvn.run ?summaries g);
+      if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
+      if config.cond_elim then ignore (Pea_opt.Cond_elim.run g);
+      verify config g);
+  if config.prune && allow_prune then
+    span "prune" (fun () ->
+        ignore (Pea_opt.Prune.run profile g);
+        ignore (Pea_opt.Canonicalize.run g);
+        verify config g);
   let g, pea_stats =
     match config.opt with
     | O_none -> (g, None)
     | O_ea ->
-        let g', st = Pea_core.Escape.run ?summaries g in
-        (g', Some st)
+        span "escape-analysis" (fun () ->
+            let g', st = Pea_core.Escape.run ?summaries g in
+            (g', Some st))
     | O_pea ->
-        let g', st =
-          Pea_core.Pea.run ~prune_dead_objects:config.pea_prune_dead ?summaries g
-        in
-        (g', Some st)
+        span "pea" (fun () ->
+            let g', st =
+              Pea_core.Pea.run ~prune_dead_objects:config.pea_prune_dead ?summaries g
+            in
+            (g', Some st))
   in
   verify config g;
-  ignore (Pea_opt.Canonicalize.run g);
-  ignore (Pea_opt.Gvn.run ?summaries g);
-  if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
-  verify config g;
+  span "cleanup" (fun () ->
+      ignore (Pea_opt.Canonicalize.run g);
+      ignore (Pea_opt.Gvn.run ?summaries g);
+      if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
+      verify config g);
+  if Trace.enabled () then
+    Trace.record (Event.Compile_end { meth; nodes = Graph.n_nodes g });
   { graph = g; pea_stats; prepared = Ir_exec.prepare g; closure = None }

@@ -7,6 +7,9 @@ let log_src = Logs.Src.create "pea.vm" ~doc:"Tiered VM events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Event = Pea_obs.Event
+module Trace = Pea_obs.Trace
+
 type result = {
   return_value : Value.value option;
   printed : Value.value list;
@@ -34,7 +37,8 @@ let accumulate_jit_stats (acc : Pea_core.Pea.pass_stats) (st : Pea_core.Pea.pass
   acc.removed_stores <- acc.removed_stores + st.removed_stores;
   acc.removed_monitor_ops <- acc.removed_monitor_ops + st.removed_monitor_ops;
   acc.folded_checks <- acc.folded_checks + st.folded_checks;
-  acc.scratch_args <- acc.scratch_args + st.scratch_args
+  acc.scratch_args <- acc.scratch_args + st.scratch_args;
+  acc.sites <- acc.sites @ st.sites
 
 (* The summary table covers the closed program, so one fixpoint serves
    every compilation of this VM. *)
@@ -61,49 +65,63 @@ let rec invoke vm (m : Classfile.rt_method) args =
         Log.debug (fun k ->
             k "compiling %s (invocations=%d, speculation=%b)" (Classfile.qualified_name m)
               invocations allow_prune);
+        if Trace.enabled () then
+          Trace.record
+            (Event.Tier_promote
+               { meth = Classfile.qualified_name m; tier = "jit"; invocations });
         let code =
           Jit.compile ?summaries:(summaries vm) vm.config vm.program vm.env.Interp.profile m
             ~allow_prune
         in
         Hashtbl.replace vm.compiled m.Classfile.mth_id code;
-        vm.env.Interp.stats.Stats.compiled_methods <-
-          vm.env.Interp.stats.Stats.compiled_methods + 1;
+        Stats.incr vm.env.Interp.stats Stats.compiled_methods;
+        Stats.observe vm.env.Interp.stats Stats.compiled_graph_nodes
+          (Pea_ir.Graph.n_nodes code.Jit.graph);
         Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats;
         run_compiled vm m code args
       end
       else Interp.run vm.env m args
 
 and run_compiled vm m code args =
-  vm.env.Interp.stats.Stats.invocations <- vm.env.Interp.stats.Stats.invocations + 1;
-  let execute () =
-    match vm.config.Jit.exec_tier with
-    | Jit.Direct -> Ir_exec.run_prepared vm.env code.Jit.prepared args
-    | Jit.Closure ->
-        let cc =
-          match code.Jit.closure with
-          | Some cc -> cc
-          | None ->
-              (* lazy: only built when the closure tier actually runs the
-                 method, so the direct tier pays no translation cost *)
-              let cc = Closure_compile.compile vm.env code.Jit.graph in
-              code.Jit.closure <- Some cc;
-              vm.env.Interp.stats.Stats.closure_compiled_methods <-
-                vm.env.Interp.stats.Stats.closure_compiled_methods + 1;
-              cc
-        in
-        Closure_compile.run cc args
+  Stats.incr vm.env.Interp.stats Stats.invocations;
+  (* invalidate and disable speculation for this method from now on *)
+  let handle_deopt fs lookup =
+    Log.debug (fun k ->
+        k "deoptimizing %s at bci %d (%d frames); invalidating compiled code"
+          (Classfile.qualified_name m) fs.Pea_ir.Frame_state.fs_bci
+          (Pea_ir.Frame_state.depth fs));
+    Hashtbl.remove vm.compiled m.Classfile.mth_id;
+    Hashtbl.replace vm.no_speculation m.Classfile.mth_id ();
+    Deopt.handle vm.env fs lookup
   in
-  match execute () with
-  | result -> result
-  | exception Ir_exec.Deoptimize (fs, lookup) ->
-      (* invalidate and disable speculation for this method from now on *)
-      Log.debug (fun k ->
-          k "deoptimizing %s at bci %d (%d frames); invalidating compiled code"
-            (Classfile.qualified_name m) fs.Pea_ir.Frame_state.fs_bci
-            (Pea_ir.Frame_state.depth fs));
-      Hashtbl.remove vm.compiled m.Classfile.mth_id;
-      Hashtbl.replace vm.no_speculation m.Classfile.mth_id ();
-      Deopt.handle vm.env fs lookup
+  match vm.config.Jit.exec_tier with
+  | Jit.Direct -> (
+      match Ir_exec.run_prepared vm.env code.Jit.prepared args with
+      | result -> result
+      | exception Ir_exec.Deoptimize (fs, lookup) -> handle_deopt fs lookup)
+  | Jit.Closure ->
+      let cc =
+        match code.Jit.closure with
+        | Some cc -> cc
+        | None ->
+            (* lazy: only built when the closure tier actually runs the
+               method, so the direct tier pays no translation cost *)
+            if Trace.enabled () then
+              Trace.record
+                (Event.Tier_promote
+                   {
+                     meth = Classfile.qualified_name m;
+                     tier = "closure";
+                     invocations = Profile.invocations vm.env.Interp.profile m;
+                   });
+            let cc = Closure_compile.compile vm.env code.Jit.graph in
+            code.Jit.closure <- Some cc;
+            Stats.incr vm.env.Interp.stats Stats.closure_compiled_methods;
+            cc
+      in
+      (* the in-tier handler releases the register file back to the pool
+         once deopt completes (the lookup closure is dead by then) *)
+      Closure_compile.run ~deopt:handle_deopt cc args
 
 let create ?(config = Jit.default_config) (program : Link.program) : t =
   (* catch frontend/compiler bugs at VM-creation time, like the JVM's

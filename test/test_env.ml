@@ -6,11 +6,20 @@
      (any other value enables them);
    - MJVM_TEST_EXEC_TIER = direct | closure forces the execution tier;
    - MJVM_TEST_QCHECK_COUNT = N scales the qcheck case counts (the matrix
-     run uses 500+; the default local counts keep the suite fast).
+     run uses 500+; the default local counts keep the suite fast);
+   - MJVM_TEST_TRACE = 1|on|true installs a global tracer for the whole
+     suite, so every cell also exercises the instrumentation paths (the
+     trace itself is discarded — the point is that results and counters
+     must not move).
 
    Unset variables leave the test's own configuration untouched. *)
 
 open Pea_vm
+
+let () =
+  match Sys.getenv_opt "MJVM_TEST_TRACE" with
+  | Some ("1" | "on" | "true") -> Pea_obs.Trace.install (Pea_obs.Trace.create ())
+  | Some _ | None -> ()
 
 (* Tests that compare optimization levels against each other are
    meaningless when the level is forced from the outside. *)

@@ -153,6 +153,53 @@ let test_register_file_pool () =
     (as_int (Closure_compile.run code [ vint 10 ]));
   Alcotest.(check int) "pool does not grow" 1 (Closure_compile.pool_depth code)
 
+(* A deopt must not leak the register file: with an in-frame deopt handler
+   the file goes back to the pool once rematerialization and re-entrant
+   interpretation finish, so the pool depth recovers to the call depth. *)
+let test_pool_recovers_after_deopt () =
+  let src =
+    "class C {\n\
+    \  static int g;\n\
+    \  static int f(int x, boolean cold) {\n\
+    \    int y = x * 3;\n\
+    \    if (cold) { C.g = y; }\n\
+    \    return y + 1;\n\
+    \  }\n\
+     }"
+  in
+  let program = Link.compile_source ~require_main:false src in
+  let stats = Stats.create () in
+  let heap = Heap.create stats in
+  let profile = Profile.create program in
+  let globals = Array.make (max program.Link.n_statics 1) Value.Vnull in
+  let env =
+    {
+      Interp.heap;
+      stats;
+      profile;
+      globals;
+      on_invoke = (fun _ _ -> Alcotest.fail "no calls in this graph");
+      on_print = ignore;
+    }
+  in
+  let m = Link.find_method program "C" "f" in
+  (* let the interpreter profile the branch as never-taken, so compilation
+     prunes it to a Deopt terminator *)
+  for _ = 1 to 30 do
+    ignore (Interp.run env m [ vint 2; vbool false ])
+  done;
+  let compiled = Jit.compile Jit.default_config program profile m ~allow_prune:true in
+  let code = Closure_compile.compile env compiled.Jit.graph in
+  let deopt fs lookup = Deopt.handle env fs lookup in
+  Alcotest.(check int) "hot path" 16 (as_int (Closure_compile.run ~deopt code [ vint 5; vbool false ]));
+  Alcotest.(check int) "pool holds the file" 1 (Closure_compile.pool_depth code);
+  let before = Stats.get stats Stats.deopts in
+  Alcotest.(check int) "deopting call result" 22
+    (as_int (Closure_compile.run ~deopt code [ vint 7; vbool true ]));
+  Alcotest.(check int) "deopt actually fired" (before + 1) (Stats.get stats Stats.deopts);
+  Alcotest.(check int) "file released after deopt" 1 (Closure_compile.pool_depth code);
+  Alcotest.(check int) "escaped value visible" 21 (as_int (Some globals.(0)))
+
 (* The two tiers must agree bit-for-bit on every deterministic metric —
    the cost model cannot depend on how compiled graphs are executed. The
    scenario covers compiled arithmetic, allocation, virtual calls, field
@@ -218,7 +265,10 @@ let () =
           Alcotest.test_case "deopt invalidation" `Quick test_ic_deopt_invalidation;
         ] );
       ( "register-files",
-        [ Alcotest.test_case "pooling" `Quick test_register_file_pool ] );
+        [
+          Alcotest.test_case "pooling" `Quick test_register_file_pool;
+          Alcotest.test_case "pool recovers after deopt" `Quick test_pool_recovers_after_deopt;
+        ] );
       ( "parity",
         [ Alcotest.test_case "cost model identical across tiers" `Quick test_cost_model_parity ]
       );

@@ -1,0 +1,328 @@
+(* Observability tests: the metrics registry, the trace ring buffer and
+   sinks, trace determinism (across runs and across execution tiers), the
+   [Explain] report, and the zero-overhead guarantee — tracing on must
+   never change results or deterministic counters. *)
+
+open Pea_rt
+open Pea_vm
+module Metrics = Pea_obs.Metrics
+module Event = Pea_obs.Event
+module Trace = Pea_obs.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basics () =
+  let schema = Metrics.make_schema () in
+  let a = Metrics.counter schema "alpha" in
+  let b = Metrics.counter schema ~label:"brv" "bravo" in
+  let h = Metrics.histogram schema "sizes" in
+  let t = Metrics.create schema in
+  Alcotest.(check int) "zeroed" 0 (Metrics.get t a);
+  Metrics.incr t a;
+  Metrics.add t a 4;
+  Metrics.set t b 9;
+  Alcotest.(check int) "incr+add" 5 (Metrics.get t a);
+  Alcotest.(check int) "set" 9 (Metrics.get t b);
+  Metrics.observe t h 3;
+  Metrics.observe t h 10;
+  Metrics.observe t h 5;
+  let v = Metrics.hist t h in
+  Alcotest.(check int) "h_count" 3 v.Metrics.h_count;
+  Alcotest.(check int) "h_sum" 18 v.Metrics.h_sum;
+  Alcotest.(check int) "h_min" 3 v.Metrics.h_min;
+  Alcotest.(check int) "h_max" 10 v.Metrics.h_max;
+  (* dump preserves declaration order *)
+  Alcotest.(check (list string)) "dump order" [ "alpha"; "bravo"; "sizes" ]
+    (List.map fst (Metrics.dump t));
+  Alcotest.(check string) "to_json"
+    "{\"counters\":{\"alpha\":5,\"bravo\":9},\"histograms\":{\"sizes\":{\"count\":3,\"sum\":18,\"min\":3,\"max\":10}}}"
+    (Metrics.to_json t);
+  Alcotest.(check string) "pp_counters uses labels" "alpha=5 brv=9"
+    (Format.asprintf "%a" Metrics.pp_counters t);
+  Metrics.reset t;
+  Alcotest.(check int) "reset counter" 0 (Metrics.get t a);
+  Alcotest.(check int) "reset histogram" 0 (Metrics.hist t h).Metrics.h_count
+
+let test_metrics_sealed () =
+  let schema = Metrics.make_schema () in
+  let _ = Metrics.counter schema "only" in
+  let _ = Metrics.create schema in
+  Alcotest.check_raises "late declaration rejected"
+    (Invalid_argument "Metrics: declaring \"late\" after the schema was sealed by create")
+    (fun () -> ignore (Metrics.counter schema "late"))
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer and span                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ev i = Event.Compile_start { meth = Printf.sprintf "M.m%d" i; opt = "pea" }
+
+let test_ring_overflow () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 0 to 4 do
+    Trace.emit t (ev i)
+  done;
+  Alcotest.(check int) "length capped" 3 (Trace.length t);
+  Alcotest.(check int) "dropped counted" 2 (Trace.dropped t);
+  Alcotest.(check (list int)) "oldest dropped first" [ 2; 3; 4 ]
+    (List.map (fun e -> e.Trace.e_seq) (Trace.entries t));
+  Trace.clear t;
+  Alcotest.(check int) "clear" 0 (Trace.length t)
+
+let with_tracer ?capacity f =
+  let t = Trace.create ?capacity () in
+  Trace.install t;
+  Fun.protect ~finally:Trace.uninstall (fun () -> f t)
+
+let test_span_pairs () =
+  with_tracer (fun t ->
+      Alcotest.(check int) "span result" 7 (Trace.span ~meth:"M.m" "build" (fun () -> 7));
+      (match
+         Trace.span ~meth:"M.m" "inline" (fun () -> failwith "boom")
+       with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected the span body to raise");
+      let names = List.map (fun e -> Event.name e.Trace.e_event) (Trace.entries t) in
+      Alcotest.(check (list string)) "end emitted even on raise"
+        [ "phase_start"; "phase_end"; "phase_start"; "phase_end" ]
+        names);
+  (* with no tracer installed, span is pass-through *)
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  Alcotest.(check int) "span off" 7 (Trace.span ~meth:"M.m" "build" (fun () -> 7))
+
+(* ------------------------------------------------------------------ *)
+(* Trace determinism on the VM                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Exercises the whole event surface: PEA virtualize/materialize in a
+   compiled loop, a pruned branch that deopts with a virtual object in
+   the frame state, recompilation, and (on the closure tier) inline-cache
+   seeding. *)
+let scenario_src =
+  "class P { int a; int b; }\n\
+   class Main {\n\
+  \  static P g;\n\
+  \  static int iterc;\n\
+  \  static int main() {\n\
+  \    Main.iterc = Main.iterc + 1;\n\
+  \    P p = new P();\n\
+  \    p.a = Main.iterc; p.b = 7;\n\
+  \    int s = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 20) {\n\
+  \      P q = new P();\n\
+  \      q.a = i;\n\
+  \      s = s + q.a + p.b;\n\
+  \      i = i + 1;\n\
+  \    }\n\
+  \    if (Main.iterc > 23) { Main.g = p; }\n\
+  \    return s + p.a;\n\
+  \  }\n\
+   }"
+
+(* threshold 22: enough interpreted samples for the pruner (min 20) with
+   the escape branch never taken, so the compiled code deopts at
+   iteration 24 — see [gen_program_deopt] in test_properties.ml *)
+let run_traced ?(src = scenario_src) ?(iterations = 30) ?(threshold = 22) tier =
+  let program = Pea_bytecode.Link.compile_source src in
+  let config = { Jit.default_config with Jit.compile_threshold = threshold; exec_tier = tier } in
+  let vm = Vm.create ~config program in
+  with_tracer (fun t ->
+      Trace.set_clock t (fun () -> Stats.get (Vm.stats vm) Stats.cycles);
+      let r = Vm.run_main_iterations vm iterations in
+      (r, Trace.jsonl_string t, Trace.chrome_string t, Trace.entries t))
+
+let count_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub s i m = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_golden_jsonl_deterministic () =
+  let _, j1, _, _ = run_traced Jit.Closure in
+  let _, j2, _, _ = run_traced Jit.Closure in
+  Alcotest.(check string) "identical across runs" j1 j2;
+  let has name = count_sub j1 (Printf.sprintf "\"ev\":\"%s\"" name) > 0 in
+  List.iter
+    (fun name -> Alcotest.(check bool) ("has " ^ name) true (has name))
+    [
+      "tier_promote";
+      "compile_start";
+      "phase_start";
+      "pea_virtualize";
+      "pea_materialize";
+      "deopt";
+      "compile_end";
+    ]
+
+(* Cost-model cycles are tier-independent, so after filtering the events
+   only one tier emits (inline-cache transitions, the closure-tier
+   promotion), the (cycles, event) stream must be identical across tiers
+   — sequence numbers shift, payloads and timestamps may not. *)
+let test_cross_tier_determinism () =
+  let _, _, _, ed = run_traced Jit.Direct in
+  let _, _, _, ec = run_traced Jit.Closure in
+  let tier_independent e =
+    match e.Trace.e_event with
+    | Event.Ic_transition _ -> false
+    | Event.Tier_promote { tier = "closure"; _ } -> false
+    | _ -> true
+  in
+  let key e = (e.Trace.e_cycles, e.Trace.e_event) in
+  let kd = List.map key (List.filter tier_independent ed) in
+  let kc = List.map key (List.filter tier_independent ec) in
+  Alcotest.(check int) "same event count" (List.length kd) (List.length kc);
+  Alcotest.(check bool) "same (cycles, event) stream" true (kd = kc)
+
+let test_chrome_structure () =
+  let _, _, chrome, entries = run_traced Jit.Closure in
+  Alcotest.(check bool) "header" true
+    (String.length chrome > 16 && String.sub chrome 0 16 = "{\"traceEvents\":[");
+  Alcotest.(check int) "one record per entry"
+    (List.length entries)
+    (count_sub chrome "\"cat\":\"mjvm\"");
+  Alcotest.(check int) "balanced spans"
+    (count_sub chrome "\"ph\":\"B\"")
+    (count_sub chrome "\"ph\":\"E\"");
+  (* every record carries the deterministic clock *)
+  Alcotest.(check int) "cycles in args" (List.length entries) (count_sub chrome "\"cycles\":")
+
+(* ------------------------------------------------------------------ *)
+(* Explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_src =
+  "class Key { int k1; int k2; }\n\
+   class Cache {\n\
+  \  static Key hit;\n\
+  \  static int getValue(int a, int b, boolean store) {\n\
+  \    Key k = new Key();\n\
+  \    k.k1 = a;\n\
+  \    k.k2 = b;\n\
+  \    int v = k.k1 * 31 + k.k2;\n\
+  \    if (store) { Cache.hit = k; }\n\
+  \    return v;\n\
+  \  }\n\
+  \  static int local(int a) {\n\
+  \    Key k = new Key();\n\
+  \    k.k1 = a;\n\
+  \    return k.k1 + 1;\n\
+  \  }\n\
+   }"
+
+let explain_for name =
+  let program = Pea_bytecode.Link.compile_source ~require_main:false explain_src in
+  let m = Pea_bytecode.Link.find_method program "Cache" name in
+  Explain.to_string (Explain.analyze program m)
+
+let test_explain_partial_escape () =
+  Alcotest.(check string) "branch-escaping site"
+    "PEA report for Cache.getValue (summaries=on)\n\
+     site v4: Key (allocated in B0)\n\
+    \    virtualized, then materialized:\n\
+    \      in B1: stored into a static field (global escape)\n\
+    \    removed: 2 loads, 2 stores, 0 monitor ops\n\
+     \n\
+     sites: 1, fully scalar-replaced: 0, materializations: 1, scratch args: 0\n"
+    (explain_for "getValue")
+
+let test_explain_scalar_replaced () =
+  Alcotest.(check string) "fully virtual site"
+    "PEA report for Cache.local (summaries=on)\n\
+     site v2: Key (allocated in B0)\n\
+    \    fully scalar-replaced: never materialized\n\
+    \    removed: 1 loads, 1 stores, 0 monitor ops\n\
+     \n\
+     sites: 1, fully scalar-replaced: 1, materializations: 0, scratch args: 0\n"
+    (explain_for "local")
+
+(* ------------------------------------------------------------------ *)
+(* Zero-overhead guarantee                                             *)
+(* ------------------------------------------------------------------ *)
+
+let outcome (r : Vm.result) =
+  ( (match r.Vm.return_value with None -> "void" | Some v -> Value.string_of_value v),
+    List.map Value.string_of_value r.Vm.printed )
+
+let run_plain ?(src = scenario_src) ?(iterations = 30) ?(threshold = 22) tier =
+  let program = Pea_bytecode.Link.compile_source src in
+  let config = { Jit.default_config with Jit.compile_threshold = threshold; exec_tier = tier } in
+  let vm = Vm.create ~config program in
+  Vm.run_main_iterations vm iterations
+
+let check_snapshots_equal what (a : Stats.snapshot) (b : Stats.snapshot) =
+  Alcotest.(check bool) what true (a = b)
+
+let test_tracing_off_parity () =
+  List.iter
+    (fun tier ->
+      let off = run_plain tier in
+      let on, _, _, _ = run_traced tier in
+      Alcotest.(check (pair string (list string))) "same outcome" (outcome off) (outcome on);
+      check_snapshots_equal "same counters" off.Vm.stats on.Vm.stats)
+    [ Jit.Direct; Jit.Closure ]
+
+(* Property form, over the shared corpus and a sampled configuration
+   space: installing a tracer never changes the program outcome or any
+   deterministic counter. *)
+let prop_tracing_is_pure =
+  let module G = QCheck2.Gen in
+  let gen =
+    G.map3
+      (fun (name, src) threshold tier -> (name, src, threshold, tier))
+      (G.oneofl Programs.corpus) (G.int_range 0 12)
+      (G.oneofl [ Jit.Direct; Jit.Closure ])
+  in
+  QCheck2.Test.make ~name:"tracing changes no result and no counter"
+    ~count:(Test_env.qcheck_count 40)
+    ~print:(fun (name, _, threshold, tier) ->
+      Printf.sprintf "%s threshold=%d tier=%s" name threshold
+        (match tier with Jit.Direct -> "direct" | Jit.Closure -> "closure"))
+    gen
+    (fun (_, src, threshold, tier) ->
+      let off = run_plain ~src ~iterations:3 ~threshold tier in
+      let program = Pea_bytecode.Link.compile_source src in
+      let config = { Jit.default_config with Jit.compile_threshold = threshold; exec_tier = tier } in
+      let vm = Vm.create ~config program in
+      let on =
+        with_tracer (fun t ->
+            Trace.set_clock t (fun () -> Stats.get (Vm.stats vm) Stats.cycles);
+            Vm.run_main_iterations vm 3)
+      in
+      outcome off = outcome on && off.Vm.stats = on.Vm.stats)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and histograms" `Quick test_metrics_basics;
+          Alcotest.test_case "schema seals at create" `Quick test_metrics_sealed;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "overflow drops oldest" `Quick test_ring_overflow;
+          Alcotest.test_case "span pairs begin/end" `Quick test_span_pairs;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jsonl identical across runs" `Quick test_golden_jsonl_deterministic;
+          Alcotest.test_case "events identical across tiers" `Quick test_cross_tier_determinism;
+          Alcotest.test_case "chrome sink structure" `Quick test_chrome_structure;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "partial escape" `Quick test_explain_partial_escape;
+          Alcotest.test_case "fully scalar-replaced" `Quick test_explain_scalar_replaced;
+        ] );
+      ( "zero-overhead",
+        [
+          Alcotest.test_case "tracing off parity" `Quick test_tracing_off_parity;
+          QCheck_alcotest.to_alcotest prop_tracing_is_pure;
+        ] );
+    ]

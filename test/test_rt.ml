@@ -20,9 +20,9 @@ let test_object_accounting () =
   let small, big = classes () in
   let o1 = Heap.alloc_object heap small in
   let o2 = Heap.alloc_object heap big in
-  Alcotest.(check int) "two allocations" 2 stats.Stats.allocations;
+  Alcotest.(check int) "two allocations" 2 (Stats.get stats Stats.allocations);
   (* 16 + 8*1 and 16 + 8*4 *)
-  Alcotest.(check int) "bytes" (24 + 48) stats.Stats.allocated_bytes;
+  Alcotest.(check int) "bytes" (24 + 48) (Stats.get stats Stats.allocated_bytes);
   Alcotest.(check bool) "distinct identities" true (o1.Value.o_id <> o2.Value.o_id);
   Alcotest.(check int) "small layout" 1 (Array.length o1.Value.o_fields);
   Alcotest.(check int) "big layout" 4 (Array.length o2.Value.o_fields)
@@ -31,7 +31,7 @@ let test_array_accounting () =
   let stats, heap = make_heap () in
   ignore (Heap.alloc_array heap Pea_mjava.Ast.Tint 10); (* 16 + 40 *)
   ignore (Heap.alloc_array heap (Pea_mjava.Ast.Tclass "Object") 10); (* 16 + 80 *)
-  Alcotest.(check int) "bytes" (56 + 96) stats.Stats.allocated_bytes;
+  Alcotest.(check int) "bytes" (56 + 96) (Stats.get stats Stats.allocated_bytes);
   match Heap.alloc_array heap Pea_mjava.Ast.Tint (-1) with
   | exception Heap.Negative_array_size _ -> ()
   | _ -> Alcotest.fail "negative size accepted"
@@ -63,24 +63,24 @@ let test_monitor_accounting () =
   Heap.monitor_enter heap o;
   Heap.monitor_exit heap o;
   Heap.monitor_exit heap o;
-  Alcotest.(check int) "four monitor ops" 4 stats.Stats.monitor_ops;
+  Alcotest.(check int) "four monitor ops" 4 (Stats.get stats Stats.monitor_ops);
   match Heap.monitor_exit heap o with
   | exception Heap.Unbalanced_monitor _ -> ()
   | _ -> Alcotest.fail "unbalanced exit accepted"
 
 let test_stats_snapshot_diff () =
   let stats = Stats.create () in
-  stats.Stats.allocations <- 5;
-  stats.Stats.cycles <- 100;
+  Stats.set stats Stats.allocations 5;
+  Stats.set stats Stats.cycles 100;
   let s1 = Stats.snapshot stats in
-  stats.Stats.allocations <- 12;
-  stats.Stats.cycles <- 250;
+  Stats.set stats Stats.allocations 12;
+  Stats.set stats Stats.cycles 250;
   let s2 = Stats.snapshot stats in
   let d = Stats.diff s2 s1 in
   Alcotest.(check int) "alloc delta" 7 d.Stats.s_allocations;
   Alcotest.(check int) "cycle delta" 150 d.Stats.s_cycles;
   Stats.reset stats;
-  Alcotest.(check int) "reset" 0 stats.Stats.allocations
+  Alcotest.(check int) "reset" 0 (Stats.get stats Stats.allocations)
 
 let test_cost_model_shape () =
   (* allocation cost grows with size; compiled ops are cheaper than

@@ -28,7 +28,7 @@ let test_threshold_respected () =
   ignore (Vm.invoke vm f [ vint 3 ]);
   ignore (Vm.invoke vm f [ vint 3 ]);
   Alcotest.(check bool) "compiled at threshold" true (Vm.compiled_graph vm f <> None);
-  Alcotest.(check int) "counted" 1 (Vm.stats vm).Stats.compiled_methods
+  Alcotest.(check int) "counted" 1 (Stats.get (Vm.stats vm) Stats.compiled_methods)
 
 let test_threshold_zero_compiles_immediately () =
   let program = Link.compile_source simple_src in
@@ -61,7 +61,7 @@ let test_each_method_compiled_once () =
   let vm = Vm.create ~config program in
   let f = Link.find_method program "C" "f" in
   Vm.warm_up vm f [ vint 1 ] 50;
-  Alcotest.(check int) "compiled exactly once" 1 (Vm.stats vm).Stats.compiled_methods
+  Alcotest.(check int) "compiled exactly once" 1 (Stats.get (Vm.stats vm) Stats.compiled_methods)
 
 (* ------------------------------------------------------------------ *)
 (* Direct IR-executor behaviour                                        *)
