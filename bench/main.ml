@@ -487,6 +487,112 @@ let obs_section () =
   close_out oc;
   Printf.printf "wrote BENCH_obs.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* On-stack replacement                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A single invocation of a hot loop never trips the invocation counter,
+   so without OSR it runs interpreted start to finish. The gate: with
+   OSR the same single invocation must reach the compiled tier
+   (osr_entries >= 1), produce the interpreter's results bit-for-bit,
+   and cost measurably fewer deterministic cycles. *)
+let osr_section () =
+  header "On-stack replacement: single-invocation hot loops";
+  let rows =
+    [
+      ( "hot-loop-alloc",
+        "class Point { int x; int y; }\n\
+         class Main {\n\
+        \  static int main() {\n\
+        \    int s = 0;\n\
+        \    int i = 0;\n\
+        \    while (i < 20000) {\n\
+        \      Point p = new Point();\n\
+        \      p.x = i;\n\
+        \      p.y = 3;\n\
+        \      s = s + p.x + p.y;\n\
+        \      i = i + 1;\n\
+        \    }\n\
+        \    print(s);\n\
+        \    return s;\n\
+        \  }\n\
+         }" );
+      ( "nested-loop",
+        "class Acc { int total; }\n\
+         class Main {\n\
+        \  static int main() {\n\
+        \    int s = 0;\n\
+        \    int i = 0;\n\
+        \    while (i < 100) {\n\
+        \      int j = 0;\n\
+        \      while (j < 200) {\n\
+        \        Acc a = new Acc();\n\
+        \        a.total = i * j;\n\
+        \        s = s + a.total;\n\
+        \        j = j + 1;\n\
+        \      }\n\
+        \      i = i + 1;\n\
+        \    }\n\
+        \    print(s);\n\
+        \    return s;\n\
+        \  }\n\
+         }" );
+    ]
+  in
+  let outcome (r : Pea_vm.Vm.result) =
+    ( (match r.Pea_vm.Vm.return_value with
+      | None -> "void"
+      | Some v -> Pea_rt.Value.string_of_value v),
+      List.map Pea_rt.Value.string_of_value r.Pea_vm.Vm.printed )
+  in
+  (* compile_threshold maxed out: the only road to compiled code is OSR *)
+  let run src ~osr =
+    let config =
+      { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = max_int; osr }
+    in
+    Pea_vm.Vm.run (Pea_vm.Vm.create ~config (Pea_bytecode.Link.compile_source src))
+  in
+  Printf.printf "%-14s | %12s %12s %8s | %7s %11s | %s\n" "row" "interp cyc" "osr cyc" "speedup"
+    "entries" "allocs" "results";
+  let measured =
+    List.map
+      (fun (name, src) ->
+        let interp = run src ~osr:false in
+        let osr = run src ~osr:true in
+        let ic = interp.Pea_vm.Vm.stats.Pea_rt.Stats.s_cycles in
+        let oc = osr.Pea_vm.Vm.stats.Pea_rt.Stats.s_cycles in
+        let entries = osr.Pea_vm.Vm.stats.Pea_rt.Stats.s_osr_entries in
+        let parity = outcome interp = outcome osr in
+        let speedup = float_of_int ic /. float_of_int oc in
+        Printf.printf "%-14s | %12d %12d %7.2fx | %7d %5d->%-5d | %s\n%!" name ic oc speedup
+          entries interp.Pea_vm.Vm.stats.Pea_rt.Stats.s_allocations
+          osr.Pea_vm.Vm.stats.Pea_rt.Stats.s_allocations
+          (if parity then "identical" else "MISMATCH");
+        (name, ic, oc, speedup, entries, parity))
+      rows
+  in
+  let oc = open_out "BENCH_osr.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, icyc, ocyc, speedup, entries, parity) ->
+      Printf.fprintf oc
+        "  {\"row\": %S, \"interp_cycles\": %d, \"osr_cycles\": %d, \"speedup\": %.3f, \
+         \"osr_entries\": %d, \"result_parity\": %b}%s\n"
+        name icyc ocyc speedup entries parity
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_osr.json\n";
+  let tiered = List.for_all (fun (_, _, _, _, e, _) -> e >= 1) measured in
+  let faster = List.for_all (fun (_, ic, oc, _, _, _) -> oc < ic) measured in
+  let parity = List.for_all (fun (_, _, _, _, _, p) -> p) measured in
+  Printf.printf
+    "gate: osr entered on every row: %s; beats interpreter-only: %s; results bit-for-bit: %s\n"
+    (if tiered then "PASS" else "FAIL")
+    (if faster then "PASS" else "FAIL")
+    (if parity then "PASS" else "FAIL")
+
 (* The paper's §6.1 observation: "the allocations not removed by Partial
    Escape Analysis often contain large arrays". Show the per-class
    breakdown of a representative workload without and with PEA. *)
@@ -526,6 +632,7 @@ let () =
   ablation_section ();
   summaries_section ();
   obs_section ();
+  osr_section ();
   breakdown_section ();
   if not fast then begin
     bechamel_section ();

@@ -2,8 +2,9 @@
 # Run the tier-1 test suites under every VM configuration the matrix
 # covers: optimization level (none / ea / pea) crossed with
 # interprocedural escape summaries (on / off) crossed with the execution
-# tier (closure / direct). The suites read the forced configuration from
-# MJVM_TEST_OPT / MJVM_TEST_SUMMARIES / MJVM_TEST_EXEC_TIER (see
+# tier (closure / direct) crossed with on-stack replacement (on / off).
+# The suites read the forced configuration from MJVM_TEST_OPT /
+# MJVM_TEST_SUMMARIES / MJVM_TEST_EXEC_TIER / MJVM_TEST_OSR (see
 # test/test_env.ml); a differential or monotonicity failure in any cell
 # is a real bug in that configuration. A final cell re-runs the default
 # configuration with a global tracer installed (MJVM_TEST_TRACE=1) to
@@ -23,26 +24,35 @@ MJVM_TEST_QCHECK_COUNT=${MJVM_TEST_QCHECK_COUNT:-500}
 export MJVM_TEST_QCHECK_COUNT
 
 status=0
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+
+# run_cell LABEL [VAR=value ...] — one matrix cell. Output is captured,
+# and on failure the tail is printed instead of being thrown away.
+run_cell() {
+  _label=$1
+  shift
+  echo "=== $_label ==="
+  if env "$@" dune runtest --force >"$log" 2>&1; then
+    echo "    ok"
+  else
+    echo "    FAILED (rerun: $* dune runtest --force); last 40 lines:"
+    tail -n 40 "$log" | sed 's/^/    | /'
+    status=1
+  fi
+}
+
 for opt in none ea pea; do
   for summaries in on off; do
     for tier in closure direct; do
-      echo "=== opt=$opt summaries=$summaries exec-tier=$tier ==="
-      if MJVM_TEST_OPT=$opt MJVM_TEST_SUMMARIES=$summaries MJVM_TEST_EXEC_TIER=$tier \
-          dune runtest --force >/dev/null 2>&1; then
-        echo "    ok"
-      else
-        echo "    FAILED (rerun: MJVM_TEST_OPT=$opt MJVM_TEST_SUMMARIES=$summaries MJVM_TEST_EXEC_TIER=$tier dune runtest --force)"
-        status=1
-      fi
+      for osr in on off; do
+        run_cell "opt=$opt summaries=$summaries exec-tier=$tier osr=$osr" \
+          "MJVM_TEST_OPT=$opt" "MJVM_TEST_SUMMARIES=$summaries" \
+          "MJVM_TEST_EXEC_TIER=$tier" "MJVM_TEST_OSR=$osr"
+      done
     done
   done
 done
 
-echo "=== trace=on (default configuration, global tracer installed) ==="
-if MJVM_TEST_TRACE=1 dune runtest --force >/dev/null 2>&1; then
-  echo "    ok"
-else
-  echo "    FAILED (rerun: MJVM_TEST_TRACE=1 dune runtest --force)"
-  status=1
-fi
+run_cell "trace=on (default configuration, global tracer installed)" "MJVM_TEST_TRACE=1"
 exit $status

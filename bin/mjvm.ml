@@ -83,6 +83,23 @@ let no_summaries_arg =
           "Disable interprocedural escape summaries (every non-inlined call becomes a hard \
            escape point again)")
 
+let osr_threshold_arg =
+  Arg.(
+    value
+    & opt int Jit.default_config.Jit.osr_threshold
+    & info [ "osr-threshold" ] ~docv:"N"
+        ~doc:
+          "Back edges to one loop header before the interpreter transfers the running frame \
+           into OSR-compiled code")
+
+let no_osr_arg =
+  Arg.(
+    value & flag
+    & info [ "no-osr" ]
+        ~doc:
+          "Disable on-stack replacement (hot loops then only tier up at the next full \
+           invocation)")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log JIT events (compilations, deopts)")
 
@@ -122,7 +139,7 @@ let setup_logs verbose =
     Logs.Src.set_level Vm.log_src (Some Logs.Debug)
   end
 
-let config opt threshold no_inline no_prune no_summaries exec_tier =
+let config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr =
   {
     Jit.default_config with
     Jit.opt;
@@ -131,6 +148,8 @@ let config opt threshold no_inline no_prune no_summaries exec_tier =
     prune = not no_prune;
     summaries = not no_summaries;
     exec_tier;
+    osr = not no_osr;
+    osr_threshold;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -154,12 +173,15 @@ let compile_file_or_exit ?require_main file =
   | program -> program
 
 let run_cmd =
-  let action file opt threshold iterations stats no_inline no_prune no_summaries exec_tier verbose
-      trace trace_format =
+  let action file opt threshold iterations stats no_inline no_prune no_summaries exec_tier
+      osr_threshold no_osr verbose trace trace_format =
     setup_logs verbose;
     let program = compile_file_or_exit file in
     (let vm =
-       Vm.create ~config:(config opt threshold no_inline no_prune no_summaries exec_tier) program
+       Vm.create
+         ~config:
+           (config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr)
+         program
      in
      let tracer =
        match trace with
@@ -206,13 +228,17 @@ let run_cmd =
                  compiled methods: %d\n\
                  closure-compiled methods: %d\n\
                  inline-cache hits: %d\n\
-                 inline-cache misses: %d\n"
+                 inline-cache misses: %d\n\
+                 osr compiles: %d\n\
+                 osr entries: %d\n\
+                 site blacklists: %d\n"
                 r.Vm.stats.Pea_rt.Stats.s_allocations r.Vm.stats.Pea_rt.Stats.s_allocated_bytes
                 r.Vm.stats.Pea_rt.Stats.s_monitor_ops r.Vm.stats.Pea_rt.Stats.s_stack_allocs
                 r.Vm.stats.Pea_rt.Stats.s_cycles r.Vm.stats.Pea_rt.Stats.s_deopts
                 r.Vm.stats.Pea_rt.Stats.s_rematerialized r.Vm.stats.Pea_rt.Stats.s_compiled_methods
                 r.Vm.stats.Pea_rt.Stats.s_closure_compiled_methods r.Vm.stats.Pea_rt.Stats.s_ic_hits
-                r.Vm.stats.Pea_rt.Stats.s_ic_misses;
+                r.Vm.stats.Pea_rt.Stats.s_ic_misses r.Vm.stats.Pea_rt.Stats.s_osr_compiles
+                r.Vm.stats.Pea_rt.Stats.s_osr_entries r.Vm.stats.Pea_rt.Stats.s_site_blacklists;
               (match Vm.class_breakdown vm with
               | [] -> ()
               | breakdown ->
@@ -228,8 +254,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
-      $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ tier_arg $ verbose_arg $ trace_arg
-      $ trace_format_arg)
+      $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ tier_arg $ osr_threshold_arg
+      $ no_osr_arg $ verbose_arg $ trace_arg $ trace_format_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a MiniJava program on the tiered VM") term
 
@@ -329,8 +355,18 @@ let explain_method_arg =
     & opt (some string) None
     & info [ "method" ] ~docv:"CLASS.METHOD" ~doc:"Method to explain, e.g. Cache.getValue")
 
+let osr_bci_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "osr-bci" ] ~docv:"BCI"
+        ~doc:
+          "Analyze the method as OSR-compiled code entered at this loop-header bytecode index \
+           (find headers with $(b,mjvm dump --stage bytecode)): locals become parameters, so \
+           object locals alive at the header count as escaped on entry")
+
 let explain_cmd =
-  let action file spec no_summaries =
+  let action file spec no_summaries osr_bci =
     let program = compile_file_or_exit ~require_main:false file in
     let cls, name =
       match String.index_opt spec '.' with
@@ -346,9 +382,15 @@ let explain_cmd =
           Printf.eprintf "no method %s.%s\n" cls name;
           exit 1
     in
-    print_string (Explain.to_string (Explain.analyze ~summaries:(not no_summaries) program m))
+    match Explain.analyze ~summaries:(not no_summaries) ?osr_at:osr_bci program m with
+    | report -> print_string (Explain.to_string report)
+    | exception Pea_ir.Builder.Build_error msg ->
+        Printf.eprintf "cannot build an OSR graph there: %s\n" msg;
+        exit 1
   in
-  let term = Term.(const action $ file_arg $ explain_method_arg $ no_summaries_arg) in
+  let term =
+    Term.(const action $ file_arg $ explain_method_arg $ no_summaries_arg $ osr_bci_arg)
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:

@@ -71,9 +71,14 @@ let bc_successors code (blocks : bc_block array) block_of_bci k =
 (* CFG analysis on the proto graph                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Back edges via DFS (the frontend generates reducible CFGs, so every
-   retreating edge targets a loop header). *)
-let find_back_edges n_blocks succs =
+(* Back edges via DFS from [root] (the frontend generates reducible CFGs,
+   so every retreating edge targets a loop header). For OSR graphs the
+   root is the OSR loop header, not block 0: classification must be
+   relative to the block the graph is entered at, otherwise an edge that
+   closes a cycle through the new entry (e.g. the outer latch of a nest
+   entered at the inner header) would be misclassified and the abstract
+   interpreter would wait forever for an "earlier" predecessor. *)
+let find_back_edges n_blocks succs ~root =
   let color = Array.make n_blocks `White in
   let back = Hashtbl.create 8 in
   let rec dfs u =
@@ -87,7 +92,7 @@ let find_back_edges n_blocks succs =
       (succs u);
     color.(u) <- `Black
   in
-  dfs 0;
+  dfs root;
   back
 
 (* ------------------------------------------------------------------ *)
@@ -181,13 +186,25 @@ type proto =
   | Bc of int (* bytecode block ordinal *)
   | Split of { src : int; dst : int } (* bc ordinals of the split edge *)
 
-let build (m : rt_method) : Graph.t =
+let build ?osr_at (m : rt_method) : Graph.t =
   let code = m.mth_code in
   if Array.length code = 0 then fail "method %s has no code" (qualified_name m);
   let bc_blocks, block_of_bci = find_bc_blocks code in
   let n_bc = Array.length bc_blocks in
   let bc_succs k = bc_successors code bc_blocks block_of_bci k in
-  let back_edges = find_back_edges n_bc bc_succs in
+  (* the bc block execution starts in: block 0, or the OSR loop header *)
+  let root_bc =
+    match osr_at with
+    | None -> 0
+    | Some bci ->
+        if bci < 0 || bci >= Array.length code then
+          fail "OSR entry bci %d out of range in %s" bci (qualified_name m);
+        let k = block_of_bci.(bci) in
+        if bc_blocks.(k).start <> bci then
+          fail "OSR entry bci %d of %s is not a block leader" bci (qualified_name m);
+        k
+  in
+  let back_edges = find_back_edges n_bc bc_succs ~root:root_bc in
   let is_back (u, v) = Hashtbl.mem back_edges (u, v) in
 
   (* predecessor counts on the bc graph, to find critical edges *)
@@ -198,8 +215,9 @@ let build (m : rt_method) : Graph.t =
 
   (* If the first bytecode block is a jump target (a loop starting at bci
      0), give the graph a synthetic entry block so that the entry never has
-     predecessors. *)
-  let entry_is_target = pred_count.(0) > 0 in
+     predecessors. OSR graphs always get one: their first bc block is a
+     loop header by construction. *)
+  let entry_is_target = pred_count.(0) > 0 || osr_at <> None in
 
   (* Proto graph: a synthetic entry if needed, then bc blocks, then split
      blocks. Every edge u->v where u has several successors and v several
@@ -231,7 +249,7 @@ let build (m : rt_method) : Graph.t =
   (* proto successor list *)
   let proto_succs p =
     match Pea_support.Dyn_array.get protos p with
-    | Entry -> [ bc_proto.(0) ]
+    | Entry -> [ bc_proto.(root_bc) ]
     | Bc k -> List.map (fun v -> edge_target k v) (bc_succs k)
     | Split { dst; _ } -> [ bc_proto.(dst) ]
   in
@@ -294,9 +312,17 @@ let build (m : rt_method) : Graph.t =
 
   let liveness = local_liveness code bc_blocks block_of_bci m.mth_max_locals in
 
-  (* Parameters and the undef constant. *)
+  (* Parameters and the undef constant. A normal graph has one parameter
+     per argument; an OSR graph is entered mid-method with the full live
+     locals array of the interpreter frame, so it takes one parameter per
+     local slot (the VM passes the frame's locals as arguments). Object
+     locals arriving through parameters are naturally treated as escaped
+     by escape analysis: parameters are never allocation sites. *)
   let n_args = arity m in
-  let param_nodes = List.init n_args (fun i -> (Graph.add_param g i).Node.id) in
+  let n_params =
+    match osr_at with None -> n_args | Some _ -> max m.mth_max_locals n_args
+  in
+  let param_nodes = List.init n_params (fun i -> (Graph.add_param g i).Node.id) in
   let undef = (Graph.new_node g (Node.Const Node.Cundef)).Node.id in
   (* Register undef as an entry-block instruction so it has a definition
      point. Params live outside blocks (graph inputs). *)
@@ -625,8 +651,9 @@ let build (m : rt_method) : Graph.t =
     List.iteri (fun i n -> locals.(i) <- n) param_nodes;
     let s = { locals; stack = []; locks = [] } in
     entry_states.(p) <- Some (copy_state s);
-    blk.Graph.entry_fs <- Some (make_fs s ~bci:0);
-    blk.Graph.term <- Graph.Goto bc_proto.(0);
+    let entry_bci = match osr_at with Some bci -> bci | None -> 0 in
+    blk.Graph.entry_fs <- Some (make_fs s ~bci:entry_bci);
+    blk.Graph.term <- Graph.Goto bc_proto.(root_bc);
     end_states.(p) <- Some s
   in
   List.iter

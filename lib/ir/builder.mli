@@ -9,7 +9,20 @@
 
 exception Build_error of string
 
-(** [build m] translates the bytecode of [m] into a fresh IR graph.
+(** [build ?osr_at m] translates the bytecode of [m] into a fresh IR
+    graph.
+
+    With [osr_at = Some bci] the graph is an on-stack-replacement graph:
+    it is entered at the loop header whose first bytecode is [bci]
+    (which must be a basic-block leader, i.e. a jump target), via a
+    synthetic entry block whose parameters are the frame's local slots
+    — one parameter per slot, [max_locals] of them — seeded straight
+    into the header's phis. Back-edge classification and reachability
+    are computed from the OSR entry, so code before the loop is simply
+    absent from the graph, and object locals flowing in through the
+    parameters are treated as already escaped by (partial) escape
+    analysis, exactly as live interpreter state must be.
+
     @raise Build_error on malformed bytecode (e.g. inconsistent stack
-    depths at a merge point). *)
-val build : Pea_bytecode.Classfile.rt_method -> Graph.t
+    depths at a merge point), or when [bci] is not a block leader. *)
+val build : ?osr_at:int -> Pea_bytecode.Classfile.rt_method -> Graph.t

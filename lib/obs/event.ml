@@ -61,6 +61,9 @@ type t =
   | Pea_scratch_arg of { meth : string; site : int; callee : string }
   | Lock_elided of { meth : string; site : int; block : int }
   | Deopt of { meth : string; bci : int; reason : string; rematerialized : int }
+  | Site_blacklist of { meth : string; bci : int }
+      (* a deopt site excluded from further speculation; [meth]/[bci] are
+         the innermost deopt frame, i.e. the blacklist key *)
   | Ic_transition of { meth : string; callee : string; cls : string; kind : ic_kind }
   | Tier_promote of { meth : string; tier : string; invocations : int }
 
@@ -74,6 +77,7 @@ let name = function
   | Pea_scratch_arg _ -> "pea_scratch_arg"
   | Lock_elided _ -> "lock_elided"
   | Deopt _ -> "deopt"
+  | Site_blacklist _ -> "site_blacklist"
   | Ic_transition _ -> "ic_transition"
   | Tier_promote _ -> "tier_promote"
 
@@ -105,6 +109,7 @@ let fields ev : Json.field list =
         Json.str_field "reason" reason;
         Json.int_field "rematerialized" rematerialized;
       ]
+  | Site_blacklist { meth = m; bci } -> [ meth m; Json.int_field "bci" bci ]
   | Ic_transition { meth = m; callee; cls; kind } ->
       [
         meth m;

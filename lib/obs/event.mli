@@ -35,6 +35,9 @@ type t =
   | Pea_scratch_arg of { meth : string; site : int; callee : string }
   | Lock_elided of { meth : string; site : int; block : int }
   | Deopt of { meth : string; bci : int; reason : string; rematerialized : int }
+  | Site_blacklist of { meth : string; bci : int }
+      (** a deopt site excluded from further speculation; [meth]/[bci]
+          are the innermost deopt frame, i.e. the blacklist key *)
   | Ic_transition of { meth : string; callee : string; cls : string; kind : ic_kind }
   | Tier_promote of { meth : string; tier : string; invocations : int }
 

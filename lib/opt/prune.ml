@@ -18,7 +18,8 @@ type config = {
 
 let default_config = { min_total = 20 }
 
-let run ?(config = default_config) (profile : Profile.t) (g : Graph.t) =
+let run ?(config = default_config) ?(blacklist = fun _ -> false) (profile : Profile.t)
+    (g : Graph.t) =
   let changed = ref false in
   let reachable = Graph.reachable g in
   Graph.iter_blocks
@@ -34,6 +35,13 @@ let run ?(config = default_config) (profile : Profile.t) (g : Graph.t) =
             let prune_edge ~victim =
               match (Graph.block g victim).Graph.entry_fs with
               | None -> () (* no interpreter state available: not prunable *)
+              | Some fs
+                when blacklist
+                       ( fs.Pea_ir.Frame_state.fs_method.Pea_bytecode.Classfile.mth_id,
+                         fs.Pea_ir.Frame_state.fs_bci ) ->
+                  (* this exact site already deoptimized once: keep the
+                     branch, speculate everywhere else *)
+                  ()
               | Some fs ->
                   let d = Graph.new_block ~kind:Graph.Plain g in
                   d.Graph.term <- Graph.Deopt fs;

@@ -17,7 +17,14 @@ type config = {
 
 val default_config : config
 
-(** [run ?config profile g] replaces never-taken branch successors with
-    deopt blocks carrying the target's interpreter entry state. Returns
-    [true] if anything was pruned. *)
-val run : ?config:config -> Profile.t -> Graph.t -> bool
+(** [run ?config ?blacklist profile g] replaces never-taken branch
+    successors with deopt blocks carrying the target's interpreter entry
+    state. Returns [true] if anything was pruned.
+
+    [blacklist (mth_id, bci)] vetoes speculation on one deopt site: the
+    key is the method id and bytecode index of the victim block's entry
+    frame state — exactly the innermost frame the VM observes when the
+    resulting [Deopt] fires — so a site that deoptimized once can be
+    excluded from the next compilation while every other branch keeps
+    speculating. Defaults to allowing every site. *)
+val run : ?config:config -> ?blacklist:(int * int -> bool) -> Profile.t -> Graph.t -> bool

@@ -9,6 +9,13 @@ exception Trap of string
    matches. *)
 exception Mj_throw of Value.value
 
+(* What the VM decided when the interpreter offered it a hot back edge:
+   either keep interpreting, or the rest of the method already ran in
+   OSR-compiled code and this is its result. *)
+type osr_result =
+  | No_osr
+  | Osr_return of Value.value option
+
 type env = {
   heap : Heap.t;
   stats : Stats.t;
@@ -16,6 +23,7 @@ type env = {
   globals : Value.value array;
   on_invoke : rt_method -> Value.value list -> Value.value option;
   on_print : Value.value -> unit;
+  on_back_edge : rt_method -> header:int -> locals:Value.value array -> osr_result;
 }
 
 let trap fmt = Format.kasprintf (fun m -> raise (Trap m)) fmt
@@ -72,6 +80,18 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         Stats.add stats Stats.cycles Cost.invoke (* unwind cost *);
         step h.h_pc [ v ]
     | None -> raise (Mj_throw v)
+  and back_edge header stack =
+    (* a jump to [header] at or before the current pc: count it towards
+       the loop's OSR counter and offer the VM a chance to continue this
+       frame in compiled code. Only offered with an empty operand stack,
+       so the OSR entry state is exactly the locals array. *)
+    Profile.record_back_edge env.profile m ~header;
+    match stack with
+    | [] -> (
+        match env.on_back_edge m ~header ~locals with
+        | No_osr -> step header stack
+        | Osr_return r -> r)
+    | _ :: _ -> step header stack
   and step bci stack =
     if bci < 0 || bci >= Array.length code then trap "pc %d out of range in %s" bci (qualified_name m);
     Stats.incr stats Stats.interpreted_instrs;
@@ -245,20 +265,23 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
             | () -> step (bci + 1) rest
             | exception Heap.Unbalanced_monitor msg -> trap "%s" msg)
         | [] -> trap "stack underflow at monitorexit")
-    | Goto target -> step target stack
+    | Goto target ->
+        if target <= bci then back_edge target stack else step target stack
     | If_true target -> (
         match stack with
         | v :: rest ->
             let taken = as_bool v in
             Profile.record_branch env.profile m ~bci ~taken;
-            step (if taken then target else bci + 1) rest
+            if taken then if target <= bci then back_edge target rest else step target rest
+            else step (bci + 1) rest
         | [] -> trap "stack underflow at if_true")
     | If_false target -> (
         match stack with
         | v :: rest ->
             let taken = not (as_bool v) in
             Profile.record_branch env.profile m ~bci ~taken;
-            step (if taken then target else bci + 1) rest
+            if taken then if target <= bci then back_edge target rest else step target rest
+            else step (bci + 1) rest
         | [] -> trap "stack underflow at if_false")
     | Instanceof cls -> (
         match stack with

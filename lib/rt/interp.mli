@@ -16,6 +16,14 @@ exception Trap of string
     matching handler range catches it. Escapes [run] if uncaught. *)
 exception Mj_throw of Value.value
 
+(** The VM's answer when the interpreter offers a hot back edge for
+    on-stack replacement: [No_osr] keeps interpreting; [Osr_return r]
+    means the rest of the frame already ran in OSR-compiled code and [r]
+    is the method's result. *)
+type osr_result =
+  | No_osr
+  | Osr_return of Value.value option
+
 type env = {
   heap : Heap.t;
   stats : Stats.t;
@@ -26,6 +34,13 @@ type env = {
           interpreted or compiled. The argument list includes the receiver
           for instance methods. Virtual dispatch has already happened. *)
   on_print : Value.value -> unit;
+  on_back_edge : Classfile.rt_method -> header:int -> locals:Value.value array -> osr_result;
+      (** Called at every back edge taken with an empty operand stack,
+          after {!Profile.record_back_edge}. [locals] is the live locals
+          array of the running frame: the VM may compile an OSR graph
+          entered at [header], run it seeded from [locals], and hand the
+          method's result back via [Osr_return]. Environments without a
+          JIT answer [No_osr]. *)
 }
 
 (** [run env m args] executes [m] from bytecode index 0.

@@ -1,5 +1,6 @@
 (* Execution profiles collected by the interpreter tier and consumed by the
-   JIT: invocation counters (compilation policy), per-branch taken counts
+   JIT: invocation counters (compilation policy), per-loop-header back-edge
+   counters (on-stack-replacement policy), per-branch taken counts
    (speculative cold-branch pruning, the mechanism that makes
    deoptimization and therefore §5.5 of the paper observable), and
    per-call-site receiver classes (inline-cache seeding in the closure
@@ -7,22 +8,39 @@
 
 open Pea_bytecode
 
+(* One receiver class observed at a virtual call site. [rc_order] is the
+   arrival rank of the class at this site; [hot_receiver] uses it as the
+   deterministic tie-break (first-seen wins), matching the behaviour of
+   the original insertion-ordered assoc list. *)
+type receiver_cell = {
+  rc_cls : Classfile.rt_class;
+  mutable rc_count : int;
+  rc_order : int;
+}
+
+type call_site_profile = {
+  site_receivers : (int, receiver_cell) Hashtbl.t; (* cls_id -> cell *)
+  mutable site_next_order : int;
+}
+
 type method_profile = {
   mutable invocations : int;
+  back_edges : int array; (* loop-header bci -> back edges taken to it *)
   branch_taken : (int, int) Hashtbl.t; (* bci -> times the branch jumped *)
   branch_fallthrough : (int, int) Hashtbl.t; (* bci -> times it fell through *)
-  receivers : (int, (Classfile.rt_class * int) list) Hashtbl.t;
-      (* bci of an Invokevirtual -> receiver classes seen, with counts;
-         the lists stay tiny (the class hierarchy is closed and small) *)
+  receivers : (int, call_site_profile) Hashtbl.t;
+      (* bci of an Invokevirtual -> per-class dispatch counts; a Hashtbl
+         per site so recording stays O(1) even at megamorphic sites *)
 }
 
 type t = method_profile array (* indexed by mth_id *)
 
 let create (program : Link.program) : t =
   Array.map
-    (fun (_ : Classfile.rt_method) ->
+    (fun (m : Classfile.rt_method) ->
       {
         invocations = 0;
+        back_edges = Array.make (max (Array.length m.mth_code) 1) 0;
         branch_taken = Hashtbl.create 8;
         branch_fallthrough = Hashtbl.create 8;
         receivers = Hashtbl.create 8;
@@ -34,6 +52,15 @@ let for_method (t : t) (m : Classfile.rt_method) = t.(m.mth_id)
 let record_invocation t m =
   let p = for_method t m in
   p.invocations <- p.invocations + 1
+
+let record_back_edge t m ~header =
+  let p = for_method t m in
+  if header >= 0 && header < Array.length p.back_edges then
+    p.back_edges.(header) <- p.back_edges.(header) + 1
+
+let back_edge_count t m ~header =
+  let p = for_method t m in
+  if header >= 0 && header < Array.length p.back_edges then p.back_edges.(header) else 0
 
 let record_branch t m ~bci ~taken =
   let p = for_method t m in
@@ -47,21 +74,38 @@ let branch_counts t m ~bci =
 
 let record_receiver t m ~bci (cls : Classfile.rt_class) =
   let p = for_method t m in
-  let rec bump = function
-    | [] -> [ (cls, 1) ]
-    | (c, n) :: rest when c.Classfile.cls_id = cls.Classfile.cls_id -> (c, n + 1) :: rest
-    | e :: rest -> e :: bump rest
+  let site =
+    match Hashtbl.find_opt p.receivers bci with
+    | Some site -> site
+    | None ->
+        let site = { site_receivers = Hashtbl.create 4; site_next_order = 0 } in
+        Hashtbl.replace p.receivers bci site;
+        site
   in
-  Hashtbl.replace p.receivers bci
-    (bump (Option.value (Hashtbl.find_opt p.receivers bci) ~default:[]))
+  match Hashtbl.find_opt site.site_receivers cls.Classfile.cls_id with
+  | Some cell -> cell.rc_count <- cell.rc_count + 1
+  | None ->
+      Hashtbl.replace site.site_receivers cls.Classfile.cls_id
+        { rc_cls = cls; rc_count = 1; rc_order = site.site_next_order };
+      site.site_next_order <- site.site_next_order + 1
 
 let hot_receiver t m ~bci =
   match Hashtbl.find_opt (for_method t m).receivers bci with
-  | None | Some [] -> None
-  | Some (first :: rest) ->
-      let cls, _ =
-        List.fold_left (fun (bc, bn) (c, n) -> if n > bn then (c, n) else (bc, bn)) first rest
+  | None -> None
+  | Some site ->
+      let best =
+        Hashtbl.fold
+          (fun _ cell best ->
+            match best with
+            | None -> Some cell
+            | Some b ->
+                if
+                  cell.rc_count > b.rc_count
+                  || (cell.rc_count = b.rc_count && cell.rc_order < b.rc_order)
+                then Some cell
+                else best)
+          site.site_receivers None
       in
-      Some cls
+      Option.map (fun c -> c.rc_cls) best
 
 let invocations t m = (for_method t m).invocations

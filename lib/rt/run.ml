@@ -30,6 +30,8 @@ let make_env ?(stats = Stats.create ()) (program : Link.program) ~printed =
         globals;
         on_invoke = (fun m args -> Interp.run (Lazy.force env) m args);
         on_print = (fun v -> printed := v :: !printed);
+        (* interpreter-only reference: never leaves the interpreter *)
+        on_back_edge = (fun _ ~header:_ ~locals:_ -> Interp.No_osr);
       }
   in
   Lazy.force env

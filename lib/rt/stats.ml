@@ -46,6 +46,15 @@ let ic_hits = Metrics.counter schema "ic_hits"
 
 let ic_misses = Metrics.counter schema "ic_misses"
 
+(* OSR graphs compiled (one per hot loop header) *)
+let osr_compiles = Metrics.counter schema "osr_compiles"
+
+(* interpreter frames that transferred into OSR-compiled code *)
+let osr_entries = Metrics.counter schema "osr_entries"
+
+(* deopt sites excluded from further speculation (per-site policy) *)
+let site_blacklists = Metrics.counter schema "site_blacklists"
+
 (* distribution of rematerialized objects per deopt event *)
 let remat_per_deopt = Metrics.histogram schema "remat_per_deopt"
 
@@ -85,6 +94,9 @@ type snapshot = {
   s_closure_compiled_methods : int;
   s_ic_hits : int;
   s_ic_misses : int;
+  s_osr_compiles : int;
+  s_osr_entries : int;
+  s_site_blacklists : int;
 }
 
 let snapshot t =
@@ -103,6 +115,9 @@ let snapshot t =
     s_closure_compiled_methods = get t closure_compiled_methods;
     s_ic_hits = get t ic_hits;
     s_ic_misses = get t ic_misses;
+    s_osr_compiles = get t osr_compiles;
+    s_osr_entries = get t osr_entries;
+    s_site_blacklists = get t site_blacklists;
   }
 
 (* [diff later earlier] — the activity between two snapshots. *)
@@ -122,6 +137,9 @@ let diff a b =
     s_closure_compiled_methods = a.s_closure_compiled_methods - b.s_closure_compiled_methods;
     s_ic_hits = a.s_ic_hits - b.s_ic_hits;
     s_ic_misses = a.s_ic_misses - b.s_ic_misses;
+    s_osr_compiles = a.s_osr_compiles - b.s_osr_compiles;
+    s_osr_entries = a.s_osr_entries - b.s_osr_entries;
+    s_site_blacklists = a.s_site_blacklists - b.s_site_blacklists;
   }
 
 let pp = Metrics.pp_counters

@@ -53,6 +53,17 @@ val ic_hits : metric
 
 val ic_misses : metric
 
+val osr_compiles : metric
+(** OSR graphs compiled — one per hot loop header that tiered up. *)
+
+val osr_entries : metric
+(** Interpreter frames that transferred into OSR-compiled code at a loop
+    back edge. *)
+
+val site_blacklists : metric
+(** Deopt sites excluded from further speculation by the per-site
+    recompilation policy. *)
+
 val remat_per_deopt : metric
 (** Histogram: rematerialized objects per deopt event. *)
 
@@ -97,6 +108,9 @@ type snapshot = {
   s_closure_compiled_methods : int;
   s_ic_hits : int;
   s_ic_misses : int;
+  s_osr_compiles : int;
+  s_osr_entries : int;
+  s_site_blacklists : int;
 }
 
 val snapshot : t -> snapshot

@@ -17,8 +17,8 @@ type t = {
   ex_stats : Pea.pass_stats;
 }
 
-let analyze ?(summaries = true) (program : Link.program) (m : Classfile.rt_method) : t =
-  let g = Pea_ir.Builder.build m in
+let analyze ?(summaries = true) ?osr_at (program : Link.program) (m : Classfile.rt_method) : t =
+  let g = Pea_ir.Builder.build ?osr_at m in
   ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
   ignore (Pea_opt.Canonicalize.run g);
   let tbl = if summaries then Some (Pea_analysis.Summary.analyze program) else None in

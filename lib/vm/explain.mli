@@ -15,10 +15,15 @@ type t = {
   ex_stats : Pea_core.Pea.pass_stats;
 }
 
-val analyze : ?summaries:bool -> Link.program -> Classfile.rt_method -> t
+val analyze : ?summaries:bool -> ?osr_at:int -> Link.program -> Classfile.rt_method -> t
 (** [analyze program m] compiles [m] ahead of time ([summaries] defaults
-    to [true]) and collects the PEA site reports.
-    @raise Failure on malformed input graphs. *)
+    to [true]) and collects the PEA site reports. With [osr_at] the
+    graph is built entered at that loop-header bci, the way
+    {!Jit.compile_osr} sees it: locals become parameters, so object
+    locals alive at the header report as escaped on entry.
+    @raise Failure on malformed input graphs.
+    @raise Pea_ir.Builder.Build_error when [osr_at] cannot head an OSR
+    graph. *)
 
 val pp : Format.formatter -> t -> unit
 

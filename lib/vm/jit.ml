@@ -39,6 +39,11 @@ type config = {
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int;
   exec_tier : exec_tier; (* how compiled graphs are executed *)
+  osr : bool; (* on-stack replacement of hot interpreted loops *)
+  osr_threshold : int; (* back edges to one loop header before OSR *)
+  deopt_storm_limit : int;
+      (* distinct invalidations of one method before the VM gives up on
+         compiling it and pins it to the interpreter *)
 }
 
 let default_config =
@@ -54,6 +59,9 @@ let default_config =
     compile_threshold = 10;
     max_callee_size = 150;
     exec_tier = Closure;
+    osr = true;
+    osr_threshold = 100;
+    deopt_storm_limit = 5;
   }
 
 type compiled = {
@@ -67,13 +75,20 @@ type compiled = {
 
 let verify config g = if config.verify then Check.check_exn g
 
-let compile ?summaries config (program : Link.program) (profile : Profile.t)
-    (m : Classfile.rt_method) ~allow_prune : compiled =
+let no_blacklist : int * int -> bool = fun _ -> false
+
+(* The shared pipeline: [compile] runs it on a normal-entry graph,
+   [compile_osr] on a graph entered at a loop header. [blacklist] vetoes
+   speculation on individual deopt sites (keyed by the innermost frame's
+   (mth_id, bci)) so one cold-path deopt does not cost the whole method
+   its scalar replacement. *)
+let compile_graph ?summaries config (program : Link.program) (profile : Profile.t)
+    (m : Classfile.rt_method) ~osr_at ~blacklist : compiled =
   let meth = Classfile.qualified_name m in
   if Trace.enabled () then
     Trace.record (Event.Compile_start { meth; opt = opt_string config.opt });
   let span phase f = Trace.span ~meth phase f in
-  let g = span "build" (fun () -> Builder.build m) in
+  let g = span "build" (fun () -> Builder.build ?osr_at m) in
   verify config g;
   if config.inline then
     span "inline" (fun () ->
@@ -88,9 +103,9 @@ let compile ?summaries config (program : Link.program) (profile : Profile.t)
       if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
       if config.cond_elim then ignore (Pea_opt.Cond_elim.run g);
       verify config g);
-  if config.prune && allow_prune then
+  if config.prune then
     span "prune" (fun () ->
-        ignore (Pea_opt.Prune.run profile g);
+        ignore (Pea_opt.Prune.run ~blacklist profile g);
         ignore (Pea_opt.Canonicalize.run g);
         verify config g);
   let g, pea_stats =
@@ -116,3 +131,13 @@ let compile ?summaries config (program : Link.program) (profile : Profile.t)
   if Trace.enabled () then
     Trace.record (Event.Compile_end { meth; nodes = Graph.n_nodes g });
   { graph = g; pea_stats; prepared = Ir_exec.prepare g; closure = None }
+
+let compile ?summaries ?(blacklist = no_blacklist) config program profile m : compiled =
+  compile_graph ?summaries config program profile m ~osr_at:None ~blacklist
+
+(* [compile_osr ~entry_bci] builds and optimizes a graph entered at the
+   loop header [entry_bci] (see {!Builder.build}). The resulting code
+   takes the interpreter frame's locals as its arguments. *)
+let compile_osr ?summaries ?(blacklist = no_blacklist) config program profile m ~entry_bci :
+    compiled =
+  compile_graph ?summaries config program profile m ~osr_at:(Some entry_bci) ~blacklist

@@ -42,9 +42,15 @@ type config = {
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int; (* inlining budget per callee, in bytecodes *)
   exec_tier : exec_tier;
+  osr : bool; (* on-stack replacement of hot interpreted loops *)
+  osr_threshold : int; (* back edges to one loop header before OSR *)
+  deopt_storm_limit : int;
+      (* distinct invalidations of one method before the VM pins it to
+         the interpreter (deopt-storm guard) *)
 }
 
-(** PEA on, everything enabled, threshold 10, closure tier. *)
+(** PEA on, everything enabled, threshold 10, closure tier, OSR after 100
+    back edges, interpreter-pinning after 5 invalidations. *)
 val default_config : config
 
 type compiled = {
@@ -55,16 +61,35 @@ type compiled = {
       (* built lazily by the VM on first execution under the closure tier *)
 }
 
-(** [compile ?summaries config program profile m ~allow_prune] runs the
-    pipeline on [m]. [allow_prune] is cleared by the VM for methods that
-    already deoptimized once. [summaries] is the whole-program summary
-    table; the VM computes it lazily once and passes it to every
-    compilation when [config.summaries] is set. *)
+(** [compile ?summaries ?blacklist config program profile m] runs the
+    pipeline on [m]. [blacklist (mth_id, bci)] vetoes speculation on one
+    deopt site (the VM populates it from sites that actually
+    deoptimized; every other branch keeps being pruned). [summaries] is
+    the whole-program summary table; the VM computes it lazily once and
+    passes it to every compilation when [config.summaries] is set. *)
 val compile :
   ?summaries:Pea_analysis.Summary.t ->
+  ?blacklist:(int * int -> bool) ->
   config ->
   Link.program ->
   Profile.t ->
   Classfile.rt_method ->
-  allow_prune:bool ->
+  compiled
+
+(** [compile_osr ?summaries ?blacklist config program profile m
+    ~entry_bci] compiles an on-stack-replacement graph of [m] entered at
+    the loop header [entry_bci] (see {!Pea_ir.Builder.build}). The
+    compiled code takes the interpreter frame's local slots as its
+    parameters; the VM transfers into it at a back edge with the live
+    locals.
+    @raise Pea_ir.Builder.Build_error when [entry_bci] cannot head an
+    OSR graph. *)
+val compile_osr :
+  ?summaries:Pea_analysis.Summary.t ->
+  ?blacklist:(int * int -> bool) ->
+  config ->
+  Link.program ->
+  Profile.t ->
+  Classfile.rt_method ->
+  entry_bci:int ->
   compiled

@@ -21,8 +21,19 @@ type t = {
   program : Link.program;
   config : Jit.config;
   env : Interp.env;
-  compiled : (int, Jit.compiled) Hashtbl.t; (* mth_id -> compiled code *)
-  no_speculation : (int, unit) Hashtbl.t; (* methods that deopted: recompile without pruning *)
+  compiled : (int, Jit.compiled) Hashtbl.t; (* mth_id -> normal-entry code *)
+  osr_compiled : (int * int, Jit.compiled) Hashtbl.t;
+      (* (mth_id, loop-header bci) -> OSR-entry code *)
+  osr_failed : (int * int, unit) Hashtbl.t;
+      (* loop headers OSR gave up on (irreducible from the header, or the
+         method holds monitors / uses exceptions): never retried *)
+  site_blacklist : (int * int, unit) Hashtbl.t;
+      (* (mth_id, bci) of deopt sites that actually fired: recompilations
+         keep speculating everywhere except these exact sites *)
+  invalidations : (int, int) Hashtbl.t; (* mth_id -> invalidation count *)
+  pinned : (int, unit) Hashtbl.t;
+      (* deopt-storm guard: methods invalidated [deopt_storm_limit] times
+         stay in the interpreter for good *)
   printed_rev : Value.value list ref;
   jit_stats : Pea_core.Pea.pass_stats;
   mutable summary_table : Pea_analysis.Summary.t option;
@@ -52,53 +63,107 @@ let summaries vm =
         vm.summary_table <- Some t;
         Some t
 
+let site_blacklisted vm site = Hashtbl.mem vm.site_blacklist site
+
+(* OSR enters the loop with an empty lock stack, so methods that lock are
+   excluded (they are rare; normal-entry compilation still covers them). *)
+let has_monitors (m : Classfile.rt_method) =
+  Array.exists (function Classfile.Monitorenter -> true | _ -> false) m.Classfile.mth_code
+
+let record_compiled vm (code : Jit.compiled) =
+  Stats.incr vm.env.Interp.stats Stats.compiled_methods;
+  Stats.observe vm.env.Interp.stats Stats.compiled_graph_nodes
+    (Pea_ir.Graph.n_nodes code.Jit.graph);
+  Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats
+
 let rec invoke vm (m : Classfile.rt_method) args =
-  match Hashtbl.find_opt vm.compiled m.Classfile.mth_id with
-  | Some code -> run_compiled vm m code args
-  | None ->
-      let invocations = Profile.invocations vm.env.Interp.profile m in
-      if
-        invocations >= vm.config.Jit.compile_threshold
-        && not (Classfile.uses_exceptions m)
-      then begin
-        let allow_prune = not (Hashtbl.mem vm.no_speculation m.Classfile.mth_id) in
-        Log.debug (fun k ->
-            k "compiling %s (invocations=%d, speculation=%b)" (Classfile.qualified_name m)
-              invocations allow_prune);
-        if Trace.enabled () then
-          Trace.record
-            (Event.Tier_promote
-               { meth = Classfile.qualified_name m; tier = "jit"; invocations });
-        let code =
-          Jit.compile ?summaries:(summaries vm) vm.config vm.program vm.env.Interp.profile m
-            ~allow_prune
-        in
-        Hashtbl.replace vm.compiled m.Classfile.mth_id code;
-        Stats.incr vm.env.Interp.stats Stats.compiled_methods;
-        Stats.observe vm.env.Interp.stats Stats.compiled_graph_nodes
-          (Pea_ir.Graph.n_nodes code.Jit.graph);
-        Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats;
-        run_compiled vm m code args
-      end
-      else Interp.run vm.env m args
+  if Hashtbl.mem vm.pinned m.Classfile.mth_id then Interp.run vm.env m args
+  else
+    match Hashtbl.find_opt vm.compiled m.Classfile.mth_id with
+    | Some code -> run_compiled vm m code args
+    | None ->
+        let invocations = Profile.invocations vm.env.Interp.profile m in
+        if
+          invocations >= vm.config.Jit.compile_threshold
+          && not (Classfile.uses_exceptions m)
+        then run_compiled vm m (compile_method vm m) args
+        else Interp.run vm.env m args
+
+and compile_method vm (m : Classfile.rt_method) =
+  let invocations = Profile.invocations vm.env.Interp.profile m in
+  Log.debug (fun k ->
+      k "compiling %s (invocations=%d, blacklisted sites=%d)" (Classfile.qualified_name m)
+        invocations (Hashtbl.length vm.site_blacklist));
+  if Trace.enabled () then
+    Trace.record
+      (Event.Tier_promote { meth = Classfile.qualified_name m; tier = "jit"; invocations });
+  let code =
+    Jit.compile ?summaries:(summaries vm) ~blacklist:(site_blacklisted vm) vm.config vm.program
+      vm.env.Interp.profile m
+  in
+  Hashtbl.replace vm.compiled m.Classfile.mth_id code;
+  record_compiled vm code;
+  code
+
+(* Per-site deopt policy: blacklist the exact site that fired (innermost
+   deopt frame), invalidate every piece of the root method's code, and pin
+   the method to the interpreter once a deopt storm proves speculation is
+   not paying for itself. *)
+and handle_deopt vm (m : Classfile.rt_method) ~reason fs lookup =
+  let stats = vm.env.Interp.stats in
+  let site_method = fs.Pea_ir.Frame_state.fs_method in
+  let site_bci = fs.Pea_ir.Frame_state.fs_bci in
+  let site = (site_method.Classfile.mth_id, site_bci) in
+  Log.debug (fun k ->
+      k "deoptimizing %s at bci %d (%d frames); blacklisting site in %s, invalidating compiled \
+         code"
+        (Classfile.qualified_name m) site_bci
+        (Pea_ir.Frame_state.depth fs)
+        (Classfile.qualified_name site_method));
+  if not (Hashtbl.mem vm.site_blacklist site) then begin
+    Hashtbl.replace vm.site_blacklist site ();
+    Stats.incr stats Stats.site_blacklists;
+    if Trace.enabled () then
+      Trace.record
+        (Event.Site_blacklist { meth = Classfile.qualified_name site_method; bci = site_bci })
+  end;
+  Hashtbl.remove vm.compiled m.Classfile.mth_id;
+  let osr_keys =
+    Hashtbl.fold
+      (fun ((mid, _) as key) _ acc -> if mid = m.Classfile.mth_id then key :: acc else acc)
+      vm.osr_compiled []
+  in
+  List.iter (Hashtbl.remove vm.osr_compiled) osr_keys;
+  let n = 1 + Option.value (Hashtbl.find_opt vm.invalidations m.Classfile.mth_id) ~default:0 in
+  Hashtbl.replace vm.invalidations m.Classfile.mth_id n;
+  if n >= vm.config.Jit.deopt_storm_limit then begin
+    Log.debug (fun k ->
+        k "deopt storm in %s (%d invalidations): pinning to the interpreter"
+          (Classfile.qualified_name m) n);
+    Hashtbl.replace vm.pinned m.Classfile.mth_id ()
+  end;
+  Deopt.handle ~reason vm.env fs lookup
 
 and run_compiled vm m code args =
   Stats.incr vm.env.Interp.stats Stats.invocations;
-  (* invalidate and disable speculation for this method from now on *)
-  let handle_deopt fs lookup =
-    Log.debug (fun k ->
-        k "deoptimizing %s at bci %d (%d frames); invalidating compiled code"
-          (Classfile.qualified_name m) fs.Pea_ir.Frame_state.fs_bci
-          (Pea_ir.Frame_state.depth fs));
-    Hashtbl.remove vm.compiled m.Classfile.mth_id;
-    Hashtbl.replace vm.no_speculation m.Classfile.mth_id ();
-    Deopt.handle vm.env fs lookup
-  in
+  (* compiled-tier calls keep feeding the profile, so invocation counts
+     reported by [mjvm explain] / [Tier_promote] stay live *)
+  Profile.record_invocation vm.env.Interp.profile m;
+  exec_compiled vm m ~reason:"speculation-failed" code args
+
+(* Transfer an interpreter frame into OSR code. No invocation is counted:
+   the frame was already counted when it entered the interpreter. *)
+and run_osr vm m code (locals : Value.value array) =
+  Stats.incr vm.env.Interp.stats Stats.osr_entries;
+  exec_compiled vm m ~reason:"osr-speculation-failed" code (Array.to_list locals)
+
+and exec_compiled vm m ~reason code args =
+  let handle fs lookup = handle_deopt vm m ~reason fs lookup in
   match vm.config.Jit.exec_tier with
   | Jit.Direct -> (
       match Ir_exec.run_prepared vm.env code.Jit.prepared args with
       | result -> result
-      | exception Ir_exec.Deoptimize (fs, lookup) -> handle_deopt fs lookup)
+      | exception Ir_exec.Deoptimize (fs, lookup) -> handle fs lookup)
   | Jit.Closure ->
       let cc =
         match code.Jit.closure with
@@ -121,7 +186,73 @@ and run_compiled vm m code args =
       in
       (* the in-tier handler releases the register file back to the pool
          once deopt completes (the lookup closure is dead by then) *)
-      Closure_compile.run ~deopt:handle_deopt cc args
+      Closure_compile.run ~deopt:handle cc args
+
+(* The interpreter's back-edge hook: once a loop header is hot, compile an
+   OSR graph entered at it, transfer the running frame in, and cache
+   normal-entry code so subsequent calls skip the interpreter too. *)
+and on_back_edge vm (m : Classfile.rt_method) ~header ~locals =
+  let cfg = vm.config in
+  let key = (m.Classfile.mth_id, header) in
+  if
+    (not cfg.Jit.osr)
+    || Hashtbl.mem vm.pinned m.Classfile.mth_id
+    || Hashtbl.mem vm.osr_failed key
+    || Profile.back_edge_count vm.env.Interp.profile m ~header < cfg.Jit.osr_threshold
+  then Interp.No_osr
+  else if Classfile.uses_exceptions m || has_monitors m then begin
+    Hashtbl.replace vm.osr_failed key ();
+    Interp.No_osr
+  end
+  else
+    let code =
+      match Hashtbl.find_opt vm.osr_compiled key with
+      | Some code -> Some code
+      | None -> (
+          match compile_osr_method vm m ~header with
+          | code -> Some code
+          | exception Pea_ir.Builder.Build_error msg ->
+              (* e.g. the loop nest is irreducible when entered at this
+                 header; the enclosing loop's header will still OSR *)
+              Log.debug (fun k ->
+                  k "OSR at %s bci %d not possible: %s" (Classfile.qualified_name m) header msg);
+              Hashtbl.replace vm.osr_failed key ();
+              None)
+    in
+    match code with
+    | None -> Interp.No_osr
+    | Some code ->
+        (* a hot loop makes the whole method hot: give it normal-entry
+           code now instead of waiting for the invocation counter *)
+        if
+          (not (Hashtbl.mem vm.compiled m.Classfile.mth_id))
+          && not (Classfile.uses_exceptions m)
+        then ignore (compile_method vm m);
+        Interp.Osr_return (run_osr vm m code locals)
+
+and compile_osr_method vm (m : Classfile.rt_method) ~header =
+  Log.debug (fun k ->
+      k "OSR-compiling %s at loop header bci %d (back edges=%d)" (Classfile.qualified_name m)
+        header
+        (Profile.back_edge_count vm.env.Interp.profile m ~header));
+  if Trace.enabled () then
+    Trace.record
+      (Event.Tier_promote
+         {
+           meth = Classfile.qualified_name m;
+           tier = "osr";
+           invocations = Profile.invocations vm.env.Interp.profile m;
+         });
+  let code =
+    Jit.compile_osr ?summaries:(summaries vm) ~blacklist:(site_blacklisted vm) vm.config
+      vm.program vm.env.Interp.profile m ~entry_bci:header
+  in
+  Hashtbl.replace vm.osr_compiled (m.Classfile.mth_id, header) code;
+  Stats.incr vm.env.Interp.stats Stats.osr_compiles;
+  Stats.observe vm.env.Interp.stats Stats.compiled_graph_nodes
+    (Pea_ir.Graph.n_nodes code.Jit.graph);
+  Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats;
+  code
 
 let create ?(config = Jit.default_config) (program : Link.program) : t =
   (* catch frontend/compiler bugs at VM-creation time, like the JVM's
@@ -149,9 +280,15 @@ let create ?(config = Jit.default_config) (program : Link.program) : t =
             globals;
             on_invoke = (fun m args -> invoke (Lazy.force vm) m args);
             on_print = (fun v -> printed_rev := v :: !printed_rev);
+            on_back_edge =
+              (fun m ~header ~locals -> on_back_edge (Lazy.force vm) m ~header ~locals);
           };
         compiled = Hashtbl.create 32;
-        no_speculation = Hashtbl.create 8;
+        osr_compiled = Hashtbl.create 8;
+        osr_failed = Hashtbl.create 8;
+        site_blacklist = Hashtbl.create 8;
+        invalidations = Hashtbl.create 8;
+        pinned = Hashtbl.create 8;
         printed_rev;
         jit_stats = Pea_core.Pea.mk_stats ();
         summary_table = None;
@@ -161,12 +298,29 @@ let create ?(config = Jit.default_config) (program : Link.program) : t =
 
 let stats vm = vm.env.Interp.stats
 
+let profile vm = vm.env.Interp.profile
+
+let jit_stats vm = vm.jit_stats
+
 let printed vm = List.rev !(vm.printed_rev)
 
 let class_breakdown vm = Heap.class_breakdown vm.env.Interp.heap
 
 let compiled_graph vm (m : Classfile.rt_method) =
   Option.map (fun c -> c.Jit.graph) (Hashtbl.find_opt vm.compiled m.Classfile.mth_id)
+
+let osr_graph vm (m : Classfile.rt_method) ~header =
+  Option.map
+    (fun c -> c.Jit.graph)
+    (Hashtbl.find_opt vm.osr_compiled (m.Classfile.mth_id, header))
+
+let interpreter_pinned vm (m : Classfile.rt_method) = Hashtbl.mem vm.pinned m.Classfile.mth_id
+
+let blacklisted_sites vm (m : Classfile.rt_method) =
+  Hashtbl.fold
+    (fun (mid, bci) _ acc -> if mid = m.Classfile.mth_id then bci :: acc else acc)
+    vm.site_blacklist []
+  |> List.sort compare
 
 let result_of vm return_value =
   {

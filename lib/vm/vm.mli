@@ -1,18 +1,30 @@
 (** The tiered virtual machine.
 
     Methods start in the bytecode interpreter, which collects invocation
-    counts and branch profiles. Hot methods are compiled through the
-    {!Jit} pipeline and then run on the IR executor; hitting a pruned
-    branch deoptimizes back to the interpreter (rematerializing
-    scalar-replaced objects) and invalidates the compiled code, which is
-    recompiled later without speculation on that method. *)
+    counts, branch profiles and per-loop-header back-edge counters. Hot
+    methods are compiled through the {!Jit} pipeline and then run on the
+    configured execution tier; a loop that gets hot inside a single
+    interpreted invocation tiers up without waiting for a return, via
+    on-stack replacement: the interpreter hands its live locals to the
+    VM at a back edge, which compiles an OSR graph entered at the loop
+    header ({!Jit.compile_osr}) and transfers the running frame into it
+    (normal-entry code is cached at the same time for subsequent calls).
+
+    Hitting a pruned branch deoptimizes back to the interpreter
+    (rematerializing scalar-replaced objects) and invalidates the
+    method's compiled code — but speculation is disabled {e per deopt
+    site}, not per method: the recompiled code keeps pruning and
+    scalar-replacing everywhere except the exact (method, bci) sites
+    that actually fired. A method invalidated
+    {!Jit.config.deopt_storm_limit} times is pinned to the interpreter
+    for good (deopt-storm guard). *)
 
 open Pea_bytecode
 open Pea_rt
 
 type t
 
-(** The VM's [Logs] source ("pea.vm"): compile, deoptimization and
+(** The VM's [Logs] source ("pea.vm"): compile, OSR, deoptimization and
     invalidation events at [Debug] level. *)
 val log_src : Logs.src
 
@@ -39,6 +51,14 @@ val run_main_iterations : t -> int -> result
 (** [stats vm] is the live statistics record. *)
 val stats : t -> Stats.t
 
+(** [profile vm] is the live interpreter profile (invocation counts,
+    branch profiles, receiver histograms, back-edge counters). *)
+val profile : t -> Profile.t
+
+(** [jit_stats vm] — live PEA statistics aggregated over every
+    compilation so far (the record also returned in {!result}). *)
+val jit_stats : t -> Pea_core.Pea.pass_stats
+
 (** [printed vm] is everything printed so far, oldest first. *)
 val printed : t -> Value.value list
 
@@ -47,9 +67,21 @@ val printed : t -> Value.value list
     {!Pea_rt.Heap.class_breakdown}). *)
 val class_breakdown : t -> (string * int * int) list
 
-(** [compiled_graph vm m] returns the current compiled IR for [m], if the
-    method has been JIT-compiled. *)
+(** [compiled_graph vm m] returns the current normal-entry compiled IR
+    for [m], if the method has been JIT-compiled. *)
 val compiled_graph : t -> Classfile.rt_method -> Pea_ir.Graph.t option
+
+(** [osr_graph vm m ~header] returns the OSR-entry compiled IR for [m]
+    entered at loop header [header], if one is live. *)
+val osr_graph : t -> Classfile.rt_method -> header:int -> Pea_ir.Graph.t option
+
+(** [interpreter_pinned vm m] — whether the deopt-storm guard has pinned
+    [m] to the interpreter. *)
+val interpreter_pinned : t -> Classfile.rt_method -> bool
+
+(** [blacklisted_sites vm m] — bcis of [m]'s deopt sites excluded from
+    speculation, ascending. *)
+val blacklisted_sites : t -> Classfile.rt_method -> int list
 
 (** [warm_up vm m args n] invokes [m] [n] times (to drive profiling and
     compilation) and discards the results. *)

@@ -5,6 +5,7 @@
    - MJVM_TEST_SUMMARIES = 0|off|false disables interprocedural summaries
      (any other value enables them);
    - MJVM_TEST_EXEC_TIER = direct | closure forces the execution tier;
+   - MJVM_TEST_OSR = on | off forces on-stack replacement on or off;
    - MJVM_TEST_QCHECK_COUNT = N scales the qcheck case counts (the matrix
      run uses 500+; the default local counts keep the suite fast);
    - MJVM_TEST_TRACE = 1|on|true installs a global tracer for the whole
@@ -45,7 +46,13 @@ let apply (cfg : Jit.config) =
     | Some _ -> { cfg with Jit.summaries = true }
     | None -> cfg
   in
-  match Sys.getenv_opt "MJVM_TEST_EXEC_TIER" with
-  | Some "direct" -> { cfg with Jit.exec_tier = Jit.Direct }
-  | Some "closure" -> { cfg with Jit.exec_tier = Jit.Closure }
+  let cfg =
+    match Sys.getenv_opt "MJVM_TEST_EXEC_TIER" with
+    | Some "direct" -> { cfg with Jit.exec_tier = Jit.Direct }
+    | Some "closure" -> { cfg with Jit.exec_tier = Jit.Closure }
+    | Some _ | None -> cfg
+  in
+  match Sys.getenv_opt "MJVM_TEST_OSR" with
+  | Some ("on" | "1" | "true") -> { cfg with Jit.osr = true }
+  | Some ("off" | "0" | "false") -> { cfg with Jit.osr = false }
   | Some _ | None -> cfg

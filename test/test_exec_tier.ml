@@ -138,12 +138,12 @@ let test_register_file_pool () =
       globals;
       on_invoke = (fun _ _ -> Alcotest.fail "no calls in this graph");
       on_print = ignore;
+      on_back_edge = (fun _ ~header:_ ~locals:_ -> Interp.No_osr);
     }
   in
   let m = Link.find_method program "C" "f" in
   let compiled =
     Jit.compile { Jit.default_config with Jit.prune = false } program profile m
-      ~allow_prune:false
   in
   let code = Closure_compile.compile env compiled.Jit.graph in
   Alcotest.(check int) "empty pool after translation" 0 (Closure_compile.pool_depth code);
@@ -180,6 +180,7 @@ let test_pool_recovers_after_deopt () =
       globals;
       on_invoke = (fun _ _ -> Alcotest.fail "no calls in this graph");
       on_print = ignore;
+      on_back_edge = (fun _ ~header:_ ~locals:_ -> Interp.No_osr);
     }
   in
   let m = Link.find_method program "C" "f" in
@@ -188,7 +189,7 @@ let test_pool_recovers_after_deopt () =
   for _ = 1 to 30 do
     ignore (Interp.run env m [ vint 2; vbool false ])
   done;
-  let compiled = Jit.compile Jit.default_config program profile m ~allow_prune:true in
+  let compiled = Jit.compile Jit.default_config program profile m in
   let code = Closure_compile.compile env compiled.Jit.graph in
   let deopt fs lookup = Deopt.handle env fs lookup in
   Alcotest.(check int) "hot path" 16 (as_int (Closure_compile.run ~deopt code [ vint 5; vbool false ]));

@@ -127,7 +127,18 @@ let scenario_src =
    iteration 24 — see [gen_program_deopt] in test_properties.ml *)
 let run_traced ?(src = scenario_src) ?(iterations = 30) ?(threshold = 22) tier =
   let program = Pea_bytecode.Link.compile_source src in
-  let config = { Jit.default_config with Jit.compile_threshold = threshold; exec_tier = tier } in
+  (* OSR off: its eager compile would tier up after ~5 invocations (the
+     loop runs 20 back edges per call), before the pruner has enough
+     branch samples — this scenario pins the invocation-count path and
+     its deopt/recompile surface; OSR tracing is covered in test_osr.ml *)
+  let config =
+    {
+      Jit.default_config with
+      Jit.compile_threshold = threshold;
+      exec_tier = tier;
+      osr = false;
+    }
+  in
   let vm = Vm.create ~config program in
   with_tracer (fun t ->
       Trace.set_clock t (fun () -> Stats.get (Vm.stats vm) Stats.cycles);
@@ -251,7 +262,15 @@ let outcome (r : Vm.result) =
 
 let run_plain ?(src = scenario_src) ?(iterations = 30) ?(threshold = 22) tier =
   let program = Pea_bytecode.Link.compile_source src in
-  let config = { Jit.default_config with Jit.compile_threshold = threshold; exec_tier = tier } in
+  (* same config as [run_traced]: OSR off, see the comment there *)
+  let config =
+    {
+      Jit.default_config with
+      Jit.compile_threshold = threshold;
+      exec_tier = tier;
+      osr = false;
+    }
+  in
   let vm = Vm.create ~config program in
   Vm.run_main_iterations vm iterations
 
@@ -285,9 +304,11 @@ let prop_tracing_is_pure =
         (match tier with Jit.Direct -> "direct" | Jit.Closure -> "closure"))
     gen
     (fun (_, src, threshold, tier) ->
-      let off = run_plain ~src ~iterations:3 ~threshold tier in
-      let program = Pea_bytecode.Link.compile_source src in
+      (* OSR stays at its default here: tracer purity must hold on the
+         OSR path too *)
       let config = { Jit.default_config with Jit.compile_threshold = threshold; exec_tier = tier } in
+      let program = Pea_bytecode.Link.compile_source src in
+      let off = Vm.run_main_iterations (Vm.create ~config program) 3 in
       let vm = Vm.create ~config program in
       let on =
         with_tracer (fun t ->

@@ -1,0 +1,397 @@
+(* On-stack replacement and the per-site deoptimization policy.
+
+   OSR: a loop that gets hot inside one interpreted invocation transfers
+   the running frame into compiled code at a back edge (the paper's
+   evaluation assumes methods reach the compiler; OSR is how a
+   single-invocation benchmark does). Per-site policy: a deopt blacklists
+   only the (method, bci) site that fired, so recompiled code keeps
+   speculating — and scalar-replacing — everywhere else.
+
+   Configs are built explicitly rather than through [Test_env.apply]:
+   these tests compare OSR on against OSR off (or require OSR to fire),
+   so forcing the axis from the environment would collapse them. *)
+
+open Pea_bytecode
+open Pea_rt
+open Pea_vm
+module Event = Pea_obs.Event
+module Trace = Pea_obs.Trace
+
+let vint n = Value.Vint n
+
+let vbool b = Value.Vbool b
+
+let as_int = function
+  | Some (Value.Vint n) -> n
+  | _ -> Alcotest.fail "expected an int result"
+
+let outcome (r : Vm.result) =
+  ( (match r.Vm.return_value with None -> "void" | Some v -> Value.string_of_value v),
+    List.map Value.string_of_value r.Vm.printed )
+
+let with_tracer f =
+  let t = Trace.create () in
+  Trace.install t;
+  Fun.protect ~finally:Trace.uninstall (fun () -> f t)
+
+let count_deopt_terminators g =
+  let n = ref 0 in
+  Pea_ir.Graph.iter_blocks
+    (fun b -> match b.Pea_ir.Graph.term with Pea_ir.Graph.Deopt _ -> incr n | _ -> ())
+    g;
+  !n
+
+let count_alloc_nodes g =
+  let n = ref 0 in
+  Pea_ir.Graph.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (nd : Pea_ir.Node.t) ->
+          match nd.Pea_ir.Node.op with
+          | Pea_ir.Node.New _ | Pea_ir.Node.Alloc _ | Pea_ir.Node.New_array _
+          | Pea_ir.Node.Alloc_array _ ->
+              incr n
+          | _ -> ())
+        (Pea_ir.Graph.instr_list b))
+    g;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* OSR tiering                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let hot_loop_src =
+  "class Point { int x; int y; }\n\
+   class Main {\n\
+  \  static int main() {\n\
+  \    int s = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 600) {\n\
+  \      Point p = new Point();\n\
+  \      p.x = i;\n\
+  \      p.y = 3;\n\
+  \      s = s + p.x + p.y;\n\
+  \      i = i + 1;\n\
+  \    }\n\
+  \    return s;\n\
+  \  }\n\
+   }"
+
+(* A single invocation of a hot loop reaches the compiled tier through
+   OSR: same result as the interpreter, the loop allocation is scalar-
+   replaced for the remaining iterations, and normal-entry code is cached
+   even though the invocation counter never fired. *)
+let test_osr_single_invocation () =
+  let reference = Run.run_source hot_loop_src in
+  let program = Link.compile_source hot_loop_src in
+  (* invocation counting can never compile: only OSR tiers up. Pruning
+     off so the cold loop exit is not speculated away — its deopt would
+     invalidate the cached code this test wants to observe (the pruning
+     interaction is covered by the differential property below). *)
+  let config =
+    {
+      Jit.default_config with
+      Jit.compile_threshold = max_int;
+      prune = false;
+      osr = true;
+      osr_threshold = 50;
+    }
+  in
+  let vm = Vm.create ~config program in
+  let r = Vm.run vm in
+  Alcotest.(check int)
+    "same result as the interpreter"
+    (match reference.Run.return_value with Some (Value.Vint n) -> n | _ -> assert false)
+    (as_int r.Vm.return_value);
+  Alcotest.(check bool) "osr compile happened" true (r.Vm.stats.Stats.s_osr_compiles >= 1);
+  Alcotest.(check bool) "osr entry happened" true (r.Vm.stats.Stats.s_osr_entries >= 1);
+  let main = Link.entry_exn program in
+  Alcotest.(check bool)
+    "normal-entry code cached at OSR time" true
+    (Vm.compiled_graph vm main <> None);
+  (* 50 interpreter iterations allocate, the OSR-compiled remainder is
+     scalar-replaced *)
+  Alcotest.(check bool)
+    "loop allocation virtualized after OSR" true
+    (r.Vm.stats.Stats.s_allocations < reference.Run.stats.Stats.s_allocations);
+  (* the model-cycle acceptance gate, in miniature (BENCH_osr.json is the
+     full version): OSR must beat staying in the interpreter *)
+  let interp_only =
+    let vm = Vm.create ~config:{ config with Jit.osr = false } program in
+    Vm.run vm
+  in
+  Alcotest.(check string)
+    "bit-for-bit result parity with interpreter-only"
+    (fst (outcome interp_only))
+    (fst (outcome r));
+  Alcotest.(check bool)
+    "fewer model cycles than interpreter-only" true
+    (r.Vm.stats.Stats.s_cycles < interp_only.Vm.stats.Stats.s_cycles)
+
+(* OSR at the inner header of a loop nest: back edges must be classified
+   from the OSR entry block, not from the method entry, or the outer
+   latch edge is misread and construction fails. *)
+let test_osr_nested_loops () =
+  let src =
+    "class Main {\n\
+    \  static int main() {\n\
+    \    int s = 0;\n\
+    \    int i = 0;\n\
+    \    while (i < 8) {\n\
+    \      int j = 0;\n\
+    \      while (j < 40) {\n\
+    \        s = s + i * j + 1;\n\
+    \        j = j + 1;\n\
+    \      }\n\
+    \      i = i + 1;\n\
+    \    }\n\
+    \    return s;\n\
+    \  }\n\
+     }"
+  in
+  let reference = Run.run_source src in
+  let program = Link.compile_source src in
+  let config =
+    { Jit.default_config with Jit.compile_threshold = max_int; osr = true; osr_threshold = 50 }
+  in
+  let r = Vm.run (Vm.create ~config program) in
+  Alcotest.(check int)
+    "same result"
+    (match reference.Run.return_value with Some (Value.Vint n) -> n | _ -> assert false)
+    (as_int r.Vm.return_value);
+  Alcotest.(check bool) "osr fired" true (r.Vm.stats.Stats.s_osr_entries >= 1)
+
+(* The OSR promotion is a traced tier transition like any other. *)
+let test_osr_trace_events () =
+  let program = Link.compile_source hot_loop_src in
+  let config =
+    { Jit.default_config with Jit.compile_threshold = max_int; osr = true; osr_threshold = 50 }
+  in
+  let vm = Vm.create ~config program in
+  with_tracer (fun t ->
+      ignore (Vm.run vm);
+      let events = List.map (fun e -> e.Trace.e_event) (Trace.entries t) in
+      Alcotest.(check bool)
+        "tier_promote osr traced" true
+        (List.exists
+           (function Event.Tier_promote { tier = "osr"; _ } -> true | _ -> false)
+           events))
+
+(* ------------------------------------------------------------------ *)
+(* Per-site deopt policy                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Two independently-pruned cold branches. The allocation never escapes,
+   so PEA scalar-replaces it fully; each pruned branch carries its own
+   deopt site. *)
+let two_branch_src =
+  "class I { int v; }\n\
+   class C {\n\
+  \  static int g;\n\
+  \  static int f(int x, boolean a, boolean b) {\n\
+  \    I i = new I();\n\
+  \    i.v = x;\n\
+  \    if (a) { C.g = C.g + i.v; }\n\
+  \    if (b) { C.g = C.g + i.v * 2; }\n\
+  \    return i.v + 1;\n\
+  \  }\n\
+   }"
+
+let policy_setup ?(deopt_storm_limit = Jit.default_config.Jit.deopt_storm_limit) () =
+  let program = Link.compile_source ~require_main:false two_branch_src in
+  let config =
+    { Jit.default_config with Jit.compile_threshold = 25; osr = false; deopt_storm_limit }
+  in
+  let vm = Vm.create ~config program in
+  let f = Link.find_method program "C" "f" in
+  (* profile both branches as never taken, then compile *)
+  Vm.warm_up vm f [ vint 3; vbool false; vbool false ] 40;
+  (vm, f)
+
+(* One cold-path deopt must not cost the method its speculation: the
+   recompiled code blacklists only the site that fired, keeps the other
+   deopt site, and still scalar-replaces the allocation. *)
+let test_per_site_blacklist () =
+  let vm, f = policy_setup () in
+  (match Vm.compiled_graph vm f with
+  | None -> Alcotest.fail "not compiled after warm-up"
+  | Some g ->
+      Alcotest.(check int) "both cold branches pruned" 2 (count_deopt_terminators g);
+      Alcotest.(check int) "fully scalar-replaced" 0 (count_alloc_nodes g));
+  (* take cold branch A: deopt #1 *)
+  Alcotest.(check int) "deopting call result" 8 (as_int (Vm.invoke vm f [ vint 7; vbool true; vbool false ]));
+  Alcotest.(check int) "one deopt" 1 (Stats.get (Vm.stats vm) Stats.deopts);
+  Alcotest.(check int) "one site blacklisted" 1 (List.length (Vm.blacklisted_sites vm f));
+  Alcotest.(check int) "site_blacklists counter" 1 (Stats.get (Vm.stats vm) Stats.site_blacklists);
+  (* next call recompiles: branch A compiled in, branch B still pruned,
+     allocation still virtual *)
+  let virtualized_before = (Vm.jit_stats vm).Pea_core.Pea.virtualized_allocs in
+  ignore (Vm.invoke vm f [ vint 3; vbool false; vbool false ]);
+  (match Vm.compiled_graph vm f with
+  | None -> Alcotest.fail "not recompiled after deopt"
+  | Some g ->
+      Alcotest.(check int) "other site still speculated" 1 (count_deopt_terminators g);
+      Alcotest.(check int) "still fully scalar-replaced" 0 (count_alloc_nodes g));
+  Alcotest.(check bool)
+    "recompile still virtualizes" true
+    ((Vm.jit_stats vm).Pea_core.Pea.virtualized_allocs > virtualized_before);
+  (* branch B was genuinely kept speculative: taking it deopts again *)
+  Alcotest.(check int) "second cold branch deopts" 8
+    (as_int (Vm.invoke vm f [ vint 7; vbool false; vbool true ]));
+  Alcotest.(check int) "two deopts" 2 (Stats.get (Vm.stats vm) Stats.deopts);
+  Alcotest.(check int) "two sites blacklisted" 2 (List.length (Vm.blacklisted_sites vm f));
+  (* two invalidations are below the default storm limit *)
+  Alcotest.(check bool) "not pinned" false (Vm.interpreter_pinned vm f);
+  (* the fully-deopted recompile carries no speculation left *)
+  ignore (Vm.invoke vm f [ vint 3; vbool false; vbool false ]);
+  match Vm.compiled_graph vm f with
+  | None -> Alcotest.fail "not recompiled"
+  | Some g -> Alcotest.(check int) "no speculation left" 0 (count_deopt_terminators g)
+
+(* Each deopt emits a Site_blacklist event naming the blacklist key. *)
+let test_site_blacklist_event () =
+  let vm, f = policy_setup () in
+  with_tracer (fun t ->
+      ignore (Vm.invoke vm f [ vint 7; vbool true; vbool false ]);
+      let events = List.map (fun e -> e.Trace.e_event) (Trace.entries t) in
+      Alcotest.(check bool)
+        "site_blacklist traced" true
+        (List.exists
+           (function Event.Site_blacklist { meth = "C.f"; _ } -> true | _ -> false)
+           events))
+
+(* The deopt-storm guard: after [deopt_storm_limit] distinct
+   invalidations the method is pinned to the interpreter and never
+   recompiled. *)
+let test_deopt_storm_pins () =
+  let vm, f = policy_setup ~deopt_storm_limit:2 () in
+  ignore (Vm.invoke vm f [ vint 7; vbool true; vbool false ]) (* deopt #1 *);
+  Alcotest.(check bool) "not pinned yet" false (Vm.interpreter_pinned vm f);
+  ignore (Vm.invoke vm f [ vint 3; vbool false; vbool false ]) (* recompile *);
+  ignore (Vm.invoke vm f [ vint 7; vbool false; vbool true ]) (* deopt #2 *);
+  Alcotest.(check bool) "pinned at the limit" true (Vm.interpreter_pinned vm f);
+  Alcotest.(check bool) "compiled code invalidated" true (Vm.compiled_graph vm f = None);
+  let deopts = Stats.get (Vm.stats vm) Stats.deopts in
+  let compiles = Stats.get (Vm.stats vm) Stats.compiled_methods in
+  for i = 1 to 10 do
+    Alcotest.(check int) "pinned calls still correct" (i + 1)
+      (as_int (Vm.invoke vm f [ vint i; vbool true; vbool true ]))
+  done;
+  Alcotest.(check int) "no further deopts" deopts (Stats.get (Vm.stats vm) Stats.deopts);
+  Alcotest.(check int) "no further compiles" compiles
+    (Stats.get (Vm.stats vm) Stats.compiled_methods);
+  Alcotest.(check bool) "still not recompiled" true (Vm.compiled_graph vm f = None)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-tier invocation profiling                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled tier must keep feeding the invocation profile: 5 calls
+   through a threshold of 2 still report 5 profiled invocations (the
+   compiled tier used to stop recording, freezing the count at the
+   compile threshold). *)
+let test_compiled_invocations_profiled () =
+  let src = "class C { static int f(int x) { return x * 2 + 1; } }" in
+  let program = Link.compile_source ~require_main:false src in
+  let config = { Jit.default_config with Jit.compile_threshold = 2; osr = false } in
+  let vm = Vm.create ~config program in
+  let f = Link.find_method program "C" "f" in
+  for i = 1 to 5 do
+    Alcotest.(check int) "result" ((i * 2) + 1) (as_int (Vm.invoke vm f [ vint i ]))
+  done;
+  Alcotest.(check int) "stats count every call" 5 (Stats.get (Vm.stats vm) Stats.invocations);
+  Alcotest.(check int) "profile counts every call" 5 (Profile.invocations (Vm.profile vm) f)
+
+(* ------------------------------------------------------------------ *)
+(* Differential property                                               *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_result = function None -> "void" | Some v -> Value.string_of_value v
+
+(* OSR on/off × {none,ea,pea} × {direct,closure}: every cell returns and
+   prints exactly what the interpreter does; the two execution tiers
+   agree bit-for-bit on the deterministic counters at fixed OSR; and at
+   O_none (no scalar replacement anywhere) OSR cannot change the heap
+   counters at all. Under EA/PEA an earlier tier-up legitimately
+   removes allocations, so on-vs-off heap parity is only required at
+   O_none. *)
+let prop_osr_differential =
+  let iters = 8 in
+  let module G = QCheck2.Gen in
+  let gen =
+    G.map2
+      (fun (name, src) opt -> (name, src, opt))
+      (G.oneofl Programs.corpus)
+      (G.oneofl [ Jit.O_none; Jit.O_ea; Jit.O_pea ])
+  in
+  let run src opt tier ~osr =
+    let program = Pea_bytecode.Link.compile_source src in
+    let config =
+      {
+        Jit.default_config with
+        Jit.opt;
+        exec_tier = tier;
+        compile_threshold = 4;
+        osr;
+        osr_threshold = 3;
+      }
+    in
+    let r = Vm.run_main_iterations (Vm.create ~config program) iters in
+    (outcome r, r.Vm.stats)
+  in
+  QCheck2.Test.make ~name:"osr on/off: same results, prints and heap counters"
+    ~count:(Test_env.qcheck_count 40)
+    ~print:(fun (name, _, opt) ->
+      Printf.sprintf "%s opt=%s" name
+        (match opt with Jit.O_none -> "none" | Jit.O_ea -> "ea" | Jit.O_pea -> "pea"))
+    gen
+    (fun (_, src, opt) ->
+      let ri = Run.run_source src in
+      let reference =
+        ( string_of_result ri.Run.return_value,
+          List.concat (List.init iters (fun _ -> List.map Value.string_of_value ri.Run.printed))
+        )
+      in
+      let od, sd_on = run src opt Jit.Direct ~osr:true in
+      let oc, sc_on = run src opt Jit.Closure ~osr:true in
+      let od', sd_off = run src opt Jit.Direct ~osr:false in
+      let oc', sc_off = run src opt Jit.Closure ~osr:false in
+      let tier_parity (a : Stats.snapshot) (b : Stats.snapshot) =
+        a.Stats.s_cycles = b.Stats.s_cycles
+        && a.Stats.s_allocations = b.Stats.s_allocations
+        && a.Stats.s_allocated_bytes = b.Stats.s_allocated_bytes
+        && a.Stats.s_monitor_ops = b.Stats.s_monitor_ops
+        && a.Stats.s_deopts = b.Stats.s_deopts
+        && a.Stats.s_osr_entries = b.Stats.s_osr_entries
+        && a.Stats.s_osr_compiles = b.Stats.s_osr_compiles
+      in
+      od = reference && oc = reference && od' = reference && oc' = reference
+      && tier_parity sd_on sc_on && tier_parity sd_off sc_off
+      && (opt <> Jit.O_none
+         || sd_on.Stats.s_allocations = sd_off.Stats.s_allocations
+            && sd_on.Stats.s_allocated_bytes = sd_off.Stats.s_allocated_bytes
+            && sd_on.Stats.s_monitor_ops = sd_off.Stats.s_monitor_ops))
+
+let () =
+  Alcotest.run "osr"
+    [
+      ( "osr",
+        [
+          Alcotest.test_case "single invocation tiers up" `Quick test_osr_single_invocation;
+          Alcotest.test_case "nested loops" `Quick test_osr_nested_loops;
+          Alcotest.test_case "trace events" `Quick test_osr_trace_events;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "per-site blacklist" `Quick test_per_site_blacklist;
+          Alcotest.test_case "site_blacklist event" `Quick test_site_blacklist_event;
+          Alcotest.test_case "deopt storm pins" `Quick test_deopt_storm_pins;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "compiled invocations profiled" `Quick
+            test_compiled_invocations_profiled;
+        ] );
+      ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_osr_differential ] );
+    ]
