@@ -593,6 +593,97 @@ let osr_section () =
     (if faster then "PASS" else "FAIL")
     (if parity then "PASS" else "FAIL")
 
+(* ------------------------------------------------------------------ *)
+(* Background compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Time-to-steady-state under the three compile modes. In sync mode the
+   mutator stalls for the full modeled latency of every compilation it
+   triggers (charged to compile_stall_cycles); under async the same
+   compilations run on background domains and the stall disappears,
+   while replay re-enacts async's queue discipline single-threaded.
+   Rows are ranked by how much the sync mutator actually stalls — the
+   measured stall is exactly the amount of compilation the row demands —
+   and the gate checks that on the two most compile-heavy rows async
+   reaches steady state (cycles + compile_stall_cycles) strictly sooner
+   than sync with identical results, and that replay matches async
+   counter-for-counter. *)
+let parallel_jit_section () =
+  header "Background compilation: time-to-steady-state, sync vs async vs replay";
+  let outcome (r : Pea_vm.Vm.result) =
+    ( (match r.Pea_vm.Vm.return_value with
+      | None -> "void"
+      | Some v -> Pea_rt.Value.string_of_value v),
+      List.map Pea_rt.Value.string_of_value r.Pea_vm.Vm.printed )
+  in
+  let measure src mode =
+    let config =
+      { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 2; compile_mode = mode }
+    in
+    let vm = Pea_vm.Vm.create ~config (Pea_bytecode.Link.compile_source src) in
+    let r = Pea_vm.Vm.run_main_iterations vm 3 in
+    Pea_vm.Vm.quiesce vm;
+    (Pea_rt.Stats.snapshot (Pea_vm.Vm.stats vm), outcome r)
+  in
+  let tts (s : Pea_rt.Stats.snapshot) =
+    s.Pea_rt.Stats.s_cycles + s.Pea_rt.Stats.s_compile_stall_cycles
+  in
+  let ranked =
+    List.sort
+      (fun (_, (a : Pea_rt.Stats.snapshot), _) (_, b, _) ->
+        compare b.Pea_rt.Stats.s_compile_stall_cycles a.Pea_rt.Stats.s_compile_stall_cycles)
+      (List.map
+         (fun (row : Spec.row) ->
+           let src = Codegen.source_for_row row in
+           let s, o = measure src Pea_vm.Jit.Sync in
+           (row, s, o))
+         (Spec.dacapo @ Spec.scala_dacapo @ Spec.specjbb))
+  in
+  let rows = List.filteri (fun i _ -> i < 4) ranked in
+  Printf.printf "%-14s | %12s %12s %12s %8s | %s\n" "row" "sync stall" "sync tts" "async tts"
+    "speedup" "results / replay twin";
+  let measured =
+    List.map
+      (fun ((row : Spec.row), sync_s, sync_o) ->
+        let src = Codegen.source_for_row row in
+        let async_s, async_o = measure src Pea_vm.Jit.Async in
+        let replay_s, replay_o = measure src Pea_vm.Jit.Replay in
+        let identical = sync_o = async_o && async_o = replay_o in
+        let twin = async_s = replay_s in
+        let speedup = float_of_int (tts sync_s) /. float_of_int (tts async_s) in
+        Printf.printf "%-14s | %12d %12d %12d %7.3fx | %s / %s\n%!" row.Spec.name
+          sync_s.Pea_rt.Stats.s_compile_stall_cycles (tts sync_s) (tts async_s) speedup
+          (if identical then "identical" else "MISMATCH")
+          (if twin then "identical" else "MISMATCH");
+        (row, sync_s, async_s, speedup, identical, twin))
+      rows
+  in
+  let oc = open_out "BENCH_parallel_jit.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i ((row : Spec.row), sync_s, async_s, speedup, identical, twin) ->
+      Printf.fprintf oc
+        "  {\"row\": %S, \"sync_stall_cycles\": %d, \"sync_time_to_steady\": %d, \
+         \"async_time_to_steady\": %d, \"speedup\": %.3f, \"results_identical\": %b, \
+         \"async_equals_replay\": %b}%s\n"
+        row.Spec.name sync_s.Pea_rt.Stats.s_compile_stall_cycles (tts sync_s) (tts async_s)
+        speedup identical twin
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_parallel_jit.json\n";
+  let top2 = List.filteri (fun i _ -> i < 2) measured in
+  let faster = List.for_all (fun (_, s, a, _, _, _) -> tts a < tts s) top2 in
+  let identical = List.for_all (fun (_, _, _, _, p, _) -> p) measured in
+  let twin = List.for_all (fun (_, _, _, _, _, t) -> t) measured in
+  Printf.printf
+    "gate: async beats sync to steady state on the two most compile-heavy rows: %s; results \
+     identical across modes: %s; replay == async on every counter: %s\n"
+    (if faster then "PASS" else "FAIL")
+    (if identical then "PASS" else "FAIL")
+    (if twin then "PASS" else "FAIL")
+
 (* The paper's §6.1 observation: "the allocations not removed by Partial
    Escape Analysis often contain large arrays". Show the per-class
    breakdown of a representative workload without and with PEA. *)
@@ -633,6 +724,7 @@ let () =
   summaries_section ();
   obs_section ();
   osr_section ();
+  parallel_jit_section ();
   breakdown_section ();
   if not fast then begin
     bechamel_section ();

@@ -2,13 +2,22 @@
 # Run the tier-1 test suites under every VM configuration the matrix
 # covers: optimization level (none / ea / pea) crossed with
 # interprocedural escape summaries (on / off) crossed with the execution
-# tier (closure / direct) crossed with on-stack replacement (on / off).
-# The suites read the forced configuration from MJVM_TEST_OPT /
-# MJVM_TEST_SUMMARIES / MJVM_TEST_EXEC_TIER / MJVM_TEST_OSR (see
+# tier (closure / direct) crossed with on-stack replacement (on / off)
+# crossed with the compile mode (sync / replay). The suites read the
+# forced configuration from MJVM_TEST_OPT / MJVM_TEST_SUMMARIES /
+# MJVM_TEST_EXEC_TIER / MJVM_TEST_OSR / MJVM_TEST_COMPILE_MODE (see
 # test/test_env.ml); a differential or monotonicity failure in any cell
-# is a real bug in that configuration. A final cell re-runs the default
-# configuration with a global tracer installed (MJVM_TEST_TRACE=1) to
-# check that instrumentation never changes behaviour.
+# is a real bug in that configuration. Two final cells re-run the
+# default configuration with a global tracer installed
+# (MJVM_TEST_TRACE=1) to check that instrumentation never changes
+# behaviour, and with real compiler domains (MJVM_TEST_COMPILE_MODE=
+# async) to check the threaded pipeline end to end. Async is kept out of
+# the main product: its deterministic counters are pinned bit-for-bit to
+# replay's by test_async.ml, so replay stands in for it cheaply.
+#
+# The matrix fails fast: the first failing cell prints its environment
+# line (the exact rerun command) first, then the output tail, and the
+# remaining cells are skipped.
 #
 # MJVM_TEST_QCHECK_COUNT scales the property-based suites up from their
 # fast local defaults: every matrix cell runs 500+ random programs per
@@ -23,12 +32,12 @@ cd "$(dirname "$0")/.."
 MJVM_TEST_QCHECK_COUNT=${MJVM_TEST_QCHECK_COUNT:-500}
 export MJVM_TEST_QCHECK_COUNT
 
-status=0
 log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 
-# run_cell LABEL [VAR=value ...] — one matrix cell. Output is captured,
-# and on failure the tail is printed instead of being thrown away.
+# run_cell LABEL [VAR=value ...] — one matrix cell. Output is captured;
+# on failure the env line is printed first (so the rerun command is the
+# first thing in the failure report) and the matrix stops immediately.
 run_cell() {
   _label=$1
   shift
@@ -36,9 +45,11 @@ run_cell() {
   if env "$@" dune runtest --force >"$log" 2>&1; then
     echo "    ok"
   else
-    echo "    FAILED (rerun: $* dune runtest --force); last 40 lines:"
+    echo ""
+    echo "FAILED CELL: $* dune runtest --force"
+    echo "last 40 lines of output:"
     tail -n 40 "$log" | sed 's/^/    | /'
-    status=1
+    exit 1
   fi
 }
 
@@ -46,13 +57,18 @@ for opt in none ea pea; do
   for summaries in on off; do
     for tier in closure direct; do
       for osr in on off; do
-        run_cell "opt=$opt summaries=$summaries exec-tier=$tier osr=$osr" \
-          "MJVM_TEST_OPT=$opt" "MJVM_TEST_SUMMARIES=$summaries" \
-          "MJVM_TEST_EXEC_TIER=$tier" "MJVM_TEST_OSR=$osr"
+        for mode in sync replay; do
+          run_cell "opt=$opt summaries=$summaries exec-tier=$tier osr=$osr compile-mode=$mode" \
+            "MJVM_TEST_OPT=$opt" "MJVM_TEST_SUMMARIES=$summaries" \
+            "MJVM_TEST_EXEC_TIER=$tier" "MJVM_TEST_OSR=$osr" \
+            "MJVM_TEST_COMPILE_MODE=$mode"
+        done
       done
     done
   done
 done
 
 run_cell "trace=on (default configuration, global tracer installed)" "MJVM_TEST_TRACE=1"
-exit $status
+run_cell "compile-mode=async (default configuration, real compiler domains)" \
+  "MJVM_TEST_COMPILE_MODE=async"
+exit 0

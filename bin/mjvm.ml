@@ -39,6 +39,16 @@ let tier_conv =
   in
   Arg.conv (parse, print)
 
+let mode_conv =
+  let parse = function
+    | "sync" -> Ok Jit.Sync
+    | "async" -> Ok Jit.Async
+    | "replay" -> Ok Jit.Replay
+    | s -> Error (`Msg (Printf.sprintf "unknown compile mode %S (sync|async|replay)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Jit.mode_string m) in
+  Arg.conv (parse, print)
+
 let file_arg =
   Arg.(
     required & pos 0 (some non_dir_file) None & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file")
@@ -100,6 +110,34 @@ let no_osr_arg =
           "Disable on-stack replacement (hot loops then only tier up at the next full \
            invocation)")
 
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Jit.Sync
+    & info [ "compile-mode" ] ~docv:"MODE"
+        ~doc:
+          "When the JIT pipeline runs: sync (inline at the threshold, stalling the mutator), \
+           async (bounded queue + background compiler domains, code installed at a modeled \
+           deadline), or replay (async's queue discipline single-threaded on the VM clock — \
+           every queue decision is deterministic). Model-cycle statistics are identical \
+           between async and replay")
+
+let queue_cap_arg =
+  Arg.(
+    value
+    & opt int Jit.default_config.Jit.compile_queue_cap
+    & info [ "compile-queue-cap" ] ~docv:"N"
+        ~doc:
+          "Background compile queue bound; requests beyond it are dropped and the method is \
+           reprofiled")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt int Jit.default_config.Jit.compile_domains
+    & info [ "compile-domains" ] ~docv:"N"
+        ~doc:"Compiler domains running concurrently under --compile-mode async")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log JIT events (compilations, deopts)")
 
@@ -139,7 +177,8 @@ let setup_logs verbose =
     Logs.Src.set_level Vm.log_src (Some Logs.Debug)
   end
 
-let config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr =
+let config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr
+    compile_mode compile_queue_cap compile_domains =
   {
     Jit.default_config with
     Jit.opt;
@@ -150,6 +189,9 @@ let config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold
     exec_tier;
     osr = not no_osr;
     osr_threshold;
+    compile_mode;
+    compile_queue_cap;
+    compile_domains;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -174,13 +216,15 @@ let compile_file_or_exit ?require_main file =
 
 let run_cmd =
   let action file opt threshold iterations stats no_inline no_prune no_summaries exec_tier
-      osr_threshold no_osr verbose trace trace_format =
+      osr_threshold no_osr compile_mode compile_queue_cap compile_domains verbose trace
+      trace_format =
     setup_logs verbose;
     let program = compile_file_or_exit file in
     (let vm =
        Vm.create
          ~config:
-           (config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr)
+           (config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr
+              compile_mode compile_queue_cap compile_domains)
          program
      in
      let tracer =
@@ -231,14 +275,25 @@ let run_cmd =
                  inline-cache misses: %d\n\
                  osr compiles: %d\n\
                  osr entries: %d\n\
-                 site blacklists: %d\n"
+                 site blacklists: %d\n\
+                 compile stall cycles: %d\n\
+                 compile enqueues: %d\n\
+                 compile installs: %d\n\
+                 compile stale discards: %d\n\
+                 compile drops: %d\n\
+                 compile failures: %d\n"
                 r.Vm.stats.Pea_rt.Stats.s_allocations r.Vm.stats.Pea_rt.Stats.s_allocated_bytes
                 r.Vm.stats.Pea_rt.Stats.s_monitor_ops r.Vm.stats.Pea_rt.Stats.s_stack_allocs
                 r.Vm.stats.Pea_rt.Stats.s_cycles r.Vm.stats.Pea_rt.Stats.s_deopts
                 r.Vm.stats.Pea_rt.Stats.s_rematerialized r.Vm.stats.Pea_rt.Stats.s_compiled_methods
                 r.Vm.stats.Pea_rt.Stats.s_closure_compiled_methods r.Vm.stats.Pea_rt.Stats.s_ic_hits
                 r.Vm.stats.Pea_rt.Stats.s_ic_misses r.Vm.stats.Pea_rt.Stats.s_osr_compiles
-                r.Vm.stats.Pea_rt.Stats.s_osr_entries r.Vm.stats.Pea_rt.Stats.s_site_blacklists;
+                r.Vm.stats.Pea_rt.Stats.s_osr_entries r.Vm.stats.Pea_rt.Stats.s_site_blacklists
+                r.Vm.stats.Pea_rt.Stats.s_compile_stall_cycles
+                r.Vm.stats.Pea_rt.Stats.s_compile_enqueues
+                r.Vm.stats.Pea_rt.Stats.s_compile_installs
+                r.Vm.stats.Pea_rt.Stats.s_compile_stale_discards
+                r.Vm.stats.Pea_rt.Stats.s_compile_drops r.Vm.stats.Pea_rt.Stats.s_compile_failures;
               (match Vm.class_breakdown vm with
               | [] -> ()
               | breakdown ->
@@ -255,7 +310,8 @@ let run_cmd =
     Term.(
       const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
       $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ tier_arg $ osr_threshold_arg
-      $ no_osr_arg $ verbose_arg $ trace_arg $ trace_format_arg)
+      $ no_osr_arg $ mode_arg $ queue_cap_arg $ domains_arg $ verbose_arg $ trace_arg
+      $ trace_format_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a MiniJava program on the tiered VM") term
 

@@ -66,6 +66,16 @@ type t =
          the innermost deopt frame, i.e. the blacklist key *)
   | Ic_transition of { meth : string; callee : string; cls : string; kind : ic_kind }
   | Tier_promote of { meth : string; tier : string; invocations : int }
+  (* Background-compilation queue discipline (async/replay compile modes).
+     [osr_bci] distinguishes a normal-entry task (None) from an OSR task
+     for one loop header; [epoch] is the method's invalidation epoch the
+     task was keyed to at enqueue. *)
+  | Compile_enqueue of { meth : string; osr_bci : int option; epoch : int; depth : int }
+  | Compile_dedup of { meth : string; osr_bci : int option }
+  | Compile_drop of { meth : string; osr_bci : int option }
+  | Compile_install of { meth : string; osr_bci : int option; epoch : int; latency : int }
+  | Compile_stale of { meth : string; osr_bci : int option; epoch : int; current_epoch : int }
+  | Compile_failed of { meth : string; osr_bci : int option; error : string }
 
 let name = function
   | Compile_start _ -> "compile_start"
@@ -80,6 +90,12 @@ let name = function
   | Site_blacklist _ -> "site_blacklist"
   | Ic_transition _ -> "ic_transition"
   | Tier_promote _ -> "tier_promote"
+  | Compile_enqueue _ -> "compile_enqueue"
+  | Compile_dedup _ -> "compile_dedup"
+  | Compile_drop _ -> "compile_drop"
+  | Compile_install _ -> "compile_install"
+  | Compile_stale _ -> "compile_stale"
+  | Compile_failed _ -> "compile_failed"
 
 (* Payload fields (without the event name), in a fixed order. *)
 let fields ev : Json.field list =
@@ -119,6 +135,35 @@ let fields ev : Json.field list =
       ]
   | Tier_promote { meth = m; tier; invocations } ->
       [ meth m; Json.str_field "tier" tier; Json.int_field "invocations" invocations ]
+  | Compile_enqueue { meth = m; osr_bci; epoch; depth } ->
+      [
+        meth m;
+        Json.int_field "osr_bci" (Option.value osr_bci ~default:(-1));
+        Json.int_field "epoch" epoch;
+        Json.int_field "depth" depth;
+      ]
+  | Compile_dedup { meth = m; osr_bci } | Compile_drop { meth = m; osr_bci } ->
+      [ meth m; Json.int_field "osr_bci" (Option.value osr_bci ~default:(-1)) ]
+  | Compile_install { meth = m; osr_bci; epoch; latency } ->
+      [
+        meth m;
+        Json.int_field "osr_bci" (Option.value osr_bci ~default:(-1));
+        Json.int_field "epoch" epoch;
+        Json.int_field "latency" latency;
+      ]
+  | Compile_stale { meth = m; osr_bci; epoch; current_epoch } ->
+      [
+        meth m;
+        Json.int_field "osr_bci" (Option.value osr_bci ~default:(-1));
+        Json.int_field "epoch" epoch;
+        Json.int_field "current_epoch" current_epoch;
+      ]
+  | Compile_failed { meth = m; osr_bci; error } ->
+      [
+        meth m;
+        Json.int_field "osr_bci" (Option.value osr_bci ~default:(-1));
+        Json.str_field "error" error;
+      ]
 
 (* Chrome trace_event phase: paired B/E spans for compilation and its
    phases, instants for everything else. *)

@@ -40,6 +40,20 @@ type t =
           are the innermost deopt frame, i.e. the blacklist key *)
   | Ic_transition of { meth : string; callee : string; cls : string; kind : ic_kind }
   | Tier_promote of { meth : string; tier : string; invocations : int }
+  | Compile_enqueue of { meth : string; osr_bci : int option; epoch : int; depth : int }
+      (** a compile task entered the background queue; [depth] is the
+          queue depth after the enqueue *)
+  | Compile_dedup of { meth : string; osr_bci : int option }
+      (** a request coalesced into an already-queued task *)
+  | Compile_drop of { meth : string; osr_bci : int option }
+      (** a request refused by a full queue (drop-and-reprofile) *)
+  | Compile_install of { meth : string; osr_bci : int option; epoch : int; latency : int }
+      (** finished code installed at a safepoint *)
+  | Compile_stale of { meth : string; osr_bci : int option; epoch : int; current_epoch : int }
+      (** finished code discarded: the method's epoch moved during the
+          compile (a deopt invalidated its speculation basis) *)
+  | Compile_failed of { meth : string; osr_bci : int option; error : string }
+      (** the compiler raised; the method stays interpreted for good *)
 
 val name : t -> string
 

@@ -45,12 +45,18 @@ let create ?(capacity = default_capacity) () =
 
 let set_clock t f = t.clock <- f
 
+(* The ring is mutated by the mutator domain; background compiler domains
+   run with emission suppressed (see [suppress]) but the lock keeps a
+   stray cross-domain emission memory-safe rather than corrupting. *)
+let emit_mutex = Mutex.create ()
+
 let emit t ev =
-  let e = { e_seq = t.seq; e_cycles = t.clock (); e_event = ev } in
-  t.seq <- t.seq + 1;
-  t.buf.(t.next) <- e;
-  t.next <- (t.next + 1) mod t.capacity;
-  if t.len < t.capacity then t.len <- t.len + 1 else t.n_dropped <- t.n_dropped + 1
+  Mutex.protect emit_mutex (fun () ->
+      let e = { e_seq = t.seq; e_cycles = t.clock (); e_event = ev } in
+      t.seq <- t.seq + 1;
+      t.buf.(t.next) <- e;
+      t.next <- (t.next + 1) mod t.capacity;
+      if t.len < t.capacity then t.len <- t.len + 1 else t.n_dropped <- t.n_dropped + 1)
 
 let entries t =
   (* oldest first *)
@@ -87,7 +93,23 @@ let uninstall () =
 
 let installed () = !current
 
-let record ev = match !current with Some t -> emit t ev | None -> ()
+(* Per-domain suppression: a background compiler domain would stamp its
+   events with racy, wall-clock-ordered sequence numbers and a clock read
+   off another domain's counter, destroying trace determinism. Workers run
+   the whole compile under [suppress]; the mutator-side queue events
+   (enqueue/install/stale/...) still record normally, so async traces stay
+   deterministic — they just omit the compile-internal spans that replay
+   mode (which compiles on the mutator at the deadline) retains. *)
+let suppressed_key = Domain.DLS.new_key (fun () -> false)
+
+let suppress f =
+  let old = Domain.DLS.get suppressed_key in
+  Domain.DLS.set suppressed_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set suppressed_key old) f
+
+let record ev =
+  if Domain.DLS.get suppressed_key then ()
+  else match !current with Some t -> emit t ev | None -> ()
 
 let span ~meth phase f =
   if !is_on then begin

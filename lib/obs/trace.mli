@@ -43,7 +43,14 @@ val enabled : unit -> bool
     before constructing an event so that tracing off allocates nothing. *)
 
 val record : Event.t -> unit
-(** Emit to the installed tracer, if any. *)
+(** Emit to the installed tracer, if any. No-op while the calling domain
+    is inside {!suppress}. *)
+
+val suppress : (unit -> 'a) -> 'a
+(** [suppress f] runs [f] with event recording disabled on the calling
+    domain. Background compiler domains wrap each compile in it: their
+    events would otherwise interleave nondeterministically with the
+    mutator's, destroying trace reproducibility. *)
 
 val span : meth:string -> string -> (unit -> 'a) -> 'a
 (** [span ~meth phase f] wraps [f] in [Phase_start]/[Phase_end] events

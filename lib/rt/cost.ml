@@ -45,6 +45,20 @@ let static_access = 3
 (* Deoptimization is very expensive: frame reconstruction + interpreter. *)
 let deopt = 500
 
+(* Modeled JIT compilation latency, as a function of method size. The
+   constants make compilation cost on the order of thousands of cycles —
+   enough that a synchronous stall at the threshold is visible against a
+   hot loop, and that a background compile finishes within a few hundred
+   interpreted iterations. Both the sync stall charge and the async/replay
+   install deadline use this same function, so the only difference between
+   the modes is *where* the latency lands: on the mutator's critical path,
+   or overlapped with interpretation. *)
+let compile_base = 2000
+
+let compile_per_bytecode = 150
+
+let compile_latency ~bytecodes = compile_base + (compile_per_bytecode * bytecodes)
+
 (* The closure execution tier charges exactly the same costs as the direct
    tier, per IR operation — its inline caches and pooled register files are
    wall-clock optimizations only and add no model cycles. This keeps the

@@ -43,3 +43,14 @@ val static_access : int
 
 (** Deoptimization: frame reconstruction plus interpreter transition. *)
 val deopt : int
+
+val compile_base : int
+
+val compile_per_bytecode : int
+
+(** [compile_latency ~bytecodes] — modeled cycles to run the JIT pipeline
+    on a method of the given bytecode length. Synchronous compilation
+    charges it to {!Pea_rt.Stats.compile_stall_cycles} on the mutator;
+    the async/replay queue uses it as the install deadline, so the
+    latency overlaps with continued interpretation instead. *)
+val compile_latency : bytecodes:int -> int

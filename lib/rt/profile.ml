@@ -49,6 +49,33 @@ let create (program : Link.program) : t =
 
 let for_method (t : t) (m : Classfile.rt_method) = t.(m.mth_id)
 
+(* Deep snapshot for background compilation: compiler domains must never
+   read the live tables while the interpreter mutates them, so the VM
+   hands each compile task a copy taken at enqueue time on the mutator. *)
+let copy (t : t) : t =
+  Array.map
+    (fun p ->
+      {
+        invocations = p.invocations;
+        back_edges = Array.copy p.back_edges;
+        branch_taken = Hashtbl.copy p.branch_taken;
+        branch_fallthrough = Hashtbl.copy p.branch_fallthrough;
+        receivers =
+          (let r = Hashtbl.create (Hashtbl.length p.receivers) in
+           Hashtbl.iter
+             (fun bci site ->
+               let site_receivers = Hashtbl.create (Hashtbl.length site.site_receivers) in
+               Hashtbl.iter
+                 (fun cls_id cell ->
+                   Hashtbl.replace site_receivers cls_id
+                     { rc_cls = cell.rc_cls; rc_count = cell.rc_count; rc_order = cell.rc_order })
+                 site.site_receivers;
+               Hashtbl.replace r bci { site_receivers; site_next_order = site.site_next_order })
+             p.receivers;
+           r);
+      })
+    t
+
 let record_invocation t m =
   let p = for_method t m in
   p.invocations <- p.invocations + 1
@@ -109,3 +136,12 @@ let hot_receiver t m ~bci =
       Option.map (fun c -> c.rc_cls) best
 
 let invocations t m = (for_method t m).invocations
+
+(* Drop-and-reprofile backpressure: when the compile queue refuses a
+   request, the hotness counter that triggered it is reset so the method
+   re-qualifies only after another full profiling window. *)
+let reset_invocations t m = (for_method t m).invocations <- 0
+
+let reset_back_edge t m ~header =
+  let p = for_method t m in
+  if header >= 0 && header < Array.length p.back_edges then p.back_edges.(header) <- 0

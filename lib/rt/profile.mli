@@ -66,3 +66,17 @@ val record_receiver : t -> Classfile.rt_method -> bci:int -> Classfile.rt_class 
 val hot_receiver : t -> Classfile.rt_method -> bci:int -> Classfile.rt_class option
 
 val invocations : t -> Classfile.rt_method -> int
+
+(** [copy t] is a deep snapshot: mutating [t] afterwards never changes the
+    copy (and vice versa). Background compiler domains work from such a
+    snapshot taken at enqueue time so they never race the interpreter's
+    profile writes. *)
+val copy : t -> t
+
+(** [reset_invocations t m] zeroes [m]'s invocation counter
+    (drop-and-reprofile backpressure when the compile queue is full). *)
+val reset_invocations : t -> Classfile.rt_method -> unit
+
+(** [reset_back_edge t m ~header] zeroes one loop header's back-edge
+    counter. Out-of-range headers are ignored. *)
+val reset_back_edge : t -> Classfile.rt_method -> header:int -> unit

@@ -55,11 +55,37 @@ let osr_entries = Metrics.counter schema "osr_entries"
 (* deopt sites excluded from further speculation (per-site policy) *)
 let site_blacklists = Metrics.counter schema "site_blacklists"
 
+(* background-compilation queue (async/replay compile modes) *)
+let compile_enqueues = Metrics.counter schema "compile_enqueues"
+
+let compile_dedup_hits = Metrics.counter schema "compile_dedup_hits"
+
+(* requests refused by a full queue (drop-and-reprofile) *)
+let compile_drops = Metrics.counter schema "compile_drops"
+
+let compile_installs = Metrics.counter schema "compile_installs"
+
+(* finished compilations discarded by the install-time epoch check *)
+let compile_stale_discards = Metrics.counter schema "compile_stale_discards"
+
+(* compiler-domain failures; the method is pinned compile-failed *)
+let compile_failures = Metrics.counter schema "compile_failures"
+
+(* mutator cycles stalled waiting for synchronous compilation; async and
+   replay modes never charge it — that is exactly the win they exist for *)
+let compile_stall_cycles = Metrics.counter schema "compile_stall_cycles"
+
 (* distribution of rematerialized objects per deopt event *)
 let remat_per_deopt = Metrics.histogram schema "remat_per_deopt"
 
 (* distribution of optimized-graph sizes at the end of JIT compilation *)
 let compiled_graph_nodes = Metrics.histogram schema "compiled_graph_nodes"
+
+(* queue depth observed after each background-compile enqueue *)
+let compile_queue_depth = Metrics.histogram schema "compile_queue_depth"
+
+(* modeled compile latency (cycles between enqueue and install) *)
+let compile_latency = Metrics.histogram schema "compile_latency"
 
 let create () = Metrics.create schema
 
@@ -97,6 +123,13 @@ type snapshot = {
   s_osr_compiles : int;
   s_osr_entries : int;
   s_site_blacklists : int;
+  s_compile_enqueues : int;
+  s_compile_dedup_hits : int;
+  s_compile_drops : int;
+  s_compile_installs : int;
+  s_compile_stale_discards : int;
+  s_compile_failures : int;
+  s_compile_stall_cycles : int;
 }
 
 let snapshot t =
@@ -118,6 +151,13 @@ let snapshot t =
     s_osr_compiles = get t osr_compiles;
     s_osr_entries = get t osr_entries;
     s_site_blacklists = get t site_blacklists;
+    s_compile_enqueues = get t compile_enqueues;
+    s_compile_dedup_hits = get t compile_dedup_hits;
+    s_compile_drops = get t compile_drops;
+    s_compile_installs = get t compile_installs;
+    s_compile_stale_discards = get t compile_stale_discards;
+    s_compile_failures = get t compile_failures;
+    s_compile_stall_cycles = get t compile_stall_cycles;
   }
 
 (* [diff later earlier] — the activity between two snapshots. *)
@@ -140,6 +180,13 @@ let diff a b =
     s_osr_compiles = a.s_osr_compiles - b.s_osr_compiles;
     s_osr_entries = a.s_osr_entries - b.s_osr_entries;
     s_site_blacklists = a.s_site_blacklists - b.s_site_blacklists;
+    s_compile_enqueues = a.s_compile_enqueues - b.s_compile_enqueues;
+    s_compile_dedup_hits = a.s_compile_dedup_hits - b.s_compile_dedup_hits;
+    s_compile_drops = a.s_compile_drops - b.s_compile_drops;
+    s_compile_installs = a.s_compile_installs - b.s_compile_installs;
+    s_compile_stale_discards = a.s_compile_stale_discards - b.s_compile_stale_discards;
+    s_compile_failures = a.s_compile_failures - b.s_compile_failures;
+    s_compile_stall_cycles = a.s_compile_stall_cycles - b.s_compile_stall_cycles;
   }
 
 let pp = Metrics.pp_counters

@@ -64,11 +64,41 @@ val site_blacklists : metric
 (** Deopt sites excluded from further speculation by the per-site
     recompilation policy. *)
 
+val compile_enqueues : metric
+(** Compile requests accepted by the background queue (async/replay). *)
+
+val compile_dedup_hits : metric
+(** Requests coalesced into an already-queued [(method, osr)] task. *)
+
+val compile_drops : metric
+(** Requests refused by a full queue (drop-and-reprofile backpressure). *)
+
+val compile_installs : metric
+(** Finished background compilations installed at a safepoint. *)
+
+val compile_stale_discards : metric
+(** Finished compilations discarded because the method's epoch moved
+    (a deopt invalidated its speculation basis while it compiled). *)
+
+val compile_failures : metric
+(** Compiler-domain failures; the method stays interpreted for good. *)
+
+val compile_stall_cycles : metric
+(** Mutator cycles stalled in synchronous compilation. Async and replay
+    modes never charge it; [cycles + compile_stall_cycles] is a mode's
+    time-to-steady-state. *)
+
 val remat_per_deopt : metric
 (** Histogram: rematerialized objects per deopt event. *)
 
 val compiled_graph_nodes : metric
 (** Histogram: optimized-graph size at the end of each compilation. *)
+
+val compile_queue_depth : metric
+(** Histogram: queue depth observed after each background enqueue. *)
+
+val compile_latency : metric
+(** Histogram: modeled cycles between a task's enqueue and its install. *)
 
 (** [create ()] is a zeroed statistics instance. *)
 val create : unit -> t
@@ -111,6 +141,13 @@ type snapshot = {
   s_osr_compiles : int;
   s_osr_entries : int;
   s_site_blacklists : int;
+  s_compile_enqueues : int;
+  s_compile_dedup_hits : int;
+  s_compile_drops : int;
+  s_compile_installs : int;
+  s_compile_stale_discards : int;
+  s_compile_failures : int;
+  s_compile_stall_cycles : int;
 }
 
 val snapshot : t -> snapshot

@@ -27,6 +27,20 @@ type exec_tier =
   | Direct (* reference tier: Ir_exec walks the graph per invocation *)
   | Closure (* Closure_compile: pre-bound closures, inline caches *)
 
+(* When and where the pipeline runs relative to the mutator. All three
+   modes install code at the same modeled deadline (enqueue cycles +
+   Cost.compile_latency), so async and replay agree bit-for-bit on every
+   deterministic counter; async additionally overlaps the real compile
+   with interpretation on compiler domains (a wall-clock win), while
+   replay runs the identical queue discipline single-threaded so its
+   decisions can be goldened. *)
+type compile_mode =
+  | Sync (* compile inline at the threshold, stalling the mutator *)
+  | Async (* bounded queue + compiler domains, install at the deadline *)
+  | Replay (* async's queue discipline, single-threaded, deterministic *)
+
+let mode_string = function Sync -> "sync" | Async -> "async" | Replay -> "replay"
+
 type config = {
   opt : opt_level;
   inline : bool;
@@ -44,6 +58,9 @@ type config = {
   deopt_storm_limit : int;
       (* distinct invalidations of one method before the VM gives up on
          compiling it and pins it to the interpreter *)
+  compile_mode : compile_mode;
+  compile_queue_cap : int; (* queued tasks beyond which requests are dropped *)
+  compile_domains : int; (* compiler domains running concurrently (Async) *)
 }
 
 let default_config =
@@ -62,6 +79,9 @@ let default_config =
     osr = true;
     osr_threshold = 100;
     deopt_storm_limit = 5;
+    compile_mode = Sync;
+    compile_queue_cap = 8;
+    compile_domains = 2;
   }
 
 type compiled = {

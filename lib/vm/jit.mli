@@ -27,6 +27,21 @@ type exec_tier =
   | Direct (* reference tier: {!Ir_exec} walks the graph per invocation *)
   | Closure (* {!Closure_compile}: pre-bound closures, inline caches *)
 
+(** When and where the pipeline runs relative to the mutator. All three
+    modes install code at the same modeled deadline (enqueue cycles +
+    {!Pea_rt.Cost.compile_latency}): [Async] and [Replay] agree
+    bit-for-bit on every deterministic counter, and [Async] additionally
+    overlaps the real compilation with interpretation on OCaml 5 compiler
+    domains. [Sync] compiles inline at the threshold — today's behaviour,
+    charging the latency to the mutator as
+    {!Pea_rt.Stats.compile_stall_cycles}. *)
+type compile_mode =
+  | Sync
+  | Async
+  | Replay
+
+val mode_string : compile_mode -> string
+
 type config = {
   opt : opt_level;
   inline : bool;
@@ -47,10 +62,17 @@ type config = {
   deopt_storm_limit : int;
       (* distinct invalidations of one method before the VM pins it to
          the interpreter (deopt-storm guard) *)
+  compile_mode : compile_mode;
+  compile_queue_cap : int;
+      (* queued background tasks beyond which new requests are dropped
+         with their hotness counter reset (drop-and-reprofile) *)
+  compile_domains : int; (* compiler domains running concurrently (Async) *)
 }
 
 (** PEA on, everything enabled, threshold 10, closure tier, OSR after 100
-    back edges, interpreter-pinning after 5 invalidations. *)
+    back edges, interpreter-pinning after 5 invalidations, synchronous
+    compilation (queue cap 8 and 2 compiler domains once switched to
+    [Async]/[Replay]). *)
 val default_config : config
 
 type compiled = {

@@ -39,6 +39,15 @@ type t = {
   mutable summary_table : Pea_analysis.Summary.t option;
       (* whole-program escape summaries; computed lazily at the first
          compilation when [config.summaries] is set *)
+  queue : Compile_queue.t option; (* background compile queue; None in Sync *)
+  epochs : int array;
+      (* per-method invalidation epoch, bumped whenever a deopt
+         invalidates the method's code: a background compile whose
+         enqueue-time epoch no longer matches at install is working from
+         a stale blacklist and is discarded and requeued instead *)
+  compile_failed : (Compile_queue.key, unit) Hashtbl.t;
+      (* background tasks whose compile raised: the method (or OSR entry)
+         stays interpreted for good; never retried *)
 }
 
 let accumulate_jit_stats (acc : Pea_core.Pea.pass_stats) (st : Pea_core.Pea.pass_stats) =
@@ -76,7 +85,13 @@ let record_compiled vm (code : Jit.compiled) =
     (Pea_ir.Graph.n_nodes code.Jit.graph);
   Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats
 
+(* Safepoints: the queue is polled at method entry and at loop back
+   edges — the same program points HotSpot uses — so finished background
+   code is installed at deterministic cycle boundaries. *)
 let rec invoke vm (m : Classfile.rt_method) args =
+  (match vm.queue with
+  | Some q when Compile_queue.has_inflight q -> poll_queue vm q
+  | _ -> ());
   if Hashtbl.mem vm.pinned m.Classfile.mth_id then Interp.run vm.env m args
   else
     match Hashtbl.find_opt vm.compiled m.Classfile.mth_id with
@@ -86,10 +101,17 @@ let rec invoke vm (m : Classfile.rt_method) args =
         if
           invocations >= vm.config.Jit.compile_threshold
           && not (Classfile.uses_exceptions m)
-        then run_compiled vm m (compile_method vm m) args
+        then
+          match vm.queue with
+          | None -> run_compiled vm m (compile_method vm m) args
+          | Some q ->
+              (* keep interpreting while the background pipeline works *)
+              request_compile vm q m None;
+              Interp.run vm.env m args
         else Interp.run vm.env m args
 
 and compile_method vm (m : Classfile.rt_method) =
+  let stats = vm.env.Interp.stats in
   let invocations = Profile.invocations vm.env.Interp.profile m in
   Log.debug (fun k ->
       k "compiling %s (invocations=%d, blacklisted sites=%d)" (Classfile.qualified_name m)
@@ -101,9 +123,139 @@ and compile_method vm (m : Classfile.rt_method) =
     Jit.compile ?summaries:(summaries vm) ~blacklist:(site_blacklisted vm) vm.config vm.program
       vm.env.Interp.profile m
   in
+  (* synchronous compilation stalls the mutator for the modeled pipeline
+     latency; the charge lands on a dedicated counter (never [cycles], so
+     pre-existing behaviour is bit-for-bit unchanged) and is exactly what
+     the async/replay modes overlap away *)
+  Stats.add stats Stats.compile_stall_cycles
+    (Cost.compile_latency ~bytecodes:(Array.length m.Classfile.mth_code));
   Hashtbl.replace vm.compiled m.Classfile.mth_id code;
   record_compiled vm code;
   code
+
+(* Ask the background pipeline for code. Every decision is deterministic:
+   dedup against the in-flight task, drop-and-reprofile when the queue is
+   full, otherwise snapshot the compile inputs (profile, blacklist) on
+   the mutator and queue a task whose install deadline is
+   [now + Cost.compile_latency] on the VM clock. *)
+and request_compile vm q (m : Classfile.rt_method) osr_bci =
+  let key = (m.Classfile.mth_id, osr_bci) in
+  if Hashtbl.mem vm.compile_failed key then ()
+  else if Compile_queue.mem q key then begin
+    Stats.incr vm.env.Interp.stats Stats.compile_dedup_hits;
+    if Trace.enabled () then
+      Trace.record (Event.Compile_dedup { meth = Classfile.qualified_name m; osr_bci })
+  end
+  else if Compile_queue.is_full q then begin
+    Stats.incr vm.env.Interp.stats Stats.compile_drops;
+    (match osr_bci with
+    | None -> Profile.reset_invocations vm.env.Interp.profile m
+    | Some header -> Profile.reset_back_edge vm.env.Interp.profile m ~header);
+    if Trace.enabled () then
+      Trace.record (Event.Compile_drop { meth = Classfile.qualified_name m; osr_bci })
+  end
+  else begin
+    let stats = vm.env.Interp.stats in
+    let meth = Classfile.qualified_name m in
+    let invocations = Profile.invocations vm.env.Interp.profile m in
+    if Trace.enabled () then
+      Trace.record
+        (Event.Tier_promote
+           { meth; tier = (match osr_bci with None -> "jit" | Some _ -> "osr"); invocations });
+    Log.debug (fun k ->
+        k "queueing %s compile of %s (invocations=%d, queue depth=%d)"
+          (match osr_bci with None -> "background" | Some h -> Printf.sprintf "background OSR@%d" h)
+          meth invocations (Compile_queue.depth q));
+    (* snapshots taken on the mutator: the compiler domain must never
+       read tables the interpreter keeps mutating *)
+    let summaries = summaries vm in
+    let profile = Profile.copy vm.env.Interp.profile in
+    let blacklist_copy = Hashtbl.copy vm.site_blacklist in
+    let blacklist site = Hashtbl.mem blacklist_copy site in
+    let config = vm.config and program = vm.program in
+    let compile =
+      match osr_bci with
+      | None -> fun () -> Jit.compile ?summaries ~blacklist config program profile m
+      | Some header ->
+          fun () -> Jit.compile_osr ?summaries ~blacklist config program profile m ~entry_bci:header
+    in
+    let now = Stats.get stats Stats.cycles in
+    let latency = Cost.compile_latency ~bytecodes:(Array.length m.Classfile.mth_code) in
+    let task =
+      {
+        Compile_queue.t_key = key;
+        t_epoch = vm.epochs.(m.Classfile.mth_id);
+        t_enqueued_at = now;
+        t_deadline = now + latency;
+        t_compile = compile;
+      }
+    in
+    Compile_queue.enqueue q task;
+    Stats.incr stats Stats.compile_enqueues;
+    Stats.observe stats Stats.compile_queue_depth (Compile_queue.depth q);
+    if Trace.enabled () then
+      Trace.record
+        (Event.Compile_enqueue
+           { meth; osr_bci; epoch = task.Compile_queue.t_epoch; depth = Compile_queue.depth q })
+  end
+
+and poll_queue vm q =
+  let now = Stats.get vm.env.Interp.stats Stats.cycles in
+  match Compile_queue.due q ~now with
+  | [] -> ()
+  | finished -> List.iter (fun (task, outcome) -> install_outcome vm q task outcome) finished
+
+(* Install finished background code — or refuse to. The epoch check makes
+   installation atomic with respect to deopt-driven invalidation: code
+   compiled against a blacklist that a deopt has since extended is
+   discarded (and requeued with fresh snapshots) rather than installed
+   stale. A compile that raised pins the task's key as compile-failed;
+   the method keeps interpreting and the queue keeps flowing. *)
+and install_outcome vm q (task : Compile_queue.task) outcome =
+  let stats = vm.env.Interp.stats in
+  let mid, osr_bci = task.Compile_queue.t_key in
+  let m = vm.program.Link.methods.(mid) in
+  let meth = Classfile.qualified_name m in
+  match outcome with
+  | Compile_queue.Failed error ->
+      Hashtbl.replace vm.compile_failed task.Compile_queue.t_key ();
+      Stats.incr stats Stats.compile_failures;
+      Log.debug (fun k -> k "background compile of %s failed: %s" meth error);
+      if Trace.enabled () then Trace.record (Event.Compile_failed { meth; osr_bci; error })
+  | Compile_queue.Done code ->
+      let current = vm.epochs.(mid) in
+      if current <> task.Compile_queue.t_epoch then begin
+        Stats.incr stats Stats.compile_stale_discards;
+        if Trace.enabled () then
+          Trace.record
+            (Event.Compile_stale
+               { meth; osr_bci; epoch = task.Compile_queue.t_epoch; current_epoch = current });
+        Log.debug (fun k ->
+            k "discarding stale compile of %s (epoch %d, now %d)" meth
+              task.Compile_queue.t_epoch current);
+        if not (Hashtbl.mem vm.pinned mid) then request_compile vm q m osr_bci
+      end
+      else begin
+        (match osr_bci with
+        | None ->
+            Hashtbl.replace vm.compiled mid code;
+            record_compiled vm code
+        | Some header ->
+            Hashtbl.replace vm.osr_compiled (mid, header) code;
+            Stats.incr stats Stats.osr_compiles;
+            Stats.observe stats Stats.compiled_graph_nodes (Pea_ir.Graph.n_nodes code.Jit.graph);
+            Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats);
+        Stats.incr stats Stats.compile_installs;
+        let latency = task.Compile_queue.t_deadline - task.Compile_queue.t_enqueued_at in
+        Stats.observe stats Stats.compile_latency latency;
+        if Trace.enabled () then
+          Trace.record
+            (Event.Compile_install
+               { meth; osr_bci; epoch = task.Compile_queue.t_epoch; latency });
+        (* the background pipeline delivers ready-to-run code: build the
+           closure translation at install instead of on first execution *)
+        if vm.config.Jit.exec_tier = Jit.Closure then ignore (ensure_closure vm m code)
+      end
 
 (* Per-site deopt policy: blacklist the exact site that fired (innermost
    deopt frame), invalidate every piece of the root method's code, and pin
@@ -134,6 +286,9 @@ and handle_deopt vm (m : Classfile.rt_method) ~reason fs lookup =
       vm.osr_compiled []
   in
   List.iter (Hashtbl.remove vm.osr_compiled) osr_keys;
+  (* moving the epoch dooms every in-flight background compile of this
+     method: whatever it speculated is now behind the blacklist *)
+  vm.epochs.(m.Classfile.mth_id) <- vm.epochs.(m.Classfile.mth_id) + 1;
   let n = 1 + Option.value (Hashtbl.find_opt vm.invalidations m.Classfile.mth_id) ~default:0 in
   Hashtbl.replace vm.invalidations m.Classfile.mth_id n;
   if n >= vm.config.Jit.deopt_storm_limit then begin
@@ -165,39 +320,45 @@ and exec_compiled vm m ~reason code args =
       | result -> result
       | exception Ir_exec.Deoptimize (fs, lookup) -> handle fs lookup)
   | Jit.Closure ->
-      let cc =
-        match code.Jit.closure with
-        | Some cc -> cc
-        | None ->
-            (* lazy: only built when the closure tier actually runs the
-               method, so the direct tier pays no translation cost *)
-            if Trace.enabled () then
-              Trace.record
-                (Event.Tier_promote
-                   {
-                     meth = Classfile.qualified_name m;
-                     tier = "closure";
-                     invocations = Profile.invocations vm.env.Interp.profile m;
-                   });
-            let cc = Closure_compile.compile vm.env code.Jit.graph in
-            code.Jit.closure <- Some cc;
-            Stats.incr vm.env.Interp.stats Stats.closure_compiled_methods;
-            cc
-      in
+      let cc = ensure_closure vm m code in
       (* the in-tier handler releases the register file back to the pool
          once deopt completes (the lookup closure is dead by then) *)
       Closure_compile.run ~deopt:handle cc args
+
+and ensure_closure vm m (code : Jit.compiled) =
+  match code.Jit.closure with
+  | Some cc -> cc
+  | None ->
+      (* lazy under Sync: only built when the closure tier actually runs
+         the method, so the direct tier pays no translation cost. The
+         background modes instead call this at install time. *)
+      if Trace.enabled () then
+        Trace.record
+          (Event.Tier_promote
+             {
+               meth = Classfile.qualified_name m;
+               tier = "closure";
+               invocations = Profile.invocations vm.env.Interp.profile m;
+             });
+      let cc = Closure_compile.compile vm.env code.Jit.graph in
+      code.Jit.closure <- Some cc;
+      Stats.incr vm.env.Interp.stats Stats.closure_compiled_methods;
+      cc
 
 (* The interpreter's back-edge hook: once a loop header is hot, compile an
    OSR graph entered at it, transfer the running frame in, and cache
    normal-entry code so subsequent calls skip the interpreter too. *)
 and on_back_edge vm (m : Classfile.rt_method) ~header ~locals =
+  (match vm.queue with
+  | Some q when Compile_queue.has_inflight q -> poll_queue vm q
+  | _ -> ());
   let cfg = vm.config in
   let key = (m.Classfile.mth_id, header) in
   if
     (not cfg.Jit.osr)
     || Hashtbl.mem vm.pinned m.Classfile.mth_id
     || Hashtbl.mem vm.osr_failed key
+    || Hashtbl.mem vm.compile_failed (m.Classfile.mth_id, Some header)
     || Profile.back_edge_count vm.env.Interp.profile m ~header < cfg.Jit.osr_threshold
   then Interp.No_osr
   else if Classfile.uses_exceptions m || has_monitors m then begin
@@ -205,30 +366,48 @@ and on_back_edge vm (m : Classfile.rt_method) ~header ~locals =
     Interp.No_osr
   end
   else
-    let code =
-      match Hashtbl.find_opt vm.osr_compiled key with
-      | Some code -> Some code
-      | None -> (
-          match compile_osr_method vm m ~header with
-          | code -> Some code
-          | exception Pea_ir.Builder.Build_error msg ->
-              (* e.g. the loop nest is irreducible when entered at this
-                 header; the enclosing loop's header will still OSR *)
-              Log.debug (fun k ->
-                  k "OSR at %s bci %d not possible: %s" (Classfile.qualified_name m) header msg);
-              Hashtbl.replace vm.osr_failed key ();
-              None)
-    in
-    match code with
-    | None -> Interp.No_osr
-    | Some code ->
-        (* a hot loop makes the whole method hot: give it normal-entry
-           code now instead of waiting for the invocation counter *)
-        if
-          (not (Hashtbl.mem vm.compiled m.Classfile.mth_id))
-          && not (Classfile.uses_exceptions m)
-        then ignore (compile_method vm m);
-        Interp.Osr_return (run_osr vm m code locals)
+    match vm.queue with
+    | Some q -> (
+        (* background modes: request the OSR compile and keep looping in
+           the interpreter; a later back edge enters the code once the
+           deadline poll above has installed it *)
+        match Hashtbl.find_opt vm.osr_compiled key with
+        | None ->
+            request_compile vm q m (Some header);
+            Interp.No_osr
+        | Some code ->
+            (* a hot loop makes the whole method hot: request normal-entry
+               code too instead of waiting for the invocation counter *)
+            if
+              (not (Hashtbl.mem vm.compiled m.Classfile.mth_id))
+              && not (Classfile.uses_exceptions m)
+            then request_compile vm q m None;
+            Interp.Osr_return (run_osr vm m code locals))
+    | None -> (
+        let code =
+          match Hashtbl.find_opt vm.osr_compiled key with
+          | Some code -> Some code
+          | None -> (
+              match compile_osr_method vm m ~header with
+              | code -> Some code
+              | exception Pea_ir.Builder.Build_error msg ->
+                  (* e.g. the loop nest is irreducible when entered at this
+                     header; the enclosing loop's header will still OSR *)
+                  Log.debug (fun k ->
+                      k "OSR at %s bci %d not possible: %s" (Classfile.qualified_name m) header msg);
+                  Hashtbl.replace vm.osr_failed key ();
+                  None)
+        in
+        match code with
+        | None -> Interp.No_osr
+        | Some code ->
+            (* a hot loop makes the whole method hot: give it normal-entry
+               code now instead of waiting for the invocation counter *)
+            if
+              (not (Hashtbl.mem vm.compiled m.Classfile.mth_id))
+              && not (Classfile.uses_exceptions m)
+            then ignore (compile_method vm m);
+            Interp.Osr_return (run_osr vm m code locals))
 
 and compile_osr_method vm (m : Classfile.rt_method) ~header =
   Log.debug (fun k ->
@@ -247,6 +426,8 @@ and compile_osr_method vm (m : Classfile.rt_method) ~header =
     Jit.compile_osr ?summaries:(summaries vm) ~blacklist:(site_blacklisted vm) vm.config
       vm.program vm.env.Interp.profile m ~entry_bci:header
   in
+  Stats.add vm.env.Interp.stats Stats.compile_stall_cycles
+    (Cost.compile_latency ~bytecodes:(Array.length m.Classfile.mth_code));
   Hashtbl.replace vm.osr_compiled (m.Classfile.mth_id, header) code;
   Stats.incr vm.env.Interp.stats Stats.osr_compiles;
   Stats.observe vm.env.Interp.stats Stats.compiled_graph_nodes
@@ -292,6 +473,19 @@ let create ?(config = Jit.default_config) (program : Link.program) : t =
         printed_rev;
         jit_stats = Pea_core.Pea.mk_stats ();
         summary_table = None;
+        queue =
+          (match config.Jit.compile_mode with
+          | Jit.Sync -> None
+          | Jit.Replay ->
+              Some
+                (Compile_queue.create ~threaded:false ~cap:config.Jit.compile_queue_cap
+                   ~max_domains:config.Jit.compile_domains)
+          | Jit.Async ->
+              Some
+                (Compile_queue.create ~threaded:true ~cap:config.Jit.compile_queue_cap
+                   ~max_domains:config.Jit.compile_domains));
+        epochs = Array.make (max (Array.length program.Link.methods) 1) 0;
+        compile_failed = Hashtbl.create 8;
       }
   in
   Lazy.force vm
@@ -315,6 +509,29 @@ let osr_graph vm (m : Classfile.rt_method) ~header =
     (Hashtbl.find_opt vm.osr_compiled (m.Classfile.mth_id, header))
 
 let interpreter_pinned vm (m : Classfile.rt_method) = Hashtbl.mem vm.pinned m.Classfile.mth_id
+
+let pending_compiles vm =
+  match vm.queue with None -> 0 | Some q -> Compile_queue.depth q
+
+let compile_failed vm (m : Classfile.rt_method) =
+  Hashtbl.mem vm.compile_failed (m.Classfile.mth_id, None)
+
+(* Drain the background queue: resolve every in-flight task as if its
+   deadline had passed, installing (or stale-discarding and recompiling)
+   until nothing is left. The VM clock does not advance — quiescing is a
+   test/benchmark convenience, not a modeled operation. *)
+let quiesce vm =
+  match vm.queue with
+  | None -> ()
+  | Some q ->
+      let rec drain () =
+        match Compile_queue.due q ~now:max_int with
+        | [] -> ()
+        | finished ->
+            List.iter (fun (task, outcome) -> install_outcome vm q task outcome) finished;
+            drain ()
+      in
+      drain ()
 
 let blacklisted_sites vm (m : Classfile.rt_method) =
   Hashtbl.fold

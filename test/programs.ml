@@ -364,3 +364,201 @@ let corpus : (string * string) list =
       main_wrap "int acc = 0; int i = 1; while (i < 30) { acc = acc + 100 / i + (100 % i); i = i + 1; } return acc;"
     );
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Named programs                                                      *)
+(*                                                                     *)
+(* White-box scenarios that several suites need under a known name and *)
+(* shape (loop trip counts, branch layout, class hierarchy) rather     *)
+(* than as a random corpus draw. Keeping them here stops each suite    *)
+(* from re-declaring its own copy.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A single invocation of a hot allocating loop: the OSR scenario. 600
+   iterations, one Point allocation per iteration. *)
+let hot_loop =
+  "class Point { int x; int y; }\n\
+   class Main {\n\
+  \  static int main() {\n\
+  \    int s = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 600) {\n\
+  \      Point p = new Point();\n\
+  \      p.x = i;\n\
+  \      p.y = 3;\n\
+  \      s = s + p.x + p.y;\n\
+  \      i = i + 1;\n\
+  \    }\n\
+  \    return s;\n\
+  \  }\n\
+   }"
+
+(* A loop nest whose inner header gets hot first: OSR back-edge
+   classification from a non-entry block. *)
+let nested_loops =
+  "class Main {\n\
+  \  static int main() {\n\
+  \    int s = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 8) {\n\
+  \      int j = 0;\n\
+  \      while (j < 40) {\n\
+  \        s = s + i * j + 1;\n\
+  \        j = j + 1;\n\
+  \      }\n\
+  \      i = i + 1;\n\
+  \    }\n\
+  \    return s;\n\
+  \  }\n\
+   }"
+
+(* Two independently-pruned cold branches over a fully scalar-replaced
+   allocation: the per-site deopt-policy scenario (no main; drive C.f
+   directly). *)
+let two_branch =
+  "class I { int v; }\n\
+   class C {\n\
+  \  static int g;\n\
+  \  static int f(int x, boolean a, boolean b) {\n\
+  \    I i = new I();\n\
+  \    i.v = x;\n\
+  \    if (a) { C.g = C.g + i.v; }\n\
+  \    if (b) { C.g = C.g + i.v * 2; }\n\
+  \    return i.v + 1;\n\
+  \  }\n\
+   }"
+
+(* A virtual call in a hot loop with an A/B receiver hierarchy: the
+   inline-cache scenario (no main; drive C.f with mkA/mkB receivers). *)
+let ic_dispatch =
+  "class A { int v; int get() { return v; } }\n\
+   class B extends A { int get() { return v * 2; } }\n\
+   class C {\n\
+  \  static A mkA(int v) { A a = new A(); a.v = v; return a; }\n\
+  \  static A mkB(int v) { B b = new B(); b.v = v; return b; }\n\
+  \  static int f(A a, int n) {\n\
+  \    int s = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < n) { s = s + a.get(); i = i + 1; }\n\
+  \    return s;\n\
+  \  }\n\
+   }"
+
+(* Compiled arithmetic, allocation, virtual dispatch, field traffic and
+   a pruned branch that deopts with a virtual object in the frame state:
+   the cross-tier cost-model-parity scenario (no main). *)
+let tier_parity =
+  "class I { int val; }\n\
+   class A { int v; int get() { return v; } }\n\
+   class B extends A { int get() { return v * 2; } }\n\
+   class C {\n\
+  \  static I global;\n\
+  \  static A mkA(int v) { A a = new A(); a.v = v; return a; }\n\
+  \  static A mkB(int v) { B b = new B(); b.v = v; return b; }\n\
+  \  static int f(A recv, int x, boolean cold) {\n\
+  \    I i = new I();\n\
+  \    i.val = x + recv.get();\n\
+  \    if (cold) { C.global = i; }\n\
+  \    return i.val + 1;\n\
+  \  }\n\
+   }"
+
+(* The paper's running example (§4, Listings 4-6): the Key allocation
+   escapes only on the cache-miss path (no main; analyze
+   Cache.getValue). *)
+let cache =
+  "class Key {\n\
+  \  int idx;\n\
+  \  Object ref;\n\
+  \  Key(int idx, Object ref) { this.idx = idx; this.ref = ref; }\n\
+  \  synchronized boolean sameAs(Key other) {\n\
+  \    if (other == null) return false;\n\
+  \    return idx == other.idx && ref == other.ref;\n\
+  \  }\n\
+   }\n\
+   class Cache {\n\
+  \  static Key cacheKey;\n\
+  \  static int cacheValue;\n\
+  \  static int getValue(int idx, Object ref) {\n\
+  \    Key key = new Key(idx, ref);\n\
+  \    if (key.sameAs(Cache.cacheKey)) {\n\
+  \      return Cache.cacheValue;\n\
+  \    } else {\n\
+  \      Cache.cacheKey = key;\n\
+  \      Cache.cacheValue = idx * 2;\n\
+  \      return Cache.cacheValue;\n\
+  \    }\n\
+  \  }\n\
+   }"
+
+(* [cache] driven by a hot main: the single-entry cache hit/miss mix of
+   the paper's evaluation loop (examples/cache.mj). The miss branch is
+   profiled cold, pruned, and periodically deopts — under background
+   compilation that deopt can race an in-flight compile of the same
+   method, which is exactly the stale-discard scenario. *)
+let cache_loop =
+  cache
+  ^ "\n\
+     class Main {\n\
+    \  static int main() {\n\
+    \    Object o = new Object();\n\
+    \    int acc = 0;\n\
+    \    int i = 0;\n\
+    \    while (i < 1000) {\n\
+    \      acc = acc + Cache.getValue(i / 100, o);\n\
+    \      i = i + 1;\n\
+    \    }\n\
+    \    return acc;\n\
+    \  }\n\
+     }"
+
+(* The fully-local variant (Listing 1): the Key never escapes, so
+   whole-method EA already removes everything. *)
+let local_cache =
+  "class Key {\n\
+  \  int idx;\n\
+  \  Object ref;\n\
+  \  Key(int idx, Object ref) { this.idx = idx; this.ref = ref; }\n\
+  \  synchronized boolean sameAs(Key other) {\n\
+  \    if (other == null) return false;\n\
+  \    return idx == other.idx && ref == other.ref;\n\
+  \  }\n\
+   }\n\
+   class Cache {\n\
+  \  static Key cacheKey;\n\
+  \  static int cacheValue;\n\
+  \  static int getValue(int idx, Object ref) {\n\
+  \    Key key = new Key(idx, ref);\n\
+  \    if (key.sameAs(Cache.cacheKey)) {\n\
+  \      return Cache.cacheValue;\n\
+  \    }\n\
+  \    return idx * 7;\n\
+  \  }\n\
+   }"
+
+(* A deopt trap driven by a persistent iteration counter: interpreted
+   warm-up profiles the escape branch as never taken, the compiled code
+   prunes it, and iteration 24 fires a real deoptimization with the
+   object virtual in the frame state. Run for 25+ main iterations with
+   compile_threshold 22 (see test_obs.ml / test_properties.ml). *)
+let deopt_trap =
+  "class P { int a; int b; }\n\
+   class Main {\n\
+  \  static P g;\n\
+  \  static int iterc;\n\
+  \  static int main() {\n\
+  \    Main.iterc = Main.iterc + 1;\n\
+  \    P p = new P();\n\
+  \    p.a = Main.iterc; p.b = 7;\n\
+  \    int s = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 20) {\n\
+  \      P q = new P();\n\
+  \      q.a = i;\n\
+  \      s = s + q.a + p.b;\n\
+  \      i = i + 1;\n\
+  \    }\n\
+  \    if (Main.iterc > 23) { Main.g = p; }\n\
+  \    return s + p.a;\n\
+  \  }\n\
+   }"

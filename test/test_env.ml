@@ -6,6 +6,10 @@
      (any other value enables them);
    - MJVM_TEST_EXEC_TIER = direct | closure forces the execution tier;
    - MJVM_TEST_OSR = on | off forces on-stack replacement on or off;
+   - MJVM_TEST_COMPILE_MODE = sync | async | replay forces when the
+     compile pipeline runs relative to the mutator (background
+     compilation; replay is the single-threaded deterministic twin of
+     async);
    - MJVM_TEST_QCHECK_COUNT = N scales the qcheck case counts (the matrix
      run uses 500+; the default local counts keep the suite fast);
    - MJVM_TEST_TRACE = 1|on|true installs a global tracer for the whole
@@ -52,7 +56,14 @@ let apply (cfg : Jit.config) =
     | Some "closure" -> { cfg with Jit.exec_tier = Jit.Closure }
     | Some _ | None -> cfg
   in
-  match Sys.getenv_opt "MJVM_TEST_OSR" with
-  | Some ("on" | "1" | "true") -> { cfg with Jit.osr = true }
-  | Some ("off" | "0" | "false") -> { cfg with Jit.osr = false }
+  let cfg =
+    match Sys.getenv_opt "MJVM_TEST_OSR" with
+    | Some ("on" | "1" | "true") -> { cfg with Jit.osr = true }
+    | Some ("off" | "0" | "false") -> { cfg with Jit.osr = false }
+    | Some _ | None -> cfg
+  in
+  match Sys.getenv_opt "MJVM_TEST_COMPILE_MODE" with
+  | Some "sync" -> { cfg with Jit.compile_mode = Jit.Sync }
+  | Some "async" -> { cfg with Jit.compile_mode = Jit.Async }
+  | Some "replay" -> { cfg with Jit.compile_mode = Jit.Replay }
   | Some _ | None -> cfg

@@ -32,19 +32,7 @@ let setup ?(config = ic_config) src =
   let program = Link.compile_source ~require_main:false src in
   (program, Vm.create ~config program)
 
-let ic_src =
-  "class A { int v; int get() { return v; } }\n\
-   class B extends A { int get() { return v * 2; } }\n\
-   class C {\n\
-  \  static A mkA(int v) { A a = new A(); a.v = v; return a; }\n\
-  \  static A mkB(int v) { B b = new B(); b.v = v; return b; }\n\
-  \  static int f(A a, int n) {\n\
-  \    int s = 0;\n\
-  \    int i = 0;\n\
-  \    while (i < n) { s = s + a.get(); i = i + 1; }\n\
-  \    return s;\n\
-  \  }\n\
-   }"
+let ic_src = Programs.ic_dispatch
 
 (* A single receiver class: the cache is seeded from the interpreter's
    receiver profile, so once compiled, every dispatch is a fast-path hit —
@@ -205,21 +193,7 @@ let test_pool_recovers_after_deopt () =
    the cost model cannot depend on how compiled graphs are executed. The
    scenario covers compiled arithmetic, allocation, virtual calls, field
    traffic and a deopt with a virtual object in the frame state. *)
-let parity_src =
-  "class I { int val; }\n\
-   class A { int v; int get() { return v; } }\n\
-   class B extends A { int get() { return v * 2; } }\n\
-   class C {\n\
-  \  static I global;\n\
-  \  static A mkA(int v) { A a = new A(); a.v = v; return a; }\n\
-  \  static A mkB(int v) { B b = new B(); b.v = v; return b; }\n\
-  \  static int f(A recv, int x, boolean cold) {\n\
-  \    I i = new I();\n\
-  \    i.val = x + recv.get();\n\
-  \    if (cold) { C.global = i; }\n\
-  \    return i.val + 1;\n\
-  \  }\n\
-   }"
+let parity_src = Programs.tier_parity
 
 let run_parity_scenario tier =
   let config =

@@ -71,10 +71,7 @@ let test_ring_overflow () =
   Trace.clear t;
   Alcotest.(check int) "clear" 0 (Trace.length t)
 
-let with_tracer ?capacity f =
-  let t = Trace.create ?capacity () in
-  Trace.install t;
-  Fun.protect ~finally:Trace.uninstall (fun () -> f t)
+let with_tracer ?capacity f = Test_support.with_tracer ?capacity f
 
 let test_span_pairs () =
   with_tracer (fun t ->
@@ -100,27 +97,7 @@ let test_span_pairs () =
    compiled loop, a pruned branch that deopts with a virtual object in
    the frame state, recompilation, and (on the closure tier) inline-cache
    seeding. *)
-let scenario_src =
-  "class P { int a; int b; }\n\
-   class Main {\n\
-  \  static P g;\n\
-  \  static int iterc;\n\
-  \  static int main() {\n\
-  \    Main.iterc = Main.iterc + 1;\n\
-  \    P p = new P();\n\
-  \    p.a = Main.iterc; p.b = 7;\n\
-  \    int s = 0;\n\
-  \    int i = 0;\n\
-  \    while (i < 20) {\n\
-  \      P q = new P();\n\
-  \      q.a = i;\n\
-  \      s = s + q.a + p.b;\n\
-  \      i = i + 1;\n\
-  \    }\n\
-  \    if (Main.iterc > 23) { Main.g = p; }\n\
-  \    return s + p.a;\n\
-  \  }\n\
-   }"
+let scenario_src = Programs.deopt_trap
 
 (* threshold 22: enough interpreted samples for the pruner (min 20) with
    the escape branch never taken, so the compiled code deopts at
@@ -256,9 +233,7 @@ let test_explain_scalar_replaced () =
 (* Zero-overhead guarantee                                             *)
 (* ------------------------------------------------------------------ *)
 
-let outcome (r : Vm.result) =
-  ( (match r.Vm.return_value with None -> "void" | Some v -> Value.string_of_value v),
-    List.map Value.string_of_value r.Vm.printed )
+let outcome = Test_support.outcome
 
 let run_plain ?(src = scenario_src) ?(iterations = 30) ?(threshold = 22) tier =
   let program = Pea_bytecode.Link.compile_source src in

@@ -25,14 +25,9 @@ let as_int = function
   | Some (Value.Vint n) -> n
   | _ -> Alcotest.fail "expected an int result"
 
-let outcome (r : Vm.result) =
-  ( (match r.Vm.return_value with None -> "void" | Some v -> Value.string_of_value v),
-    List.map Value.string_of_value r.Vm.printed )
+let outcome = Test_support.outcome
 
-let with_tracer f =
-  let t = Trace.create () in
-  Trace.install t;
-  Fun.protect ~finally:Trace.uninstall (fun () -> f t)
+let with_tracer f = Test_support.with_tracer f
 
 let count_deopt_terminators g =
   let n = ref 0 in
@@ -60,22 +55,7 @@ let count_alloc_nodes g =
 (* OSR tiering                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let hot_loop_src =
-  "class Point { int x; int y; }\n\
-   class Main {\n\
-  \  static int main() {\n\
-  \    int s = 0;\n\
-  \    int i = 0;\n\
-  \    while (i < 600) {\n\
-  \      Point p = new Point();\n\
-  \      p.x = i;\n\
-  \      p.y = 3;\n\
-  \      s = s + p.x + p.y;\n\
-  \      i = i + 1;\n\
-  \    }\n\
-  \    return s;\n\
-  \  }\n\
-   }"
+let hot_loop_src = Programs.hot_loop
 
 (* A single invocation of a hot loop reaches the compiled tier through
    OSR: same result as the interpreter, the loop allocation is scalar-
@@ -132,23 +112,7 @@ let test_osr_single_invocation () =
    from the OSR entry block, not from the method entry, or the outer
    latch edge is misread and construction fails. *)
 let test_osr_nested_loops () =
-  let src =
-    "class Main {\n\
-    \  static int main() {\n\
-    \    int s = 0;\n\
-    \    int i = 0;\n\
-    \    while (i < 8) {\n\
-    \      int j = 0;\n\
-    \      while (j < 40) {\n\
-    \        s = s + i * j + 1;\n\
-    \        j = j + 1;\n\
-    \      }\n\
-    \      i = i + 1;\n\
-    \    }\n\
-    \    return s;\n\
-    \  }\n\
-     }"
-  in
+  let src = Programs.nested_loops in
   let reference = Run.run_source src in
   let program = Link.compile_source src in
   let config =
@@ -184,18 +148,7 @@ let test_osr_trace_events () =
 (* Two independently-pruned cold branches. The allocation never escapes,
    so PEA scalar-replaces it fully; each pruned branch carries its own
    deopt site. *)
-let two_branch_src =
-  "class I { int v; }\n\
-   class C {\n\
-  \  static int g;\n\
-  \  static int f(int x, boolean a, boolean b) {\n\
-  \    I i = new I();\n\
-  \    i.v = x;\n\
-  \    if (a) { C.g = C.g + i.v; }\n\
-  \    if (b) { C.g = C.g + i.v * 2; }\n\
-  \    return i.v + 1;\n\
-  \  }\n\
-   }"
+let two_branch_src = Programs.two_branch
 
 let policy_setup ?(deopt_storm_limit = Jit.default_config.Jit.deopt_storm_limit) () =
   let program = Link.compile_source ~require_main:false two_branch_src in

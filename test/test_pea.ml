@@ -136,30 +136,7 @@ let test_fig5_store_into_escaped () =
 (* Listings 4-6: the running example                                   *)
 (* ------------------------------------------------------------------ *)
 
-let cache_src =
-  "class Key {\n\
-  \  int idx;\n\
-  \  Object ref;\n\
-  \  Key(int idx, Object ref) { this.idx = idx; this.ref = ref; }\n\
-  \  synchronized boolean sameAs(Key other) {\n\
-  \    if (other == null) return false;\n\
-  \    return idx == other.idx && ref == other.ref;\n\
-  \  }\n\
-   }\n\
-   class Cache {\n\
-  \  static Key cacheKey;\n\
-  \  static int cacheValue;\n\
-  \  static int getValue(int idx, Object ref) {\n\
-  \    Key key = new Key(idx, ref);\n\
-  \    if (key.sameAs(Cache.cacheKey)) {\n\
-  \      return Cache.cacheValue;\n\
-  \    } else {\n\
-  \      Cache.cacheKey = key;\n\
-  \      Cache.cacheValue = idx * 2;\n\
-  \      return Cache.cacheValue;\n\
-  \    }\n\
-  \  }\n\
-   }"
+let cache_src = Programs.cache
 
 let test_listing6_partial_escape () =
   let _, g = graph_of cache_src "Cache" "getValue" ~inline:true in
@@ -199,27 +176,7 @@ let test_listing4_baseline_ea_fails () =
 
 (* In the fully local variant (Listing 1, no escape), whole-method EA and
    PEA both remove everything *)
-let local_cache_src =
-  "class Key {\n\
-  \  int idx;\n\
-  \  Object ref;\n\
-  \  Key(int idx, Object ref) { this.idx = idx; this.ref = ref; }\n\
-  \  synchronized boolean sameAs(Key other) {\n\
-  \    if (other == null) return false;\n\
-  \    return idx == other.idx && ref == other.ref;\n\
-  \  }\n\
-   }\n\
-   class Cache {\n\
-  \  static Key cacheKey;\n\
-  \  static int cacheValue;\n\
-  \  static int getValue(int idx, Object ref) {\n\
-  \    Key key = new Key(idx, ref);\n\
-  \    if (key.sameAs(Cache.cacheKey)) {\n\
-  \      return Cache.cacheValue;\n\
-  \    }\n\
-  \    return idx * 7;\n\
-  \  }\n\
-   }"
+let local_cache_src = Programs.local_cache
 
 let test_listing1_full_ea () =
   let _, g = graph_of local_cache_src "Cache" "getValue" ~inline:true in
