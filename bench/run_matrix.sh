@@ -23,6 +23,12 @@
 # fast local defaults: every matrix cell runs 500+ random programs per
 # differential property.
 #
+# A second sweep re-runs the opt x tier x osr x compile-mode matrix with
+# the correctness tooling forced on (MJVM_TEST_CHECK_LEVEL=every-phase,
+# MJVM_TEST_ORACLE=on): the speculation-safety verifier audits the deopt
+# metadata after every optimization phase and the oracle bisimulates
+# every deoptimization against a shadow interpreter replay.
+#
 # Usage: bench/run_matrix.sh   (from the repository root)
 
 set -e
@@ -68,6 +74,28 @@ for opt in none ea pea; do
   done
 done
 
+# Correctness-tooling sweep: the speculation-safety verifier after every
+# optimization phase plus the bisimulation deopt oracle, across the
+# opt x tier x osr x compile-mode matrix (summaries stay on — the
+# verifier cares about the shape of deopt metadata, which summaries only
+# make more speculative). A SPEC violation or a replay divergence in any
+# cell is a compiler bug caught by the tooling rather than by a wrong
+# answer downstream.
+for opt in none ea pea; do
+  for tier in closure direct; do
+    for osr in on off; do
+      for mode in sync replay; do
+        run_cell "verify: opt=$opt exec-tier=$tier osr=$osr compile-mode=$mode check-level=every-phase oracle=on" \
+          "MJVM_TEST_OPT=$opt" "MJVM_TEST_EXEC_TIER=$tier" \
+          "MJVM_TEST_OSR=$osr" "MJVM_TEST_COMPILE_MODE=$mode" \
+          "MJVM_TEST_CHECK_LEVEL=every-phase" "MJVM_TEST_ORACLE=on"
+      done
+    done
+  done
+done
+
+run_cell "check-level=none (verifier fully off: production-shaped config)" \
+  "MJVM_TEST_CHECK_LEVEL=none"
 run_cell "trace=on (default configuration, global tracer installed)" "MJVM_TEST_TRACE=1"
 run_cell "compile-mode=async (default configuration, real compiler domains)" \
   "MJVM_TEST_COMPILE_MODE=async"

@@ -138,6 +138,36 @@ let domains_arg =
     & info [ "compile-domains" ] ~docv:"N"
         ~doc:"Compiler domains running concurrently under --compile-mode async")
 
+let check_level_conv =
+  let parse s =
+    match Pea_analysis.Spec_check.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown check level %S (none|phase-end|every-phase)" s))
+  in
+  let print ppf l = Format.pp_print_string ppf (Pea_analysis.Spec_check.level_string l) in
+  Arg.conv (parse, print)
+
+let check_level_arg =
+  Arg.(
+    value
+    & opt check_level_conv Jit.default_config.Jit.check_level
+    & info [ "check-level" ] ~docv:"LEVEL"
+        ~doc:
+          "When the speculation-safety verifier runs in the JIT pipeline: none, phase-end \
+           (once after the full pipeline; the default) or every-phase (after every \
+           optimization phase). A violation aborts the compile with the offending rule ids")
+
+let oracle_arg =
+  Arg.(
+    value & flag
+    & info [ "deopt-oracle" ]
+        ~doc:
+          "Bisimulation-check every deoptimization: replay a shadow interpreter from the \
+           compiled activation's entry snapshot to the deopt point and compare the \
+           rematerialized locals, operand stack, lock depths, heap shape and statics. A \
+           divergence aborts the run — it is a compiler bug by definition")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log JIT events (compilations, deopts)")
 
@@ -178,7 +208,7 @@ let setup_logs verbose =
   end
 
 let config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr
-    compile_mode compile_queue_cap compile_domains =
+    compile_mode compile_queue_cap compile_domains check_level oracle =
   {
     Jit.default_config with
     Jit.opt;
@@ -192,6 +222,8 @@ let config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold
     compile_mode;
     compile_queue_cap;
     compile_domains;
+    check_level;
+    oracle;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -216,15 +248,15 @@ let compile_file_or_exit ?require_main file =
 
 let run_cmd =
   let action file opt threshold iterations stats no_inline no_prune no_summaries exec_tier
-      osr_threshold no_osr compile_mode compile_queue_cap compile_domains verbose trace
-      trace_format =
+      osr_threshold no_osr compile_mode compile_queue_cap compile_domains check_level oracle
+      verbose trace trace_format =
     setup_logs verbose;
     let program = compile_file_or_exit file in
     (let vm =
        Vm.create
          ~config:
            (config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr
-              compile_mode compile_queue_cap compile_domains)
+              compile_mode compile_queue_cap compile_domains check_level oracle)
          program
      in
      let tracer =
@@ -310,8 +342,8 @@ let run_cmd =
     Term.(
       const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
       $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ tier_arg $ osr_threshold_arg
-      $ no_osr_arg $ mode_arg $ queue_cap_arg $ domains_arg $ verbose_arg $ trace_arg
-      $ trace_format_arg)
+      $ no_osr_arg $ mode_arg $ queue_cap_arg $ domains_arg $ check_level_arg $ oracle_arg
+      $ verbose_arg $ trace_arg $ trace_format_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a MiniJava program on the tiered VM") term
 
@@ -456,9 +488,111 @@ let explain_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_method_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "method" ] ~docv:"CLASS.METHOD"
+        ~doc:"Check only this method (default: every method in the program)")
+
+let check_cmd =
+  let action file spec level =
+    let program = compile_file_or_exit ~require_main:false file in
+    (* Warm an interpreter profile first so the pipeline speculates —
+       prunes branches, devirtualizes call sites — the way the JIT would
+       in a running VM. Unexercised deopt metadata is easy to get right;
+       the speculative kind is what the verifier exists for. *)
+    let printed = ref [] in
+    let env = Pea_rt.Run.make_env program ~printed in
+    (match Link.entry_exn program with
+    | entry -> (
+        try ignore (Pea_rt.Interp.run env entry [])
+        with Pea_rt.Interp.Trap _ | Pea_rt.Interp.Mj_throw _ -> ())
+    | exception Link.Link_error _ -> ());
+    let profile = env.Pea_rt.Interp.profile in
+    let summaries = Pea_analysis.Summary.analyze program in
+    let targets =
+      match spec with
+      | None ->
+          List.filter
+            (fun m -> not (Classfile.uses_exceptions m))
+            (Array.to_list program.Link.methods)
+      | Some spec -> (
+          match String.index_opt spec '.' with
+          | None ->
+              Printf.eprintf "method must be CLASS.METHOD\n";
+              exit 1
+          | Some i -> (
+              let cls = String.sub spec 0 i
+              and name = String.sub spec (i + 1) (String.length spec - i - 1) in
+              match Link.find_method program cls name with
+              | m -> [ m ]
+              | exception Not_found ->
+                  Printf.eprintf "no method %s.%s\n" cls name;
+                  exit 1))
+    in
+    let violations = ref 0 in
+    let checked = ref 0 in
+    List.iter
+      (fun m ->
+        let qualified = Classfile.qualified_name m in
+        match level with
+        | Pea_analysis.Spec_check.No_check -> ()
+        | Pea_analysis.Spec_check.Every_phase -> (
+            (* the pipeline's own per-phase hook aborts on the first bad
+               phase, so the report names the phase that broke the state *)
+            let config =
+              { Jit.default_config with Jit.check_level = Pea_analysis.Spec_check.Every_phase }
+            in
+            match Jit.compile ~summaries config program profile m with
+            | _ -> incr checked
+            | exception Failure msg ->
+                incr checked;
+                incr violations;
+                print_string msg;
+                print_newline ()
+            | exception Pea_ir.Builder.Build_error msg ->
+                Printf.eprintf "skipping %s: %s\n" qualified msg)
+        | Pea_analysis.Spec_check.Phase_end -> (
+            let config =
+              { Jit.default_config with Jit.check_level = Pea_analysis.Spec_check.No_check }
+            in
+            match Jit.compile ~summaries config program profile m with
+            | compiled ->
+                incr checked;
+                List.iter
+                  (fun v ->
+                    incr violations;
+                    Format.printf "%a@." Pea_analysis.Spec_check.pp_violation v)
+                  (Pea_analysis.Spec_check.check ~phase:"final" compiled.Jit.graph)
+            | exception Pea_ir.Builder.Build_error msg ->
+                Printf.eprintf "skipping %s: %s\n" qualified msg))
+      targets;
+    if !violations > 0 then begin
+      Printf.printf "%d violation%s\n" !violations (if !violations = 1 then "" else "s");
+      exit 1
+    end
+    else
+      Printf.printf "%d method%s verified: every deopt state rematerializable\n" !checked
+        (if !checked = 1 then "" else "s")
+  in
+  let term = Term.(const action $ file_arg $ check_method_arg $ check_level_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Compile every method offline and run the speculation-safety verifier over the deopt \
+          metadata: closed virtual descriptors, reachable and dominating values, monotone \
+          escape decisions, complete OSR transfer maps, balanced lock bookkeeping. Exits \
+          non-zero if any rule fires")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "MiniJava VM with Partial Escape Analysis (CGO 2014 reproduction)" in
-  Cmd.group (Cmd.info "mjvm" ~version:"1.0.0" ~doc) [ run_cmd; dump_cmd; explain_cmd ]
+  Cmd.group (Cmd.info "mjvm" ~version:"1.0.0" ~doc) [ run_cmd; dump_cmd; explain_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

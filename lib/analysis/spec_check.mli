@@ -1,0 +1,44 @@
+(** Static speculation-safety verifier.
+
+    Proves, after optimization phases, that the deopt metadata of a graph
+    is sufficient to rematerialize: every frame state reachable from a
+    deopt point or guard has closed virtual-object descriptors, values
+    that dominate their use, balanced elided locks, in-range resume
+    points, and escape status that is monotone along dominator paths;
+    OSR-entry graphs carry a complete live-local transfer map. Each rule
+    has a stable id (SPEC01..SPEC10, see {!rules}) surfaced in
+    diagnostics, trace events and the [mjvm check] subcommand. *)
+
+open Pea_ir
+
+(** How often the JIT pipeline runs this verifier
+    ([Jit.config.check_level]). *)
+type level =
+  | No_check  (** never *)
+  | Phase_end  (** once, after the full pipeline (default) *)
+  | Every_phase  (** after every optimization phase *)
+
+val level_string : level -> string
+
+(** Parses ["none"], ["phase-end"], ["every-phase"] (and a few aliases). *)
+val level_of_string : string -> level option
+
+type violation = {
+  v_rule : string;  (** stable rule id, e.g. ["SPEC01"] *)
+  v_method : string;  (** qualified name of the graph's method *)
+  v_phase : string;  (** pipeline phase after which the check ran *)
+  v_site : string;  (** node/block locus, e.g. ["v17"], ["B3/deopt"] *)
+  v_detail : string;
+}
+
+(** [(rule id, one-line description)] for every rule, in order. *)
+val rules : (string * string) list
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check ?phase g] returns all violations, in discovery order. The
+    graph must be structurally valid ({!Pea_ir.Check.check}) first. *)
+val check : ?phase:string -> Graph.t -> violation list
+
+(** @raise Failure listing every violation, if any. *)
+val check_exn : ?phase:string -> Graph.t -> unit

@@ -111,7 +111,7 @@ let used_from ctx ~start ~barrier : (int, unit) Hashtbl.t =
           (match blk.Graph.term with
           | Graph.If { cond; _ } -> mark cond
           | Graph.Return (Some v) -> mark v
-          | Graph.Deopt fs -> mark_fs fs
+          | Graph.Deopt { d_state = fs; _ } -> mark_fs fs
           | Graph.Goto _ | Graph.Return None | Graph.Trap _ | Graph.Unreachable -> ());
           List.iter walk (Graph.successors blk.Graph.term)
         end
@@ -718,9 +718,9 @@ let process_term ctx bid (sref : Pea_state.t ref) =
     | Graph.Return (Some v) ->
         (* returning a reference lets it escape the compilation scope *)
         Graph.Return (Some (node_of ctx ob sref ~reason:Event.R_return (tr ctx v)))
-    | Graph.Deopt fs ->
+    | Graph.Deopt d ->
         (* §5.5: virtual objects stay virtual in deoptimization states *)
-        Graph.Deopt (translate_fs ctx !sref fs)
+        Graph.Deopt { d with d_state = translate_fs ctx !sref d.Graph.d_state }
     | Graph.Trap msg -> Graph.Trap msg
     | Graph.Unreachable -> Graph.Unreachable)
 
@@ -1236,6 +1236,7 @@ let run ?(force_escape = fun _ -> false) ?(prune_dead_objects = true) ?summaries
   let doms = Dominators.compute in_g in
   let loops = Loops.compute in_g doms in
   let out_g = Graph.create in_g.Graph.g_method in
+  out_g.Graph.g_osr_entry <- in_g.Graph.g_osr_entry;
   (* mirror the CFG *)
   Graph.iter_blocks
     (fun ib ->

@@ -296,6 +296,7 @@ let build ?osr_at (m : rt_method) : Graph.t =
 
   (* IR graph with one block per proto (same ids). *)
   let g = Graph.create m in
+  g.Graph.g_osr_entry <- osr_at;
   for p = 0 to n_proto - 1 do
     let kind =
       if is_loop_header p then Graph.Loop_header

@@ -79,7 +79,7 @@ let check ?(require_frame_states = true) (g : Graph.t) : error list =
         | Graph.Unreachable -> add "reachable block B%d has an Unreachable terminator" bid
         | Graph.If { cond; _ } -> check_operand (Printf.sprintf "terminator of B%d" bid) cond
         | Graph.Return (Some v) -> check_operand (Printf.sprintf "terminator of B%d" bid) v
-        | Graph.Deopt fs ->
+        | Graph.Deopt { d_state = fs; _ } ->
             List.iter
               (check_operand (Printf.sprintf "deopt state of B%d" bid))
               (Frame_state.node_ids fs)
@@ -159,7 +159,7 @@ let check ?(require_frame_states = true) (g : Graph.t) : error list =
         match b.Graph.term with
         | Graph.If { cond; _ } -> term_use (Printf.sprintf "terminator of B%d" bid) cond
         | Graph.Return (Some v) -> term_use (Printf.sprintf "terminator of B%d" bid) v
-        | Graph.Deopt fs ->
+        | Graph.Deopt { d_state = fs; _ } ->
             List.iter (term_use (Printf.sprintf "deopt state of B%d" bid)) (Frame_state.node_ids fs)
         | Graph.Goto _ | Graph.Return None | Graph.Trap _ | Graph.Unreachable -> ()
       end)
@@ -193,11 +193,37 @@ let check ?(require_frame_states = true) (g : Graph.t) : error list =
               n.Node.fs)
           b.Graph.instrs;
         match b.Graph.term with
-        | Graph.Deopt fs ->
+        | Graph.Deopt { d_state = fs; _ } ->
             check_fs_virtuals (Printf.sprintf "deopt state of B%d" b.Graph.b_id) fs
         | _ -> ()
       end)
     g;
+  (* --- OSR-entry graphs: complete live-local transfer map ------------- *)
+  (* An OSR graph is entered mid-frame: its parameters are the transfer
+     map from the interpreter frame's local slots. Every slot must be
+     transferred by exactly one [Param], or entry reads garbage. *)
+  (match g.Graph.g_osr_entry with
+  | None -> ()
+  | Some entry_bci ->
+      let code = g.Graph.g_method.Pea_bytecode.Classfile.mth_code in
+      if entry_bci < 0 || entry_bci >= Array.length code then
+        add "OSR entry bci %d outside the method's code (length %d)" entry_bci
+          (Array.length code);
+      let max_locals = g.Graph.g_method.Pea_bytecode.Classfile.mth_max_locals in
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (p : Node.t) ->
+          match p.Node.op with
+          | Node.Param i ->
+              if i < 0 then add "OSR transfer map names negative local slot %d" i;
+              if Hashtbl.mem seen i then add "OSR transfer map transfers local slot %d twice" i
+              else Hashtbl.replace seen i ()
+          | _ -> add "non-param node v%d in an OSR graph's parameter list" p.Node.id)
+        g.Graph.params;
+      for slot = 0 to max_locals - 1 do
+        if not (Hashtbl.mem seen slot) then
+          add "OSR transfer map at bci %d misses live local slot %d" entry_bci slot
+      done);
   List.rev !errors
 
 (* [check_exn g] raises [Failure] with a readable message on the first

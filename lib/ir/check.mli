@@ -13,7 +13,10 @@
       end of the corresponding predecessor), via {!Dominators};
     - every [F_virtual] reference in a frame-state chain has a matching
       virtual-object descriptor somewhere in that chain, so
-      deoptimization can rematerialize it. *)
+      deoptimization can rematerialize it;
+    - OSR-entry graphs ([g_osr_entry = Some _]) carry a complete
+      live-local transfer map: one [Param] per interpreter local slot,
+      no slot transferred twice, entry bci inside the method. *)
 
 type error = string
 

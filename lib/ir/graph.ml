@@ -11,6 +11,23 @@ type block_kind =
   | Merge
   | Loop_header
 
+(* Provenance of a Deopt terminator: the pruned conditional branch whose
+   cold edge it replaced. [de_src] is the bytecode index of the branch in
+   [de_method]; [de_jump] is true when the deopt fires on the edge the
+   bytecode would *jump* along (as opposed to falling through). The deopt
+   oracle uses this to stop its shadow replay at the exact branch-edge
+   traversal that triggered the deopt. *)
+type deopt_edge = {
+  de_method : Classfile.rt_method;
+  de_src : int;
+  de_jump : bool;
+}
+
+type deopt = {
+  d_state : Frame_state.t; (* interpreter state to rematerialize *)
+  d_edge : deopt_edge option; (* [None] for deopts without branch provenance *)
+}
+
 type terminator =
   | Goto of block_id
   | If of {
@@ -24,7 +41,7 @@ type terminator =
              "taken" count then corresponds to the [fls] edge *)
     }
   | Return of Node.node_id option
-  | Deopt of Frame_state.t (* transfer to the interpreter *)
+  | Deopt of deopt (* transfer to the interpreter *)
   | Trap of string (* guaranteed runtime fault *)
   | Unreachable (* placeholder during construction *)
 
@@ -45,6 +62,9 @@ type t = {
   nodes : Node.t option Pea_support.Dyn_array.t; (* indexed by node id *)
   virt_ids : Pea_support.Fresh.t;
   mutable params : Node.t list; (* Param nodes, in parameter order *)
+  mutable g_osr_entry : int option;
+      (* [Some bci] for on-stack-replacement graphs: the loop-header
+         bytecode index whose live locals the params transfer *)
 }
 
 let entry_id = 0
@@ -60,6 +80,7 @@ let create (m : Classfile.rt_method) =
     nodes = Pea_support.Dyn_array.create ();
     virt_ids = Pea_support.Fresh.create ();
     params = [];
+    g_osr_entry = None;
   }
 
 let new_block ?(kind = Plain) g : block =
@@ -230,6 +251,6 @@ and substitute_uses g (f : Node.node_id -> Node.node_id) =
         | Goto _ | Return None | Trap _ | Unreachable -> b.term
         | If r -> If { r with cond = f r.cond }
         | Return (Some v) -> Return (Some (f v))
-        | Deopt fs -> Deopt (subst_fs fs));
+        | Deopt d -> Deopt { d with d_state = subst_fs d.d_state });
       b.entry_fs <- Option.map subst_fs b.entry_fs)
     g

@@ -18,6 +18,23 @@ type block_kind =
   | Merge (* ≥ 2 forward predecessors *)
   | Loop_header (* has at least one back-edge predecessor *)
 
+(** Provenance of a {!Deopt} terminator: the pruned conditional branch
+    whose cold edge it replaced. [de_src] is the bytecode index of the
+    branch in [de_method]; [de_jump] is [true] when the deopt fires on the
+    edge the bytecode would {e jump} along (rather than fall through). The
+    deopt oracle uses this to stop its shadow replay at the exact
+    branch-edge traversal that triggered the deopt. *)
+type deopt_edge = {
+  de_method : Classfile.rt_method;
+  de_src : int;
+  de_jump : bool;
+}
+
+type deopt = {
+  d_state : Frame_state.t; (* interpreter state to rematerialize *)
+  d_edge : deopt_edge option; (* [None] for deopts without branch provenance *)
+}
+
 type terminator =
   | Goto of block_id
   | If of {
@@ -31,7 +48,7 @@ type terminator =
              "taken" count then corresponds to the [fls] edge *)
     }
   | Return of Node.node_id option
-  | Deopt of Frame_state.t (* transfer to the interpreter *)
+  | Deopt of deopt (* transfer to the interpreter *)
   | Trap of string (* guaranteed runtime fault *)
   | Unreachable (* placeholder during construction *)
 
@@ -53,6 +70,9 @@ type t = {
   nodes : Node.t option Pea_support.Dyn_array.t; (* id -> node; [None] = deleted *)
   virt_ids : Pea_support.Fresh.t; (* virtual-object ids for frame states *)
   mutable params : Node.t list; (* Param nodes, in parameter order *)
+  mutable g_osr_entry : int option;
+      (* [Some bci] for on-stack-replacement graphs: the loop-header
+         bytecode index whose live locals the params transfer *)
 }
 
 val entry_id : block_id

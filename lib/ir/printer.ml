@@ -8,7 +8,7 @@ let string_of_terminator (t : Graph.terminator) =
       Printf.sprintf "if v%d then B%d else B%d (bci %d)" cond tru fls br_bci
   | Graph.Return None -> "return"
   | Graph.Return (Some v) -> Printf.sprintf "return v%d" v
-  | Graph.Deopt fs -> Printf.sprintf "deopt [%s]" (Fmt.str "%a" Frame_state.pp fs)
+  | Graph.Deopt { d_state = fs; _ } -> Printf.sprintf "deopt [%s]" (Fmt.str "%a" Frame_state.pp fs)
   | Graph.Trap msg -> Printf.sprintf "trap %S" msg
   | Graph.Unreachable -> "unreachable"
 

@@ -76,6 +76,7 @@ type t =
   | Compile_install of { meth : string; osr_bci : int option; epoch : int; latency : int }
   | Compile_stale of { meth : string; osr_bci : int option; epoch : int; current_epoch : int }
   | Compile_failed of { meth : string; osr_bci : int option; error : string }
+  | Verify_violation of { meth : string; phase : string; rule : string; site : string; detail : string }
 
 let name = function
   | Compile_start _ -> "compile_start"
@@ -96,6 +97,7 @@ let name = function
   | Compile_install _ -> "compile_install"
   | Compile_stale _ -> "compile_stale"
   | Compile_failed _ -> "compile_failed"
+  | Verify_violation _ -> "verify_violation"
 
 (* Payload fields (without the event name), in a fixed order. *)
 let fields ev : Json.field list =
@@ -163,6 +165,14 @@ let fields ev : Json.field list =
         meth m;
         Json.int_field "osr_bci" (Option.value osr_bci ~default:(-1));
         Json.str_field "error" error;
+      ]
+  | Verify_violation { meth = m; phase; rule; site; detail } ->
+      [
+        meth m;
+        Json.str_field "phase" phase;
+        Json.str_field "rule" rule;
+        Json.str_field "site" site;
+        Json.str_field "detail" detail;
       ]
 
 (* Chrome trace_event phase: paired B/E spans for compilation and its

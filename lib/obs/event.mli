@@ -54,6 +54,8 @@ type t =
           compile (a deopt invalidated its speculation basis) *)
   | Compile_failed of { meth : string; osr_bci : int option; error : string }
       (** the compiler raised; the method stays interpreted for good *)
+  | Verify_violation of { meth : string; phase : string; rule : string; site : string; detail : string }
+      (** the speculation-safety verifier rejected a graph *)
 
 val name : t -> string
 

@@ -99,7 +99,7 @@ let eliminate_dead_code (g : Graph.t) =
         (match b.Graph.term with
         | Graph.If { cond; _ } -> mark cond
         | Graph.Return (Some v) -> mark v
-        | Graph.Deopt fs -> mark_fs fs
+        | Graph.Deopt { d_state = fs; _ } -> mark_fs fs
         | Graph.Goto _ | Graph.Return None | Graph.Trap _ | Graph.Unreachable -> ());
         Option.iter mark_fs b.Graph.entry_fs
       end)

@@ -114,7 +114,7 @@ let splice (g : Graph.t) (b : Graph.block) ~invoke_idx (invoke : Node.t) target 
       | Graph.Return v ->
           return_blocks := (dst, Option.map remap v) :: !return_blocks;
           Graph.Unreachable (* patched below *)
-      | Graph.Deopt fs -> Graph.Deopt (remap_fs fs)
+      | Graph.Deopt d -> Graph.Deopt { d with d_state = remap_fs d.d_state }
       | Graph.Trap msg -> Graph.Trap msg
       | Graph.Unreachable -> Graph.Unreachable)
   done;

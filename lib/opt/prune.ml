@@ -44,7 +44,17 @@ let run ?(config = default_config) ?(blacklist = fun _ -> false) (profile : Prof
                   ()
               | Some fs ->
                   let d = Graph.new_block ~kind:Graph.Plain g in
-                  d.Graph.term <- Graph.Deopt fs;
+                  (* record which branch edge the deopt replaces: the deopt
+                     oracle stops its shadow replay at the first traversal
+                     of exactly this edge *)
+                  let edge =
+                    {
+                      Graph.de_method = br_method;
+                      de_src = br_bci;
+                      de_jump = (victim = tru) <> br_negated;
+                    }
+                  in
+                  d.Graph.term <- Graph.Deopt { d_state = fs; d_edge = Some edge };
                   d.Graph.preds <- [ b.Graph.b_id ];
                   (match b.Graph.term with
                   | Graph.If r ->

@@ -16,7 +16,19 @@ type osr_result =
   | No_osr
   | Osr_return of Value.value option
 
-type env = {
+(* Observation hooks for shadow execution (the deopt oracle): [h_branch]
+   fires at every conditional branch after the condition is popped, with
+   the frame state at that point; [h_call]/[h_return] bracket every invoke
+   so the observer can track the interpreter call path. [h_return] also
+   fires when the callee unwinds with an MJ exception. *)
+and hooks = {
+  h_branch :
+    rt_method -> bci:int -> jump:bool -> locals:Value.value array -> stack:Value.value list -> unit;
+  h_call : caller:rt_method -> bci:int -> callee:rt_method -> unit;
+  h_return : caller:rt_method -> bci:int -> unit;
+}
+
+and env = {
   heap : Heap.t;
   stats : Stats.t;
   profile : Profile.t;
@@ -24,6 +36,7 @@ type env = {
   on_invoke : rt_method -> Value.value list -> Value.value option;
   on_print : Value.value -> unit;
   on_back_edge : rt_method -> header:int -> locals:Value.value array -> osr_result;
+  hooks : hooks option; (* [None] everywhere except oracle shadow replays *)
 }
 
 let trap fmt = Format.kasprintf (fun m -> raise (Trap m)) fmt
@@ -225,29 +238,44 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
             | Vobj o -> Profile.record_receiver env.profile m ~bci o.o_cls
             | _ -> ());
             let target = dispatch_target recv callee in
+            (match env.hooks with
+            | Some h -> h.h_call ~caller:m ~bci ~callee:target
+            | None -> ());
             match env.on_invoke target args with
             | result ->
+                (match env.hooks with Some h -> h.h_return ~caller:m ~bci | None -> ());
                 let stack = match result with Some v -> v :: rest | None -> rest in
                 step (bci + 1) stack
-            | exception Mj_throw v -> dispatch_throw bci v)
+            | exception Mj_throw v ->
+                (match env.hooks with Some h -> h.h_return ~caller:m ~bci | None -> ());
+                dispatch_throw bci v)
         | [] -> trap "missing receiver")
     | Invokestatic callee -> (
         Stats.add stats Stats.cycles Cost.invoke;
         let args, rest = pop_n stack (arity callee) in
+        (match env.hooks with Some h -> h.h_call ~caller:m ~bci ~callee | None -> ());
         match env.on_invoke callee args with
         | result ->
+            (match env.hooks with Some h -> h.h_return ~caller:m ~bci | None -> ());
             let stack = match result with Some v -> v :: rest | None -> rest in
             step (bci + 1) stack
-        | exception Mj_throw v -> dispatch_throw bci v)
+        | exception Mj_throw v ->
+            (match env.hooks with Some h -> h.h_return ~caller:m ~bci | None -> ());
+            dispatch_throw bci v)
     | Invokespecial ctor -> (
         Stats.add stats Stats.cycles Cost.invoke;
         let args, rest = pop_n stack (arity ctor) in
         match args with
         | Vnull :: _ -> trap "null receiver in constructor call"
         | _ :: _ -> (
+            (match env.hooks with Some h -> h.h_call ~caller:m ~bci ~callee:ctor | None -> ());
             match env.on_invoke ctor args with
-            | _ -> step (bci + 1) rest
-            | exception Mj_throw v -> dispatch_throw bci v)
+            | _ ->
+                (match env.hooks with Some h -> h.h_return ~caller:m ~bci | None -> ());
+                step (bci + 1) rest
+            | exception Mj_throw v ->
+                (match env.hooks with Some h -> h.h_return ~caller:m ~bci | None -> ());
+                dispatch_throw bci v)
         | [] -> trap "missing receiver in constructor call")
     | Monitorenter -> (
         match stack with
@@ -272,6 +300,9 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         | v :: rest ->
             let taken = as_bool v in
             Profile.record_branch env.profile m ~bci ~taken;
+            (match env.hooks with
+            | Some h -> h.h_branch m ~bci ~jump:taken ~locals ~stack:rest
+            | None -> ());
             if taken then if target <= bci then back_edge target rest else step target rest
             else step (bci + 1) rest
         | [] -> trap "stack underflow at if_true")
@@ -280,6 +311,9 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         | v :: rest ->
             let taken = not (as_bool v) in
             Profile.record_branch env.profile m ~bci ~taken;
+            (match env.hooks with
+            | Some h -> h.h_branch m ~bci ~jump:taken ~locals ~stack:rest
+            | None -> ());
             if taken then if target <= bci then back_edge target rest else step target rest
             else step (bci + 1) rest
         | [] -> trap "stack underflow at if_false")

@@ -24,7 +24,26 @@ type osr_result =
   | No_osr
   | Osr_return of Value.value option
 
-type env = {
+(** Observation hooks for shadow execution (the deopt oracle): [h_branch]
+    fires at every conditional branch after the condition is popped, with
+    [jump] true when the bytecode jumps to its target, and the live frame
+    state at that point; [h_call]/[h_return] bracket every invoke
+    (virtual dispatch already resolved) so an observer can track the
+    interpreter call path. [h_return] also fires when the callee unwinds
+    with an in-flight MJ exception. *)
+type hooks = {
+  h_branch :
+    Classfile.rt_method ->
+    bci:int ->
+    jump:bool ->
+    locals:Value.value array ->
+    stack:Value.value list ->
+    unit;
+  h_call : caller:Classfile.rt_method -> bci:int -> callee:Classfile.rt_method -> unit;
+  h_return : caller:Classfile.rt_method -> bci:int -> unit;
+}
+
+and env = {
   heap : Heap.t;
   stats : Stats.t;
   profile : Profile.t;
@@ -41,6 +60,9 @@ type env = {
           entered at [header], run it seeded from [locals], and hand the
           method's result back via [Osr_return]. Environments without a
           JIT answer [No_osr]. *)
+  hooks : hooks option;
+      (** [None] everywhere except deopt-oracle shadow replays: the hook
+          dispatch is one option match per branch/invoke. *)
 }
 
 (** [run env m args] executes [m] from bytecode index 0.

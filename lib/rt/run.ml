@@ -32,6 +32,7 @@ let make_env ?(stats = Stats.create ()) (program : Link.program) ~printed =
         on_print = (fun v -> printed := v :: !printed);
         (* interpreter-only reference: never leaves the interpreter *)
         on_back_edge = (fun _ ~header:_ ~locals:_ -> Interp.No_osr);
+        hooks = None;
       }
   in
   Lazy.force env

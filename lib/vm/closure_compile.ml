@@ -410,7 +410,7 @@ let compile (env : Interp.env) (g : Graph.t) : code =
     match b.Graph.term with
     | Graph.Return None -> fun _ -> None
     | Graph.Return (Some x) -> fun regs -> Some regs.(x)
-    | Graph.Deopt fs -> fun regs -> raise (Ir_exec.Deoptimize (fs, fun id -> regs.(id)))
+    | Graph.Deopt d -> fun regs -> raise (Ir_exec.Deoptimize (d, fun id -> regs.(id)))
     | Graph.Trap msg -> fun _ -> trap "%s" msg
     | Graph.Unreachable -> fun _ -> trap "reached an Unreachable terminator"
     | Graph.Goto t -> compile_edge ~pred:b.Graph.b_id ~succ:t
@@ -485,7 +485,7 @@ let run ?deopt (code : code) (args : Value.value list) : Value.value option =
   | r ->
       code.pool <- regs :: code.pool;
       r
-  | exception (Ir_exec.Deoptimize (fs, lookup) as e) -> (
+  | exception (Ir_exec.Deoptimize (d, lookup) as e) -> (
       match deopt with
       | Some handler ->
           (* [regs] stays live through the lookup closure until the handler
@@ -493,7 +493,7 @@ let run ?deopt (code : code) (args : Value.value list) : Value.value option =
              then is it safe to put it back in the pool *)
           Fun.protect
             ~finally:(fun () -> code.pool <- regs :: code.pool)
-            (fun () -> handler fs lookup)
+            (fun () -> handler d lookup)
       | None ->
           (* no in-frame handler: the exception carries the [regs]-backed
              lookup out of this frame, so the file must leak with it *)

@@ -28,14 +28,14 @@ val compile : Interp.env -> Graph.t -> code
 (** [run ?deopt code args] executes one invocation, using a pooled
     register file. The file is returned to the pool on normal return and
     on {!Interp.Mj_throw}. At a [Deopt] terminator, [deopt] (if given) is
-    invoked in-frame with the frame state and register lookup; the file is
+    invoked in-frame with the deopt record and register lookup; the file is
     released once it finishes, so the pool depth recovers. Without [deopt]
     the {!Ir_exec.Deoptimize} exception propagates and the file leaks with
     its lookup closure.
     @raise Ir_exec.Deoptimize at [Deopt] terminators when [deopt] is absent.
     @raise Interp.Trap on runtime faults. *)
 val run :
-  ?deopt:(Pea_ir.Frame_state.t -> (Pea_ir.Node.node_id -> Value.value) -> Value.value option) ->
+  ?deopt:(Pea_ir.Graph.deopt -> (Pea_ir.Node.node_id -> Value.value) -> Value.value option) ->
   code ->
   Value.value list ->
   Value.value option

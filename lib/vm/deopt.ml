@@ -36,11 +36,15 @@ let collect_virtuals (fs : Frame_state.t) =
   walk fs;
   table
 
-(* [handle env fs lookup] rematerializes virtual objects, reconstructs the
-   interpreter frames described by [fs], executes them innermost-first and
-   returns the result of the outermost frame (the compiled method). *)
-let handle ?(reason = "speculation-failed") (env : Interp.env) (fs : Frame_state.t)
-    (lookup : Node.node_id -> Value.value) : Value.value option =
+(* [handle env d lookup] rematerializes virtual objects, reconstructs the
+   interpreter frames described by [d.d_state], executes them
+   innermost-first and returns the result of the outermost frame (the
+   compiled method). With [oracle] set, the rematerialized state is
+   bisimulation-checked against a shadow interpreter replay before any
+   frame runs. *)
+let handle ?(reason = "speculation-failed") ?(oracle : Oracle.t option) (env : Interp.env)
+    (d : Graph.deopt) (lookup : Node.node_id -> Value.value) : Value.value option =
+  let fs = d.Graph.d_state in
   let stats = env.Interp.stats in
   Stats.incr stats Stats.deopts;
   Stats.add stats Stats.cycles Cost.deopt;
@@ -81,6 +85,11 @@ let handle ?(reason = "speculation-failed") (env : Interp.env) (fs : Frame_state
       Stats.add stats Stats.monitor_ops vd.Frame_state.vd_lock)
     descriptors;
   Stats.observe stats Stats.remat_per_deopt (Hashtbl.length descriptors);
+  (* --- bisimulation oracle: validate the rematerialized state before
+     any reconstructed frame executes --- *)
+  (match oracle with
+  | Some sn -> Oracle.check sn ~env ~deopt:d ~resolve
+  | None -> ());
   if Trace.enabled () then
     Trace.record
       (Event.Deopt

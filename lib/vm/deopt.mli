@@ -12,16 +12,21 @@
 open Pea_ir
 open Pea_rt
 
-(** [handle env fs lookup] rematerializes the virtual objects of [fs],
-    reconstructs its interpreter frames, executes them innermost-first
-    (passing return values outward) and returns the result of the
-    outermost frame — i.e. of the method whose compiled code deopted.
+(** [handle env d lookup] rematerializes the virtual objects of
+    [d.d_state], reconstructs its interpreter frames, executes them
+    innermost-first (passing return values outward) and returns the
+    result of the outermost frame — i.e. of the method whose compiled
+    code deopted.
 
     [reason] (default ["speculation-failed"]) labels the [Deopt] trace
-    event when tracing is enabled. *)
+    event when tracing is enabled. With [oracle] set, the rematerialized
+    state is checked against a shadow interpreter replay before any
+    reconstructed frame executes ({!Oracle.check}).
+    @raise Oracle.Divergence when the oracle detects a mismatch. *)
 val handle :
   ?reason:string ->
+  ?oracle:Oracle.t ->
   Interp.env ->
-  Frame_state.t ->
+  Graph.deopt ->
   (Node.node_id -> Value.value) ->
   Value.value option

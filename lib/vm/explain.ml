@@ -15,6 +15,8 @@ type t = {
   ex_method : string;
   ex_summaries : bool;
   ex_stats : Pea.pass_stats;
+  ex_spec : Pea_analysis.Spec_check.violation list;
+      (* speculation-safety verdict on the post-PEA graph *)
 }
 
 let analyze ?(summaries = true) ?osr_at (program : Link.program) (m : Classfile.rt_method) : t =
@@ -23,8 +25,13 @@ let analyze ?(summaries = true) ?osr_at (program : Link.program) (m : Classfile.
   ignore (Pea_opt.Canonicalize.run g);
   let tbl = if summaries then Some (Pea_analysis.Summary.analyze program) else None in
   ignore (Pea_opt.Gvn.run ?summaries:tbl g);
-  let _, st = Pea.run ?summaries:tbl g in
-  { ex_method = Classfile.qualified_name m; ex_summaries = summaries; ex_stats = st }
+  let g', st = Pea.run ?summaries:tbl g in
+  {
+    ex_method = Classfile.qualified_name m;
+    ex_summaries = summaries;
+    ex_stats = st;
+    ex_spec = Pea_analysis.Spec_check.check ~phase:"pea" g';
+  }
 
 (* One site's fate in one line plus one line per distinct decision. *)
 let pp_site ppf (r : Pea.site_report) =
@@ -66,6 +73,14 @@ let pp ppf t =
   Format.fprintf ppf
     "@,@,sites: %d, fully scalar-replaced: %d, materializations: %d, scratch args: %d"
     (List.length st.Pea.sites) scalar_replaced st.Pea.materializations st.Pea.scratch_args;
+  (match t.ex_spec with
+  | [] -> Format.fprintf ppf "@,speculation safety: clean (every deopt state rematerializable)"
+  | vs ->
+      Format.fprintf ppf "@,speculation safety: %d violation%s" (List.length vs)
+        (if List.length vs = 1 then "" else "s");
+      List.iter
+        (fun v -> Format.fprintf ppf "@,  %a" Pea_analysis.Spec_check.pp_violation v)
+        vs);
   Format.pp_close_box ppf ();
   Format.pp_print_newline ppf ()
 

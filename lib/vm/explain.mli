@@ -13,6 +13,9 @@ type t = {
   ex_method : string;  (** qualified method name *)
   ex_summaries : bool;  (** interprocedural summaries were enabled *)
   ex_stats : Pea_core.Pea.pass_stats;
+  ex_spec : Pea_analysis.Spec_check.violation list;
+      (** speculation-safety verifier verdict on the post-PEA graph
+          (empty = every deopt state is rematerializable) *)
 }
 
 val analyze : ?summaries:bool -> ?osr_at:int -> Link.program -> Classfile.rt_method -> t

@@ -16,7 +16,7 @@ open Pea_ir
 open Pea_rt
 open Value
 
-exception Deoptimize of Frame_state.t * (Node.node_id -> Value.value)
+exception Deoptimize of Graph.deopt * (Node.node_id -> Value.value)
 
 let const_value (c : Node.const) =
   match c with
@@ -276,7 +276,7 @@ let run_prepared (env : Interp.env) (p : prepared) (args : Value.value list) :
         if as_bool regs.(cond) then exec bid tru else exec bid fls
     | Graph.Return None -> None
     | Graph.Return (Some x) -> Some regs.(x)
-    | Graph.Deopt fs -> raise (Deoptimize (fs, fun id -> regs.(id)))
+    | Graph.Deopt d -> raise (Deoptimize (d, fun id -> regs.(id)))
     | Graph.Trap msg -> trap "%s" msg
     | Graph.Unreachable -> trap "reached an Unreachable terminator"
   in

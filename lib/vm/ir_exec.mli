@@ -12,10 +12,11 @@
 open Pea_ir
 open Pea_rt
 
-(** Raised when execution reaches a [Deopt] terminator. Carries the frame
-    state and a register-lookup function for the values it references; the
-    VM catches this and transfers to the interpreter via {!Deopt.handle}. *)
-exception Deoptimize of Frame_state.t * (Node.node_id -> Value.value)
+(** Raised when execution reaches a [Deopt] terminator. Carries the deopt
+    record (frame state plus pruned-branch provenance) and a
+    register-lookup function for the values it references; the VM catches
+    this and transfers to the interpreter via {!Deopt.handle}. *)
+exception Deoptimize of Graph.deopt * (Node.node_id -> Value.value)
 
 (** [const_value c] converts a compile-time constant to a runtime value
     ([Cundef] becomes [null]). *)

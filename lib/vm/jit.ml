@@ -49,6 +49,10 @@ type config = {
   cond_elim : bool; (* dominance-based conditional elimination *)
   pea_prune_dead : bool; (* liveness-based state pruning inside PEA (ablation) *)
   verify : bool; (* run the IR checker after every pass *)
+  check_level : Pea_analysis.Spec_check.level;
+      (* when the speculation-safety verifier runs: never, once after the
+         full pipeline (default), or after every optimization phase *)
+  oracle : bool; (* bisimulation-check every deopt against a shadow replay *)
   summaries : bool; (* interprocedural escape summaries at call sites *)
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int;
@@ -72,6 +76,8 @@ let default_config =
     cond_elim = true;
     pea_prune_dead = true;
     verify = true;
+    check_level = Pea_analysis.Spec_check.Phase_end;
+    oracle = false;
     summaries = true;
     compile_threshold = 10;
     max_callee_size = 150;
@@ -95,6 +101,47 @@ type compiled = {
 
 let verify config g = if config.verify then Check.check_exn g
 
+module Spec_check = Pea_analysis.Spec_check
+
+(* Run the speculation-safety verifier on [g] after [phase]. Violations
+   are compiler bugs: each becomes a [Verify_violation] trace event, then
+   the compile aborts. *)
+let spec_check_now ~phase g =
+  match Spec_check.check ~phase g with
+  | [] -> ()
+  | vs ->
+      if Trace.enabled () then
+        List.iter
+          (fun (v : Spec_check.violation) ->
+            Trace.record
+              (Event.Verify_violation
+                 {
+                   meth = v.Spec_check.v_method;
+                   phase = v.Spec_check.v_phase;
+                   rule = v.Spec_check.v_rule;
+                   site = v.Spec_check.v_site;
+                   detail = v.Spec_check.v_detail;
+                 }))
+          vs;
+      failwith
+        (Printf.sprintf "speculation-safety check failed for %s after %s:\n  %s"
+           (Classfile.qualified_name g.Graph.g_method)
+           phase
+           (String.concat "\n  "
+              (List.map (Fmt.str "%a" Spec_check.pp_violation) vs)))
+
+(* After each individual phase: only at [Every_phase]. *)
+let spec_verify_phase config ~phase g =
+  match config.check_level with
+  | Spec_check.Every_phase -> spec_check_now ~phase g
+  | Spec_check.Phase_end | Spec_check.No_check -> ()
+
+(* After the whole pipeline: at [Phase_end] and [Every_phase]. *)
+let spec_verify_final config g =
+  match config.check_level with
+  | Spec_check.No_check -> ()
+  | Spec_check.Phase_end | Spec_check.Every_phase -> spec_check_now ~phase:"final" g
+
 let no_blacklist : int * int -> bool = fun _ -> false
 
 (* The shared pipeline: [compile] runs it on a normal-entry graph,
@@ -110,24 +157,28 @@ let compile_graph ?summaries config (program : Link.program) (profile : Profile.
   let span phase f = Trace.span ~meth phase f in
   let g = span "build" (fun () -> Builder.build ?osr_at m) in
   verify config g;
+  spec_verify_phase config ~phase:"build" g;
   if config.inline then
     span "inline" (fun () ->
         let inline_config =
           { (Pea_opt.Inline.default_config program) with Pea_opt.Inline.max_callee_size = config.max_callee_size }
         in
         ignore (Pea_opt.Inline.run inline_config g);
-        verify config g);
+        verify config g;
+        spec_verify_phase config ~phase:"inline" g);
   span "simplify" (fun () ->
       ignore (Pea_opt.Canonicalize.run g);
       ignore (Pea_opt.Gvn.run ?summaries g);
       if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
       if config.cond_elim then ignore (Pea_opt.Cond_elim.run g);
-      verify config g);
+      verify config g;
+      spec_verify_phase config ~phase:"simplify" g);
   if config.prune then
     span "prune" (fun () ->
         ignore (Pea_opt.Prune.run ~blacklist profile g);
         ignore (Pea_opt.Canonicalize.run g);
-        verify config g);
+        verify config g;
+        spec_verify_phase config ~phase:"prune" g);
   let g, pea_stats =
     match config.opt with
     | O_none -> (g, None)
@@ -143,11 +194,16 @@ let compile_graph ?summaries config (program : Link.program) (profile : Profile.
             (g', Some st))
   in
   verify config g;
+  spec_verify_phase config
+    ~phase:(match config.opt with O_none -> "opt" | O_ea -> "escape-analysis" | O_pea -> "pea")
+    g;
   span "cleanup" (fun () ->
       ignore (Pea_opt.Canonicalize.run g);
       ignore (Pea_opt.Gvn.run ?summaries g);
       if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
-      verify config g);
+      verify config g;
+      spec_verify_phase config ~phase:"cleanup" g);
+  spec_verify_final config g;
   if Trace.enabled () then
     Trace.record (Event.Compile_end { meth; nodes = Graph.n_nodes g });
   { graph = g; pea_stats; prepared = Ir_exec.prepare g; closure = None }

@@ -50,6 +50,13 @@ type config = {
   cond_elim : bool; (* dominance-based conditional elimination *)
   pea_prune_dead : bool; (* liveness-based state pruning inside PEA (ablation) *)
   verify : bool; (* run the IR checker after every pass *)
+  check_level : Pea_analysis.Spec_check.level;
+      (* when the speculation-safety verifier ({!Pea_analysis.Spec_check})
+         runs: never, once after the full pipeline (default), or after
+         every optimization phase *)
+  oracle : bool;
+      (* bisimulation-check every deopt against a shadow interpreter
+         replay ({!Oracle}); diverging aborts the VM *)
   summaries : bool;
       (* consume interprocedural escape summaries ({!Pea_analysis.Summary})
          at call sites: PEA/EA keep summary-cleared arguments virtual, GVN

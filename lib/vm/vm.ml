@@ -261,8 +261,9 @@ and install_outcome vm q (task : Compile_queue.task) outcome =
    deopt frame), invalidate every piece of the root method's code, and pin
    the method to the interpreter once a deopt storm proves speculation is
    not paying for itself. *)
-and handle_deopt vm (m : Classfile.rt_method) ~reason fs lookup =
+and handle_deopt vm (m : Classfile.rt_method) ~reason ?oracle (d : Pea_ir.Graph.deopt) lookup =
   let stats = vm.env.Interp.stats in
+  let fs = d.Pea_ir.Graph.d_state in
   let site_method = fs.Pea_ir.Frame_state.fs_method in
   let site_bci = fs.Pea_ir.Frame_state.fs_bci in
   let site = (site_method.Classfile.mth_id, site_bci) in
@@ -297,7 +298,7 @@ and handle_deopt vm (m : Classfile.rt_method) ~reason fs lookup =
           (Classfile.qualified_name m) n);
     Hashtbl.replace vm.pinned m.Classfile.mth_id ()
   end;
-  Deopt.handle ~reason vm.env fs lookup
+  Deopt.handle ~reason ?oracle vm.env d lookup
 
 and run_compiled vm m code args =
   Stats.incr vm.env.Interp.stats Stats.invocations;
@@ -313,12 +314,24 @@ and run_osr vm m code (locals : Value.value array) =
   exec_compiled vm m ~reason:"osr-speculation-failed" code (Array.to_list locals)
 
 and exec_compiled vm m ~reason code args =
-  let handle fs lookup = handle_deopt vm m ~reason fs lookup in
+  (* with the oracle on, snapshot the entry state now so a later deopt of
+     this activation can be bisimulation-checked against a shadow replay *)
+  let oracle =
+    if not vm.config.Jit.oracle then None
+    else
+      match code.Jit.graph.Pea_ir.Graph.g_osr_entry with
+      | Some header ->
+          Some
+            (Oracle.snapshot_osr ~program:vm.program vm.env m ~header
+               ~locals:(Array.of_list args))
+      | None -> Some (Oracle.snapshot_call ~program:vm.program vm.env m args)
+  in
+  let handle d lookup = handle_deopt vm m ~reason ?oracle d lookup in
   match vm.config.Jit.exec_tier with
   | Jit.Direct -> (
       match Ir_exec.run_prepared vm.env code.Jit.prepared args with
       | result -> result
-      | exception Ir_exec.Deoptimize (fs, lookup) -> handle fs lookup)
+      | exception Ir_exec.Deoptimize (d, lookup) -> handle d lookup)
   | Jit.Closure ->
       let cc = ensure_closure vm m code in
       (* the in-tier handler releases the register file back to the pool
@@ -463,6 +476,7 @@ let create ?(config = Jit.default_config) (program : Link.program) : t =
             on_print = (fun v -> printed_rev := v :: !printed_rev);
             on_back_edge =
               (fun m ~header ~locals -> on_back_edge (Lazy.force vm) m ~header ~locals);
+            hooks = None;
           };
         compiled = Hashtbl.create 32;
         osr_compiled = Hashtbl.create 8;

@@ -224,7 +224,7 @@ let test_frame_state_has_virtual () =
       Pea_ir.Graph.iter_blocks
         (fun b ->
           match b.Pea_ir.Graph.term with
-          | Pea_ir.Graph.Deopt fs ->
+          | Pea_ir.Graph.Deopt { d_state = fs; _ } ->
               if fs.Pea_ir.Frame_state.fs_virtuals <> [] then begin
                 found := true;
                 let _, vd = List.hd fs.Pea_ir.Frame_state.fs_virtuals in

@@ -10,6 +10,9 @@
      compile pipeline runs relative to the mutator (background
      compilation; replay is the single-threaded deterministic twin of
      async);
+   - MJVM_TEST_CHECK_LEVEL = none | phase-end | every-phase forces when
+     the speculation-safety verifier runs in the JIT pipeline;
+   - MJVM_TEST_ORACLE = on | off forces the bisimulation deopt oracle;
    - MJVM_TEST_QCHECK_COUNT = N scales the qcheck case counts (the matrix
      run uses 500+; the default local counts keep the suite fast);
    - MJVM_TEST_TRACE = 1|on|true installs a global tracer for the whole
@@ -62,8 +65,22 @@ let apply (cfg : Jit.config) =
     | Some ("off" | "0" | "false") -> { cfg with Jit.osr = false }
     | Some _ | None -> cfg
   in
-  match Sys.getenv_opt "MJVM_TEST_COMPILE_MODE" with
-  | Some "sync" -> { cfg with Jit.compile_mode = Jit.Sync }
-  | Some "async" -> { cfg with Jit.compile_mode = Jit.Async }
-  | Some "replay" -> { cfg with Jit.compile_mode = Jit.Replay }
+  let cfg =
+    match Sys.getenv_opt "MJVM_TEST_COMPILE_MODE" with
+    | Some "sync" -> { cfg with Jit.compile_mode = Jit.Sync }
+    | Some "async" -> { cfg with Jit.compile_mode = Jit.Async }
+    | Some "replay" -> { cfg with Jit.compile_mode = Jit.Replay }
+    | Some _ | None -> cfg
+  in
+  let cfg =
+    match Sys.getenv_opt "MJVM_TEST_CHECK_LEVEL" with
+    | Some s -> (
+        match Pea_analysis.Spec_check.level_of_string s with
+        | Some level -> { cfg with Jit.check_level = level }
+        | None -> cfg)
+    | None -> cfg
+  in
+  match Sys.getenv_opt "MJVM_TEST_ORACLE" with
+  | Some ("on" | "1" | "true") -> { cfg with Jit.oracle = true }
+  | Some ("off" | "0" | "false") -> { cfg with Jit.oracle = false }
   | Some _ | None -> cfg

@@ -127,6 +127,7 @@ let test_register_file_pool () =
       on_invoke = (fun _ _ -> Alcotest.fail "no calls in this graph");
       on_print = ignore;
       on_back_edge = (fun _ ~header:_ ~locals:_ -> Interp.No_osr);
+      hooks = None;
     }
   in
   let m = Link.find_method program "C" "f" in
@@ -169,6 +170,7 @@ let test_pool_recovers_after_deopt () =
       on_invoke = (fun _ _ -> Alcotest.fail "no calls in this graph");
       on_print = ignore;
       on_back_edge = (fun _ ~header:_ ~locals:_ -> Interp.No_osr);
+      hooks = None;
     }
   in
   let m = Link.find_method program "C" "f" in
@@ -179,7 +181,7 @@ let test_pool_recovers_after_deopt () =
   done;
   let compiled = Jit.compile Jit.default_config program profile m in
   let code = Closure_compile.compile env compiled.Jit.graph in
-  let deopt fs lookup = Deopt.handle env fs lookup in
+  let deopt d lookup = Deopt.handle env d lookup in
   Alcotest.(check int) "hot path" 16 (as_int (Closure_compile.run ~deopt code [ vint 5; vbool false ]));
   Alcotest.(check int) "pool holds the file" 1 (Closure_compile.pool_depth code);
   let before = Stats.get stats Stats.deopts in

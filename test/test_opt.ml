@@ -50,6 +50,7 @@ let result_matches program g =
         on_invoke = (fun m args -> Pea_rt.Interp.run (Lazy.force env) m args);
         on_print = (fun v -> printed := v :: !printed);
         on_back_edge = (fun _ ~header:_ ~locals:_ -> Pea_rt.Interp.No_osr);
+        hooks = None;
       }
   in
   let r = Pea_vm.Ir_exec.run (Lazy.force env) g [] in
@@ -73,6 +74,7 @@ let exec_graph_int program g args =
         on_invoke = (fun m a -> Pea_rt.Interp.run (Lazy.force env) m a);
         on_print = ignore;
         on_back_edge = (fun _ ~header:_ ~locals:_ -> Pea_rt.Interp.No_osr);
+        hooks = None;
       }
   in
   match Pea_vm.Ir_exec.run (Lazy.force env) g args with
@@ -462,6 +464,7 @@ let test_prune_cold_branch () =
         on_invoke = (fun m args -> Pea_rt.Interp.run (Lazy.force env) m args);
         on_print = ignore;
         on_back_edge = (fun _ ~header:_ ~locals:_ -> Pea_rt.Interp.No_osr);
+        hooks = None;
       }
   in
   for _ = 1 to 50 do

@@ -29,6 +29,7 @@ let ( and* ) a b = G.bind a (fun x -> G.map (fun y -> (x, y)) b)
 type genv = {
   ivars : string list; (* int locals, always initialized *)
   pvars : string list; (* P locals, always non-null *)
+  qvars : string list; (* A-typed locals, rotated across A/B/C: megamorphic receivers *)
   depth : int;
 }
 
@@ -46,6 +47,17 @@ let gen_int_atom env =
          and as real allocations (interpreter / no-EA) *)
       G.map (fun i -> Printf.sprintf "arr[%d]" i) (G.int_range 0 2);
       G.return "arr.length";
+      (* virtual call on a rotated receiver: the site goes megamorphic,
+         so compiled code speculates on the profiled type and deopts *)
+      (let* q = G.oneofl env.qvars and* k = G.int_range 0 9 in
+       G.return (Printf.sprintf "%s.val(%d)" q k));
+      G.map (fun q -> q ^ ".w") (G.oneofl env.qvars);
+      (* bounded recursion through fixed helpers; recP allocates a fresh
+         P per frame, so recursive inlining carries virtual descriptors *)
+      (let* n = G.int_range 0 7 in
+       G.return (Printf.sprintf "Main.rec(%d, Main.g2)" n));
+      (let* n = G.int_range 0 5 in
+       G.return (Printf.sprintf "Main.recP(%d)" n));
     ]
 
 let rec gen_int_expr env d =
@@ -112,6 +124,16 @@ let rec gen_stmt env lvl : string G.t =
         G.return (Printf.sprintf "%sarr = new int[3];" (indent lvl));
         (* escaping the array defeats its virtualization *)
         G.return (Printf.sprintf "%sMain.garr = arr;" (indent lvl));
+        (* rotate a receiver's dynamic type: drives the call sites on
+           qvars from monomorphic through megamorphic *)
+        (let* q = G.oneofl env.qvars and* cls = G.oneofl [ "A"; "B"; "C" ] in
+         G.return (Printf.sprintf "%s%s = new %s();" (indent lvl) q cls));
+        (let* q = G.oneofl env.qvars and* e = gen_int_expr env 2 in
+         G.return (Printf.sprintf "%s%s.w = %s;" (indent lvl) q e));
+        (let* v = G.oneofl env.ivars
+         and* q = G.oneofl env.qvars
+         and* e = gen_int_expr env 1 in
+         G.return (Printf.sprintf "%s%s = %s.val(%s);" (indent lvl) v q e));
       ]
   in
   if env.depth <= 0 then simple
@@ -157,25 +179,53 @@ and gen_block env lvl : string G.t =
   let* stmts = G.list_repeat n (gen_stmt env lvl) in
   G.return (String.concat "\n" stmts ^ "\n")
 
+(* Fixed skeleton around the generated body: the P scratch class, a small
+   A/B/C hierarchy whose [val] overrides disagree (so a wrongly
+   devirtualized call changes the checksum), and two bounded recursive
+   helpers — [recP] allocates per frame, putting virtual descriptors into
+   the frame states of recursively inlined code. *)
+let skeleton_classes =
+  "class P { int a; int b; P next; }\n\
+   class A { int w; int val(int x) { return x + w; } }\n\
+   class B extends A { int val(int x) { return x * 2 - w; } }\n\
+   class C extends A { int val(int x) { return w - 3 * x; } }\n"
+
+let skeleton_helpers =
+  "  static int rec(int n, int acc) {\n\
+  \    if (n <= 0) return acc;\n\
+  \    return Main.rec(n - 1, acc + n);\n\
+  \  }\n\
+  \  static int recP(int n) {\n\
+  \    if (n <= 0) return 0;\n\
+  \    P t = new P();\n\
+  \    t.a = n;\n\
+  \    return t.a + Main.recP(n - 1);\n\
+  \  }\n"
+
 let gen_program : string G.t =
-  let env = { ivars = [ "i0"; "i1"; "i2" ]; pvars = [ "p0"; "p1" ]; depth = 3 } in
+  let env =
+    { ivars = [ "i0"; "i1"; "i2" ]; pvars = [ "p0"; "p1" ]; qvars = [ "q0"; "q1" ]; depth = 3 }
+  in
   let* body = gen_block env 2 in
   let checksum =
     "i0 + i1 * 3 + i2 * 5 + p0.a + p0.b * 7 + p1.a * 11 + p1.b + Main.g2 + g1v + garrv\n\
-    \      + arr[0] + arr[1] * 17 + arr[2] * 19" |> String.split_on_char '\n'
+    \      + arr[0] + arr[1] * 17 + arr[2] * 19 + q0.val(5) + q1.val(7) * 31 + q0.w"
+    |> String.split_on_char '\n'
     |> List.map String.trim |> String.concat " "
   in
   G.return
     (Printf.sprintf
-       "class P { int a; int b; P next; }\n\
+       "%s\
         class Main {\n\
        \  static P g1;\n\
        \  static int g2;\n\
        \  static int[] garr;\n\
+        %s\
        \  static int main() {\n\
        \    Main.g1 = null; Main.g2 = 0; Main.garr = null;\n\
        \    int i0 = 1; int i1 = 2; int i2 = 3;\n\
        \    P p0 = new P(); P p1 = new P();\n\
+       \    A q0 = new B(); A q1 = new C();\n\
        \    int[] arr = new int[3];\n\
         %s\n\
        \    int g1v = 0;\n\
@@ -184,7 +234,7 @@ let gen_program : string G.t =
        \    if (Main.garr != null) garrv = Main.garr[0] + Main.garr[1] * 13;\n\
        \    return %s;\n\
        \  }\n\
-        }" body checksum)
+        }" skeleton_classes skeleton_helpers body checksum)
 
 (* Like [gen_program], but main ends with a deopt trap: a freshly
    allocated object escapes only when a persistent iteration counter
@@ -196,21 +246,25 @@ let gen_program : string G.t =
    checksum reads the object's fields after the branch, so rematerialized
    values flow into the result. *)
 let gen_program_deopt : string G.t =
-  let env = { ivars = [ "i0"; "i1"; "i2" ]; pvars = [ "p0"; "p1" ]; depth = 3 } in
+  let env =
+    { ivars = [ "i0"; "i1"; "i2" ]; pvars = [ "p0"; "p1" ]; qvars = [ "q0"; "q1" ]; depth = 3 }
+  in
   let* body = gen_block env 2 in
   G.return
     (Printf.sprintf
-       "class P { int a; int b; P next; }\n\
+       "%s\
         class Main {\n\
        \  static P g1;\n\
        \  static int g2;\n\
        \  static int[] garr;\n\
        \  static int iterc;\n\
+        %s\
        \  static int main() {\n\
        \    Main.iterc = Main.iterc + 1;\n\
        \    Main.g1 = null; Main.g2 = 0; Main.garr = null;\n\
        \    int i0 = 1; int i1 = 2; int i2 = 3;\n\
        \    P p0 = new P(); P p1 = new P();\n\
+       \    A q0 = new B(); A q1 = new C();\n\
        \    int[] arr = new int[3];\n\
         %s\n\
        \    P d0 = new P();\n\
@@ -222,9 +276,10 @@ let gen_program_deopt : string G.t =
        \    int garrv = 0;\n\
        \    if (Main.garr != null) garrv = Main.garr[0] + Main.garr[1] * 13;\n\
        \    return i0 + i1 * 3 + i2 * 5 + p0.a + p0.b * 7 + p1.a * 11 + p1.b + Main.g2 + g1v + \
-        garrv + arr[0] + arr[1] * 17 + arr[2] * 19 + d0.a * 23 + d0.b * 29;\n\
+        garrv + arr[0] + arr[1] * 17 + arr[2] * 19 + d0.a * 23 + d0.b * 29 + q0.val(5) + \
+        q1.val(7) * 31;\n\
        \  }\n\
-        }" body)
+        }" skeleton_classes skeleton_helpers body)
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -339,8 +394,40 @@ let prop_ir_checker_after_pea =
       Pea_ir.Check.check_exn g';
       ignore (Pea_opt.Canonicalize.run g');
       Pea_ir.Check.check_exn g';
-      true
+      (* speculation-safety verifier: zero false positives offline *)
+      Pea_analysis.Spec_check.check ~phase:"pea" g' = []
       end)
+
+(* Correctness tooling under fuzz: the every-phase verifier and the deopt
+   oracle are forced on (overriding any matrix axis — the point is that
+   they stay silent), while tier / compile-mode / OSR axes still come from
+   the environment, so `bench/run_matrix.sh` sweeps this property across
+   the whole cell matrix. Any SPEC violation aborts compilation with
+   [Failure]; any replay divergence raises [Oracle.Divergence]; either
+   fails the property. The forced deopt in [gen_program_deopt] guarantees
+   the oracle actually replays, not just snapshots. *)
+let prop_verified_execution =
+  let iters = 25 in
+  let run src opt ~threshold =
+    let program = Pea_bytecode.Link.compile_source src in
+    let config =
+      {
+        (Test_env.apply { Jit.default_config with Jit.opt; compile_threshold = threshold }) with
+        Jit.check_level = Pea_analysis.Spec_check.Every_phase;
+        oracle = true;
+      }
+    in
+    let vm = Vm.create ~config program in
+    outcome_vm (Vm.run_main_iterations vm iters)
+  in
+  QCheck2.Test.make ~name:"every-phase verifier + deopt oracle stay silent, semantics preserved"
+    ~count:(Test_env.qcheck_count 60) ~print:(fun s -> s) gen_program_deopt
+    (fun src ->
+      (* reference: interpreter only (threshold never reached) *)
+      let reference = run src Jit.O_pea ~threshold:max_int in
+      List.for_all
+        (fun opt -> run src opt ~threshold:22 = reference)
+        [ Jit.O_none; Jit.O_ea; Jit.O_pea ])
 
 let () =
   Alcotest.run "properties"
@@ -351,6 +438,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_tier_differential;
           QCheck_alcotest.to_alcotest prop_alloc_monotone;
           QCheck_alcotest.to_alcotest prop_ir_checker_after_pea;
+          QCheck_alcotest.to_alcotest prop_verified_execution;
           QCheck_alcotest.to_alcotest prop_pretty_roundtrip;
         ] );
     ]

@@ -22,6 +22,11 @@ let string_of_result = function
 let outcome (r : Vm.result) =
   (string_of_result r.Vm.return_value, List.map Value.string_of_value r.Vm.printed)
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 let with_tracer ?capacity f =
   let t = Trace.create ?capacity () in
   Trace.install t;

@@ -107,6 +107,7 @@ let test_phi_swap () =
           on_invoke = (fun m a -> Interp.run (Lazy.force env) m a);
           on_print = ignore;
           on_back_edge = (fun _ ~header:_ ~locals:_ -> Interp.No_osr);
+          hooks = None;
         }
     in
     as_int (Interp.run (Lazy.force env) f vm_args)
