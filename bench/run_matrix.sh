@@ -3,9 +3,12 @@
 # covers: optimization level (none / ea / pea) crossed with
 # interprocedural escape summaries (on / off) crossed with the execution
 # tier (closure / direct) crossed with on-stack replacement (on / off)
-# crossed with the compile mode (sync / replay). The suites read the
-# forced configuration from MJVM_TEST_OPT / MJVM_TEST_SUMMARIES /
-# MJVM_TEST_EXEC_TIER / MJVM_TEST_OSR / MJVM_TEST_COMPILE_MODE (see
+# crossed with the compile mode (sync / replay); a separate sweep
+# toggles speculative guarded inlining (on / off) across the
+# configurations it interacts with. The suites read the forced
+# configuration from MJVM_TEST_OPT / MJVM_TEST_SUMMARIES /
+# MJVM_TEST_EXEC_TIER / MJVM_TEST_OSR / MJVM_TEST_COMPILE_MODE /
+# MJVM_TEST_INLINING (see
 # test/test_env.ml); a differential or monotonicity failure in any cell
 # is a real bug in that configuration. Two final cells re-run the
 # default configuration with a global tracer installed
@@ -70,6 +73,22 @@ for opt in none ea pea; do
             "MJVM_TEST_COMPILE_MODE=$mode"
         done
       done
+    done
+  done
+done
+
+# Speculative-inlining sweep: guarded inlining toggled against the
+# optimization levels and execution tiers it interacts with (summaries
+# on, the default). With inlining off every virtual call falls back to
+# CHA-safe inlining or summaries; results and differential properties
+# must not move either way. The inlining=off half doubles as the
+# regression cell for the pre-inlining pipeline.
+for inlining in on off; do
+  for opt in none ea pea; do
+    for tier in closure direct; do
+      run_cell "inlining=$inlining opt=$opt exec-tier=$tier" \
+        "MJVM_TEST_INLINING=$inlining" "MJVM_TEST_OPT=$opt" \
+        "MJVM_TEST_EXEC_TIER=$tier"
     done
   done
 done

@@ -82,6 +82,14 @@ let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print VM statistics a
 
 let no_inline_arg = Arg.(value & flag & info [ "no-inline" ] ~doc:"Disable inlining")
 
+let no_inlining_arg =
+  Arg.(
+    value & flag
+    & info [ "no-speculative-inline" ]
+        ~doc:
+          "Disable speculative guarded inlining (profile-driven inlining of the dominant \
+           receiver behind an exact-class guard); CHA-safe direct inlining stays on")
+
 let no_prune_arg =
   Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable speculative cold-branch pruning")
 
@@ -207,13 +215,14 @@ let setup_logs verbose =
     Logs.Src.set_level Vm.log_src (Some Logs.Debug)
   end
 
-let config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr
-    compile_mode compile_queue_cap compile_domains check_level oracle =
+let config opt threshold no_inline no_inlining no_prune no_summaries exec_tier osr_threshold
+    no_osr compile_mode compile_queue_cap compile_domains check_level oracle =
   {
     Jit.default_config with
     Jit.opt;
     compile_threshold = threshold;
     inline = not no_inline;
+    inlining = not no_inlining;
     prune = not no_prune;
     summaries = not no_summaries;
     exec_tier;
@@ -247,16 +256,17 @@ let compile_file_or_exit ?require_main file =
   | program -> program
 
 let run_cmd =
-  let action file opt threshold iterations stats no_inline no_prune no_summaries exec_tier
-      osr_threshold no_osr compile_mode compile_queue_cap compile_domains check_level oracle
-      verbose trace trace_format =
+  let action file opt threshold iterations stats no_inline no_inlining no_prune no_summaries
+      exec_tier osr_threshold no_osr compile_mode compile_queue_cap compile_domains check_level
+      oracle verbose trace trace_format =
     setup_logs verbose;
     let program = compile_file_or_exit file in
     (let vm =
        Vm.create
          ~config:
-           (config opt threshold no_inline no_prune no_summaries exec_tier osr_threshold no_osr
-              compile_mode compile_queue_cap compile_domains check_level oracle)
+           (config opt threshold no_inline no_inlining no_prune no_summaries exec_tier
+              osr_threshold no_osr compile_mode compile_queue_cap compile_domains check_level
+              oracle)
          program
      in
      let tracer =
@@ -308,6 +318,9 @@ let run_cmd =
                  osr compiles: %d\n\
                  osr entries: %d\n\
                  site blacklists: %d\n\
+                 speculative inlines: %d\n\
+                 guard deopts: %d\n\
+                 inline blacklist skips: %d\n\
                  compile stall cycles: %d\n\
                  compile enqueues: %d\n\
                  compile installs: %d\n\
@@ -321,6 +334,9 @@ let run_cmd =
                 r.Vm.stats.Pea_rt.Stats.s_closure_compiled_methods r.Vm.stats.Pea_rt.Stats.s_ic_hits
                 r.Vm.stats.Pea_rt.Stats.s_ic_misses r.Vm.stats.Pea_rt.Stats.s_osr_compiles
                 r.Vm.stats.Pea_rt.Stats.s_osr_entries r.Vm.stats.Pea_rt.Stats.s_site_blacklists
+                r.Vm.stats.Pea_rt.Stats.s_speculative_inlines
+                r.Vm.stats.Pea_rt.Stats.s_guard_deopts
+                r.Vm.stats.Pea_rt.Stats.s_inline_blacklist_skips
                 r.Vm.stats.Pea_rt.Stats.s_compile_stall_cycles
                 r.Vm.stats.Pea_rt.Stats.s_compile_enqueues
                 r.Vm.stats.Pea_rt.Stats.s_compile_installs
@@ -341,7 +357,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
-      $ no_inline_arg $ no_prune_arg $ no_summaries_arg $ tier_arg $ osr_threshold_arg
+      $ no_inline_arg $ no_inlining_arg $ no_prune_arg $ no_summaries_arg $ tier_arg
+      $ osr_threshold_arg
       $ no_osr_arg $ mode_arg $ queue_cap_arg $ domains_arg $ check_level_arg $ oracle_arg
       $ verbose_arg $ trace_arg $ trace_format_arg)
   in

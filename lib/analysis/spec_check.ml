@@ -39,7 +39,12 @@
                                 method's code
    SPEC10 bad-resume-point      every outer frame resumes just after an
                                 invoke bytecode (the callee's return
-                                value is pushed on resume) *)
+                                value is pushed on resume)
+   SPEC11 bad-guard-provenance  receiver-guard provenance names an
+                                invokevirtual bytecode of its method, is
+                                exclusive with branch provenance, and its
+                                deopt state resumes exactly at that call
+                                site (the pre-call frame) *)
 
 open Pea_bytecode
 open Pea_ir
@@ -80,6 +85,7 @@ let rules =
     ("SPEC08", "bad-deopt-edge: deopt provenance does not name a conditional branch");
     ("SPEC09", "state-bci-range: a frame's resume bci is outside its method's code");
     ("SPEC10", "bad-resume-point: an outer frame does not resume just after an invoke");
+    ("SPEC11", "bad-guard-provenance: guard provenance does not name its invokevirtual call site");
   ]
 
 let pp_violation ppf v =
@@ -267,7 +273,39 @@ let check ?(phase = "") (g : Graph.t) : violation list =
                       report ~rule:"SPEC08" ~site
                         "deopt edge source bci %d of %s is not a conditional branch" e.Graph.de_src
                         (Classfile.qualified_name e.Graph.de_method))
-              d.Graph.d_edge
+              d.Graph.d_edge;
+            (* SPEC11: receiver-guard provenance must name an invokevirtual
+               and the miss edge must resume the interpreter exactly at it *)
+            (match (d.Graph.d_edge, d.Graph.d_guard) with
+            | Some _, Some _ ->
+                report ~rule:"SPEC11" ~site
+                  "deopt carries both branch and receiver-guard provenance"
+            | None, Some gd ->
+                let code = gd.Graph.dg_method.Classfile.mth_code in
+                (if gd.Graph.dg_bci < 0 || gd.Graph.dg_bci >= Array.length code then
+                   report ~rule:"SPEC11" ~site "guard call-site bci %d is outside %s"
+                     gd.Graph.dg_bci
+                     (Classfile.qualified_name gd.Graph.dg_method)
+                 else
+                   match code.(gd.Graph.dg_bci) with
+                   | Classfile.Invokevirtual _ -> ()
+                   | _ ->
+                       report ~rule:"SPEC11" ~site
+                         "guard call-site bci %d of %s is not an invokevirtual" gd.Graph.dg_bci
+                         (Classfile.qualified_name gd.Graph.dg_method));
+                let inner = d.Graph.d_state in
+                if
+                  inner.Frame_state.fs_method.Classfile.mth_id
+                  <> gd.Graph.dg_method.Classfile.mth_id
+                  || inner.Frame_state.fs_bci <> gd.Graph.dg_bci
+                then
+                  report ~rule:"SPEC11" ~site
+                    "guard deopt resumes at %s bci %d, not at its call site %s bci %d"
+                    (Classfile.qualified_name inner.Frame_state.fs_method)
+                    inner.Frame_state.fs_bci
+                    (Classfile.qualified_name gd.Graph.dg_method)
+                    gd.Graph.dg_bci
+            | _, None -> ())
         | _ -> ()
       end)
     g;

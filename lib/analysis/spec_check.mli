@@ -5,9 +5,11 @@
     deopt point or guard has closed virtual-object descriptors, values
     that dominate their use, balanced elided locks, in-range resume
     points, and escape status that is monotone along dominator paths;
-    OSR-entry graphs carry a complete live-local transfer map. Each rule
-    has a stable id (SPEC01..SPEC10, see {!rules}) surfaced in
-    diagnostics, trace events and the [mjvm check] subcommand. *)
+    OSR-entry graphs carry a complete live-local transfer map; receiver
+    guards name their invokevirtual call site and deopt to the pre-call
+    state. Each rule has a stable id (SPEC01..SPEC11, see {!rules})
+    surfaced in diagnostics, trace events and the [mjvm check]
+    subcommand. *)
 
 open Pea_ir
 

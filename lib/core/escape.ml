@@ -51,7 +51,7 @@ let escaping_allocations ?summaries (g : Graph.t) : Node.node_id -> bool =
         escape id
     | Node.Const _ | Node.Param _ | Node.Arith _ | Node.Neg _ | Node.Not _ | Node.Cmp _
     | Node.RefCmp _ | Node.Array_length _ | Node.Monitor_enter _ | Node.Monitor_exit _
-    | Node.Instance_of _ | Node.Null_check _ | Node.Print _ ->
+    | Node.Instance_of _ | Node.Has_class _ | Node.Null_check _ | Node.Print _ ->
         ()
   in
   (* parameters are externally visible objects *)

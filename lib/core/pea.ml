@@ -20,6 +20,10 @@ type site_report = {
   mutable sr_stores : int;
   mutable sr_locks : int; (* monitor operations elided *)
   mutable sr_scratch : int; (* passed to callees as scratch allocations *)
+  sr_origin : (string * string * int) list;
+      (* inline provenance when the site lives in a spliced callee: one
+         (caller, callee, call-site bci) triple per inline boundary,
+         outermost first; [] for sites native to the compiled method *)
 }
 
 type pass_stats = {
@@ -149,6 +153,32 @@ let end_state ctx bid =
 (* Decision provenance                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Inline provenance of a block: if the block was spliced in from a
+   callee, its interpreter entry state is a chain of frames. Every
+   adjacent (outer, inner) frame pair is one inline boundary, reported as
+   (caller, callee, call-site bci) — the bci of the invoke the splice
+   replaced, which is also the bci a receiver guard protects. *)
+let inline_origin ctx block =
+  if block < 0 || block >= Graph.n_blocks ctx.in_g then []
+  else
+    match (Graph.block ctx.in_g block).Graph.entry_fs with
+    | None -> []
+    | Some fs ->
+        let rec outermost_first (f : Frame_state.t) acc =
+          match f.Frame_state.fs_outer with
+          | None -> f :: acc
+          | Some o -> outermost_first o (f :: acc)
+        in
+        let rec boundaries = function
+          | outer :: (inner :: _ as rest) ->
+              ( Pea_bytecode.Classfile.qualified_name outer.Frame_state.fs_method,
+                Pea_bytecode.Classfile.qualified_name inner.Frame_state.fs_method,
+                outer.Frame_state.fs_bci - 1 )
+              :: boundaries rest
+          | _ -> []
+        in
+        boundaries (outermost_first fs [])
+
 let register_site ctx node_id cls block =
   match Hashtbl.find_opt ctx.sites node_id with
   | Some r -> r
@@ -165,6 +195,7 @@ let register_site ctx node_id cls block =
           sr_stores = 0;
           sr_locks = 0;
           sr_scratch = 0;
+          sr_origin = inline_origin ctx block;
         }
       in
       Hashtbl.replace ctx.sites node_id r;
@@ -564,6 +595,22 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
       | None ->
           set_tr ctx n.Node.id
             (Pnode (emit ctx ob (Node.Instance_of (nof (u "instanceof") (tr ctx a), cls)))))
+  | Node.Has_class (a, cls) -> (
+      match virtual_of (tr ctx a) with
+      | Some (_, v) ->
+          (* the exact shape is a compile-time constant: a virtual object
+             satisfies the guard iff its class is exactly the expected one *)
+          let hit =
+            match v.shape with
+            | Obj_shape c ->
+                c.Pea_bytecode.Classfile.cls_id = cls.Pea_bytecode.Classfile.cls_id
+            | Arr_shape _ -> false
+          in
+          set_tr ctx n.Node.id (Pconst (Node.Cbool hit));
+          ctx.pstats.folded_checks <- ctx.pstats.folded_checks + 1
+      | None ->
+          set_tr ctx n.Node.id
+            (Pnode (emit ctx ob (Node.Has_class (nof (u "hasclass") (tr ctx a), cls)))))
   | Node.Check_cast (a, cls) -> (
       let pa = tr ctx a in
       match virtual_of pa with

@@ -38,6 +38,10 @@ type site_report = {
   mutable sr_stores : int;
   mutable sr_locks : int;  (** monitor operations elided *)
   mutable sr_scratch : int;  (** passed to callees as scratch allocations *)
+  sr_origin : (string * string * int) list;
+      (** inline provenance when the site lives in a spliced callee: one
+          (caller, callee, call-site bci) triple per inline boundary,
+          outermost first; [[]] for sites native to the compiled method *)
 }
 
 (** Statistics about one run of the analysis. *)

@@ -23,9 +23,23 @@ type deopt_edge = {
   de_jump : bool;
 }
 
+(* Provenance of a Deopt terminator that is the miss edge of a speculative
+   inline's receiver-class guard: which virtual call site was guarded,
+   which exact class the profile predicted, and which callee was spliced
+   behind the guard. The oracle uses this to stop its shadow replay at the
+   dispatch whose receiver broke the speculation; the VM uses it to count
+   guard deopts separately from branch deopts. *)
+type deopt_guard = {
+  dg_method : Classfile.rt_method; (* method containing the invokevirtual *)
+  dg_bci : int; (* bytecode index of the guarded invokevirtual *)
+  dg_expected : Classfile.rt_class; (* speculated exact receiver class *)
+  dg_callee : Classfile.rt_method; (* target inlined behind the guard *)
+}
+
 type deopt = {
   d_state : Frame_state.t; (* interpreter state to rematerialize *)
   d_edge : deopt_edge option; (* [None] for deopts without branch provenance *)
+  d_guard : deopt_guard option; (* [Some _] for receiver-guard miss edges *)
 }
 
 type terminator =

@@ -61,6 +61,11 @@ type op =
   | Monitor_exit of node_id
   | Invoke of invoke_kind * Classfile.rt_method * node_id array
   | Instance_of of node_id * Classfile.rt_class
+  | Has_class of node_id * Classfile.rt_class
+      (* exact-class test: true iff the operand is a non-null object whose
+         runtime class is exactly the given class (no subclass walk);
+         false for null. The condition of the type guard protecting a
+         speculatively inlined virtual call *)
   | Check_cast of node_id * Classfile.rt_class
   | Null_check of node_id
       (* traps on a null operand; inserted when a virtual call is
@@ -85,7 +90,7 @@ type t = {
 let is_pure (op : op) =
   match op with
   | Const _ | Param _ | Phi _ | Arith ((Add | Sub | Mul), _, _) | Neg _ | Not _ | Cmp _
-  | RefCmp _ | Instance_of _ ->
+  | RefCmp _ | Instance_of _ | Has_class _ ->
       true
   | Arith ((Div | Rem), _, _) | New _ | Alloc _ | Alloc_array _ | New_array _
   | Stack_alloc _ | Stack_alloc_array _ | Load_field _ | Store_field _
@@ -102,8 +107,8 @@ let has_side_effect (op : op) =
       true
   | Const _ | Param _ | Phi _ | Arith _ | Neg _ | Not _ | Cmp _ | RefCmp _ | New _ | Alloc _
   | Alloc_array _ | New_array _ | Stack_alloc _ | Stack_alloc_array _ | Load_field _
-  | Load_static _ | Array_load _ | Array_length _ | Instance_of _ | Check_cast _
-  | Null_check _ ->
+  | Load_static _ | Array_load _ | Array_length _ | Instance_of _ | Has_class _
+  | Check_cast _ | Null_check _ ->
       false
 
 (* Does the node produce a value that other nodes may use? *)
@@ -116,7 +121,8 @@ let produces_value (op : op) =
   | Invoke (_, m, _) -> m.Classfile.mth_ret <> None
   | Const _ | Param _ | Phi _ | Arith _ | Neg _ | Not _ | Cmp _ | RefCmp _ | New _ | Alloc _
   | Alloc_array _ | New_array _ | Stack_alloc _ | Stack_alloc_array _ | Load_field _
-  | Load_static _ | Array_load _ | Array_length _ | Instance_of _ | Check_cast _ ->
+  | Load_static _ | Array_load _ | Array_length _ | Instance_of _ | Has_class _
+  | Check_cast _ ->
       true
 
 (* ------------------------------------------------------------------ *)
@@ -132,7 +138,7 @@ let iter_operands f (op : op) =
       f b
   | Neg a | Not a | New_array (_, a) | Load_field (a, _) | Store_static (_, a)
   | Array_length a | Monitor_enter a | Monitor_exit a | Instance_of (a, _)
-  | Check_cast (a, _) | Null_check a | Print a ->
+  | Has_class (a, _) | Check_cast (a, _) | Null_check a | Print a ->
       f a
   | Store_field (a, _, b) ->
       f a;
@@ -162,6 +168,7 @@ let map_operands f (op : op) : op =
   | Monitor_enter a -> Monitor_enter (f a)
   | Monitor_exit a -> Monitor_exit (f a)
   | Instance_of (a, c) -> Instance_of (f a, c)
+  | Has_class (a, c) -> Has_class (f a, c)
   | Check_cast (a, c) -> Check_cast (f a, c)
   | Null_check a -> Null_check (f a)
   | Print a -> Print (f a)
@@ -227,6 +234,7 @@ let string_of_op (op : op) =
       Printf.sprintf "invokespecial %s(%s)" (Classfile.qualified_name m)
         (String.concat ", " (Array.to_list (Array.map v args)))
   | Instance_of (a, c) -> Printf.sprintf "%s instanceof %s" (v a) c.cls_name
+  | Has_class (a, c) -> Printf.sprintf "%s hasclass %s" (v a) c.cls_name
   | Check_cast (a, c) -> Printf.sprintf "(%s) %s" c.cls_name (v a)
   | Null_check a -> Printf.sprintf "nullcheck %s" (v a)
   | Print a -> Printf.sprintf "print %s" (v a)

@@ -65,6 +65,11 @@ type op =
   | Monitor_exit of node_id
   | Invoke of invoke_kind * Classfile.rt_method * node_id array
   | Instance_of of node_id * Classfile.rt_class
+  | Has_class of node_id * Classfile.rt_class
+      (* exact-class test: true iff the operand is a non-null object whose
+         runtime class is exactly the given class; false for null. The
+         condition of the type guard protecting a speculatively inlined
+         virtual call *)
   | Check_cast of node_id * Classfile.rt_class
   | Null_check of node_id
       (* traps on null; inserted when a devirtualized call is inlined, to

@@ -64,6 +64,13 @@ type t =
   | Site_blacklist of { meth : string; bci : int }
       (* a deopt site excluded from further speculation; [meth]/[bci] are
          the innermost deopt frame, i.e. the blacklist key *)
+  | Inline_speculative of { meth : string; callee : string; cls : string; bci : int }
+      (* the JIT spliced [callee] into [meth] behind an exact-class guard
+         on [cls] at the virtual call site [bci] *)
+  | Inline_guard_deopt of { meth : string; bci : int; expected : string; actual : string }
+      (* a receiver-class guard missed at runtime: the actual receiver
+         class broke the speculation and the frame deopted to the
+         interpreter at the pre-call state *)
   | Ic_transition of { meth : string; callee : string; cls : string; kind : ic_kind }
   | Tier_promote of { meth : string; tier : string; invocations : int }
   (* Background-compilation queue discipline (async/replay compile modes).
@@ -89,6 +96,8 @@ let name = function
   | Lock_elided _ -> "lock_elided"
   | Deopt _ -> "deopt"
   | Site_blacklist _ -> "site_blacklist"
+  | Inline_speculative _ -> "inline_speculative"
+  | Inline_guard_deopt _ -> "inline_guard_deopt"
   | Ic_transition _ -> "ic_transition"
   | Tier_promote _ -> "tier_promote"
   | Compile_enqueue _ -> "compile_enqueue"
@@ -128,6 +137,20 @@ let fields ev : Json.field list =
         Json.int_field "rematerialized" rematerialized;
       ]
   | Site_blacklist { meth = m; bci } -> [ meth m; Json.int_field "bci" bci ]
+  | Inline_speculative { meth = m; callee; cls; bci } ->
+      [
+        meth m;
+        Json.str_field "callee" callee;
+        Json.str_field "class" cls;
+        Json.int_field "bci" bci;
+      ]
+  | Inline_guard_deopt { meth = m; bci; expected; actual } ->
+      [
+        meth m;
+        Json.int_field "bci" bci;
+        Json.str_field "expected" expected;
+        Json.str_field "actual" actual;
+      ]
   | Ic_transition { meth = m; callee; cls; kind } ->
       [
         meth m;

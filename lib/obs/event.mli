@@ -38,6 +38,12 @@ type t =
   | Site_blacklist of { meth : string; bci : int }
       (** a deopt site excluded from further speculation; [meth]/[bci]
           are the innermost deopt frame, i.e. the blacklist key *)
+  | Inline_speculative of { meth : string; callee : string; cls : string; bci : int }
+      (** the JIT spliced [callee] into [meth] behind an exact-class guard
+          on [cls] at the virtual call site [bci] *)
+  | Inline_guard_deopt of { meth : string; bci : int; expected : string; actual : string }
+      (** a receiver-class guard missed at runtime: the actual receiver
+          class broke the speculation *)
   | Ic_transition of { meth : string; callee : string; cls : string; kind : ic_kind }
   | Tier_promote of { meth : string; tier : string; invocations : int }
   | Compile_enqueue of { meth : string; osr_bci : int option; epoch : int; depth : int }

@@ -72,6 +72,9 @@ let simplify_op (const_of : Node.node_id -> Node.const option) (op : Node.op) : 
       if a = b then eq_result true
       else if is_null a && is_null b then eq_result true
       else None
+  | Node.Has_class (a, _) ->
+      (* null never has a class; non-null operands need the runtime test *)
+      if is_null a then Some (New_op (Node.Const (Node.Cbool false))) else None
   | Node.Const _ | Node.Param _ | Node.Phi _ | Node.New _ | Node.Alloc _ | Node.Alloc_array _
   | Node.New_array _ | Node.Stack_alloc _ | Node.Stack_alloc_array _
   | Node.Load_field _ | Node.Store_field _ | Node.Load_static _ | Node.Store_static _

@@ -28,6 +28,7 @@ let key_of_op resolve (op : Node.op) : string option =
       let tag = match c with Classfile.AEq -> "acmpeq" | Classfile.ANe -> "acmpne" in
       commutative2 tag a b
   | Node.Instance_of (a, cls) -> Some (Printf.sprintf "instanceof:%s:%d" (v a) cls.cls_id)
+  | Node.Has_class (a, cls) -> Some (Printf.sprintf "hasclass:%s:%d" (v a) cls.cls_id)
   | Node.Array_length a -> Some ("arraylength:" ^ v a)
   | Node.Param _ | Node.Phi _ | Node.New _ | Node.Alloc _ | Node.Alloc_array _ | Node.New_array _
   | Node.Stack_alloc _ | Node.Stack_alloc_array _

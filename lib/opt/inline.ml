@@ -2,41 +2,108 @@ open Pea_ir
 open Pea_bytecode
 open Classfile
 
+type stats = {
+  mutable speculative_inlines : int; (* guarded splices performed *)
+  mutable blacklist_skips : int; (* sites vetoed by the deopt blacklist *)
+  mutable skip_sites : (int * int) list; (* vetoed (mth_id, bci), for dedup *)
+  mutable spec_sites : (string * string * string * int) list;
+      (* (caller, callee, expected class, call-site bci) per guarded
+         splice, most recent first; the JIT turns these into trace events *)
+}
+
+let mk_stats () =
+  { speculative_inlines = 0; blacklist_skips = 0; skip_sites = []; spec_sites = [] }
+
 type config = {
   program : Link.program;
   max_callee_size : int;
   max_rounds : int;
   max_graph_blocks : int;
+  max_inline_depth : int;
+  speculate : (rt_method -> bci:int -> rt_class option) option;
+  blacklisted : int * int -> bool;
+  stats : stats;
 }
 
 let default_config program =
-  { program; max_callee_size = 120; max_rounds = 4; max_graph_blocks = 2000 }
+  {
+    program;
+    max_callee_size = 120;
+    max_rounds = 4;
+    max_graph_blocks = 2000;
+    max_inline_depth = 3;
+    speculate = None;
+    blacklisted = (fun _ -> false);
+    stats = mk_stats ();
+  }
 
-(* Statically bind a call site, or decline. *)
-let target_of config (g : Graph.t) (op : Node.op) : (rt_method * bool (* needs null check *)) option =
-  match op with
-  | Node.Invoke (Node.Static, m, _) -> Some (m, false)
-  | Node.Invoke (Node.Special, m, _) -> Some (m, false) (* ctor receiver is a fresh object *)
+(* How a call site gets bound to a single target. *)
+type binding =
+  | Bind_direct of rt_method * bool (* needs null check *)
+  | Bind_guarded of rt_method * rt_class (* behind a [Has_class] guard *)
+
+(* Profile-driven speculation: when static binding fails, ask the receiver
+   profile for a dominant class and splice its override behind an
+   exact-class guard — unless the deopt blacklist says this exact site has
+   already invalidated once, in which case it stays a dispatched call (the
+   summary machinery still applies to it). *)
+let speculate_site config (n : Node.t) (m : rt_method) : binding option =
+  match (config.speculate, n.Node.fs) with
+  | Some profile, Some fs ->
+      let bci = fs.Frame_state.fs_bci - 1 in
+      let key = (fs.Frame_state.fs_method.mth_id, bci) in
+      if config.blacklisted key then begin
+        if not (List.mem key config.stats.skip_sites) then begin
+          config.stats.skip_sites <- key :: config.stats.skip_sites;
+          config.stats.blacklist_skips <- config.stats.blacklist_skips + 1
+        end;
+        None
+      end
+      else
+        Option.bind (profile fs.Frame_state.fs_method ~bci) (fun cls ->
+            Option.map (fun t -> Bind_guarded (t, cls)) (resolve_method cls m.mth_name))
+  | _ -> None
+
+(* Bind a call site, or decline. *)
+let target_of config (g : Graph.t) (n : Node.t) : binding option =
+  match n.Node.op with
+  | Node.Invoke (Node.Static, m, _) -> Some (Bind_direct (m, false))
+  | Node.Invoke (Node.Special, m, _) ->
+      Some (Bind_direct (m, false)) (* ctor receiver is a fresh object *)
   | Node.Invoke (Node.Virtual, m, args) when Array.length args > 0 -> (
       match Graph.op_of g args.(0) with
       | Node.New c | Node.Alloc (c, _) ->
           (* exact receiver type: resolve the override precisely, no null
              check needed (allocations are never null) *)
-          Option.map (fun t -> (t, false)) (resolve_method c m.mth_name)
+          Option.map (fun t -> Bind_direct (t, false)) (resolve_method c m.mth_name)
       | _ ->
           (* class-hierarchy analysis: no override anywhere in the program *)
-          if Link.is_overridden config.program m then None else Some (m, true))
+          if Link.is_overridden config.program m then speculate_site config n m
+          else Some (Bind_direct (m, true)))
   | _ -> None
 
 let eligible config g (n : Node.t) =
-  match target_of config g n.Node.op with
-  | Some (target, needs_null_check)
-    when target.mth_id <> g.Graph.g_method.mth_id
-         && target.mth_size <= config.max_callee_size
-         && (not (uses_exceptions target))
-         && n.Node.fs <> None ->
-      Some (target, needs_null_check)
-  | Some _ | None -> None
+  match target_of config g n with
+  | Some binding ->
+      let target =
+        match binding with Bind_direct (t, _) | Bind_guarded (t, _) -> t
+      in
+      let depth_ok =
+        match (binding, n.Node.fs) with
+        | _, None -> false
+        | Bind_direct _, Some _ -> true
+        | Bind_guarded _, Some fs ->
+            (* guarded splices multiply deopt surface; bound their nesting *)
+            Frame_state.depth fs <= config.max_inline_depth
+      in
+      if
+        target.mth_id <> g.Graph.g_method.mth_id
+        && target.mth_size <= config.max_callee_size
+        && (not (uses_exceptions target))
+        && depth_ok
+      then Some binding
+      else None
+  | None -> None
 
 (* Chain the caller's call-site state under every frame of [fs]. *)
 let rec chain_outer invoke_fs (fs : Frame_state.t) =
@@ -45,8 +112,12 @@ let rec chain_outer invoke_fs (fs : Frame_state.t) =
   | Some o -> { fs with Frame_state.fs_outer = Some (chain_outer invoke_fs o) }
 
 (* Splice [target]'s graph into [g], replacing the invoke at position
-   [invoke_idx] of block [b]. *)
-let splice (g : Graph.t) (b : Graph.block) ~invoke_idx (invoke : Node.t) target ~needs_null_check =
+   [invoke_idx] of block [b]. With [guard = Some cls] the body is entered
+   through an exact-class test on the receiver whose miss edge deopts to
+   the interpreter *before* the call (arguments pushed back on the operand
+   stack), so the interpreter re-dispatches on the actual receiver. *)
+let splice (g : Graph.t) (b : Graph.block) ~invoke_idx (invoke : Node.t) target ~needs_null_check
+    ~guard =
   let callee = Builder.build target in
   let invoke_fs = match invoke.Node.fs with Some fs -> fs | None -> assert false in
   let args = match invoke.Node.op with Node.Invoke (_, _, args) -> args | _ -> assert false in
@@ -141,7 +212,54 @@ let splice (g : Graph.t) (b : Graph.block) ~invoke_idx (invoke : Node.t) target 
         List.map (fun p -> if p = b.Graph.b_id then cont.Graph.b_id else p) sb.Graph.preds)
     (Graph.successors cont.Graph.term);
   let callee_entry = Graph.block g bmap.(Graph.entry_id) in
-  b.Graph.term <- Graph.Goto callee_entry.Graph.b_id;
+  (match guard with
+  | None -> b.Graph.term <- Graph.Goto callee_entry.Graph.b_id
+  | Some cls ->
+      (* The guard condition, then an [If] whose miss edge is a fresh
+         deopt block. The deopt state is the *pre-call* frame: resume bci
+         backed up onto the invoke, arguments re-pushed top-first so the
+         interpreter re-executes the dispatch with the actual receiver.
+         The innermost frame of that state keys the deopt blacklist at
+         exactly the (method, bci) pair [speculate_site] consults, so a
+         site that misses twice stops being speculated on. *)
+      let cond = Graph.append g b (Node.Has_class (args.(0), cls)) in
+      let call_bci = invoke_fs.Frame_state.fs_bci - 1 in
+      let pre_call_fs =
+        {
+          invoke_fs with
+          Frame_state.fs_bci = call_bci;
+          fs_stack =
+            Array.fold_left
+              (fun st a -> Frame_state.F_node a :: st)
+              invoke_fs.Frame_state.fs_stack args;
+        }
+      in
+      let miss = Graph.new_block g in
+      miss.Graph.term <-
+        Graph.Deopt
+          {
+            d_state = pre_call_fs;
+            d_edge = None;
+            d_guard =
+              Some
+                {
+                  Graph.dg_method = invoke_fs.Frame_state.fs_method;
+                  dg_bci = call_bci;
+                  dg_expected = cls;
+                  dg_callee = target;
+                };
+          };
+      miss.Graph.preds <- [ b.Graph.b_id ];
+      b.Graph.term <-
+        Graph.If
+          {
+            cond = cond.Node.id;
+            tru = callee_entry.Graph.b_id;
+            fls = miss.Graph.b_id;
+            br_bci = call_bci;
+            br_method = invoke_fs.Frame_state.fs_method;
+            br_negated = false;
+          });
   callee_entry.Graph.preds <- [ b.Graph.b_id ];
   (* --- wire returns into the continuation --- *)
   let result =
@@ -199,12 +317,23 @@ let round config (g : Graph.t) =
         (fun idx (node : Node.t) ->
           if !found = None then
             match eligible config g node with
-            | Some (target, needs_null_check) -> found := Some (idx, node, target, needs_null_check)
+            | Some binding -> found := Some (idx, node, binding)
             | None -> ())
         (Graph.instr_list b);
       match !found with
-      | Some (idx, node, target, needs_null_check) ->
-          splice g b ~invoke_idx:idx node target ~needs_null_check;
+      | Some (idx, node, Bind_direct (target, needs_null_check)) ->
+          splice g b ~invoke_idx:idx node target ~needs_null_check ~guard:None;
+          changed := true
+      | Some (idx, node, Bind_guarded (target, cls)) ->
+          let fs = match node.Node.fs with Some fs -> fs | None -> assert false in
+          config.stats.speculative_inlines <- config.stats.speculative_inlines + 1;
+          config.stats.spec_sites <-
+            ( qualified_name fs.Frame_state.fs_method,
+              qualified_name target,
+              cls.cls_name,
+              fs.Frame_state.fs_bci - 1 )
+            :: config.stats.spec_sites;
+          splice g b ~invoke_idx:idx node target ~needs_null_check:false ~guard:(Some cls);
           changed := true
       | None -> ()
     end

@@ -1,10 +1,21 @@
-(** Method inlining with class-hierarchy-analysis and exact-type
-    devirtualization.
+(** Method inlining with class-hierarchy-analysis, exact-type
+    devirtualization, and profile-driven speculative guards.
 
     Inlining is the enabler for (partial) escape analysis in the paper's
     running example: after inlining the [Key] constructor and the
     synchronized [equals] method (Listing 2), all operations on the fresh
     allocation are visible to the analysis.
+
+    When static binding fails (the method is overridden and the receiver
+    type is unknown) and the config carries a [speculate] callback, the
+    site is bound to the profile's dominant receiver class and the callee
+    is spliced behind an exact-class [Has_class] guard whose miss edge
+    deopts to the interpreter at the {e pre-call} state — the arguments
+    are pushed back on the operand stack and the interpreter re-executes
+    the dispatch with the actual receiver. The deopt blacklist vetoes
+    sites that already invalidated, so polymorphic sites fall back to
+    dispatched calls (and interprocedural summaries) instead of
+    deopt-storming.
 
     Frame states of the inlined body are chained to the caller's state at
     the call site ([fs_outer]), so deoptimization inside inlined code can
@@ -12,11 +23,31 @@
 
 open Pea_ir
 
+(** Counters for one run; [spec_sites] feeds trace events. *)
+type stats = {
+  mutable speculative_inlines : int;  (** guarded splices performed *)
+  mutable blacklist_skips : int;  (** sites vetoed by the deopt blacklist *)
+  mutable skip_sites : (int * int) list;
+      (** vetoed (mth_id, bci) sites, for dedup across rounds *)
+  mutable spec_sites : (string * string * string * int) list;
+      (** (caller, callee, expected class, call-site bci) per guarded
+          splice, most recent first *)
+}
+
+val mk_stats : unit -> stats
+
 type config = {
   program : Pea_bytecode.Link.program; (* for class-hierarchy analysis *)
   max_callee_size : int; (* bytecode-size budget per inlined callee *)
   max_rounds : int; (* bounds inlining through call chains and recursion *)
   max_graph_blocks : int; (* stop growing the caller beyond this *)
+  max_inline_depth : int; (* frame-chain depth cap for guarded splices *)
+  speculate : (Pea_bytecode.Classfile.rt_method -> bci:int -> Pea_bytecode.Classfile.rt_class option) option;
+      (* dominant receiver class observed at a virtual call site, if any;
+         [None] disables speculative inlining entirely *)
+  blacklisted : int * int -> bool;
+      (* deopt blacklist on (mth_id, bci) call sites *)
+  stats : stats;
 }
 
 val default_config : Pea_bytecode.Link.program -> config

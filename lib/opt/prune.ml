@@ -54,7 +54,7 @@ let run ?(config = default_config) ?(blacklist = fun _ -> false) (profile : Prof
                       de_jump = (victim = tru) <> br_negated;
                     }
                   in
-                  d.Graph.term <- Graph.Deopt { d_state = fs; d_edge = Some edge };
+                  d.Graph.term <- Graph.Deopt { d_state = fs; d_edge = Some edge; d_guard = None };
                   d.Graph.preds <- [ b.Graph.b_id ];
                   (match b.Graph.term with
                   | Graph.If r ->

@@ -114,7 +114,8 @@ let run ?summaries (g : Graph.t) =
               | Node.Not _ | Node.Cmp _ | Node.RefCmp _ | Node.New _ | Node.Alloc _
               | Node.Alloc_array _ | Node.New_array _ | Node.Stack_alloc _
               | Node.Stack_alloc_array _ | Node.Array_length _
-              | Node.Instance_of _ | Node.Check_cast _ | Node.Null_check _ | Node.Print _ ->
+              | Node.Instance_of _ | Node.Has_class _ | Node.Check_cast _ | Node.Null_check _
+              | Node.Print _ ->
                   true)
             (Graph.instr_list b)
         in

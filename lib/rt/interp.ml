@@ -20,12 +20,22 @@ type osr_result =
    fires at every conditional branch after the condition is popped, with
    the frame state at that point; [h_call]/[h_return] bracket every invoke
    so the observer can track the interpreter call path. [h_return] also
-   fires when the callee unwinds with an MJ exception. *)
+   fires when the callee unwinds with an MJ exception. [h_virtual_call]
+   fires at every virtual dispatch before the arguments are popped, with
+   the pre-call frame state — the state a receiver-guard deopt resumes
+   to — so the oracle can stop a shadow replay at a failed guard. *)
 and hooks = {
   h_branch :
     rt_method -> bci:int -> jump:bool -> locals:Value.value array -> stack:Value.value list -> unit;
   h_call : caller:rt_method -> bci:int -> callee:rt_method -> unit;
   h_return : caller:rt_method -> bci:int -> unit;
+  h_virtual_call :
+    caller:rt_method ->
+    bci:int ->
+    receiver:Value.value ->
+    locals:Value.value array ->
+    stack:Value.value list ->
+    unit;
 }
 
 and env = {
@@ -234,6 +244,9 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
         let args, rest = pop_n stack n in
         match args with
         | recv :: _ -> (
+            (match env.hooks with
+            | Some h -> h.h_virtual_call ~caller:m ~bci ~receiver:recv ~locals ~stack
+            | None -> ());
             (match recv with
             | Vobj o -> Profile.record_receiver env.profile m ~bci o.o_cls
             | _ -> ());

@@ -30,7 +30,10 @@ type osr_result =
     state at that point; [h_call]/[h_return] bracket every invoke
     (virtual dispatch already resolved) so an observer can track the
     interpreter call path. [h_return] also fires when the callee unwinds
-    with an in-flight MJ exception. *)
+    with an in-flight MJ exception. [h_virtual_call] fires at every
+    virtual dispatch before the arguments are popped, with the pre-call
+    frame state — the state a receiver-guard deopt resumes to — so the
+    oracle can stop a shadow replay at a failed guard. *)
 type hooks = {
   h_branch :
     Classfile.rt_method ->
@@ -41,6 +44,13 @@ type hooks = {
     unit;
   h_call : caller:Classfile.rt_method -> bci:int -> callee:Classfile.rt_method -> unit;
   h_return : caller:Classfile.rt_method -> bci:int -> unit;
+  h_virtual_call :
+    caller:Classfile.rt_method ->
+    bci:int ->
+    receiver:Value.value ->
+    locals:Value.value array ->
+    stack:Value.value list ->
+    unit;
 }
 
 and env = {

@@ -55,6 +55,15 @@ let osr_entries = Metrics.counter schema "osr_entries"
 (* deopt sites excluded from further speculation (per-site policy) *)
 let site_blacklists = Metrics.counter schema "site_blacklists"
 
+(* virtual calls spliced behind a receiver-class guard *)
+let speculative_inlines = Metrics.counter schema "speculative_inlines"
+
+(* receiver-class guards that missed at runtime *)
+let guard_deopts = Metrics.counter schema "guard_deopts"
+
+(* speculation sites the inliner skipped because of the deopt blacklist *)
+let inline_blacklist_skips = Metrics.counter schema "inline_blacklist_skips"
+
 (* background-compilation queue (async/replay compile modes) *)
 let compile_enqueues = Metrics.counter schema "compile_enqueues"
 
@@ -123,6 +132,9 @@ type snapshot = {
   s_osr_compiles : int;
   s_osr_entries : int;
   s_site_blacklists : int;
+  s_speculative_inlines : int;
+  s_guard_deopts : int;
+  s_inline_blacklist_skips : int;
   s_compile_enqueues : int;
   s_compile_dedup_hits : int;
   s_compile_drops : int;
@@ -151,6 +163,9 @@ let snapshot t =
     s_osr_compiles = get t osr_compiles;
     s_osr_entries = get t osr_entries;
     s_site_blacklists = get t site_blacklists;
+    s_speculative_inlines = get t speculative_inlines;
+    s_guard_deopts = get t guard_deopts;
+    s_inline_blacklist_skips = get t inline_blacklist_skips;
     s_compile_enqueues = get t compile_enqueues;
     s_compile_dedup_hits = get t compile_dedup_hits;
     s_compile_drops = get t compile_drops;
@@ -180,6 +195,9 @@ let diff a b =
     s_osr_compiles = a.s_osr_compiles - b.s_osr_compiles;
     s_osr_entries = a.s_osr_entries - b.s_osr_entries;
     s_site_blacklists = a.s_site_blacklists - b.s_site_blacklists;
+    s_speculative_inlines = a.s_speculative_inlines - b.s_speculative_inlines;
+    s_guard_deopts = a.s_guard_deopts - b.s_guard_deopts;
+    s_inline_blacklist_skips = a.s_inline_blacklist_skips - b.s_inline_blacklist_skips;
     s_compile_enqueues = a.s_compile_enqueues - b.s_compile_enqueues;
     s_compile_dedup_hits = a.s_compile_dedup_hits - b.s_compile_dedup_hits;
     s_compile_drops = a.s_compile_drops - b.s_compile_drops;

@@ -64,6 +64,17 @@ val site_blacklists : metric
 (** Deopt sites excluded from further speculation by the per-site
     recompilation policy. *)
 
+val speculative_inlines : metric
+(** Virtual call sites spliced behind a receiver-class guard, summed over
+    installed compilations. *)
+
+val guard_deopts : metric
+(** Receiver-class guards that missed at runtime (subset of [deopts]). *)
+
+val inline_blacklist_skips : metric
+(** Speculation sites the inliner declined because the deopt blacklist
+    already holds their (method, bci) key. *)
+
 val compile_enqueues : metric
 (** Compile requests accepted by the background queue (async/replay). *)
 
@@ -141,6 +152,9 @@ type snapshot = {
   s_osr_compiles : int;
   s_osr_entries : int;
   s_site_blacklists : int;
+  s_speculative_inlines : int;
+  s_guard_deopts : int;
+  s_inline_blacklist_skips : int;
   s_compile_enqueues : int;
   s_compile_dedup_hits : int;
   s_compile_drops : int;

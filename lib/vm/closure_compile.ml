@@ -352,6 +352,16 @@ let compile (env : Interp.env) (g : Graph.t) : code =
         fun regs ->
           bump base;
           regs.(dst) <- Vbool (Interp.value_instanceof regs.(a) cls)
+    | Node.Has_class (a, cls) ->
+        (* exact-class guard: no subclass walk, false for null and arrays *)
+        let cid = cls.Classfile.cls_id in
+        fun regs ->
+          bump base;
+          regs.(dst) <-
+            Vbool
+              (match regs.(a) with
+              | Vobj o -> o.o_cls.Classfile.cls_id = cid
+              | _ -> false)
     | Node.Check_cast (a, cls) ->
         let cls_name = cls.Classfile.cls_name in
         fun regs -> (

@@ -25,7 +25,10 @@
 
 module Trace = Pea_obs.Trace
 
-type key = int * int option (* (mth_id, osr loop-header bci option) *)
+type key = int * int option * bool
+(* (mth_id, osr loop-header bci option, speculative-inlining bit). The
+   inlining bit keys dedup to the config variant the task compiles under,
+   so a toggled config can never be satisfied by the other variant. *)
 
 type outcome =
   | Done of Jit.compiled

@@ -15,8 +15,11 @@
     copy, blacklist copy): a compiler domain never reads live VM state.
     Workers run under {!Pea_obs.Trace.suppress}. *)
 
-type key = int * int option
-(** [(mth_id, osr loop-header bci option)]. *)
+type key = int * int option * bool
+(** [(mth_id, osr loop-header bci option, speculative-inlining bit)]. The
+    inlining bit keys the dedup check to the config variant the task was
+    compiled under, so toggling speculative inlining between enqueue and
+    install can never satisfy a request with code of the other variant. *)
 
 type outcome =
   | Done of Jit.compiled

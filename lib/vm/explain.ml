@@ -36,6 +36,16 @@ let analyze ?(summaries = true) ?osr_at (program : Link.program) (m : Classfile.
 (* One site's fate in one line plus one line per distinct decision. *)
 let pp_site ppf (r : Pea.site_report) =
   Format.fprintf ppf "@,site v%d: %s (allocated in B%d)" r.site_node r.site_class r.site_block;
+  (match r.sr_origin with
+  | [] -> ()
+  | chain ->
+      (* the site lives in a spliced callee: show each inline boundary it
+         crossed, outermost first, with the guarded call site's bci *)
+      Format.fprintf ppf "@,    inlined:";
+      List.iter
+        (fun (caller, callee, bci) ->
+          Format.fprintf ppf "@,      %s -> %s (call site bci %d)" caller callee bci)
+        chain);
   if not r.sr_virtualized then
     Format.fprintf ppf "@,    never virtualized: %s"
       (match r.sr_materialized with

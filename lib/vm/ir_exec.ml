@@ -242,6 +242,13 @@ let run_prepared (env : Interp.env) (p : prepared) (args : Value.value list) :
             | None -> ()))
     | Node.Instance_of (a, cls) ->
         regs.(n.Node.id) <- Vbool (Interp.value_instanceof (v a) cls)
+    | Node.Has_class (a, cls) ->
+        (* exact-class guard: no subclass walk, false for null and arrays *)
+        regs.(n.Node.id) <-
+          Vbool
+            (match v a with
+            | Vobj o -> o.o_cls.Classfile.cls_id = cls.Classfile.cls_id
+            | _ -> false)
     | Node.Check_cast (a, cls) -> (
         match v a with
         | Vnull -> regs.(n.Node.id) <- Vnull

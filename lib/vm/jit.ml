@@ -44,6 +44,9 @@ let mode_string = function Sync -> "sync" | Async -> "async" | Replay -> "replay
 type config = {
   opt : opt_level;
   inline : bool;
+  inlining : bool;
+      (* speculative guarded inlining from receiver profiles; [inline]
+         gates the whole inliner, this gates only its guarded mode *)
   prune : bool; (* profile-guided cold-branch pruning *)
   read_elim : bool; (* early read elimination (block-local load forwarding) *)
   cond_elim : bool; (* dominance-based conditional elimination *)
@@ -71,6 +74,7 @@ let default_config =
   {
     opt = O_pea;
     inline = true;
+    inlining = true;
     prune = true;
     read_elim = true;
     cond_elim = true;
@@ -94,6 +98,8 @@ type compiled = {
   graph : Graph.t;
   pea_stats : Pea_core.Pea.pass_stats option;
   prepared : Ir_exec.prepared; (* phi routing tables for the direct tier *)
+  spec_inlines : int; (* guarded splices in this graph *)
+  spec_blacklist_skips : int; (* speculation sites vetoed by the blacklist *)
   mutable closure : Closure_compile.code option;
       (* built lazily by the VM on first execution under the closure tier
          (compilation needs the runtime env, which the JIT does not hold) *)
@@ -158,12 +164,27 @@ let compile_graph ?summaries config (program : Link.program) (profile : Profile.
   let g = span "build" (fun () -> Builder.build ?osr_at m) in
   verify config g;
   spec_verify_phase config ~phase:"build" g;
+  let inline_stats = Pea_opt.Inline.mk_stats () in
   if config.inline then
     span "inline" (fun () ->
         let inline_config =
-          { (Pea_opt.Inline.default_config program) with Pea_opt.Inline.max_callee_size = config.max_callee_size }
+          {
+            (Pea_opt.Inline.default_config program) with
+            Pea_opt.Inline.max_callee_size = config.max_callee_size;
+            speculate =
+              (if config.inlining then
+                 Some (fun m ~bci -> Profile.hot_receiver profile m ~bci)
+               else None);
+            blacklisted = blacklist;
+            stats = inline_stats;
+          }
         in
         ignore (Pea_opt.Inline.run inline_config g);
+        if Trace.enabled () then
+          List.iter
+            (fun (caller, callee, cls, bci) ->
+              Trace.record (Event.Inline_speculative { meth = caller; callee; cls; bci }))
+            (List.rev inline_stats.Pea_opt.Inline.spec_sites);
         verify config g;
         spec_verify_phase config ~phase:"inline" g);
   span "simplify" (fun () ->
@@ -206,7 +227,14 @@ let compile_graph ?summaries config (program : Link.program) (profile : Profile.
   spec_verify_final config g;
   if Trace.enabled () then
     Trace.record (Event.Compile_end { meth; nodes = Graph.n_nodes g });
-  { graph = g; pea_stats; prepared = Ir_exec.prepare g; closure = None }
+  {
+    graph = g;
+    pea_stats;
+    prepared = Ir_exec.prepare g;
+    spec_inlines = inline_stats.Pea_opt.Inline.speculative_inlines;
+    spec_blacklist_skips = inline_stats.Pea_opt.Inline.blacklist_skips;
+    closure = None;
+  }
 
 let compile ?summaries ?(blacklist = no_blacklist) config program profile m : compiled =
   compile_graph ?summaries config program profile m ~osr_at:None ~blacklist

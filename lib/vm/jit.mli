@@ -45,6 +45,11 @@ val mode_string : compile_mode -> string
 type config = {
   opt : opt_level;
   inline : bool;
+  inlining : bool;
+      (* speculative guarded inlining from receiver profiles: virtual
+         call sites the profile sees as monomorphic are spliced behind an
+         exact-class guard that deopts on a miss; [inline] gates the
+         whole inliner, this gates only its guarded mode *)
   prune : bool; (* profile-guided cold-branch pruning *)
   read_elim : bool; (* early read elimination (block-local load forwarding) *)
   cond_elim : bool; (* dominance-based conditional elimination *)
@@ -86,6 +91,8 @@ type compiled = {
   graph : Graph.t;
   pea_stats : Pea_core.Pea.pass_stats option; (* [None] under [O_none] *)
   prepared : Ir_exec.prepared; (* phi routing tables for the direct tier *)
+  spec_inlines : int; (* guarded splices in this graph *)
+  spec_blacklist_skips : int; (* speculation sites vetoed by the blacklist *)
   mutable closure : Closure_compile.code option;
       (* built lazily by the VM on first execution under the closure tier *)
 }

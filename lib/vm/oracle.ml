@@ -9,10 +9,13 @@
    entry state (arguments, or the OSR seed locals, plus the static
    fields), cloning every reachable object; when it deopts, we replay a
    *shadow interpreter* over the clones from the same entry point and
-   stop it at the exact branch-edge traversal the pruned Deopt replaced
-   (identified by {!Graph.deopt_edge} provenance plus the inline call
-   path from the frame-state chain). The rematerialized state must then
-   be isomorphic to the shadow's live state:
+   stop it at the exact program point the Deopt replaced: the
+   branch-edge traversal a pruned branch recorded ({!Graph.deopt_edge}),
+   or the first virtual dispatch at a speculative-inline guard site
+   whose receiver misses the expected class ({!Graph.deopt_guard}) —
+   each identified together with the inline call path from the
+   frame-state chain. The rematerialized state must then be isomorphic
+   to the shadow's live state:
 
    - locals of the innermost frame (slots the builder cleared to undef as
      dead are unobservable and skipped),
@@ -125,9 +128,14 @@ let snapshot_osr ~(program : Link.program) (env : Interp.env) (m : Classfile.rt_
 (* Shadow replay                                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Raised by the branch hook when the shadow traverses the deopt edge:
-   carries the live locals and operand stack at that point. *)
+(* Raised by a hook when the shadow reaches the deopt point: carries the
+   live locals and operand stack at that point. *)
 exception Stop of Value.value array * Value.value list
+
+(* Where the shadow must stop: the provenance the Deopt carries. *)
+type stop_at =
+  | At_edge of Graph.deopt_edge (* a pruned-branch traversal *)
+  | At_guard of Graph.deopt_guard (* a receiver-guard miss at a dispatch *)
 
 (* The frame-state chain, innermost first. *)
 let chain fs =
@@ -149,23 +157,47 @@ let expected_path frames =
   in
   pairs outer_first
 
-let run_shadow (t : t) (edge : Graph.deopt_edge) ~(path : (int * int) list) =
+let run_shadow (t : t) (stop : stop_at) ~(path : (int * int) list) =
   let stats = Stats.create () in
   let heap = Heap.create stats in
   let profile = Profile.create t.sn_program in
   (* tracked interpreter call stack, top first *)
   let stack = ref [] in
+  let h_branch bm ~bci ~jump ~locals ~stack:ostack =
+    match stop with
+    | At_guard _ -> ()
+    | At_edge edge ->
+        if
+          bm.Classfile.mth_id = edge.Graph.de_method.Classfile.mth_id
+          && bci = edge.Graph.de_src && jump = edge.Graph.de_jump
+          && List.rev !stack = path
+        then raise (Stop (locals, ostack))
+  in
+  let h_virtual_call ~caller ~bci ~receiver ~locals ~stack:ostack =
+    match stop with
+    | At_edge _ -> ()
+    | At_guard gd ->
+        (* the guard deopts on the first dispatch at its site whose
+           receiver is not exactly the speculated class; the pre-pop
+           operand stack is the pre-call state the deopt resumes to *)
+        let misses =
+          match receiver with
+          | Vobj o -> o.o_cls.Classfile.cls_id <> gd.Graph.dg_expected.Classfile.cls_id
+          | _ -> true
+        in
+        if
+          misses
+          && caller.Classfile.mth_id = gd.Graph.dg_method.Classfile.mth_id
+          && bci = gd.Graph.dg_bci
+          && List.rev !stack = path
+        then raise (Stop (locals, ostack))
+  in
   let hooks =
     {
-      Interp.h_branch =
-        (fun bm ~bci ~jump ~locals ~stack:ostack ->
-          if
-            bm.Classfile.mth_id = edge.Graph.de_method.Classfile.mth_id
-            && bci = edge.Graph.de_src && jump = edge.Graph.de_jump
-            && List.rev !stack = path
-          then raise (Stop (locals, ostack)));
+      Interp.h_branch;
       h_call = (fun ~caller:_ ~bci ~callee -> stack := (callee.Classfile.mth_id, bci) :: !stack);
       h_return = (fun ~caller:_ ~bci:_ -> match !stack with _ :: r -> stack := r | [] -> ());
+      h_virtual_call;
     }
   in
   let rec env =
@@ -202,9 +234,15 @@ let run_shadow (t : t) (edge : Graph.deopt_edge) ~(path : (int * int) list) =
 
 let check (t : t) ~(env : Interp.env) ~(deopt : Graph.deopt)
     ~(resolve : Frame_state.fs_value -> Value.value) : unit =
-  match deopt.Graph.d_edge with
+  let stop =
+    match (deopt.Graph.d_edge, deopt.Graph.d_guard) with
+    | Some edge, _ -> Some (At_edge edge)
+    | None, Some gd -> Some (At_guard gd)
+    | None, None -> None
+  in
+  match stop with
   | None -> () (* no provenance: the replay cannot locate its stop point *)
-  | Some edge ->
+  | Some stop ->
       let frames = chain deopt.Graph.d_state in
       let inner = List.hd frames in
       let meth = Classfile.qualified_name inner.Frame_state.fs_method in
@@ -215,10 +253,10 @@ let check (t : t) ~(env : Interp.env) ~(deopt : Graph.deopt)
           fmt
       in
       let shadow_locals, shadow_stack =
-        match run_shadow t edge ~path:(expected_path frames) with
+        match run_shadow t stop ~path:(expected_path frames) with
         | `Stopped (l, s) -> (l, s)
-        | `Finished -> diverge "shadow interpreter finished without traversing the deopt edge"
-        | `Threw -> diverge "shadow interpreter threw before traversing the deopt edge"
+        | `Finished -> diverge "shadow interpreter finished without reaching the deopt point"
+        | `Threw -> diverge "shadow interpreter threw before reaching the deopt point"
         | `Trapped msg -> diverge "shadow interpreter trapped: %s" msg
       in
       (* isomorphism bijection over heap identities, seeded with the

@@ -79,11 +79,20 @@ let site_blacklisted vm site = Hashtbl.mem vm.site_blacklist site
 let has_monitors (m : Classfile.rt_method) =
   Array.exists (function Classfile.Monitorenter -> true | _ -> false) m.Classfile.mth_code
 
+(* Counter bumps shared by every install path (normal entry and OSR, sync
+   and background). Compile-time quantities land on the runtime counters
+   only when the code is actually installed, so async/replay stay
+   deterministic: stale-discarded compiles never count. *)
+let record_graph_stats vm (code : Jit.compiled) =
+  let stats = vm.env.Interp.stats in
+  Stats.observe stats Stats.compiled_graph_nodes (Pea_ir.Graph.n_nodes code.Jit.graph);
+  Stats.add stats Stats.speculative_inlines code.Jit.spec_inlines;
+  Stats.add stats Stats.inline_blacklist_skips code.Jit.spec_blacklist_skips;
+  Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats
+
 let record_compiled vm (code : Jit.compiled) =
   Stats.incr vm.env.Interp.stats Stats.compiled_methods;
-  Stats.observe vm.env.Interp.stats Stats.compiled_graph_nodes
-    (Pea_ir.Graph.n_nodes code.Jit.graph);
-  Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats
+  record_graph_stats vm code
 
 (* Safepoints: the queue is polled at method entry and at loop back
    edges — the same program points HotSpot uses — so finished background
@@ -139,7 +148,7 @@ and compile_method vm (m : Classfile.rt_method) =
    the mutator and queue a task whose install deadline is
    [now + Cost.compile_latency] on the VM clock. *)
 and request_compile vm q (m : Classfile.rt_method) osr_bci =
-  let key = (m.Classfile.mth_id, osr_bci) in
+  let key = (m.Classfile.mth_id, osr_bci, vm.config.Jit.inlining) in
   if Hashtbl.mem vm.compile_failed key then ()
   else if Compile_queue.mem q key then begin
     Stats.incr vm.env.Interp.stats Stats.compile_dedup_hits;
@@ -213,7 +222,7 @@ and poll_queue vm q =
    the method keeps interpreting and the queue keeps flowing. *)
 and install_outcome vm q (task : Compile_queue.task) outcome =
   let stats = vm.env.Interp.stats in
-  let mid, osr_bci = task.Compile_queue.t_key in
+  let mid, osr_bci, _ = task.Compile_queue.t_key in
   let m = vm.program.Link.methods.(mid) in
   let meth = Classfile.qualified_name m in
   match outcome with
@@ -243,8 +252,7 @@ and install_outcome vm q (task : Compile_queue.task) outcome =
         | Some header ->
             Hashtbl.replace vm.osr_compiled (mid, header) code;
             Stats.incr stats Stats.osr_compiles;
-            Stats.observe stats Stats.compiled_graph_nodes (Pea_ir.Graph.n_nodes code.Jit.graph);
-            Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats);
+            record_graph_stats vm code);
         Stats.incr stats Stats.compile_installs;
         let latency = task.Compile_queue.t_deadline - task.Compile_queue.t_enqueued_at in
         Stats.observe stats Stats.compile_latency latency;
@@ -267,6 +275,45 @@ and handle_deopt vm (m : Classfile.rt_method) ~reason ?oracle (d : Pea_ir.Graph.
   let site_method = fs.Pea_ir.Frame_state.fs_method in
   let site_bci = fs.Pea_ir.Frame_state.fs_bci in
   let site = (site_method.Classfile.mth_id, site_bci) in
+  (* a missed receiver-class guard is counted separately from branch
+     deopts, with the actual receiver class in the trace event *)
+  let reason =
+    match d.Pea_ir.Graph.d_guard with
+    | None -> reason
+    | Some gd ->
+        Stats.incr stats Stats.guard_deopts;
+        if Trace.enabled () then begin
+          (* the pre-call state stacks [argN..arg1; recv] top-first, so
+             the receiver sits [arity - 1] entries down *)
+          let actual =
+            match List.nth_opt fs.Pea_ir.Frame_state.fs_stack
+                    (Classfile.arity gd.Pea_ir.Graph.dg_callee - 1)
+            with
+            | Some (Pea_ir.Frame_state.F_node id) -> (
+                match lookup id with
+                | Value.Vobj o -> o.Value.o_cls.Classfile.cls_name
+                | Value.Vnull -> "null"
+                | _ -> "?")
+            | Some (Pea_ir.Frame_state.F_const Pea_ir.Frame_state.Cnull) -> "null"
+            | Some (Pea_ir.Frame_state.F_virtual vid) -> (
+                (* a virtual receiver's exact class is in its descriptor *)
+                match List.assoc_opt vid fs.Pea_ir.Frame_state.fs_virtuals with
+                | Some { Pea_ir.Frame_state.vd_shape = Pea_ir.Frame_state.Obj_shape c; _ } ->
+                    c.Classfile.cls_name
+                | _ -> "?")
+            | _ -> "?"
+          in
+          Trace.record
+            (Event.Inline_guard_deopt
+               {
+                 meth = Classfile.qualified_name gd.Pea_ir.Graph.dg_method;
+                 bci = gd.Pea_ir.Graph.dg_bci;
+                 expected = gd.Pea_ir.Graph.dg_expected.Classfile.cls_name;
+                 actual;
+               })
+        end;
+        "guard-failed"
+  in
   Log.debug (fun k ->
       k "deoptimizing %s at bci %d (%d frames); blacklisting site in %s, invalidating compiled \
          code"
@@ -371,7 +418,7 @@ and on_back_edge vm (m : Classfile.rt_method) ~header ~locals =
     (not cfg.Jit.osr)
     || Hashtbl.mem vm.pinned m.Classfile.mth_id
     || Hashtbl.mem vm.osr_failed key
-    || Hashtbl.mem vm.compile_failed (m.Classfile.mth_id, Some header)
+    || Hashtbl.mem vm.compile_failed (m.Classfile.mth_id, Some header, vm.config.Jit.inlining)
     || Profile.back_edge_count vm.env.Interp.profile m ~header < cfg.Jit.osr_threshold
   then Interp.No_osr
   else if Classfile.uses_exceptions m || has_monitors m then begin
@@ -443,9 +490,7 @@ and compile_osr_method vm (m : Classfile.rt_method) ~header =
     (Cost.compile_latency ~bytecodes:(Array.length m.Classfile.mth_code));
   Hashtbl.replace vm.osr_compiled (m.Classfile.mth_id, header) code;
   Stats.incr vm.env.Interp.stats Stats.osr_compiles;
-  Stats.observe vm.env.Interp.stats Stats.compiled_graph_nodes
-    (Pea_ir.Graph.n_nodes code.Jit.graph);
-  Option.iter (accumulate_jit_stats vm.jit_stats) code.Jit.pea_stats;
+  record_graph_stats vm code;
   code
 
 let create ?(config = Jit.default_config) (program : Link.program) : t =
@@ -528,7 +573,7 @@ let pending_compiles vm =
   match vm.queue with None -> 0 | Some q -> Compile_queue.depth q
 
 let compile_failed vm (m : Classfile.rt_method) =
-  Hashtbl.mem vm.compile_failed (m.Classfile.mth_id, None)
+  Hashtbl.mem vm.compile_failed (m.Classfile.mth_id, None, vm.config.Jit.inlining)
 
 (* Drain the background queue: resolve every in-flight task as if its
    deadline had passed, installing (or stale-discarding and recompiling)

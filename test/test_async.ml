@@ -158,9 +158,9 @@ let check_compile_failure mode () =
   let vm = Vm.create ~config program in
   let f = Link.find_method program "C" "f" in
   let g = Link.find_method program "C" "g" in
-  let fail_key = (f.Classfile.mth_id, None) in
+  let fail_mid = f.Classfile.mth_id in
   Compile_queue.test_hook :=
-    (fun key -> if key = fail_key then failwith "injected compiler fault");
+    (fun (mid, osr, _) -> if mid = fail_mid && osr = None then failwith "injected compiler fault");
   Fun.protect
     ~finally:(fun () -> Compile_queue.test_hook := fun _ -> ())
     (fun () ->

@@ -13,6 +13,9 @@
    - MJVM_TEST_CHECK_LEVEL = none | phase-end | every-phase forces when
      the speculation-safety verifier runs in the JIT pipeline;
    - MJVM_TEST_ORACLE = on | off forces the bisimulation deopt oracle;
+   - MJVM_TEST_INLINING = on | off forces speculative guarded inlining
+     (profile-driven dominant-receiver inlining behind exact-class
+     guards) on or off;
    - MJVM_TEST_QCHECK_COUNT = N scales the qcheck case counts (the matrix
      run uses 500+; the default local counts keep the suite fast);
    - MJVM_TEST_TRACE = 1|on|true installs a global tracer for the whole
@@ -79,6 +82,12 @@ let apply (cfg : Jit.config) =
         | Some level -> { cfg with Jit.check_level = level }
         | None -> cfg)
     | None -> cfg
+  in
+  let cfg =
+    match Sys.getenv_opt "MJVM_TEST_INLINING" with
+    | Some ("on" | "1" | "true") -> { cfg with Jit.inlining = true }
+    | Some ("off" | "0" | "false") -> { cfg with Jit.inlining = false }
+    | Some _ | None -> cfg
   in
   match Sys.getenv_opt "MJVM_TEST_ORACLE" with
   | Some ("on" | "1" | "true") -> { cfg with Jit.oracle = true }
