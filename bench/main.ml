@@ -630,6 +630,108 @@ let obs_section () =
   Printf.printf "wrote BENCH_obs.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Profiling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The profiler's three contracts on the megamorphic inlining workload:
+   installing the sampling + heap profilers moves no deterministic
+   counter; the aggregated report is byte-identical across runs and
+   across the replay/async compile modes; and the wall-clock overhead of
+   profiling stays within the budget (the cycle-clock grid makes each
+   safepoint a load + compare, so the slowdown should be small even at
+   the default interval). *)
+let profile_section () =
+  header "Profiling: sampling + heap profiler overhead and determinism gate";
+  let module Pcpu = Pea_obs.Profile_cpu in
+  let module Pheap = Pea_obs.Profile_heap in
+  let src = inlining_workload () in
+  let run ?(mode = Pea_vm.Jit.default_config.Pea_vm.Jit.compile_mode)
+      ?(collect_report = true) profiled =
+    let config =
+      {
+        Pea_vm.Jit.default_config with
+        Pea_vm.Jit.compile_threshold = 2;
+        opt = Pea_vm.Jit.O_pea;
+        compile_mode = mode;
+      }
+    in
+    let body cpu heap =
+      let program = Pea_bytecode.Link.compile_source src in
+      let vm = Pea_vm.Vm.create ~config program in
+      let r = Pea_vm.Vm.run_main_iterations vm 3 in
+      Pea_vm.Vm.quiesce vm;
+      let report =
+        match (cpu, heap) with
+        | Some cpu, Some heap when collect_report ->
+            Some
+              (Pea_vm.Report.to_string
+                 (Pea_vm.Report.collect ~program ~cpu ~heap
+                    ~pea_sites:(Pea_vm.Vm.jit_stats vm).Pea_core.Pea.sites ()))
+        | _ -> None
+      in
+      (r.Pea_vm.Vm.stats, report)
+    in
+    if not profiled then body None None
+    else begin
+      let cpu = Pcpu.create () and heap = Pheap.create () in
+      Pcpu.install cpu;
+      Pheap.install heap;
+      Fun.protect
+        ~finally:(fun () ->
+          Pcpu.uninstall ();
+          Pheap.uninstall ())
+        (fun () -> body (Some cpu) (Some heap))
+    end
+  in
+  let off_stats, _ = run false in
+  let on_stats, report1 = run true in
+  let _, report2 = run true in
+  let _, report_replay = run ~mode:Pea_vm.Jit.Replay true in
+  let _, report_async = run ~mode:Pea_vm.Jit.Async true in
+  let counters_identical = off_stats = on_stats in
+  let deterministic = report1 = report2 && Option.is_some report1 in
+  let replay_async = report_replay = report_async && Option.is_some report_replay in
+  (* the timed half excludes report aggregation (the gate is about the
+     always-on cost of sampling, not the one-shot readout), and takes the
+     fastest of several interleaved batches per configuration: each rep
+     builds a fresh VM and recompiles, so single-pass wall clock carries
+     enough scheduler noise to swamp a 10% budget. *)
+  let batches = 5 and reps = 10 in
+  let batch profiled =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (run ~collect_report:false profiled)
+    done;
+    Sys.time () -. t0
+  in
+  ignore (batch false) (* warm the allocator before timing *);
+  ignore (batch true);
+  let t_off = ref infinity and t_on = ref infinity in
+  for _ = 1 to batches do
+    t_off := Float.min !t_off (batch false);
+    t_on := Float.min !t_on (batch true)
+  done;
+  let t_off = !t_off and t_on = !t_on in
+  let overhead = if t_off > 0. then t_on /. t_off else 1. in
+  Printf.printf "wall clock, best of %d batches x %d runs: off %.4fs, on %.4fs (%.3fx)\n" batches
+    reps t_off t_on overhead;
+  Printf.printf
+    "gate: counters identical with profiling on: %s; report identical across runs: %s; replay \
+     == async report: %s; overhead <= 1.10x: %s\n"
+    (if counters_identical then "PASS" else "FAIL")
+    (if deterministic then "PASS" else "FAIL")
+    (if replay_async then "PASS" else "FAIL")
+    (if overhead <= 1.10 then "PASS" else "FAIL");
+  let oc = open_out "BENCH_profile.json" in
+  Printf.fprintf oc
+    "{\"workload\": \"megamorphic-inlining\", \"reps\": %d, \"wall_s_off\": %.6f, \"wall_s_on\": \
+     %.6f, \"overhead\": %.4f, \"overhead_ok\": %b, \"counters_identical\": %b, \
+     \"report_deterministic\": %b, \"replay_async_identical\": %b}\n"
+    reps t_off t_on overhead (overhead <= 1.10) counters_identical deterministic replay_async;
+  close_out oc;
+  Printf.printf "wrote BENCH_profile.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* On-stack replacement                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -970,6 +1072,7 @@ let () =
   summaries_section ();
   inlining_section ();
   obs_section ();
+  profile_section ();
   osr_section ();
   parallel_jit_section ();
   verify_section ();

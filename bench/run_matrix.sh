@@ -10,11 +10,13 @@
 # MJVM_TEST_EXEC_TIER / MJVM_TEST_OSR / MJVM_TEST_COMPILE_MODE /
 # MJVM_TEST_INLINING (see
 # test/test_env.ml); a differential or monotonicity failure in any cell
-# is a real bug in that configuration. Two final cells re-run the
+# is a real bug in that configuration. Three final cells re-run the
 # default configuration with a global tracer installed
-# (MJVM_TEST_TRACE=1) to check that instrumentation never changes
-# behaviour, and with real compiler domains (MJVM_TEST_COMPILE_MODE=
-# async) to check the threaded pipeline end to end. Async is kept out of
+# (MJVM_TEST_TRACE=1) and with the global sampling + heap profilers
+# installed (MJVM_TEST_PROFILE=1) to check that instrumentation never
+# changes behaviour, and with real compiler domains
+# (MJVM_TEST_COMPILE_MODE=async) to check the threaded pipeline end to
+# end. Async is kept out of
 # the main product: its deterministic counters are pinned bit-for-bit to
 # replay's by test_async.ml, so replay stands in for it cheaply.
 #
@@ -116,6 +118,8 @@ done
 run_cell "check-level=none (verifier fully off: production-shaped config)" \
   "MJVM_TEST_CHECK_LEVEL=none"
 run_cell "trace=on (default configuration, global tracer installed)" "MJVM_TEST_TRACE=1"
+run_cell "profile=on (default configuration, global sampling + heap profilers installed)" \
+  "MJVM_TEST_PROFILE=1"
 run_cell "compile-mode=async (default configuration, real compiler domains)" \
   "MJVM_TEST_COMPILE_MODE=async"
 exit 0

@@ -8,6 +8,9 @@ open Cmdliner
 open Pea_bytecode
 open Pea_vm
 module Trace = Pea_obs.Trace
+module Pcpu = Pea_obs.Profile_cpu
+module Pheap = Pea_obs.Profile_heap
+module Flight = Pea_obs.Flight
 
 let read_file path =
   let ic = open_in_bin path in
@@ -209,6 +212,16 @@ let trace_format_arg =
           "Trace sink: jsonl (one event per line) or chrome (trace_event JSON, loadable in \
            about:tracing / Perfetto)")
 
+let flight_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dump" ] ~docv:"FILE"
+        ~doc:
+          "Arm the flight recorder: keep a bounded event ring always on and snapshot it to \
+           $(docv) when the VM hits a debuggable incident (deopt-storm pinning, compile \
+           failure, oracle divergence). Read the dump back with $(b,mjvm report --flight)")
+
 let setup_logs verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -258,7 +271,7 @@ let compile_file_or_exit ?require_main file =
 let run_cmd =
   let action file opt threshold iterations stats no_inline no_inlining no_prune no_summaries
       exec_tier osr_threshold no_osr compile_mode compile_queue_cap compile_domains check_level
-      oracle verbose trace trace_format =
+      oracle verbose trace trace_format flight_dump =
     setup_logs verbose;
     let program = compile_file_or_exit file in
     (let vm =
@@ -279,7 +292,29 @@ let run_cmd =
            Trace.install t;
            Some (path, t)
      in
+     (* The flight recorder needs a live ring to snapshot: reuse the
+        --trace ring when there is one, otherwise run a private ring
+        that is never written unless an incident triggers a dump. *)
+     let flight_private_ring =
+       match flight_dump with
+       | None -> false
+       | Some path ->
+           let ring, private_ring =
+             match tracer with
+             | Some (_, t) -> (t, false)
+             | None ->
+                 let t = Trace.create () in
+                 Trace.set_clock t (fun () ->
+                     Pea_rt.Stats.get (Vm.stats vm) Pea_rt.Stats.cycles);
+                 Trace.install t;
+                 (t, true)
+           in
+           Flight.arm (Flight.create ~path ring);
+           private_ring
+     in
      let write_trace () =
+       if Option.is_some flight_dump then Flight.disarm ();
+       if flight_private_ring then Trace.uninstall ();
        match tracer with
        | None -> ()
        | Some (path, t) ->
@@ -360,7 +395,7 @@ let run_cmd =
       $ no_inline_arg $ no_inlining_arg $ no_prune_arg $ no_summaries_arg $ tier_arg
       $ osr_threshold_arg
       $ no_osr_arg $ mode_arg $ queue_cap_arg $ domains_arg $ check_level_arg $ oracle_arg
-      $ verbose_arg $ trace_arg $ trace_format_arg)
+      $ verbose_arg $ trace_arg $ trace_format_arg $ flight_dump_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a MiniJava program on the tiered VM") term
 
@@ -470,8 +505,18 @@ let osr_bci_arg =
            (find headers with $(b,mjvm dump --stage bytecode)): locals become parameters, so \
            object locals alive at the header count as escaped on entry")
 
+let observed_arg =
+  Arg.(
+    value & flag
+    & info [ "observed" ]
+        ~doc:
+          "Also run the program under a private allocation-site heap profiler and print, next \
+           to each analysis verdict, what actually happened at that bytecode site: materialized \
+           allocations, deopt rematerializations and scratch allocations. Requires a main \
+           method; the run uses the default VM configuration")
+
 let explain_cmd =
-  let action file spec no_summaries osr_bci =
+  let action file spec no_summaries osr_bci observed iterations =
     let program = compile_file_or_exit ~require_main:false file in
     let cls, name =
       match String.index_opt spec '.' with
@@ -487,14 +532,35 @@ let explain_cmd =
           Printf.eprintf "no method %s.%s\n" cls name;
           exit 1
     in
-    match Explain.analyze ~summaries:(not no_summaries) ?osr_at:osr_bci program m with
+    let observed_tbl =
+      if not observed then None
+      else
+        match Explain.observe ~iterations program with
+        | tbl -> Some tbl
+        | exception Link.Link_error msg ->
+            Printf.eprintf "cannot observe (no runnable entry point): %s\n" msg;
+            exit 1
+        | exception Pea_rt.Interp.Trap msg ->
+            Printf.eprintf "runtime trap during observation: %s\n" msg;
+            exit 2
+        | exception Pea_rt.Interp.Mj_throw v ->
+            Printf.eprintf "uncaught exception during observation: %s\n"
+              (Pea_rt.Value.string_of_value v);
+            exit 3
+    in
+    match
+      Explain.analyze ~summaries:(not no_summaries) ?osr_at:osr_bci ?observed:observed_tbl
+        program m
+    with
     | report -> print_string (Explain.to_string report)
     | exception Pea_ir.Builder.Build_error msg ->
         Printf.eprintf "cannot build an OSR graph there: %s\n" msg;
         exit 1
   in
   let term =
-    Term.(const action $ file_arg $ explain_method_arg $ no_summaries_arg $ osr_bci_arg)
+    Term.(
+      const action $ file_arg $ explain_method_arg $ no_summaries_arg $ osr_bci_arg
+      $ observed_arg $ iterations_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -607,9 +673,130 @@ let check_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_file_arg =
+  Arg.(
+    value
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file to profile (omit with --flight)")
+
+let flight_read_arg =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "flight" ] ~docv:"DUMP"
+        ~doc:
+          "Instead of profiling a program, read back a flight-recorder dump written by $(b,mjvm \
+           run --flight-dump) and summarize it")
+
+let interval_arg =
+  Arg.(
+    value
+    & opt int Pcpu.default_interval
+    & info [ "interval" ] ~docv:"CYCLES"
+        ~doc:
+          "Model cycles between profile samples. Sampling is driven by the deterministic \
+           cost-model cycle clock, so the same program, configuration and interval always \
+           produce the byte-identical report")
+
+let top_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "top" ] ~docv:"N" ~doc:"Rows in the method and allocation hot lists")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of the text report")
+
+let collapsed_arg =
+  Arg.(
+    value & flag
+    & info [ "collapsed" ]
+        ~doc:"Print only the collapsed call stacks (flamegraph-tool input), nothing else")
+
+let report_cmd =
+  let action file flight opt threshold iterations exec_tier compile_mode interval top json
+      collapsed verbose =
+    setup_logs verbose;
+    match (flight, file) with
+    | Some dump, _ -> (
+        (* flight mode: no program run, just decode and summarize *)
+        match Flight.read_file dump with
+        | Error msg ->
+            Printf.eprintf "%s: not a flight dump: %s\n" dump msg;
+            exit 1
+        | Ok d ->
+            if json then print_endline (Report.flight_to_json d)
+            else print_string (Report.flight_to_string d))
+    | None, None ->
+        Printf.eprintf "nothing to report on: give FILE.mj to profile, or --flight DUMP\n";
+        exit 1
+    | None, Some file ->
+        if interval <= 0 then begin
+          Printf.eprintf "--interval must be positive\n";
+          exit 1
+        end;
+        let program = compile_file_or_exit file in
+        (* Fresh profilers for this run; anything globally installed
+           (there should be nothing in the CLI, but the API allows it)
+           is saved and restored. Install before Vm.create so the VM
+           wires the sampling clock to its cycle counter. *)
+        let saved_cpu = Pcpu.installed () and saved_heap = Pheap.installed () in
+        let cpu = Pcpu.create ~interval () in
+        let heap = Pheap.create () in
+        Pcpu.install cpu;
+        Pheap.install heap;
+        let restore () =
+          (match saved_cpu with Some p -> Pcpu.install p | None -> Pcpu.uninstall ());
+          match saved_heap with Some p -> Pheap.install p | None -> Pheap.uninstall ()
+        in
+        Fun.protect ~finally:restore @@ fun () ->
+        let vm =
+          Vm.create
+            ~config:
+              { Jit.default_config with Jit.opt; compile_threshold = threshold; exec_tier;
+                compile_mode }
+            program
+        in
+        (match Vm.run_main_iterations vm iterations with
+        | exception Pea_rt.Interp.Trap msg ->
+            Printf.eprintf "runtime trap: %s\n" msg;
+            exit 2
+        | exception Pea_rt.Interp.Mj_throw v ->
+            Printf.eprintf "uncaught exception: %s\n" (Pea_rt.Value.string_of_value v);
+            exit 3
+        | _ -> ());
+        Vm.quiesce vm;
+        let report =
+          Report.collect ~program ~cpu ~heap ~pea_sites:(Vm.jit_stats vm).Pea_core.Pea.sites ()
+        in
+        if collapsed then print_string (Report.collapsed report)
+        else if json then print_endline (Report.to_json ~top report)
+        else print_string (Report.to_string ~top report)
+  in
+  let term =
+    Term.(
+      const action $ report_file_arg $ flight_read_arg $ opt_arg $ threshold_arg
+      $ iterations_arg $ tier_arg $ mode_arg $ interval_arg $ top_arg $ json_arg
+      $ collapsed_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Profile a program on the deterministic cycle clock and report top methods by self \
+          cycles, tier residency, allocation hot lists cross-referenced with PEA decisions, \
+          and flamegraph-compatible collapsed stacks. Reports are byte-identical across runs, \
+          execution tiers and the async/replay compile modes. With --flight, summarize a \
+          flight-recorder dump instead")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "MiniJava VM with Partial Escape Analysis (CGO 2014 reproduction)" in
-  Cmd.group (Cmd.info "mjvm" ~version:"1.0.0" ~doc) [ run_cmd; dump_cmd; explain_cmd; check_cmd ]
+  Cmd.group
+    (Cmd.info "mjvm" ~version:"1.0.0" ~doc)
+    [ run_cmd; dump_cmd; explain_cmd; check_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

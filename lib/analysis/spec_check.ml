@@ -362,6 +362,19 @@ let check ?(phase = "") (g : Graph.t) : violation list =
             undo := (vid, `Absent) :: !undo)
       declared
   in
+  (* Deoptimization never resumes *at* an allocation: states on
+     allocation nodes exist only to attribute the allocation to its
+     bytecode site (heap profiling), and PEA value-strips the ones it
+     attaches to materializations. They are not resumable states, so
+     they take no part in the monotonicity walk — an empty one would
+     otherwise falsely retire every live virtual. *)
+  let attribution_only (n : Node.t) =
+    match n.Node.op with
+    | Node.New _ | Node.New_array _ | Node.Alloc _ | Node.Alloc_array _ | Node.Stack_alloc _
+    | Node.Stack_alloc_array _ ->
+        true
+    | _ -> false
+  in
   let tree = Dominators.children doms (Graph.n_blocks g) in
   let rec dfs bid =
     let undo = ref [] in
@@ -371,7 +384,8 @@ let check ?(phase = "") (g : Graph.t) : violation list =
       b.Graph.entry_fs;
     Pea_support.Dyn_array.iter
       (fun (n : Node.t) ->
-        Option.iter (fun fs -> visit_state ~site:(Printf.sprintf "v%d" n.Node.id) fs undo) n.Node.fs)
+        if not (attribution_only n) then
+          Option.iter (fun fs -> visit_state ~site:(Printf.sprintf "v%d" n.Node.id) fs undo) n.Node.fs)
       b.Graph.instrs;
     (match b.Graph.term with
     | Graph.Deopt d -> visit_state ~site:(Printf.sprintf "B%d/deopt" bid) d.Graph.d_state undo

@@ -13,6 +13,8 @@ type site_report = {
   site_node : int; (* input-graph node id of the allocation *)
   site_class : string;
   site_block : int; (* block holding the allocation *)
+  site_method : string; (* declaring method (innermost frame when inlined) *)
+  site_bci : int; (* bytecode index of the allocation; -1 if unknown *)
   mutable sr_virtualized : bool; (* tracked as a virtual object at least once *)
   mutable sr_forced : bool; (* pre-pass escape analysis pinned it escaping *)
   mutable sr_materialized : (int * Event.pea_reason) list; (* (block, why), chronological *)
@@ -139,6 +141,30 @@ let alias_used_after ctx ~start oid =
 
 let out_block ctx bid = Graph.block ctx.out_g bid
 
+(* Attribution-only frame state naming the bytecode site where virtual
+   object [oid] was originally allocated. Attached to materialization
+   and scratch allocations so the heap profiler charges them to the
+   source-level allocation site, not the escape point. Stripped of all
+   values — it references no nodes and no virtuals, so it is never a
+   deopt target and trivially satisfies the safety verifier. *)
+let origin_fs ctx oid =
+  match Hashtbl.find_opt ctx.obj_site oid with
+  | None -> None
+  | Some node_id when node_id >= 0 && node_id < Graph.n_nodes ctx.in_g -> (
+      match (Graph.node ctx.in_g node_id).Node.fs with
+      | Some fs ->
+          Some
+            {
+              fs with
+              Frame_state.fs_locals = [||];
+              fs_stack = [];
+              fs_locks = [];
+              fs_outer = None;
+              fs_virtuals = [];
+            }
+      | None -> None)
+  | Some _ -> None
+
 let emit ?fs ctx ob op =
   let n = Graph.append ctx.out_g ob op in
   n.Node.fs <- fs;
@@ -179,15 +205,31 @@ let inline_origin ctx block =
         in
         boundaries (outermost_first fs [])
 
+(* The allocation's bytecode site, from the frame state the builder
+   attaches to New/New_array nodes. The fs record itself is the innermost
+   frame, so under inlining this names the callee the allocation really
+   lives in — exactly the site the heap profiler attributes to. *)
+let bytecode_site ctx node_id =
+  if node_id < 0 || node_id >= Graph.n_nodes ctx.in_g then (ctx.meth, -1)
+  else
+    match (Graph.node ctx.in_g node_id).Node.fs with
+    | Some fs ->
+        ( Pea_bytecode.Classfile.qualified_name fs.Frame_state.fs_method,
+          fs.Frame_state.fs_bci )
+    | None -> (ctx.meth, -1)
+
 let register_site ctx node_id cls block =
   match Hashtbl.find_opt ctx.sites node_id with
   | Some r -> r
   | None ->
+      let site_method, site_bci = bytecode_site ctx node_id in
       let r =
         {
           site_node = node_id;
           site_class = cls;
           site_block = block;
+          site_method;
+          site_bci;
           sr_virtualized = false;
           sr_forced = false;
           sr_materialized = [];
@@ -287,9 +329,10 @@ let materialize ctx ob (s : Pea_state.t ref) ~reason id : Node.node_id =
                 fields
             in
             let alloc =
+              let fs = origin_fs ctx id in
               match shape with
-              | Obj_shape cls -> emit ctx ob (Node.Alloc (cls, field_nodes))
-              | Arr_shape elem -> emit ctx ob (Node.Alloc_array (elem, field_nodes))
+              | Obj_shape cls -> emit ?fs ctx ob (Node.Alloc (cls, field_nodes))
+              | Arr_shape elem -> emit ?fs ctx ob (Node.Alloc_array (elem, field_nodes))
             in
             Hashtbl.replace results id alloc;
             s := add !s id (Escaped { e_shape = shape; materialized = alloc });
@@ -413,7 +456,7 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
       let cls_name = cls.Pea_bytecode.Classfile.cls_name in
       if ctx.force_escape n.Node.id then begin
         note_unvirtualized ctx n.Node.id cls_name ob ~forced:true ~reason:Event.R_forced;
-        set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.New cls)))
+        set_tr ctx n.Node.id (Pnode (emit ?fs:(fs ()) ctx ob (Node.New cls)))
       end
       else begin
         let id = Pea_support.Fresh.next ctx.obj_ids in
@@ -429,7 +472,7 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
       if ctx.force_escape n.Node.id then begin
         note_unvirtualized ctx n.Node.id cls_name ob ~forced:true ~reason:Event.R_forced;
         let arg_nodes = Array.map (fun a -> nof (u "allocation-argument") (tr ctx a)) args in
-        set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Alloc (cls, arg_nodes))))
+        set_tr ctx n.Node.id (Pnode (emit ?fs:(fs ()) ctx ob (Node.Alloc (cls, arg_nodes))))
       end
       else begin
         let id = Pea_support.Fresh.next ctx.obj_ids in
@@ -444,7 +487,7 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
       if ctx.force_escape n.Node.id then begin
         note_unvirtualized ctx n.Node.id arr_name ob ~forced:true ~reason:Event.R_forced;
         let arg_nodes = Array.map (fun a -> nof (u "allocation-argument") (tr ctx a)) args in
-        set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Alloc_array (elem, arg_nodes))))
+        set_tr ctx n.Node.id (Pnode (emit ?fs:(fs ()) ctx ob (Node.Alloc_array (elem, arg_nodes))))
       end
       else begin
         let id = Pea_support.Fresh.next ctx.obj_ids in
@@ -474,7 +517,7 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
             ~reason:
               (if forced then Event.R_forced else u "non-constant-or-too-large-array-length");
           let len_node = nof (u "array-length") pv in
-          set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.New_array (t, len_node)))))
+          set_tr ctx n.Node.id (Pnode (emit ?fs:(fs ()) ctx ob (Node.New_array (t, len_node)))))
   | Node.Load_field (o, f) -> (
       match virtual_of (tr ctx o) with
       | Some (id, v) when is_obj_shape v.shape ->
@@ -725,10 +768,11 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
                                 Trace.record
                                   (Event.Pea_scratch_arg
                                      { meth = ctx.meth; site = r.site_node; callee }));
+                          let sfs = origin_fs ctx oid in
                           (match shape with
-                          | Obj_shape cls -> emit ctx ob (Node.Stack_alloc (cls, fnodes))
+                          | Obj_shape cls -> emit ?fs:sfs ctx ob (Node.Stack_alloc (cls, fnodes))
                           | Arr_shape elem ->
-                              emit ctx ob (Node.Stack_alloc_array (elem, fnodes)))
+                              emit ?fs:sfs ctx ob (Node.Stack_alloc_array (elem, fnodes)))
                       | _ ->
                           (* materialized transitively during pass 1 *)
                           nof arg_reason (Pobj oid)
@@ -740,12 +784,14 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
       let out = emit ?fs:(fs ()) ctx ob (Node.Invoke (k, m, arg_nodes)) in
       if Node.produces_value n.Node.op then set_tr ctx n.Node.id (Pnode out)
   | Node.Stack_alloc (cls, args) ->
-      (* produced by an earlier PEA pass: keep as-is with translated operands *)
+      (* produced by an earlier PEA pass: keep as-is with translated
+         operands (and the attribution state, when it carries one) *)
       let arg_nodes = Array.map (fun a -> nof (u "scratch-argument") (tr ctx a)) args in
-      set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Stack_alloc (cls, arg_nodes))))
+      set_tr ctx n.Node.id (Pnode (emit ?fs:(fs ()) ctx ob (Node.Stack_alloc (cls, arg_nodes))))
   | Node.Stack_alloc_array (elem, args) ->
       let arg_nodes = Array.map (fun a -> nof (u "scratch-argument") (tr ctx a)) args in
-      set_tr ctx n.Node.id (Pnode (emit ctx ob (Node.Stack_alloc_array (elem, arg_nodes))))
+      set_tr ctx n.Node.id
+        (Pnode (emit ?fs:(fs ()) ctx ob (Node.Stack_alloc_array (elem, arg_nodes))))
   | Node.Print a -> ignore (emit ?fs:(fs ()) ctx ob (Node.Print (nof (u "print") (tr ctx a))))
 
 (* ------------------------------------------------------------------ *)

@@ -28,6 +28,9 @@ type site_report = {
   site_node : int;  (** input-graph node id of the allocation *)
   site_class : string;
   site_block : int;  (** block holding the allocation *)
+  site_method : string;
+      (** declaring method (innermost frame when the site was inlined) *)
+  site_bci : int;  (** bytecode index of the allocation; [-1] if unknown *)
   mutable sr_virtualized : bool;
       (** tracked as a virtual object at least once *)
   mutable sr_forced : bool;

@@ -517,10 +517,15 @@ let build ?osr_at (m : rt_method) : Graph.t =
       | Acmp c ->
           let a, b', s = pop2 s in
           state := push s (emit (Node.RefCmp (c, a, b')))
-      | New cls -> state := push s (emit (Node.New cls))
+      (* Allocations carry a frame state at their OWN bci (operands still
+         on the stack) so downstream consumers — the allocation-site heap
+         profiler, PEA site provenance — know the bytecode site. Deopt
+         never resumes *at* an allocation (it is not a guard), so the
+         state only serves attribution. *)
+      | New cls -> state := push s (emit_fs (Node.New cls) ~next_state:s ~bci:i)
       | Newarray elem ->
-          let len, s = pop s in
-          state := push s (emit (Node.New_array (elem, len)))
+          let len, s' = pop s in
+          state := push s' (emit_fs (Node.New_array (elem, len)) ~next_state:s ~bci:i)
       | Arraylength ->
           let a, s = pop s in
           state := push s (emit (Node.Array_length a))

@@ -1,0 +1,48 @@
+(** Flight recorder: snapshot the always-on bounded trace ring to disk
+    when the VM hits a debuggable incident (deopt-storm pinning, compile
+    failure, oracle divergence).
+
+    Dump format: one JSON header line ([{"flight":reason, "events":N,
+    "dropped":D, "dump":k}]) followed by the ring in JSONL trace format.
+    Each trigger overwrites the file — the latest incident wins. *)
+
+type t
+
+val create : path:string -> Trace.t -> t
+
+val path : t -> string
+
+val trace : t -> Trace.t
+
+val dumps : t -> int
+(** How many times this recorder has triggered. *)
+
+(** {1 Global installation} *)
+
+val arm : t -> unit
+
+val disarm : unit -> unit
+
+val armed : unit -> t option
+
+val trigger : reason:string -> unit
+(** Snapshot the armed recorder's ring to its path, tagging the dump
+    with [reason]. No-op when nothing is armed; write failures are
+    swallowed (a bad dump path must never crash the VM). *)
+
+val dump_string : t -> reason:string -> string
+(** The exact bytes a trigger would write (for tests). *)
+
+(** {1 Reading dumps back} *)
+
+type dump = {
+  d_reason : string;
+  d_events : int;
+  d_dropped : int;
+  d_ordinal : int;
+  d_entries : Json.value list;  (** parsed event objects, in ring order *)
+}
+
+val parse_dump : string -> (dump, string) result
+
+val read_file : string -> (dump, string) result

@@ -29,3 +29,203 @@ let str_field name s : field = (name, str s)
 
 let obj (fields : field list) =
   "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+(* Parsing — added for flight-dump reading ([mjvm report --flight]): a
+   recursive-descent parser over the same subset we emit, kept strict
+   enough to reject garbage but with no dependency beyond stdlib. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_int = function Int n -> Some n | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance c;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let parse_literal c word v =
+  if
+    c.pos + String.length word <= String.length c.src
+    && String.sub c.src c.pos (String.length word) = word
+  then begin
+    c.pos <- c.pos + String.length word;
+    v
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' ->
+            advance c;
+            Buffer.add_char buf '"';
+            loop ()
+        | Some '\\' ->
+            advance c;
+            Buffer.add_char buf '\\';
+            loop ()
+        | Some '/' ->
+            advance c;
+            Buffer.add_char buf '/';
+            loop ()
+        | Some 'n' ->
+            advance c;
+            Buffer.add_char buf '\n';
+            loop ()
+        | Some 'r' ->
+            advance c;
+            Buffer.add_char buf '\r';
+            loop ()
+        | Some 't' ->
+            advance c;
+            Buffer.add_char buf '\t';
+            loop ()
+        | Some 'b' ->
+            advance c;
+            Buffer.add_char buf '\b';
+            loop ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then fail c "truncated \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> fail c "bad \\u escape"
+            in
+            c.pos <- c.pos + 4;
+            (* We only emit \u00xx for control chars; decode the latin-1
+               range directly and pass anything else through as '?'. *)
+            Buffer.add_char buf (if code < 0x100 then Char.chr code else '?');
+            loop ()
+        | _ -> fail c "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_int c =
+  let start = c.pos in
+  (match peek c with Some '-' -> advance c | _ -> ());
+  while match peek c with Some '0' .. '9' -> advance c; true | _ -> false do
+    ()
+  done;
+  if c.pos = start then fail c "expected number";
+  (* Reject the float forms we never emit rather than misparse them. *)
+  (match peek c with
+  | Some ('.' | 'e' | 'E') -> fail c "floats are not supported"
+  | _ -> ());
+  Int (int_of_string (String.sub c.src start (c.pos - start)))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string_body c)
+  | Some '{' -> parse_obj c
+  | Some '[' -> parse_list c
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_int c
+  | Some ch -> fail c (Printf.sprintf "unexpected '%c'" ch)
+
+and parse_obj c =
+  expect c '{';
+  skip_ws c;
+  if peek c = Some '}' then begin
+    advance c;
+    Obj []
+  end
+  else begin
+    let fields = ref [] in
+    let rec loop () =
+      skip_ws c;
+      let name = parse_string_body c in
+      skip_ws c;
+      expect c ':';
+      let v = parse_value c in
+      fields := (name, v) :: !fields;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+          advance c;
+          loop ()
+      | Some '}' -> advance c
+      | _ -> fail c "expected ',' or '}'"
+    in
+    loop ();
+    Obj (List.rev !fields)
+  end
+
+and parse_list c =
+  expect c '[';
+  skip_ws c;
+  if peek c = Some ']' then begin
+    advance c;
+    List []
+  end
+  else begin
+    let items = ref [] in
+    let rec loop () =
+      let v = parse_value c in
+      items := v :: !items;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+          advance c;
+          loop ()
+      | Some ']' -> advance c
+      | _ -> fail c "expected ',' or ']'"
+    in
+    loop ();
+    List (List.rev !items)
+  end
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v

@@ -16,3 +16,29 @@ val str_field : string -> string -> field
 
 val obj : field list -> string
 (** [obj fields] is a one-line JSON object in the given field order. *)
+
+(** {1 Parsing}
+
+    Recursive-descent parser over the subset the sinks emit (no floats),
+    used to read flight-recorder dumps back. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string
+
+val parse : string -> value
+(** Parse one complete JSON value; raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+val member : string -> value -> value option
+(** [member name v] is field [name] of object [v], if any. *)
+
+val to_int : value -> int option
+
+val to_str : value -> string option

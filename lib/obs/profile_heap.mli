@@ -1,0 +1,55 @@
+(** Allocation-site heap profiler.
+
+    Attributes every materialized allocation — ordinary heap
+    allocations, scalar-replaced scratch allocations and deopt
+    rematerializations — to its bytecode site [(method id, bci)] and
+    class. Cross-referenced with PEA site reports by {!Report} to show
+    the compiler's decision and the observed outcome side by side.
+    Never writes {!Stats} or {!Heap} counters. *)
+
+type kind =
+  | K_alloc  (** ordinary heap allocation (charged to Stats/Heap) *)
+  | K_scratch  (** scalar-replaced scratch allocation *)
+  | K_remat  (** rematerialized at deoptimization *)
+
+val kind_string : kind -> string
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+
+val total_records : t -> int
+
+(** {1 Global installation} — mirror of {!Trace}'s discipline. *)
+
+val enabled : unit -> bool
+
+val install : t -> unit
+
+val uninstall : unit -> unit
+
+val installed : unit -> t option
+
+val record :
+  mid:int -> bci:int -> cls:string -> kind:kind -> bytes:int -> unit
+(** Record one allocation at site [(mid, bci)] of class [cls]. Use
+    [mid = -1] / [bci = -1] when the site is unknown. Only call when
+    [enabled ()]. *)
+
+(** {1 Readout} *)
+
+val fold :
+  (mid:int ->
+  bci:int ->
+  cls:string ->
+  kind:kind ->
+  count:int ->
+  bytes:int ->
+  'a ->
+  'a) ->
+  t ->
+  'a ->
+  'a
+(** Iterate sites in a deterministic (sorted) order. *)

@@ -1,6 +1,8 @@
 open Pea_bytecode
 open Classfile
 open Value
+module Pcpu = Pea_obs.Profile_cpu
+module Pheap = Pea_obs.Profile_heap
 
 exception Trap of string
 
@@ -93,6 +95,9 @@ let pop_n stack n =
 let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
   let code = m.mth_code in
   let stats = env.stats in
+  (* Oracle shadow replays (hooks = Some _) run on their own stats/heap
+     with the profiler clock frozen; keep them out of the profile. *)
+  let shadow = Option.is_some env.hooks in
   let rec dispatch_throw bci v =
     (* find the innermost handler covering [bci] whose class matches *)
     let matches (h : handler) =
@@ -119,6 +124,8 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
     if bci < 0 || bci >= Array.length code then trap "pc %d out of range in %s" bci (qualified_name m);
     Stats.incr stats Stats.interpreted_instrs;
     Stats.add stats Stats.cycles Cost.interp_dispatch;
+    (* profiler safepoint: one bool load when profiling is off *)
+    if Pcpu.enabled () && not shadow then Pcpu.poll bci;
     match code.(bci) with
     | Iconst n -> step (bci + 1) (Vint n :: stack)
     | Bconst b -> step (bci + 1) (Vbool b :: stack)
@@ -182,12 +189,22 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
             let eq = equal_value a b in
             step (bci + 1) (Vbool (match c with AEq -> eq | ANe -> not eq) :: rest)
         | _ -> trap "stack underflow at acmp")
-    | New cls -> step (bci + 1) (Vobj (Heap.alloc_object env.heap cls) :: stack)
+    | New cls ->
+        if Pheap.enabled () && not shadow then
+          Pheap.record ~mid:m.mth_id ~bci ~cls:cls.cls_name ~kind:Pheap.K_alloc
+            ~bytes:(Value.object_bytes cls);
+        step (bci + 1) (Vobj (Heap.alloc_object env.heap cls) :: stack)
     | Newarray elem -> (
         match stack with
         | len :: rest -> (
             match Heap.alloc_array env.heap elem (as_int len) with
-            | arr -> step (bci + 1) (Varr arr :: rest)
+            | arr ->
+                if Pheap.enabled () && not shadow then
+                  Pheap.record ~mid:m.mth_id ~bci
+                    ~cls:(Pea_mjava.Ast.string_of_ty elem ^ "[]")
+                    ~kind:Pheap.K_alloc
+                    ~bytes:(Value.array_bytes elem (Array.length arr.a_elems));
+                step (bci + 1) (Varr arr :: rest)
             | exception Heap.Negative_array_size n -> trap "negative array size %d" n)
         | [] -> trap "stack underflow at newarray")
     | Arraylength -> (
@@ -360,11 +377,28 @@ let exec env (m : rt_method) ~locals ~stack ~bci : Value.value option =
   in
   step bci stack
 
+(* Bracket an interpreter frame on the profiler shadow stack: push at
+   entry, truncate back on every exit path (return, MJ throw, trap). The
+   profiling-off path is the bare [exec] call. *)
+let exec_profiled env m ~locals ~stack ~bci =
+  if Pcpu.enabled () && Option.is_none env.hooks then begin
+    let d = Pcpu.depth () in
+    Pcpu.push m.mth_id Pcpu.T_interp;
+    match exec env m ~locals ~stack ~bci with
+    | r ->
+        Pcpu.truncate d;
+        r
+    | exception e ->
+        Pcpu.truncate d;
+        raise e
+  end
+  else exec env m ~locals ~stack ~bci
+
 let run env (m : rt_method) args =
   Profile.record_invocation env.profile m;
   Stats.incr env.stats Stats.invocations;
   let locals = Array.make (max m.mth_max_locals (List.length args)) Vnull in
   List.iteri (fun i v -> locals.(i) <- v) args;
-  exec env m ~locals ~stack:[] ~bci:0
+  exec_profiled env m ~locals ~stack:[] ~bci:0
 
-let resume env m ~locals ~stack ~bci = exec env m ~locals ~stack ~bci
+let resume env m ~locals ~stack ~bci = exec_profiled env m ~locals ~stack ~bci

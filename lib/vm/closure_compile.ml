@@ -93,6 +93,9 @@ let compile (env : Interp.env) (g : Graph.t) : code =
     Stats.add stats Stats.cycles cy
   in
   let base = Cost.compiled_op in
+  (* bytecode-site attribution, pre-resolved like every other operand so
+     the profiler checks below cost one bool load when profiling is off *)
+  let sites, block_bcis = Ir_exec.site_tables g in
   let build_args arg_ids regs =
     Array.fold_right (fun id acc -> regs.(id) :: acc) arg_ids []
   in
@@ -150,42 +153,79 @@ let compile (env : Interp.env) (g : Graph.t) : code =
               bump base;
               regs.(dst) <- Vbool (not (equal_value regs.(a) regs.(b))))
     | Node.New cls ->
+        let mid, bci = sites.(dst) in
+        let cls_name = cls.Classfile.cls_name in
+        let bytes = Value.object_bytes cls in
         fun regs ->
           bump base;
+          if Pea_obs.Profile_heap.enabled () then
+            Pea_obs.Profile_heap.record ~mid ~bci ~cls:cls_name
+              ~kind:Pea_obs.Profile_heap.K_alloc ~bytes;
           regs.(dst) <- Vobj (Heap.alloc_object heap cls)
     | Node.Alloc (cls, field_values) ->
+        let mid, bci = sites.(dst) in
+        let cls_name = cls.Classfile.cls_name in
+        let bytes = Value.object_bytes cls in
         fun regs ->
           bump base;
+          if Pea_obs.Profile_heap.enabled () then
+            Pea_obs.Profile_heap.record ~mid ~bci ~cls:cls_name
+              ~kind:Pea_obs.Profile_heap.K_alloc ~bytes;
           let o = Heap.alloc_object heap cls in
           Array.iteri (fun i fv -> o.o_fields.(i) <- regs.(fv)) field_values;
           regs.(dst) <- Vobj o
     | Node.Alloc_array (elem, elem_values) ->
         let len = Array.length elem_values in
+        let mid, bci = sites.(dst) in
+        let arr_name = Pea_mjava.Ast.string_of_ty elem ^ "[]" in
+        let bytes = Value.array_bytes elem len in
         fun regs -> (
           bump base;
           match Heap.alloc_array heap elem len with
           | arr ->
+              if Pea_obs.Profile_heap.enabled () then
+                Pea_obs.Profile_heap.record ~mid ~bci ~cls:arr_name
+                  ~kind:Pea_obs.Profile_heap.K_alloc ~bytes;
               Array.iteri (fun i fv -> arr.a_elems.(i) <- regs.(fv)) elem_values;
               regs.(dst) <- Varr arr
           | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
     | Node.Stack_alloc (cls, field_values) ->
+        let mid, bci = sites.(dst) in
+        let cls_name = cls.Classfile.cls_name in
+        let bytes = Value.object_bytes cls in
         fun regs ->
           bump base;
+          if Pea_obs.Profile_heap.enabled () then
+            Pea_obs.Profile_heap.record ~mid ~bci ~cls:cls_name
+              ~kind:Pea_obs.Profile_heap.K_scratch ~bytes;
           let o = Heap.alloc_object_scratch heap cls in
           Array.iteri (fun i fv -> o.o_fields.(i) <- regs.(fv)) field_values;
           regs.(dst) <- Vobj o
     | Node.Stack_alloc_array (elem, elem_values) ->
         let len = Array.length elem_values in
+        let mid, bci = sites.(dst) in
+        let arr_name = Pea_mjava.Ast.string_of_ty elem ^ "[]" in
+        let bytes = Value.array_bytes elem len in
         fun regs ->
           bump base;
+          if Pea_obs.Profile_heap.enabled () then
+            Pea_obs.Profile_heap.record ~mid ~bci ~cls:arr_name
+              ~kind:Pea_obs.Profile_heap.K_scratch ~bytes;
           let arr = Heap.alloc_array_scratch heap elem len in
           Array.iteri (fun i fv -> arr.a_elems.(i) <- regs.(fv)) elem_values;
           regs.(dst) <- Varr arr
     | Node.New_array (elem, len) ->
+        let mid, bci = sites.(dst) in
+        let arr_name = Pea_mjava.Ast.string_of_ty elem ^ "[]" in
         fun regs -> (
           bump base;
           match Heap.alloc_array heap elem (as_int regs.(len)) with
-          | arr -> regs.(dst) <- Varr arr
+          | arr ->
+              if Pea_obs.Profile_heap.enabled () then
+                Pea_obs.Profile_heap.record ~mid ~bci ~cls:arr_name
+                  ~kind:Pea_obs.Profile_heap.K_alloc
+                  ~bytes:(Value.array_bytes elem (Array.length arr.a_elems));
+              regs.(dst) <- Varr arr
           | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
     | Node.Load_field (o, f) ->
         let off = f.Classfile.fld_offset in
@@ -449,13 +489,22 @@ let compile (env : Interp.env) (g : Graph.t) : code =
                       f regs))
             None b.Graph.instrs
         in
-        bodies.(b.Graph.b_id) <-
-          (match fused with
+        (* profiler safepoint on block entry: edge phi moves charge no
+           cycles, so this poll reads the same clock value as the direct
+           tier's block-entry poll — both tiers sample identically *)
+        let sample_bci = block_bcis.(b.Graph.b_id) in
+        let inner =
+          match fused with
           | None -> term
           | Some body ->
               fun regs ->
                 body regs;
-                term regs)
+                term regs
+        in
+        bodies.(b.Graph.b_id) <-
+          (fun regs ->
+            if Pea_obs.Profile_cpu.enabled () then Pea_obs.Profile_cpu.poll sample_bci;
+            inner regs)
       end)
     g;
   {

@@ -51,13 +51,32 @@ let handle ?(reason = "speculation-failed") ?(oracle : Oracle.t option) (env : I
   (* --- rematerialize --- *)
   let descriptors = collect_virtuals fs in
   let objects : (Frame_state.virt_id, Value.value) Hashtbl.t = Hashtbl.create 8 in
+  (* heap-profiler attribution for rematerializations: the deopt site
+     (innermost frame) is the bytecode position the allocations reappear
+     at, which is what "42 remat at C.m@12" should mean in a report *)
+  let remat_site =
+    (fs.Frame_state.fs_method.Classfile.mth_id, fs.Frame_state.fs_bci)
+  in
   Hashtbl.iter
     (fun id (vd : Frame_state.virtual_desc) ->
       let v =
         match vd.Frame_state.vd_shape with
-        | Frame_state.Obj_shape cls -> Vobj (Heap.alloc_object env.Interp.heap cls)
+        | Frame_state.Obj_shape cls ->
+            if Pea_obs.Profile_heap.enabled () then begin
+              let mid, bci = remat_site in
+              Pea_obs.Profile_heap.record ~mid ~bci ~cls:cls.Classfile.cls_name
+                ~kind:Pea_obs.Profile_heap.K_remat ~bytes:(Value.object_bytes cls)
+            end;
+            Vobj (Heap.alloc_object env.Interp.heap cls)
         | Frame_state.Arr_shape elem ->
-            Varr (Heap.alloc_array env.Interp.heap elem (Array.length vd.Frame_state.vd_fields))
+            let len = Array.length vd.Frame_state.vd_fields in
+            if Pea_obs.Profile_heap.enabled () then begin
+              let mid, bci = remat_site in
+              Pea_obs.Profile_heap.record ~mid ~bci
+                ~cls:(Pea_mjava.Ast.string_of_ty elem ^ "[]")
+                ~kind:Pea_obs.Profile_heap.K_remat ~bytes:(Value.array_bytes elem len)
+            end;
+            Varr (Heap.alloc_array env.Interp.heap elem len)
       in
       Stats.incr stats Stats.rematerialized;
       Hashtbl.replace objects id v)

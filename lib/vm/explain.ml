@@ -10,6 +10,15 @@
 open Pea_bytecode
 module Pea = Pea_core.Pea
 module Event = Pea_obs.Event
+module Pheap = Pea_obs.Profile_heap
+
+(* What the heap profiler actually saw at one bytecode site during an
+   observation run — the empirical counterpart of the analysis verdict. *)
+type observation = {
+  ob_allocs : int; (* materialized heap allocations *)
+  ob_remat : int; (* rematerializations at deopts resumed at this site *)
+  ob_scratch : int; (* scratch allocations backing virtual arguments *)
+}
 
 type t = {
   ex_method : string;
@@ -17,9 +26,52 @@ type t = {
   ex_stats : Pea.pass_stats;
   ex_spec : Pea_analysis.Spec_check.violation list;
       (* speculation-safety verdict on the post-PEA graph *)
+  ex_observed : (string * int, observation) Hashtbl.t option;
+      (* per (method, bci) observed counts, when an observation ran *)
 }
 
-let analyze ?(summaries = true) ?osr_at (program : Link.program) (m : Classfile.rt_method) : t =
+(* Run the program under a private heap profiler and fold the records
+   into per-(method, bci) observations, so `mjvm explain --observed`
+   shows the decision AND the outcome in one view. Any globally
+   installed profiler is saved and restored. *)
+let observe ?config ?(iterations = 1) (program : Link.program) :
+    (string * int, observation) Hashtbl.t =
+  let saved = Pheap.installed () in
+  let h = Pheap.create () in
+  Pheap.install h;
+  Fun.protect
+    ~finally:(fun () ->
+      match saved with Some p -> Pheap.install p | None -> Pheap.uninstall ())
+    (fun () ->
+      let vm = Vm.create ?config program in
+      ignore (Vm.run_main_iterations vm iterations);
+      Vm.quiesce vm);
+  let name mid =
+    if mid >= 0 && mid < Array.length program.Link.methods then
+      Classfile.qualified_name program.Link.methods.(mid)
+    else "<unknown>"
+  in
+  let tbl = Hashtbl.create 32 in
+  Pheap.fold
+    (fun ~mid ~bci ~cls:_ ~kind ~count ~bytes:_ () ->
+      let key = (name mid, bci) in
+      let prev =
+        Option.value
+          (Hashtbl.find_opt tbl key)
+          ~default:{ ob_allocs = 0; ob_remat = 0; ob_scratch = 0 }
+      in
+      let next =
+        match kind with
+        | Pheap.K_alloc -> { prev with ob_allocs = prev.ob_allocs + count }
+        | Pheap.K_remat -> { prev with ob_remat = prev.ob_remat + count }
+        | Pheap.K_scratch -> { prev with ob_scratch = prev.ob_scratch + count }
+      in
+      Hashtbl.replace tbl key next)
+    h ();
+  tbl
+
+let analyze ?(summaries = true) ?osr_at ?observed (program : Link.program)
+    (m : Classfile.rt_method) : t =
   let g = Pea_ir.Builder.build ?osr_at m in
   ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
   ignore (Pea_opt.Canonicalize.run g);
@@ -31,11 +83,14 @@ let analyze ?(summaries = true) ?osr_at (program : Link.program) (m : Classfile.
     ex_summaries = summaries;
     ex_stats = st;
     ex_spec = Pea_analysis.Spec_check.check ~phase:"pea" g';
+    ex_observed = observed;
   }
 
 (* One site's fate in one line plus one line per distinct decision. *)
-let pp_site ppf (r : Pea.site_report) =
-  Format.fprintf ppf "@,site v%d: %s (allocated in B%d)" r.site_node r.site_class r.site_block;
+let pp_site ?observed ppf (r : Pea.site_report) =
+  Format.fprintf ppf "@,site v%d: %s (allocated in B%d%s)" r.site_node r.site_class r.site_block
+    (if r.Pea.site_bci >= 0 then Printf.sprintf ", %s@%d" r.Pea.site_method r.Pea.site_bci
+     else "");
   (match r.sr_origin with
   | [] -> ()
   | chain ->
@@ -66,7 +121,18 @@ let pp_site ppf (r : Pea.site_report) =
   end;
   if r.sr_loads + r.sr_stores + r.sr_locks > 0 then
     Format.fprintf ppf "@,    removed: %d loads, %d stores, %d monitor ops" r.sr_loads r.sr_stores
-      r.sr_locks
+      r.sr_locks;
+  (* the heap profiler's empirical verdict for the same bytecode site *)
+  match observed with
+  | None -> ()
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl (r.Pea.site_method, r.Pea.site_bci) with
+      | None -> Format.fprintf ppf "@,    observed: 0 allocations"
+      | Some ob ->
+          Format.fprintf ppf "@,    observed: %d allocation%s, %d remat, %d scratch"
+            ob.ob_allocs
+            (if ob.ob_allocs = 1 then "" else "s")
+            ob.ob_remat ob.ob_scratch)
 
 let pp ppf t =
   let st = t.ex_stats in
@@ -75,7 +141,7 @@ let pp ppf t =
     (if t.ex_summaries then "on" else "off");
   (match st.Pea.sites with
   | [] -> Format.fprintf ppf "@,no allocation sites after inlining"
-  | sites -> List.iter (pp_site ppf) sites);
+  | sites -> List.iter (pp_site ?observed:t.ex_observed ppf) sites);
   let scalar_replaced =
     List.length
       (List.filter (fun r -> r.Pea.sr_virtualized && r.Pea.sr_materialized = []) st.Pea.sites)

@@ -9,6 +9,14 @@
 
 open Pea_bytecode
 
+(** What the heap profiler actually saw at one bytecode site during an
+    observation run — the empirical counterpart of the analysis verdict. *)
+type observation = {
+  ob_allocs : int;  (** materialized heap allocations *)
+  ob_remat : int;  (** rematerializations at deopts resumed at this site *)
+  ob_scratch : int;  (** scratch allocations backing virtual arguments *)
+}
+
 type t = {
   ex_method : string;  (** qualified method name *)
   ex_summaries : bool;  (** interprocedural summaries were enabled *)
@@ -16,9 +24,27 @@ type t = {
   ex_spec : Pea_analysis.Spec_check.violation list;
       (** speculation-safety verifier verdict on the post-PEA graph
           (empty = every deopt state is rematerializable) *)
+  ex_observed : (string * int, observation) Hashtbl.t option;
+      (** per (method, bci) observed counts, when an observation ran *)
 }
 
-val analyze : ?summaries:bool -> ?osr_at:int -> Link.program -> Classfile.rt_method -> t
+val observe :
+  ?config:Jit.config ->
+  ?iterations:int ->
+  Link.program ->
+  (string * int, observation) Hashtbl.t
+(** [observe program] runs the program's entry point under a private
+    heap profiler ([iterations] times, default 1) and returns observed
+    per-site allocation counts, for [analyze]'s [observed] argument. A
+    globally installed heap profiler is saved and restored. *)
+
+val analyze :
+  ?summaries:bool ->
+  ?osr_at:int ->
+  ?observed:(string * int, observation) Hashtbl.t ->
+  Link.program ->
+  Classfile.rt_method ->
+  t
 (** [analyze program m] compiles [m] ahead of time ([summaries] defaults
     to [true]) and collects the PEA site reports. With [osr_at] the
     graph is built entered at that loop-header bci, the way

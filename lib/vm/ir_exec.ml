@@ -51,7 +51,36 @@ type phi_block = {
 type prepared = {
   p_graph : Graph.t;
   p_phis : phi_block option array; (* indexed by block id *)
+  p_sites : (int * int) array; (* per node id: (method id, bci) site *)
+  p_bcis : int array; (* per block id: representative entry bci *)
 }
+
+(* Bytecode-site attribution tables for a compiled graph, shared by both
+   execution tiers and by the sampling profiler: per node the nearest
+   enclosing (method id, bci) — the node's own frame state if it has one
+   (innermost frame), else the last frame state seen earlier in its
+   block, else the block entry state — and per block a representative
+   bci for safepoint samples. (-1, -1) / -1 when the graph carries no
+   states at all. *)
+let site_tables (g : Graph.t) : (int * int) array * int array =
+  let of_fs (fs : Frame_state.t) =
+    (fs.Frame_state.fs_method.Classfile.mth_id, fs.Frame_state.fs_bci)
+  in
+  let sites = Array.make (max (Graph.n_nodes g) 1) (-1, -1) in
+  let bcis = Array.make (max (Graph.n_blocks g) 1) (-1) in
+  for bid = 0 to Graph.n_blocks g - 1 do
+    let b = Graph.block g bid in
+    let entry = Option.map of_fs b.Graph.entry_fs in
+    bcis.(bid) <- (match entry with Some (_, bci) -> bci | None -> -1);
+    let cur = ref (Option.value ~default:(-1, -1) entry) in
+    List.iter (fun (p : Node.t) -> sites.(p.Node.id) <- !cur) b.Graph.phis;
+    Pea_support.Dyn_array.iter
+      (fun (n : Node.t) ->
+        (match n.Node.fs with Some fs -> cur := of_fs fs | None -> ());
+        sites.(n.Node.id) <- !cur)
+      b.Graph.instrs
+  done;
+  (sites, bcis)
 
 let prepare (g : Graph.t) : prepared =
   let n = Graph.n_blocks g in
@@ -76,7 +105,8 @@ let prepare (g : Graph.t) : prepared =
         phis.(bid) <-
           Some { pb_dsts = dsts; pb_srcs = srcs; pb_route = route; pb_tmp = Array.make (Array.length dsts) Vnull }
   done;
-  { p_graph = g; p_phis = phis }
+  let sites, bcis = site_tables g in
+  { p_graph = g; p_phis = phis; p_sites = sites; p_bcis = bcis }
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -101,6 +131,12 @@ let run_prepared (env : Interp.env) (p : prepared) (args : Value.value list) :
   in
   bind g.Graph.params args;
   let charge c = Stats.add stats Stats.cycles c in
+  let shadow = Option.is_some env.Interp.hooks in
+  (* heap-profiler attribution; only evaluated when profiling is on *)
+  let record_alloc (n : Node.t) kind cls bytes =
+    let mid, bci = p.p_sites.(n.Node.id) in
+    Pea_obs.Profile_heap.record ~mid ~bci ~cls ~kind ~bytes
+  in
   (* one (value list) allocation per call, no intermediate array *)
   let arg_values arg_ids = Array.fold_right (fun id acc -> regs.(id) :: acc) arg_ids [] in
   let eval (n : Node.t) =
@@ -139,30 +175,53 @@ let run_prepared (env : Interp.env) (p : prepared) (args : Value.value list) :
     | Node.RefCmp (c, a, b) ->
         let eq = equal_value (v a) (v b) in
         regs.(n.Node.id) <- Vbool (match c with Classfile.AEq -> eq | Classfile.ANe -> not eq)
-    | Node.New cls -> regs.(n.Node.id) <- Vobj (Heap.alloc_object env.Interp.heap cls)
+    | Node.New cls ->
+        if Pea_obs.Profile_heap.enabled () && not shadow then
+          record_alloc n Pea_obs.Profile_heap.K_alloc cls.Classfile.cls_name
+            (Value.object_bytes cls);
+        regs.(n.Node.id) <- Vobj (Heap.alloc_object env.Interp.heap cls)
     | Node.Alloc (cls, field_values) ->
+        if Pea_obs.Profile_heap.enabled () && not shadow then
+          record_alloc n Pea_obs.Profile_heap.K_alloc cls.Classfile.cls_name
+            (Value.object_bytes cls);
         let o = Heap.alloc_object env.Interp.heap cls in
         Array.iteri (fun i fv -> o.o_fields.(i) <- v fv) field_values;
         regs.(n.Node.id) <- Vobj o
     | Node.Alloc_array (elem, elem_values) -> (
         match Heap.alloc_array env.Interp.heap elem (Array.length elem_values) with
         | arr ->
+            if Pea_obs.Profile_heap.enabled () && not shadow then
+              record_alloc n Pea_obs.Profile_heap.K_alloc
+                (Pea_mjava.Ast.string_of_ty elem ^ "[]")
+                (Value.array_bytes elem (Array.length elem_values));
             Array.iteri (fun i fv -> arr.a_elems.(i) <- v fv) elem_values;
             regs.(n.Node.id) <- Varr arr
         | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
     | Node.Stack_alloc (cls, field_values) ->
         (* scratch object backing a virtual argument: real object, no
            allocation charge (see Heap.alloc_object_scratch) *)
+        if Pea_obs.Profile_heap.enabled () && not shadow then
+          record_alloc n Pea_obs.Profile_heap.K_scratch cls.Classfile.cls_name
+            (Value.object_bytes cls);
         let o = Heap.alloc_object_scratch env.Interp.heap cls in
         Array.iteri (fun i fv -> o.o_fields.(i) <- v fv) field_values;
         regs.(n.Node.id) <- Vobj o
     | Node.Stack_alloc_array (elem, elem_values) ->
+        if Pea_obs.Profile_heap.enabled () && not shadow then
+          record_alloc n Pea_obs.Profile_heap.K_scratch
+            (Pea_mjava.Ast.string_of_ty elem ^ "[]")
+            (Value.array_bytes elem (Array.length elem_values));
         let arr = Heap.alloc_array_scratch env.Interp.heap elem (Array.length elem_values) in
         Array.iteri (fun i fv -> arr.a_elems.(i) <- v fv) elem_values;
         regs.(n.Node.id) <- Varr arr
     | Node.New_array (elem, len) -> (
         match Heap.alloc_array env.Interp.heap elem (as_int (v len)) with
-        | arr -> regs.(n.Node.id) <- Varr arr
+        | arr ->
+            if Pea_obs.Profile_heap.enabled () && not shadow then
+              record_alloc n Pea_obs.Profile_heap.K_alloc
+                (Pea_mjava.Ast.string_of_ty elem ^ "[]")
+                (Value.array_bytes elem (Array.length arr.a_elems));
+            regs.(n.Node.id) <- Varr arr
         | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
     | Node.Load_field (o, f) -> (
         charge Cost.field_access;
@@ -260,6 +319,11 @@ let run_prepared (env : Interp.env) (p : prepared) (args : Value.value list) :
   in
   let rec exec prev_bid bid =
     let b = Graph.block g bid in
+    (* profiler safepoint at block entry: phi routing charges no cycles,
+       so polling here and after the closure tier's edge moves read the
+       same clock value — the two tiers produce identical samples *)
+    if Pea_obs.Profile_cpu.enabled () && not shadow then
+      Pea_obs.Profile_cpu.poll p.p_bcis.(bid);
     (* route phis through the precomputed (pred, block) edge tables *)
     (match p.p_phis.(bid) with
     | None -> ()

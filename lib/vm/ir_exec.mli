@@ -32,6 +32,14 @@ type prepared
     compiled graph; the result is valid as long as [g] is not mutated. *)
 val prepare : Graph.t -> prepared
 
+(** [site_tables g] computes bytecode-site attribution tables shared by
+    both execution tiers and the profilers: per node id the nearest
+    enclosing [(method id, bci)] — from the node's own frame state
+    (innermost frame) or the last state seen earlier in its block — and
+    per block id a representative entry bci for safepoint samples.
+    [(-1, -1)] / [-1] where the graph carries no frame states. *)
+val site_tables : Graph.t -> (int * int) array * int array
+
 (** [run_prepared env p args] executes the prepared graph from its entry
     block.
     @raise Deoptimize at [Deopt] terminators.

@@ -9,6 +9,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 module Event = Pea_obs.Event
 module Trace = Pea_obs.Trace
+module Pcpu = Pea_obs.Profile_cpu
+module Flight = Pea_obs.Flight
 
 type result = {
   return_value : Value.value option;
@@ -230,7 +232,8 @@ and install_outcome vm q (task : Compile_queue.task) outcome =
       Hashtbl.replace vm.compile_failed task.Compile_queue.t_key ();
       Stats.incr stats Stats.compile_failures;
       Log.debug (fun k -> k "background compile of %s failed: %s" meth error);
-      if Trace.enabled () then Trace.record (Event.Compile_failed { meth; osr_bci; error })
+      if Trace.enabled () then Trace.record (Event.Compile_failed { meth; osr_bci; error });
+      Flight.trigger ~reason:"compile-failure"
   | Compile_queue.Done code ->
       let current = vm.epochs.(mid) in
       if current <> task.Compile_queue.t_epoch then begin
@@ -343,9 +346,15 @@ and handle_deopt vm (m : Classfile.rt_method) ~reason ?oracle (d : Pea_ir.Graph.
     Log.debug (fun k ->
         k "deopt storm in %s (%d invalidations): pinning to the interpreter"
           (Classfile.qualified_name m) n);
-    Hashtbl.replace vm.pinned m.Classfile.mth_id ()
+    Hashtbl.replace vm.pinned m.Classfile.mth_id ();
+    (* the ring now holds the whole storm: snapshot it while it does *)
+    Flight.trigger ~reason:"deopt-storm"
   end;
-  Deopt.handle ~reason ?oracle vm.env d lookup
+  match Deopt.handle ~reason ?oracle vm.env d lookup with
+  | r -> r
+  | exception (Oracle.Divergence _ as e) ->
+      Flight.trigger ~reason:"oracle-divergence";
+      raise e
 
 and run_compiled vm m code args =
   Stats.incr vm.env.Interp.stats Stats.invocations;
@@ -373,17 +382,47 @@ and exec_compiled vm m ~reason code args =
                ~locals:(Array.of_list args))
       | None -> Some (Oracle.snapshot_call ~program:vm.program vm.env m args)
   in
-  let handle d lookup = handle_deopt vm m ~reason ?oracle d lookup in
-  match vm.config.Jit.exec_tier with
-  | Jit.Direct -> (
-      match Ir_exec.run_prepared vm.env code.Jit.prepared args with
-      | result -> result
-      | exception Ir_exec.Deoptimize (d, lookup) -> handle d lookup)
-  | Jit.Closure ->
-      let cc = ensure_closure vm m code in
-      (* the in-tier handler releases the register file back to the pool
-         once deopt completes (the lookup closure is dead by then) *)
-      Closure_compile.run ~deopt:handle cc args
+  (* profiler shadow frame for this compiled activation; on deopt the
+     frame is truncated BEFORE the interpreter frames run, so the
+     reconstructed frames appear at this activation's depth in both
+     tiers (direct unwinds out, closure handles in-frame) *)
+  let profiled = Pcpu.enabled () in
+  let pdepth =
+    if profiled then begin
+      let d0 = Pcpu.depth () in
+      Pcpu.push m.Classfile.mth_id
+        (match code.Jit.graph.Pea_ir.Graph.g_osr_entry with
+        | Some _ -> Pcpu.T_osr
+        | None -> Pcpu.T_jit);
+      d0
+    end
+    else 0
+  in
+  let handle d lookup =
+    if profiled then Pcpu.truncate pdepth;
+    handle_deopt vm m ~reason ?oracle d lookup
+  in
+  let exec () =
+    match vm.config.Jit.exec_tier with
+    | Jit.Direct -> (
+        match Ir_exec.run_prepared vm.env code.Jit.prepared args with
+        | result -> result
+        | exception Ir_exec.Deoptimize (d, lookup) -> handle d lookup)
+    | Jit.Closure ->
+        let cc = ensure_closure vm m code in
+        (* the in-tier handler releases the register file back to the pool
+           once deopt completes (the lookup closure is dead by then) *)
+        Closure_compile.run ~deopt:handle cc args
+  in
+  if not profiled then exec ()
+  else
+    match exec () with
+    | r ->
+        Pcpu.truncate pdepth;
+        r
+    | exception e ->
+        Pcpu.truncate pdepth;
+        raise e
 
 and ensure_closure vm m (code : Jit.compiled) =
   match code.Jit.closure with
@@ -498,6 +537,12 @@ let create ?(config = Jit.default_config) (program : Link.program) : t =
      class-file verifier *)
   Verify.verify_program program;
   let stats = Stats.create () in
+  (* an installed sampling profiler follows the newest VM's cycle clock
+     (each VM's counter starts at zero, so the sampling grid restarts
+     with it); like Trace.set_clock wiring in bin/mjvm.ml, last VM wins *)
+  (match Pcpu.installed () with
+  | Some p -> Pcpu.set_clock p (fun () -> Stats.get stats Stats.cycles)
+  | None -> ());
   let heap = Heap.create stats in
   let profile = Profile.create program in
   let globals = Array.make (max program.Link.n_statics 1) Value.Vnull in

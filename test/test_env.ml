@@ -21,7 +21,11 @@
    - MJVM_TEST_TRACE = 1|on|true installs a global tracer for the whole
      suite, so every cell also exercises the instrumentation paths (the
      trace itself is discarded — the point is that results and counters
-     must not move).
+     must not move);
+   - MJVM_TEST_PROFILE = 1|on|true installs the global sampling and heap
+     profilers for the whole suite, same discipline as MJVM_TEST_TRACE:
+     the profiles are discarded, the point is that profiling must not
+     move any result or deterministic counter.
 
    Unset variables leave the test's own configuration untouched. *)
 
@@ -30,6 +34,13 @@ open Pea_vm
 let () =
   match Sys.getenv_opt "MJVM_TEST_TRACE" with
   | Some ("1" | "on" | "true") -> Pea_obs.Trace.install (Pea_obs.Trace.create ())
+  | Some _ | None -> ()
+
+let () =
+  match Sys.getenv_opt "MJVM_TEST_PROFILE" with
+  | Some ("1" | "on" | "true") ->
+      Pea_obs.Profile_cpu.install (Pea_obs.Profile_cpu.create ());
+      Pea_obs.Profile_heap.install (Pea_obs.Profile_heap.create ())
   | Some _ | None -> ()
 
 (* Tests that compare optimization levels against each other are

@@ -99,9 +99,22 @@ let mutate_deopt_states g f =
 (* Static mutations: one per verifier rule                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Cases that corrupt scalar-replacement metadata (virtual-object
+   descriptors) pin the optimization level to pea: under the matrix's
+   MJVM_TEST_OPT=none axis PEA never runs, deopt states carry no
+   descriptors, and the seeded corruption would silently be a no-op —
+   the exact failure mode PR 7's matrix run flagged. The other cases
+   corrupt axis-independent state (locals, bcis, invoke states) and
+   keep following the axis. *)
+let pea_config () =
+  {
+    (Test_env.apply { Jit.default_config with Jit.compile_threshold = 25 }) with
+    Jit.opt = Jit.O_pea;
+  }
+
 (* SPEC01: strip the descriptors, leave the F_virtual references. *)
 let test_drop_descriptor () =
-  let _, _, _, g = compiled_graph_of remat_src [ vint 7; vbool false ] in
+  let _, _, _, g = compiled_graph_of ~config:(pea_config ()) remat_src [ vint 7; vbool false ] in
   check_clean g;
   mutate_deopt_states g (fun fs -> { fs with Frame_state.fs_virtuals = [] });
   expect_rule "SPEC01" g
@@ -118,7 +131,7 @@ let test_dangling_node () =
 
 (* SPEC03: re-declare a virtual with a contradicting descriptor. *)
 let test_conflicting_descriptor () =
-  let _, _, _, g = compiled_graph_of remat_src [ vint 7; vbool false ] in
+  let _, _, _, g = compiled_graph_of ~config:(pea_config ()) remat_src [ vint 7; vbool false ] in
   check_clean g;
   mutate_deopt_states g (fun fs ->
       match fs.Frame_state.fs_virtuals with
@@ -160,7 +173,7 @@ let test_missing_invoke_state () =
 
 (* SPEC05: drift a virtual's recorded lock depth off the lock stacks. *)
 let test_lock_depth_drift () =
-  let _, _, _, g = compiled_graph_of locked_src [ vint 7; vbool false ] in
+  let _, _, _, g = compiled_graph_of ~config:(pea_config ()) locked_src [ vint 7; vbool false ] in
   check_clean g;
   mutate_deopt_states g (fun fs ->
       {
@@ -306,8 +319,8 @@ let dynamic_config () =
       Jit.exec_tier = Jit.Direct;
     }
 
-let expect_divergence ?(src = remat_src) ~needle mutate =
-  let program, vm = setup ~config:(dynamic_config ()) src in
+let expect_divergence ?(src = remat_src) ?(config = dynamic_config ()) ~needle mutate =
+  let program, vm = setup ~config src in
   let f = Link.find_method program "C" "f" in
   Vm.warm_up vm f [ vint 7; vbool false ] 40;
   let g =
@@ -336,9 +349,14 @@ let test_remat_local_lie () =
           { fs with Frame_state.fs_locals = locals }))
 
 (* a descriptor whose field value lies: the rematerialized object escapes
-   through the global with the wrong contents *)
+   through the global with the wrong contents. Pinned to pea for the
+   same reason as the SPEC01/03/05 cases: without scalar replacement
+   there is no descriptor to corrupt. *)
 let test_descriptor_field_lie () =
-  expect_divergence ~needle:"field" (fun g ->
+  expect_divergence
+    ~config:{ (dynamic_config ()) with Jit.opt = Jit.O_pea }
+    ~needle:"field"
+    (fun g ->
       mutate_deopt_states g (fun fs ->
           {
             fs with

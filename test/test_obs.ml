@@ -211,7 +211,7 @@ let explain_for name =
 let test_explain_partial_escape () =
   Alcotest.(check string) "branch-escaping site"
     "PEA report for Cache.getValue (summaries=on)\n\
-     site v4: Key (allocated in B0)\n\
+     site v4: Key (allocated in B0, Cache.getValue@0)\n\
     \    virtualized, then materialized:\n\
     \      in B1: stored into a static field (global escape)\n\
     \    removed: 2 loads, 2 stores, 0 monitor ops\n\
@@ -223,7 +223,7 @@ let test_explain_partial_escape () =
 let test_explain_scalar_replaced () =
   Alcotest.(check string) "fully virtual site"
     "PEA report for Cache.local (summaries=on)\n\
-     site v2: Key (allocated in B0)\n\
+     site v2: Key (allocated in B0, Cache.local@0)\n\
     \    fully scalar-replaced: never materialized\n\
     \    removed: 1 loads, 1 stores, 0 monitor ops\n\
      \n\

@@ -1,0 +1,293 @@
+(* Tests for the cycle-exact observability stack: the sampling profiler
+   (Profile_cpu), the allocation-site heap profiler (Profile_heap), the
+   flight recorder, and the [mjvm report] aggregation.
+
+   The determinism cases deliberately bypass [Test_env.apply]: they
+   compare execution tiers and compile modes against each other, and
+   forcing one from the environment would collapse the comparison (same
+   reasoning as prop_tier_differential). The parity property at the end
+   is the axis-friendly half: whatever the configuration, profiling on
+   vs off must not move any result or deterministic counter. *)
+
+open Pea_bytecode
+open Pea_rt
+open Pea_vm
+module Pcpu = Pea_obs.Profile_cpu
+module Pheap = Pea_obs.Profile_heap
+module Trace = Pea_obs.Trace
+module Flight = Pea_obs.Flight
+
+(* Install fresh profilers for [f], restoring whatever was globally
+   installed before (the MJVM_TEST_PROFILE axis installs suite-wide
+   profilers at startup). *)
+let with_profilers ?(interval = 256) f =
+  let saved_cpu = Pcpu.installed () and saved_heap = Pheap.installed () in
+  let cpu = Pcpu.create ~interval () in
+  let heap = Pheap.create () in
+  Pcpu.install cpu;
+  Pheap.install heap;
+  Fun.protect
+    ~finally:(fun () ->
+      (match saved_cpu with Some p -> Pcpu.install p | None -> Pcpu.uninstall ());
+      match saved_heap with Some p -> Pheap.install p | None -> Pheap.uninstall ())
+    (fun () -> f cpu heap)
+
+(* Run [src] under fresh profilers and hand back (vm result, report). *)
+let run_profiled ?interval ?(iterations = 8) ?(threshold = 4) ?(opt = Jit.O_pea)
+    ?(tier = Jit.Closure) ?(mode = Jit.Sync) ?(osr = true) src =
+  with_profilers ?interval (fun cpu heap ->
+      let program = Link.compile_source src in
+      let config =
+        {
+          Jit.default_config with
+          Jit.opt;
+          compile_threshold = threshold;
+          exec_tier = tier;
+          compile_mode = mode;
+          osr;
+        }
+      in
+      let vm = Vm.create ~config program in
+      let r = Vm.run_main_iterations vm iterations in
+      Vm.quiesce vm;
+      let report =
+        Report.collect ~program ~cpu ~heap ~pea_sites:(Vm.jit_stats vm).Pea_core.Pea.sites ()
+      in
+      (r, report))
+
+let renderings rp = (Report.to_string rp, Report.to_json rp, Report.collapsed rp)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism goldens                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The full report — collapsed stacks included — is byte-identical when
+   the same program runs twice. *)
+let test_identical_across_runs () =
+  let _, a = run_profiled Programs.cache_loop in
+  let _, b = run_profiled Programs.cache_loop in
+  Alcotest.(check bool) "some samples" true (a.Report.rp_total > 0);
+  Alcotest.(check (triple string string string)) "byte-identical" (renderings a) (renderings b)
+
+(* Direct and closure tiers sample at the same cycle clock values, so
+   they produce the same profile, not just the same counters. *)
+let test_identical_across_tiers () =
+  let _, d = run_profiled ~tier:Jit.Direct Programs.cache_loop in
+  let _, c = run_profiled ~tier:Jit.Closure Programs.cache_loop in
+  Alcotest.(check bool) "compiled samples exist" true
+    (List.exists (fun (t, w) -> t <> "interp" && w > 0) d.Report.rp_tiers);
+  Alcotest.(check (triple string string string)) "tier-identical" (renderings d) (renderings c)
+
+(* Replay is async's deterministic twin: identical profiles, per the
+   same clock argument that makes their counters bit-equal. *)
+let test_identical_replay_async () =
+  let _, r = run_profiled ~mode:Jit.Replay Programs.cache_loop in
+  let _, a = run_profiled ~mode:Jit.Async Programs.cache_loop in
+  Alcotest.(check (triple string string string)) "replay = async" (renderings r) (renderings a)
+
+(* Sync and replay schedule compiles differently (inline stall vs queued
+   deadline), so their profiles legitimately differ on compiling
+   workloads; on a workload that never compiles they must agree. *)
+let test_sync_replay_interp_only () =
+  let _, s = run_profiled ~threshold:max_int ~osr:false ~mode:Jit.Sync Programs.cache_loop in
+  let _, r = run_profiled ~threshold:max_int ~osr:false ~mode:Jit.Replay Programs.cache_loop in
+  Alcotest.(check bool) "samples taken" true (s.Report.rp_total > 0);
+  Alcotest.(check (triple string string string)) "sync = replay" (renderings s) (renderings r)
+
+(* A literal golden: a tiny interpreter-only loop has a fully pinned
+   collapsed-stack profile. If this moves, either the cost model or the
+   sampling discipline changed — both are semantic changes that should
+   be visible in a diff. *)
+let golden_src =
+  "class Main { static int main() { int s = 0; int i = 0; while (i < 100) { s = s + i; i = i \
+   + 1; } return s; } }"
+
+let test_collapsed_golden () =
+  let _, rp =
+    run_profiled ~interval:1024 ~iterations:1 ~threshold:max_int ~osr:false golden_src
+  in
+  Alcotest.(check string) "golden collapsed stacks"
+    "Main.main[interp];@0 5\nMain.main[interp];@8 9\nMain.main[interp];@16 1\n"
+    (Report.collapsed rp)
+
+(* ------------------------------------------------------------------ *)
+(* Heap attribution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Count heap-profiler records of [cls] and [kind] per run. *)
+let class_count rp cls kind =
+  List.fold_left
+    (fun acc (r : Report.alloc_row) ->
+      if r.Report.ar_cls = cls && r.Report.ar_kind = kind then acc + r.Report.ar_count else acc)
+    0 rp.Report.rp_allocs
+
+(* The ISSUE-8 cross-reference: the same bytecode site shows N
+   materialized allocations under --opt none and a (near-)zero count
+   under pea, with the report row carrying the PEA verdict. *)
+let test_attribution_none_vs_pea () =
+  let iterations = 2 and threshold = 4 in
+  let _, none = run_profiled ~iterations ~threshold ~opt:Jit.O_none Programs.cache_loop in
+  let _, pea = run_profiled ~iterations ~threshold ~opt:Jit.O_pea Programs.cache_loop in
+  let n_none = class_count none "Key" "alloc" in
+  let n_pea = class_count pea "Key" "alloc" in
+  Alcotest.(check bool)
+    (Printf.sprintf "unoptimized allocates freely (%d)" n_none)
+    true (n_none > 100);
+  Alcotest.(check bool)
+    (Printf.sprintf "pea eliminates the hot-path allocations (%d < %d)" n_pea n_none)
+    true (n_pea < n_none / 4);
+  (* every Key row is attributed to a real bytecode site, and under pea
+     the remaining (interpreter warm-up) rows carry the PEA verdict *)
+  List.iter
+    (fun (r : Report.alloc_row) ->
+      if r.Report.ar_cls = "Key" then begin
+        Alcotest.(check bool) "attributed to a method" true (r.Report.ar_method <> "<unknown>");
+        Alcotest.(check bool) "attributed to a bci" true (r.Report.ar_bci >= 0)
+      end)
+    (none.Report.rp_allocs @ pea.Report.rp_allocs);
+  Alcotest.(check bool) "pea verdict is cross-referenced onto the row" true
+    (List.exists
+       (fun (r : Report.alloc_row) ->
+         r.Report.ar_cls = "Key"
+         && match r.Report.ar_pea with
+            | Some verdict -> Test_support.contains verdict "virtualized"
+            | None -> false)
+       pea.Report.rp_allocs)
+
+(* A real deoptimization with a virtual object in the frame state
+   produces K_remat records attributed to the deopt site's method. *)
+let test_remat_attribution () =
+  let r, rp =
+    run_profiled ~iterations:30 ~threshold:22 ~osr:false ~opt:Jit.O_pea Programs.deopt_trap
+  in
+  Alcotest.(check bool) "a deopt fired" true (r.Vm.stats.Stats.s_deopts > 0);
+  Alcotest.(check bool) "objects were rematerialized" true
+    (r.Vm.stats.Stats.s_rematerialized > 0);
+  let remat = class_count rp "P" "remat" in
+  Alcotest.(check int) "every remat is attributed" r.Vm.stats.Stats.s_rematerialized remat;
+  List.iter
+    (fun (row : Report.alloc_row) ->
+      if row.Report.ar_kind = "remat" then begin
+        Alcotest.(check string) "remat site method" "Main.main" row.Report.ar_method;
+        Alcotest.(check bool) "remat site bci" true (row.Report.ar_bci >= 0)
+      end)
+    rp.Report.rp_allocs
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Deopt-storm the two-branch method with the limit at 2 and assert the
+   armed recorder snapshots the ring to disk, and that the dump reads
+   back through the parser the [mjvm report --flight] path uses. *)
+let test_flight_dump_on_storm () =
+  let path = Filename.temp_file "mjvm_flight" ".jsonl" in
+  let saved_trace = Trace.installed () in
+  let program = Link.compile_source ~require_main:false Programs.two_branch in
+  let config =
+    { Jit.default_config with Jit.compile_threshold = 25; osr = false; deopt_storm_limit = 2 }
+  in
+  let vm = Vm.create ~config program in
+  let ring = Trace.create () in
+  Trace.set_clock ring (fun () -> Stats.get (Vm.stats vm) Stats.cycles);
+  Trace.install ring;
+  Flight.arm (Flight.create ~path ring);
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.disarm ();
+      (match saved_trace with Some t -> Trace.install t | None -> Trace.uninstall ());
+      Sys.remove path)
+    (fun () ->
+      let f = Link.find_method program "C" "f" in
+      let vint n = Value.Vint n and vbool b = Value.Vbool b in
+      Vm.warm_up vm f [ vint 3; vbool false; vbool false ] 40;
+      ignore (Vm.invoke vm f [ vint 7; vbool true; vbool false ]) (* deopt #1 *);
+      ignore (Vm.invoke vm f [ vint 3; vbool false; vbool false ]) (* recompile *);
+      ignore (Vm.invoke vm f [ vint 7; vbool false; vbool true ]) (* deopt #2: pins *);
+      Alcotest.(check bool) "storm guard pinned" true (Vm.interpreter_pinned vm f);
+      (match Flight.armed () with
+      | Some fl -> Alcotest.(check int) "one dump written" 1 (Flight.dumps fl)
+      | None -> Alcotest.fail "recorder disarmed itself");
+      match Flight.read_file path with
+      | Error msg -> Alcotest.failf "dump does not parse: %s" msg
+      | Ok d ->
+          Alcotest.(check string) "tagged with the trigger" "deopt-storm" d.Flight.d_reason;
+          Alcotest.(check bool) "ring events captured" true (d.Flight.d_events > 0);
+          Alcotest.(check int) "entries match the header count" d.Flight.d_events
+            (List.length d.Flight.d_entries);
+          let text = Report.flight_to_string d in
+          Alcotest.(check bool) "report renders the deopts" true
+            (Test_support.contains text "deopt");
+          Alcotest.(check bool) "json renders the reason" true
+            (Test_support.contains (Report.flight_to_json d) "\"reason\":\"deopt-storm\""))
+
+(* ------------------------------------------------------------------ *)
+(* Profiling-off parity                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Profiling must be invisible: over the shared corpus and the full
+   configuration matrix, a profiled run returns the same outcome and
+   bit-identical deterministic counters as an unprofiled one. This is
+   the profiler twin of the trace zero-overhead gate. *)
+let prop_profiling_off_parity =
+  let corpus = Array.of_list Programs.corpus in
+  let cells = Array.of_list (Test_support.all_cells ()) in
+  let gen =
+    QCheck2.Gen.(
+      pair (int_bound (Array.length corpus - 1)) (int_bound (Array.length cells - 1)))
+  in
+  let print (pi, ci) =
+    Printf.sprintf "%s under %s" (fst corpus.(pi)) (Test_support.cell_name cells.(ci))
+  in
+  let observe src cell =
+    let program = Link.compile_source src in
+    let config =
+      Test_support.config_of_cell
+        ~base:{ Jit.default_config with Jit.compile_threshold = 4; osr_threshold = 3 }
+        cell
+    in
+    let vm = Vm.create ~config program in
+    let r = Vm.run_main_iterations vm 6 in
+    Vm.quiesce vm;
+    (Test_support.outcome r, Test_support.deterministic_counters r.Vm.stats)
+  in
+  QCheck2.Test.make ~name:"profiling changes no result and no counter"
+    ~count:(Test_env.qcheck_count 25) ~print gen
+    (fun (pi, ci) ->
+      let _, src = corpus.(pi) in
+      let cell = cells.(ci) in
+      (* off: make sure nothing is installed, whatever the suite env did *)
+      let saved_cpu = Pcpu.installed () and saved_heap = Pheap.installed () in
+      Pcpu.uninstall ();
+      Pheap.uninstall ();
+      let off =
+        Fun.protect
+          ~finally:(fun () ->
+            (match saved_cpu with Some p -> Pcpu.install p | None -> ());
+            match saved_heap with Some p -> Pheap.install p | None -> ())
+          (fun () -> observe src cell)
+      in
+      let on = with_profilers ~interval:64 (fun _ _ -> observe src cell) in
+      off = on)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "byte-identical across runs" `Quick test_identical_across_runs;
+          Alcotest.test_case "byte-identical across tiers" `Quick test_identical_across_tiers;
+          Alcotest.test_case "replay = async" `Quick test_identical_replay_async;
+          Alcotest.test_case "sync = replay without compiles" `Quick
+            test_sync_replay_interp_only;
+          Alcotest.test_case "collapsed-stack golden" `Quick test_collapsed_golden;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "none vs pea at one site" `Quick test_attribution_none_vs_pea;
+          Alcotest.test_case "remat attribution" `Quick test_remat_attribution;
+        ] );
+      ("flight", [ Alcotest.test_case "dump on deopt storm" `Quick test_flight_dump_on_storm ]);
+      ( "parity",
+        [ QCheck_alcotest.to_alcotest ~verbose:false prop_profiling_off_parity ] );
+    ]
