@@ -215,39 +215,54 @@ let bechamel_section () =
 (* Wall-clock comparison of the two execution tiers on the three most
    invoke-heavy workload rows (ranked by calibrated operations per
    iteration — each operation is one call into the Work class). Each tier
-   gets its own fully warmed VM, so the staged measurement isolates
-   steady-state compiled execution, where the tiers differ; the
-   deterministic cost model is tier-independent by construction, which the
-   parity column re-checks end to end. *)
+   gets its own fully warmed VM, so the measurement isolates steady-state
+   compiled execution, where the tiers differ; the deterministic cost
+   model is tier-independent by construction, which the parity column
+   re-checks end to end.
+
+   Timing discipline: fastest of [batches] interleaved batches of [reps]
+   steady-state iterations, after one warm-up batch per tier — the same
+   estimator the profiling gate uses. The OLS fit over per-run samples
+   this section used before left the closure-vs-direct margin as thin as
+   1.01x on a busy machine and the gate flaked; the minimum over
+   independent batches discards scheduler noise instead of averaging it
+   in. *)
 let exec_tier_section () =
   header "Execution tiers: closure-compiled vs direct, most invoke-heavy rows";
-  let open Bechamel in
   let ranked =
     List.sort
       (fun a b -> compare (Codegen.calibrate b).Codegen.ops (Codegen.calibrate a).Codegen.ops)
       (Spec.dacapo @ Spec.scala_dacapo @ Spec.specjbb)
   in
   let rows = List.filteri (fun i _ -> i < 3) ranked in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 50) () in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let estimate test =
-    let results = Benchmark.all cfg [ instance ] test in
-    let ols =
-      Analyze.all
-        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-        instance results
-    in
-    Hashtbl.fold
-      (fun _ r acc -> match Analyze.OLS.estimates r with Some [ e ] -> e | _ -> acc)
-      ols nan
-  in
-  let steady_state src tier =
+  let batches = 5 and reps = 10 in
+  let steady_vm src tier =
     let config =
       { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 2; exec_tier = tier }
     in
     let vm = Pea_vm.Vm.create ~config (Pea_bytecode.Link.compile_source src) in
     ignore (Pea_vm.Vm.run_main_iterations vm 3);
-    Staged.stage (fun () -> ignore (Pea_vm.Vm.run_main_iterations vm 1))
+    vm
+  in
+  let batch vm =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      ignore (Pea_vm.Vm.run_main_iterations vm 1)
+    done;
+    Sys.time () -. t0
+  in
+  let measure_ns src =
+    let vm_direct = steady_vm src Pea_vm.Jit.Direct in
+    let vm_closure = steady_vm src Pea_vm.Jit.Closure in
+    ignore (batch vm_direct) (* warm-up batches before timing *);
+    ignore (batch vm_closure);
+    let t_direct = ref infinity and t_closure = ref infinity in
+    for _ = 1 to batches do
+      t_direct := Float.min !t_direct (batch vm_direct);
+      t_closure := Float.min !t_closure (batch vm_closure)
+    done;
+    let per_iter t = t /. float_of_int reps *. 1e9 in
+    (per_iter !t_direct, per_iter !t_closure)
   in
   Printf.printf "%-14s | %13s %13s %9s | %s\n" "row" "direct ns/it" "closure ns/it" "speedup"
     "deterministic metrics";
@@ -255,14 +270,7 @@ let exec_tier_section () =
     List.map
       (fun (row : Spec.row) ->
         let src = Codegen.source_for_row row in
-        let direct_ns =
-          estimate
-            (Test.make ~name:(row.Spec.name ^ "-direct") (steady_state src Pea_vm.Jit.Direct))
-        in
-        let closure_ns =
-          estimate
-            (Test.make ~name:(row.Spec.name ^ "-closure") (steady_state src Pea_vm.Jit.Closure))
-        in
+        let direct_ns, closure_ns = measure_ns src in
         let md = Harness.measure_program ~exec_tier:Pea_vm.Jit.Direct src Pea_vm.Jit.O_pea in
         let mc = Harness.measure_program ~exec_tier:Pea_vm.Jit.Closure src Pea_vm.Jit.O_pea in
         let parity =
@@ -284,7 +292,7 @@ let exec_tier_section () =
     (fun i ((row : Spec.row), direct_ns, closure_ns, speedup, parity) ->
       Printf.fprintf oc
         "  {\"row\": %S, \"direct_ns_per_iter\": %.0f, \"closure_ns_per_iter\": %.0f, \
-         \"speedup\": %.3f, \"deterministic_parity\": %b}%s\n"
+         \"speedup\": %.3f, \"deterministic_parity\": %b, \"batches\": 5, \"reps\": 10}%s\n"
         row.Spec.name direct_ns closure_ns speedup parity
         (if i = List.length measured - 1 then "" else ","))
     measured;
@@ -296,6 +304,263 @@ let exec_tier_section () =
   Printf.printf "gate: closure strictly faster on every row: %s; deterministic metrics identical: %s\n"
     (if all_faster then "PASS" else "FAIL")
     (if all_parity then "PASS" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
+(* Stack allocation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The stack-allocation tier: frame-bounded objects that PEA must
+   materialize (merge phis, opaque writes by callees) land in the
+   frame's stack region instead of the heap and are reclaimed in O(1) at
+   frame pop. Three rows exercise the three interesting shapes:
+
+     merge           a Point allocated on both arms of a branch, merged,
+                     read, dropped — materialized at the phi, never
+                     escapes the frame
+     callee-write    the object is handed to a non-inlined callee that
+                     writes a field: the summary is No_escape but not
+                     transparent, so the argument materializes — still
+                     frame-bounded
+     deopt-promote   the merged object is live across a speculatively
+                     pruned branch that is taken late in every
+                     iteration: the deopt must promote the live stack
+                     object to the heap mid-frame (oracle-checked)
+
+   Every cell runs with the verifier at Every_phase (a SPEC12 violation
+   aborts the compile) and the deopt oracle on. The gate: pea+stackalloc
+   strictly beats pea on cycles, steady-state heap allocations reach
+   zero on the non-deopt rows, the deopt row actually promotes, and
+   results are bit-identical across opt x stackalloc x tier x
+   compile-mode. *)
+(* (name, compile threshold, source). The deopt-promote row compiles at
+   threshold 30 so the flip branch has a mature never-taken profile
+   (cold-branch pruning wants >= 20 samples) and actually gets pruned —
+   at threshold 2 the method compiles after 2 samples, nothing is
+   speculated, and no deopt ever carries a live stack object. *)
+let stackalloc_rows =
+  [
+    ( "merge",
+      2,
+      "class Point { int x; int y; Point(int x, int y) { this.x = x; this.y = y; } }\n\
+       class Main {\n\
+      \  static int work(int i) {\n\
+      \    Point p;\n\
+      \    if (i % 2 == 0) { p = new Point(i, 1); } else { p = new Point(i, 2); }\n\
+      \    return p.x + p.y;\n\
+      \  }\n\
+      \  static int main() {\n\
+      \    int acc = 0;\n\
+      \    int i = 0;\n\
+      \    while (i < 1000) { acc = acc + Main.work(i); i = i + 1; }\n\
+      \    return acc;\n\
+      \  }\n\
+       }" );
+    ( "callee-write",
+      2,
+      (* the stamp helper is far beyond the inlining budget, writes its
+         argument (summary: No_escape, written) and returns a scalar *)
+      String.concat "\n"
+        [
+          "class Box { int v; int tag; }";
+          "class Stamp {";
+          "  static int mark(Box b) {";
+          "    int r = b.v;";
+          String.concat "\n"
+            (List.init 60 (fun j -> Printf.sprintf "    r = r + ((b.v + %d) %% 5);" j));
+          "    b.tag = r % 97;";
+          "    return r + b.tag;";
+          "  }";
+          "}";
+          "class Main {";
+          "  static int work(int i) {";
+          "    Box b = new Box();";
+          "    b.v = i;";
+          "    return Stamp.mark(b) + b.tag;";
+          "  }";
+          "  static int main() {";
+          "    int acc = 0;";
+          "    int i = 0;";
+          "    while (i < 500) { acc = acc + Main.work(i); i = i + 1; }";
+          "    return acc;";
+          "  }";
+          "}";
+        ] );
+    ( "deopt-promote",
+      30,
+      "class Point { int x; int y; Point(int x, int y) { this.x = x; this.y = y; } }\n\
+       class Main {\n\
+      \  static int work(int i, int flip) {\n\
+      \    Point p;\n\
+      \    if (i % 2 == 0) { p = new Point(i, 1); } else { p = new Point(i, 2); }\n\
+      \    int r = p.x;\n\
+      \    if (flip == 1) { r = r + p.y * 10; }\n\
+      \    return r + p.y;\n\
+      \  }\n\
+      \  static int main() {\n\
+      \    int acc = 0;\n\
+      \    int i = 0;\n\
+      \    while (i < 1000) {\n\
+      \      int flip = 0;\n\
+      \      if (i == 900) { flip = 1; }\n\
+      \      acc = acc + Main.work(i, flip);\n\
+      \      i = i + 1;\n\
+      \    }\n\
+      \    return acc;\n\
+      \  }\n\
+       }" );
+  ]
+
+let stackalloc_section () =
+  header "Stack allocation: frame-bounded materializations, reclaimed at frame pop";
+  let outcome (r : Pea_vm.Vm.result) =
+    ( (match r.Pea_vm.Vm.return_value with
+      | None -> "void"
+      | Some v -> Pea_rt.Value.string_of_value v),
+      List.map Pea_rt.Value.string_of_value r.Pea_vm.Vm.printed )
+  in
+  (* steady state: warm 2 iterations (everything compiles at threshold
+     2), then measure per-iteration deltas over 3 more *)
+  let cell src ~threshold ~opt ~stackalloc ~tier ~mode =
+    let config =
+      {
+        Pea_vm.Jit.default_config with
+        Pea_vm.Jit.compile_threshold = threshold;
+        opt;
+        stackalloc;
+        exec_tier = tier;
+        compile_mode = mode;
+        check_level = Pea_analysis.Spec_check.Every_phase;
+        oracle = true;
+      }
+    in
+    let vm = Pea_vm.Vm.create ~config (Pea_bytecode.Link.compile_source src) in
+    ignore (Pea_vm.Vm.run_main_iterations vm 2);
+    let before = (Pea_vm.Vm.run_main_iterations vm 0).Pea_vm.Vm.stats in
+    let r = Pea_vm.Vm.run_main_iterations vm 3 in
+    Pea_vm.Vm.quiesce vm;
+    let d getter = (getter r.Pea_vm.Vm.stats - getter before) / 3 in
+    (* promotions happen at the one deopt before the site is
+       blacklisted and the method recompiled without the pruned branch,
+       so they are invisible in the steady-state delta: report the
+       run's cumulative total instead *)
+    ( d (fun (s : Pea_rt.Stats.snapshot) -> s.Pea_rt.Stats.s_allocations),
+      d (fun s -> s.Pea_rt.Stats.s_cycles),
+      d (fun s -> s.Pea_rt.Stats.s_stack_allocs),
+      d (fun s -> s.Pea_rt.Stats.s_stack_reclaimed),
+      r.Pea_vm.Vm.stats.Pea_rt.Stats.s_stack_promotions,
+      outcome r )
+  in
+  (* offline SPEC12 sweep: compile every method of the row the way the
+     VM would and count verifier violations on the final graphs *)
+  let spec12_count src =
+    let program = Pea_bytecode.Link.compile_source src in
+    let printed = ref [] in
+    let env = Pea_rt.Run.make_env program ~printed in
+    (try ignore (Pea_rt.Interp.run env (Pea_bytecode.Link.entry_exn program) [])
+     with Pea_rt.Interp.Trap _ | Pea_rt.Interp.Mj_throw _ -> ());
+    let summaries = Pea_analysis.Summary.analyze program in
+    let config = { Pea_vm.Jit.default_config with Pea_vm.Jit.compile_threshold = 2 } in
+    List.fold_left
+      (fun acc m ->
+        match Pea_vm.Jit.compile ~summaries config program env.Pea_rt.Interp.profile m with
+        | c ->
+            acc
+            + List.length
+                (List.filter
+                   (fun (v : Pea_analysis.Spec_check.violation) ->
+                     v.Pea_analysis.Spec_check.v_rule = "SPEC12")
+                   (Pea_analysis.Spec_check.check ~summaries ~phase:"final" c.Pea_vm.Jit.graph))
+        | exception Pea_ir.Builder.Build_error _ -> acc)
+      0
+      (List.filter
+         (fun m -> not (Pea_bytecode.Classfile.uses_exceptions m))
+         (Array.to_list program.Pea_bytecode.Link.methods))
+  in
+  Printf.printf "%-14s | %10s %10s %8s | %9s %9s %9s %9s | %s\n" "row" "pea cyc" "+stack cyc"
+    "speedup" "allocs/it" "stack/it" "reclaim" "promote" "parity (16 cells)";
+  let measured =
+    List.map
+      (fun (name, threshold, src) ->
+        let allocs_off, cycles_off, _, _, _, out0 =
+          cell src ~threshold ~opt:Pea_vm.Jit.O_pea ~stackalloc:false ~tier:Pea_vm.Jit.Closure
+            ~mode:Pea_vm.Jit.Sync
+        in
+        let allocs_on, cycles_on, stack_on, reclaimed_on, promoted_on, _ =
+          cell src ~threshold ~opt:Pea_vm.Jit.O_pea ~stackalloc:true ~tier:Pea_vm.Jit.Closure
+            ~mode:Pea_vm.Jit.Sync
+        in
+        (* full matrix: opt x stackalloc x tier x compile-mode, every
+           cell oracle-checked, all results must be bit-identical *)
+        let parity =
+          List.for_all
+            (fun (opt, stackalloc) ->
+              List.for_all
+                (fun tier ->
+                  List.for_all
+                    (fun mode ->
+                      let _, _, _, _, _, out = cell src ~threshold ~opt ~stackalloc ~tier ~mode in
+                      out = out0)
+                    [ Pea_vm.Jit.Sync; Pea_vm.Jit.Replay ])
+                [ Pea_vm.Jit.Direct; Pea_vm.Jit.Closure ])
+            [
+              (Pea_vm.Jit.O_none, false);
+              (Pea_vm.Jit.O_ea, false);
+              (Pea_vm.Jit.O_pea, false);
+              (Pea_vm.Jit.O_pea, true);
+            ]
+        in
+        let spec12 = spec12_count src in
+        let speedup = float_of_int cycles_off /. float_of_int cycles_on in
+        Printf.printf "%-14s | %10d %10d %7.2fx | %9d %9d %9d %9d | %s, SPEC12: %d\n%!" name
+          cycles_off cycles_on speedup allocs_on stack_on reclaimed_on promoted_on
+          (if parity then "identical" else "MISMATCH")
+          spec12;
+        (name, cycles_off, cycles_on, allocs_off, allocs_on, stack_on, reclaimed_on, promoted_on,
+         parity, spec12))
+      stackalloc_rows
+  in
+  let oc = open_out "BENCH_stackalloc.json" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i
+         (name, cycles_off, cycles_on, allocs_off, allocs_on, stack_on, reclaimed, promoted,
+          parity, spec12) ->
+      Printf.fprintf oc
+        "  {\"row\": %S, \"pea_cycles_per_iter\": %d, \"stackalloc_cycles_per_iter\": %d, \
+         \"pea_allocs_per_iter\": %d, \"stackalloc_allocs_per_iter\": %d, \
+         \"stack_allocs_per_iter\": %d, \"stack_reclaimed_per_iter\": %d, \
+         \"stack_promotions_total\": %d, \"results_identical\": %b, \"spec12_violations\": \
+         %d}%s\n"
+        name cycles_off cycles_on allocs_off allocs_on stack_on reclaimed promoted parity spec12
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_stackalloc.json\n";
+  let faster =
+    List.for_all (fun (_, off, on, _, _, _, _, _, _, _) -> on < off) measured
+  in
+  let gated (name, _, _, _, _, _, _, _, _, _) = name <> "deopt-promote" in
+  let zero_heap =
+    List.for_all
+      (fun (_, _, _, _, allocs_on, _, _, _, _, _) -> allocs_on = 0)
+      (List.filter gated measured)
+  in
+  let promoted =
+    List.exists (fun (name, _, _, _, _, _, _, p, _, _) -> name = "deopt-promote" && p > 0)
+      measured
+  in
+  let parity = List.for_all (fun (_, _, _, _, _, _, _, _, p, _) -> p) measured in
+  let spec12_clean = List.for_all (fun (_, _, _, _, _, _, _, _, _, s) -> s = 0) measured in
+  Printf.printf
+    "gate: pea+stackalloc strictly beats pea on cycles: %s; steady-state heap allocs zero on \
+     gated rows: %s; deopt promotes live stack objects (oracle clean): %s; results \
+     bit-identical across opt x stackalloc x tier x compile-mode: %s; SPEC12 violations: %s\n"
+    (if faster then "PASS" else "FAIL")
+    (if zero_heap then "PASS" else "FAIL")
+    (if promoted then "PASS" else "FAIL")
+    (if parity then "PASS" else "FAIL")
+    (if spec12_clean then "0, PASS" else "FAIL")
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -1076,6 +1341,7 @@ let () =
   osr_section ();
   parallel_jit_section ();
   verify_section ();
+  stackalloc_section ();
   breakdown_section ();
   if not fast then begin
     bechamel_section ();

@@ -10,7 +10,9 @@
 # MJVM_TEST_EXEC_TIER / MJVM_TEST_OSR / MJVM_TEST_COMPILE_MODE /
 # MJVM_TEST_INLINING (see
 # test/test_env.ml); a differential or monotonicity failure in any cell
-# is a real bug in that configuration. Three final cells re-run the
+# is a real bug in that configuration. Two extra cells re-run the
+# default configuration with the stack-allocation tier forced off
+# (MJVM_TEST_STACKALLOC=off), alone and under the correctness tooling. Three final cells re-run the
 # default configuration with a global tracer installed
 # (MJVM_TEST_TRACE=1) and with the global sampling + heap profilers
 # installed (MJVM_TEST_PROFILE=1) to check that instrumentation never
@@ -114,6 +116,17 @@ for opt in none ea pea; do
     done
   done
 done
+
+# Stack-allocation tier off: every frame-bounded materialization falls
+# back to a heap allocation. Results, differential properties and the
+# interpreted-vs-compiled parity suites must not move; only the
+# allocation counters may.
+run_cell "stackalloc=off (frame-bounded materializations fall back to the heap)" \
+  "MJVM_TEST_STACKALLOC=off"
+# And crossed with the correctness tooling: with stack allocation off no
+# SPEC12 rule should ever fire and no deopt should ever promote.
+run_cell "stackalloc=off check-level=every-phase oracle=on" \
+  "MJVM_TEST_STACKALLOC=off" "MJVM_TEST_CHECK_LEVEL=every-phase" "MJVM_TEST_ORACLE=on"
 
 run_cell "check-level=none (verifier fully off: production-shaped config)" \
   "MJVM_TEST_CHECK_LEVEL=none"

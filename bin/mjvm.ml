@@ -104,6 +104,14 @@ let no_summaries_arg =
           "Disable interprocedural escape summaries (every non-inlined call becomes a hard \
            escape point again)")
 
+let no_stackalloc_arg =
+  Arg.(
+    value & flag
+    & info [ "no-stackalloc" ]
+        ~doc:
+          "Disable the stack-allocation tier (frame-bounded materializations then go back to \
+           the heap instead of the frame's stack region)")
+
 let osr_threshold_arg =
   Arg.(
     value
@@ -228,8 +236,8 @@ let setup_logs verbose =
     Logs.Src.set_level Vm.log_src (Some Logs.Debug)
   end
 
-let config opt threshold no_inline no_inlining no_prune no_summaries exec_tier osr_threshold
-    no_osr compile_mode compile_queue_cap compile_domains check_level oracle =
+let config opt threshold no_inline no_inlining no_prune no_summaries no_stackalloc exec_tier
+    osr_threshold no_osr compile_mode compile_queue_cap compile_domains check_level oracle =
   {
     Jit.default_config with
     Jit.opt;
@@ -238,6 +246,7 @@ let config opt threshold no_inline no_inlining no_prune no_summaries exec_tier o
     inlining = not no_inlining;
     prune = not no_prune;
     summaries = not no_summaries;
+    stackalloc = not no_stackalloc;
     exec_tier;
     osr = not no_osr;
     osr_threshold;
@@ -270,16 +279,16 @@ let compile_file_or_exit ?require_main file =
 
 let run_cmd =
   let action file opt threshold iterations stats no_inline no_inlining no_prune no_summaries
-      exec_tier osr_threshold no_osr compile_mode compile_queue_cap compile_domains check_level
-      oracle verbose trace trace_format flight_dump =
+      no_stackalloc exec_tier osr_threshold no_osr compile_mode compile_queue_cap compile_domains
+      check_level oracle verbose trace trace_format flight_dump =
     setup_logs verbose;
     let program = compile_file_or_exit file in
     (let vm =
        Vm.create
          ~config:
-           (config opt threshold no_inline no_inlining no_prune no_summaries exec_tier
-              osr_threshold no_osr compile_mode compile_queue_cap compile_domains check_level
-              oracle)
+           (config opt threshold no_inline no_inlining no_prune no_summaries no_stackalloc
+              exec_tier osr_threshold no_osr compile_mode compile_queue_cap compile_domains
+              check_level oracle)
          program
      in
      let tracer =
@@ -342,7 +351,9 @@ let run_cmd =
                 "allocations: %d\n\
                  allocated bytes: %d\n\
                  monitor ops: %d\n\
-                 scratch (uncharged) objects: %d\n\
+                 stack/scratch (uncharged) objects: %d\n\
+                 stack objects reclaimed at frame pop: %d\n\
+                 stack objects promoted at deopt: %d\n\
                  cycles: %d\n\
                  deopts: %d\n\
                  rematerialized: %d\n\
@@ -364,6 +375,8 @@ let run_cmd =
                  compile failures: %d\n"
                 r.Vm.stats.Pea_rt.Stats.s_allocations r.Vm.stats.Pea_rt.Stats.s_allocated_bytes
                 r.Vm.stats.Pea_rt.Stats.s_monitor_ops r.Vm.stats.Pea_rt.Stats.s_stack_allocs
+                r.Vm.stats.Pea_rt.Stats.s_stack_reclaimed
+                r.Vm.stats.Pea_rt.Stats.s_stack_promotions
                 r.Vm.stats.Pea_rt.Stats.s_cycles r.Vm.stats.Pea_rt.Stats.s_deopts
                 r.Vm.stats.Pea_rt.Stats.s_rematerialized r.Vm.stats.Pea_rt.Stats.s_compiled_methods
                 r.Vm.stats.Pea_rt.Stats.s_closure_compiled_methods r.Vm.stats.Pea_rt.Stats.s_ic_hits
@@ -392,8 +405,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ file_arg $ opt_arg $ threshold_arg $ iterations_arg $ stats_arg
-      $ no_inline_arg $ no_inlining_arg $ no_prune_arg $ no_summaries_arg $ tier_arg
-      $ osr_threshold_arg
+      $ no_inline_arg $ no_inlining_arg $ no_prune_arg $ no_summaries_arg $ no_stackalloc_arg
+      $ tier_arg $ osr_threshold_arg
       $ no_osr_arg $ mode_arg $ queue_cap_arg $ domains_arg $ check_level_arg $ oracle_arg
       $ verbose_arg $ trace_arg $ trace_format_arg $ flight_dump_arg)
   in
@@ -467,7 +480,11 @@ let dump_cmd =
                 let g', st =
                   match stage with
                   | `Ea -> Pea_core.Escape.run ~summaries g
-                  | `Pea | `Dot -> Pea_core.Pea.run ~summaries g
+                  | `Pea | `Dot ->
+                      (* same eligibility the JIT computes, so the dump
+                         shows the graphs the VM actually runs *)
+                      let stack_eligible = Pea_core.Escape.frame_bounded ~summaries g in
+                      Pea_core.Pea.run ~stack_eligible ~summaries g
                 in
                 ignore (Pea_opt.Canonicalize.run g');
                 if stage = `Dot then print_string (Pea_ir.Printer.to_dot g')
@@ -475,11 +492,12 @@ let dump_cmd =
                   print_string (Pea_ir.Printer.to_string g');
                   Printf.printf
                     "\n\
-                     ; %d virtualized, %d materialized, %d loads removed, %d stores removed, %d \
-                     monitor ops removed, %d checks folded\n"
+                     ; %d virtualized, %d materialized (%d to stack), %d loads removed, %d \
+                     stores removed, %d monitor ops removed, %d checks folded\n"
                     st.Pea_core.Pea.virtualized_allocs st.Pea_core.Pea.materializations
-                    st.Pea_core.Pea.removed_loads st.Pea_core.Pea.removed_stores
-                    st.Pea_core.Pea.removed_monitor_ops st.Pea_core.Pea.folded_checks
+                    st.Pea_core.Pea.stack_materializations st.Pea_core.Pea.removed_loads
+                    st.Pea_core.Pea.removed_stores st.Pea_core.Pea.removed_monitor_ops
+                    st.Pea_core.Pea.folded_checks
                 end))
   in
   let term = Term.(const action $ file_arg $ method_arg $ stage_arg) in
@@ -516,7 +534,7 @@ let observed_arg =
            method; the run uses the default VM configuration")
 
 let explain_cmd =
-  let action file spec no_summaries osr_bci observed iterations =
+  let action file spec no_summaries no_stackalloc osr_bci observed iterations =
     let program = compile_file_or_exit ~require_main:false file in
     let cls, name =
       match String.index_opt spec '.' with
@@ -549,8 +567,8 @@ let explain_cmd =
             exit 3
     in
     match
-      Explain.analyze ~summaries:(not no_summaries) ?osr_at:osr_bci ?observed:observed_tbl
-        program m
+      Explain.analyze ~summaries:(not no_summaries) ~stackalloc:(not no_stackalloc)
+        ?osr_at:osr_bci ?observed:observed_tbl program m
     with
     | report -> print_string (Explain.to_string report)
     | exception Pea_ir.Builder.Build_error msg ->
@@ -559,8 +577,8 @@ let explain_cmd =
   in
   let term =
     Term.(
-      const action $ file_arg $ explain_method_arg $ no_summaries_arg $ osr_bci_arg
-      $ observed_arg $ iterations_arg)
+      const action $ file_arg $ explain_method_arg $ no_summaries_arg $ no_stackalloc_arg
+      $ osr_bci_arg $ observed_arg $ iterations_arg)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -650,7 +668,7 @@ let check_cmd =
                   (fun v ->
                     incr violations;
                     Format.printf "%a@." Pea_analysis.Spec_check.pp_violation v)
-                  (Pea_analysis.Spec_check.check ~phase:"final" compiled.Jit.graph)
+                  (Pea_analysis.Spec_check.check ~summaries ~phase:"final" compiled.Jit.graph)
             | exception Pea_ir.Builder.Build_error msg ->
                 Printf.eprintf "skipping %s: %s\n" qualified msg))
       targets;

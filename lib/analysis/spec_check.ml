@@ -44,7 +44,17 @@
                                 invokevirtual bytecode of its method, is
                                 exclusive with branch provenance, and its
                                 deopt state resumes exactly at that call
-                                site (the pre-call frame) *)
+                                site (the pre-call frame)
+   SPEC12 stack-confinement     no alias of a frame-bounded stack
+                                allocation (Stack_alloc Sk_frame) reaches
+                                a frame-outliving sink: a return, a
+                                static store, a print, a store into a
+                                non-stack holder, a heap materialization
+                                field, or an invoke argument whose
+                                summary position may globally escape.
+                                Frame-state references are exempt: deopt
+                                promotes live stack objects to the heap
+                                during rematerialization *)
 
 open Pea_bytecode
 open Pea_ir
@@ -86,6 +96,7 @@ let rules =
     ("SPEC09", "state-bci-range: a frame's resume bci is outside its method's code");
     ("SPEC10", "bad-resume-point: an outer frame does not resume just after an invoke");
     ("SPEC11", "bad-guard-provenance: guard provenance does not name its invokevirtual call site");
+    ("SPEC12", "stack-confinement: a frame-bounded stack allocation reaches a frame-outliving sink");
   ]
 
 let pp_violation ppf v =
@@ -114,7 +125,7 @@ let is_invoke_bc = function
   | Classfile.Invokevirtual _ | Classfile.Invokestatic _ | Classfile.Invokespecial _ -> true
   | _ -> false
 
-let check ?(phase = "") (g : Graph.t) : violation list =
+let check ?summaries ?(phase = "") (g : Graph.t) : violation list =
   let meth = Classfile.qualified_name g.Graph.g_method in
   let violations = ref [] in
   let report ~rule ~site fmt =
@@ -400,10 +411,125 @@ let check ?(phase = "") (g : Graph.t) : violation list =
   in
   if reachable.(Graph.entry_id) then dfs Graph.entry_id;
 
+  (* ---- SPEC12: stack-allocation confinement ------------------------ *)
+  (* A frame-bounded stack allocation ([Stack_alloc Sk_frame]) lives in
+     the frame's stack region and is reclaimed when the frame pops, so no
+     alias of it may outlive the frame. Compute the possibly-stack value
+     set (the allocations themselves, closed over phis, casts, and the
+     results of calls whose summary says the argument is reachable from
+     the return value) to a fixpoint, then flag every flow into a sink
+     that survives the frame. Frame-state references to stack nodes are
+     deliberately allowed: deoptimization promotes live stack objects to
+     the heap during rematerialization, so deopt metadata cannot dangle. *)
+  let stack : (Node.node_id, unit) Hashtbl.t = Hashtbl.create 8 in
+  let is_stack id = Hashtbl.mem stack id in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let add id =
+      if not (is_stack id) then begin
+        Hashtbl.replace stack id ();
+        changed := true
+      end
+    in
+    Graph.iter_blocks
+      (fun b ->
+        if reachable.(b.Graph.b_id) then begin
+          List.iter
+            (fun (n : Node.t) ->
+              match n.Node.op with
+              | Node.Phi p -> if Array.exists is_stack p.Node.inputs then add n.Node.id
+              | _ -> ())
+            b.Graph.phis;
+          Pea_support.Dyn_array.iter
+            (fun (n : Node.t) ->
+              match n.Node.op with
+              | Node.Stack_alloc (Node.Sk_frame, _, _)
+              | Node.Stack_alloc_array (Node.Sk_frame, _, _) ->
+                  add n.Node.id
+              | Node.Check_cast (a, _) -> if is_stack a then add n.Node.id
+              | Node.Invoke (k, m, args) -> (
+                  (* an Arg_escape position makes the call result a
+                     possible alias of the argument *)
+                  match summaries with
+                  | None -> ()
+                  | Some t ->
+                      let cs = Summary.call_summary t k m in
+                      Array.iteri
+                        (fun j a ->
+                          if
+                            is_stack a
+                            && j < Array.length cs.Summary.s_params
+                            && cs.Summary.s_params.(j).Summary.ps_escape = Summary.Arg_escape
+                          then add n.Node.id)
+                        args)
+              | _ -> ())
+            b.Graph.instrs
+        end)
+      g
+  done;
+  Graph.iter_blocks
+    (fun b ->
+      if reachable.(b.Graph.b_id) then begin
+        Pea_support.Dyn_array.iter
+          (fun (n : Node.t) ->
+            let site = Printf.sprintf "v%d" n.Node.id in
+            match n.Node.op with
+            | Node.Store_static (_, v) when is_stack v ->
+                report ~rule:"SPEC12" ~site
+                  "stack allocation v%d is stored into a static field and outlives its frame" v
+            | Node.Print v when is_stack v ->
+                report ~rule:"SPEC12" ~site "stack allocation v%d is printed (retained)" v
+            | Node.Store_field (o, _, v) when is_stack v && not (is_stack o) ->
+                report ~rule:"SPEC12" ~site
+                  "stack allocation v%d is stored into non-stack holder v%d" v o
+            | Node.Array_store (a, _, v) when is_stack v && not (is_stack a) ->
+                report ~rule:"SPEC12" ~site
+                  "stack allocation v%d is stored into non-stack array v%d" v a
+            | Node.Alloc (_, fields) | Node.Alloc_array (_, fields) ->
+                Array.iter
+                  (fun f ->
+                    if is_stack f then
+                      report ~rule:"SPEC12" ~site
+                        "stack allocation v%d is a field of heap materialization v%d" f n.Node.id)
+                  fields
+            | Node.Invoke (k, m, args) ->
+                Array.iteri
+                  (fun j a ->
+                    if is_stack a then
+                      match summaries with
+                      | None ->
+                          report ~rule:"SPEC12" ~site
+                            "stack allocation v%d passed to %s with no summary table" a
+                            (Classfile.qualified_name m)
+                      | Some t ->
+                          let cs = Summary.call_summary t k m in
+                          if
+                            j >= Array.length cs.Summary.s_params
+                            || cs.Summary.s_params.(j).Summary.ps_escape
+                               = Summary.Global_escape
+                          then
+                            report ~rule:"SPEC12" ~site
+                              "stack allocation v%d passed to %s at a position that may \
+                               globally escape"
+                              a
+                              (Classfile.qualified_name m))
+                  args
+            | _ -> ())
+          b.Graph.instrs;
+        match b.Graph.term with
+        | Graph.Return (Some v) when is_stack v ->
+            report ~rule:"SPEC12"
+              ~site:(Printf.sprintf "B%d/return" b.Graph.b_id)
+              "stack allocation v%d is returned and outlives its frame" v
+        | _ -> ()
+      end)
+    g;
+
   List.rev !violations
 
-let check_exn ?phase g =
-  match check ?phase g with
+let check_exn ?summaries ?phase g =
+  match check ?summaries ?phase g with
   | [] -> ()
   | vs ->
       failwith

@@ -7,9 +7,10 @@
     points, and escape status that is monotone along dominator paths;
     OSR-entry graphs carry a complete live-local transfer map; receiver
     guards name their invokevirtual call site and deopt to the pre-call
-    state. Each rule has a stable id (SPEC01..SPEC11, see {!rules})
-    surfaced in diagnostics, trace events and the [mjvm check]
-    subcommand. *)
+    state; no alias of a frame-bounded stack allocation reaches a sink
+    that outlives its frame. Each rule has a stable id (SPEC01..SPEC12,
+    see {!rules}) surfaced in diagnostics, trace events and the
+    [mjvm check] subcommand. *)
 
 open Pea_ir
 
@@ -38,9 +39,12 @@ val rules : (string * string) list
 
 val pp_violation : Format.formatter -> violation -> unit
 
-(** [check ?phase g] returns all violations, in discovery order. The
-    graph must be structurally valid ({!Pea_ir.Check.check}) first. *)
-val check : ?phase:string -> Graph.t -> violation list
+(** [check ?summaries ?phase g] returns all violations, in discovery
+    order. The graph must be structurally valid ({!Pea_ir.Check.check})
+    first. [summaries] supplies the interprocedural escape summaries
+    used by SPEC12 to judge invoke arguments: without a table, any stack
+    allocation passed to a callee is a violation. *)
+val check : ?summaries:Summary.t -> ?phase:string -> Graph.t -> violation list
 
 (** @raise Failure listing every violation, if any. *)
-val check_exn : ?phase:string -> Graph.t -> unit
+val check_exn : ?summaries:Summary.t -> ?phase:string -> Graph.t -> unit

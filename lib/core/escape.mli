@@ -19,6 +19,22 @@ open Pea_ir
 val escaping_allocations :
   ?summaries:Pea_analysis.Summary.t -> Graph.t -> Node.node_id -> bool
 
+(** [frame_bounded ?summaries g] computes which allocations provably never
+    outlive their compiled activation, as a predicate on allocation node
+    ids — the eligibility analysis of the stack-allocation tier. An
+    allocation is frame-bounded when no alias of it is returned, stored
+    into a static or into an object that may outlive the frame, printed,
+    or passed to a callee whose summary admits a global escape at that
+    position ([Arg_escape] — reachable from the return value only — is
+    allowed; the call result is then tracked as a possible alias). Frame
+    states are not escape sinks: deoptimization promotes live stack
+    objects to the heap during rematerialization. PEA consults this
+    predicate when it must materialize a virtual object
+    ({!Pea.run}'s [stack_eligible]); eligible sites get
+    [Node.Stack_alloc (Sk_frame, ...)] instead of a heap allocation. *)
+val frame_bounded :
+  ?summaries:Pea_analysis.Summary.t -> Graph.t -> Node.node_id -> bool
+
 (** [run ?summaries g] is the all-or-nothing scalar replacement: classic
     escape analysis followed by whole-method scalar replacement of the
     non-escaping allocations. *)

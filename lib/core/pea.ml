@@ -22,6 +22,9 @@ type site_report = {
   mutable sr_stores : int;
   mutable sr_locks : int; (* monitor operations elided *)
   mutable sr_scratch : int; (* passed to callees as scratch allocations *)
+  mutable sr_stack : int;
+      (* materializations that went to the frame's stack region instead
+         of the heap (the site is frame-bounded) *)
   sr_origin : (string * string * int) list;
       (* inline provenance when the site lives in a spliced callee: one
          (caller, callee, call-site bci) triple per inline boundary,
@@ -36,6 +39,9 @@ type pass_stats = {
   mutable removed_monitor_ops : int;
   mutable folded_checks : int;
   mutable scratch_args : int; (* virtual objects passed to callees as scratch objects *)
+  mutable stack_materializations : int;
+      (* materializations emitted as frame-bounded stack allocations
+         (subset of [materializations]) *)
   mutable sites : site_report list; (* per-allocation-site provenance, by node id *)
 }
 
@@ -48,6 +54,7 @@ let mk_stats () =
     removed_monitor_ops = 0;
     folded_checks = 0;
     scratch_args = 0;
+    stack_materializations = 0;
     sites = [];
   }
 
@@ -57,6 +64,9 @@ type ctx = {
   vmap : (int, pvalue) Hashtbl.t; (* input node id -> translated value *)
   obj_ids : Pea_support.Fresh.t;
   force_escape : int -> bool;
+  stack_eligible : int -> bool;
+      (* input allocation node id -> the object is frame-bounded, so a
+         materialization may go to the stack region (Escape.frame_bounded) *)
   summaries : Summary.t option; (* interprocedural escape summaries, if enabled *)
   end_states : Pea_state.t option array; (* per input block *)
   loops : Loops.t;
@@ -237,6 +247,7 @@ let register_site ctx node_id cls block =
           sr_stores = 0;
           sr_locks = 0;
           sr_scratch = 0;
+          sr_stack = 0;
           sr_origin = inline_origin ctx block;
         }
       in
@@ -328,12 +339,30 @@ let materialize ctx ob (s : Pea_state.t ref) ~reason id : Node.node_id =
                       else go other)
                 fields
             in
+            let stack_ok =
+              (* frame-bounded objects materialize into the frame's stack
+                 region: same identity, fields and lock support, but no
+                 heap allocation — reclaimed wholesale at frame pop *)
+              match Hashtbl.find_opt ctx.obj_site id with
+              | Some site -> ctx.stack_eligible site
+              | None -> false
+            in
             let alloc =
               let fs = origin_fs ctx id in
-              match shape with
-              | Obj_shape cls -> emit ?fs ctx ob (Node.Alloc (cls, field_nodes))
-              | Arr_shape elem -> emit ?fs ctx ob (Node.Alloc_array (elem, field_nodes))
+              if stack_ok then
+                match shape with
+                | Obj_shape cls -> emit ?fs ctx ob (Node.Stack_alloc (Node.Sk_frame, cls, field_nodes))
+                | Arr_shape elem ->
+                    emit ?fs ctx ob (Node.Stack_alloc_array (Node.Sk_frame, elem, field_nodes))
+              else
+                match shape with
+                | Obj_shape cls -> emit ?fs ctx ob (Node.Alloc (cls, field_nodes))
+                | Arr_shape elem -> emit ?fs ctx ob (Node.Alloc_array (elem, field_nodes))
             in
+            if stack_ok then begin
+              ctx.pstats.stack_materializations <- ctx.pstats.stack_materializations + 1;
+              with_site ctx id (fun r -> r.sr_stack <- r.sr_stack + 1)
+            end;
             Hashtbl.replace results id alloc;
             s := add !s id (Escaped { e_shape = shape; materialized = alloc });
             (* re-lock: the object was virtually locked (Fig. 4c) *)
@@ -770,9 +799,11 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
                                      { meth = ctx.meth; site = r.site_node; callee }));
                           let sfs = origin_fs ctx oid in
                           (match shape with
-                          | Obj_shape cls -> emit ?fs:sfs ctx ob (Node.Stack_alloc (cls, fnodes))
+                          | Obj_shape cls ->
+                              emit ?fs:sfs ctx ob (Node.Stack_alloc (Node.Sk_scratch, cls, fnodes))
                           | Arr_shape elem ->
-                              emit ?fs:sfs ctx ob (Node.Stack_alloc_array (elem, fnodes)))
+                              emit ?fs:sfs ctx ob
+                                (Node.Stack_alloc_array (Node.Sk_scratch, elem, fnodes)))
                       | _ ->
                           (* materialized transitively during pass 1 *)
                           nof arg_reason (Pobj oid)
@@ -783,15 +814,15 @@ let process_instr ctx ob (sref : Pea_state.t ref) (n : Node.t) =
         args;
       let out = emit ?fs:(fs ()) ctx ob (Node.Invoke (k, m, arg_nodes)) in
       if Node.produces_value n.Node.op then set_tr ctx n.Node.id (Pnode out)
-  | Node.Stack_alloc (cls, args) ->
+  | Node.Stack_alloc (k, cls, args) ->
       (* produced by an earlier PEA pass: keep as-is with translated
          operands (and the attribution state, when it carries one) *)
       let arg_nodes = Array.map (fun a -> nof (u "scratch-argument") (tr ctx a)) args in
-      set_tr ctx n.Node.id (Pnode (emit ?fs:(fs ()) ctx ob (Node.Stack_alloc (cls, arg_nodes))))
-  | Node.Stack_alloc_array (elem, args) ->
+      set_tr ctx n.Node.id (Pnode (emit ?fs:(fs ()) ctx ob (Node.Stack_alloc (k, cls, arg_nodes))))
+  | Node.Stack_alloc_array (k, elem, args) ->
       let arg_nodes = Array.map (fun a -> nof (u "scratch-argument") (tr ctx a)) args in
       set_tr ctx n.Node.id
-        (Pnode (emit ?fs:(fs ()) ctx ob (Node.Stack_alloc_array (elem, arg_nodes))))
+        (Pnode (emit ?fs:(fs ()) ctx ob (Node.Stack_alloc_array (k, elem, arg_nodes))))
   | Node.Print a -> ignore (emit ?fs:(fs ()) ctx ob (Node.Print (nof (u "print") (tr ctx a))))
 
 (* ------------------------------------------------------------------ *)
@@ -1324,8 +1355,8 @@ let rec process_loop ctx header ~mark =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(force_escape = fun _ -> false) ?(prune_dead_objects = true) ?summaries
-    (in_g : Graph.t) : Graph.t * pass_stats =
+let run ?(force_escape = fun _ -> false) ?(stack_eligible = fun _ -> false)
+    ?(prune_dead_objects = true) ?summaries (in_g : Graph.t) : Graph.t * pass_stats =
   let doms = Dominators.compute in_g in
   let loops = Loops.compute in_g doms in
   let out_g = Graph.create in_g.Graph.g_method in
@@ -1344,6 +1375,7 @@ let run ?(force_escape = fun _ -> false) ?(prune_dead_objects = true) ?summaries
       vmap = Hashtbl.create 256;
       obj_ids = Pea_support.Fresh.create ();
       force_escape;
+      stack_eligible;
       summaries;
       prune_dead_objects;
       end_states = Array.make (Graph.n_blocks in_g) None;

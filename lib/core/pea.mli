@@ -41,6 +41,9 @@ type site_report = {
   mutable sr_stores : int;
   mutable sr_locks : int;  (** monitor operations elided *)
   mutable sr_scratch : int;  (** passed to callees as scratch allocations *)
+  mutable sr_stack : int;
+      (** materializations that went to the frame's stack region instead
+          of the heap (the site is frame-bounded) *)
   sr_origin : (string * string * int) list;
       (** inline provenance when the site lives in a spliced callee: one
           (caller, callee, call-site bci) triple per inline boundary,
@@ -59,6 +62,9 @@ type pass_stats = {
   mutable scratch_args : int;
       (* virtual objects passed to non-inlined callees as scratch
          ([Stack_alloc]) objects instead of being materialized *)
+  mutable stack_materializations : int;
+      (* materializations emitted as frame-bounded stack allocations
+         ([Stack_alloc Sk_frame]) — a subset of [materializations] *)
   mutable sites : site_report list;
       (* per-allocation-site provenance, sorted by input node id *)
 }
@@ -73,6 +79,14 @@ val mk_stats : unit -> pass_stats
     that must be materialized immediately at their allocation site; the
     whole-method escape analysis (see {!Escape}) uses it to reproduce the
     control-flow-insensitive behaviour of classic scalar replacement.
+
+    [stack_eligible] marks input allocation nodes whose objects provably
+    never outlive their compiled activation (see {!Escape.frame_bounded}).
+    When such an object must materialize, the pass emits a frame-bounded
+    stack allocation ([Stack_alloc (Sk_frame, ...)]) in place of a heap
+    [Alloc]: same identity, field and lock semantics, but the runtime
+    places it in the frame's stack region and reclaims it in O(1) at
+    frame pop. Default: nothing is eligible (the stack tier is off).
 
     [prune_dead_objects] (default [true]) controls whether objects with no
     remaining uses are dropped from the state at control-flow merges
@@ -91,6 +105,7 @@ val mk_stats : unit -> pass_stats
     @raise Failure on malformed input graphs. *)
 val run :
   ?force_escape:(Node.node_id -> bool) ->
+  ?stack_eligible:(Node.node_id -> bool) ->
   ?prune_dead_objects:bool ->
   ?summaries:Pea_analysis.Summary.t ->
   Graph.t ->

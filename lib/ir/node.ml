@@ -26,6 +26,15 @@ type invoke_kind =
   | Static
   | Special (* constructor: no dispatch, no result *)
 
+type stack_kind =
+  | Sk_scratch
+      (* summary-cleared scratch argument: the callee provably cannot
+         retain it, so it dies with the call and needs no region *)
+  | Sk_frame
+      (* frame-bounded materialization: a real object with identity,
+         field stores/loads and lock support, allocated in the current
+         frame's stack region and reclaimed in O(1) at frame pop *)
+
 type op =
   | Const of const
   | Param of int (* index into the argument list; 0 is [this] for instance methods *)
@@ -43,13 +52,15 @@ type op =
       (* materialization of a scalar-replaced fixed-length array,
          initialized with the given element values *)
   | New_array of Pea_mjava.Ast.ty * node_id (* element type, length *)
-  | Stack_alloc of Classfile.rt_class * node_id array
-      (* scratch materialization: builds a real object with the given
-         field values but charges no heap allocation; emitted by PEA
-         when a virtual object is passed to a non-inlined callee whose
-         summary proves the argument cannot escape or be written *)
-  | Stack_alloc_array of Pea_mjava.Ast.ty * node_id array
-      (* scratch materialization of a scalar-replaced fixed-length array *)
+  | Stack_alloc of stack_kind * Classfile.rt_class * node_id array
+      (* stack materialization: builds a real object with the given field
+         values but charges no heap allocation. [Sk_scratch] is emitted
+         by PEA when a virtual object is passed to a non-inlined callee
+         whose summary proves the argument cannot escape or be written;
+         [Sk_frame] when a materialization point is reached but the
+         escape analysis proves the object never outlives its frame *)
+  | Stack_alloc_array of stack_kind * Pea_mjava.Ast.ty * node_id array
+      (* stack materialization of a scalar-replaced fixed-length array *)
   | Load_field of node_id * Classfile.rt_field
   | Store_field of node_id * Classfile.rt_field * node_id
   | Load_static of Classfile.rt_static_field
@@ -147,8 +158,8 @@ let iter_operands f (op : op) =
       f a;
       f b;
       f c
-  | Alloc (_, args) | Alloc_array (_, args) | Stack_alloc (_, args) | Stack_alloc_array (_, args)
-  | Invoke (_, _, args) ->
+  | Alloc (_, args) | Alloc_array (_, args) | Stack_alloc (_, _, args)
+  | Stack_alloc_array (_, _, args) | Invoke (_, _, args) ->
       Array.iter f args
 
 let map_operands f (op : op) : op =
@@ -176,8 +187,8 @@ let map_operands f (op : op) : op =
   | Array_store (a, b, c) -> Array_store (f a, f b, f c)
   | Alloc (c, args) -> Alloc (c, Array.map f args)
   | Alloc_array (t, args) -> Alloc_array (t, Array.map f args)
-  | Stack_alloc (c, args) -> Stack_alloc (c, Array.map f args)
-  | Stack_alloc_array (t, args) -> Stack_alloc_array (t, Array.map f args)
+  | Stack_alloc (k, c, args) -> Stack_alloc (k, c, Array.map f args)
+  | Stack_alloc_array (k, t, args) -> Stack_alloc_array (k, t, Array.map f args)
   | Invoke (k, m, args) -> Invoke (k, m, Array.map f args)
 
 (* ------------------------------------------------------------------ *)
@@ -189,6 +200,10 @@ let string_of_const = Frame_state.string_of_const
 let string_of_arith = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
 
 let v n = Printf.sprintf "v%d" n
+
+(* Scratch is the historical default and prints bare; the frame tier is
+   annotated so IR dumps distinguish the two. *)
+let string_of_stack_kind = function Sk_scratch -> "" | Sk_frame -> ".frame"
 
 let string_of_op (op : op) =
   match op with
@@ -209,11 +224,12 @@ let string_of_op (op : op) =
       Printf.sprintf "allocarray %s[%s]" (Pea_mjava.Ast.string_of_ty t)
         (String.concat ", " (Array.to_list (Array.map v elems)))
   | New_array (t, len) -> Printf.sprintf "newarray %s[%s]" (Pea_mjava.Ast.string_of_ty t) (v len)
-  | Stack_alloc (c, fields) ->
-      Printf.sprintf "stackalloc %s(%s)" c.cls_name
+  | Stack_alloc (k, c, fields) ->
+      Printf.sprintf "stackalloc%s %s(%s)" (string_of_stack_kind k) c.cls_name
         (String.concat ", " (Array.to_list (Array.map v fields)))
-  | Stack_alloc_array (t, elems) ->
-      Printf.sprintf "stackallocarray %s[%s]" (Pea_mjava.Ast.string_of_ty t)
+  | Stack_alloc_array (k, t, elems) ->
+      Printf.sprintf "stackallocarray%s %s[%s]" (string_of_stack_kind k)
+        (Pea_mjava.Ast.string_of_ty t)
         (String.concat ", " (Array.to_list (Array.map v elems)))
   | Load_field (o, f) -> Printf.sprintf "%s.%s" (v o) f.fld_name
   | Store_field (o, f, x) -> Printf.sprintf "%s.%s = %s" (v o) f.fld_name (v x)

@@ -30,6 +30,14 @@ type invoke_kind =
   | Static
   | Special (* constructor: no dispatch, no result *)
 
+(** Which stack-allocation tier a {!Stack_alloc}/{!Stack_alloc_array}
+    belongs to. [Sk_scratch] backs a summary-cleared scratch argument that
+    dies with one call; [Sk_frame] is a frame-bounded materialization
+    placed in the frame's stack region and reclaimed at frame pop. *)
+type stack_kind =
+  | Sk_scratch
+  | Sk_frame
+
 type op =
   | Const of const
   | Param of int (* argument index; 0 is [this] for instance methods *)
@@ -46,14 +54,16 @@ type op =
   | Alloc_array of Pea_mjava.Ast.ty * node_id array
       (* materialization of a scalar-replaced fixed-length array *)
   | New_array of Pea_mjava.Ast.ty * node_id (* element type, dynamic length *)
-  | Stack_alloc of Classfile.rt_class * node_id array
-      (* scratch materialization: builds a real object with the given
-         field values but charges no heap allocation; emitted by PEA when
-         a virtual object is passed to a non-inlined callee whose
-         interprocedural summary proves the argument cannot escape or be
-         written (see {!Pea_analysis.Summary}) *)
-  | Stack_alloc_array of Pea_mjava.Ast.ty * node_id array
-      (* scratch materialization of a scalar-replaced fixed-length array *)
+  | Stack_alloc of stack_kind * Classfile.rt_class * node_id array
+      (* stack materialization: builds a real object with the given field
+         values but charges no heap allocation. [Sk_scratch] backs a
+         virtual object passed to a non-inlined callee whose summary
+         proves the argument cannot escape or be written (see
+         {!Pea_analysis.Summary}); [Sk_frame] backs a frame-bounded
+         object that must materialize (merge, lock, opaque call) but
+         provably never outlives its frame *)
+  | Stack_alloc_array of stack_kind * Pea_mjava.Ast.ty * node_id array
+      (* stack materialization of a scalar-replaced fixed-length array *)
   | Load_field of node_id * Classfile.rt_field
   | Store_field of node_id * Classfile.rt_field * node_id
   | Load_static of Classfile.rt_static_field
@@ -108,5 +118,9 @@ val map_operands : (node_id -> node_id) -> op -> op
 val string_of_const : const -> string
 
 val string_of_arith : arith -> string
+
+(** [""] for [Sk_scratch] (the historical default), [".frame"] for
+    [Sk_frame]; used as a suffix in IR dumps. *)
+val string_of_stack_kind : stack_kind -> string
 
 val string_of_op : op -> string

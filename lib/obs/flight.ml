@@ -52,8 +52,11 @@ let dump_string t ~reason =
   header t ~reason ^ "\n" ^ Trace.jsonl_string t.fl_trace
 
 (* Each trigger overwrites the file: the latest incident wins, which is
-   the one the user is chasing. Write failures are swallowed — a broken
-   dump path must never take down the VM it is meant to debug. *)
+   the one the user is chasing. A write failure must never take down the
+   VM it is meant to debug, but it must not be silent either — a user
+   who armed --flight-dump and hit an incident would otherwise chase a
+   dump that was never written. One warning per failed trigger goes to
+   stderr; the run's result and exit status are unaffected. *)
 let trigger ~reason =
   match !current with
   | None -> ()
@@ -64,7 +67,7 @@ let trigger ~reason =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc (dump_string t ~reason))
-      with Sys_error _ -> ())
+      with Sys_error msg -> Printf.eprintf "mjvm: flight dump failed: %s\n%!" msg)
 
 (* ------------------------------------------------------------------ *)
 (* Reading dumps back                                                  *)

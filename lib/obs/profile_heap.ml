@@ -16,11 +16,13 @@
 type kind =
   | K_alloc (* ordinary heap allocation, charged to Stats/Heap *)
   | K_scratch (* scalar-replaced scratch allocation (stack_allocs) *)
+  | K_stack (* frame-bounded stack-region allocation, reclaimed at frame pop *)
   | K_remat (* rematerialized at deoptimization *)
 
 let kind_string = function
   | K_alloc -> "alloc"
   | K_scratch -> "scratch"
+  | K_stack -> "stack"
   | K_remat -> "remat"
 
 type site_key = {

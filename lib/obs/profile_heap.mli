@@ -10,6 +10,8 @@
 type kind =
   | K_alloc  (** ordinary heap allocation (charged to Stats/Heap) *)
   | K_scratch  (** scalar-replaced scratch allocation *)
+  | K_stack
+      (** frame-bounded stack-region allocation, reclaimed at frame pop *)
   | K_remat  (** rematerialized at deoptimization *)
 
 val kind_string : kind -> string

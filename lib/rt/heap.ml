@@ -9,9 +9,12 @@ type t = {
   stats : Stats.t;
   mutable next_id : int;
   by_class : (string, int ref * int ref) Hashtbl.t; (* name -> count, bytes *)
+  mutable region_depth : int; (* active per-frame stack regions, 0 = none *)
+  mutable regions : Value.value list list; (* innermost frame region first *)
 }
 
-let create stats = { stats; next_id = 1; by_class = Hashtbl.create 16 }
+let create stats =
+  { stats; next_id = 1; by_class = Hashtbl.create 16; region_depth = 0; regions = [] }
 
 let fresh_id t =
   let id = t.next_id in
@@ -46,6 +49,7 @@ let alloc_object t (cls : Classfile.rt_class) : Value.obj =
     o_fields =
       Array.map (fun (f : Classfile.rt_field) -> Value.default_value f.fld_ty) cls.cls_instance_fields;
     o_lock = 0;
+    o_region = 0;
   }
 
 (* Scratch allocations: real objects backing a virtual object that an
@@ -62,6 +66,7 @@ let alloc_object_scratch t (cls : Classfile.rt_class) : Value.obj =
     o_fields =
       Array.map (fun (f : Classfile.rt_field) -> Value.default_value f.fld_ty) cls.cls_instance_fields;
     o_lock = 0;
+    o_region = 0;
   }
 
 exception Negative_array_size of int
@@ -74,12 +79,111 @@ let alloc_array t elem len : Value.arr =
     a_elem = elem;
     a_elems = Array.make len (Value.default_value elem);
     a_lock = 0;
+    a_region = 0;
   }
 
 let alloc_array_scratch t elem len : Value.arr =
   Stats.incr t.stats Stats.stack_allocs;
   Stats.add t.stats Stats.cycles Cost.stack_alloc;
-  { a_id = fresh_id t; a_elem = elem; a_elems = Array.make len (Value.default_value elem); a_lock = 0 }
+  {
+    a_id = fresh_id t;
+    a_elem = elem;
+    a_elems = Array.make len (Value.default_value elem);
+    a_lock = 0;
+    a_region = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-frame stack regions.                                            *)
+(*                                                                     *)
+(* A compiled activation that may stack-allocate pushes a region on    *)
+(* entry and pops it on exit (return, MJ throw, trap or deopt — the    *)
+(* VM wraps the activation in [Fun.protect]). Frame-bounded            *)
+(* materializations register in the innermost region and are reclaimed *)
+(* in O(1) at the pop: the region's object list is dropped wholesale.  *)
+(* Reclaimed objects have their fields scrubbed so that a dangling     *)
+(* read — which the escape analysis is supposed to make impossible —   *)
+(* fails loudly instead of silently returning stale data.              *)
+(* ------------------------------------------------------------------ *)
+
+let push_frame t =
+  t.region_depth <- t.region_depth + 1;
+  t.regions <- [] :: t.regions
+
+let scrub (v : Value.value) =
+  match v with
+  | Vobj o ->
+      if o.o_region > 0 then begin
+        o.o_region <- -1;
+        Array.fill o.o_fields 0 (Array.length o.o_fields) Value.Vnull
+      end
+  | Varr a ->
+      if a.a_region > 0 then begin
+        a.a_region <- -1;
+        Array.fill a.a_elems 0 (Array.length a.a_elems) Value.Vnull
+      end
+  | Vnull | Vint _ | Vbool _ -> ()
+
+let pop_frame t =
+  match t.regions with
+  | [] -> invalid_arg "Heap.pop_frame: no active stack region"
+  | live :: rest ->
+      t.regions <- rest;
+      t.region_depth <- t.region_depth - 1;
+      List.iter
+        (fun v ->
+          (* promoted objects left the region (marker reset to 0) and
+             must survive the pop untouched *)
+          let reclaim =
+            match v with
+            | Value.Vobj o -> o.o_region > 0
+            | Value.Varr a -> a.a_region > 0
+            | Value.Vnull | Value.Vint _ | Value.Vbool _ -> false
+          in
+          if reclaim then begin
+            scrub v;
+            Stats.incr t.stats Stats.stack_reclaimed
+          end)
+        live
+
+let register_stack t (v : Value.value) =
+  match t.regions with
+  | [] -> () (* no active region: behaves like a scratch allocation *)
+  | live :: rest ->
+      (match v with
+      | Vobj o -> o.o_region <- t.region_depth
+      | Varr a -> a.a_region <- t.region_depth
+      | Vnull | Vint _ | Vbool _ -> ());
+      t.regions <- (v :: live) :: rest
+
+(* Frame-bounded stack allocations: costed like scratch (no heap charge),
+   but registered in the innermost region for frame-pop reclamation. *)
+let alloc_object_stack t (cls : Classfile.rt_class) : Value.obj =
+  let o = alloc_object_scratch t cls in
+  register_stack t (Value.Vobj o);
+  o
+
+let alloc_array_stack t elem len : Value.arr =
+  let a = alloc_array_scratch t elem len in
+  register_stack t (Value.Varr a);
+  a
+
+(* Deopt-time promotion: the object outlives its compiled frame after all
+   (it is live in the interpreter resume state), so charge the real
+   allocation the stack tier elided and move it to the heap. *)
+let promote t (v : Value.value) =
+  match v with
+  | Vobj o when o.o_region > 0 ->
+      o.o_region <- 0;
+      charge t o.o_cls.cls_name (Value.object_bytes o.o_cls);
+      Stats.incr t.stats Stats.stack_promotions
+  | Varr a when a.a_region > 0 ->
+      a.a_region <- 0;
+      charge t
+        (Pea_mjava.Ast.string_of_ty a.a_elem ^ "[]")
+        (Value.array_bytes a.a_elem (Array.length a.a_elems));
+      Stats.incr t.stats Stats.stack_promotions
+  | Vobj _ | Varr _ | Vnull | Vint _ | Vbool _ -> ()
 
 (* Monitor operations; [who] is only used in trap messages. *)
 exception Unbalanced_monitor of string

@@ -11,6 +11,8 @@ type t = {
   stats : Stats.t;
   mutable next_id : int;
   by_class : (string, int ref * int ref) Hashtbl.t; (* name -> count, bytes *)
+  mutable region_depth : int; (* active per-frame stack regions, 0 = none *)
+  mutable regions : Value.value list list; (* innermost frame region first *)
 }
 
 (** [create stats] is a fresh heap charging into [stats]. *)
@@ -42,6 +44,38 @@ val alloc_object_scratch : t -> Classfile.rt_class -> Value.obj
     {!alloc_array}; [len] comes from a virtual object's field count and is
     never negative. *)
 val alloc_array_scratch : t -> Pea_mjava.Ast.ty -> int -> Value.arr
+
+(** {1 Per-frame stack regions}
+
+    A compiled activation that may stack-allocate pushes a region on
+    entry and pops it on exit (return, throw, trap or deopt). Frame-
+    bounded materializations register in the innermost region and are
+    reclaimed in O(1) at the pop; reclaimed objects are scrubbed so a
+    dangling read fails loudly. *)
+
+(** [push_frame t] opens a stack region for a compiled activation. *)
+val push_frame : t -> unit
+
+(** [pop_frame t] closes the innermost region, reclaiming (and counting
+    in {!Stats.stack_reclaimed}) every object still living in it.
+    @raise Invalid_argument if no region is active. *)
+val pop_frame : t -> unit
+
+(** [alloc_object_stack t cls] — frame-bounded stack allocation: costed
+    like scratch (no heap charge, {!Stats.stack_allocs} +
+    {!Cost.stack_alloc} only) but registered in the innermost region for
+    frame-pop reclamation. With no active region it degrades to a plain
+    scratch allocation. *)
+val alloc_object_stack : t -> Classfile.rt_class -> Value.obj
+
+val alloc_array_stack : t -> Pea_mjava.Ast.ty -> int -> Value.arr
+
+(** [promote t v] moves a live stack-region object to the heap during
+    deoptimization rematerialization: charges the real allocation the
+    stack tier elided, clears the region marker (so the enclosing
+    [pop_frame] leaves it alone) and counts one
+    {!Stats.stack_promotions}. No-op on heap values and primitives. *)
+val promote : t -> Value.value -> unit
 
 exception Unbalanced_monitor of string
 

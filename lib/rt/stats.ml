@@ -22,8 +22,15 @@ let allocated_bytes = Metrics.counter schema ~label:"bytes" "allocated_bytes"
 
 let monitor_ops = Metrics.counter schema "monitor_ops"
 
-(* scratch allocations from summary-backed PEA *)
+(* scratch allocations from summary-backed PEA, plus frame-bounded stack
+   allocations from the stack tier *)
 let stack_allocs = Metrics.counter schema "stack_allocs"
+
+(* stack-region objects reclaimed in O(1) at frame pop *)
+let stack_reclaimed = Metrics.counter schema "stack_reclaimed"
+
+(* stack-region objects promoted to heap during deopt rematerialization *)
+let stack_promotions = Metrics.counter schema "stack_promotions"
 
 let cycles = Metrics.counter schema "cycles"
 
@@ -119,6 +126,8 @@ type snapshot = {
   s_allocated_bytes : int;
   s_monitor_ops : int;
   s_stack_allocs : int;
+  s_stack_reclaimed : int;
+  s_stack_promotions : int;
   s_cycles : int;
   s_deopts : int;
   s_rematerialized : int;
@@ -150,6 +159,8 @@ let snapshot t =
     s_allocated_bytes = get t allocated_bytes;
     s_monitor_ops = get t monitor_ops;
     s_stack_allocs = get t stack_allocs;
+    s_stack_reclaimed = get t stack_reclaimed;
+    s_stack_promotions = get t stack_promotions;
     s_cycles = get t cycles;
     s_deopts = get t deopts;
     s_rematerialized = get t rematerialized;
@@ -182,6 +193,8 @@ let diff a b =
     s_allocated_bytes = a.s_allocated_bytes - b.s_allocated_bytes;
     s_monitor_ops = a.s_monitor_ops - b.s_monitor_ops;
     s_stack_allocs = a.s_stack_allocs - b.s_stack_allocs;
+    s_stack_reclaimed = a.s_stack_reclaimed - b.s_stack_reclaimed;
+    s_stack_promotions = a.s_stack_promotions - b.s_stack_promotions;
     s_cycles = a.s_cycles - b.s_cycles;
     s_deopts = a.s_deopts - b.s_deopts;
     s_rematerialized = a.s_rematerialized - b.s_rematerialized;

@@ -24,8 +24,18 @@ val monitor_ops : metric
 (** Monitor enter/exit operations actually performed. *)
 
 val stack_allocs : metric
-(** Scratch (uncharged) allocations emitted when an interprocedural
-    summary lets PEA pass a virtual object to a non-inlined callee. *)
+(** Stack (uncharged) allocations: scratch objects emitted when an
+    interprocedural summary lets PEA pass a virtual object to a
+    non-inlined callee, plus frame-bounded materializations placed in a
+    frame's stack region. *)
+
+val stack_reclaimed : metric
+(** Stack-region objects reclaimed in O(1) at frame pop
+    (return/throw/deopt). *)
+
+val stack_promotions : metric
+(** Stack-region objects promoted to the heap during deoptimization
+    rematerialization — each promotion charges a real allocation. *)
 
 val cycles : metric
 (** Cost-model cycles, see {!Cost}. *)
@@ -139,6 +149,8 @@ type snapshot = {
   s_allocated_bytes : int;
   s_monitor_ops : int;
   s_stack_allocs : int;
+  s_stack_reclaimed : int;
+  s_stack_promotions : int;
   s_cycles : int;
   s_deopts : int;
   s_rematerialized : int;

@@ -17,6 +17,10 @@ and obj = {
   o_cls : Classfile.rt_class;
   o_fields : value array;
   mutable o_lock : int; (* recursive lock depth; single-threaded VM *)
+  mutable o_region : int;
+      (* stack-region depth this object lives in: 0 for ordinary heap
+         objects, > 0 for frame-bounded stack allocations (reclaimed at
+         frame pop unless promoted first), -1 once reclaimed *)
 }
 
 and arr = {
@@ -24,6 +28,7 @@ and arr = {
   a_elem : Pea_mjava.Ast.ty;
   a_elems : value array;
   mutable a_lock : int;
+  mutable a_region : int;
 }
 
 let default_value (ty : Pea_mjava.Ast.ty) =

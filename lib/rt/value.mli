@@ -19,6 +19,9 @@ and obj = {
   o_cls : Classfile.rt_class;
   o_fields : value array; (* indexed by field offset *)
   mutable o_lock : int; (* recursive lock depth *)
+  mutable o_region : int;
+      (* stack-region depth: 0 = heap, > 0 = live in that frame's stack
+         region, -1 = reclaimed at frame pop *)
 }
 
 and arr = {
@@ -26,6 +29,7 @@ and arr = {
   a_elem : Pea_mjava.Ast.ty;
   a_elems : value array;
   mutable a_lock : int;
+  mutable a_region : int;
 }
 
 (** [default_value ty] is the JVM default for a field/element of type

@@ -189,29 +189,37 @@ let compile (env : Interp.env) (g : Graph.t) : code =
               Array.iteri (fun i fv -> arr.a_elems.(i) <- regs.(fv)) elem_values;
               regs.(dst) <- Varr arr
           | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
-    | Node.Stack_alloc (cls, field_values) ->
+    | Node.Stack_alloc (k, cls, field_values) ->
         let mid, bci = sites.(dst) in
         let cls_name = cls.Classfile.cls_name in
         let bytes = Value.object_bytes cls in
+        let kind, alloc =
+          match k with
+          | Node.Sk_scratch -> (Pea_obs.Profile_heap.K_scratch, Heap.alloc_object_scratch)
+          | Node.Sk_frame -> (Pea_obs.Profile_heap.K_stack, Heap.alloc_object_stack)
+        in
         fun regs ->
           bump base;
           if Pea_obs.Profile_heap.enabled () then
-            Pea_obs.Profile_heap.record ~mid ~bci ~cls:cls_name
-              ~kind:Pea_obs.Profile_heap.K_scratch ~bytes;
-          let o = Heap.alloc_object_scratch heap cls in
+            Pea_obs.Profile_heap.record ~mid ~bci ~cls:cls_name ~kind ~bytes;
+          let o = alloc heap cls in
           Array.iteri (fun i fv -> o.o_fields.(i) <- regs.(fv)) field_values;
           regs.(dst) <- Vobj o
-    | Node.Stack_alloc_array (elem, elem_values) ->
+    | Node.Stack_alloc_array (k, elem, elem_values) ->
         let len = Array.length elem_values in
         let mid, bci = sites.(dst) in
         let arr_name = Pea_mjava.Ast.string_of_ty elem ^ "[]" in
         let bytes = Value.array_bytes elem len in
+        let kind, alloc =
+          match k with
+          | Node.Sk_scratch -> (Pea_obs.Profile_heap.K_scratch, Heap.alloc_array_scratch)
+          | Node.Sk_frame -> (Pea_obs.Profile_heap.K_stack, Heap.alloc_array_stack)
+        in
         fun regs ->
           bump base;
           if Pea_obs.Profile_heap.enabled () then
-            Pea_obs.Profile_heap.record ~mid ~bci ~cls:arr_name
-              ~kind:Pea_obs.Profile_heap.K_scratch ~bytes;
-          let arr = Heap.alloc_array_scratch heap elem len in
+            Pea_obs.Profile_heap.record ~mid ~bci ~cls:arr_name ~kind ~bytes;
+          let arr = alloc heap elem len in
           Array.iteri (fun i fv -> arr.a_elems.(i) <- regs.(fv)) elem_values;
           regs.(dst) <- Varr arr
     | Node.New_array (elem, len) ->

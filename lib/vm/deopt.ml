@@ -104,6 +104,33 @@ let handle ?(reason = "speculation-failed") ?(oracle : Oracle.t option) (env : I
       Stats.add stats Stats.monitor_ops vd.Frame_state.vd_lock)
     descriptors;
   Stats.observe stats Stats.remat_per_deopt (Hashtbl.length descriptors);
+  (* --- promote live stack objects to the heap --- *)
+  (* The compiled activation's stack region is reclaimed when this deopt
+     unwinds out of it, but every value reachable from the reconstructed
+     interpreter state survives into the interpreter — which may return
+     or store it anywhere. Walk everything the state can reach
+     (rematerialized fields included: remat objects are heap-allocated
+     but may point at stack objects) and promote each live stack-region
+     object: charge the allocation the stack tier elided and clear its
+     region marker so the enclosing pop skips it. *)
+  let visited_o = ref [] and visited_a = ref [] in
+  let rec promote_value (v : Value.value) =
+    match v with
+    | Vobj o ->
+        if not (List.memq o !visited_o) then begin
+          visited_o := o :: !visited_o;
+          Heap.promote env.Interp.heap v;
+          Array.iter promote_value o.o_fields
+        end
+    | Varr a ->
+        if not (List.memq a !visited_a) then begin
+          visited_a := a :: !visited_a;
+          Heap.promote env.Interp.heap v;
+          Array.iter promote_value a.a_elems
+        end
+    | Vint _ | Vbool _ | Vnull -> ()
+  in
+  Frame_state.iter_values (fun fv -> promote_value (resolve fv)) fs;
   (* --- bisimulation oracle: validate the rematerialized state before
      any reconstructed frame executes --- *)
   (match oracle with

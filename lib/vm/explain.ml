@@ -18,6 +18,7 @@ type observation = {
   ob_allocs : int; (* materialized heap allocations *)
   ob_remat : int; (* rematerializations at deopts resumed at this site *)
   ob_scratch : int; (* scratch allocations backing virtual arguments *)
+  ob_stack : int; (* frame-bounded stack-region allocations *)
 }
 
 type t = {
@@ -58,31 +59,35 @@ let observe ?config ?(iterations = 1) (program : Link.program) :
       let prev =
         Option.value
           (Hashtbl.find_opt tbl key)
-          ~default:{ ob_allocs = 0; ob_remat = 0; ob_scratch = 0 }
+          ~default:{ ob_allocs = 0; ob_remat = 0; ob_scratch = 0; ob_stack = 0 }
       in
       let next =
         match kind with
         | Pheap.K_alloc -> { prev with ob_allocs = prev.ob_allocs + count }
         | Pheap.K_remat -> { prev with ob_remat = prev.ob_remat + count }
         | Pheap.K_scratch -> { prev with ob_scratch = prev.ob_scratch + count }
+        | Pheap.K_stack -> { prev with ob_stack = prev.ob_stack + count }
       in
       Hashtbl.replace tbl key next)
     h ();
   tbl
 
-let analyze ?(summaries = true) ?osr_at ?observed (program : Link.program)
-    (m : Classfile.rt_method) : t =
+let analyze ?(summaries = true) ?(stackalloc = true) ?osr_at ?observed
+    (program : Link.program) (m : Classfile.rt_method) : t =
   let g = Pea_ir.Builder.build ?osr_at m in
   ignore (Pea_opt.Inline.run (Pea_opt.Inline.default_config program) g);
   ignore (Pea_opt.Canonicalize.run g);
   let tbl = if summaries then Some (Pea_analysis.Summary.analyze program) else None in
   ignore (Pea_opt.Gvn.run ?summaries:tbl g);
-  let g', st = Pea.run ?summaries:tbl g in
+  let stack_eligible =
+    if stackalloc then Pea_core.Escape.frame_bounded ?summaries:tbl g else fun _ -> false
+  in
+  let g', st = Pea.run ~stack_eligible ?summaries:tbl g in
   {
     ex_method = Classfile.qualified_name m;
     ex_summaries = summaries;
     ex_stats = st;
-    ex_spec = Pea_analysis.Spec_check.check ~phase:"pea" g';
+    ex_spec = Pea_analysis.Spec_check.check ?summaries:tbl ~phase:"pea" g';
     ex_observed = observed;
   }
 
@@ -117,7 +122,12 @@ let pp_site ?observed ppf (r : Pea.site_report) =
           decisions);
     if r.sr_scratch > 0 then
       Format.fprintf ppf "@,    passed to callees as a scratch allocation %d time%s" r.sr_scratch
-        (if r.sr_scratch = 1 then "" else "s")
+        (if r.sr_scratch = 1 then "" else "s");
+    if r.sr_stack > 0 then
+      Format.fprintf ppf
+        "@,    verdict: stack — frame-bounded, materialized into the stack region %d time%s (no heap allocation)"
+        r.sr_stack
+        (if r.sr_stack = 1 then "" else "s")
   end;
   if r.sr_loads + r.sr_stores + r.sr_locks > 0 then
     Format.fprintf ppf "@,    removed: %d loads, %d stores, %d monitor ops" r.sr_loads r.sr_stores
@@ -129,10 +139,10 @@ let pp_site ?observed ppf (r : Pea.site_report) =
       match Hashtbl.find_opt tbl (r.Pea.site_method, r.Pea.site_bci) with
       | None -> Format.fprintf ppf "@,    observed: 0 allocations"
       | Some ob ->
-          Format.fprintf ppf "@,    observed: %d allocation%s, %d remat, %d scratch"
+          Format.fprintf ppf "@,    observed: %d allocation%s, %d remat, %d scratch, %d stack"
             ob.ob_allocs
             (if ob.ob_allocs = 1 then "" else "s")
-            ob.ob_remat ob.ob_scratch)
+            ob.ob_remat ob.ob_scratch ob.ob_stack)
 
 let pp ppf t =
   let st = t.ex_stats in
@@ -147,8 +157,9 @@ let pp ppf t =
       (List.filter (fun r -> r.Pea.sr_virtualized && r.Pea.sr_materialized = []) st.Pea.sites)
   in
   Format.fprintf ppf
-    "@,@,sites: %d, fully scalar-replaced: %d, materializations: %d, scratch args: %d"
-    (List.length st.Pea.sites) scalar_replaced st.Pea.materializations st.Pea.scratch_args;
+    "@,@,sites: %d, fully scalar-replaced: %d, materializations: %d (%d to stack), scratch args: %d"
+    (List.length st.Pea.sites) scalar_replaced st.Pea.materializations
+    st.Pea.stack_materializations st.Pea.scratch_args;
   (match t.ex_spec with
   | [] -> Format.fprintf ppf "@,speculation safety: clean (every deopt state rematerializable)"
   | vs ->

@@ -15,6 +15,7 @@ type observation = {
   ob_allocs : int;  (** materialized heap allocations *)
   ob_remat : int;  (** rematerializations at deopts resumed at this site *)
   ob_scratch : int;  (** scratch allocations backing virtual arguments *)
+  ob_stack : int;  (** frame-bounded stack-region allocations *)
 }
 
 type t = {
@@ -40,13 +41,15 @@ val observe :
 
 val analyze :
   ?summaries:bool ->
+  ?stackalloc:bool ->
   ?osr_at:int ->
   ?observed:(string * int, observation) Hashtbl.t ->
   Link.program ->
   Classfile.rt_method ->
   t
-(** [analyze program m] compiles [m] ahead of time ([summaries] defaults
-    to [true]) and collects the PEA site reports. With [osr_at] the
+(** [analyze program m] compiles [m] ahead of time ([summaries] and
+    [stackalloc] default to [true], matching the VM's default
+    configuration) and collects the PEA site reports. With [osr_at] the
     graph is built entered at that loop-header bci, the way
     {!Jit.compile_osr} sees it: locals become parameters, so object
     locals alive at the header report as escaped on entry.

@@ -197,21 +197,37 @@ let run_prepared (env : Interp.env) (p : prepared) (args : Value.value list) :
             Array.iteri (fun i fv -> arr.a_elems.(i) <- v fv) elem_values;
             regs.(n.Node.id) <- Varr arr
         | exception Heap.Negative_array_size k -> trap "negative array size %d" k)
-    | Node.Stack_alloc (cls, field_values) ->
-        (* scratch object backing a virtual argument: real object, no
-           allocation charge (see Heap.alloc_object_scratch) *)
+    | Node.Stack_alloc (k, cls, field_values) ->
+        (* stack object: real object, no heap allocation charge. Scratch
+           objects die with the call they back; frame-bounded ones live
+           in the frame's stack region until frame pop *)
         if Pea_obs.Profile_heap.enabled () && not shadow then
-          record_alloc n Pea_obs.Profile_heap.K_scratch cls.Classfile.cls_name
-            (Value.object_bytes cls);
-        let o = Heap.alloc_object_scratch env.Interp.heap cls in
+          record_alloc n
+            (match k with
+            | Node.Sk_scratch -> Pea_obs.Profile_heap.K_scratch
+            | Node.Sk_frame -> Pea_obs.Profile_heap.K_stack)
+            cls.Classfile.cls_name (Value.object_bytes cls);
+        let o =
+          match k with
+          | Node.Sk_scratch -> Heap.alloc_object_scratch env.Interp.heap cls
+          | Node.Sk_frame -> Heap.alloc_object_stack env.Interp.heap cls
+        in
         Array.iteri (fun i fv -> o.o_fields.(i) <- v fv) field_values;
         regs.(n.Node.id) <- Vobj o
-    | Node.Stack_alloc_array (elem, elem_values) ->
+    | Node.Stack_alloc_array (k, elem, elem_values) ->
         if Pea_obs.Profile_heap.enabled () && not shadow then
-          record_alloc n Pea_obs.Profile_heap.K_scratch
+          record_alloc n
+            (match k with
+            | Node.Sk_scratch -> Pea_obs.Profile_heap.K_scratch
+            | Node.Sk_frame -> Pea_obs.Profile_heap.K_stack)
             (Pea_mjava.Ast.string_of_ty elem ^ "[]")
             (Value.array_bytes elem (Array.length elem_values));
-        let arr = Heap.alloc_array_scratch env.Interp.heap elem (Array.length elem_values) in
+        let arr =
+          match k with
+          | Node.Sk_scratch ->
+              Heap.alloc_array_scratch env.Interp.heap elem (Array.length elem_values)
+          | Node.Sk_frame -> Heap.alloc_array_stack env.Interp.heap elem (Array.length elem_values)
+        in
         Array.iteri (fun i fv -> arr.a_elems.(i) <- v fv) elem_values;
         regs.(n.Node.id) <- Varr arr
     | Node.New_array (elem, len) -> (

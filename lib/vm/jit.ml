@@ -57,6 +57,9 @@ type config = {
          full pipeline (default), or after every optimization phase *)
   oracle : bool; (* bisimulation-check every deopt against a shadow replay *)
   summaries : bool; (* interprocedural escape summaries at call sites *)
+  stackalloc : bool;
+      (* stack-allocation tier: frame-bounded materializations go to the
+         frame's stack region (reclaimed at frame pop) instead of the heap *)
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int;
   exec_tier : exec_tier; (* how compiled graphs are executed *)
@@ -83,6 +86,7 @@ let default_config =
     check_level = Pea_analysis.Spec_check.Phase_end;
     oracle = false;
     summaries = true;
+    stackalloc = true;
     compile_threshold = 10;
     max_callee_size = 150;
     exec_tier = Closure;
@@ -112,8 +116,8 @@ module Spec_check = Pea_analysis.Spec_check
 (* Run the speculation-safety verifier on [g] after [phase]. Violations
    are compiler bugs: each becomes a [Verify_violation] trace event, then
    the compile aborts. *)
-let spec_check_now ~phase g =
-  match Spec_check.check ~phase g with
+let spec_check_now ?summaries ~phase g =
+  match Spec_check.check ?summaries ~phase g with
   | [] -> ()
   | vs ->
       if Trace.enabled () then
@@ -137,16 +141,16 @@ let spec_check_now ~phase g =
               (List.map (Fmt.str "%a" Spec_check.pp_violation) vs)))
 
 (* After each individual phase: only at [Every_phase]. *)
-let spec_verify_phase config ~phase g =
+let spec_verify_phase ?summaries config ~phase g =
   match config.check_level with
-  | Spec_check.Every_phase -> spec_check_now ~phase g
+  | Spec_check.Every_phase -> spec_check_now ?summaries ~phase g
   | Spec_check.Phase_end | Spec_check.No_check -> ()
 
 (* After the whole pipeline: at [Phase_end] and [Every_phase]. *)
-let spec_verify_final config g =
+let spec_verify_final ?summaries config g =
   match config.check_level with
   | Spec_check.No_check -> ()
-  | Spec_check.Phase_end | Spec_check.Every_phase -> spec_check_now ~phase:"final" g
+  | Spec_check.Phase_end | Spec_check.Every_phase -> spec_check_now ?summaries ~phase:"final" g
 
 let no_blacklist : int * int -> bool = fun _ -> false
 
@@ -163,7 +167,7 @@ let compile_graph ?summaries config (program : Link.program) (profile : Profile.
   let span phase f = Trace.span ~meth phase f in
   let g = span "build" (fun () -> Builder.build ?osr_at m) in
   verify config g;
-  spec_verify_phase config ~phase:"build" g;
+  spec_verify_phase ?summaries config ~phase:"build" g;
   let inline_stats = Pea_opt.Inline.mk_stats () in
   if config.inline then
     span "inline" (fun () ->
@@ -186,20 +190,20 @@ let compile_graph ?summaries config (program : Link.program) (profile : Profile.
               Trace.record (Event.Inline_speculative { meth = caller; callee; cls; bci }))
             (List.rev inline_stats.Pea_opt.Inline.spec_sites);
         verify config g;
-        spec_verify_phase config ~phase:"inline" g);
+        spec_verify_phase ?summaries config ~phase:"inline" g);
   span "simplify" (fun () ->
       ignore (Pea_opt.Canonicalize.run g);
       ignore (Pea_opt.Gvn.run ?summaries g);
       if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
       if config.cond_elim then ignore (Pea_opt.Cond_elim.run g);
       verify config g;
-      spec_verify_phase config ~phase:"simplify" g);
+      spec_verify_phase ?summaries config ~phase:"simplify" g);
   if config.prune then
     span "prune" (fun () ->
         ignore (Pea_opt.Prune.run ~blacklist profile g);
         ignore (Pea_opt.Canonicalize.run g);
         verify config g;
-        spec_verify_phase config ~phase:"prune" g);
+        spec_verify_phase ?summaries config ~phase:"prune" g);
   let g, pea_stats =
     match config.opt with
     | O_none -> (g, None)
@@ -209,13 +213,18 @@ let compile_graph ?summaries config (program : Link.program) (profile : Profile.
             (g', Some st))
     | O_pea ->
         span "pea" (fun () ->
+            let stack_eligible =
+              if config.stackalloc then Pea_core.Escape.frame_bounded ?summaries g
+              else fun _ -> false
+            in
             let g', st =
-              Pea_core.Pea.run ~prune_dead_objects:config.pea_prune_dead ?summaries g
+              Pea_core.Pea.run ~stack_eligible ~prune_dead_objects:config.pea_prune_dead
+                ?summaries g
             in
             (g', Some st))
   in
   verify config g;
-  spec_verify_phase config
+  spec_verify_phase ?summaries config
     ~phase:(match config.opt with O_none -> "opt" | O_ea -> "escape-analysis" | O_pea -> "pea")
     g;
   span "cleanup" (fun () ->
@@ -223,8 +232,8 @@ let compile_graph ?summaries config (program : Link.program) (profile : Profile.
       ignore (Pea_opt.Gvn.run ?summaries g);
       if config.read_elim then ignore (Pea_opt.Read_elim.run ?summaries g);
       verify config g;
-      spec_verify_phase config ~phase:"cleanup" g);
-  spec_verify_final config g;
+      spec_verify_phase ?summaries config ~phase:"cleanup" g);
+  spec_verify_final ?summaries config g;
   if Trace.enabled () then
     Trace.record (Event.Compile_end { meth; nodes = Graph.n_nodes g });
   {

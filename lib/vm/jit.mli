@@ -66,6 +66,11 @@ type config = {
       (* consume interprocedural escape summaries ({!Pea_analysis.Summary})
          at call sites: PEA/EA keep summary-cleared arguments virtual, GVN
          merges provably pure calls, read elimination survives them *)
+  stackalloc : bool;
+      (* stack-allocation tier: materializations of frame-bounded objects
+         ({!Pea_core.Escape.frame_bounded}) become [Stack_alloc Sk_frame]
+         nodes placed in the frame's stack region and reclaimed in O(1)
+         at frame pop instead of heap allocations *)
   compile_threshold : int; (* interpreter invocations before JIT *)
   max_callee_size : int; (* inlining budget per callee, in bytecodes *)
   exec_tier : exec_tier;

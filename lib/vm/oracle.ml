@@ -88,7 +88,10 @@ let rec clone (c : cloner) (v : Value.value) : Value.value =
           let id = c.next in
           c.next <- id - 1;
           let o' =
-            { o_id = id; o_cls = o.o_cls; o_fields = Array.map (fun _ -> Vnull) o.o_fields; o_lock = o.o_lock }
+            (* clones live on the shadow heap: region 0 regardless of the
+               original's stack region *)
+            { o_id = id; o_cls = o.o_cls; o_fields = Array.map (fun _ -> Vnull) o.o_fields;
+              o_lock = o.o_lock; o_region = 0 }
           in
           Hashtbl.replace c.memo (K_obj o.o_id) (Vobj o');
           c.pairs <- (K_obj o.o_id, K_obj id) :: c.pairs;
@@ -101,7 +104,8 @@ let rec clone (c : cloner) (v : Value.value) : Value.value =
           let id = c.next in
           c.next <- id - 1;
           let a' =
-            { a_id = id; a_elem = a.a_elem; a_elems = Array.map (fun _ -> Vnull) a.a_elems; a_lock = a.a_lock }
+            { a_id = id; a_elem = a.a_elem; a_elems = Array.map (fun _ -> Vnull) a.a_elems;
+              a_lock = a.a_lock; a_region = 0 }
           in
           Hashtbl.replace c.memo (K_arr a.a_id) (Varr a');
           c.pairs <- (K_arr a.a_id, K_arr id) :: c.pairs;

@@ -25,7 +25,7 @@ type alloc_row = {
   ar_method : string;
   ar_bci : int;
   ar_cls : string;
-  ar_kind : string; (* alloc | scratch | remat *)
+  ar_kind : string; (* alloc | scratch | stack | remat *)
   ar_count : int;
   ar_bytes : int;
   ar_pea : string option; (* what PEA decided about this site, if known *)
@@ -57,6 +57,7 @@ let frame_label program (f : Pcpu.frame) =
 type pea_merge = {
   mutable pm_virtualized : bool;
   mutable pm_forced : bool;
+  mutable pm_stack : bool; (* some materializations went to the stack region *)
   mutable pm_reasons : string list; (* deduplicated, first-seen order *)
 }
 
@@ -69,12 +70,15 @@ let pea_annotations (sites : Pea.site_report list) =
         match Hashtbl.find_opt tbl key with
         | Some m -> m
         | None ->
-            let m = { pm_virtualized = false; pm_forced = false; pm_reasons = [] } in
+            let m =
+              { pm_virtualized = false; pm_forced = false; pm_stack = false; pm_reasons = [] }
+            in
             Hashtbl.replace tbl key m;
             m
       in
       if r.Pea.sr_virtualized then m.pm_virtualized <- true;
       if r.Pea.sr_forced then m.pm_forced <- true;
+      if r.Pea.sr_stack > 0 then m.pm_stack <- true;
       List.iter
         (fun (_, reason) ->
           let s = Event.reason_string reason in
@@ -88,7 +92,10 @@ let pea_annotations (sites : Pea.site_report list) =
         Some
           (match (m.pm_virtualized, m.pm_reasons) with
           | true, [] -> "virtualized: NoEscape"
-          | true, rs -> "virtualized, materialized: " ^ String.concat ", " rs
+          | true, rs ->
+              "virtualized, materialized"
+              ^ (if m.pm_stack then " to stack" else "")
+              ^ ": " ^ String.concat ", " rs
           | false, [] -> "escaping"
           | false, rs -> "escaping: " ^ String.concat ", " rs)
 

@@ -414,15 +414,24 @@ and exec_compiled vm m ~reason code args =
            once deopt completes (the lookup closure is dead by then) *)
         Closure_compile.run ~deopt:handle cc args
   in
-  if not profiled then exec ()
-  else
-    match exec () with
-    | r ->
-        Pcpu.truncate pdepth;
-        r
-    | exception e ->
-        Pcpu.truncate pdepth;
-        raise e
+  (* the compiled activation owns a stack region: frame-bounded
+     materializations land there and are reclaimed in O(1) when the
+     activation ends — by return, throw, or deopt alike (the deopt
+     handler runs inside this extent and first promotes its live stack
+     objects to the heap, see {!Deopt.handle}) *)
+  Heap.push_frame vm.env.Interp.heap;
+  Fun.protect
+    ~finally:(fun () -> Heap.pop_frame vm.env.Interp.heap)
+    (fun () ->
+      if not profiled then exec ()
+      else
+        match exec () with
+        | r ->
+            Pcpu.truncate pdepth;
+            r
+        | exception e ->
+            Pcpu.truncate pdepth;
+            raise e)
 
 and ensure_closure vm m (code : Jit.compiled) =
   match code.Jit.closure with

@@ -13,6 +13,9 @@
    - MJVM_TEST_CHECK_LEVEL = none | phase-end | every-phase forces when
      the speculation-safety verifier runs in the JIT pipeline;
    - MJVM_TEST_ORACLE = on | off forces the bisimulation deopt oracle;
+   - MJVM_TEST_STACKALLOC = on | off forces the stack-allocation tier
+     (frame-bounded materializations placed in the frame's stack region
+     instead of the heap) on or off;
    - MJVM_TEST_INLINING = on | off forces speculative guarded inlining
      (profile-driven dominant-receiver inlining behind exact-class
      guards) on or off;
@@ -100,7 +103,13 @@ let apply (cfg : Jit.config) =
     | Some ("off" | "0" | "false") -> { cfg with Jit.inlining = false }
     | Some _ | None -> cfg
   in
-  match Sys.getenv_opt "MJVM_TEST_ORACLE" with
-  | Some ("on" | "1" | "true") -> { cfg with Jit.oracle = true }
-  | Some ("off" | "0" | "false") -> { cfg with Jit.oracle = false }
+  let cfg =
+    match Sys.getenv_opt "MJVM_TEST_ORACLE" with
+    | Some ("on" | "1" | "true") -> { cfg with Jit.oracle = true }
+    | Some ("off" | "0" | "false") -> { cfg with Jit.oracle = false }
+    | Some _ | None -> cfg
+  in
+  match Sys.getenv_opt "MJVM_TEST_STACKALLOC" with
+  | Some ("on" | "1" | "true") -> { cfg with Jit.stackalloc = true }
+  | Some ("off" | "0" | "false") -> { cfg with Jit.stackalloc = false }
   | Some _ | None -> cfg

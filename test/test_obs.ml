@@ -216,7 +216,7 @@ let test_explain_partial_escape () =
     \      in B1: stored into a static field (global escape)\n\
     \    removed: 2 loads, 2 stores, 0 monitor ops\n\
      \n\
-     sites: 1, fully scalar-replaced: 0, materializations: 1, scratch args: 0\n\
+     sites: 1, fully scalar-replaced: 0, materializations: 1 (0 to stack), scratch args: 0\n\
      speculation safety: clean (every deopt state rematerializable)\n"
     (explain_for "getValue")
 
@@ -227,7 +227,7 @@ let test_explain_scalar_replaced () =
     \    fully scalar-replaced: never materialized\n\
     \    removed: 1 loads, 1 stores, 0 monitor ops\n\
      \n\
-     sites: 1, fully scalar-replaced: 1, materializations: 0, scratch args: 0\n\
+     sites: 1, fully scalar-replaced: 1, materializations: 0 (0 to stack), scratch args: 0\n\
      speculation safety: clean (every deopt state rematerializable)\n"
     (explain_for "local")
 

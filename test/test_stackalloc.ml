@@ -1,0 +1,406 @@
+(* Stack-allocation tier tests: frame-bounded materializations land in
+   the frame's stack region instead of the heap, are reclaimed in O(1)
+   at frame pop, and are promoted to real heap objects when a deopt
+   makes them outlive their compiled frame.
+
+   The accounting cases deliberately bypass [Test_env.apply]: they
+   compare stack allocation on vs off (and optimization levels against
+   each other), and forcing either axis from the environment would
+   collapse the comparison. The differential property at the end is the
+   axis-friendly half: whatever the configuration, results must match
+   the interpreter and the stack-region counters must balance.
+
+   This file also carries the flight-recorder write-failure regression:
+   a dump that cannot be written must warn on stderr and leave the run's
+   result untouched (it used to be silently swallowed). *)
+
+open Pea_bytecode
+open Pea_rt
+open Pea_vm
+module Trace = Pea_obs.Trace
+module Flight = Pea_obs.Flight
+
+(* A Point allocated on both arms of a branch and merged: PEA cannot
+   keep the two virtual objects virtual across the merge, so the site
+   materializes — but the object never leaves [work]'s frame, so the
+   materialization is stack-eligible. No object is ever passed to a
+   callee, so the program produces no scratch allocations and the
+   stack-region counters must balance exactly. *)
+let merge_src =
+  "class Point { int x; int y; Point(int x, int y) { this.x = x; this.y = y; } }\n\
+   class Main {\n\
+  \  static int work(int i) {\n\
+  \    Point p;\n\
+  \    if (i % 2 == 0) { p = new Point(i, 1); } else { p = new Point(i, 2); }\n\
+  \    return p.x + p.y;\n\
+  \  }\n\
+  \  static int main() {\n\
+  \    int acc = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 400) { acc = acc + Main.work(i); i = i + 1; }\n\
+  \    return acc;\n\
+  \  }\n\
+   }"
+
+(* The merged Point is live across a branch that the profile sees as
+   never taken; once [work] compiles from a mature profile the branch is
+   pruned to a deopt. Iteration 900 takes it: the deopt fires with the
+   stack-allocated Point live in the resume state, so the deopt handler
+   must promote it to the heap before the frame's region is reclaimed. *)
+let deopt_promote_src =
+  "class Point { int x; int y; Point(int x, int y) { this.x = x; this.y = y; } }\n\
+   class Main {\n\
+  \  static int work(int i, int flip) {\n\
+  \    Point p;\n\
+  \    if (i % 2 == 0) { p = new Point(i, 1); } else { p = new Point(i, 2); }\n\
+  \    int r = p.x;\n\
+  \    if (flip == 1) { r = r + p.y * 10; }\n\
+  \    return r + p.y;\n\
+  \  }\n\
+  \  static int main() {\n\
+  \    int acc = 0;\n\
+  \    int i = 0;\n\
+  \    while (i < 1000) {\n\
+  \      int flip = 0;\n\
+  \      if (i == 900) { flip = 1; }\n\
+  \      acc = acc + Main.work(i, flip);\n\
+  \      i = i + 1;\n\
+  \    }\n\
+  \    return acc;\n\
+  \  }\n\
+   }"
+
+let run ?(iterations = 3) ?(threshold = 4) ?(opt = Jit.O_pea) ?(stackalloc = true) src =
+  let config =
+    {
+      Jit.default_config with
+      Jit.compile_threshold = threshold;
+      opt;
+      stackalloc;
+      oracle = true;
+    }
+  in
+  let vm = Vm.create ~config (Link.compile_source src) in
+  let r = Vm.run_main_iterations vm iterations in
+  Vm.quiesce vm;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Scratch/heap accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The audit the heap counters must pass: a stack allocation is never
+   also counted as a heap allocation. Turning the tier off converts
+   every stack allocation back into exactly one heap allocation, so
+     allocs(off) = allocs(on) - promotions(on) + stack_allocs(on)
+   (a promoted object is charged to the heap at promotion time and was
+   counted as a stack allocation at birth, hence the correction), and
+   every stack-region object is reclaimed or promoted, never both. *)
+let test_accounting_parity () =
+  let iterations = 3 in
+  let reference = Test_support.interp_reference ~iterations merge_src in
+  let r_none = run ~iterations ~opt:Jit.O_none ~stackalloc:false merge_src in
+  let r_ea = run ~iterations ~opt:Jit.O_ea ~stackalloc:false merge_src in
+  let r_off = run ~iterations ~opt:Jit.O_pea ~stackalloc:false merge_src in
+  let r_on = run ~iterations ~opt:Jit.O_pea ~stackalloc:true merge_src in
+  List.iter
+    (fun (label, r) ->
+      Alcotest.(check (pair string (list string)))
+        (label ^ " matches the interpreter") reference (Test_support.outcome r))
+    [ ("O_none", r_none); ("O_ea", r_ea); ("pea/stackalloc=off", r_off);
+      ("pea/stackalloc=on", r_on) ];
+  let s_off = r_off.Vm.stats and s_on = r_on.Vm.stats in
+  Alcotest.(check bool) "the tier actually stack-allocates" true
+    (s_on.Stats.s_stack_allocs > 0);
+  Alcotest.(check int) "stackalloc=off places nothing in stack regions" 0
+    s_off.Stats.s_stack_allocs;
+  Alcotest.(check int) "every stack object is reclaimed or promoted"
+    s_on.Stats.s_stack_allocs
+    (s_on.Stats.s_stack_reclaimed + s_on.Stats.s_stack_promotions);
+  Alcotest.(check int) "no double counting: off = on - promotions + stack"
+    s_off.Stats.s_allocations
+    (s_on.Stats.s_allocations - s_on.Stats.s_stack_promotions + s_on.Stats.s_stack_allocs);
+  Alcotest.(check bool) "the tier removes heap allocations" true
+    (s_on.Stats.s_allocations < s_off.Stats.s_allocations);
+  (* allocation monotonicity along the optimization ladder still holds *)
+  Alcotest.(check bool) "pea <= ea <= none heap allocations" true
+    (s_off.Stats.s_allocations <= r_ea.Vm.stats.Stats.s_allocations
+    && r_ea.Vm.stats.Stats.s_allocations <= r_none.Vm.stats.Stats.s_allocations)
+
+(* ------------------------------------------------------------------ *)
+(* Deopt-time promotion                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Threshold 30 so [work] compiles from >= 20 profile samples of the
+   never-taken branch (the pruning heuristic's minimum) and the branch
+   really is speculated away. The oracle bisimulates the deopt against
+   a shadow interpreter replay, so a promotion that left a dangling or
+   scrubbed object in the resume state would abort here. *)
+let test_deopt_promotion () =
+  let iterations = 3 in
+  let reference = Test_support.interp_reference ~iterations deopt_promote_src in
+  let r = run ~iterations ~threshold:30 ~stackalloc:true deopt_promote_src in
+  Alcotest.(check (pair string (list string)))
+    "result survives the promoting deopt" reference (Test_support.outcome r);
+  Alcotest.(check bool) "a deopt fired" true (r.Vm.stats.Stats.s_deopts > 0);
+  Alcotest.(check bool) "a live stack object was promoted" true
+    (r.Vm.stats.Stats.s_stack_promotions >= 1);
+  Alcotest.(check int) "promoted objects are not also reclaimed"
+    r.Vm.stats.Stats.s_stack_allocs
+    (r.Vm.stats.Stats.s_stack_reclaimed + r.Vm.stats.Stats.s_stack_promotions);
+  (* the tier off: same result, same deopts, nothing to promote *)
+  let r_off = run ~iterations ~threshold:30 ~stackalloc:false deopt_promote_src in
+  Alcotest.(check (pair string (list string)))
+    "stackalloc=off agrees" reference (Test_support.outcome r_off);
+  Alcotest.(check int) "nothing promoted with the tier off" 0
+    r_off.Vm.stats.Stats.s_stack_promotions
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: dump write failure must warn, not swallow          *)
+(* ------------------------------------------------------------------ *)
+
+(* Point the armed recorder at a file inside a directory that does not
+   exist, storm it into triggering, and assert (a) the run's results and
+   VM state are exactly those of the writable-path storm, and (b) one
+   warning line per failed trigger reaches stderr. The write failure
+   used to be swallowed silently. *)
+let test_flight_dump_failure_warns () =
+  let path =
+    Filename.concat
+      (Filename.concat (Filename.get_temp_dir_name ()) "mjvm-no-such-dir-4242")
+      "dump.jsonl"
+  in
+  Alcotest.(check bool) "the dump directory really is missing" false
+    (Sys.file_exists (Filename.dirname path));
+  let saved_trace = Trace.installed () in
+  let program = Link.compile_source ~require_main:false Programs.two_branch in
+  let config =
+    { Jit.default_config with Jit.compile_threshold = 25; osr = false; deopt_storm_limit = 2 }
+  in
+  let vm = Vm.create ~config program in
+  let ring = Trace.create () in
+  Trace.set_clock ring (fun () -> Stats.get (Vm.stats vm) Stats.cycles);
+  Trace.install ring;
+  Flight.arm (Flight.create ~path ring);
+  let captured = Filename.temp_file "mjvm_stderr" ".txt" in
+  let fd = Unix.openfile captured [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved_stderr = Unix.dup Unix.stderr in
+  let restore () =
+    flush stderr;
+    Unix.dup2 saved_stderr Unix.stderr;
+    Unix.close saved_stderr;
+    Unix.close fd
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.disarm ();
+      (match saved_trace with Some t -> Trace.install t | None -> Trace.uninstall ());
+      Sys.remove captured)
+    (fun () ->
+      let f = Link.find_method program "C" "f" in
+      let vint n = Value.Vint n and vbool b = Value.Vbool b in
+      flush stderr;
+      Unix.dup2 fd Unix.stderr;
+      let results =
+        Fun.protect ~finally:restore (fun () ->
+            Vm.warm_up vm f [ vint 3; vbool false; vbool false ] 40;
+            [
+              Vm.invoke vm f [ vint 7; vbool true; vbool false ] (* deopt #1 *);
+              Vm.invoke vm f [ vint 3; vbool false; vbool false ] (* recompile *);
+              Vm.invoke vm f [ vint 7; vbool false; vbool true ] (* deopt #2: pins *);
+            ])
+      in
+      (* the run is unaffected: same control flow as the writable-path
+         storm — the guard still pins, and every call still returns *)
+      Alcotest.(check bool) "storm guard pinned" true (Vm.interpreter_pinned vm f);
+      Alcotest.(check int) "every invoke returned a value" 3
+        (List.length (List.filter Option.is_some results));
+      (match Flight.armed () with
+      | Some fl -> Alcotest.(check int) "the trigger still fired" 1 (Flight.dumps fl)
+      | None -> Alcotest.fail "recorder disarmed itself");
+      Alcotest.(check bool) "no dump file materialized" false (Sys.file_exists path);
+      let text = In_channel.with_open_bin captured In_channel.input_all in
+      Alcotest.(check bool) "stderr carries the warning" true
+        (Test_support.contains text "mjvm: flight dump failed:"))
+
+(* ------------------------------------------------------------------ *)
+(* Differential property                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Small program family pitting stack-eligible materializations (merge
+   phis, lock-forced materialization on a synchronized region) against
+   heap-forced ones (the object is returned out of its frame). *)
+type shape = Merge | Lock | Return_obj
+
+let gen_case =
+  QCheck2.Gen.(
+    map2
+      (fun shape (n, a, b) -> (shape, n, a, b))
+      (oneofl [ Merge; Lock; Return_obj ])
+      (triple (int_range 20 120) (int_range 1 9) (int_range 1 9)))
+
+let source_of_case (shape, n, a, b) =
+  let work =
+    match shape with
+    | Merge ->
+        Printf.sprintf
+          "  static int work(int i) {\n\
+          \    Point p;\n\
+          \    if (i %% 2 == 0) { p = new Point(i, %d); } else { p = new Point(i, %d); }\n\
+          \    return p.x + p.y;\n\
+          \  }\n"
+          a b
+    | Lock ->
+        (* the synchronized region forces materialization (lock elision
+           aside, the monitor needs an identity) but the object still
+           dies with the frame *)
+        Printf.sprintf
+          "  static int work(int i) {\n\
+          \    Point p;\n\
+          \    if (i %% 2 == 0) { p = new Point(i, %d); } else { p = new Point(i, %d); }\n\
+          \    int r = 0;\n\
+          \    synchronized (p) { p.x = p.x + %d; r = p.x + p.y; }\n\
+          \    return r;\n\
+          \  }\n"
+          a b a
+    | Return_obj ->
+        (* escapes through the return value: frame_bounded must reject
+           it and every materialization must be a real heap allocation *)
+        Printf.sprintf
+          "  static Point mk(int i) {\n\
+          \    Point p;\n\
+          \    if (i %% 2 == 0) { p = new Point(i, %d); } else { p = new Point(i, %d); }\n\
+          \    return p;\n\
+          \  }\n\
+          \  static int work(int i) {\n\
+          \    Point q = Main.mk(i);\n\
+          \    return q.x + q.y;\n\
+          \  }\n"
+          a b
+  in
+  Printf.sprintf
+    "class Point { int x; int y; Point(int x, int y) { this.x = x; this.y = y; } }\n\
+     class Main {\n\
+     %s\
+    \  static int main() {\n\
+    \    int acc = 0;\n\
+    \    int i = 0;\n\
+    \    while (i < %d) { acc = acc + Main.work(i); i = i + 1; }\n\
+    \    return acc;\n\
+    \  }\n\
+     }"
+    work n
+
+let print_case ((shape, n, a, b) as case) =
+  Printf.sprintf "shape=%s n=%d a=%d b=%d\n%s"
+    (match shape with Merge -> "merge" | Lock -> "lock" | Return_obj -> "return")
+    n a b (source_of_case case)
+
+(* The on/off axis honours MJVM_TEST_STACKALLOC (the matrix sweep and
+   the @stackalloc dune alias force one half); unset, both halves run. *)
+let stackalloc_axis =
+  match Sys.getenv_opt "MJVM_TEST_STACKALLOC" with
+  | Some ("off" | "0" | "false") -> [ false ]
+  | Some _ -> [ true ]
+  | None -> [ true; false ]
+
+(* Across the full opt x tier x OSR x compile-mode matrix crossed with
+   the tier on/off, with the deopt oracle armed: every cell agrees with
+   the interpreter; the stack-region counters balance (reclaimed +
+   promoted never exceeds births, and are identically zero with the
+   tier off); and the two execution tiers agree bit-for-bit on every
+   deterministic counter within a configuration. *)
+let prop_stackalloc_differential =
+  QCheck2.Test.make ~name:"stackalloc on/off x config matrix vs interpreter"
+    ~count:(Test_env.qcheck_count 15) ~print:print_case gen_case (fun case ->
+      let src = source_of_case case in
+      let iterations = 6 in
+      let reference = Test_support.interp_reference ~iterations src in
+      let cells = Test_support.all_cells () in
+      List.for_all
+        (fun stackalloc ->
+          let runs =
+            List.map
+              (fun cell ->
+                let config =
+                  Test_support.config_of_cell
+                    ~base:
+                      {
+                        Jit.default_config with
+                        Jit.compile_threshold = 4;
+                        osr_threshold = 3;
+                        stackalloc;
+                        oracle = true;
+                      }
+                    cell
+                in
+                let vm = Vm.create ~config (Link.compile_source src) in
+                let r = Vm.run_main_iterations vm iterations in
+                Vm.quiesce vm;
+                (cell, r))
+              cells
+          in
+          List.for_all
+            (fun ((cell : Test_support.cell), (r : Vm.result)) ->
+              let s = r.Vm.stats in
+              let ok_outcome = Test_support.outcome r = reference in
+              let ok_balance =
+                s.Stats.s_stack_reclaimed + s.Stats.s_stack_promotions
+                <= s.Stats.s_stack_allocs
+              in
+              let ok_off =
+                stackalloc
+                || (s.Stats.s_stack_reclaimed = 0 && s.Stats.s_stack_promotions = 0)
+              in
+              if not (ok_outcome && ok_balance && ok_off) then
+                QCheck2.Test.fail_reportf
+                  "cell %s (stackalloc=%b): outcome=%b balance=%b off-clean=%b"
+                  (Test_support.cell_name cell) stackalloc ok_outcome ok_balance ok_off
+              else true)
+            runs
+          (* cross-tier parity: within one (opt, osr, mode) configuration
+             the direct and closure tiers must agree on every
+             deterministic counter, stack-region ones included *)
+          && List.for_all
+               (fun ((c1 : Test_support.cell), (r1 : Vm.result)) ->
+                 List.for_all
+                   (fun ((c2 : Test_support.cell), (r2 : Vm.result)) ->
+                     if
+                       c1.Test_support.c_opt = c2.Test_support.c_opt
+                       && c1.Test_support.c_osr = c2.Test_support.c_osr
+                       && c1.Test_support.c_mode = c2.Test_support.c_mode
+                       && c1.Test_support.c_tier = Jit.Direct
+                       && c2.Test_support.c_tier = Jit.Closure
+                     then
+                       let p1 = Test_support.deterministic_counters r1.Vm.stats
+                       and p2 = Test_support.deterministic_counters r2.Vm.stats in
+                       let stack (s : Stats.snapshot) =
+                         (s.Stats.s_stack_allocs, s.Stats.s_stack_reclaimed,
+                          s.Stats.s_stack_promotions)
+                       in
+                       if p1 <> p2 || stack r1.Vm.stats <> stack r2.Vm.stats then
+                         QCheck2.Test.fail_reportf
+                           "tier counter divergence in %s vs %s (stackalloc=%b)"
+                           (Test_support.cell_name c1) (Test_support.cell_name c2)
+                           stackalloc
+                       else true
+                     else true)
+                   runs)
+               runs)
+        stackalloc_axis)
+
+let () =
+  Alcotest.run "stackalloc"
+    [
+      ( "accounting",
+        [ Alcotest.test_case "heap/stack counter parity" `Quick test_accounting_parity ] );
+      ( "deopt",
+        [ Alcotest.test_case "live stack objects promote" `Quick test_deopt_promotion ] );
+      ( "flight",
+        [
+          Alcotest.test_case "dump write failure warns on stderr" `Quick
+            test_flight_dump_failure_warns;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_stackalloc_differential ] );
+    ]
