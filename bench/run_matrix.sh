@@ -20,11 +20,17 @@
 # (MJVM_TEST_COMPILE_MODE=async) to check the threaded pipeline end to
 # end. Async is kept out of
 # the main product: its deterministic counters are pinned bit-for-bit to
-# replay's by test_async.ml, so replay stands in for it cheaply.
+# replay's by test_async.ml, so replay stands in for it cheaply. Two
+# serving cells re-run the suites with the multi-tenant harness in
+# forced-replay mode and with real worker domains (MJVM_TEST_SERVE,
+# see test/test_serving.ml) — the real-domain cell is the serving
+# analogue of the async cell.
 #
-# The matrix fails fast: the first failing cell prints its environment
-# line (the exact rerun command) first, then the output tail, and the
-# remaining cells are skipped.
+# Failures do not stop the sweep: every failing cell prints its
+# environment line (the exact rerun command) first, then the output
+# tail, and the remaining cells still run, so one broken cell cannot
+# mask another. The exit code covers every cell — including the final
+# ones — and is non-zero iff any cell failed.
 #
 # MJVM_TEST_QCHECK_COUNT scales the property-based suites up from their
 # fast local defaults: every matrix cell runs 500+ random programs per
@@ -38,8 +44,6 @@
 #
 # Usage: bench/run_matrix.sh   (from the repository root)
 
-set -e
-
 cd "$(dirname "$0")/.."
 
 MJVM_TEST_QCHECK_COUNT=${MJVM_TEST_QCHECK_COUNT:-500}
@@ -48,9 +52,12 @@ export MJVM_TEST_QCHECK_COUNT
 log=$(mktemp)
 trap 'rm -f "$log"' EXIT
 
+failed_cells=0
+
 # run_cell LABEL [VAR=value ...] — one matrix cell. Output is captured;
 # on failure the env line is printed first (so the rerun command is the
-# first thing in the failure report) and the matrix stops immediately.
+# first thing in the failure report); the sweep continues and the
+# failure is folded into the final exit code.
 run_cell() {
   _label=$1
   shift
@@ -62,7 +69,7 @@ run_cell() {
     echo "FAILED CELL: $* dune runtest --force"
     echo "last 40 lines of output:"
     tail -n 40 "$log" | sed 's/^/    | /'
-    exit 1
+    failed_cells=$((failed_cells + 1))
   fi
 }
 
@@ -135,4 +142,19 @@ run_cell "profile=on (default configuration, global sampling + heap profilers in
   "MJVM_TEST_PROFILE=1"
 run_cell "compile-mode=async (default configuration, real compiler domains)" \
   "MJVM_TEST_COMPILE_MODE=async"
+
+# Serving cells: the multi-tenant harness in forced-replay mode (the
+# same single-threaded schedule CI pins), and with real worker domains
+# (MJVM_TEST_SERVE=real unlocks the threaded-vs-replay equality and
+# threaded storm-isolation suites in test_serving.ml).
+run_cell "serve=replay (multi-tenant harness, deterministic schedule)" \
+  "MJVM_TEST_SERVE=replay"
+run_cell "serve=real (multi-tenant harness, real worker domains)" \
+  "MJVM_TEST_SERVE=real"
+
+if [ "$failed_cells" -gt 0 ]; then
+  echo ""
+  echo "$failed_cells matrix cell(s) failed"
+  exit 1
+fi
 exit 0

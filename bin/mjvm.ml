@@ -810,11 +810,170 @@ let report_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve — the multi-tenant request-serving harness                    *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Pea_serve.Server
+module Sessions = Pea_workloads.Sessions
+
+let tenants_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "tenants" ] ~docv:"N"
+        ~doc:
+          "Tenant count. Mixed sessions alternate tenants over the service apps; storm sessions \
+           use one storming tenant plus N-1 victims")
+
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains serving requests. 0 (the default) runs the replay mode: the same \
+           schedule single-threaded, with every counter bit-identical to a threaded run")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.sv_shards
+    & info [ "cache-shards" ] ~docv:"N" ~doc:"Shared code-cache shards")
+
+let rounds_arg =
+  Arg.(value & opt int 26 & info [ "rounds" ] ~docv:"N" ~doc:"Session rounds to generate")
+
+let requests_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "requests" ] ~docv:"N"
+        ~doc:
+          "Requests per round across the mixed tenants (storm sessions: across the victim \
+           tenants; the storming tenant adds its own fixed traffic)")
+
+let seed_arg =
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic session-generator seed")
+
+let session_conv =
+  let parse = function
+    | "mixed" -> Ok `Mixed
+    | "storm" -> Ok `Storm
+    | "quiet" -> Ok `Quiet
+    | s -> Error (`Msg (Printf.sprintf "unknown session kind %S (mixed|storm|quiet)" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with `Mixed -> "mixed" | `Storm -> "storm" | `Quiet -> "quiet")
+  in
+  Arg.conv (parse, print)
+
+let session_arg =
+  Arg.(
+    value & opt session_conv `Mixed
+    & info [ "session" ] ~docv:"KIND"
+        ~doc:
+          "Session script: mixed (steady cross-tenant traffic over shared apps), storm (one \
+           tenant driven through a deopt storm into quarantine while the victims' traffic must \
+           stay untouched), or quiet (the storm session with its trigger requests disabled — \
+           the control run for the isolation claim)")
+
+let serve_threshold_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "threshold" ] ~docv:"N"
+        ~doc:
+          "Interpreter invocations before a tenant requests a shared compile (20 keeps the \
+           compile profiles above the branch pruner's floor, which the storm session needs)")
+
+let compile_rounds_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.sv_compile_rounds
+    & info [ "compile-rounds" ] ~docv:"N"
+        ~doc:"Barrier-to-install latency of the shared compile queue, in rounds")
+
+let serve_cmd =
+  let action tenants workers shards rounds requests seed session threshold compile_rounds stats
+      verbose =
+    setup_logs verbose;
+    List.iter
+      (fun (flag, v, floor) ->
+        if v < floor then begin
+          Printf.eprintf "--%s must be >= %d\n" flag floor;
+          exit 1
+        end)
+      [
+        ("tenants", tenants, 1);
+        ("workers", workers, 0);
+        ("cache-shards", shards, 1);
+        ("rounds", rounds, 1);
+        ("requests", requests, 1);
+        ("compile-rounds", compile_rounds, 1);
+      ];
+    let script =
+      match session with
+      | `Mixed -> Sessions.mixed_script ~tenants ~rounds ~requests_per_round:requests ~seed ()
+      | `Storm | `Quiet ->
+          Sessions.storm_script
+            ~storm:(session = `Storm)
+            ~victims:(max 1 (tenants - 1))
+            ~rounds ~requests_per_round:requests ~seed ()
+    in
+    let config =
+      {
+        Server.default_config with
+        Server.sv_mode = (if workers = 0 then Server.Replay else Server.Threaded workers);
+        sv_shards = shards;
+        sv_compile_rounds = compile_rounds;
+        sv_jit = { Jit.default_config with Jit.compile_threshold = threshold };
+      }
+    in
+    let server = Server.create ~config script in
+    Server.run_rounds server script.Server.sc_rounds;
+    let r = Server.report server in
+    Printf.printf "session=%s tenants=%d rounds=%d requests=%d mode=%s\n"
+      (match session with `Mixed -> "mixed" | `Storm -> "storm" | `Quiet -> "quiet")
+      (List.length r.Server.r_tenants) r.Server.r_rounds r.Server.r_requests
+      (if workers = 0 then "replay" else Printf.sprintf "threaded(%d)" workers);
+    Printf.printf "%-12s %-10s %9s %7s %7s %12s %s\n" "tenant" "app" "requests" "p50" "p99"
+      "shared-hits" "quarantined";
+    List.iter
+      (fun tr ->
+        Printf.printf "%-12s %-10s %9d %7d %7d %12d %s\n" tr.Server.tr_name tr.Server.tr_app
+          (List.length tr.Server.tr_results)
+          (Server.percentile tr.Server.tr_latencies 50)
+          (Server.percentile tr.Server.tr_latencies 99)
+          tr.Server.tr_shared_hits
+          (if tr.Server.tr_quarantined then "yes" else "no"))
+      r.Server.r_tenants;
+    Printf.printf
+      "server: installs=%d shared-hits=%d epoch-rejects=%d quarantines=%d cache-entries=%d\n"
+      r.Server.r_stats.Pea_rt.Stats.s_compile_installs
+      r.Server.r_stats.Pea_rt.Stats.s_cache_shared_hits
+      r.Server.r_stats.Pea_rt.Stats.s_cache_epoch_rejects
+      r.Server.r_stats.Pea_rt.Stats.s_tenant_quarantines r.Server.r_cache_entries;
+    if stats then Format.printf "%a@." Pea_rt.Stats.pp (Server.stats server)
+  in
+  let term =
+    Term.(
+      const action $ tenants_arg $ workers_arg $ shards_arg $ rounds_arg $ requests_arg $ seed_arg
+      $ session_arg $ serve_threshold_arg $ compile_rounds_arg $ stats_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a deterministic multi-tenant session: N worker domains run MJ request handlers \
+          over per-tenant VMs backed by a shared, epoch-validated code cache and one background \
+          compile queue. Replay mode (--workers 0) reproduces the whole multi-domain schedule \
+          single-threaded with bit-identical counters. A deopt-storming or compile-failing \
+          tenant is quarantined to the interpreter without touching other tenants' cache \
+          entries")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "MiniJava VM with Partial Escape Analysis (CGO 2014 reproduction)" in
   Cmd.group
     (Cmd.info "mjvm" ~version:"1.0.0" ~doc)
-    [ run_cmd; dump_cmd; explain_cmd; check_cmd; report_cmd ]
+    [ run_cmd; dump_cmd; explain_cmd; check_cmd; report_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

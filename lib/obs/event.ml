@@ -84,6 +84,13 @@ type t =
   | Compile_stale of { meth : string; osr_bci : int option; epoch : int; current_epoch : int }
   | Compile_failed of { meth : string; osr_bci : int option; error : string }
   | Verify_violation of { meth : string; phase : string; rule : string; site : string; detail : string }
+  (* Multi-tenant serving harness (lib/serve). [round] is the session
+     round index — the serving layer's deterministic clock. *)
+  | Serve_request of { tenant : string; meth : string; round : int; latency : int }
+  | Cache_shared_hit of { tenant : string; meth : string; round : int }
+  | Cache_publish of { meth : string; epoch : int; shard : int; round : int }
+  | Cache_epoch_reject of { meth : string; epoch : int; current_epoch : int; round : int }
+  | Tenant_quarantine of { tenant : string; reason : string; round : int }
 
 let name = function
   | Compile_start _ -> "compile_start"
@@ -107,6 +114,11 @@ let name = function
   | Compile_stale _ -> "compile_stale"
   | Compile_failed _ -> "compile_failed"
   | Verify_violation _ -> "verify_violation"
+  | Serve_request _ -> "serve_request"
+  | Cache_shared_hit _ -> "cache_shared_hit"
+  | Cache_publish _ -> "cache_publish"
+  | Cache_epoch_reject _ -> "cache_epoch_reject"
+  | Tenant_quarantine _ -> "tenant_quarantine"
 
 (* Payload fields (without the event name), in a fixed order. *)
 let fields ev : Json.field list =
@@ -196,6 +208,35 @@ let fields ev : Json.field list =
         Json.str_field "rule" rule;
         Json.str_field "site" site;
         Json.str_field "detail" detail;
+      ]
+  | Serve_request { tenant; meth = m; round; latency } ->
+      [
+        Json.str_field "tenant" tenant;
+        meth m;
+        Json.int_field "round" round;
+        Json.int_field "latency" latency;
+      ]
+  | Cache_shared_hit { tenant; meth = m; round } ->
+      [ Json.str_field "tenant" tenant; meth m; Json.int_field "round" round ]
+  | Cache_publish { meth = m; epoch; shard; round } ->
+      [
+        meth m;
+        Json.int_field "epoch" epoch;
+        Json.int_field "shard" shard;
+        Json.int_field "round" round;
+      ]
+  | Cache_epoch_reject { meth = m; epoch; current_epoch; round } ->
+      [
+        meth m;
+        Json.int_field "epoch" epoch;
+        Json.int_field "current_epoch" current_epoch;
+        Json.int_field "round" round;
+      ]
+  | Tenant_quarantine { tenant; reason; round } ->
+      [
+        Json.str_field "tenant" tenant;
+        Json.str_field "reason" reason;
+        Json.int_field "round" round;
       ]
 
 (* Chrome trace_event phase: paired B/E spans for compilation and its

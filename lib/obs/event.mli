@@ -62,6 +62,20 @@ type t =
       (** the compiler raised; the method stays interpreted for good *)
   | Verify_violation of { meth : string; phase : string; rule : string; site : string; detail : string }
       (** the speculation-safety verifier rejected a graph *)
+  | Serve_request of { tenant : string; meth : string; round : int; latency : int }
+      (** one request served; [latency] in tenant VM cycles, [round] is
+          the session round (the serving layer's deterministic clock) *)
+  | Cache_shared_hit of { tenant : string; meth : string; round : int }
+      (** a tenant adopted a compiled graph from the shared code cache *)
+  | Cache_publish of { meth : string; epoch : int; shard : int; round : int }
+      (** a finished compile passed epoch validation and entered the
+          shared cache *)
+  | Cache_epoch_reject of { meth : string; epoch : int; current_epoch : int; round : int }
+      (** a finished compile refused at install: a deopt moved the
+          (app, method) epoch while it was in flight; never installed *)
+  | Tenant_quarantine of { tenant : string; reason : string; round : int }
+      (** a tenant demoted to interpreter-only serving (deopt storm or
+          compile failure); other tenants' cache entries are untouched *)
 
 val name : t -> string
 

@@ -91,6 +91,23 @@ let compile_failures = Metrics.counter schema "compile_failures"
    replay modes never charge it — that is exactly the win they exist for *)
 let compile_stall_cycles = Metrics.counter schema "compile_stall_cycles"
 
+(* multi-tenant serving harness (lib/serve): requests completed across
+   all tenants of a server run *)
+let serve_requests = Metrics.counter schema "serve_requests"
+
+(* compiled graphs adopted from the shared cross-tenant code cache
+   instead of being compiled again *)
+let cache_shared_hits = Metrics.counter schema "cache_shared_hits"
+
+(* shared-cache installs refused because a deopt moved the (app, method)
+   epoch while the compile was in flight — the stale graph is never
+   installed, the work is requeued against fresh snapshots *)
+let cache_epoch_rejects = Metrics.counter schema "cache_epoch_rejects"
+
+(* tenants demoted to interpreter-only serving (deopt-storm pinning or a
+   failing compile); quarantine never evicts other tenants' cache entries *)
+let tenant_quarantines = Metrics.counter schema "tenant_quarantines"
+
 (* distribution of rematerialized objects per deopt event *)
 let remat_per_deopt = Metrics.histogram schema "remat_per_deopt"
 
@@ -151,6 +168,10 @@ type snapshot = {
   s_compile_stale_discards : int;
   s_compile_failures : int;
   s_compile_stall_cycles : int;
+  s_serve_requests : int;
+  s_cache_shared_hits : int;
+  s_cache_epoch_rejects : int;
+  s_tenant_quarantines : int;
 }
 
 let snapshot t =
@@ -184,6 +205,10 @@ let snapshot t =
     s_compile_stale_discards = get t compile_stale_discards;
     s_compile_failures = get t compile_failures;
     s_compile_stall_cycles = get t compile_stall_cycles;
+    s_serve_requests = get t serve_requests;
+    s_cache_shared_hits = get t cache_shared_hits;
+    s_cache_epoch_rejects = get t cache_epoch_rejects;
+    s_tenant_quarantines = get t tenant_quarantines;
   }
 
 (* [diff later earlier] — the activity between two snapshots. *)
@@ -218,6 +243,10 @@ let diff a b =
     s_compile_stale_discards = a.s_compile_stale_discards - b.s_compile_stale_discards;
     s_compile_failures = a.s_compile_failures - b.s_compile_failures;
     s_compile_stall_cycles = a.s_compile_stall_cycles - b.s_compile_stall_cycles;
+    s_serve_requests = a.s_serve_requests - b.s_serve_requests;
+    s_cache_shared_hits = a.s_cache_shared_hits - b.s_cache_shared_hits;
+    s_cache_epoch_rejects = a.s_cache_epoch_rejects - b.s_cache_epoch_rejects;
+    s_tenant_quarantines = a.s_tenant_quarantines - b.s_tenant_quarantines;
   }
 
 let pp = Metrics.pp_counters

@@ -109,6 +109,20 @@ val compile_stall_cycles : metric
     modes never charge it; [cycles + compile_stall_cycles] is a mode's
     time-to-steady-state. *)
 
+val serve_requests : metric
+(** Requests completed across all tenants of a serving-harness run. *)
+
+val cache_shared_hits : metric
+(** Compiled graphs adopted from the shared cross-tenant code cache. *)
+
+val cache_epoch_rejects : metric
+(** Shared-cache installs refused because a deopt moved the
+    (app, method) epoch while the compile was in flight. *)
+
+val tenant_quarantines : metric
+(** Tenants demoted to interpreter-only serving (deopt storm or a
+    failing compile). *)
+
 val remat_per_deopt : metric
 (** Histogram: rematerialized objects per deopt event. *)
 
@@ -174,6 +188,10 @@ type snapshot = {
   s_compile_stale_discards : int;
   s_compile_failures : int;
   s_compile_stall_cycles : int;
+  s_serve_requests : int;
+  s_cache_shared_hits : int;
+  s_cache_epoch_rejects : int;
+  s_tenant_quarantines : int;
 }
 
 val snapshot : t -> snapshot

@@ -1,0 +1,581 @@
+(* Multi-tenant request server on OCaml 5 domains.
+
+   N worker domains serve MJ request handlers over per-tenant VM
+   instances, backed by the sharded {!Shared_cache} and one background
+   {!Pea_vm.Compile_queue} serving every tenant. The design invariant —
+   the one "Correctness of Speculative Optimizations with Dynamic
+   Deoptimization" frames — is that one tenant's deopt/invalidation storm
+   may never corrupt or stall another tenant's speculation state.
+
+   Determinism model (the serving twin of the VM's replay compile mode):
+   a session is a sequence of *rounds* of requests. Within a round every
+   tenant is fully isolated — its VM, heap, profile and counters are its
+   own, and the shared cache is frozen (workers only read it) — so a
+   tenant's counters do not depend on how rounds interleave across
+   domains. All cross-tenant interaction happens at the round *barrier*
+   on the coordinator, in tenant-id order:
+
+     1. epoch bumps — deopts reported by this round's execution move the
+        shared (app, method) epoch and drop the cache entry, and the
+        tenant's fired deopt sites merge into the app's shared blacklist;
+     2. install — compile tasks whose deadline (in rounds) arrived are
+        resolved; a task whose enqueue-time epoch no longer matches is
+        rejected ([cache_epoch_rejects]) and requeued against fresh
+        snapshots, never installed;
+     3. quarantine — a tenant that storm-pinned a method (or whose
+        requested compile failed) is demoted to interpreter-only serving;
+        nothing it owns is evicted from the shared cache;
+     4. enqueue — compile requests collected by the tenants' code-source
+        hooks enter the shared queue, deduplicated across tenants, with
+        the first requester's profile snapshot as the compile input.
+
+   Replay mode runs the same schedule single-threaded; threaded mode runs
+   each round's tenants on [Domain]s (statically assigned: tenant id mod
+   workers) with the compiler pipeline on real domains too. Both modes
+   make exactly the same model decisions, so every deterministic counter
+   is bit-for-bit identical — threaded mode's only divergence is
+   wall-clock, which is the point of the scaling benchmark. *)
+
+open Pea_bytecode
+open Pea_rt
+module Vm = Pea_vm.Vm
+module Jit = Pea_vm.Jit
+module Compile_queue = Pea_vm.Compile_queue
+module Trace = Pea_obs.Trace
+module Event = Pea_obs.Event
+module Pcpu = Pea_obs.Profile_cpu
+module Pheap = Pea_obs.Profile_heap
+
+type request = {
+  rq_tenant : int; (* index into [sc_tenants] *)
+  rq_class : string;
+  rq_method : string;
+  rq_args : int list;
+}
+
+type script = {
+  sc_apps : (string * string) list; (* (app name, MJ source) *)
+  sc_tenants : (string * int) list; (* (tenant name, app index) *)
+  sc_rounds : request list list;
+}
+
+type mode = Replay | Threaded of int (* worker domains *)
+
+type config = {
+  sv_mode : mode;
+  sv_shards : int; (* shared-cache shards *)
+  sv_queue_cap : int; (* shared compile-queue bound *)
+  sv_compile_rounds : int; (* barrier-to-install latency, in rounds *)
+  sv_jit : Jit.config; (* per-tenant VM configuration *)
+}
+
+let default_config =
+  { sv_mode = Replay; sv_shards = 4; sv_queue_cap = 16; sv_compile_rounds = 1; sv_jit = Jit.default_config }
+
+type tenant_report = {
+  tr_name : string;
+  tr_app : string;
+  tr_results : string list; (* one rendered result per request, script order *)
+  tr_latencies : int list; (* tenant VM cycles per request, script order *)
+  tr_shared_hits : int;
+  tr_quarantined : bool;
+  tr_stats : Stats.snapshot;
+}
+
+type report = {
+  r_requests : int;
+  r_rounds : int;
+  r_tenants : tenant_report list;
+  r_stats : Stats.snapshot; (* the server's own counters *)
+  r_cache_entries : int;
+  r_quarantined : string list;
+}
+
+type app = {
+  ap_index : int;
+  ap_name : string;
+  ap_program : Link.program;
+  mutable ap_summaries : Pea_analysis.Summary.t option;
+      (* shared across every tenant and compile of this app *)
+  ap_blacklist : (int * int, unit) Hashtbl.t;
+      (* (mth_id, bci) deopt sites merged across all tenants: shared
+         compiles never re-speculate on a site any tenant has fired *)
+}
+
+type tenant = {
+  tn_id : int;
+  tn_name : string;
+  tn_app : app;
+  tn_vm : Vm.t;
+  tn_epoch_seen : int array;
+      (* the tenant's per-method local invalidation epochs at the last
+         barrier; growth since then is this round's deopt report *)
+  tn_pending : (int, unit) Hashtbl.t; (* mth_ids the code source requested this round *)
+  tn_adopted : (int, int) Hashtbl.t;
+      (* mth_id -> shared epoch of the entry this tenant last adopted.
+         Reaching the lookup hook again for the same epoch means the
+         tenant deopted that code: re-adopting it would replay the same
+         deopt, so the tenant waits for the next epoch's compile instead
+         — the serving twin of the per-site recompilation policy *)
+  mutable tn_round_log_rev : (string * int) list; (* (method, latency) this round *)
+  mutable tn_hits_rev : string list; (* shared-cache adoptions this round *)
+  mutable tn_results_rev : string list;
+  mutable tn_latencies_rev : int list;
+  mutable tn_shared_hits : int;
+  mutable tn_quarantined : bool;
+}
+
+(* Compile-task bookkeeping: which (app, method) a queue key means and
+   which tenants asked for it (quarantined on compile failure). *)
+type pending_meta = { pm_app : app; pm_mid : int; mutable pm_requesters : int list }
+
+type t = {
+  config : config;
+  apps : app array;
+  tenants : tenant array;
+  cache : Shared_cache.t;
+  queue : Compile_queue.t;
+  meta : (Compile_queue.key, pending_meta) Hashtbl.t;
+  failed : (Compile_queue.key, unit) Hashtbl.t; (* never retried *)
+  stats : Stats.t; (* the server's own counters *)
+  mutable round : int; (* the serving layer's deterministic clock *)
+}
+
+(* Queue keys pack (app, method) into the [Compile_queue.key] method slot
+   so one queue serves every app without colliding method ids. *)
+let app_stride = 4096
+
+let queue_key server (ap : app) mid =
+  (ap.ap_index * app_stride) + mid, None, server.config.sv_jit.Jit.inlining
+
+let qualified (ap : app) (m : Classfile.rt_method) =
+  ap.ap_name ^ ":" ^ Classfile.qualified_name m
+
+let summaries_of ap =
+  match ap.ap_summaries with
+  | Some _ as s -> s
+  | None ->
+      let s = Pea_analysis.Summary.analyze ap.ap_program in
+      ap.ap_summaries <- Some s;
+      Some s
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) (script : script) : t =
+  let apps =
+    Array.of_list
+      (List.mapi
+         (fun i (name, src) ->
+           let program = Link.compile_source ~require_main:false src in
+           if Array.length program.Link.methods > app_stride then
+             invalid_arg "Server.create: app exceeds the queue key stride";
+           {
+             ap_index = i;
+             ap_name = name;
+             ap_program = program;
+             ap_summaries = None;
+             ap_blacklist = Hashtbl.create 8;
+           })
+         script.sc_apps)
+  in
+  let cache = Shared_cache.create ~shards:config.sv_shards in
+  (* every tenant VM: compilation routed through the server (Sync mode,
+     no VM-local queue), OSR off so normal entries are the only tier-up
+     path — the one the code-source hook covers *)
+  let tenant_jit = { config.sv_jit with Jit.compile_mode = Jit.Sync; osr = false } in
+  let tenants =
+    Array.of_list
+      (List.mapi
+         (fun i (name, app_idx) ->
+           let ap = apps.(app_idx) in
+           let vm = Vm.create ~config:tenant_jit ap.ap_program in
+           {
+             tn_id = i;
+             tn_name = name;
+             tn_app = ap;
+             tn_vm = vm;
+             tn_epoch_seen = Array.make (Array.length ap.ap_program.Link.methods) 0;
+             tn_pending = Hashtbl.create 8;
+             tn_adopted = Hashtbl.create 8;
+             tn_round_log_rev = [];
+             tn_hits_rev = [];
+             tn_results_rev = [];
+             tn_latencies_rev = [];
+             tn_shared_hits = 0;
+             tn_quarantined = false;
+           })
+         script.sc_tenants)
+  in
+  let server =
+    {
+      config;
+      apps;
+      tenants;
+      cache;
+      queue =
+        Compile_queue.create
+          ~threaded:(match config.sv_mode with Threaded _ -> true | Replay -> false)
+          ~cap:config.sv_queue_cap ~max_domains:config.sv_jit.Jit.compile_domains;
+      meta = Hashtbl.create 16;
+      failed = Hashtbl.create 8;
+      stats = Stats.create ();
+      round = 0;
+    }
+  in
+  (* wire each tenant's tier-up decisions into the shared cache: adopt
+     ready code (a shared hit) or register the want for the next barrier.
+     Everything the hook touches is tenant-local except the mutex-guarded
+     cache read, so workers stay race-free. *)
+  Array.iter
+    (fun tn ->
+      let ap = tn.tn_app in
+      Vm.set_code_source tn.tn_vm
+        {
+          Vm.cs_lookup =
+            (fun m ->
+              let mid = m.Classfile.mth_id in
+              match Shared_cache.lookup cache (ap.ap_index, mid) with
+              | Some (code, epoch) when Hashtbl.find_opt tn.tn_adopted mid <> Some epoch ->
+                  Hashtbl.replace tn.tn_adopted mid epoch;
+                  tn.tn_shared_hits <- tn.tn_shared_hits + 1;
+                  tn.tn_hits_rev <- qualified ap m :: tn.tn_hits_rev;
+                  Stats.incr (Vm.stats tn.tn_vm) Stats.cache_shared_hits;
+                  Some code
+              | Some _ | None -> None);
+          Vm.cs_request = (fun m -> Hashtbl.replace tn.tn_pending m.Classfile.mth_id ());
+        })
+    tenants;
+  server
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (tenant-local; runs on workers in threaded mode)  *)
+(* ------------------------------------------------------------------ *)
+
+let exec_request tn (rq : request) =
+  let render, latency =
+    match Link.find_method tn.tn_app.ap_program rq.rq_class rq.rq_method with
+    | exception Not_found -> (Printf.sprintf "error:no-method %s.%s" rq.rq_class rq.rq_method, 0)
+    | m ->
+        let stats = Vm.stats tn.tn_vm in
+        let before = Stats.get stats Stats.cycles in
+        let render =
+          match Vm.invoke tn.tn_vm m (List.map (fun i -> Value.Vint i) rq.rq_args) with
+          | None -> "void"
+          | Some v -> Value.string_of_value v
+          | exception Interp.Mj_throw v -> "throw:" ^ Value.string_of_value v
+          | exception Interp.Trap msg -> "trap:" ^ msg
+        in
+        (render, Stats.get stats Stats.cycles - before)
+  in
+  let meth = rq.rq_class ^ "." ^ rq.rq_method in
+  tn.tn_round_log_rev <- (meth, latency) :: tn.tn_round_log_rev;
+  tn.tn_results_rev <- render :: tn.tn_results_rev;
+  tn.tn_latencies_rev <- latency :: tn.tn_latencies_rev
+
+let run_round server (reqs : request list) =
+  match server.config.sv_mode with
+  | Replay -> List.iter (fun rq -> exec_request server.tenants.(rq.rq_tenant) rq) reqs
+  | Threaded workers ->
+      (* static tenant→worker assignment keeps every tenant's state owned
+         by exactly one domain for the whole round *)
+      let per_worker = Array.make workers [] in
+      List.iter
+        (fun rq ->
+          let w = rq.rq_tenant mod workers in
+          per_worker.(w) <- rq :: per_worker.(w))
+        reqs;
+      let doms =
+        Array.map
+          (fun rev ->
+            let mine = List.rev rev in
+            Domain.spawn (fun () ->
+                Trace.suppress (fun () ->
+                    List.iter (fun rq -> exec_request server.tenants.(rq.rq_tenant) rq) mine)))
+          per_worker
+      in
+      Array.iter Domain.join doms
+
+(* ------------------------------------------------------------------ *)
+(* Barrier (coordinator only, deterministic order)                     *)
+(* ------------------------------------------------------------------ *)
+
+let quarantine server tn ~reason =
+  if not tn.tn_quarantined then begin
+    tn.tn_quarantined <- true;
+    Vm.set_interp_only tn.tn_vm;
+    Stats.incr server.stats Stats.tenant_quarantines;
+    if Trace.enabled () then
+      Trace.record (Event.Tenant_quarantine { tenant = tn.tn_name; reason; round = server.round })
+  end
+
+let enqueue_compile server (ap : app) mid ~requester =
+  let key = queue_key server ap mid in
+  let ck = (ap.ap_index, mid) in
+  let m = ap.ap_program.Link.methods.(mid) in
+  if Hashtbl.mem server.failed key || Shared_cache.mem server.cache ck then ()
+  else if Compile_queue.mem server.queue key then begin
+    (* cross-tenant dedup: the win the shared queue exists for *)
+    (match Hashtbl.find_opt server.meta key with
+    | Some meta when not (List.mem requester meta.pm_requesters) ->
+        meta.pm_requesters <- requester :: meta.pm_requesters
+    | _ -> ());
+    Stats.incr server.stats Stats.compile_dedup_hits;
+    if Trace.enabled () then
+      Trace.record (Event.Compile_dedup { meth = qualified ap m; osr_bci = None })
+  end
+  else if Compile_queue.is_full server.queue then begin
+    (* drop: the tenant's hook re-requests at its next hot invocation *)
+    Stats.incr server.stats Stats.compile_drops;
+    if Trace.enabled () then
+      Trace.record (Event.Compile_drop { meth = qualified ap m; osr_bci = None })
+  end
+  else begin
+    (* compile inputs from the shared profile store: the first
+       requester's snapshot (for the current epoch) serves everyone *)
+    (match Shared_cache.profile_of server.cache ck with
+    | Some _ -> ()
+    | None ->
+        Shared_cache.remember_profile server.cache ck
+          (Profile.copy (Vm.profile server.tenants.(requester).tn_vm)));
+    let profile =
+      match Shared_cache.profile_of server.cache ck with
+      | Some p -> p
+      | None -> assert false
+    in
+    let summaries = summaries_of ap in
+    let blacklist_copy = Hashtbl.copy ap.ap_blacklist in
+    let blacklist site = Hashtbl.mem blacklist_copy site in
+    let config = { server.config.sv_jit with Jit.compile_mode = Jit.Sync; osr = false } in
+    let program = ap.ap_program in
+    let epoch = Shared_cache.epoch server.cache ck in
+    let task =
+      {
+        Compile_queue.t_key = key;
+        t_epoch = epoch;
+        t_enqueued_at = server.round;
+        t_deadline = server.round + server.config.sv_compile_rounds;
+        t_compile = (fun () -> Jit.compile ?summaries ~blacklist config program profile m);
+      }
+    in
+    Compile_queue.enqueue server.queue task;
+    Hashtbl.replace server.meta key { pm_app = ap; pm_mid = mid; pm_requesters = [ requester ] };
+    Stats.incr server.stats Stats.compile_enqueues;
+    Stats.observe server.stats Stats.compile_queue_depth (Compile_queue.depth server.queue);
+    if Trace.enabled () then
+      Trace.record
+        (Event.Compile_enqueue
+           { meth = qualified ap m; osr_bci = None; epoch; depth = Compile_queue.depth server.queue })
+  end
+
+(* Resolve every due task: install into the shared cache, or reject the
+   stale ones and requeue them against fresh snapshots. *)
+let resolve_due server ~now =
+  List.iter
+    (fun ((task : Compile_queue.task), outcome) ->
+      let meta = Hashtbl.find server.meta task.Compile_queue.t_key in
+      Hashtbl.remove server.meta task.Compile_queue.t_key;
+      let ap = meta.pm_app in
+      let m = ap.ap_program.Link.methods.(meta.pm_mid) in
+      let meth = qualified ap m in
+      match outcome with
+      | Compile_queue.Failed error ->
+          Hashtbl.replace server.failed task.Compile_queue.t_key ();
+          Stats.incr server.stats Stats.compile_failures;
+          if Trace.enabled () then
+            Trace.record (Event.Compile_failed { meth; osr_bci = None; error });
+          (* admission policy: a tenant whose requested compile fails is
+             quarantined; the shared cache is untouched *)
+          List.iter
+            (fun id -> quarantine server server.tenants.(id) ~reason:"compile-failure")
+            (List.sort compare meta.pm_requesters)
+      | Compile_queue.Done code -> (
+          let ck = (ap.ap_index, meta.pm_mid) in
+          match Shared_cache.publish server.cache ck ~epoch:task.Compile_queue.t_epoch code with
+          | `Installed shard ->
+              Stats.incr server.stats Stats.compile_installs;
+              Stats.observe server.stats Stats.compile_latency
+                (task.Compile_queue.t_deadline - task.Compile_queue.t_enqueued_at);
+              if Trace.enabled () then
+                Trace.record
+                  (Event.Cache_publish
+                     { meth; epoch = task.Compile_queue.t_epoch; shard; round = server.round })
+          | `Stale current ->
+              (* the epoch race: a deopt beat the install. Never
+                 installed; recompiled against the moved blacklist. *)
+              Stats.incr server.stats Stats.cache_epoch_rejects;
+              if Trace.enabled () then
+                Trace.record
+                  (Event.Cache_epoch_reject
+                     {
+                       meth;
+                       epoch = task.Compile_queue.t_epoch;
+                       current_epoch = current;
+                       round = server.round;
+                     });
+              List.iter
+                (fun id ->
+                  if not server.tenants.(id).tn_quarantined then
+                    enqueue_compile server ap meta.pm_mid ~requester:id)
+                (List.sort compare meta.pm_requesters)))
+    (Compile_queue.due server.queue ~now)
+
+let barrier server (reqs : request list) =
+  let stats = server.stats in
+  (* request accounting + serve events, in script order *)
+  Stats.add stats Stats.serve_requests (List.length reqs);
+  let cursors = Array.map (fun tn -> ref (List.rev tn.tn_round_log_rev)) server.tenants in
+  List.iter
+    (fun rq ->
+      match !(cursors.(rq.rq_tenant)) with
+      | [] -> ()
+      | (meth, latency) :: rest ->
+          cursors.(rq.rq_tenant) := rest;
+          if Trace.enabled () then
+            Trace.record
+              (Event.Serve_request
+                 { tenant = server.tenants.(rq.rq_tenant).tn_name; meth; round = server.round; latency }))
+    reqs;
+  Array.iter (fun tn -> tn.tn_round_log_rev <- []) server.tenants;
+  (* shared-hit accounting, tenant order *)
+  Array.iter
+    (fun tn ->
+      List.iter
+        (fun meth ->
+          Stats.incr stats Stats.cache_shared_hits;
+          if Trace.enabled () then
+            Trace.record (Event.Cache_shared_hit { tenant = tn.tn_name; meth; round = server.round }))
+        (List.rev tn.tn_hits_rev);
+      tn.tn_hits_rev <- [])
+    server.tenants;
+  (* 1. epoch bumps from this round's deopts, tenant order; each (app,
+     method) bumps at most once per barrier *)
+  let bumped = Hashtbl.create 8 in
+  Array.iter
+    (fun tn ->
+      let ap = tn.tn_app in
+      Array.iteri
+        (fun mid seen ->
+          let m = ap.ap_program.Link.methods.(mid) in
+          let e = Vm.invalidation_epoch tn.tn_vm m in
+          if e > seen then begin
+            tn.tn_epoch_seen.(mid) <- e;
+            List.iter
+              (fun bci -> Hashtbl.replace ap.ap_blacklist (mid, bci) ())
+              (Vm.blacklisted_sites tn.tn_vm m);
+            let ck = (ap.ap_index, mid) in
+            if not (Hashtbl.mem bumped ck) then begin
+              Hashtbl.replace bumped ck ();
+              Shared_cache.bump server.cache ck
+            end
+          end)
+        tn.tn_epoch_seen)
+    server.tenants;
+  (* 2. resolve due compile work (stale tasks rejected, not installed) *)
+  resolve_due server ~now:server.round;
+  (* 3. quarantine storm-pinned tenants *)
+  Array.iter
+    (fun tn -> if Vm.pinned_count tn.tn_vm > 0 then quarantine server tn ~reason:"deopt-storm")
+    server.tenants;
+  (* 4. enqueue this round's compile requests, tenant then method order *)
+  Array.iter
+    (fun tn ->
+      let mids = Hashtbl.fold (fun mid () acc -> mid :: acc) tn.tn_pending [] in
+      Hashtbl.reset tn.tn_pending;
+      if not tn.tn_quarantined then
+        List.iter (fun mid -> enqueue_compile server tn.tn_app mid ~requester:tn.tn_id) (List.sort compare mids))
+    server.tenants
+
+(* ------------------------------------------------------------------ *)
+(* Session driving                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* In threaded mode any globally installed sampling/heap profiler is
+   suspended for the run: the global profilers are single-domain
+   instruments (shadow stacks, site tables), and profiling must never be
+   able to corrupt a serving run. Replay mode leaves them untouched —
+   single-threaded, they are deterministic there. *)
+let with_global_profilers_suspended server f =
+  match server.config.sv_mode with
+  | Replay -> f ()
+  | Threaded _ ->
+      let cpu = Pcpu.installed () and heap = Pheap.installed () in
+      Pcpu.uninstall ();
+      Pheap.uninstall ();
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter Pcpu.install cpu;
+          Option.iter Pheap.install heap)
+        f
+
+let run_rounds server (rounds : request list list) =
+  with_global_profilers_suspended server (fun () ->
+      List.iter
+        (fun reqs ->
+          run_round server reqs;
+          barrier server reqs;
+          server.round <- server.round + 1)
+        rounds)
+
+(* Drain the queue after the last round: no mutator runs between passes,
+   so no epoch can move and the loop terminates. *)
+let drain server =
+  while Compile_queue.has_inflight server.queue do
+    server.round <- server.round + 1;
+    resolve_due server ~now:max_int
+  done
+
+let report server =
+  drain server;
+  {
+    r_requests = Stats.get server.stats Stats.serve_requests;
+    r_rounds = server.round;
+    r_tenants =
+      Array.to_list
+        (Array.map
+           (fun tn ->
+             {
+               tr_name = tn.tn_name;
+               tr_app = tn.tn_app.ap_name;
+               tr_results = List.rev tn.tn_results_rev;
+               tr_latencies = List.rev tn.tn_latencies_rev;
+               tr_shared_hits = tn.tn_shared_hits;
+               tr_quarantined = tn.tn_quarantined;
+               tr_stats = Stats.snapshot (Vm.stats tn.tn_vm);
+             })
+           server.tenants);
+    r_stats = Stats.snapshot server.stats;
+    r_cache_entries = Shared_cache.size server.cache;
+    r_quarantined =
+      Array.to_list server.tenants
+      |> List.filter_map (fun tn -> if tn.tn_quarantined then Some tn.tn_name else None);
+  }
+
+let run ?config script =
+  let server = create ?config script in
+  run_rounds server script.sc_rounds;
+  report server
+
+(* Introspection for tests and the CLI. *)
+
+let stats server = server.stats
+
+let cache server = server.cache
+
+let tenant_vm server i = server.tenants.(i).tn_vm
+
+let tenant_app_index server i = server.tenants.(i).tn_app.ap_index
+
+let find_app_method server ~app cls name =
+  Link.find_method server.apps.(app).ap_program cls name
+
+(* Latency percentile over a sample list: nearest-rank on the sorted
+   sample (p in [0, 100]); 0 on an empty list. *)
+let percentile samples p =
+  match List.sort compare samples with
+  | [] -> 0
+  | sorted ->
+      let n = List.length sorted in
+      let rank = max 0 (min (n - 1) ((p * n / 100) + (if p * n mod 100 = 0 then -1 else 0))) in
+      List.nth sorted rank

@@ -19,6 +19,16 @@ type result = {
   jit_stats : Pea_core.Pea.pass_stats;
 }
 
+(* External code provider (the multi-tenant serving layer's shared code
+   cache). When installed, a hot method consults it instead of the VM's
+   own compiler: [cs_lookup] either hands back ready-to-install code or
+   returns [None], in which case [cs_request] registers the want and the
+   method keeps interpreting until the provider delivers. *)
+type code_source = {
+  cs_lookup : Classfile.rt_method -> Jit.compiled option;
+  cs_request : Classfile.rt_method -> unit;
+}
+
 type t = {
   program : Link.program;
   config : Jit.config;
@@ -50,6 +60,10 @@ type t = {
   compile_failed : (Compile_queue.key, unit) Hashtbl.t;
       (* background tasks whose compile raised: the method (or OSR entry)
          stays interpreted for good; never retried *)
+  mutable code_source : code_source option;
+  mutable interp_only : bool;
+      (* tenant quarantine: every method interprets, even ones with
+         installed code; the code tables themselves are left intact *)
 }
 
 let accumulate_jit_stats (acc : Pea_core.Pea.pass_stats) (st : Pea_core.Pea.pass_stats) =
@@ -103,7 +117,7 @@ let rec invoke vm (m : Classfile.rt_method) args =
   (match vm.queue with
   | Some q when Compile_queue.has_inflight q -> poll_queue vm q
   | _ -> ());
-  if Hashtbl.mem vm.pinned m.Classfile.mth_id then Interp.run vm.env m args
+  if vm.interp_only || Hashtbl.mem vm.pinned m.Classfile.mth_id then Interp.run vm.env m args
   else
     match Hashtbl.find_opt vm.compiled m.Classfile.mth_id with
     | Some code -> run_compiled vm m code args
@@ -113,12 +127,25 @@ let rec invoke vm (m : Classfile.rt_method) args =
           invocations >= vm.config.Jit.compile_threshold
           && not (Classfile.uses_exceptions m)
         then
-          match vm.queue with
-          | None -> run_compiled vm m (compile_method vm m) args
-          | Some q ->
-              (* keep interpreting while the background pipeline works *)
-              request_compile vm q m None;
-              Interp.run vm.env m args
+          match vm.code_source with
+          | Some cs -> (
+              (* serving: the shared cache either delivers ready code or
+                 takes the request; the VM never compiles on its own *)
+              match cs.cs_lookup m with
+              | Some code ->
+                  Hashtbl.replace vm.compiled m.Classfile.mth_id code;
+                  record_compiled vm code;
+                  run_compiled vm m code args
+              | None ->
+                  cs.cs_request m;
+                  Interp.run vm.env m args)
+          | None -> (
+              match vm.queue with
+              | None -> run_compiled vm m (compile_method vm m) args
+              | Some q ->
+                  (* keep interpreting while the background pipeline works *)
+                  request_compile vm q m None;
+                  Interp.run vm.env m args)
         else Interp.run vm.env m args
 
 and compile_method vm (m : Classfile.rt_method) =
@@ -464,6 +491,7 @@ and on_back_edge vm (m : Classfile.rt_method) ~header ~locals =
   let key = (m.Classfile.mth_id, header) in
   if
     (not cfg.Jit.osr)
+    || vm.interp_only
     || Hashtbl.mem vm.pinned m.Classfile.mth_id
     || Hashtbl.mem vm.osr_failed key
     || Hashtbl.mem vm.compile_failed (m.Classfile.mth_id, Some header, vm.config.Jit.inlining)
@@ -599,6 +627,8 @@ let create ?(config = Jit.default_config) (program : Link.program) : t =
                    ~max_domains:config.Jit.compile_domains));
         epochs = Array.make (max (Array.length program.Link.methods) 1) 0;
         compile_failed = Hashtbl.create 8;
+        code_source = None;
+        interp_only = false;
       }
   in
   Lazy.force vm
@@ -622,6 +652,19 @@ let osr_graph vm (m : Classfile.rt_method) ~header =
     (Hashtbl.find_opt vm.osr_compiled (m.Classfile.mth_id, header))
 
 let interpreter_pinned vm (m : Classfile.rt_method) = Hashtbl.mem vm.pinned m.Classfile.mth_id
+
+let pinned_count vm = Hashtbl.length vm.pinned
+
+let set_code_source vm cs = vm.code_source <- Some cs
+
+let set_interp_only vm = vm.interp_only <- true
+
+let interp_only vm = vm.interp_only
+
+let invalidation_epoch vm (m : Classfile.rt_method) = vm.epochs.(m.Classfile.mth_id)
+
+let invalidation_count vm (m : Classfile.rt_method) =
+  Option.value (Hashtbl.find_opt vm.invalidations m.Classfile.mth_id) ~default:0
 
 let pending_compiles vm =
   match vm.queue with None -> 0 | Some q -> Compile_queue.depth q

@@ -79,6 +79,42 @@ val osr_graph : t -> Classfile.rt_method -> header:int -> Pea_ir.Graph.t option
     [m] to the interpreter. *)
 val interpreter_pinned : t -> Classfile.rt_method -> bool
 
+(** [pinned_count vm] — how many methods the deopt-storm guard has pinned
+    (the serving layer's quarantine trigger). *)
+val pinned_count : t -> int
+
+(** External code provider (the serving layer's shared code cache): a hot
+    method consults [cs_lookup] for ready-to-install code instead of
+    compiling; on [None], [cs_request] registers the want and the method
+    keeps interpreting until the provider delivers. *)
+type code_source = {
+  cs_lookup : Classfile.rt_method -> Jit.compiled option;
+  cs_request : Classfile.rt_method -> unit;
+}
+
+(** [set_code_source vm cs] routes all future tier-up decisions through
+    [cs]. The VM then never runs its own compiler for normal entries;
+    OSR should be disabled in [vm]'s config when a code source is set so
+    every compilation flows through the provider. *)
+val set_code_source : t -> code_source -> unit
+
+(** [set_interp_only vm] quarantines the VM: every method interprets from
+    now on, including ones with installed code. Irreversible; the code
+    tables are left intact. *)
+val set_interp_only : t -> unit
+
+(** [interp_only vm] — whether {!set_interp_only} was called. *)
+val interp_only : t -> bool
+
+(** [invalidation_epoch vm m] — [m]'s invalidation epoch: bumped every
+    time a deopt invalidates the method's code. The serving layer
+    validates shared-cache entries against it. *)
+val invalidation_epoch : t -> Classfile.rt_method -> int
+
+(** [invalidation_count vm m] — how many times deopts have invalidated
+    [m]'s code ({!Jit.config.deopt_storm_limit} pins the method). *)
+val invalidation_count : t -> Classfile.rt_method -> int
+
 (** [pending_compiles vm] — background compile tasks currently in flight
     (always 0 under {!Jit.Sync}). *)
 val pending_compiles : t -> int

@@ -28,7 +28,15 @@
    - MJVM_TEST_PROFILE = 1|on|true installs the global sampling and heap
      profilers for the whole suite, same discipline as MJVM_TEST_TRACE:
      the profiles are discarded, the point is that profiling must not
-     move any result or deterministic counter.
+     move any result or deterministic counter;
+   - MJVM_TEST_SERVE = replay | real selects the multi-tenant serving
+     harness mode for test_serving.ml: `replay` (what the @serving alias
+     forces for CI) runs the deterministic single-threaded schedule;
+     `real` additionally unlocks the threaded suites that run real
+     worker domains and pin their reports bit-for-bit to replay's. This
+     axis is read by test_serving.ml directly (see [serve_real]), not
+     through [apply] — the serving harness owns its tenants' compile
+     mode and OSR settings by design.
 
    Unset variables leave the test's own configuration untouched. *)
 
@@ -49,6 +57,10 @@ let () =
 (* Tests that compare optimization levels against each other are
    meaningless when the level is forced from the outside. *)
 let opt_forced () = Sys.getenv_opt "MJVM_TEST_OPT" <> None
+
+(* Serving-harness mode: whether the real-domain suites are unlocked. *)
+let serve_real () =
+  match Sys.getenv_opt "MJVM_TEST_SERVE" with Some "real" -> true | Some _ | None -> false
 
 (* qcheck case count: [default] unless MJVM_TEST_QCHECK_COUNT is set. *)
 let qcheck_count default =

@@ -429,6 +429,71 @@ let prop_verified_execution =
         (fun opt -> run src opt ~threshold:22 = reference)
         [ Jit.O_none; Jit.O_ea; Jit.O_pea ])
 
+(* Multi-tenant serving: K tenants sharing one code cache and one
+   compile queue must be observationally indistinguishable from K
+   isolated runs — every tenant's per-request results equal those of an
+   interpreter-only VM over just that tenant's app and request stream.
+   The opt × tier cell is drawn per case (the serving harness itself
+   forces Sync + no OSR on tenant VMs, so those axes don't apply);
+   env-driven axes (summaries, stackalloc, inlining, ...) still reach
+   the shared compiles through [Test_env.apply]. *)
+let prop_serving_matches_isolated =
+  let module Server = Pea_serve.Server in
+  let module Sessions = Pea_workloads.Sessions in
+  let isolated_results (script : Server.script) =
+    let vms =
+      List.map
+        (fun (_, app_idx) ->
+          let _, src = List.nth script.Server.sc_apps app_idx in
+          let program = Pea_bytecode.Link.compile_source ~require_main:false src in
+          (program, Vm.create ~config:{ Jit.default_config with Jit.compile_threshold = max_int } program))
+        script.Server.sc_tenants
+    in
+    let results = Array.make (List.length vms) [] in
+    List.iter
+      (fun (rq : Server.request) ->
+        let program, vm = List.nth vms rq.Server.rq_tenant in
+        let m = Pea_bytecode.Link.find_method program rq.Server.rq_class rq.Server.rq_method in
+        let render =
+          match Vm.invoke vm m (List.map (fun i -> Value.Vint i) rq.Server.rq_args) with
+          | None -> "void"
+          | Some v -> Value.string_of_value v
+          | exception Interp.Mj_throw v -> "throw:" ^ Value.string_of_value v
+          | exception Interp.Trap msg -> "trap:" ^ msg
+        in
+        results.(rq.Server.rq_tenant) <- render :: results.(rq.Server.rq_tenant))
+      (List.concat script.Server.sc_rounds);
+    Array.to_list (Array.map List.rev results)
+  in
+  let gen =
+    let* tenants = G.int_range 2 4
+    and* rounds = G.int_range 3 6
+    and* requests_per_round = G.int_range 6 12
+    and* seed = G.int_range 0 99999
+    and* opt = G.oneofl [ Jit.O_none; Jit.O_ea; Jit.O_pea ]
+    and* tier = G.oneofl [ Jit.Direct; Jit.Closure ] in
+    G.return (tenants, rounds, requests_per_round, seed, opt, tier)
+  in
+  let print (tenants, rounds, rpr, seed, opt, tier) =
+    Printf.sprintf "tenants=%d rounds=%d rpr=%d seed=%d opt=%s tier=%s" tenants rounds rpr seed
+      (match opt with Jit.O_none -> "none" | Jit.O_ea -> "ea" | Jit.O_pea -> "pea")
+      (match tier with Jit.Direct -> "direct" | Jit.Closure -> "closure")
+  in
+  QCheck2.Test.make ~name:"shared-cache serving = isolated per-tenant runs"
+    ~count:(Test_env.qcheck_count 40) ~print gen
+    (fun (tenants, rounds, requests_per_round, seed, opt, tier) ->
+      let script = Sessions.mixed_script ~tenants ~rounds ~requests_per_round ~seed () in
+      let sv_jit =
+        {
+          (Test_env.apply Jit.default_config) with
+          Jit.opt;
+          exec_tier = tier;
+          compile_threshold = 4;
+        }
+      in
+      let r = Server.run ~config:{ Server.default_config with Server.sv_jit } script in
+      List.map (fun tr -> tr.Server.tr_results) r.Server.r_tenants = isolated_results script)
+
 let () =
   Alcotest.run "properties"
     [
@@ -440,5 +505,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_ir_checker_after_pea;
           QCheck_alcotest.to_alcotest prop_verified_execution;
           QCheck_alcotest.to_alcotest prop_pretty_roundtrip;
+          QCheck_alcotest.to_alcotest prop_serving_matches_isolated;
         ] );
     ]

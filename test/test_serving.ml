@@ -1,0 +1,319 @@
+(* Multi-tenant serving harness (lib/serve).
+
+   - Storm isolation: a tenant driven through a deopt storm is
+     quarantined to interpreter-only serving, while every victim
+     tenant's results, per-request latencies and full VM counters are
+     *exactly equal* to a quiet run where the storm never happens, and
+     the victims' shared-cache entries survive the storm.
+   - Epoch race: a deopt racing a cross-tenant compile moves the shared
+     (app, method) epoch while the task is in flight; the finished graph
+     is rejected ([cache_epoch_rejects]) and requeued — a stale epoch is
+     never installed, and the entry eventually present carries the
+     current epoch.
+   - Replay determinism: two runs of the same session script produce
+     structurally identical reports and byte-identical trace JSONL.
+   - Threaded mode (MJVM_TEST_SERVE=real): real worker domains produce
+     the same reports as replay — counter-identical, not just
+     result-identical.
+
+   Serving configs are built explicitly: the harness forces Sync + no
+   OSR on tenant VMs by design, so [Test_env.apply]'s compile-mode and
+   OSR axes do not apply here. *)
+
+open Pea_rt
+open Pea_vm
+module Server = Pea_serve.Server
+module Shared_cache = Pea_serve.Shared_cache
+module Sessions = Pea_workloads.Sessions
+module Trace = Pea_obs.Trace
+module Event = Pea_obs.Event
+
+(* Short-session config for the cache-sharing and determinism tests: a
+   low threshold compiles quickly (pruning stays off below the pruner's
+   20-execution floor, which these tests don't need). *)
+let test_jit = { Jit.default_config with Jit.compile_threshold = 4 }
+
+let test_config = { Server.default_config with Server.sv_jit = test_jit }
+
+(* Deopt-driven tests keep the default threshold of 20: the compile
+   profile snapshot must clear the pruner's floor, or the trap branches
+   are never speculated and never deopt (see Sessions.storm_script). *)
+let storm_config =
+  { Server.default_config with Server.sv_jit = { Jit.default_config with Jit.compile_threshold = 20 } }
+
+let storm_report ~storm () =
+  Server.run ~config:storm_config
+    (Sessions.storm_script ~storm ~victims:2 ~rounds:26 ~requests_per_round:6 ~seed:11 ())
+
+let tenant report name =
+  match List.find_opt (fun tr -> tr.Server.tr_name = name) report.Server.r_tenants with
+  | Some tr -> tr
+  | None -> Alcotest.failf "no tenant %s in report" name
+
+(* ------------------------------------------------------------------ *)
+(* Storm isolation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_storm_quarantines_stormy () =
+  let r = storm_report ~storm:true () in
+  Alcotest.(check (list string)) "only the stormy tenant is quarantined" [ "stormy" ]
+    r.Server.r_quarantined;
+  Alcotest.(check bool) "stormy tenant flagged" true (tenant r "stormy").Server.tr_quarantined;
+  Alcotest.(check bool) "victims untouched" false
+    ((tenant r "victim-0").Server.tr_quarantined || (tenant r "victim-1").Server.tr_quarantined);
+  Alcotest.(check int) "one quarantine counted" 1 r.Server.r_stats.Stats.s_tenant_quarantines;
+  (* the storm actually stormed: the stormy tenant's VM saw repeated
+     deopts before the pin *)
+  Alcotest.(check bool) "stormy tenant deopted repeatedly" true
+    ((tenant r "stormy").Server.tr_stats.Stats.s_deopts >= 5)
+
+let test_storm_quarantine_is_interp_only () =
+  let script =
+    Sessions.storm_script ~storm:true ~victims:2 ~rounds:26 ~requests_per_round:6 ~seed:11 ()
+  in
+  let server = Server.create ~config:storm_config script in
+  Server.run_rounds server script.Server.sc_rounds;
+  let r = Server.report server in
+  Alcotest.(check (list string)) "stormy quarantined" [ "stormy" ] r.Server.r_quarantined;
+  Alcotest.(check bool) "stormy VM demoted to interpreter-only" true
+    (Vm.interp_only (Server.tenant_vm server 0));
+  Alcotest.(check bool) "victim VMs still tiered" false
+    (Vm.interp_only (Server.tenant_vm server 1) || Vm.interp_only (Server.tenant_vm server 2));
+  (* nothing the stormy tenant did evicted the victims' app from the
+     shared cache: their handlers are still installed *)
+  let cache = Server.cache server in
+  let app = Server.tenant_app_index server 1 in
+  List.iter
+    (fun name ->
+      let m = Server.find_app_method server ~app "Svc" name in
+      Alcotest.(check bool)
+        (Printf.sprintf "pair-svc %s still cached after the storm" name)
+        true
+        (Shared_cache.mem cache (app, m.Pea_bytecode.Classfile.mth_id)))
+    [ "handle"; "mix" ];
+  (* the stormy tenant's own (trap-svc) entry is gone — its storm only
+     ever cost itself *)
+  Alcotest.(check int) "cache holds exactly the victims' methods" 2 r.Server.r_cache_entries
+
+let test_storm_leaves_victims_bit_identical () =
+  let stormy_run = storm_report ~storm:true () in
+  let quiet_run = storm_report ~storm:false () in
+  Alcotest.(check (list string)) "quiet run quarantines nobody" [] quiet_run.Server.r_quarantined;
+  List.iter
+    (fun name ->
+      let a = tenant stormy_run name and b = tenant quiet_run name in
+      Alcotest.(check (list string))
+        (name ^ ": results identical under the storm")
+        b.Server.tr_results a.Server.tr_results;
+      Alcotest.(check (list int))
+        (name ^ ": per-request latencies identical under the storm")
+        b.Server.tr_latencies a.Server.tr_latencies;
+      Alcotest.(check bool)
+        (name ^ ": full VM counters identical under the storm")
+        true
+        (a.Server.tr_stats = b.Server.tr_stats))
+    [ "victim-0"; "victim-1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared cache: cross-tenant hits and the epoch race                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_shared_cache_cross_tenant_hits () =
+  let script = Sessions.mixed_script ~tenants:4 ~rounds:10 ~requests_per_round:12 ~seed:3 () in
+  let r = Server.run ~config:test_config script in
+  let total = List.fold_left (fun n rnd -> n + List.length rnd) 0 script.Server.sc_rounds in
+  Alcotest.(check int) "every request served and counted" total r.Server.r_stats.Stats.s_serve_requests;
+  Alcotest.(check bool) "code is shared across tenants" true
+    (r.Server.r_stats.Stats.s_cache_shared_hits > 0);
+  (* two tenants per app: each installed method is adopted by both, so
+     hits strictly exceed installs *)
+  Alcotest.(check bool) "more adoptions than compilations" true
+    (r.Server.r_stats.Stats.s_cache_shared_hits > r.Server.r_stats.Stats.s_compile_installs);
+  (* the server's hit counter is the sum of the per-tenant ones *)
+  let tenant_hits =
+    List.fold_left (fun n tr -> n + tr.Server.tr_shared_hits) 0 r.Server.r_tenants
+  in
+  Alcotest.(check int) "per-tenant hits sum to the server counter"
+    r.Server.r_stats.Stats.s_cache_shared_hits tenant_hits
+
+(* Both tenants share the trap app. A's deopt bumps the epoch and A's
+   recompile is enqueued with deadline two barriers out; B — still
+   running its locally installed copy of the dropped entry — deopts
+   before that deadline, moving the epoch again. The in-flight result
+   must be rejected, never installed, and recompiled against the fresh
+   epoch. *)
+let test_epoch_race_rejects_stale_install () =
+  let req t x = { Server.rq_tenant = t; rq_class = "Svc"; rq_method = "handle"; rq_args = [ x ] } in
+  (* five warm calls per tenant per round: invocations cross the
+     threshold (20) at round 4 with the branch profile already past the
+     pruner's floor *)
+  let benign = List.concat_map (fun t -> List.init 5 (fun i -> req t (1 + i + (7 * t)))) [ 0; 1 ] in
+  let rounds =
+    [
+      benign; (* 0-3: warm *)
+      benign;
+      benign;
+      benign;
+      benign; (* 4: both hot — both request; barrier enqueues (epoch 0, deadline 6) *)
+      benign; (* 5: in flight *)
+      benign; (* 6: barrier installs epoch 0 *)
+      benign @ [ req 0 9001 ]; (* 7: both adopt; A deopts; barrier bumps to epoch 1 *)
+      benign; (* 8: A re-requests; barrier enqueues epoch 1, deadline 10 *)
+      benign @ [ req 1 9002 ]; (* 9: B (its local copy) deopts; barrier bumps to epoch 2 *)
+      benign; (* 10: barrier: epoch-1 result is stale — rejected, requeued *)
+      benign; (* 11 *)
+      benign; (* 12: barrier installs the epoch-2 result *)
+      benign; (* 13: both re-adopt *)
+      benign; (* 14 *)
+    ]
+  in
+  let script =
+    {
+      Server.sc_apps = [ ("trap-svc", Sessions.trap_app) ];
+      sc_tenants = [ ("a", 0); ("b", 0) ];
+      sc_rounds = rounds;
+    }
+  in
+  let config = { storm_config with Server.sv_compile_rounds = 2 } in
+  Trace.uninstall ();
+  let trace = Trace.create () in
+  Trace.install trace;
+  let server, r =
+    Fun.protect ~finally:Trace.uninstall (fun () ->
+        let server = Server.create ~config script in
+        Server.run_rounds server script.Server.sc_rounds;
+        (server, Server.report server))
+  in
+  Alcotest.(check bool) "the stale result was rejected" true
+    (r.Server.r_stats.Stats.s_cache_epoch_rejects >= 1);
+  Alcotest.(check (list string)) "nobody was quarantined" [] r.Server.r_quarantined;
+  (* the invariant the reject protects: whatever is installed carries the
+     key's current epoch *)
+  let cache = Server.cache server in
+  let m = Server.find_app_method server ~app:0 "Svc" "handle" in
+  let key = (0, m.Pea_bytecode.Classfile.mth_id) in
+  Alcotest.(check bool) "entry present after the race" true (Shared_cache.mem cache key);
+  Alcotest.(check (option int)) "installed entry carries the current epoch"
+    (Some (Shared_cache.epoch cache key))
+    (Shared_cache.entry_epoch cache key);
+  (* trace-level confirmation: a reject event fired, and no publish event
+     ever carried a stale epoch *)
+  let events = List.map (fun e -> e.Trace.e_event) (Trace.entries trace) in
+  Alcotest.(check bool) "cache_epoch_reject event recorded" true
+    (List.exists (function Event.Cache_epoch_reject _ -> true | _ -> false) events);
+  let final_epoch = Shared_cache.epoch cache key in
+  List.iter
+    (function
+      | Event.Cache_publish { epoch; _ } ->
+          Alcotest.(check bool) "every publish was epoch-valid at install time" true
+            (epoch = 0 || epoch = final_epoch)
+      | _ -> ())
+    events;
+  (* both tenants end up back on shared code *)
+  Alcotest.(check bool) "both tenants re-adopted the fresh code" true
+    (List.for_all (fun tr -> tr.Server.tr_shared_hits >= 2) r.Server.r_tenants)
+
+(* ------------------------------------------------------------------ *)
+(* Replay determinism                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mixed () = Sessions.mixed_script ~tenants:3 ~rounds:8 ~requests_per_round:9 ~seed:42 ()
+
+let test_replay_deterministic_reports () =
+  let r1 = Server.run ~config:test_config (mixed ()) in
+  let r2 = Server.run ~config:test_config (mixed ()) in
+  Alcotest.(check bool) "two replay runs: structurally identical reports" true (r1 = r2)
+
+let test_replay_deterministic_trace () =
+  let trace_of_run () =
+    Trace.uninstall ();
+    let t = Trace.create () in
+    Trace.install t;
+    Fun.protect ~finally:Trace.uninstall (fun () ->
+        ignore (Server.run ~config:test_config (mixed ()));
+        Trace.jsonl_string t)
+  in
+  let j1 = trace_of_run () in
+  let j2 = trace_of_run () in
+  Alcotest.(check bool) "trace JSONL is non-trivial" true (String.length j1 > 0);
+  Alcotest.(check string) "two replay runs: byte-identical trace JSONL" j1 j2
+
+let test_percentile_nearest_rank () =
+  let samples = [ 5; 1; 9; 3; 7 ] in
+  Alcotest.(check int) "p50 of odd-length sample" 5 (Server.percentile samples 50);
+  Alcotest.(check int) "p99 is the max here" 9 (Server.percentile samples 99);
+  Alcotest.(check int) "p0 clamps to the min" 1 (Server.percentile samples 0);
+  Alcotest.(check int) "empty sample" 0 (Server.percentile [] 99)
+
+(* ------------------------------------------------------------------ *)
+(* Threaded mode (real domains; MJVM_TEST_SERVE=real)                  *)
+(* ------------------------------------------------------------------ *)
+
+let threaded_config workers =
+  { test_config with Server.sv_mode = Server.Threaded workers }
+
+let test_threaded_equals_replay () =
+  let replay = Server.run ~config:test_config (mixed ()) in
+  List.iter
+    (fun workers ->
+      let threaded = Server.run ~config:(threaded_config workers) (mixed ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d worker domains: report identical to replay" workers)
+        true (threaded = replay))
+    [ 1; 2; 4 ]
+
+let test_threaded_storm_isolation () =
+  let script ~storm =
+    Sessions.storm_script ~storm ~victims:3 ~rounds:26 ~requests_per_round:6 ~seed:5 ()
+  in
+  let threaded_storm = { storm_config with Server.sv_mode = Server.Threaded 4 } in
+  let stormy_run = Server.run ~config:threaded_storm (script ~storm:true) in
+  let quiet_run = Server.run ~config:threaded_storm (script ~storm:false) in
+  Alcotest.(check (list string)) "threaded: stormy quarantined" [ "stormy" ]
+    stormy_run.Server.r_quarantined;
+  List.iter
+    (fun i ->
+      let name = Printf.sprintf "victim-%d" i in
+      let a = tenant stormy_run name and b = tenant quiet_run name in
+      Alcotest.(check bool)
+        (name ^ ": threaded victims bit-identical under the storm")
+        true
+        (a.Server.tr_results = b.Server.tr_results
+        && a.Server.tr_latencies = b.Server.tr_latencies
+        && a.Server.tr_stats = b.Server.tr_stats))
+    [ 0; 1; 2 ]
+
+let () =
+  let threaded =
+    if Test_env.serve_real () then
+      [
+        Alcotest.test_case "threaded report = replay report" `Quick test_threaded_equals_replay;
+        Alcotest.test_case "threaded storm isolation" `Quick test_threaded_storm_isolation;
+      ]
+    else []
+  in
+  Alcotest.run "serving"
+    [
+      ( "isolation",
+        [
+          Alcotest.test_case "storm quarantines only the stormy tenant" `Quick
+            test_storm_quarantines_stormy;
+          Alcotest.test_case "quarantine demotes to interpreter, cache survives" `Quick
+            test_storm_quarantine_is_interp_only;
+          Alcotest.test_case "victims bit-identical storm vs quiet" `Quick
+            test_storm_leaves_victims_bit_identical;
+        ] );
+      ( "shared-cache",
+        [
+          Alcotest.test_case "cross-tenant shared hits" `Quick test_shared_cache_cross_tenant_hits;
+          Alcotest.test_case "epoch race rejects the stale install" `Quick
+            test_epoch_race_rejects_stale_install;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "deterministic reports" `Quick test_replay_deterministic_reports;
+          Alcotest.test_case "byte-identical trace" `Quick test_replay_deterministic_trace;
+          Alcotest.test_case "percentile (nearest rank)" `Quick test_percentile_nearest_rank;
+        ] );
+      ("threaded", threaded);
+    ]
